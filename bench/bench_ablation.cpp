@@ -1,0 +1,175 @@
+// Ablations over the design choices DESIGN.md calls out, all on the same
+// calibrated trace with P_d = 1 (drop every stateless inbound packet):
+//
+//   1. k and dt at fixed Te: granularity of the implicit timer.
+//   2. Te itself: too short overkills slow responders (false negatives),
+//      paper Section 4.3 recommends 20-30 s.
+//   3. N and m: memory vs false positives (admitting packets that should
+//      drop weakens the limiter).
+//   4. Key mode: hole-punching support admits NAT-traversal connections.
+//   5. Mark-all-vectors vs the hypothetical mark-current-only design:
+//      marking only the current vector would shrink the effective timer to
+//      a single rotation interval (modelled here by k=2 with dt=Te/k).
+#include "bench_common.h"
+#include "filter/aging_bloom.h"
+#include "filter/bitmap_filter.h"
+#include "filter/naive_filter.h"
+#include "sim/replay.h"
+#include "sim/report.h"
+
+using namespace upbound;
+
+namespace {
+
+struct RunResult {
+  double drop_rate;
+  double inbound_pass_bytes;
+};
+
+RunResult run(const GeneratedTrace& trace,
+              std::unique_ptr<StateFilter> filter) {
+  EdgeRouterConfig config;
+  config.network = trace.network;
+  config.track_blocked_connections = false;
+  EdgeRouter router{config, std::move(filter),
+                    std::make_unique<ConstantDropPolicy>(1.0)};
+  const ReplayResult result =
+      replay_trace(trace.packets, router, trace.network);
+  return {result.stats.inbound_drop_rate(),
+          static_cast<double>(result.stats.inbound_passed_bytes)};
+}
+
+BitmapFilterConfig bitmap_with(unsigned log2_bits, unsigned k,
+                               double dt_sec, unsigned m,
+                               KeyMode mode = KeyMode::kFullTuple) {
+  BitmapFilterConfig config;
+  config.log2_bits = log2_bits;
+  config.vector_count = k;
+  config.rotate_interval = Duration::sec(dt_sec);
+  config.hash_count = m;
+  config.key_mode = mode;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablations -- bitmap filter design choices",
+                "Section 4.3 parameter discussion, quantified");
+
+  const GeneratedTrace trace =
+      generate_campus_trace(bench::eval_trace_config(/*duration_sec=*/40.0));
+
+  // Reference: the exact-timer filter at Te = 20 s is ground truth.
+  NaiveFilterConfig naive_config;
+  naive_config.state_timeout = Duration::sec(20.0);
+  const RunResult exact =
+      run(trace, std::make_unique<NaiveFilter>(naive_config));
+  std::printf("reference (naive exact timers, Te = 20 s): %s drop rate\n\n",
+              report::percent(exact.drop_rate, 3).c_str());
+
+  std::printf("-- 1. k and dt at fixed Te = 20 s --\n");
+  std::vector<std::vector<std::string>> rows{
+      {"k", "dt", "drop rate", "delta vs exact"}};
+  for (const auto& [k, dt] : std::vector<std::pair<unsigned, double>>{
+           {2, 10.0}, {4, 5.0}, {10, 2.0}, {20, 1.0}}) {
+    const RunResult r = run(trace, std::make_unique<BitmapFilter>(
+                                       bitmap_with(20, k, dt, 3)));
+    rows.push_back({std::to_string(k), report::num(dt, 0) + "s",
+                    report::percent(r.drop_rate, 3),
+                    report::percent(r.drop_rate - exact.drop_rate, 3)});
+  }
+  std::printf("%s", report::table(rows).c_str());
+  std::printf("(finer rotation tracks the exact timer more closely; the\n"
+              " paper picks dt = 4-5 s as the granularity/cost balance)\n\n");
+
+  std::printf("-- 2. expiry timer Te (k = 4) --\n");
+  rows = {{"Te", "drop rate", "overkill vs Te=20s"}};
+  const RunResult te20 = run(trace, std::make_unique<BitmapFilter>(
+                                        bitmap_with(20, 4, 5.0, 3)));
+  for (const double te : {4.0, 8.0, 20.0, 40.0, 120.0}) {
+    const RunResult r = run(trace, std::make_unique<BitmapFilter>(
+                                       bitmap_with(20, 4, te / 4.0, 3)));
+    rows.push_back({report::num(te, 0) + "s", report::percent(r.drop_rate, 3),
+                    report::percent(r.drop_rate - te20.drop_rate, 3)});
+  }
+  std::printf("%s", report::table(rows).c_str());
+  std::printf("(a too-short Te drops responses of idle-but-alive\n"
+              " connections -- the overkill Section 4.3 warns about)\n\n");
+
+  std::printf("-- 3. memory N and hash count m --\n");
+  rows = {{"N", "m", "memory", "drop rate", "leak vs exact"}};
+  for (const unsigned log2_bits : {10u, 12u, 16u, 20u}) {
+    for (const unsigned m : {1u, 3u}) {
+      const RunResult r = run(trace, std::make_unique<BitmapFilter>(
+                                         bitmap_with(log2_bits, 4, 5.0, m)));
+      rows.push_back(
+          {"2^" + std::to_string(log2_bits), std::to_string(m),
+           std::to_string((4u << log2_bits) / 8 / 1024) + " KB",
+           report::percent(r.drop_rate, 3),
+           report::percent(exact.drop_rate - r.drop_rate, 3)});
+    }
+  }
+  std::printf("%s", report::table(rows).c_str());
+  std::printf("(a starved bitmap lets stateless packets penetrate -- the\n"
+              " drop rate falls below the exact filter's)\n\n");
+
+  std::printf("-- 4. key mode: full tuple vs hole-punching --\n");
+  const RunResult full = run(trace, std::make_unique<BitmapFilter>(
+                                        bitmap_with(20, 4, 5.0, 3)));
+  const RunResult hole = run(
+      trace, std::make_unique<BitmapFilter>(
+                 bitmap_with(20, 4, 5.0, 3, KeyMode::kHolePunching)));
+  bench::row("full-tuple drop rate", "-", report::percent(full.drop_rate, 3));
+  bench::row("hole-punching drop rate", "lower (admits NAT traversal)",
+             report::percent(hole.drop_rate, 3));
+
+  std::printf("\n-- 5. design space: rotating bitmap vs aging-Bloom at "
+              "equal memory --\n");
+  // A 4-bit epoch stamp with valid_epochs = k and epoch = dt is
+  // DECISION-IDENTICAL to the {k x N} bitmap (same hash slots, same
+  // (k-1)dt..k*dt freshness window) at the same 4 bits/slot -- verified
+  // by the k=4 column matching the bitmap exactly. The aging design's
+  // real lever is that the SAME 4 bits/slot support up to 13 epochs, so
+  // at fixed memory and fixed Te it can rotate 2.5x finer (epoch = 2 s
+  // instead of dt = 5 s) and hug the exact timer more closely.
+  rows = {{"memory", "bitmap k=4 dt=5s", "aging k=4 e=5s (identical)",
+           "aging k=10 e=2s (finer)"}};
+  for (const unsigned log2_bits : {12u, 16u, 20u}) {
+    const RunResult bitmap_result = run(
+        trace, std::make_unique<BitmapFilter>(bitmap_with(log2_bits, 4, 5.0,
+                                                          3)));
+    AgingBloomConfig same;
+    same.cells = std::size_t{1} << log2_bits;
+    same.hash_count = 3;
+    same.epoch = Duration::sec(5.0);
+    same.valid_epochs = 4;
+    const RunResult same_result =
+        run(trace, std::make_unique<AgingBloomFilter>(same));
+    AgingBloomConfig finer = same;
+    finer.epoch = Duration::sec(2.0);
+    finer.valid_epochs = 10;  // Te = 20 s, 2 s granularity
+    const RunResult finer_result =
+        run(trace, std::make_unique<AgingBloomFilter>(finer));
+    rows.push_back({std::to_string((4u << log2_bits) / 8 / 1024) + " KB",
+                    report::percent(bitmap_result.drop_rate, 3),
+                    report::percent(same_result.drop_rate, 3),
+                    report::percent(finer_result.drop_rate, 3)});
+  }
+  std::printf("%s", report::table(rows).c_str());
+  std::printf("(the finer column sits between the k=4 bitmap and the exact\n"
+              " reference of %s)\n\n",
+              report::percent(exact.drop_rate, 3).c_str());
+
+  std::printf("-- 6. effective timer if marks went to one vector only --\n");
+  // Marking only the current vector is equivalent to state that survives
+  // exactly one rotation: a {2 x N} bitmap with dt = Te/k models the
+  // resulting 1/k-scale timer.
+  const RunResult single = run(trace, std::make_unique<BitmapFilter>(
+                                          bitmap_with(20, 2, 5.0, 3)));
+  bench::row("mark-all {4 x 2^20}, Te = 20 s", "-",
+             report::percent(full.drop_rate, 3));
+  bench::row("single-vector-equivalent (Te = 10 s)", "overkills",
+             report::percent(single.drop_rate, 3));
+  return 0;
+}

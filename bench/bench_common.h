@@ -1,0 +1,47 @@
+// Shared scaffolding for the per-table/figure bench binaries: a common
+// trace scale (overridable via UPBOUND_BENCH_SCALE), and the paper-vs-
+// measured row formatting EXPERIMENTS.md records.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "trace/campus.h"
+
+namespace upbound::bench {
+
+/// Scale factor from the environment; 1.0 = default laptop-sized run.
+inline double scale() {
+  const char* env = std::getenv("UPBOUND_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double s = std::atof(env);
+  return s > 0.0 ? s : 1.0;
+}
+
+/// The standard evaluation trace: Table 2 mixture, ~80 conns/s. Duration
+/// scales with UPBOUND_BENCH_SCALE.
+inline CampusTraceConfig eval_trace_config(double duration_sec = 60.0,
+                                           std::uint64_t seed = 3) {
+  CampusTraceConfig config;
+  config.duration = Duration::sec(duration_sec * scale());
+  config.connections_per_sec = 80.0;
+  config.bandwidth_bps = 12e6;
+  config.seed = seed;
+  return config;
+}
+
+inline void header(const char* experiment, const char* paper_claim) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("==========================================================\n");
+}
+
+inline void row(const std::string& metric, const std::string& paper,
+                const std::string& measured) {
+  std::printf("  %-44s paper: %-14s measured: %s\n", metric.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+}  // namespace upbound::bench

@@ -1,0 +1,55 @@
+// Fig. 2 reproduction: cumulative distribution of TCP service ports by
+// class (ALL / P2P / Non-P2P / UNKNOWN). The paper's observations: Non-P2P
+// concentrates on a few well-known ports; P2P spreads over 10000-40000
+// plus protocol defaults; UNKNOWN's distribution resembles P2P.
+#include "analyzer/analyzer.h"
+#include "bench_common.h"
+#include "sim/report.h"
+
+using namespace upbound;
+
+int main() {
+  bench::header("Fig. 2 -- TCP port number CDF by class",
+                "Non-P2P on well-known ports; P2P and UNKNOWN spread over "
+                "10000-40000");
+
+  const GeneratedTrace trace =
+      generate_campus_trace(bench::eval_trace_config());
+  TrafficAnalyzer analyzer{trace.network};
+  for (const PacketRecord& pkt : trace.packets) analyzer.process(pkt);
+  const AnalyzerReport report = analyzer.finish();
+
+  // CDF sampled at the paper's visually salient port breakpoints.
+  const double breakpoints[] = {80,    443,   1024,  4662,  6881,
+                                10000, 20000, 30000, 40000, 65535};
+  std::vector<std::vector<std::string>> rows{{"port <="}};
+  for (const PortClass cls : {PortClass::kAll, PortClass::kP2p,
+                              PortClass::kNonP2p, PortClass::kUnknown}) {
+    rows[0].push_back(port_class_name(cls));
+  }
+  for (const double bp : breakpoints) {
+    std::vector<std::string> row{report::num(bp, 0)};
+    for (const PortClass cls : {PortClass::kAll, PortClass::kP2p,
+                                PortClass::kNonP2p, PortClass::kUnknown}) {
+      const auto it = report.tcp_port_cdf.find(cls);
+      row.push_back(it == report.tcp_port_cdf.end() || it->second.count() == 0
+                        ? "-"
+                        : report::percent(it->second.fraction_below(bp), 1));
+    }
+    rows.push_back(std::move(row));
+  }
+  std::printf("%s\n", report::table(rows).c_str());
+
+  const auto& non_p2p = report.tcp_port_cdf.at(PortClass::kNonP2p);
+  const auto& p2p = report.tcp_port_cdf.at(PortClass::kP2p);
+  const auto& unknown = report.tcp_port_cdf.at(PortClass::kUnknown);
+  bench::row("Non-P2P mass on ports < 1024", "most",
+             report::percent(non_p2p.fraction_below(1024.0)));
+  bench::row("P2P mass in 10000-40000", "large",
+             report::percent(p2p.fraction_below(40000.0) -
+                             p2p.fraction_below(10000.0)));
+  bench::row("UNKNOWN mass in 10000-40000 (resembles P2P)", "large",
+             report::percent(unknown.fraction_below(40000.0) -
+                             unknown.fraction_below(10000.0)));
+  return 0;
+}

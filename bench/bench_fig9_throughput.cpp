@@ -1,0 +1,94 @@
+// Fig. 9 reproduction: original vs filtered bandwidth throughput when the
+// bitmap filter limits upload with RED thresholds. The paper bounds a
+// ~146.7 Mbps campus link with L = 50 Mbps / H = 100 Mbps; this bench
+// applies the same L:H ratio to its (scaled) trace. Expected shape: uplink
+// clamped near H while the unfiltered trace rides far above; some downlink
+// is filtered too because P2P download rides inbound connections.
+#include "bench_common.h"
+#include "filter/bitmap_filter.h"
+#include "sim/replay.h"
+#include "sim/report.h"
+
+using namespace upbound;
+
+int main() {
+  // Offered ~12 Mbps total (~10.5 Mbps uplink); bound at H = 6 Mbps with
+  // L = 3 Mbps, the paper's 2:1 H:L ratio scaled to the trace.
+  const double kLow = 3e6;
+  const double kHigh = 6e6;
+
+  bench::header("Fig. 9 -- Limiting upload traffic with the bitmap filter",
+                "uplink bounded near H = 100 Mbps (theirs); both directions "
+                "shrink because P2P downloads ride inbound connections");
+
+  const CampusTraceConfig trace_config = bench::eval_trace_config();
+  const GeneratedTrace trace = generate_campus_trace(trace_config);
+  std::printf("thresholds: L = %s, H = %s; offered %s over the %s window\n\n",
+              format_bits_per_sec(kLow).c_str(),
+              format_bits_per_sec(kHigh).c_str(),
+              format_bits_per_sec(
+                  static_cast<double>(trace.outbound_bytes +
+                                      trace.inbound_bytes) *
+                  8.0 / trace_config.duration.to_sec())
+                  .c_str(),
+              trace_config.duration.to_string().c_str());
+
+  EdgeRouterConfig config;
+  config.network = trace.network;
+  config.track_blocked_connections = true;
+
+  EdgeRouter router{config, std::make_unique<BitmapFilter>(BitmapFilterConfig{}),
+                    std::make_unique<RedDropPolicy>(kLow, kHigh)};
+  const ReplayResult result =
+      replay_trace(trace.packets, router, trace.network);
+
+  std::printf("== Fig. 9-a (original) vs Fig. 9-b (filtered) ==\n");
+  std::printf("%s\n", report::throughput_series(
+                          {{"orig-up", &result.offered_outbound},
+                           {"filt-up", &result.passed_outbound},
+                           {"orig-down", &result.offered_inbound},
+                           {"filt-down", &result.passed_inbound}},
+                          /*max_rows=*/20)
+                          .c_str());
+
+  const double span = trace.span().to_sec();
+  const auto avg_mbps = [span](double bytes) {
+    return bytes * 8.0 / span / 1e6;
+  };
+  bench::row("uplink before -> after",
+             "~130 -> ~100 Mbps (theirs)",
+             report::num(avg_mbps(result.offered_outbound.total())) +
+                 " -> " +
+                 report::num(avg_mbps(result.passed_outbound.total())) +
+                 " Mbps");
+  bench::row("downlink before -> after", "also reduced",
+             report::num(avg_mbps(result.offered_inbound.total())) + " -> " +
+                 report::num(avg_mbps(result.passed_inbound.total())) +
+                 " Mbps");
+
+  // Steady-state clamp check over the busy middle of the trace. Note the
+  // limiter polices UNSOLICITED inbound packets; upload on already-
+  // established (solicited) connections can still burst past H for a
+  // moment, exactly as the paper's Fig. 9-b curve does.
+  const auto rates = result.passed_outbound.rates();
+  CdfBuilder busy;
+  const std::size_t lo = rates.size() / 5, hi = rates.size() * 3 / 5;
+  for (std::size_t i = lo; i < hi; ++i) busy.add(rates[i] * 8.0);
+  bench::row("filtered uplink, busy-window median", "near H",
+             format_bits_per_sec(busy.percentile(50)));
+  bench::row("filtered uplink, busy-window P90", "bursts allowed, bounded",
+             format_bits_per_sec(busy.percentile(90)));
+
+  const EdgeRouterStats& stats = result.stats;
+  bench::row("inbound packets dropped", "-",
+             report::percent(stats.inbound_drop_rate()));
+  bench::row("upload suppressed via blocked connections", "-",
+             format_bits_per_sec(
+                 static_cast<double>(stats.suppressed_outbound_bytes) * 8.0 /
+                 span));
+  std::printf(
+      "\n(the paper notes replay cannot suppress upload triggered by\n"
+      " already-blocked requests; the blocklist models exactly that, so\n"
+      " this harness bounds harder than their Fig. 9)\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Section 5.1 reproduction: false-positive (penetration) analysis.
+//
+//   Eq. 3  p ~= (c*m/N)^m      -- validated against Monte-Carlo
+//   Eq. 5  m* = N/(e*c)        -- optimal hash count really is optimal
+//   Eq. 6  c <= -N/(e ln p)    -- the paper's 167K/125K/83K capacity table
+//
+// Also reproduces the worked example: a {4 x 2^20} bitmap (512 KB) with
+// m = 3 easily covers the trace's ~15K active connections per Te.
+#include "bench_common.h"
+#include "filter/bitmap_filter.h"
+#include "filter/params.h"
+#include "sim/report.h"
+#include "util/rng.h"
+
+using namespace upbound;
+
+namespace {
+
+double monte_carlo_penetration(unsigned log2_bits, unsigned hash_count,
+                               std::size_t connections, Rng& rng,
+                               int probes = 300'000) {
+  BitmapFilterConfig config;
+  config.log2_bits = log2_bits;
+  config.vector_count = 2;
+  config.hash_count = hash_count;
+  BitmapFilter filter{config};
+  PacketRecord pkt;
+  for (std::size_t i = 0; i < connections; ++i) {
+    pkt.tuple = FiveTuple{Protocol::kTcp,
+                          Ipv4Addr{static_cast<std::uint32_t>(rng.next_u64())},
+                          static_cast<std::uint16_t>(rng.next_u64()),
+                          Ipv4Addr{static_cast<std::uint32_t>(rng.next_u64())},
+                          static_cast<std::uint16_t>(rng.next_u64())};
+    filter.record_outbound(pkt);
+  }
+  int hits = 0;
+  for (int i = 0; i < probes; ++i) {
+    pkt.tuple = FiveTuple{Protocol::kUdp,
+                          Ipv4Addr{static_cast<std::uint32_t>(rng.next_u64())},
+                          static_cast<std::uint16_t>(rng.next_u64()),
+                          Ipv4Addr{static_cast<std::uint32_t>(rng.next_u64())},
+                          static_cast<std::uint16_t>(rng.next_u64())};
+    if (filter.admits_inbound(pkt)) ++hits;
+  }
+  return static_cast<double>(hits) / probes;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng{20260706};
+
+  bench::header("Section 5.1 -- False positives and false negatives",
+                "Eq. 3/5/6 analysis; N=2^20 supports 167K/125K/83K conns at "
+                "p = 10%/5%/1%");
+
+  std::printf("\n-- Eq. 6 capacity bounds for N = 2^20 --\n");
+  bench::row("max connections at p = 10%", "167K",
+             std::to_string(max_connections_for(0.10, 1u << 20)));
+  bench::row("max connections at p = 5%", "125K",
+             std::to_string(max_connections_for(0.05, 1u << 20)));
+  bench::row("max connections at p = 1%", "83K",
+             std::to_string(max_connections_for(0.01, 1u << 20)));
+
+  std::printf("\n-- Eq. 3 vs Monte-Carlo (N = 2^16 so p is measurable) --\n");
+  std::vector<std::vector<std::string>> rows{
+      {"c", "m", "Eq.3 predicted", "measured"}};
+  const unsigned log2_bits = 16;
+  for (const std::size_t c : {1000u, 3000u, 6000u, 12000u}) {
+    for (const unsigned m : {2u, 3u, 4u}) {
+      const double predicted =
+          penetration_probability(c, m, 1u << log2_bits);
+      const double measured =
+          monte_carlo_penetration(log2_bits, m, c, rng);
+      rows.push_back({std::to_string(c), std::to_string(m),
+                      report::num(predicted * 100.0, 3) + "%",
+                      report::num(measured * 100.0, 3) + "%"});
+    }
+  }
+  std::printf("%s", report::table(rows).c_str());
+
+  std::printf("\n-- Eq. 5 optimum vs the measured optimum --\n");
+  // Eq. 5 (m* = N/(e*c)) is derived from the no-collision approximation
+  // Eq. 3. The exact Bloom analysis (utilization 1 - exp(-c*m/N)) puts the
+  // true optimum at m = ln2 * N/c -- about 1.88x the paper's value. Both
+  // are printed; the measured argmin should track the Bloom optimum while
+  // confirming that Eq. 5's m already reaches within a small factor of
+  // the minimum.
+  const std::size_t c_opt = 6000;
+  const unsigned m_star = optimal_hash_count(1u << log2_bits, c_opt);
+  const unsigned m_bloom = static_cast<unsigned>(
+      0.6931 * static_cast<double>(1u << log2_bits) /
+          static_cast<double>(c_opt) +
+      0.5);
+  std::vector<std::vector<std::string>> opt_rows{{"m", "measured p", ""}};
+  double best = 1.0;
+  unsigned best_m = 0;
+  for (unsigned m = 1; m <= m_bloom + 4; ++m) {
+    const double measured =
+        monte_carlo_penetration(log2_bits, m, c_opt, rng, 150'000);
+    if (measured < best) {
+      best = measured;
+      best_m = m;
+    }
+    std::string note;
+    if (m == m_star) note = "<- Eq. 5 optimum (paper)";
+    if (m == m_bloom) note += "<- exact Bloom optimum";
+    opt_rows.push_back({std::to_string(m),
+                        report::num(measured * 100.0, 3) + "%", note});
+  }
+  std::printf("%s", report::table(opt_rows).c_str());
+  bench::row("argmin of measured p",
+             "m* = " + std::to_string(m_star) + " (Eq. 5)",
+             "m = " + std::to_string(best_m) + " (Bloom-exact " +
+                 std::to_string(m_bloom) + ")");
+
+  std::printf("\n-- paper worked example: {4 x 2^20}, dt = 5 s, m = 3 --\n");
+  const BitmapAdvice advice = advise(1u << 20, 4, Duration::sec(5.0), 15'000);
+  bench::row("memory", "512 KB",
+             std::to_string(advice.memory_bytes / 1024) + " KB");
+  bench::row("expiry timer Te", "20 s", advice.expiry_timer.to_string());
+  const double p_paper_m =
+      penetration_probability(15'000, 3, 1u << 20);
+  bench::row("penetration at trace load (m = 3)", "negligible",
+             report::num(p_paper_m * 100.0, 6) + "%");
+  const double measured_paper = monte_carlo_penetration(20, 3, 15'000, rng);
+  bench::row("Monte-Carlo at trace load (m = 3)", "negligible",
+             report::num(measured_paper * 100.0, 6) + "%");
+  return 0;
+}

@@ -1,0 +1,200 @@
+// Section 5.2 reproduction (google-benchmark): per-packet processing cost.
+//
+// Paper claims: outbound processing O(m*t_h + m*k*t_m); inbound O(m*t_h +
+// m*t_c); b.rotate O(N) but a cheap sequential clear; SPI lookups carry
+// hash-table overhead and O(n) state. These benchmarks measure each
+// operation and the SPI comparison directly.
+#include <benchmark/benchmark.h>
+
+#include "filter/aging_bloom.h"
+#include "filter/bitmap_filter.h"
+#include "filter/concurrent_bitmap.h"
+#include "filter/naive_filter.h"
+#include "filter/spi_filter.h"
+#include "util/rng.h"
+
+namespace upbound {
+namespace {
+
+PacketRecord random_packet(Rng& rng, double t_sec = 0.0) {
+  PacketRecord pkt;
+  pkt.timestamp = SimTime::from_sec(t_sec);
+  pkt.tuple = FiveTuple{Protocol::kTcp,
+                        Ipv4Addr{static_cast<std::uint32_t>(rng.next_u64())},
+                        static_cast<std::uint16_t>(rng.next_u64()),
+                        Ipv4Addr{static_cast<std::uint32_t>(rng.next_u64())},
+                        static_cast<std::uint16_t>(rng.next_u64())};
+  return pkt;
+}
+
+BitmapFilterConfig bitmap_config(unsigned hash_count = 3,
+                                 unsigned vector_count = 4) {
+  BitmapFilterConfig config;
+  config.hash_count = hash_count;
+  config.vector_count = vector_count;
+  return config;
+}
+
+void BM_BitmapOutbound(benchmark::State& state) {
+  BitmapFilter filter{bitmap_config(static_cast<unsigned>(state.range(0)))};
+  Rng rng{1};
+  std::vector<PacketRecord> packets;
+  for (int i = 0; i < 4096; ++i) packets.push_back(random_packet(rng));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    filter.record_outbound(packets[i++ & 4095]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BitmapOutbound)->Arg(1)->Arg(3)->Arg(8);
+
+void BM_BitmapInbound(benchmark::State& state) {
+  BitmapFilter filter{bitmap_config(static_cast<unsigned>(state.range(0)))};
+  Rng rng{2};
+  std::vector<PacketRecord> packets;
+  for (int i = 0; i < 4096; ++i) {
+    PacketRecord pkt = random_packet(rng);
+    if (i % 2 == 0) filter.record_outbound(pkt);  // half will hit state
+    pkt.tuple = pkt.tuple.inverse();
+    packets.push_back(std::move(pkt));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.admits_inbound(packets[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BitmapInbound)->Arg(1)->Arg(3)->Arg(8);
+
+void BM_BitmapRotate(benchmark::State& state) {
+  BitmapFilterConfig config;
+  config.log2_bits = static_cast<unsigned>(state.range(0));
+  BitmapFilter filter{config};
+  Rng rng{3};
+  for (int i = 0; i < 10'000; ++i) filter.record_outbound(random_packet(rng));
+  for (auto _ : state) {
+    filter.rotate();
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(config.bits() / 8));
+}
+BENCHMARK(BM_BitmapRotate)->Arg(16)->Arg(20)->Arg(24);
+
+// SPI cost grows with tracked flow count; bitmap cost must not. The range
+// argument is the number of pre-installed flows.
+template <typename Filter>
+void run_inbound_under_load(benchmark::State& state, Filter& filter) {
+  Rng rng{4};
+  const std::int64_t flows = state.range(0);
+  std::vector<PacketRecord> inbound;
+  for (std::int64_t i = 0; i < flows; ++i) {
+    PacketRecord pkt = random_packet(rng);
+    filter.record_outbound(pkt);
+    if (inbound.size() < 4096) {
+      PacketRecord in = pkt;
+      in.tuple = in.tuple.inverse();
+      inbound.push_back(std::move(in));
+    }
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        filter.admits_inbound(inbound[i++ % inbound.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_SpiInboundUnderLoad(benchmark::State& state) {
+  SpiFilter filter{{}};
+  run_inbound_under_load(state, filter);
+}
+BENCHMARK(BM_SpiInboundUnderLoad)->Arg(1'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_NaiveInboundUnderLoad(benchmark::State& state) {
+  NaiveFilter filter{{}};
+  run_inbound_under_load(state, filter);
+}
+BENCHMARK(BM_NaiveInboundUnderLoad)->Arg(1'000)->Arg(100'000);
+
+void BM_BitmapInboundUnderLoad(benchmark::State& state) {
+  BitmapFilter filter{bitmap_config()};
+  run_inbound_under_load(state, filter);
+}
+BENCHMARK(BM_BitmapInboundUnderLoad)->Arg(1'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_AgingBloomInboundUnderLoad(benchmark::State& state) {
+  AgingBloomFilter filter{AgingBloomConfig{}};
+  run_inbound_under_load(state, filter);
+}
+BENCHMARK(BM_AgingBloomInboundUnderLoad)->Arg(1'000)->Arg(100'000);
+
+void BM_ConcurrentBitmapInboundUnderLoad(benchmark::State& state) {
+  ConcurrentBitmapFilter filter{bitmap_config()};
+  run_inbound_under_load(state, filter);
+}
+BENCHMARK(BM_ConcurrentBitmapInboundUnderLoad)->Arg(1'000)->Arg(100'000);
+
+void BM_ConcurrentBitmapParallelMarking(benchmark::State& state) {
+  // Threaded google-benchmark: every thread hammers record_outbound on
+  // the shared filter; scaling shows the lock-free marking path.
+  static ConcurrentBitmapFilter* filter = nullptr;
+  if (state.thread_index() == 0) {
+    filter = new ConcurrentBitmapFilter{bitmap_config()};
+  }
+  Rng rng{static_cast<std::uint64_t>(state.thread_index()) + 1};
+  std::vector<PacketRecord> packets;
+  for (int i = 0; i < 1024; ++i) packets.push_back(random_packet(rng));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    filter->record_outbound(packets[i++ & 1023]);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    delete filter;
+    filter = nullptr;
+  }
+}
+BENCHMARK(BM_ConcurrentBitmapParallelMarking)->Threads(1)->Threads(4);
+
+void BM_SpiOutbound(benchmark::State& state) {
+  SpiFilter filter{{}};
+  Rng rng{5};
+  std::vector<PacketRecord> packets;
+  for (int i = 0; i < 4096; ++i) {
+    packets.push_back(random_packet(rng, i * 1e-6));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    filter.record_outbound(packets[i++ & 4095]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpiOutbound);
+
+// Storage comparison printed via a custom counter: bytes per tracked flow.
+void BM_StorageFootprint(benchmark::State& state) {
+  const std::int64_t flows = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    SpiFilter spi{{}};
+    BitmapFilter bitmap{bitmap_config()};
+    Rng rng{6};
+    state.ResumeTiming();
+    for (std::int64_t i = 0; i < flows; ++i) {
+      const PacketRecord pkt = random_packet(rng);
+      spi.record_outbound(pkt);
+      bitmap.record_outbound(pkt);
+    }
+    state.counters["spi_bytes"] =
+        static_cast<double>(spi.storage_bytes());
+    state.counters["bitmap_bytes"] =
+        static_cast<double>(bitmap.storage_bytes());
+  }
+}
+BENCHMARK(BM_StorageFootprint)->Arg(10'000)->Arg(100'000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace upbound
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// The Fig. 6 usage model: an ISP guarding several client networks with a
+// FilterBank -- one bitmap filter per edge, each with RED thresholds sized
+// to its site, plus an aggregate core vantage point. Total state is
+// O(sites), regardless of flow count.
+//
+//   $ ./isp_deployment
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "filter/bitmap_filter.h"
+#include "sim/filter_bank.h"
+#include "sim/report.h"
+#include "trace/campus.h"
+
+using namespace upbound;
+
+namespace {
+
+struct Site {
+  const char* name;
+  const char* prefix;
+  double bandwidth_bps;
+  std::uint64_t seed;
+};
+
+}  // namespace
+
+int main() {
+  // Three client networks with different sizes and loads.
+  const Site sites[] = {
+      {"dsl-pool-a", "100.64.0.0/24", 6e6, 21},
+      {"campus-b", "100.64.1.0/24", 10e6, 22},
+      {"office-c", "100.64.2.0/24", 3e6, 23},
+  };
+
+  // One bank: a bitmap filter per site, thresholds scaled per site.
+  FilterBank bank;
+  std::vector<GeneratedTrace> traces;
+  for (const Site& site : sites) {
+    bank.add_bitmap_site(site.name,
+                         ClientNetwork{{*Cidr::parse(site.prefix)}},
+                         BitmapFilterConfig{}, site.bandwidth_bps * 0.3,
+                         site.bandwidth_bps * 0.5);
+
+    CampusTraceConfig config;
+    config.duration = Duration::sec(25.0);
+    config.connections_per_sec = 40.0;
+    config.bandwidth_bps = site.bandwidth_bps;
+    config.seed = site.seed;
+    config.network.client_prefix = *Cidr::parse(site.prefix);
+    traces.push_back(generate_campus_trace(config));
+  }
+
+  // Merge the three sites' traffic into one core-link stream.
+  Trace core_link;
+  for (const GeneratedTrace& trace : traces) {
+    core_link.insert(core_link.end(), trace.packets.begin(),
+                     trace.packets.end());
+  }
+  std::sort(core_link.begin(), core_link.end(),
+            [](const PacketRecord& a, const PacketRecord& b) {
+              return a.timestamp < b.timestamp;
+            });
+  std::printf("core link carries %zu packets from %zu guarded sites\n\n",
+              core_link.size(), bank.site_count());
+
+  for (const PacketRecord& pkt : core_link) bank.process(pkt);
+
+  std::vector<std::vector<std::string>> rows{
+      {"site", "outbound pkts", "inbound pass", "inbound drop", "drop rate",
+       "state"}};
+  for (std::size_t i = 0; i < bank.site_count(); ++i) {
+    const EdgeRouterStats& stats = bank.site_router(i).stats();
+    rows.push_back(
+        {bank.site_name(i), std::to_string(stats.outbound_packets),
+         std::to_string(stats.inbound_passed_packets),
+         std::to_string(stats.inbound_dropped_packets),
+         report::percent(stats.inbound_drop_rate()),
+         std::to_string(bank.site_router(i).filter().storage_bytes() / 1024) +
+             " KB"});
+  }
+  std::printf("== per-edge bitmap filters (paper Fig. 6, black nodes) ==\n");
+  std::printf("%s\n", report::table(rows).c_str());
+
+  std::printf("total connection-tracking state: %zu KB for the whole ISP\n",
+              bank.total_filter_state_bytes() / 1024);
+  std::printf("unguarded (transit) packets passed untouched: %llu\n",
+              static_cast<unsigned long long>(bank.unguarded_packets()));
+  std::printf("\n(an SPI deployment would hold per-flow state for the union\n"
+              " of all sites' connections -- this bank stays at %zu KB no\n"
+              " matter how many flows cross it)\n",
+              bank.total_filter_state_bytes() / 1024);
+  return 0;
+}

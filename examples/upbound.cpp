@@ -1,0 +1,4 @@
+// The upbound command-line tool; see `upbound help` for commands.
+#include "cli/commands.h"
+
+int main(int argc, char** argv) { return upbound::cli::run(argc, argv); }

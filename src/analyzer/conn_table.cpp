@@ -1,0 +1,47 @@
+#include "analyzer/conn_table.h"
+
+namespace upbound {
+
+ConnectionRecord& ConnTable::update(const PacketRecord& pkt, Direction dir) {
+  auto [it, inserted] = table_.try_emplace(pkt.tuple);
+  ConnectionRecord& rec = it->second;
+  if (inserted) {
+    rec.tuple = pkt.tuple;
+    rec.first_direction = dir;
+    rec.first_packet_time = pkt.timestamp;
+    rec.saw_syn = pkt.is_syn_only();
+  }
+  rec.last_packet_time = pkt.timestamp;
+
+  const bool from_initiator = pkt.tuple == rec.tuple;
+  if (from_initiator) {
+    ++rec.packets_from_initiator;
+    rec.bytes_from_initiator += pkt.wire_size();
+  } else {
+    ++rec.packets_to_initiator;
+    rec.bytes_to_initiator += pkt.wire_size();
+  }
+
+  if (pkt.is_tcp() && !rec.closed && (pkt.flags.fin || pkt.flags.rst)) {
+    rec.closed = true;
+    rec.close_time = pkt.timestamp;
+  }
+  return rec;
+}
+
+const ConnectionRecord* ConnTable::find(const FiveTuple& tuple) const {
+  const auto it = table_.find(tuple);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+void ConnTable::for_each(
+    const std::function<void(const ConnectionRecord&)>& fn) const {
+  for (const auto& [tuple, rec] : table_) fn(rec);
+}
+
+void ConnTable::for_each_mutable(
+    const std::function<void(ConnectionRecord&)>& fn) {
+  for (auto& [tuple, rec] : table_) fn(rec);
+}
+
+}  // namespace upbound

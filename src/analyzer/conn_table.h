@@ -1,0 +1,33 @@
+// Connection table: canonical-tuple keyed map of ConnectionRecords, the
+// five-tuple classification step of the paper's traffic analyzer.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "analyzer/connection.h"
+
+namespace upbound {
+
+class ConnTable {
+ public:
+  /// Finds or creates the record for the packet's connection, updating
+  /// counters, lifetime endpoints, and TCP open/close state. The returned
+  /// reference is valid until the next lookup.
+  ConnectionRecord& update(const PacketRecord& pkt, Direction dir);
+
+  const ConnectionRecord* find(const FiveTuple& tuple) const;
+
+  std::size_t size() const { return table_.size(); }
+
+  /// Iterates all records (unspecified order).
+  void for_each(const std::function<void(const ConnectionRecord&)>& fn) const;
+  void for_each_mutable(const std::function<void(ConnectionRecord&)>& fn);
+
+ private:
+  std::unordered_map<FiveTuple, ConnectionRecord, CanonicalTupleHash,
+                     CanonicalTupleEq>
+      table_;
+};
+
+}  // namespace upbound

@@ -1,0 +1,30 @@
+#include "analyzer/connection.h"
+
+#include <cstdio>
+
+namespace upbound {
+
+const char* classify_method_name(ClassifyMethod method) {
+  switch (method) {
+    case ClassifyMethod::kNone: return "none";
+    case ClassifyMethod::kPattern: return "pattern";
+    case ClassifyMethod::kPort: return "port";
+    case ClassifyMethod::kEndpointMemo: return "endpoint-memo";
+    case ClassifyMethod::kFtpData: return "ftp-data";
+  }
+  return "?";
+}
+
+std::string ConnectionRecord::to_string() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%s app=%s(%s) pkts=%llu/%llu bytes=%llu/%llu",
+                tuple.to_string().c_str(), app_protocol_name(app),
+                classify_method_name(method),
+                static_cast<unsigned long long>(packets_from_initiator),
+                static_cast<unsigned long long>(packets_to_initiator),
+                static_cast<unsigned long long>(bytes_from_initiator),
+                static_cast<unsigned long long>(bytes_to_initiator));
+  return buf;
+}
+
+}  // namespace upbound

@@ -1,0 +1,72 @@
+// Per-connection record maintained by the traffic analyzer (paper Section
+// 3.2): identity, direction, per-direction byte/packet counters, lifetime
+// endpoints, and the application classification with the method that
+// produced it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analyzer/stream_buf.h"
+#include "net/app_protocol.h"
+#include "net/direction.h"
+#include "net/packet.h"
+#include "util/time.h"
+
+namespace upbound {
+
+/// How a connection's application label was determined.
+enum class ClassifyMethod {
+  kNone,          // still UNKNOWN
+  kPattern,       // payload signature match (Table 1 regular expressions)
+  kPort,          // well-known port fallback
+  kEndpointMemo,  // prior P2P identification of the same service endpoint
+  kFtpData,       // data connection announced on an FTP control channel
+};
+
+const char* classify_method_name(ClassifyMethod method);
+
+struct ConnectionRecord {
+  /// Tuple as seen from the connection's first packet (initiator first
+  /// when the capture contains the opening packet).
+  FiveTuple tuple;
+  Direction first_direction = Direction::kOutbound;
+
+  SimTime first_packet_time;
+  SimTime last_packet_time;
+  /// TCP close observed (valid FIN or RST); lifetime measurement endpoint.
+  SimTime close_time;
+  bool saw_syn = false;   // explicit TCP-SYN observed (stream is complete)
+  bool closed = false;
+
+  std::uint64_t packets_from_initiator = 0;
+  std::uint64_t packets_to_initiator = 0;
+  std::uint64_t bytes_from_initiator = 0;  // wire bytes
+  std::uint64_t bytes_to_initiator = 0;
+
+  AppProtocol app = AppProtocol::kUnknown;
+  ClassifyMethod method = ClassifyMethod::kNone;
+  /// Set when the classifier will not examine further payloads (already
+  /// identified, or the pattern-packet budget is exhausted).
+  bool classification_final = false;
+
+  /// Reassembled early payload bytes for pattern matching.
+  StreamBuf stream;
+  /// Data packets fed to the pattern matcher so far.
+  unsigned pattern_packets = 0;
+
+  std::uint64_t total_bytes() const {
+    return bytes_from_initiator + bytes_to_initiator;
+  }
+  std::uint64_t total_packets() const {
+    return packets_from_initiator + packets_to_initiator;
+  }
+
+  /// Lifetime per the paper's Fig. 4 definition: SYN to valid FIN/RST.
+  /// Only meaningful when saw_syn && closed.
+  Duration lifetime() const { return close_time - first_packet_time; }
+
+  std::string to_string() const;
+};
+
+}  // namespace upbound

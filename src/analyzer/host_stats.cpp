@@ -1,0 +1,56 @@
+#include "analyzer/host_stats.h"
+
+#include <algorithm>
+
+namespace upbound {
+
+HostAccounting::HostAccounting(ClientNetwork network)
+    : network_(std::move(network)) {}
+
+void HostAccounting::observe(const PacketRecord& pkt) {
+  const Direction dir = network_.classify(pkt);
+  if (dir == Direction::kOutbound) {
+    HostRecord& host = hosts_[pkt.tuple.src_addr];
+    host.addr = pkt.tuple.src_addr;
+    host.upload_bytes += pkt.wire_size();
+    ++host.upload_packets;
+    if (pkt.is_syn_only()) ++host.connections_initiated;
+  } else if (dir == Direction::kInbound) {
+    HostRecord& host = hosts_[pkt.tuple.dst_addr];
+    host.addr = pkt.tuple.dst_addr;
+    host.download_bytes += pkt.wire_size();
+    ++host.download_packets;
+    if (pkt.is_syn_only()) ++host.connections_accepted;
+  }
+}
+
+const HostRecord* HostAccounting::find(Ipv4Addr addr) const {
+  const auto it = hosts_.find(addr);
+  return it == hosts_.end() ? nullptr : &it->second;
+}
+
+std::vector<HostRecord> HostAccounting::top_uploaders(std::size_t n) const {
+  std::vector<HostRecord> out;
+  out.reserve(hosts_.size());
+  for (const auto& [addr, host] : hosts_) out.push_back(host);
+  std::sort(out.begin(), out.end(),
+            [](const HostRecord& a, const HostRecord& b) {
+              return a.upload_bytes > b.upload_bytes;
+            });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+std::vector<HostRecord> HostAccounting::top_accepting(std::size_t n) const {
+  std::vector<HostRecord> out;
+  out.reserve(hosts_.size());
+  for (const auto& [addr, host] : hosts_) out.push_back(host);
+  std::sort(out.begin(), out.end(),
+            [](const HostRecord& a, const HostRecord& b) {
+              return a.connections_accepted > b.connections_accepted;
+            });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+}  // namespace upbound

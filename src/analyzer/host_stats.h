@@ -1,0 +1,65 @@
+// Per-internal-host accounting: which client hosts upload how much, open
+// how many connections, and accept how many inbound ones. This is the view
+// a network operator reaches for right before deploying the paper's filter
+// ("who is seeding?"), and the denominator for judging its effect
+// afterwards.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/direction.h"
+#include "net/packet.h"
+
+namespace upbound {
+
+struct HostRecord {
+  Ipv4Addr addr;
+  std::uint64_t upload_bytes = 0;
+  std::uint64_t download_bytes = 0;
+  std::uint64_t upload_packets = 0;
+  std::uint64_t download_packets = 0;
+  /// TCP connections this host initiated (outbound SYNs).
+  std::uint64_t connections_initiated = 0;
+  /// Inbound TCP connection attempts to this host (inbound SYNs) -- the
+  /// upload triggers the bitmap filter exists to police.
+  std::uint64_t connections_accepted = 0;
+
+  std::uint64_t total_bytes() const { return upload_bytes + download_bytes; }
+  double upload_fraction() const {
+    const std::uint64_t total = total_bytes();
+    return total == 0 ? 0.0
+                      : static_cast<double>(upload_bytes) /
+                            static_cast<double>(total);
+  }
+};
+
+class HostAccounting {
+ public:
+  explicit HostAccounting(ClientNetwork network);
+
+  /// Attributes one packet to the internal host involved. Local/transit
+  /// packets are ignored.
+  void observe(const PacketRecord& pkt);
+
+  std::size_t host_count() const { return hosts_.size(); }
+  const HostRecord* find(Ipv4Addr addr) const;
+
+  /// Hosts ordered by upload bytes, largest first, at most `n`.
+  std::vector<HostRecord> top_uploaders(std::size_t n) const;
+  /// Hosts ordered by accepted inbound connections, largest first.
+  std::vector<HostRecord> top_accepting(std::size_t n) const;
+
+ private:
+  struct AddrHash {
+    std::size_t operator()(const Ipv4Addr& a) const {
+      return std::hash<std::uint32_t>{}(a.value());
+    }
+  };
+
+  ClientNetwork network_;
+  std::unordered_map<Ipv4Addr, HostRecord, AddrHash> hosts_;
+};
+
+}  // namespace upbound

@@ -1,0 +1,166 @@
+#include "analyzer/netflow.h"
+
+#include "util/byte_io.h"
+
+namespace upbound {
+
+namespace {
+
+std::uint32_t to_ms(SimTime t) {
+  const std::int64_t ms = t.usec() / 1000;
+  return static_cast<std::uint32_t>(ms < 0 ? 0 : ms);
+}
+
+std::uint32_t clamp_u32(std::uint64_t v) {
+  return v > 0xffffffffULL ? 0xffffffffu : static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+std::vector<FlowRecordV5> flows_of(const ConnectionRecord& rec) {
+  std::vector<FlowRecordV5> out;
+  const std::uint8_t proto = static_cast<std::uint8_t>(rec.tuple.protocol);
+  const std::uint32_t first = to_ms(rec.first_packet_time);
+  const std::uint32_t last = to_ms(rec.last_packet_time);
+
+  if (rec.packets_from_initiator > 0) {
+    FlowRecordV5 flow;
+    flow.src_addr = rec.tuple.src_addr;
+    flow.dst_addr = rec.tuple.dst_addr;
+    flow.src_port = rec.tuple.src_port;
+    flow.dst_port = rec.tuple.dst_port;
+    flow.packets = clamp_u32(rec.packets_from_initiator);
+    flow.octets = clamp_u32(rec.bytes_from_initiator);
+    flow.first_ms = first;
+    flow.last_ms = last;
+    flow.protocol = proto;
+    flow.tcp_flags = rec.saw_syn ? 0x02 : 0x00;
+    if (rec.closed) flow.tcp_flags |= 0x01;
+    out.push_back(flow);
+  }
+  if (rec.packets_to_initiator > 0) {
+    FlowRecordV5 flow;
+    flow.src_addr = rec.tuple.dst_addr;
+    flow.dst_addr = rec.tuple.src_addr;
+    flow.src_port = rec.tuple.dst_port;
+    flow.dst_port = rec.tuple.src_port;
+    flow.packets = clamp_u32(rec.packets_to_initiator);
+    flow.octets = clamp_u32(rec.bytes_to_initiator);
+    flow.first_ms = first;
+    flow.last_ms = last;
+    flow.protocol = proto;
+    out.push_back(flow);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_netflow_v5(
+    std::span<const FlowRecordV5> records, std::uint32_t sequence) {
+  if (records.size() > kNetflowV5MaxRecordsPerPacket) {
+    throw std::invalid_argument("encode_netflow_v5: > 30 records");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(kNetflowV5HeaderSize + records.size() * kNetflowV5RecordSize);
+  ByteWriter w{out};
+
+  // Header.
+  w.u16be(5);  // version
+  w.u16be(static_cast<std::uint16_t>(records.size()));
+  std::uint32_t uptime = 0;
+  for (const auto& record : records) {
+    uptime = std::max(uptime, record.last_ms);
+  }
+  w.u32be(uptime);     // sysUptime
+  w.u32be(0);          // unix_secs (trace-relative export)
+  w.u32be(0);          // unix_nsecs
+  w.u32be(sequence);   // flow_sequence
+  w.u8(0);             // engine_type
+  w.u8(0);             // engine_id
+  w.u16be(0);          // sampling_interval
+
+  for (const FlowRecordV5& record : records) {
+    w.u32be(record.src_addr.value());
+    w.u32be(record.dst_addr.value());
+    w.u32be(0);  // nexthop
+    w.u16be(0);  // input ifindex
+    w.u16be(0);  // output ifindex
+    w.u32be(record.packets);
+    w.u32be(record.octets);
+    w.u32be(record.first_ms);
+    w.u32be(record.last_ms);
+    w.u16be(record.src_port);
+    w.u16be(record.dst_port);
+    w.u8(0);  // pad1
+    w.u8(record.tcp_flags);
+    w.u8(record.protocol);
+    w.u8(0);     // tos
+    w.u16be(0);  // src_as
+    w.u16be(0);  // dst_as
+    w.u8(0);     // src_mask
+    w.u8(0);     // dst_mask
+    w.u16be(0);  // pad2
+  }
+  return out;
+}
+
+std::optional<NetflowV5Packet> decode_netflow_v5(
+    std::span<const std::uint8_t> payload) {
+  try {
+    ByteReader r{payload};
+    if (r.u16be() != 5) return std::nullopt;
+    const std::uint16_t count = r.u16be();
+    if (count > kNetflowV5MaxRecordsPerPacket) return std::nullopt;
+    r.skip(4 + 4 + 4);  // uptime, unix secs/nsecs
+    NetflowV5Packet packet;
+    packet.sequence = r.u32be();
+    r.skip(1 + 1 + 2);  // engine, sampling
+
+    packet.records.reserve(count);
+    for (std::uint16_t i = 0; i < count; ++i) {
+      FlowRecordV5 record;
+      record.src_addr = Ipv4Addr{r.u32be()};
+      record.dst_addr = Ipv4Addr{r.u32be()};
+      r.skip(4 + 2 + 2);  // nexthop, ifindexes
+      record.packets = r.u32be();
+      record.octets = r.u32be();
+      record.first_ms = r.u32be();
+      record.last_ms = r.u32be();
+      record.src_port = r.u16be();
+      record.dst_port = r.u16be();
+      r.skip(1);  // pad1
+      record.tcp_flags = r.u8();
+      record.protocol = r.u8();
+      r.skip(1 + 2 + 2 + 1 + 1 + 2);  // tos, AS, masks, pad2
+      packet.records.push_back(record);
+    }
+    if (!r.empty()) return std::nullopt;  // trailing garbage
+    return packet;
+  } catch (const ByteUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> export_netflow_v5(
+    const ConnTable& table) {
+  std::vector<FlowRecordV5> pending;
+  std::vector<std::vector<std::uint8_t>> packets;
+  std::uint32_t sequence = 0;
+
+  const auto flush = [&] {
+    if (pending.empty()) return;
+    packets.push_back(encode_netflow_v5(pending, sequence));
+    sequence += static_cast<std::uint32_t>(pending.size());
+    pending.clear();
+  };
+
+  table.for_each([&](const ConnectionRecord& rec) {
+    for (FlowRecordV5& flow : flows_of(rec)) {
+      pending.push_back(flow);
+      if (pending.size() == kNetflowV5MaxRecordsPerPacket) flush();
+    }
+  });
+  flush();
+  return packets;
+}
+
+}  // namespace upbound

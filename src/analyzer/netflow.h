@@ -1,0 +1,65 @@
+// NetFlow v5 export of analyzer connection records, on the real wire
+// format (24-byte header + 48-byte records, big-endian) so exports are
+// consumable by standard collectors (nfdump, flow-tools). The paper's
+// related work ([2], Sen & Wang) analyzes P2P traffic from exactly this
+// kind of flow-level data; this module closes the loop from our analyzer
+// to that ecosystem.
+//
+// One ConnectionRecord becomes up to two unidirectional flow records
+// (NetFlow flows are one-way): initiator->responder and, when traffic
+// flowed back, responder->initiator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "analyzer/conn_table.h"
+#include "util/time.h"
+
+namespace upbound {
+
+/// One unidirectional flow in NetFlow v5 terms.
+struct FlowRecordV5 {
+  Ipv4Addr src_addr;
+  Ipv4Addr dst_addr;
+  std::uint32_t packets = 0;
+  std::uint32_t octets = 0;
+  /// Flow start/end as sysUptime milliseconds (trace-relative here).
+  std::uint32_t first_ms = 0;
+  std::uint32_t last_ms = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t tcp_flags = 0;
+  std::uint8_t protocol = 6;
+
+  bool operator==(const FlowRecordV5&) const = default;
+};
+
+constexpr std::size_t kNetflowV5HeaderSize = 24;
+constexpr std::size_t kNetflowV5RecordSize = 48;
+constexpr std::size_t kNetflowV5MaxRecordsPerPacket = 30;
+
+/// Converts a connection record to its unidirectional flows.
+std::vector<FlowRecordV5> flows_of(const ConnectionRecord& rec);
+
+/// Serializes up to 30 records as one NetFlow v5 export packet payload.
+/// `sequence` is the cumulative flow count before this packet.
+std::vector<std::uint8_t> encode_netflow_v5(
+    std::span<const FlowRecordV5> records, std::uint32_t sequence);
+
+/// Parses a NetFlow v5 export packet payload. Returns nullopt on
+/// malformed input (bad version, truncated records).
+struct NetflowV5Packet {
+  std::uint32_t sequence = 0;
+  std::vector<FlowRecordV5> records;
+};
+std::optional<NetflowV5Packet> decode_netflow_v5(
+    std::span<const std::uint8_t> payload);
+
+/// Exports an entire connection table as a series of v5 packets.
+std::vector<std::vector<std::uint8_t>> export_netflow_v5(
+    const ConnTable& table);
+
+}  // namespace upbound

@@ -1,0 +1,49 @@
+#include "analyzer/out_in_delay.h"
+
+#include <stdexcept>
+
+namespace upbound {
+
+OutInDelayTracker::OutInDelayTracker(Duration expiry_timer)
+    : expiry_(expiry_timer) {
+  if (expiry_ <= Duration{}) {
+    throw std::invalid_argument("OutInDelayTracker: expiry must be positive");
+  }
+}
+
+void OutInDelayTracker::sweep(SimTime now) {
+  while (!queue_.empty() && queue_.front().first + expiry_ <= now) {
+    const FiveTuple key = queue_.front().second;
+    queue_.pop_front();
+    const auto it = last_out_.find(key);
+    if (it != last_out_.end() && it->second + expiry_ <= now) {
+      last_out_.erase(it);
+      ++expired_;
+    }
+  }
+}
+
+void OutInDelayTracker::on_packet(const PacketRecord& pkt, Direction dir) {
+  sweep(pkt.timestamp);
+  if (dir == Direction::kOutbound) {
+    // Step 1: record or refresh sigma_out's timestamp.
+    const auto [it, inserted] =
+        last_out_.try_emplace(pkt.tuple, pkt.timestamp);
+    if (!inserted) it->second = pkt.timestamp;
+    queue_.emplace_back(pkt.timestamp, pkt.tuple);
+  } else if (dir == Direction::kInbound) {
+    // Step 2: look up the inverse socket pair.
+    const auto it = last_out_.find(pkt.tuple.inverse());
+    if (it == last_out_.end()) return;
+    const Duration delay = pkt.timestamp - it->second;
+    if (delay > expiry_) {
+      // Step 3: stale pair (port reuse); drop it instead of sampling.
+      last_out_.erase(it);
+      ++expired_;
+      return;
+    }
+    delays_.add(delay.to_sec());
+  }
+}
+
+}  // namespace upbound

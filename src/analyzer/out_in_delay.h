@@ -1,0 +1,45 @@
+// The out-in packet delay measurement of paper Section 3.3 (Fig. 5):
+//
+//   1. An outbound packet's socket pair is timestamped (insert or refresh).
+//   2. An inbound packet whose inverse socket pair is recorded yields a
+//      delay sample t - t0.
+//   3. An expiry timer T_e deletes pairs when t - t0 > T_e, limiting the
+//      port-reuse artifacts the paper observes as peaks at 60 s multiples.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "net/direction.h"
+#include "net/five_tuple.h"
+#include "net/packet.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace upbound {
+
+class OutInDelayTracker {
+ public:
+  explicit OutInDelayTracker(Duration expiry_timer = Duration::sec(600.0));
+
+  void on_packet(const PacketRecord& pkt, Direction dir);
+
+  /// Collected delay samples in seconds.
+  const CdfBuilder& delays() const { return delays_; }
+
+  std::size_t tracked_pairs() const { return last_out_.size(); }
+  std::uint64_t expired_pairs() const { return expired_; }
+  Duration expiry_timer() const { return expiry_; }
+
+ private:
+  void sweep(SimTime now);
+
+  Duration expiry_;
+  std::unordered_map<FiveTuple, SimTime, FiveTupleHash> last_out_;
+  std::deque<std::pair<SimTime, FiveTuple>> queue_;
+  CdfBuilder delays_;
+  std::uint64_t expired_ = 0;
+};
+
+}  // namespace upbound

@@ -1,0 +1,107 @@
+#include "analyzer/patterns.h"
+
+namespace upbound {
+
+namespace {
+
+rex::Regex icase(const char* pattern) {
+  return rex::Regex{pattern, {.ignore_case = true}};
+}
+
+}  // namespace
+
+PatternSet::PatternSet() {
+  // Order matters: specific P2P signatures must win over the generic HTTP
+  // request pattern (tracker scrapes and Gnutella GETs are HTTP-shaped).
+  patterns_.push_back(AppPattern{
+      AppProtocol::kBitTorrent, "bittorrent",
+      icase("^(\\x13bittorrent protocol|d1:ad2:id20:|azver\\x01$"
+            "|get /scrape\\?info_hash=)")});
+  patterns_.push_back(AppPattern{
+      AppProtocol::kEdonkey, "edonkey",
+      // Marker byte, optionally a 4-byte little-endian length, then a
+      // known opcode (the Table 1 opcode class, abbreviated).
+      rex::Regex{"^[\\xc5\\xd4\\xe3-\\xe5](....)?"
+                 "[\\x01\\x02\\x05\\x14-\\x16\\x18-\\x1c\\x20\\x21"
+                 "\\x32-\\x36\\x38\\x40-\\x43\\x46-\\x58\\x60\\x81\\x82"
+                 "\\x90-\\x9e\\xa0-\\xa4]"}});
+  patterns_.push_back(AppPattern{
+      AppProtocol::kGnutella, "gnutella",
+      icase("^(gnutella connect/[012]\\.[0-9]\\x0d\\x0a"
+            "|gnutella/[012]\\.[0-9] [1-5][0-9][0-9]"
+            "|gnd[\\x01\\x02]?.?.?\\x01"
+            "|get /uri-res/n2r\\?urn:sha1:"
+            "|giv [0-9]*:[0-9a-f]+"
+            "|get /get/[0-9]*/)")});
+  patterns_.push_back(AppPattern{
+      // FastTrack signatures from Table 1; kOther because Table 2 does not
+      // track it separately (none observed in the paper's campus trace).
+      AppProtocol::kOther, "fasttrack",
+      icase("^get (/\\.hash=[0-9a-f]*|/\\.supernode|/\\.status"
+            "|/\\.network[ -~]*|/\\.files) http/1\\.1")});
+  patterns_.push_back(AppPattern{
+      AppProtocol::kHttp, "http",
+      icase("^(http/(0\\.9|1\\.0|1\\.1) [1-5][0-9][0-9]"
+            "|(get|post|head|options|put|delete) [\\x09-\\x0d -~]* "
+            "http/(0\\.9|1\\.0|1\\.1))")});
+  patterns_.push_back(AppPattern{
+      AppProtocol::kFtp, "ftp", icase("^220[\\x09-\\x0d -~]*ftp")});
+}
+
+std::optional<AppProtocol> PatternSet::match(
+    std::span<const std::uint8_t> stream) const {
+  if (stream.empty()) return std::nullopt;
+  for (const AppPattern& pattern : patterns_) {
+    if (pattern.regex.search(stream)) return pattern.app;
+  }
+  return std::nullopt;
+}
+
+std::optional<AppProtocol> app_for_port(Protocol protocol,
+                                        std::uint16_t dst_port) {
+  switch (dst_port) {
+    case 80:
+    case 8080:
+    case 3128:
+      return protocol == Protocol::kTcp ? std::optional(AppProtocol::kHttp)
+                                        : std::nullopt;
+    case 21:
+      return protocol == Protocol::kTcp ? std::optional(AppProtocol::kFtp)
+                                        : std::nullopt;
+    case 53:
+      return AppProtocol::kDns;
+    case 4662:
+      return AppProtocol::kEdonkey;  // TCP default
+    case 4661:
+    case 4665:
+    case 4672:
+      return protocol == Protocol::kUdp
+                 ? std::optional(AppProtocol::kEdonkey)
+                 : std::nullopt;
+    case 6881:
+    case 6882:
+    case 6883:
+    case 6884:
+    case 6885:
+    case 6886:
+    case 6887:
+    case 6888:
+    case 6889:
+      return AppProtocol::kBitTorrent;
+    case 6346:
+    case 6347:
+      return AppProtocol::kGnutella;
+    case 22:
+    case 25:
+    case 110:
+    case 143:
+    case 443:
+    case 993:
+      return protocol == Protocol::kTcp ? std::optional(AppProtocol::kOther)
+                                        : std::nullopt;
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace upbound

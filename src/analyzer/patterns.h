@@ -1,0 +1,48 @@
+// The application signature set of paper Table 1: payload regular
+// expressions (adapted from the L7-filter project) plus well-known port
+// fallbacks. Patterns are matched case-insensitively against raw payload
+// bytes in priority order -- P2P signatures before the generic HTTP one,
+// since BitTorrent trackers and Gnutella transfers speak HTTP-shaped text.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/app_protocol.h"
+#include "net/five_tuple.h"
+#include "rex/regex.h"
+
+namespace upbound {
+
+/// One payload signature.
+struct AppPattern {
+  AppProtocol app;
+  const char* name;
+  rex::Regex regex;
+};
+
+class PatternSet {
+ public:
+  /// Builds the Table 1 signature set.
+  PatternSet();
+
+  /// First matching application for the byte stream, or nullopt.
+  std::optional<AppProtocol> match(
+      std::span<const std::uint8_t> stream) const;
+
+  const std::vector<AppPattern>& patterns() const { return patterns_; }
+
+ private:
+  std::vector<AppPattern> patterns_;
+};
+
+/// Port-based fallback (Table 1 "Ports" column plus the standard service
+/// ports counted under Table 2's "Others"). `dst_port` is the service-side
+/// port: the SYN destination for TCP, either port for UDP.
+std::optional<AppProtocol> app_for_port(Protocol protocol,
+                                        std::uint16_t dst_port);
+
+}  // namespace upbound

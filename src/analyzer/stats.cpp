@@ -1,0 +1,46 @@
+#include "analyzer/stats.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace upbound {
+
+const char* port_class_name(PortClass c) {
+  switch (c) {
+    case PortClass::kAll: return "ALL";
+    case PortClass::kP2p: return "P2P";
+    case PortClass::kNonP2p: return "Non-P2P";
+    case PortClass::kUnknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+PortClass port_class_of(AppProtocol app) {
+  if (is_p2p(app)) return PortClass::kP2p;
+  if (app == AppProtocol::kUnknown) return PortClass::kUnknown;
+  return PortClass::kNonP2p;
+}
+
+const ProtocolShare& AnalyzerReport::share_of(AppProtocol app) const {
+  for (const auto& share : protocol_distribution) {
+    if (share.app == app) return share;
+  }
+  throw std::out_of_range("AnalyzerReport: no share for app");
+}
+
+std::string AnalyzerReport::protocol_table() const {
+  std::string out;
+  out += "| Protocol   | Connections | Utilization |\n";
+  out += "|------------|-------------|-------------|\n";
+  char line[96];
+  for (const auto& share : protocol_distribution) {
+    std::snprintf(line, sizeof(line), "| %-10s | %10.2f%% | %10.2f%% |\n",
+                  app_protocol_name(share.app),
+                  share.connection_fraction * 100.0,
+                  share.byte_fraction * 100.0);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace upbound

@@ -1,0 +1,20 @@
+#include "analyzer/stream_buf.h"
+
+#include <algorithm>
+
+namespace upbound {
+
+std::size_t StreamBuf::append(std::span<const std::uint8_t> payload) {
+  const std::size_t room = cap_ > data_.size() ? cap_ - data_.size() : 0;
+  const std::size_t take = std::min(room, payload.size());
+  data_.insert(data_.end(), payload.begin(),
+               payload.begin() + static_cast<std::ptrdiff_t>(take));
+  return take;
+}
+
+void StreamBuf::discard() {
+  data_.clear();
+  data_.shrink_to_fit();
+}
+
+}  // namespace upbound

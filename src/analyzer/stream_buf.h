@@ -1,0 +1,38 @@
+// Early-payload reassembly for TCP pattern matching.
+//
+// Paper Section 3.2: "we concatenate payloads of several very first data
+// packets to form a short TCP stream" (at most four packets, since the
+// signatures are short). This buffer keeps that concatenation with a hard
+// byte cap so per-connection memory stays bounded.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace upbound {
+
+class StreamBuf {
+ public:
+  static constexpr std::size_t kDefaultCapBytes = 512;
+
+  explicit StreamBuf(std::size_t cap_bytes = kDefaultCapBytes)
+      : cap_(cap_bytes) {}
+
+  /// Appends a packet's captured payload; bytes beyond the cap are
+  /// silently discarded. Returns the number of bytes actually kept.
+  std::size_t append(std::span<const std::uint8_t> payload);
+
+  std::span<const std::uint8_t> bytes() const { return data_; }
+  std::size_t size() const { return data_.size(); }
+  bool at_capacity() const { return data_.size() >= cap_; }
+
+  /// Releases the buffer once classification is final.
+  void discard();
+
+ private:
+  std::size_t cap_;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace upbound

@@ -1,0 +1,109 @@
+#include "analyzer/transport_heuristics.h"
+
+#include "util/hash.h"
+
+namespace upbound {
+
+std::size_t TransportHeuristics::AddrPairHash::operator()(
+    const std::pair<std::uint32_t, std::uint32_t>& p) const {
+  return static_cast<std::size_t>(
+      hash_combine(p.first, p.second));
+}
+
+std::size_t TransportHeuristics::EndpointHash::operator()(
+    const EndpointKey& k) const {
+  return static_cast<std::size_t>(
+      hash_combine(k.addr, k.port_and_proto));
+}
+
+TransportHeuristics::TransportHeuristics(TransportHeuristicsConfig config)
+    : config_(config) {}
+
+std::pair<std::uint32_t, std::uint32_t> TransportHeuristics::pair_key(
+    Ipv4Addr a, Ipv4Addr b) {
+  return a.value() <= b.value()
+             ? std::make_pair(a.value(), b.value())
+             : std::make_pair(b.value(), a.value());
+}
+
+bool TransportHeuristics::is_dual_protocol_service_port(std::uint16_t port) {
+  // PTP's exclusion list: services legitimately speaking TCP and UDP.
+  switch (port) {
+    case 53:    // DNS
+    case 135:   // msrpc
+    case 137:
+    case 138:
+    case 139:   // NetBIOS
+    case 445:   // SMB
+    case 500:   // IKE
+    case 554:   // RTSP
+    case 1723:  // PPTP
+      return true;
+    default:
+      return false;
+  }
+}
+
+void TransportHeuristics::observe(const PacketRecord& pkt) {
+  const FiveTuple& t = pkt.tuple;
+
+  // Heuristic 1 bookkeeping: protocols used per address pair, excluding
+  // known dual-protocol service ports.
+  if (!is_dual_protocol_service_port(t.src_port) &&
+      !is_dual_protocol_service_port(t.dst_port)) {
+    auto& bits = pair_protocols_[pair_key(t.src_addr, t.dst_addr)];
+    bits |= t.protocol == Protocol::kTcp ? 0x1 : 0x2;
+  }
+
+  // Heuristic 2 bookkeeping: peer spread at the destination endpoint
+  // (the service side of this packet).
+  const EndpointKey key{t.dst_addr.value(),
+                        static_cast<std::uint32_t>(t.dst_port) |
+                            (static_cast<std::uint32_t>(t.protocol) << 16)};
+  EndpointStats& stats = endpoints_[key];
+  stats.peer_addrs.insert(t.src_addr.value());
+  stats.peer_ports.insert(t.src_port);
+}
+
+bool TransportHeuristics::pair_uses_both_protocols(Ipv4Addr a,
+                                                   Ipv4Addr b) const {
+  const auto it = pair_protocols_.find(pair_key(a, b));
+  return it != pair_protocols_.end() && it->second == 0x3;
+}
+
+bool TransportHeuristics::endpoint_looks_p2p(Ipv4Addr addr,
+                                             std::uint16_t port,
+                                             Protocol protocol) const {
+  if (is_dual_protocol_service_port(port)) return false;
+  const EndpointKey key{addr.value(),
+                        static_cast<std::uint32_t>(port) |
+                            (static_cast<std::uint32_t>(protocol) << 16)};
+  const auto it = endpoints_.find(key);
+  if (it == endpoints_.end()) return false;
+  const EndpointStats& stats = it->second;
+  if (stats.peer_addrs.size() < config_.min_peers) return false;
+  const double ratio = static_cast<double>(stats.peer_addrs.size()) /
+                       static_cast<double>(stats.peer_ports.size());
+  return ratio >= config_.ip_port_ratio_threshold;
+}
+
+bool TransportHeuristics::is_p2p(const FiveTuple& tuple) const {
+  if (pair_uses_both_protocols(tuple.src_addr, tuple.dst_addr)) return true;
+  return endpoint_looks_p2p(tuple.dst_addr, tuple.dst_port,
+                            tuple.protocol) ||
+         endpoint_looks_p2p(tuple.src_addr, tuple.src_port, tuple.protocol);
+}
+
+std::size_t TransportHeuristics::storage_bytes() const {
+  std::size_t total =
+      pair_protocols_.size() * (sizeof(std::uint64_t) + sizeof(std::uint8_t) +
+                                2 * sizeof(void*));
+  for (const auto& [key, stats] : endpoints_) {
+    total += sizeof(EndpointKey) + 2 * sizeof(void*);
+    total += stats.peer_addrs.size() * (4 + 2 * sizeof(void*));
+    total += stats.peer_ports.size() * (2 + 2 * sizeof(void*));
+  }
+  return total;
+}
+
+}  // namespace upbound

@@ -1,0 +1,109 @@
+#include "cli/args.h"
+
+#include <charconv>
+
+namespace upbound::cli {
+
+Args Args::parse(int argc, const char* const* argv) {
+  Args args;
+  int i = 1;
+  if (i < argc && argv[i][0] != '-') {
+    args.command_ = argv[i];
+    ++i;
+  }
+  while (i < argc) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0 || token.size() <= 2) {
+      throw ArgError("unexpected argument '" + token + "'");
+    }
+    token = token.substr(2);
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      args.values_[token.substr(0, eq)] = token.substr(eq + 1);
+      ++i;
+      continue;
+    }
+    // "--key value" when the next token is not an option; bare "--key"
+    // is a boolean flag.
+    if (i + 1 < argc && argv[i + 1][0] != '-') {
+      args.values_[token] = argv[i + 1];
+      i += 2;
+    } else {
+      args.flags_.insert(token);
+      ++i;
+    }
+  }
+  return args;
+}
+
+std::optional<std::string> Args::raw(const std::string& key) const {
+  consumed_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::get_string(const std::string& key,
+                             const std::string& fallback) const {
+  return raw(key).value_or(fallback);
+}
+
+std::string Args::require_string(const std::string& key) const {
+  const auto value = raw(key);
+  if (!value) throw ArgError("missing required option --" + key);
+  return *value;
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(*value, &pos);
+    if (pos != value->size()) throw std::invalid_argument("trailing");
+    return parsed;
+  } catch (const std::exception&) {
+    throw ArgError("option --" + key + " expects a number, got '" + *value +
+                   "'");
+  }
+}
+
+std::int64_t Args::get_int(const std::string& key,
+                           std::int64_t fallback) const {
+  const auto value = raw(key);
+  if (!value) return fallback;
+  std::int64_t parsed = 0;
+  const auto [ptr, ec] = std::from_chars(
+      value->data(), value->data() + value->size(), parsed);
+  if (ec != std::errc{} || ptr != value->data() + value->size()) {
+    throw ArgError("option --" + key + " expects an integer, got '" + *value +
+                   "'");
+  }
+  return parsed;
+}
+
+std::uint64_t Args::get_u64(const std::string& key,
+                            std::uint64_t fallback) const {
+  const std::int64_t parsed =
+      get_int(key, static_cast<std::int64_t>(fallback));
+  if (parsed < 0) throw ArgError("option --" + key + " must be >= 0");
+  return static_cast<std::uint64_t>(parsed);
+}
+
+bool Args::get_flag(const std::string& key) const {
+  consumed_.insert(key);
+  return flags_.contains(key);
+}
+
+std::vector<std::string> Args::unconsumed() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    if (!consumed_.contains(key)) out.push_back(key);
+  }
+  for (const auto& key : flags_) {
+    if (!consumed_.contains(key)) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace upbound::cli

@@ -1,0 +1,58 @@
+// Minimal command-line argument handling for the upbound CLI: positional
+// command word plus --key value / --key=value options, with typed,
+// defaulted accessors and unknown-option detection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace upbound::cli {
+
+class ArgError : public std::runtime_error {
+ public:
+  explicit ArgError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Args {
+ public:
+  /// Parses argv[1..): first token is the command, the rest options.
+  /// Throws ArgError on malformed input (option without value, stray
+  /// positional).
+  static Args parse(int argc, const char* const* argv);
+
+  const std::string& command() const { return command_; }
+  bool empty() const { return command_.empty(); }
+
+  /// Typed accessors; throw ArgError on conversion failure.
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  std::uint64_t get_u64(const std::string& key,
+                        std::uint64_t fallback) const;
+  bool get_flag(const std::string& key) const;
+
+  /// Required variant: throws ArgError when the option is absent.
+  std::string require_string(const std::string& key) const;
+
+  bool has(const std::string& key) const { return values_.contains(key); }
+
+  /// Options present on the command line but never read by the command;
+  /// call after the command consumed its options to reject typos.
+  std::vector<std::string> unconsumed() const;
+
+ private:
+  std::optional<std::string> raw(const std::string& key) const;
+
+  std::string command_;
+  std::map<std::string, std::string> values_;
+  std::set<std::string> flags_;
+  mutable std::set<std::string> consumed_;
+};
+
+}  // namespace upbound::cli

@@ -1,0 +1,464 @@
+#include "cli/commands.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "analyzer/analyzer.h"
+#include "analyzer/host_stats.h"
+#include "analyzer/netflow.h"
+#include "filter/aging_bloom.h"
+#include "filter/bitmap_filter.h"
+#include "filter/concurrent_bitmap.h"
+#include "filter/naive_filter.h"
+#include "filter/params.h"
+#include "filter/snapshot.h"
+#include "filter/spi_filter.h"
+#include "net/pcap.h"
+#include "net/pcapng.h"
+#include "sim/replay.h"
+#include "sim/report.h"
+#include "trace/campus.h"
+
+namespace upbound::cli {
+
+namespace {
+
+ClientNetwork network_from(const Args& args) {
+  const std::string spec =
+      args.get_string("network", "140.112.30.0/24");
+  ClientNetwork network;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string one = spec.substr(
+        start, comma == std::string::npos ? std::string::npos
+                                          : comma - start);
+    const auto cidr = Cidr::parse(one);
+    if (!cidr) throw ArgError("bad CIDR '" + one + "' in --network");
+    network.add_prefix(*cidr);
+    start = comma == std::string::npos ? spec.size() : comma + 1;
+  }
+  return network;
+}
+
+BitmapFilterConfig bitmap_from(const Args& args) {
+  BitmapFilterConfig config;
+  config.log2_bits = static_cast<unsigned>(args.get_int("bits", 20));
+  config.vector_count = static_cast<unsigned>(args.get_int("k", 4));
+  config.hash_count = static_cast<unsigned>(args.get_int("m", 3));
+  config.rotate_interval = Duration::sec(args.get_double("dt", 5.0));
+  if (args.get_flag("hole-punching")) {
+    config.key_mode = KeyMode::kHolePunching;
+  }
+  config.validate();
+  return config;
+}
+
+// Reads a capture of either format, sniffing the magic number.
+Trace read_capture(const std::string& path, std::uint64_t* skipped) {
+  std::uint8_t magic[4] = {0, 0, 0, 0};
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) throw PcapError("cannot open for reading: " + path);
+    const std::size_t got = std::fread(magic, 1, sizeof(magic), f);
+    std::fclose(f);
+    if (got != sizeof(magic)) throw PcapError("capture too short: " + path);
+  }
+  const std::uint32_t value = static_cast<std::uint32_t>(magic[0]) |
+                              (static_cast<std::uint32_t>(magic[1]) << 8) |
+                              (static_cast<std::uint32_t>(magic[2]) << 16) |
+                              (static_cast<std::uint32_t>(magic[3]) << 24);
+  if (value == kPcapngShb) {
+    PcapngReader reader{path};
+    Trace trace = reader.read_all();
+    if (skipped != nullptr) *skipped = reader.blocks_skipped();
+    return trace;
+  }
+  PcapReader reader{path};
+  Trace trace = reader.read_all();
+  if (skipped != nullptr) *skipped = reader.frames_skipped();
+  return trace;
+}
+
+int reject_unconsumed(const Args& args) {
+  const auto leftovers = args.unconsumed();
+  if (leftovers.empty()) return 0;
+  for (const auto& key : leftovers) {
+    std::fprintf(stderr, "error: unknown option --%s\n", key.c_str());
+  }
+  return 2;
+}
+
+}  // namespace
+
+int cmd_generate(const Args& args) {
+  const std::string out = args.require_string("out");
+  CampusTraceConfig config;
+  config.duration = Duration::sec(args.get_double("duration", 60.0));
+  config.connections_per_sec = args.get_double("rate", 80.0);
+  config.bandwidth_bps = args.get_double("bandwidth", 12e6);
+  config.seed = args.get_u64("seed", 42);
+  config.network.client_prefix =
+      network_from(args).prefixes().front();
+  const std::string format = args.get_string("format", "pcap");
+  if (const int rc = reject_unconsumed(args); rc != 0) return rc;
+
+  const GeneratedTrace trace = generate_campus_trace(config);
+  std::uint64_t written = 0;
+  if (format == "pcapng") {
+    PcapngWriter writer{out};
+    writer.write_all(trace.packets);
+    written = writer.packets_written();
+  } else if (format == "pcap") {
+    PcapWriter writer{out};
+    writer.write_all(trace.packets);
+    written = writer.packets_written();
+  } else {
+    throw ArgError("unknown --format '" + format + "' (pcap|pcapng)");
+  }
+  std::printf("wrote %llu packets (%zu connections, %s over the %s window) "
+              "to %s\n",
+              static_cast<unsigned long long>(written),
+              trace.connection_count,
+              format_bits_per_sec(
+                  static_cast<double>(trace.outbound_bytes +
+                                      trace.inbound_bytes) *
+                  8.0 / config.duration.to_sec())
+                  .c_str(),
+              config.duration.to_string().c_str(), out.c_str());
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  const std::string path = args.require_string("pcap");
+  AnalyzerConfig config;
+  config.network = network_from(args);
+  config.out_in_expiry = Duration::sec(args.get_double("te", 600.0));
+  const std::size_t top_n =
+      static_cast<std::size_t>(args.get_int("top", 0));
+  const std::string netflow_out = args.get_string("netflow", "");
+  if (const int rc = reject_unconsumed(args); rc != 0) return rc;
+
+  std::uint64_t skipped = 0;
+  const Trace capture = read_capture(path, &skipped);
+  TrafficAnalyzer analyzer{config};
+  HostAccounting hosts{config.network};
+  for (const PacketRecord& pkt : capture) {
+    analyzer.process(pkt);
+    if (top_n > 0) hosts.observe(pkt);
+  }
+  const AnalyzerReport report = analyzer.finish();
+
+  std::printf("%llu packets (%llu skipped frames/blocks), %llu connections\n\n",
+              static_cast<unsigned long long>(analyzer.packets_processed()),
+              static_cast<unsigned long long>(skipped),
+              static_cast<unsigned long long>(report.total_connections));
+  std::printf("%s\n", report.protocol_table().c_str());
+  std::printf("upload share: %s; TCP bytes: %s; UDP connections: %s\n",
+              report::percent(report.upload_fraction()).c_str(),
+              report::percent(static_cast<double>(report.tcp_bytes) /
+                              std::max<std::uint64_t>(
+                                  1, report.tcp_bytes + report.udp_bytes))
+                  .c_str(),
+              report::percent(static_cast<double>(report.udp_connections) /
+                              std::max<std::uint64_t>(
+                                  1, report.total_connections))
+                  .c_str());
+  if (report.lifetimes.count() > 0) {
+    std::printf("TCP lifetimes: mean %.2f s, P90 %.2f s, P99 %.2f s\n",
+                report.lifetime_summary.mean(),
+                report.lifetimes.percentile(90),
+                report.lifetimes.percentile(99));
+  }
+  if (report.out_in_delays.count() > 0) {
+    std::printf("out-in delay: P50 %.3f s, P99 %.3f s, under 2.8 s: %s\n",
+                report.out_in_delays.percentile(50),
+                report.out_in_delays.percentile(99),
+                report::percent(report.out_in_delays.fraction_below(2.8))
+                    .c_str());
+  }
+
+  if (top_n > 0) {
+    std::vector<std::vector<std::string>> rows{
+        {"host", "upload", "download", "up%", "conns in", "conns out"}};
+    for (const HostRecord& host : hosts.top_uploaders(top_n)) {
+      rows.push_back({host.addr.to_string(),
+                      std::to_string(host.upload_bytes),
+                      std::to_string(host.download_bytes),
+                      report::percent(host.upload_fraction(), 0),
+                      std::to_string(host.connections_accepted),
+                      std::to_string(host.connections_initiated)});
+    }
+    std::printf("\ntop uploaders:\n%s", report::table(rows).c_str());
+  }
+
+  if (!netflow_out.empty()) {
+    std::FILE* f = std::fopen(netflow_out.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s\n", netflow_out.c_str());
+      return 1;
+    }
+    std::size_t flows = 0;
+    for (const auto& packet : export_netflow_v5(analyzer.connections())) {
+      std::fwrite(packet.data(), 1, packet.size(), f);
+      flows += (packet.size() - kNetflowV5HeaderSize) / kNetflowV5RecordSize;
+    }
+    std::fclose(f);
+    std::printf("\nexported %zu NetFlow v5 records to %s\n", flows,
+                netflow_out.c_str());
+  }
+  return 0;
+}
+
+int cmd_filter(const Args& args) {
+  const std::string path = args.require_string("pcap");
+  const std::string kind = args.get_string("filter", "bitmap");
+  const std::string out = args.get_string("out", "");
+  const std::string save_state = args.get_string("save-state", "");
+  const std::string load_state = args.get_string("load-state", "");
+
+  EdgeRouterConfig config;
+  config.network = network_from(args);
+  config.track_blocked_connections = args.get_flag("blocklist");
+  config.seed = args.get_u64("seed", 7);
+
+  std::unique_ptr<StateFilter> filter;
+  if (kind == "bitmap") {
+    if (!load_state.empty()) {
+      std::FILE* f = std::fopen(load_state.c_str(), "rb");
+      if (f == nullptr) throw ArgError("cannot read " + load_state);
+      std::vector<std::uint8_t> bytes;
+      std::uint8_t buf[4096];
+      std::size_t got;
+      while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        bytes.insert(bytes.end(), buf, buf + got);
+      }
+      std::fclose(f);
+      auto restored = restore_bitmap_filter(bytes);
+      if (!restored) throw ArgError("malformed snapshot " + load_state);
+      std::printf("restored bitmap state from %s (snapshot at %s)\n",
+                  load_state.c_str(),
+                  restored->snapshot_time.to_string().c_str());
+      filter = std::make_unique<BitmapFilter>(std::move(restored->filter));
+    } else {
+      filter = std::make_unique<BitmapFilter>(bitmap_from(args));
+    }
+  } else if (kind == "bitmap-mt") {
+    filter = std::make_unique<ConcurrentBitmapFilter>(bitmap_from(args));
+  } else if (kind == "aging") {
+    AgingBloomConfig aging;
+    aging.cells = std::size_t{1} << args.get_int("bits", 20);
+    aging.hash_count = static_cast<unsigned>(args.get_int("m", 3));
+    aging.epoch = Duration::sec(args.get_double("dt", 5.0));
+    aging.valid_epochs = static_cast<unsigned>(args.get_int("k", 4));
+    if (args.get_flag("hole-punching")) {
+      aging.key_mode = KeyMode::kHolePunching;
+    }
+    aging.validate();
+    filter = std::make_unique<AgingBloomFilter>(aging);
+  } else if (kind == "spi") {
+    SpiFilterConfig spi;
+    spi.idle_timeout = Duration::sec(args.get_double("timeout", 240.0));
+    filter = std::make_unique<SpiFilter>(spi);
+  } else if (kind == "naive") {
+    NaiveFilterConfig naive;
+    naive.state_timeout = Duration::sec(args.get_double("timeout", 20.0));
+    filter = std::make_unique<NaiveFilter>(naive);
+  } else {
+    throw ArgError("unknown --filter '" + kind +
+                   "' (bitmap|bitmap-mt|aging|spi|naive)");
+  }
+
+  std::unique_ptr<DropPolicy> policy;
+  if (args.has("low") || args.has("high")) {
+    policy = std::make_unique<RedDropPolicy>(args.get_double("low", 50e6),
+                                             args.get_double("high", 100e6));
+  } else {
+    policy = std::make_unique<ConstantDropPolicy>(args.get_double("pd", 1.0));
+  }
+  if (const int rc = reject_unconsumed(args); rc != 0) return rc;
+
+  const Trace trace = read_capture(path, nullptr);
+  EdgeRouter router{config, std::move(filter), std::move(policy)};
+
+  std::unique_ptr<PcapWriter> writer;
+  if (!out.empty()) writer = std::make_unique<PcapWriter>(out);
+  for (const PacketRecord& pkt : trace) {
+    const RouterDecision decision = router.process(pkt);
+    if (writer != nullptr && (decision == RouterDecision::kPassedOutbound ||
+                              decision == RouterDecision::kPassedInbound)) {
+      writer->write(pkt);
+    }
+  }
+
+  const EdgeRouterStats& stats = router.stats();
+  std::printf("outbound passed:  %llu packets, %llu bytes\n",
+              static_cast<unsigned long long>(stats.outbound_packets),
+              static_cast<unsigned long long>(stats.outbound_bytes));
+  std::printf("inbound passed:   %llu packets, %llu bytes\n",
+              static_cast<unsigned long long>(stats.inbound_passed_packets),
+              static_cast<unsigned long long>(stats.inbound_passed_bytes));
+  std::printf("inbound dropped:  %llu packets (%s), %llu via blocklist\n",
+              static_cast<unsigned long long>(stats.inbound_dropped_packets),
+              report::percent(stats.inbound_drop_rate()).c_str(),
+              static_cast<unsigned long long>(stats.blocked_drops));
+  std::printf("upload suppressed: %llu packets, %llu bytes\n",
+              static_cast<unsigned long long>(
+                  stats.suppressed_outbound_packets),
+              static_cast<unsigned long long>(
+                  stats.suppressed_outbound_bytes));
+  std::printf("filter state: %zu bytes (%s)\n",
+              router.filter().storage_bytes(),
+              router.filter().name().c_str());
+  if (writer != nullptr) {
+    std::printf("surviving packets written to %s\n", out.c_str());
+  }
+  if (!save_state.empty()) {
+    const auto* bitmap = dynamic_cast<const BitmapFilter*>(&router.filter());
+    if (bitmap == nullptr) {
+      std::fprintf(stderr,
+                   "error: --save-state only supports --filter bitmap\n");
+      return 2;
+    }
+    const SimTime end =
+        trace.empty() ? SimTime::origin() : trace.back().timestamp;
+    const auto snapshot = snapshot_bitmap_filter(*bitmap, end);
+    std::FILE* f = std::fopen(save_state.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", save_state.c_str());
+      return 1;
+    }
+    std::fwrite(snapshot.data(), 1, snapshot.size(), f);
+    std::fclose(f);
+    std::printf("bitmap state (%zu bytes) saved to %s\n", snapshot.size(),
+                save_state.c_str());
+  }
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  const std::string path = args.require_string("pcap");
+  const double pd = args.get_double("pd", 1.0);
+  const ClientNetwork network = network_from(args);
+  const BitmapFilterConfig bitmap_config = bitmap_from(args);
+  const std::uint64_t seed = args.get_u64("seed", 7);
+  if (const int rc = reject_unconsumed(args); rc != 0) return rc;
+
+  const Trace trace = read_capture(path, nullptr);
+
+  struct Candidate {
+    const char* name;
+    std::unique_ptr<StateFilter> filter;
+  };
+  AgingBloomConfig aging;
+  aging.cells = bitmap_config.bits();
+  aging.hash_count = bitmap_config.hash_count;
+  aging.epoch = bitmap_config.rotate_interval;
+  aging.valid_epochs = bitmap_config.vector_count;
+  NaiveFilterConfig naive;
+  naive.state_timeout = bitmap_config.expiry_timer();
+  Candidate candidates[] = {
+      {"bitmap", std::make_unique<BitmapFilter>(bitmap_config)},
+      {"aging-bloom", std::make_unique<AgingBloomFilter>(aging)},
+      {"naive (exact)", std::make_unique<NaiveFilter>(naive)},
+      {"spi (240s)", std::make_unique<SpiFilter>(SpiFilterConfig{})},
+  };
+
+  std::vector<std::vector<std::string>> rows{
+      {"filter", "inbound drop rate", "carried up", "carried down",
+       "state bytes"}};
+  for (Candidate& candidate : candidates) {
+    EdgeRouterConfig config;
+    config.network = network;
+    config.seed = seed;
+    config.track_blocked_connections = false;
+    EdgeRouter router{config, std::move(candidate.filter),
+                      std::make_unique<ConstantDropPolicy>(pd)};
+    for (const PacketRecord& pkt : trace) router.process(pkt);
+    const EdgeRouterStats& stats = router.stats();
+    rows.push_back({candidate.name,
+                    report::percent(stats.inbound_drop_rate(), 3),
+                    std::to_string(stats.outbound_bytes),
+                    std::to_string(stats.inbound_passed_bytes),
+                    std::to_string(router.filter().storage_bytes())});
+  }
+  std::printf("%zu packets, P_d = %.2f for stateless inbound\n\n%s",
+              trace.size(), pd, report::table(rows).c_str());
+  return 0;
+}
+
+int cmd_advise(const Args& args) {
+  const std::size_t connections =
+      static_cast<std::size_t>(args.get_int("connections", 15'000));
+  const unsigned bits = static_cast<unsigned>(args.get_int("bits", 20));
+  const unsigned k = static_cast<unsigned>(args.get_int("k", 4));
+  const double dt = args.get_double("dt", 5.0);
+  if (const int rc = reject_unconsumed(args); rc != 0) return rc;
+
+  const BitmapAdvice advice = advise(std::size_t{1} << bits, k,
+                                     Duration::sec(dt), connections);
+  std::printf("recommended configuration for %zu connections/expiry "
+              "window:\n  %s\n",
+              connections, advice.to_string().c_str());
+  std::printf("capacity at this N (Eq. 6): p=10%% -> %zu conns, "
+              "p=5%% -> %zu, p=1%% -> %zu\n",
+              max_connections_for(0.10, std::size_t{1} << bits),
+              max_connections_for(0.05, std::size_t{1} << bits),
+              max_connections_for(0.01, std::size_t{1} << bits));
+  return 0;
+}
+
+void print_usage() {
+  std::printf(
+      "upbound -- bound P2P upload traffic without payload inspection\n"
+      "\n"
+      "usage: upbound <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  generate  synthesize a calibrated campus trace to a pcap file\n"
+      "            --out FILE [--duration SEC] [--rate CONNS/S]\n"
+      "            [--format pcap|pcapng]\n"
+      "            [--bandwidth BPS] [--seed N] [--network CIDR]\n"
+      "  analyze   classify a pcap and print the measurement report\n"
+      "            --pcap FILE [--network CIDR[,CIDR...]] [--te SEC]\n"
+      "            [--top N] [--netflow FILE]\n"
+      "  filter    replay a pcap through an edge filter\n"
+      "            --pcap FILE [--network CIDR]\n"
+      "            [--filter bitmap|bitmap-mt|aging|spi|naive]\n"
+      "            [--low BPS --high BPS | --pd PROB] [--blocklist]\n"
+      "            [--bits N --k K --dt SEC --m M] [--hole-punching]\n"
+      "            [--timeout SEC] [--out FILE] [--seed N]\n"
+      "            [--save-state FILE] [--load-state FILE]\n"
+      "  compare   run bitmap / aging-bloom / naive / spi side by side\n"
+      "            --pcap FILE [--network CIDR] [--pd PROB]\n"
+      "            [--bits N --k K --dt SEC --m M]\n"
+      "  advise    size a bitmap filter for an expected load\n"
+      "            [--connections N] [--bits N] [--k K] [--dt SEC]\n");
+}
+
+int run(int argc, const char* const* argv) {
+  try {
+    const Args args = Args::parse(argc, argv);
+    if (args.empty() || args.command() == "help") {
+      print_usage();
+      return args.empty() ? 2 : 0;
+    }
+    if (args.command() == "generate") return cmd_generate(args);
+    if (args.command() == "analyze") return cmd_analyze(args);
+    if (args.command() == "filter") return cmd_filter(args);
+    if (args.command() == "compare") return cmd_compare(args);
+    if (args.command() == "advise") return cmd_advise(args);
+    std::fprintf(stderr, "error: unknown command '%s'\n",
+                 args.command().c_str());
+    print_usage();
+    return 2;
+  } catch (const ArgError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace upbound::cli

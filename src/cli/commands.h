@@ -1,0 +1,30 @@
+// The upbound command-line tool: generate synthetic campus traces, analyze
+// and filter pcap captures, and size bitmap-filter deployments -- the full
+// pipeline without writing a line of C++.
+//
+//   upbound generate --out trace.pcap --duration 60 --bandwidth 12e6
+//   upbound analyze  --pcap trace.pcap --network 140.112.30.0/24
+//   upbound filter   --pcap trace.pcap --network 140.112.30.0/24
+//                    ... --filter bitmap --low 3e6 --high 6e6 --blocklist
+//   upbound advise   --connections 15000 --bits 20 --k 4 --dt 5
+#pragma once
+
+#include "cli/args.h"
+
+namespace upbound::cli {
+
+/// Dispatches to the command named by args; returns a process exit code.
+/// Usage/errors go to stdout/stderr.
+int run(int argc, const char* const* argv);
+
+// Individual commands (exposed for tests).
+int cmd_generate(const Args& args);
+int cmd_analyze(const Args& args);
+int cmd_filter(const Args& args);
+int cmd_compare(const Args& args);
+int cmd_advise(const Args& args);
+
+/// Prints the usage summary.
+void print_usage();
+
+}  // namespace upbound::cli

@@ -1,0 +1,113 @@
+#include "filter/aging_bloom.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace upbound {
+
+void AgingBloomConfig::validate() const {
+  if (cells < 16 || (cells & 1) != 0) {
+    throw std::invalid_argument(
+        "AgingBloomConfig: cells must be >= 16 and even");
+  }
+  if (hash_count == 0 || hash_count > 64) {
+    throw std::invalid_argument("AgingBloomConfig: hash_count out of range");
+  }
+  if (epoch <= Duration{}) {
+    throw std::invalid_argument("AgingBloomConfig: epoch must be positive");
+  }
+  if (valid_epochs == 0 || valid_epochs > 13) {
+    throw std::invalid_argument(
+        "AgingBloomConfig: valid_epochs must be in 1..13");
+  }
+}
+
+AgingBloomFilter::AgingBloomFilter(const AgingBloomConfig& config)
+    : config_(config),
+      hashes_((config.validate(), config.cells), config.hash_count,
+              config.hash_seed),
+      cells_(config.cells / 2, 0),
+      epoch_start_(SimTime::origin()),
+      scratch_(config.hash_count) {}
+
+std::uint8_t AgingBloomFilter::get_cell(std::size_t i) const {
+  const std::uint8_t byte = cells_[i >> 1];
+  return (i & 1) ? (byte >> 4) : (byte & 0x0f);
+}
+
+void AgingBloomFilter::set_cell(std::size_t i, std::uint8_t value) {
+  std::uint8_t& byte = cells_[i >> 1];
+  if (i & 1) {
+    byte = static_cast<std::uint8_t>((byte & 0x0f) | (value << 4));
+  } else {
+    byte = static_cast<std::uint8_t>((byte & 0xf0) | value);
+  }
+}
+
+std::uint8_t AgingBloomFilter::ring_of(std::uint64_t epoch) const {
+  return static_cast<std::uint8_t>(epoch % 15 + 1);  // 1..15; 0 = empty
+}
+
+bool AgingBloomFilter::stamp_fresh(std::uint8_t stamp) const {
+  if (stamp == kEmpty) return false;
+  const std::uint8_t now_ring = ring_of(epoch_);
+  // Ring distance from stamp forward to now, over the 15-value ring.
+  const unsigned age = (now_ring + 15u - stamp) % 15u;
+  return age < config_.valid_epochs;
+}
+
+void AgingBloomFilter::advance_time(SimTime now) {
+  std::uint64_t advanced = 0;
+  while (now - epoch_start_ >= config_.epoch) {
+    epoch_start_ += config_.epoch;
+    ++advanced;
+  }
+  if (advanced == 0) return;
+
+  // The sweep retires stamps that fell out of the window, keeping the
+  // invariant "every stored stamp has true age < valid_epochs". Ring
+  // arithmetic stays unambiguous only while true ages fit in the
+  // 15-value ring; large jumps need special handling.
+  if (advanced >= config_.valid_epochs) {
+    // Everything stored is stale: wipe wholesale.
+    epoch_ += advanced;
+    std::fill(cells_.begin(), cells_.end(), 0);
+    return;
+  }
+  if (config_.valid_epochs + advanced <= 15) {
+    epoch_ += advanced;
+    sweep();
+    return;
+  }
+  // Rare corner (valid_epochs close to 13 plus a multi-epoch jump):
+  // step one epoch at a time so ring ages never exceed 15.
+  for (; advanced > 0; --advanced) {
+    ++epoch_;
+    sweep();
+  }
+}
+
+void AgingBloomFilter::sweep() {
+  for (std::size_t i = 0; i < cells_.size() * 2; ++i) {
+    const std::uint8_t stamp = get_cell(i);
+    if (stamp != kEmpty && !stamp_fresh(stamp)) set_cell(i, kEmpty);
+  }
+}
+
+void AgingBloomFilter::record_outbound(const PacketRecord& pkt) {
+  hashes_.outbound_indexes(pkt.tuple, config_.key_mode, scratch_);
+  const std::uint8_t stamp = ring_of(epoch_);
+  for (const std::size_t i : scratch_) set_cell(i, stamp);
+}
+
+bool AgingBloomFilter::admits_inbound(const PacketRecord& pkt) {
+  hashes_.inbound_indexes(pkt.tuple, config_.key_mode, scratch_);
+  for (const std::size_t i : scratch_) {
+    if (!stamp_fresh(get_cell(i))) return false;
+  }
+  return true;
+}
+
+std::size_t AgingBloomFilter::storage_bytes() const { return cells_.size(); }
+
+}  // namespace upbound

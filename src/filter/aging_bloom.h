@@ -1,0 +1,78 @@
+// Design-space alternative to the {k x N} bitmap: a single table of 4-bit
+// "age stamp" cells (a time-decaying Bloom filter). Marking stamps the
+// current epoch ring value into each hashed cell; lookup accepts cells
+// stamped within the last `valid_epochs` epochs; an O(cells) sweep per
+// epoch retires stale stamps (same maintenance class as b.rotate).
+//
+// Trade-off vs the paper's design (exercised in tests):
+//   + marking touches m cells once (the bitmap writes m bits x k vectors)
+//   + the expiry window is programmable 1..13 epochs at FIXED memory,
+//     where the bitmap must add whole N-bit vectors to grow k
+//   - at equal memory the cell table has 1/4 as many slots as one bit
+//     vector has bits, so false positives are higher under load
+//   - epoch wrap-around needs the sweep; the bitmap's clear is cheaper
+//     per byte (pure stores, no read-modify-write)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "filter/hash_family.h"
+#include "filter/state_filter.h"
+
+namespace upbound {
+
+struct AgingBloomConfig {
+  /// Number of cells (4 bits each). Memory = cells / 2 bytes.
+  std::size_t cells = 1u << 20;
+  unsigned hash_count = 3;
+  /// Epoch length (the dt analogue).
+  Duration epoch = Duration::sec(5.0);
+  /// Marks stay valid for `valid_epochs` epochs: Te = valid_epochs * epoch.
+  /// Must be <= 13 (4-bit cells reserve one value for "empty" and need
+  /// headroom to disambiguate wrap-around).
+  unsigned valid_epochs = 4;
+  KeyMode key_mode = KeyMode::kFullTuple;
+  std::uint64_t hash_seed = 0x7570626f756e6421ULL;
+
+  Duration expiry_timer() const {
+    return epoch * static_cast<double>(valid_epochs);
+  }
+  std::size_t memory_bytes() const { return cells / 2; }
+
+  void validate() const;
+};
+
+class AgingBloomFilter final : public StateFilter {
+ public:
+  explicit AgingBloomFilter(const AgingBloomConfig& config);
+
+  void advance_time(SimTime now) override;
+  void record_outbound(const PacketRecord& pkt) override;
+  bool admits_inbound(const PacketRecord& pkt) override;
+  std::size_t storage_bytes() const override;
+  std::string name() const override { return "aging-bloom"; }
+
+  std::uint64_t current_epoch() const { return epoch_; }
+
+ private:
+  static constexpr std::uint8_t kEmpty = 0;
+
+  std::uint8_t get_cell(std::size_t i) const;
+  void set_cell(std::size_t i, std::uint8_t value);
+
+  /// True when stamp (a 1..15 ring value) is within valid_epochs of the
+  /// current epoch's ring position.
+  bool stamp_fresh(std::uint8_t stamp) const;
+  std::uint8_t ring_of(std::uint64_t epoch) const;
+  void sweep();
+
+  AgingBloomConfig config_;
+  BloomHashFamily hashes_;
+  std::vector<std::uint8_t> cells_;  // two 4-bit cells per byte
+  std::uint64_t epoch_ = 0;
+  SimTime epoch_start_;
+  std::vector<std::size_t> scratch_;
+};
+
+}  // namespace upbound

@@ -1,0 +1,57 @@
+#include "filter/bandwidth_meter.h"
+
+#include <stdexcept>
+
+namespace upbound {
+
+namespace {
+
+Duration checked_slot_width(Duration window, unsigned slots) {
+  if (window <= Duration{} || slots == 0 ||
+      window.count_usec() % slots != 0) {
+    throw std::invalid_argument(
+        "BandwidthMeter: window must be positive and divisible by slots");
+  }
+  return Duration::usec(window.count_usec() / slots);
+}
+
+}  // namespace
+
+BandwidthMeter::BandwidthMeter(Duration window, unsigned slots)
+    : window_(window),
+      slot_width_(checked_slot_width(window, slots)),
+      slots_(slots, 0) {}
+
+void BandwidthMeter::roll_to(SimTime now) {
+  const std::int64_t target =
+      now.usec() / slot_width_.count_usec();
+  if (target <= head_slot_) return;
+  const std::int64_t steps = target - head_slot_;
+  const std::int64_t n = static_cast<std::int64_t>(slots_.size());
+  if (steps >= n) {
+    // Entire window expired.
+    for (auto& s : slots_) s = 0;
+    total_bytes_ = 0;
+  } else {
+    for (std::int64_t i = 1; i <= steps; ++i) {
+      auto& slot = slots_[static_cast<std::size_t>((head_slot_ + i) % n)];
+      total_bytes_ -= slot;
+      slot = 0;
+    }
+  }
+  head_slot_ = target;
+}
+
+void BandwidthMeter::add(SimTime now, std::uint64_t bytes) {
+  roll_to(now);
+  slots_[static_cast<std::size_t>(head_slot_ % static_cast<std::int64_t>(
+                                                   slots_.size()))] += bytes;
+  total_bytes_ += bytes;
+}
+
+double BandwidthMeter::bits_per_sec(SimTime now) {
+  roll_to(now);
+  return static_cast<double>(total_bytes_) * 8.0 / window_.to_sec();
+}
+
+}  // namespace upbound

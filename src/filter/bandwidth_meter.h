@@ -1,0 +1,41 @@
+// Sliding-window throughput estimation -- the "indicator of upload
+// bandwidth throughput b" that feeds Eq. 1. A ring of fixed-width slots
+// covers the averaging window; expired slots are zeroed lazily as time
+// advances, so both add() and bits_per_sec() are O(slots) worst case and
+// O(1) amortized.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.h"
+
+namespace upbound {
+
+class BandwidthMeter {
+ public:
+  /// `window` is the averaging period; `slots` its subdivisions (higher =
+  /// smoother decay of old traffic).
+  explicit BandwidthMeter(Duration window = Duration::sec(1.0),
+                          unsigned slots = 10);
+
+  /// Accounts `bytes` observed at time `now`. Times must be non-decreasing.
+  void add(SimTime now, std::uint64_t bytes);
+
+  /// Throughput over the window ending at `now`, in bits per second.
+  double bits_per_sec(SimTime now);
+
+  Duration window() const { return window_; }
+
+ private:
+  /// Zeroes slots whose time span fell out of the window.
+  void roll_to(SimTime now);
+
+  Duration window_;
+  Duration slot_width_;
+  std::vector<std::uint64_t> slots_;
+  std::int64_t head_slot_ = 0;  // absolute slot index of the newest slot
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace upbound

@@ -1,0 +1,93 @@
+#include "filter/bitmap_filter.h"
+
+#include <stdexcept>
+
+namespace upbound {
+
+void BitmapFilterConfig::validate() const {
+  if (log2_bits < 3 || log2_bits > 30) {
+    throw std::invalid_argument("BitmapFilterConfig: log2_bits out of range");
+  }
+  if (vector_count < 2) {
+    // With k = 1 every rotation wipes all state and nothing survives.
+    throw std::invalid_argument("BitmapFilterConfig: need >= 2 bit vectors");
+  }
+  if (hash_count == 0 || hash_count > 64) {
+    throw std::invalid_argument("BitmapFilterConfig: hash_count out of range");
+  }
+  if (rotate_interval <= Duration{}) {
+    throw std::invalid_argument(
+        "BitmapFilterConfig: rotate_interval must be positive");
+  }
+}
+
+BitmapFilter::BitmapFilter(const BitmapFilterConfig& config)
+    : config_(config),
+      hashes_((config.validate(), config.bits()), config.hash_count,
+              config.hash_seed),
+      next_rotation_(SimTime::origin() + config.rotate_interval),
+      scratch_(config.hash_count) {
+  vectors_.reserve(config_.vector_count);
+  for (unsigned i = 0; i < config_.vector_count; ++i) {
+    vectors_.emplace_back(config_.bits());
+  }
+}
+
+void BitmapFilter::rotate() {
+  // Algorithm 1: last = idx; idx = (idx + 1) mod k; clear bit-vector[last].
+  //
+  // Note the ordering subtlety: after the paper's three steps, the vector
+  // just cleared is the OLDEST data holder ("last" position behind the new
+  // idx), and the new current vector still carries everything marked during
+  // the previous k-1 intervals -- marks go to all vectors, so lookups in
+  // the new current vector see any connection active in the last k-1
+  // rotations.
+  const std::size_t last = idx_;
+  idx_ = (idx_ + 1) % vectors_.size();
+  vectors_[last].clear();
+  ++rotations_;
+}
+
+void BitmapFilter::advance_time(SimTime now) {
+  while (now >= next_rotation_) {
+    rotate();
+    next_rotation_ += config_.rotate_interval;
+  }
+}
+
+void BitmapFilter::record_outbound(const PacketRecord& pkt) {
+  // Algorithm 2, outbound arm: mark the j-th bit in ALL bit vectors.
+  hashes_.outbound_indexes(pkt.tuple, config_.key_mode, scratch_);
+  for (auto& vector : vectors_) {
+    for (const std::size_t j : scratch_) vector.set(j);
+  }
+}
+
+bool BitmapFilter::admits_inbound(const PacketRecord& pkt) {
+  // Algorithm 2, inbound arm: check the j-th bit in the CURRENT vector.
+  hashes_.inbound_indexes(pkt.tuple, config_.key_mode, scratch_);
+  const BitVector& current = vectors_[idx_];
+  for (const std::size_t j : scratch_) {
+    if (!current.test(j)) return false;
+  }
+  return true;
+}
+
+void BitmapFilter::restore_rotation_state(std::size_t idx,
+                                          SimTime next_rotation,
+                                          std::uint64_t rotations) {
+  if (idx >= vectors_.size()) {
+    throw std::invalid_argument("restore_rotation_state: bad index");
+  }
+  idx_ = idx;
+  next_rotation_ = next_rotation;
+  rotations_ = rotations;
+}
+
+std::size_t BitmapFilter::storage_bytes() const {
+  std::size_t total = 0;
+  for (const auto& vector : vectors_) total += vector.storage_bytes();
+  return total;
+}
+
+}  // namespace upbound

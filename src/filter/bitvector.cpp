@@ -1,0 +1,33 @@
+#include "filter/bitvector.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace upbound {
+
+BitVector::BitVector(std::size_t size)
+    : size_(size), words_((size + 63) / 64, 0) {
+  if (size == 0) throw std::invalid_argument("BitVector: size == 0");
+}
+
+void BitVector::clear() {
+  std::fill(words_.begin(), words_.end(), 0);
+}
+
+void BitVector::load_words(std::span<const std::uint64_t> words) {
+  if (words.size() != words_.size()) {
+    throw std::invalid_argument("BitVector::load_words: size mismatch");
+  }
+  std::copy(words.begin(), words.end(), words_.begin());
+}
+
+std::size_t BitVector::popcount() const {
+  std::size_t count = 0;
+  for (const std::uint64_t w : words_) {
+    count += static_cast<std::size_t>(std::popcount(w));
+  }
+  return count;
+}
+
+}  // namespace upbound

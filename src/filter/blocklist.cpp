@@ -1,0 +1,39 @@
+#include "filter/blocklist.h"
+
+namespace upbound {
+
+BlockList::BlockList(Duration ttl) : ttl_(ttl) {}
+
+void BlockList::sweep(SimTime now) {
+  if (ttl_ <= Duration{}) return;
+  while (!queue_.empty() && queue_.front().first + ttl_ <= now) {
+    const FiveTuple key = queue_.front().second;
+    queue_.pop_front();
+    const auto it = blocked_.find(key);
+    if (it != blocked_.end() && it->second + ttl_ <= now) blocked_.erase(it);
+  }
+}
+
+void BlockList::block(const FiveTuple& sigma, SimTime now) {
+  sweep(now);
+  const auto [it, inserted] = blocked_.try_emplace(sigma, now);
+  if (!inserted) {
+    it->second = now;
+  } else {
+    ++total_blocked_;
+  }
+  if (ttl_ > Duration{}) queue_.emplace_back(now, sigma);
+}
+
+bool BlockList::is_blocked(const FiveTuple& sigma, SimTime now) {
+  sweep(now);
+  const auto it = blocked_.find(sigma);
+  if (it == blocked_.end()) return false;
+  if (ttl_ > Duration{}) {
+    it->second = now;  // refresh: active retries keep the block alive
+    queue_.emplace_back(now, sigma);
+  }
+  return true;
+}
+
+}  // namespace upbound

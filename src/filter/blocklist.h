@@ -1,0 +1,48 @@
+// Blocked-connection store implementing the Section 5.3 simulation rule:
+// when an inbound packet is dropped by the filter, its socket pair sigma is
+// stored and every future packet matching sigma or its inverse is dropped
+// without consulting the bitmap -- modelling a connection that never got
+// established.
+//
+// Entries carry an optional TTL so long replays cannot grow the store
+// unboundedly (a blocked peer that stays silent for the TTL is forgotten,
+// exactly like a real endpoint giving up on retries).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "net/five_tuple.h"
+#include "net/packet.h"
+#include "util/time.h"
+
+namespace upbound {
+
+class BlockList {
+ public:
+  /// `ttl` <= 0 means entries never expire.
+  explicit BlockList(Duration ttl = Duration{});
+
+  /// Records sigma as blocked at time `now`.
+  void block(const FiveTuple& sigma, SimTime now);
+
+  /// True when sigma or its inverse was blocked (and not expired).
+  /// Refreshes the entry's TTL: continued retries keep the block alive.
+  bool is_blocked(const FiveTuple& sigma, SimTime now);
+
+  std::size_t size() const { return blocked_.size(); }
+  std::uint64_t total_blocked() const { return total_blocked_; }
+
+ private:
+  void sweep(SimTime now);
+
+  Duration ttl_;
+  // Keyed by the canonical (direction-independent) tuple.
+  std::unordered_map<FiveTuple, SimTime, CanonicalTupleHash, CanonicalTupleEq>
+      blocked_;
+  std::deque<std::pair<SimTime, FiveTuple>> queue_;
+  std::uint64_t total_blocked_ = 0;
+};
+
+}  // namespace upbound

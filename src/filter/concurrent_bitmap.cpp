@@ -1,0 +1,78 @@
+#include "filter/concurrent_bitmap.h"
+
+namespace upbound {
+
+ConcurrentBitmapFilter::ConcurrentBitmapFilter(
+    const BitmapFilterConfig& config)
+    : config_((config.validate(), config)),
+      hashes_(config.bits(), config.hash_count, config.hash_seed),
+      words_per_vector_((config.bits() + 63) / 64),
+      words_(words_per_vector_ * config.vector_count),
+      next_rotation_(SimTime::origin() + config.rotate_interval) {
+  for (auto& word : words_) word.store(0, std::memory_order_relaxed);
+}
+
+void ConcurrentBitmapFilter::set_bit(std::size_t vector, std::size_t bit) {
+  words_[vector * words_per_vector_ + (bit >> 6)].fetch_or(
+      std::uint64_t{1} << (bit & 63), std::memory_order_release);
+}
+
+bool ConcurrentBitmapFilter::test_bit(std::size_t vector,
+                                      std::size_t bit) const {
+  return (words_[vector * words_per_vector_ + (bit >> 6)].load(
+              std::memory_order_acquire) >>
+          (bit & 63)) &
+         1;
+}
+
+void ConcurrentBitmapFilter::rotate_locked() {
+  const std::size_t last = idx_.load(std::memory_order_relaxed);
+  const std::size_t next = (last + 1) % config_.vector_count;
+  // Publish the new index BEFORE clearing the old vector: the next
+  // current vector already carries every live mark (marks go to all k
+  // vectors), so lookups never observe a half-cleared vector. Stragglers
+  // still reading `last` during the clear can only see bits disappear --
+  // a one-rotation-early expiry, never a resurrection.
+  idx_.store(next, std::memory_order_release);
+  for (std::size_t w = 0; w < words_per_vector_; ++w) {
+    words_[last * words_per_vector_ + w].store(0, std::memory_order_relaxed);
+  }
+  rotations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ConcurrentBitmapFilter::advance_time(SimTime now) {
+  // Fast path without the lock: most calls are not at a rotation edge.
+  {
+    std::lock_guard<std::mutex> lock{rotate_mutex_};
+    while (now >= next_rotation_) {
+      rotate_locked();
+      next_rotation_ += config_.rotate_interval;
+    }
+  }
+}
+
+void ConcurrentBitmapFilter::record_outbound(const PacketRecord& pkt) {
+  std::size_t indexes[64];
+  std::span<std::size_t> scratch{indexes, config_.hash_count};
+  hashes_.outbound_indexes(pkt.tuple, config_.key_mode, scratch);
+  for (std::size_t v = 0; v < config_.vector_count; ++v) {
+    for (const std::size_t bit : scratch) set_bit(v, bit);
+  }
+}
+
+bool ConcurrentBitmapFilter::admits_inbound(const PacketRecord& pkt) {
+  std::size_t indexes[64];
+  std::span<std::size_t> scratch{indexes, config_.hash_count};
+  hashes_.inbound_indexes(pkt.tuple, config_.key_mode, scratch);
+  const std::size_t current = idx_.load(std::memory_order_acquire);
+  for (const std::size_t bit : scratch) {
+    if (!test_bit(current, bit)) return false;
+  }
+  return true;
+}
+
+std::size_t ConcurrentBitmapFilter::storage_bytes() const {
+  return words_.size() * sizeof(std::uint64_t);
+}
+
+}  // namespace upbound

@@ -1,0 +1,62 @@
+// Thread-safe bitmap filter for multi-queue packet paths.
+//
+// A production edge device services several NIC RX queues concurrently;
+// the paper's algorithm is embarrassingly friendly to that: marking is
+// idempotent bit-OR, lookup is read-only, and the only mutation that needs
+// coordination is the periodic rotation. This variant uses atomic words
+// for the bit vectors (lock-free mark/lookup from any number of threads)
+// and a mutex held only by rotate().
+//
+// Approximation note: a mark racing with the concurrent clearing of one
+// vector can be partially erased from THAT vector only. Because marks go
+// to all k vectors and lookups consult one, the worst case is a
+// connection's expiry landing up to one rotation earlier -- within the
+// [(k-1)dt, k*dt] window the data structure already quotes.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "filter/bitmap_filter.h"
+#include "filter/state_filter.h"
+
+namespace upbound {
+
+class ConcurrentBitmapFilter final : public StateFilter {
+ public:
+  explicit ConcurrentBitmapFilter(const BitmapFilterConfig& config);
+
+  /// Thread-safe. advance_time serializes rotations internally; marking
+  /// and lookup never block.
+  void advance_time(SimTime now) override;
+  void record_outbound(const PacketRecord& pkt) override;
+  bool admits_inbound(const PacketRecord& pkt) override;
+  std::size_t storage_bytes() const override;
+  std::string name() const override { return "bitmap-concurrent"; }
+
+  std::uint64_t rotations() const {
+    return rotations_.load(std::memory_order_relaxed);
+  }
+  const BitmapFilterConfig& config() const { return config_; }
+
+ private:
+  // One flat allocation: vector v's word w at words_[v * words_per_vector_
+  // + w].
+  void set_bit(std::size_t vector, std::size_t bit);
+  bool test_bit(std::size_t vector, std::size_t bit) const;
+
+  void rotate_locked();
+
+  BitmapFilterConfig config_;
+  BloomHashFamily hashes_;
+  std::size_t words_per_vector_;
+  std::vector<std::atomic<std::uint64_t>> words_;
+  std::atomic<std::size_t> idx_{0};
+  std::atomic<std::uint64_t> rotations_{0};
+
+  std::mutex rotate_mutex_;
+  SimTime next_rotation_;  // guarded by rotate_mutex_
+};
+
+}  // namespace upbound

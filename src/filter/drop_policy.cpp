@@ -1,0 +1,26 @@
+#include "filter/drop_policy.h"
+
+namespace upbound {
+
+RedDropPolicy::RedDropPolicy(double low_bits_per_sec,
+                             double high_bits_per_sec)
+    : low_(low_bits_per_sec), high_(high_bits_per_sec) {
+  if (!(low_ >= 0.0) || !(high_ > low_)) {
+    throw std::invalid_argument("RedDropPolicy: need 0 <= L < H");
+  }
+}
+
+double RedDropPolicy::drop_probability(double uplink_bits_per_sec) const {
+  if (uplink_bits_per_sec <= low_) return 0.0;
+  if (uplink_bits_per_sec >= high_) return 1.0;
+  return (uplink_bits_per_sec - low_) / (high_ - low_);
+}
+
+ConstantDropPolicy::ConstantDropPolicy(double probability)
+    : probability_(probability) {
+  if (probability < 0.0 || probability > 1.0) {
+    throw std::invalid_argument("ConstantDropPolicy: probability in [0,1]");
+  }
+}
+
+}  // namespace upbound

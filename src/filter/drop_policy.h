@@ -1,0 +1,57 @@
+// Drop-probability policies for stateless inbound packets.
+//
+// The paper generates P_d RED-style from the measured uplink throughput b
+// between a low threshold L and a high threshold H (Eq. 1):
+//
+//        P_d = 0                 if b <= L
+//        P_d = (b - L) / (H - L) if L < b < H
+//        P_d = 1                 if b >= H
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace upbound {
+
+class DropPolicy {
+ public:
+  virtual ~DropPolicy() = default;
+
+  /// Probability in [0, 1] of dropping a stateless inbound packet given
+  /// the current uplink throughput (bits per second).
+  virtual double drop_probability(double uplink_bits_per_sec) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Eq. 1: linear ramp between thresholds L and H (bits per second).
+class RedDropPolicy final : public DropPolicy {
+ public:
+  RedDropPolicy(double low_bits_per_sec, double high_bits_per_sec);
+
+  double drop_probability(double uplink_bits_per_sec) const override;
+  std::string name() const override { return "red"; }
+
+  double low() const { return low_; }
+  double high() const { return high_; }
+
+ private:
+  double low_;
+  double high_;
+};
+
+/// Fixed P_d regardless of throughput; P_d = 1 reproduces the Fig. 8
+/// "drop all inbound packets without states" configuration.
+class ConstantDropPolicy final : public DropPolicy {
+ public:
+  explicit ConstantDropPolicy(double probability);
+
+  double drop_probability(double) const override { return probability_; }
+  std::string name() const override { return "constant"; }
+
+ private:
+  double probability_;
+};
+
+}  // namespace upbound

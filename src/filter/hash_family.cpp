@@ -1,0 +1,75 @@
+#include "filter/hash_family.h"
+
+#include <stdexcept>
+
+namespace upbound {
+
+namespace {
+
+// Serializes the hole-punching key {protocol, internal-address,
+// internal-port, external-address}: identical bytes whether derived from
+// the outbound tuple or the inverse of the inbound tuple.
+constexpr std::size_t kHolePunchKeySize = 11;
+
+void encode_hole_punch_key(const FiveTuple& outbound_view,
+                           std::span<std::uint8_t, kHolePunchKeySize> out) {
+  out[0] = static_cast<std::uint8_t>(outbound_view.protocol);
+  const std::uint32_t s = outbound_view.src_addr.value();
+  const std::uint32_t d = outbound_view.dst_addr.value();
+  out[1] = static_cast<std::uint8_t>(s >> 24);
+  out[2] = static_cast<std::uint8_t>(s >> 16);
+  out[3] = static_cast<std::uint8_t>(s >> 8);
+  out[4] = static_cast<std::uint8_t>(s);
+  out[5] = static_cast<std::uint8_t>(outbound_view.src_port >> 8);
+  out[6] = static_cast<std::uint8_t>(outbound_view.src_port);
+  out[7] = static_cast<std::uint8_t>(d >> 24);
+  out[8] = static_cast<std::uint8_t>(d >> 16);
+  out[9] = static_cast<std::uint8_t>(d >> 8);
+  out[10] = static_cast<std::uint8_t>(d);
+}
+
+}  // namespace
+
+BloomHashFamily::BloomHashFamily(std::size_t bits, unsigned hash_count,
+                                 std::uint64_t seed)
+    : bits_(bits), hash_count_(hash_count), seed_(seed) {
+  if (bits == 0) throw std::invalid_argument("BloomHashFamily: bits == 0");
+  if (hash_count == 0) {
+    throw std::invalid_argument("BloomHashFamily: hash_count == 0");
+  }
+}
+
+void BloomHashFamily::indexes_for_key(std::span<const std::uint8_t> key,
+                                      std::span<std::size_t> out) const {
+  const Hash128 h = murmur3_x64_128(key, seed_);
+  // Force h2 odd so successive probes cycle through distinct offsets even
+  // for power-of-two table sizes.
+  const std::uint64_t h2 = h.hi | 1;
+  std::uint64_t acc = h.lo;
+  for (unsigned i = 0; i < hash_count_; ++i) {
+    out[i] = static_cast<std::size_t>(acc % bits_);
+    acc += h2;
+  }
+}
+
+void BloomHashFamily::outbound_indexes(const FiveTuple& sigma_out,
+                                       KeyMode mode,
+                                       std::span<std::size_t> out) const {
+  if (mode == KeyMode::kFullTuple) {
+    std::uint8_t key[kTupleKeySize];
+    encode_tuple_key(sigma_out, key);
+    indexes_for_key(std::span<const std::uint8_t>{key, sizeof(key)}, out);
+  } else {
+    std::uint8_t key[kHolePunchKeySize];
+    encode_hole_punch_key(sigma_out, key);
+    indexes_for_key(std::span<const std::uint8_t>{key, sizeof(key)}, out);
+  }
+}
+
+void BloomHashFamily::inbound_indexes(const FiveTuple& sigma_in, KeyMode mode,
+                                      std::span<std::size_t> out) const {
+  // The inverse of sigma_in is the outbound view of the same connection.
+  outbound_indexes(sigma_in.inverse(), mode, out);
+}
+
+}  // namespace upbound

@@ -1,0 +1,59 @@
+// The m shared hash functions of the bitmap filter (paper Section 4.2).
+//
+// Implemented with Kirsch-Mitzenmacher double hashing over one 128-bit
+// Murmur3 digest: h_i(x) = h1(x) + i*h2(x) mod N. This preserves Bloom
+// false-positive behaviour while hashing the key only once per packet,
+// keeping the per-packet cost the paper's O(m * t_h) bound assumes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "net/five_tuple.h"
+#include "util/hash.h"
+
+namespace upbound {
+
+/// Which tuple fields feed the hash (paper Section 4.2).
+enum class KeyMode {
+  /// All five fields; an inbound packet matches only the exact socket pair
+  /// the client opened.
+  kFullTuple,
+  /// The external endpoint's port is omitted, so any inbound connection
+  /// from a host the client contacted is admitted -- the paper's
+  /// "hole-punching" support for NAT traversal.
+  kHolePunching,
+};
+
+class BloomHashFamily {
+ public:
+  /// `bits` is the bit-vector size N (need not be a power of two);
+  /// `hash_count` is m >= 1.
+  BloomHashFamily(std::size_t bits, unsigned hash_count,
+                  std::uint64_t seed = 0x7570626f756e6421ULL);
+
+  unsigned hash_count() const { return hash_count_; }
+  std::size_t bits() const { return bits_; }
+
+  /// Key for an outbound packet's socket pair sigma_out.
+  /// With kHolePunching the destination (external) port is dropped.
+  void outbound_indexes(const FiveTuple& sigma_out, KeyMode mode,
+                        std::span<std::size_t> out) const;
+
+  /// Key for an inbound packet's socket pair sigma_in; hashes the inverse
+  /// tuple so it lands on the same bits the outbound packet marked.
+  /// With kHolePunching the source (external) port is dropped.
+  void inbound_indexes(const FiveTuple& sigma_in, KeyMode mode,
+                       std::span<std::size_t> out) const;
+
+ private:
+  void indexes_for_key(std::span<const std::uint8_t> key,
+                       std::span<std::size_t> out) const;
+
+  std::size_t bits_;
+  unsigned hash_count_;
+  std::uint64_t seed_;
+};
+
+}  // namespace upbound

@@ -1,0 +1,52 @@
+// The naive exact solution the paper sketches at the start of Section 4.2:
+// associate a timer of initial value T with each outbound socket pair,
+// reset it on every outbound packet, delete the pair when it expires. It is
+// the ground truth the bitmap filter approximates -- zero false positives
+// and zero false negatives within timer granularity -- at O(active
+// connections) storage, which is exactly why the paper replaces it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "filter/hash_family.h"
+#include "filter/state_filter.h"
+#include "net/five_tuple.h"
+
+namespace upbound {
+
+struct NaiveFilterConfig {
+  /// The timer initial value T (equals the bitmap's T_e for comparisons).
+  Duration state_timeout = Duration::sec(20.0);
+  /// Hash key fields; kHolePunching ignores the external port like the
+  /// bitmap filter's hole-punching mode.
+  KeyMode key_mode = KeyMode::kFullTuple;
+};
+
+class NaiveFilter final : public StateFilter {
+ public:
+  explicit NaiveFilter(const NaiveFilterConfig& config);
+
+  void advance_time(SimTime now) override;
+  void record_outbound(const PacketRecord& pkt) override;
+  bool admits_inbound(const PacketRecord& pkt) override;
+  std::size_t storage_bytes() const override;
+  std::string name() const override { return "naive"; }
+
+  std::size_t active_pairs() const { return expiry_.size(); }
+
+ private:
+  /// Key seen from the outbound direction; external port zeroed in
+  /// hole-punching mode so it compares equal for any peer port.
+  FiveTuple key_of_outbound(FiveTuple t) const;
+
+  NaiveFilterConfig config_;
+  SimTime now_;
+  std::unordered_map<FiveTuple, SimTime, FiveTupleHash> expiry_;
+  // FIFO of (refresh time, key) for amortized O(1) expiry sweeps; stale
+  // entries (superseded by a later refresh) are skipped on pop.
+  std::deque<std::pair<SimTime, FiveTuple>> queue_;
+};
+
+}  // namespace upbound

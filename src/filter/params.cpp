@@ -1,0 +1,86 @@
+#include "filter/params.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace upbound {
+
+double penetration_probability_at_utilization(double utilization,
+                                              unsigned hash_count) {
+  if (utilization < 0.0 || utilization > 1.0) {
+    throw std::invalid_argument("utilization must be in [0, 1]");
+  }
+  if (hash_count == 0) throw std::invalid_argument("hash_count == 0");
+  return std::pow(utilization, static_cast<double>(hash_count));
+}
+
+double penetration_probability(std::size_t connections, unsigned hash_count,
+                               std::size_t bits) {
+  if (bits == 0) throw std::invalid_argument("bits == 0");
+  const double u = static_cast<double>(connections) *
+                   static_cast<double>(hash_count) /
+                   static_cast<double>(bits);
+  return penetration_probability_at_utilization(std::min(u, 1.0), hash_count);
+}
+
+double optimal_hash_count_real(std::size_t bits, std::size_t connections) {
+  if (bits == 0 || connections == 0) {
+    throw std::invalid_argument("bits and connections must be positive");
+  }
+  return static_cast<double>(bits) /
+         (std::exp(1.0) * static_cast<double>(connections));
+}
+
+unsigned optimal_hash_count(std::size_t bits, std::size_t connections) {
+  const double m = optimal_hash_count_real(bits, connections);
+  if (m <= 1.0) return 1;
+  const unsigned lo = static_cast<unsigned>(std::floor(m));
+  const unsigned hi = lo + 1;
+  // Pick whichever integer neighbour yields the lower Eq. 3 probability.
+  const double p_lo = penetration_probability(connections, lo, bits);
+  const double p_hi = penetration_probability(connections, hi, bits);
+  return p_lo <= p_hi ? lo : hi;
+}
+
+std::size_t max_connections_for(double target_p, std::size_t bits) {
+  if (!(target_p > 0.0) || !(target_p < 1.0)) {
+    throw std::invalid_argument("target_p must be in (0, 1)");
+  }
+  if (bits == 0) throw std::invalid_argument("bits == 0");
+  // Eq. 6: c <= -N / (e * ln p).
+  const double c = -static_cast<double>(bits) /
+                   (std::exp(1.0) * std::log(target_p));
+  return static_cast<std::size_t>(c);
+}
+
+std::string BitmapAdvice::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{N=%zu bits, k=%u, dt=%s, m=%u, Te=%s, memory=%zu bytes, "
+                "expected p=%.4g}",
+                bits, vector_count, rotate_interval.to_string().c_str(),
+                hash_count, expiry_timer.to_string().c_str(), memory_bytes,
+                expected_penetration);
+  return buf;
+}
+
+BitmapAdvice advise(std::size_t bits, unsigned vector_count,
+                    Duration rotate_interval, std::size_t connections) {
+  if (vector_count == 0 || rotate_interval <= Duration{}) {
+    throw std::invalid_argument("advise: bad k or dt");
+  }
+  BitmapAdvice advice;
+  advice.bits = bits;
+  advice.vector_count = vector_count;
+  advice.rotate_interval = rotate_interval;
+  advice.hash_count = optimal_hash_count(bits, connections);
+  advice.expiry_timer = rotate_interval * static_cast<double>(vector_count);
+  advice.memory_bytes = vector_count * bits / 8;
+  advice.expected_penetration =
+      penetration_probability(connections, advice.hash_count, bits);
+  return advice;
+}
+
+}  // namespace upbound

@@ -1,0 +1,55 @@
+// Parameter selection math from paper Sections 4.3 and 5.1.
+//
+//   Eq. 2: p = U^m               (penetration prob. at utilization U = b/N)
+//   Eq. 3: p ~= (c*m/N)^m        (low-collision approximation)
+//   Eq. 5: m* = N / (e*c)        (m minimizing p for fixed c, N)
+//   Eq. 6: c/N <= -1 / (e*ln p)  (capacity bound to stay under target p)
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/time.h"
+
+namespace upbound {
+
+/// Eq. 2: probability a random inbound socket pair penetrates a vector
+/// whose utilization is `utilization`, with `hash_count` hash functions.
+double penetration_probability_at_utilization(double utilization,
+                                              unsigned hash_count);
+
+/// Eq. 3: approximate penetration probability with `connections` active
+/// pairs marked into `bits`-bit vectors using `hash_count` hashes.
+double penetration_probability(std::size_t connections, unsigned hash_count,
+                               std::size_t bits);
+
+/// Eq. 5: the real-valued optimum m = N/(e*c).
+double optimal_hash_count_real(std::size_t bits, std::size_t connections);
+
+/// Eq. 5 rounded to a usable integer (>= 1): the better of floor/ceil.
+unsigned optimal_hash_count(std::size_t bits, std::size_t connections);
+
+/// Eq. 6: the maximum number of active connections within T_e that keeps
+/// the penetration probability (at the optimal m) below `target_p`.
+std::size_t max_connections_for(double target_p, std::size_t bits);
+
+/// A deployment recommendation produced by `advise`.
+struct BitmapAdvice {
+  std::size_t bits = 0;           // N
+  unsigned vector_count = 0;      // k
+  Duration rotate_interval;       // dt
+  unsigned hash_count = 0;        // m (Eq. 5)
+  Duration expiry_timer;          // T_e = k * dt
+  std::size_t memory_bytes = 0;   // k * N / 8
+  double expected_penetration = 0.0;  // Eq. 3 at the given load
+
+  std::string to_string() const;
+};
+
+/// Solves the paper's deployment question: given an expected peak of
+/// `connections` active pairs inside T_e and a desired expiry timer,
+/// recommend m and report expected penetration probability and memory.
+BitmapAdvice advise(std::size_t bits, unsigned vector_count,
+                    Duration rotate_interval, std::size_t connections);
+
+}  // namespace upbound

@@ -1,0 +1,101 @@
+#include "filter/snapshot.h"
+
+#include "util/byte_io.h"
+
+namespace upbound {
+
+namespace {
+
+constexpr std::uint32_t kSnapshotMagic = 0x55424d46;  // "UBMF"
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+void write_u64le(ByteWriter& w, std::uint64_t v) {
+  w.u32le(static_cast<std::uint32_t>(v));
+  w.u32le(static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint64_t read_u64le(ByteReader& r) {
+  const std::uint64_t lo = r.u32le();
+  const std::uint64_t hi = r.u32le();
+  return lo | (hi << 32);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> snapshot_bitmap_filter(const BitmapFilter& filter,
+                                                 SimTime now) {
+  const BitmapFilterConfig& config = filter.config();
+  std::vector<std::uint8_t> out;
+  const std::size_t words_per_vector = (config.bits() + 63) / 64;
+  out.reserve(64 + config.vector_count * words_per_vector * 8);
+  ByteWriter w{out};
+
+  w.u32le(kSnapshotMagic);
+  w.u32le(kSnapshotVersion);
+  w.u32le(config.log2_bits);
+  w.u32le(config.vector_count);
+  w.u32le(config.hash_count);
+  write_u64le(w, static_cast<std::uint64_t>(
+                     config.rotate_interval.count_usec()));
+  w.u32le(config.key_mode == KeyMode::kHolePunching ? 1 : 0);
+  write_u64le(w, config.hash_seed);
+  w.u32le(static_cast<std::uint32_t>(filter.current_index()));
+  write_u64le(w, static_cast<std::uint64_t>(filter.next_rotation().usec()));
+  write_u64le(w, filter.rotations());
+  write_u64le(w, static_cast<std::uint64_t>(now.usec()));
+
+  for (unsigned v = 0; v < config.vector_count; ++v) {
+    for (const std::uint64_t word : filter.vector_words(v)) {
+      write_u64le(w, word);
+    }
+  }
+  return out;
+}
+
+std::optional<RestoredBitmapFilter> restore_bitmap_filter(
+    std::span<const std::uint8_t> snapshot) {
+  try {
+    ByteReader r{snapshot};
+    if (r.u32le() != kSnapshotMagic) return std::nullopt;
+    if (r.u32le() != kSnapshotVersion) return std::nullopt;
+
+    BitmapFilterConfig config;
+    config.log2_bits = r.u32le();
+    config.vector_count = r.u32le();
+    config.hash_count = r.u32le();
+    config.rotate_interval =
+        Duration::usec(static_cast<std::int64_t>(read_u64le(r)));
+    config.key_mode =
+        r.u32le() == 1 ? KeyMode::kHolePunching : KeyMode::kFullTuple;
+    config.hash_seed = read_u64le(r);
+    try {
+      config.validate();
+    } catch (const std::invalid_argument&) {
+      return std::nullopt;
+    }
+
+    const std::uint32_t idx = r.u32le();
+    if (idx >= config.vector_count) return std::nullopt;
+    const SimTime next_rotation =
+        SimTime::from_usec(static_cast<std::int64_t>(read_u64le(r)));
+    const std::uint64_t rotations = read_u64le(r);
+    const SimTime snapshot_time =
+        SimTime::from_usec(static_cast<std::int64_t>(read_u64le(r)));
+
+    BitmapFilter filter{config};
+    const std::size_t words_per_vector = (config.bits() + 63) / 64;
+    std::vector<std::uint64_t> words(words_per_vector);
+    for (unsigned v = 0; v < config.vector_count; ++v) {
+      for (auto& word : words) word = read_u64le(r);
+      filter.load_vector_words(v, words);
+    }
+    if (!r.empty()) return std::nullopt;  // trailing garbage
+
+    filter.restore_rotation_state(idx, next_rotation, rotations);
+    return RestoredBitmapFilter{std::move(filter), snapshot_time};
+  } catch (const ByteUnderflow&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace upbound

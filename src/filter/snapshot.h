@@ -1,0 +1,34 @@
+// Bitmap filter state snapshots: serialize the full {k x N} state (bits,
+// current index, rotation phase) so an edge device can restart without a
+// cold-start window in which every inbound packet of established
+// connections would be dropped. Format: versioned little-endian header +
+// raw vector words; a few hundred KB writes in microseconds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "filter/bitmap_filter.h"
+
+namespace upbound {
+
+/// Serializes the filter's complete state. The snapshot embeds the
+/// configuration, so restore validates compatibility by construction.
+std::vector<std::uint8_t> snapshot_bitmap_filter(const BitmapFilter& filter,
+                                                 SimTime now);
+
+struct RestoredBitmapFilter {
+  BitmapFilter filter;
+  /// The time the snapshot was taken; the caller decides whether the gap
+  /// since then exceeds Te (in which case restoring is pointless).
+  SimTime snapshot_time;
+};
+
+/// Rebuilds a filter from a snapshot. Returns nullopt for malformed or
+/// version-incompatible snapshots.
+std::optional<RestoredBitmapFilter> restore_bitmap_filter(
+    std::span<const std::uint8_t> snapshot);
+
+}  // namespace upbound

@@ -1,0 +1,40 @@
+// Common interface for the three connection-state trackers compared in the
+// paper's evaluation: the bitmap filter (the contribution), the naive
+// exact-timer solution (Section 4.2's strawman), and the SPI baseline
+// (Section 5.3). Each answers one question on the inbound path -- "did an
+// inner client recently talk to this socket pair?" -- and differs only in
+// state representation and expiry semantics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "net/packet.h"
+#include "util/time.h"
+
+namespace upbound {
+
+class StateFilter {
+ public:
+  virtual ~StateFilter() = default;
+
+  /// Advances internal timers to `now`. Must be called with non-decreasing
+  /// times; packet callbacks assume timers are current.
+  virtual void advance_time(SimTime now) = 0;
+
+  /// Records state for an outbound packet (tuple written sender-first,
+  /// i.e. source is the internal client). Outbound packets always pass.
+  virtual void record_outbound(const PacketRecord& pkt) = 0;
+
+  /// True if state exists admitting this inbound packet (tuple written
+  /// sender-first, i.e. destination is the internal client). Inbound
+  /// packets without state are subject to the drop policy.
+  virtual bool admits_inbound(const PacketRecord& pkt) = 0;
+
+  /// Current heap footprint of the connection state, in bytes.
+  virtual std::size_t storage_bytes() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace upbound

@@ -1,0 +1,19 @@
+#include "net/app_protocol.h"
+
+namespace upbound {
+
+const char* app_protocol_name(AppProtocol app) {
+  switch (app) {
+    case AppProtocol::kHttp: return "HTTP";
+    case AppProtocol::kFtp: return "FTP";
+    case AppProtocol::kDns: return "DNS";
+    case AppProtocol::kBitTorrent: return "bittorrent";
+    case AppProtocol::kEdonkey: return "edonkey";
+    case AppProtocol::kGnutella: return "gnutella";
+    case AppProtocol::kOther: return "Others";
+    case AppProtocol::kUnknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+}  // namespace upbound

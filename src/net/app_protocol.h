@@ -1,0 +1,36 @@
+// Application protocol labels shared by the workload generator (ground
+// truth) and the traffic analyzer (classification output). The set mirrors
+// paper Table 2's rows.
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace upbound {
+
+enum class AppProtocol {
+  kHttp,        // HTTP / HTTP-proxy
+  kFtp,         // FTP control + data
+  kDns,         // DNS over UDP
+  kBitTorrent,
+  kEdonkey,
+  kGnutella,
+  kOther,       // identified, non-P2P, not individually tracked (SMTP, ...)
+  kUnknown,     // unidentified (encrypted / proprietary P2P in the paper)
+};
+
+inline constexpr std::array kAllAppProtocols = {
+    AppProtocol::kHttp,     AppProtocol::kFtp,     AppProtocol::kDns,
+    AppProtocol::kBitTorrent, AppProtocol::kEdonkey, AppProtocol::kGnutella,
+    AppProtocol::kOther,    AppProtocol::kUnknown,
+};
+
+const char* app_protocol_name(AppProtocol app);
+
+/// True for the three P2P protocols (paper's "P2P" port class).
+constexpr bool is_p2p(AppProtocol app) {
+  return app == AppProtocol::kBitTorrent || app == AppProtocol::kEdonkey ||
+         app == AppProtocol::kGnutella;
+}
+
+}  // namespace upbound

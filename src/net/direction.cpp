@@ -1,0 +1,46 @@
+#include "net/direction.h"
+
+#include "net/packet.h"
+
+namespace upbound {
+
+const char* direction_name(Direction d) {
+  switch (d) {
+    case Direction::kOutbound: return "outbound";
+    case Direction::kInbound: return "inbound";
+    case Direction::kLocal: return "local";
+    case Direction::kTransit: return "transit";
+  }
+  return "?";
+}
+
+ClientNetwork::ClientNetwork(std::vector<Cidr> prefixes)
+    : prefixes_(std::move(prefixes)) {}
+
+bool ClientNetwork::is_internal(Ipv4Addr addr) const {
+  for (const auto& prefix : prefixes_) {
+    if (prefix.contains(addr)) return true;
+  }
+  return false;
+}
+
+Direction ClientNetwork::classify(const FiveTuple& tuple) const {
+  const bool src_in = is_internal(tuple.src_addr);
+  const bool dst_in = is_internal(tuple.dst_addr);
+  if (src_in && dst_in) return Direction::kLocal;
+  if (src_in) return Direction::kOutbound;
+  if (dst_in) return Direction::kInbound;
+  return Direction::kTransit;
+}
+
+std::string ClientNetwork::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < prefixes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += prefixes_[i].to_string();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace upbound

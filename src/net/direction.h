@@ -1,0 +1,47 @@
+// Inbound/outbound classification relative to a client network (paper
+// Fig. 1): a packet whose source lies inside the network's prefixes is
+// outbound; one whose destination lies inside is inbound.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/five_tuple.h"
+#include "net/ip.h"
+#include "net/packet.h"
+
+namespace upbound {
+
+enum class Direction {
+  kOutbound,  // sent from the client network toward the Internet
+  kInbound,   // received by the client network
+  kLocal,     // both endpoints internal (never crosses the filter)
+  kTransit,   // neither endpoint internal (should not reach an edge filter)
+};
+
+const char* direction_name(Direction d);
+
+/// The set of prefixes that make up one client network.
+class ClientNetwork {
+ public:
+  ClientNetwork() = default;
+  explicit ClientNetwork(std::vector<Cidr> prefixes);
+
+  void add_prefix(Cidr prefix) { prefixes_.push_back(prefix); }
+
+  bool is_internal(Ipv4Addr addr) const;
+
+  Direction classify(const FiveTuple& tuple) const;
+  Direction classify(const PacketRecord& pkt) const {
+    return classify(pkt.tuple);
+  }
+
+  const std::vector<Cidr>& prefixes() const { return prefixes_; }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Cidr> prefixes_;
+};
+
+}  // namespace upbound

@@ -1,0 +1,73 @@
+#include "net/ip.h"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace upbound {
+
+namespace {
+
+// Parses a decimal integer <= limit from the front of `text`, advancing it.
+std::optional<std::uint32_t> parse_decimal(std::string_view& text,
+                                           std::uint32_t limit) {
+  std::uint32_t value = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin || value > limit) return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return value;
+}
+
+}  // namespace
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (text.empty() || text.front() != '.') return std::nullopt;
+      text.remove_prefix(1);
+    }
+    const auto octet = parse_decimal(text, 255);
+    if (!octet) return std::nullopt;
+    value = (value << 8) | *octet;
+  }
+  if (!text.empty()) return std::nullopt;
+  return Ipv4Addr{value};
+}
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+Cidr::Cidr(Ipv4Addr base, unsigned prefix_len) : prefix_len_(prefix_len) {
+  if (prefix_len > 32) throw std::invalid_argument("Cidr: prefix_len > 32");
+  mask_ = prefix_len == 0 ? 0 : ~std::uint32_t{0} << (32 - prefix_len);
+  network_ = base.value() & mask_;
+}
+
+std::optional<Cidr> Cidr::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  std::string_view len_text = text.substr(slash + 1);
+  const auto len = parse_decimal(len_text, 32);
+  if (!len || !len_text.empty()) return std::nullopt;
+  return Cidr{*addr, *len};
+}
+
+Ipv4Addr Cidr::host(std::uint64_t i) const {
+  if (i >= size()) throw std::out_of_range("Cidr::host: index out of prefix");
+  return Ipv4Addr{network_ + static_cast<std::uint32_t>(i)};
+}
+
+std::string Cidr::to_string() const {
+  return Ipv4Addr{network_}.to_string() + "/" + std::to_string(prefix_len_);
+}
+
+}  // namespace upbound

@@ -1,0 +1,68 @@
+// IPv4 addressing: address values, dotted-quad parsing/formatting, and CIDR
+// prefixes used to delimit the client network at the filter's vantage point.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace upbound {
+
+/// An IPv4 address stored in host byte order.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  explicit constexpr Ipv4Addr(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : value_((static_cast<std::uint32_t>(a) << 24) |
+               (static_cast<std::uint32_t>(b) << 16) |
+               (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+  /// Parses "a.b.c.d"; nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  constexpr std::uint32_t value() const { return value_; }
+
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix, e.g. 140.112.30.0/24.
+class Cidr {
+ public:
+  constexpr Cidr() = default;
+  /// Requires prefix_len <= 32. Host bits of `base` are ignored.
+  Cidr(Ipv4Addr base, unsigned prefix_len);
+
+  /// Parses "a.b.c.d/len"; nullopt on malformed input.
+  static std::optional<Cidr> parse(std::string_view text);
+
+  bool contains(Ipv4Addr addr) const {
+    return (addr.value() & mask_) == network_;
+  }
+
+  Ipv4Addr network() const { return Ipv4Addr{network_}; }
+  unsigned prefix_len() const { return prefix_len_; }
+  /// Number of addresses covered by the prefix.
+  std::uint64_t size() const { return 1ULL << (32 - prefix_len_); }
+  /// The i-th address inside the prefix. Requires i < size().
+  Ipv4Addr host(std::uint64_t i) const;
+
+  std::string to_string() const;
+
+  bool operator==(const Cidr&) const = default;
+
+ private:
+  std::uint32_t network_ = 0;
+  std::uint32_t mask_ = 0;
+  unsigned prefix_len_ = 0;
+};
+
+}  // namespace upbound

@@ -1,0 +1,55 @@
+#include "net/packet.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace upbound {
+
+std::uint8_t TcpFlags::to_byte() const {
+  std::uint8_t b = 0;
+  if (fin) b |= 0x01;
+  if (syn) b |= 0x02;
+  if (rst) b |= 0x04;
+  if (psh) b |= 0x08;
+  if (ack) b |= 0x10;
+  return b;
+}
+
+TcpFlags TcpFlags::from_byte(std::uint8_t b) {
+  TcpFlags f;
+  f.fin = b & 0x01;
+  f.syn = b & 0x02;
+  f.rst = b & 0x04;
+  f.psh = b & 0x08;
+  f.ack = b & 0x10;
+  return f;
+}
+
+std::string TcpFlags::to_string() const {
+  std::string out;
+  if (syn) out += "S";
+  if (ack) out += "A";
+  if (psh) out += "P";
+  if (fin) out += "F";
+  if (rst) out += "R";
+  if (out.empty()) out = ".";
+  return out;
+}
+
+std::string PacketRecord::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%s %s [%s] len=%u", timestamp.to_string().c_str(),
+                tuple.to_string().c_str(), flags.to_string().c_str(),
+                payload_size);
+  return buf;
+}
+
+bool is_time_sorted(const Trace& trace) {
+  return std::is_sorted(
+      trace.begin(), trace.end(),
+      [](const PacketRecord& a, const PacketRecord& b) {
+        return a.timestamp < b.timestamp;
+      });
+}
+
+}  // namespace upbound

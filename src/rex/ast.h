@@ -1,0 +1,78 @@
+// AST for the byte-oriented regex dialect used by the traffic classifier.
+//
+// The dialect covers what the L7-filter patterns in paper Table 1 need:
+// byte literals, \xHH and class escapes, [...] classes with ranges and
+// negation, grouping, alternation, the * + ? {n} {n,} {n,m} quantifiers,
+// and ^/$ anchors. Matching is byte-wise (no locales, no UTF-8): protocol
+// signatures are binary strings.
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace upbound::rex {
+
+/// A set of bytes; the representation for literals and classes alike
+/// (a literal is a one-bit set, case-insensitive literals two bits).
+using ByteSet = std::bitset<256>;
+
+enum class NodeKind {
+  kByteSet,   // match one byte from `bytes`
+  kAny,       // match any byte
+  kConcat,    // children in sequence
+  kAlternate, // any one child
+  kRepeat,    // child repeated min..max times (max = kUnbounded for open)
+  kAssertStart,
+  kAssertEnd,
+  kEmpty,     // matches the empty string
+};
+
+constexpr int kUnbounded = -1;
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+struct Node {
+  NodeKind kind;
+  ByteSet bytes;               // kByteSet
+  std::vector<NodePtr> children;  // kConcat / kAlternate / kRepeat(1 child)
+  int min = 0;                 // kRepeat
+  int max = 0;                 // kRepeat; kUnbounded for {n,} * +
+
+  explicit Node(NodeKind k) : kind(k) {}
+
+  static NodePtr byte_set(const ByteSet& set) {
+    auto n = std::make_unique<Node>(NodeKind::kByteSet);
+    n->bytes = set;
+    return n;
+  }
+  static NodePtr any() { return std::make_unique<Node>(NodeKind::kAny); }
+  static NodePtr empty() { return std::make_unique<Node>(NodeKind::kEmpty); }
+  static NodePtr assert_start() {
+    return std::make_unique<Node>(NodeKind::kAssertStart);
+  }
+  static NodePtr assert_end() {
+    return std::make_unique<Node>(NodeKind::kAssertEnd);
+  }
+  static NodePtr concat(std::vector<NodePtr> children) {
+    auto n = std::make_unique<Node>(NodeKind::kConcat);
+    n->children = std::move(children);
+    return n;
+  }
+  static NodePtr alternate(std::vector<NodePtr> children) {
+    auto n = std::make_unique<Node>(NodeKind::kAlternate);
+    n->children = std::move(children);
+    return n;
+  }
+  static NodePtr repeat(NodePtr child, int min, int max) {
+    auto n = std::make_unique<Node>(NodeKind::kRepeat);
+    n->children.push_back(std::move(child));
+    n->min = min;
+    n->max = max;
+    return n;
+  }
+};
+
+}  // namespace upbound::rex

@@ -1,0 +1,13 @@
+// Thompson construction: AST -> NFA program.
+#pragma once
+
+#include "rex/ast.h"
+#include "rex/program.h"
+
+namespace upbound::rex {
+
+/// Compiles an AST into a Pike-VM program. Counted repeats are expanded,
+/// so program size is O(pattern size * repeat bounds).
+Program compile(const Node& root);
+
+}  // namespace upbound::rex

@@ -1,0 +1,36 @@
+// Recursive-descent parser: pattern text -> AST.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "rex/ast.h"
+
+namespace upbound::rex {
+
+/// Thrown for malformed patterns; carries the byte offset of the error.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " (at offset " + std::to_string(offset) +
+                           ")"),
+        offset_(offset) {}
+
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+struct ParseOptions {
+  /// Fold ASCII case: literals and class members match both cases.
+  bool ignore_case = false;
+  /// Upper bound on expanded {n,m} repetition counts (DoS guard).
+  int max_counted_repeat = 256;
+};
+
+/// Parses `pattern` into an AST. Throws ParseError on malformed input.
+NodePtr parse(std::string_view pattern, const ParseOptions& options = {});
+
+}  // namespace upbound::rex

@@ -1,0 +1,30 @@
+#include "rex/regex.h"
+
+namespace upbound::rex {
+
+Regex::Regex(std::string_view pattern, RegexOptions options)
+    : pattern_(pattern) {
+  ParseOptions parse_options;
+  parse_options.ignore_case = options.ignore_case;
+  program_ = compile(*parse(pattern_, parse_options));
+}
+
+bool Regex::search(std::span<const std::uint8_t> input) const {
+  return vm_.search(program_, input);
+}
+
+bool Regex::search(std::string_view input) const {
+  return search(std::span<const std::uint8_t>{
+      reinterpret_cast<const std::uint8_t*>(input.data()), input.size()});
+}
+
+bool Regex::match_prefix(std::span<const std::uint8_t> input) const {
+  return vm_.match_at_start(program_, input);
+}
+
+bool Regex::match_prefix(std::string_view input) const {
+  return match_prefix(std::span<const std::uint8_t>{
+      reinterpret_cast<const std::uint8_t*>(input.data()), input.size()});
+}
+
+}  // namespace upbound::rex

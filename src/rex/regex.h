@@ -1,0 +1,51 @@
+// Public facade: compile once, search many buffers.
+//
+//   rex::Regex sig{"^\\x13bittorrent protocol", {.ignore_case = true}};
+//   bool hit = sig.search(payload_bytes);
+//
+// Semantics follow the L7-filter convention the paper adopts: patterns are
+// unanchored unless they begin with '^', matching is byte-oriented, and
+// case-insensitivity is the norm for protocol text.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "rex/compiler.h"
+#include "rex/parser.h"
+#include "rex/vm.h"
+
+namespace upbound::rex {
+
+struct RegexOptions {
+  bool ignore_case = false;
+};
+
+class Regex {
+ public:
+  /// Compiles `pattern`; throws ParseError on malformed input.
+  explicit Regex(std::string_view pattern, RegexOptions options = {});
+
+  /// True if the pattern matches anywhere in `input`. Thread-compatible:
+  /// concurrent searches need one Regex per thread or external locking
+  /// (the VM scratch state is reused between calls).
+  bool search(std::span<const std::uint8_t> input) const;
+  bool search(std::string_view input) const;
+
+  /// True if the pattern matches a prefix of `input` (implicit '^').
+  bool match_prefix(std::span<const std::uint8_t> input) const;
+  bool match_prefix(std::string_view input) const;
+
+  const std::string& pattern() const { return pattern_; }
+  std::size_t program_size() const { return program_.size(); }
+  std::string disassemble() const { return program_.disassemble(); }
+
+ private:
+  std::string pattern_;
+  Program program_;
+  mutable PikeVm vm_;
+};
+
+}  // namespace upbound::rex

@@ -1,0 +1,120 @@
+#include "sim/closed_loop.h"
+
+#include <queue>
+
+#include "trace/packetizer.h"
+
+namespace upbound {
+
+namespace {
+
+struct LiveConnection {
+  Trace packets;
+  std::size_t cursor = 0;
+  Duration shift;           // accumulated retry backoff
+  unsigned retries_left = 0;
+  Duration next_backoff;
+
+  SimTime next_time() const { return packets[cursor].timestamp + shift; }
+
+  PacketRecord next_packet() const {
+    PacketRecord pkt = packets[cursor];
+    pkt.timestamp = pkt.timestamp + shift;
+    return pkt;
+  }
+};
+
+struct HeapEntry {
+  SimTime at;
+  std::size_t conn;
+
+  bool operator>(const HeapEntry& other) const { return at > other.at; }
+};
+
+}  // namespace
+
+ClosedLoopResult run_closed_loop(const CampusWorkload& workload,
+                                 EdgeRouter& router,
+                                 const ClosedLoopConfig& config) {
+  ClosedLoopResult result{config.series_bucket};
+
+  std::vector<LiveConnection> connections;
+  connections.reserve(workload.connections.size());
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+
+  for (const ConnectionSpec& spec : workload.connections) {
+    LiveConnection live;
+    live.packets = packetize(spec, config.packetizer);
+    live.retries_left = config.max_retries;
+    live.next_backoff = config.initial_backoff;
+    if (live.packets.empty()) continue;
+    connections.push_back(std::move(live));
+    heap.push(HeapEntry{connections.back().next_time(),
+                        connections.size() - 1});
+  }
+
+  const auto suppressed_upload_bytes = [&](const LiveConnection& live) {
+    std::uint64_t bytes = 0;
+    for (const PacketRecord& pkt : live.packets) {
+      if (workload.network.classify(pkt) == Direction::kOutbound) {
+        bytes += pkt.wire_size();
+      }
+    }
+    return bytes;
+  };
+
+  while (!heap.empty()) {
+    const HeapEntry entry = heap.top();
+    heap.pop();
+    LiveConnection& live = connections[entry.conn];
+
+    const PacketRecord pkt = live.next_packet();
+    const RouterDecision decision = router.process(pkt);
+    const bool dropped = decision == RouterDecision::kDroppedByPolicy ||
+                         decision == RouterDecision::kDroppedBlocked;
+
+    if (dropped && live.cursor == 0) {
+      // The connection-opening packet was dropped: the initiator backs
+      // off and retries, or gives up -- in which case NONE of the
+      // connection's traffic ever exists.
+      if (live.retries_left > 0) {
+        --live.retries_left;
+        ++result.retries_attempted;
+        live.shift += live.next_backoff;
+        live.next_backoff = live.next_backoff * 2.0;
+        heap.push(HeapEntry{live.next_time(), entry.conn});
+      } else {
+        ++result.connections_suppressed;
+        result.upload_bytes_never_generated += suppressed_upload_bytes(live);
+        live.packets.clear();
+        live.packets.shrink_to_fit();
+      }
+      continue;
+    }
+
+    if (!dropped) {
+      if (decision == RouterDecision::kPassedOutbound) {
+        result.carried_outbound.add(pkt.timestamp,
+                                    static_cast<double>(pkt.wire_size()));
+      } else if (decision == RouterDecision::kPassedInbound) {
+        result.carried_inbound.add(pkt.timestamp,
+                                   static_cast<double>(pkt.wire_size()));
+      }
+      if (live.cursor == 0) ++result.connections_established;
+    }
+    // Mid-connection drops lose the packet but the connection carries on
+    // (real stacks retransmit; the byte-level effect is secondary here).
+
+    ++live.cursor;
+    if (live.cursor < live.packets.size()) {
+      heap.push(HeapEntry{live.next_time(), entry.conn});
+    }
+  }
+
+  result.stats = router.stats();
+  return result;
+}
+
+}  // namespace upbound

@@ -1,0 +1,63 @@
+// Closed-loop simulation: the "real network" counterpart to trace replay.
+//
+// Paper Section 5.3 admits its replay's key limitation: "the simulation is
+// unable to block the outbound connections that may [be] triggered by
+// previously blocked inbound requests ... We believe that the filter can
+// perform better in a real network environment." This simulator tests that
+// belief. Instead of replaying a frozen packet sequence, it owns the
+// application-level connection descriptions and lets the filter's
+// decisions FEED BACK into what traffic exists:
+//
+//   - an inbound-initiated connection whose SYN (or first datagram) is
+//     dropped retries with exponential backoff, like a real peer;
+//   - when every retry is dropped, the connection never establishes --
+//     none of its packets (including the upload payload!) are generated;
+//   - established connections play out packet-by-packet as in replay.
+//
+// Comparing carried uplink between replay mode and closed-loop mode on the
+// same workload quantifies exactly how much better "live" deployment is.
+#pragma once
+
+#include <memory>
+
+#include "sim/edge_router.h"
+#include "trace/campus.h"
+#include "util/stats.h"
+
+namespace upbound {
+
+struct ClosedLoopConfig {
+  /// SYN retries after the initial attempt (TCP's classic 3).
+  unsigned max_retries = 3;
+  /// First retry delay; doubles per attempt (3 s, 6 s, 12 s...).
+  Duration initial_backoff = Duration::sec(3.0);
+  /// Packetizer used for materialized connections.
+  PacketizerOptions packetizer;
+  /// Bucketing for the carried-traffic series.
+  Duration series_bucket = Duration::sec(1.0);
+};
+
+struct ClosedLoopResult {
+  EdgeRouterStats stats;
+  /// Bytes actually carried across the edge, by direction.
+  TimeSeries carried_outbound;
+  TimeSeries carried_inbound;
+  /// Connections that never established because every attempt dropped.
+  std::uint64_t connections_suppressed = 0;
+  std::uint64_t connections_established = 0;
+  /// Upload bytes that were never generated (the suppressed connections'
+  /// outbound payload) -- traffic replay would have counted as carried or
+  /// explicitly dropped.
+  std::uint64_t upload_bytes_never_generated = 0;
+  std::uint64_t retries_attempted = 0;
+
+  ClosedLoopResult(Duration bucket)
+      : carried_outbound(bucket), carried_inbound(bucket) {}
+};
+
+/// Runs the workload through the router with feedback.
+ClosedLoopResult run_closed_loop(const CampusWorkload& workload,
+                                 EdgeRouter& router,
+                                 const ClosedLoopConfig& config = {});
+
+}  // namespace upbound

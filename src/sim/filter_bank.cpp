@@ -1,0 +1,54 @@
+#include "sim/filter_bank.h"
+
+#include "filter/bitmap_filter.h"
+
+namespace upbound {
+
+void FilterBank::add_site(std::string name, ClientNetwork network,
+                          std::unique_ptr<EdgeRouter> router) {
+  if (router == nullptr) {
+    throw std::invalid_argument("FilterBank::add_site: null router");
+  }
+  sites_.push_back(Site{std::move(name), std::move(network),
+                        std::move(router)});
+}
+
+void FilterBank::add_bitmap_site(std::string name, ClientNetwork network,
+                                 const BitmapFilterConfig& filter_config,
+                                 double red_low_bps, double red_high_bps) {
+  EdgeRouterConfig config;
+  config.network = network;
+  auto router = std::make_unique<EdgeRouter>(
+      std::move(config), std::make_unique<BitmapFilter>(filter_config),
+      std::make_unique<RedDropPolicy>(red_low_bps, red_high_bps));
+  add_site(std::move(name), std::move(network), std::move(router));
+}
+
+std::size_t FilterBank::site_of(Ipv4Addr addr) const {
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    if (sites_[i].network.is_internal(addr)) return i;
+  }
+  return kNoSite;
+}
+
+RouterDecision FilterBank::process(const PacketRecord& pkt) {
+  // The packet belongs to the site owning either endpoint; outbound
+  // packets match on source, inbound on destination.
+  std::size_t site = site_of(pkt.tuple.src_addr);
+  if (site == kNoSite) site = site_of(pkt.tuple.dst_addr);
+  if (site == kNoSite) {
+    ++unguarded_;
+    return RouterDecision::kIgnored;
+  }
+  return sites_[site].router->process(pkt);
+}
+
+std::size_t FilterBank::total_filter_state_bytes() const {
+  std::size_t total = 0;
+  for (const Site& site : sites_) {
+    total += site.router->filter().storage_bytes();
+  }
+  return total;
+}
+
+}  // namespace upbound

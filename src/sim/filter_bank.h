@@ -1,0 +1,71 @@
+// FilterBank: the paper's Fig. 6 deployment as a first-class object. An
+// ISP installs one edge router (filter + policy + meter) per client
+// network; a packet is routed to the filter guarding whichever network it
+// belongs to, and packets belonging to none (core transit) pass untouched.
+//
+// Each site keeps its own constant-size bitmap, so total state is
+// O(sites), never O(flows) -- an SPI bank would grow with the union of all
+// sites' connections.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "filter/bitmap_filter.h"
+#include "sim/edge_router.h"
+
+namespace upbound {
+
+class FilterBank {
+ public:
+  /// Builds router instances with the given factory, one per site.
+  /// The factory receives the site's network and must return a router
+  /// configured for it.
+  using RouterFactory = std::function<std::unique_ptr<EdgeRouter>(
+      const ClientNetwork& network)>;
+
+  /// Adds a guarded site. Site prefixes should be disjoint; when they
+  /// overlap, the earliest-added site wins.
+  void add_site(std::string name, ClientNetwork network,
+                std::unique_ptr<EdgeRouter> router);
+
+  /// Convenience: add a site with a standard bitmap + RED configuration.
+  void add_bitmap_site(std::string name, ClientNetwork network,
+                       const BitmapFilterConfig& filter_config,
+                       double red_low_bps, double red_high_bps);
+
+  /// Routes the packet to its site's filter. Packets that belong to no
+  /// site are passed through (kIgnored).
+  RouterDecision process(const PacketRecord& pkt);
+
+  std::size_t site_count() const { return sites_.size(); }
+  /// Site index for an address, or npos when unguarded.
+  static constexpr std::size_t kNoSite = static_cast<std::size_t>(-1);
+  std::size_t site_of(Ipv4Addr addr) const;
+
+  const std::string& site_name(std::size_t i) const {
+    return sites_.at(i).name;
+  }
+  const EdgeRouter& site_router(std::size_t i) const {
+    return *sites_.at(i).router;
+  }
+
+  /// Total connection-tracking state across all sites.
+  std::size_t total_filter_state_bytes() const;
+  /// Packets that matched no site.
+  std::uint64_t unguarded_packets() const { return unguarded_; }
+
+ private:
+  struct Site {
+    std::string name;
+    ClientNetwork network;
+    std::unique_ptr<EdgeRouter> router;
+  };
+
+  std::vector<Site> sites_;
+  std::uint64_t unguarded_ = 0;
+};
+
+}  // namespace upbound

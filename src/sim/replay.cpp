@@ -1,0 +1,49 @@
+#include "sim/replay.h"
+
+namespace upbound {
+
+namespace {
+
+void account_offered(ReplayResult& result, const PacketRecord& pkt,
+                     Direction dir) {
+  if (dir == Direction::kOutbound) {
+    result.offered_outbound.add(pkt.timestamp,
+                                static_cast<double>(pkt.wire_size()));
+  } else if (dir == Direction::kInbound) {
+    result.offered_inbound.add(pkt.timestamp,
+                               static_cast<double>(pkt.wire_size()));
+  }
+}
+
+}  // namespace
+
+ReplayResult replay_trace(const Trace& trace, EdgeRouter& router,
+                          const ClientNetwork& network,
+                          Duration series_bucket) {
+  ReplayResult result{series_bucket};
+  for (const PacketRecord& pkt : trace) {
+    const Direction dir = network.classify(pkt);
+    account_offered(result, pkt, dir);
+    const RouterDecision decision = router.process(pkt);
+    if (decision == RouterDecision::kPassedOutbound) {
+      result.passed_outbound.add(pkt.timestamp,
+                                 static_cast<double>(pkt.wire_size()));
+    } else if (decision == RouterDecision::kPassedInbound) {
+      result.passed_inbound.add(pkt.timestamp,
+                                static_cast<double>(pkt.wire_size()));
+    }
+  }
+  result.stats = router.stats();
+  return result;
+}
+
+ReplayResult offered_load(const Trace& trace, const ClientNetwork& network,
+                          Duration series_bucket) {
+  ReplayResult result{series_bucket};
+  for (const PacketRecord& pkt : trace) {
+    account_offered(result, pkt, network.classify(pkt));
+  }
+  return result;
+}
+
+}  // namespace upbound

@@ -1,0 +1,39 @@
+// Trace replay: drives a whole trace through an edge router and collects
+// the before/after throughput series the Fig. 8-9 evaluations compare.
+#pragma once
+
+#include "net/direction.h"
+#include "net/packet.h"
+#include "sim/edge_router.h"
+#include "util/stats.h"
+
+namespace upbound {
+
+struct ReplayResult {
+  EdgeRouterStats stats;
+  /// Offered (pre-filter) load by direction.
+  TimeSeries offered_outbound;
+  TimeSeries offered_inbound;
+  /// Carried (post-filter) load by direction.
+  TimeSeries passed_outbound;
+  TimeSeries passed_inbound;
+
+  ReplayResult(Duration bucket)
+      : offered_outbound(bucket),
+        offered_inbound(bucket),
+        passed_outbound(bucket),
+        passed_inbound(bucket) {}
+};
+
+/// Replays `trace` through `router`. The offered series are measured from
+/// the raw trace with the router's network/bucketing so original and
+/// filtered curves align bucket-for-bucket.
+ReplayResult replay_trace(const Trace& trace, EdgeRouter& router,
+                          const ClientNetwork& network,
+                          Duration series_bucket = Duration::sec(1.0));
+
+/// Measures only the offered per-direction series of a trace.
+ReplayResult offered_load(const Trace& trace, const ClientNetwork& network,
+                          Duration series_bucket = Duration::sec(1.0));
+
+}  // namespace upbound

@@ -1,0 +1,36 @@
+// Text rendering helpers shared by the bench binaries: aligned tables,
+// CDF curves, and side-by-side throughput series in the shape of the
+// paper's tables and figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace upbound::report {
+
+/// Renders rows as an aligned markdown-style table. The first row is the
+/// header. Cells are right-aligned except the first column.
+std::string table(const std::vector<std::vector<std::string>>& rows);
+
+/// Renders a CDF as "value  cumulative-fraction" sample points. `points`
+/// evenly spaced samples plus the exact P50/P90/P95/P99 markers.
+std::string cdf_curve(const CdfBuilder& cdf, const std::string& x_label,
+                      std::size_t points = 20);
+
+/// Renders aligned per-bucket Mbps columns for one or more series sharing
+/// bucketing. Column vectors must be equally long (pad with 0).
+std::string throughput_series(
+    const std::vector<std::pair<std::string, const TimeSeries*>>& series,
+    std::size_t max_rows = 120);
+
+/// An ASCII sparkline-style bar of width `width` proportional to
+/// value/max.
+std::string bar(double value, double max, std::size_t width = 40);
+
+/// Formats a double with fixed precision.
+std::string num(double value, int decimals = 2);
+std::string percent(double fraction, int decimals = 2);
+
+}  // namespace upbound::report

@@ -1,0 +1,165 @@
+#include "trace/campus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace upbound {
+
+std::vector<CampusMixEntry> paper_table2_mix() {
+  return {
+      {AppProtocol::kBitTorrent, 0.4790, 0.18},
+      {AppProtocol::kEdonkey, 0.2200, 0.21},
+      {AppProtocol::kGnutella, 0.0756, 0.16},
+      {AppProtocol::kUnknown, 0.1755, 0.35},
+      {AppProtocol::kHttp, 0.0217, 0.05},
+      // Table 2's "Others" row (2.82% / 5%) split into constituents:
+      {AppProtocol::kDns, 0.0150, 0.002},
+      {AppProtocol::kFtp, 0.0052, 0.018},
+      {AppProtocol::kOther, 0.0080, 0.030},
+  };
+}
+
+std::vector<CampusMixEntry> enterprise_mix() {
+  return {
+      {AppProtocol::kHttp, 0.4000, 0.62},
+      {AppProtocol::kDns, 0.4200, 0.01},
+      {AppProtocol::kFtp, 0.0300, 0.12},
+      {AppProtocol::kOther, 0.1000, 0.20},
+      // A couple of stragglers running P2P clients anyway.
+      {AppProtocol::kBitTorrent, 0.0300, 0.03},
+      {AppProtocol::kUnknown, 0.0200, 0.02},
+  };
+}
+
+namespace {
+
+// Average connections produced per session of each kind; must track the
+// session generators in sessions.cpp.
+double connections_per_session(AppProtocol app, const P2pPeerParams& p2p) {
+  switch (app) {
+    case AppProtocol::kHttp:
+    case AppProtocol::kOther:
+      return 1.0;
+    case AppProtocol::kDns:
+      return 2.0;  // 1 + uniform{0,1,2}
+    case AppProtocol::kFtp:
+      return 2.5;  // control + 1.5 data connections
+    default:
+      return static_cast<double>(p2p.outbound_conns + p2p.inbound_conns +
+                                 p2p.udp_exchanges);
+  }
+}
+
+void append(std::vector<ConnectionSpec>& out,
+            std::vector<ConnectionSpec> more) {
+  out.insert(out.end(), std::make_move_iterator(more.begin()),
+             std::make_move_iterator(more.end()));
+}
+
+}  // namespace
+
+CampusWorkload generate_campus_workload(const CampusTraceConfig& config) {
+  if (config.duration <= Duration{} || config.connections_per_sec <= 0.0 ||
+      config.bandwidth_bps <= 0.0) {
+    throw std::invalid_argument("generate_campus_trace: bad scale parameters");
+  }
+
+  NetworkModelConfig net_config = config.network;
+  net_config.seed = config.seed;
+  NetworkModel net{net_config};
+  Rng rng{config.seed};
+
+  const double duration_sec = config.duration.to_sec();
+  const double total_connections =
+      config.connections_per_sec * duration_sec;
+  const double total_bytes = config.bandwidth_bps * duration_sec / 8.0;
+
+  // Base shape of every P2P session: 2 outbound + 3 inbound TCP peer
+  // connections and 12 UDP overlay exchanges (the UDP-heavy connection mix
+  // of Section 3.3).
+  P2pPeerParams p2p_shape;
+  p2p_shape.outbound_conns = 2;
+  p2p_shape.inbound_conns = 3;
+  p2p_shape.udp_exchanges = 12;
+
+  CampusWorkload workload;
+  workload.network = net.client_network();
+  auto& builder = workload.connections;
+
+  for (const CampusMixEntry& entry : config.mix) {
+    const double cps = connections_per_session(entry.app, p2p_shape);
+    const double session_count_real =
+        entry.conn_fraction * total_connections / cps;
+    const std::size_t session_count = static_cast<std::size_t>(
+        std::max(1.0, std::round(session_count_real)));
+    const double bytes_per_session =
+        entry.byte_fraction * total_bytes / static_cast<double>(session_count);
+
+    Rng app_rng = rng.fork(static_cast<std::uint64_t>(entry.app) + 100);
+
+    for (std::size_t s = 0; s < session_count; ++s) {
+      const SimTime start =
+          SimTime::from_sec(app_rng.next_double() * duration_sec);
+      switch (entry.app) {
+        case AppProtocol::kHttp: {
+          HttpParams params;
+          // ~2.5 requests per session on average.
+          params.mean_body_bytes = bytes_per_session / 2.5;
+          append(builder, make_http_session(net, app_rng, start, params));
+          break;
+        }
+        case AppProtocol::kDns:
+          append(builder, make_dns_session(net, app_rng, start));
+          break;
+        case AppProtocol::kFtp: {
+          FtpParams params;
+          params.mean_file_bytes = bytes_per_session / 1.5;
+          append(builder, make_ftp_session(net, app_rng, start, params));
+          break;
+        }
+        case AppProtocol::kOther: {
+          OtherServiceParams params;
+          params.mean_bytes = bytes_per_session;
+          append(builder,
+                 make_other_service_session(net, app_rng, start, params));
+          break;
+        }
+        default: {
+          P2pPeerParams params = p2p_shape;
+          params.app = entry.app;
+          // Split session bytes: p2p_upload_share of TCP bytes go out on
+          // the inbound connections, the rest come in on outbound ones.
+          params.mean_upload_bytes =
+              config.p2p_upload_share * bytes_per_session /
+              static_cast<double>(params.inbound_conns);
+          params.mean_download_bytes =
+              (1.0 - config.p2p_upload_share) * bytes_per_session /
+              static_cast<double>(params.outbound_conns);
+          params.mean_conn_duration = Duration::sec(50.0);
+          params.lifetime_cap =
+              config.lifetime_cap > Duration{}
+                  ? config.lifetime_cap
+                  : std::max(config.duration * 2.0, Duration::sec(120.0));
+          append(builder, make_p2p_peer_session(net, app_rng, start, params));
+          break;
+        }
+      }
+    }
+  }
+
+  std::sort(workload.connections.begin(), workload.connections.end(),
+            [](const ConnectionSpec& a, const ConnectionSpec& b) {
+              return a.start < b.start;
+            });
+  return workload;
+}
+
+GeneratedTrace generate_campus_trace(const CampusTraceConfig& config) {
+  CampusWorkload workload = generate_campus_workload(config);
+  TraceBuilder builder{workload.network, config.packetizer};
+  for (const ConnectionSpec& spec : workload.connections) builder.add(spec);
+  return builder.build();
+}
+
+}  // namespace upbound

@@ -1,0 +1,73 @@
+// The calibrated "campus trace" generator: a synthetic stand-in for the
+// paper's 7.5-hour capture, reproducing its reported aggregates --
+//
+//   Table 2   protocol mix (connection % and byte %)
+//   Section 3.3   ~250 connections/s, 70% UDP connections but ~99.5% of
+//                 bytes on TCP, ~90% of bytes flowing upload, 80% of
+//                 outbound bytes on inbound-initiated connections
+//   Fig. 4    heavy-tailed connection lifetimes (mean ~46 s)
+//   Fig. 5    short out-in packet delays (99% < 2.8 s)
+//
+// Scale (duration, offered load, connection rate) is configurable; defaults
+// keep test and bench runs laptop-sized while preserving every ratio.
+#pragma once
+
+#include <vector>
+
+#include "trace/network_model.h"
+#include "trace/sessions.h"
+#include "trace/trace_builder.h"
+
+namespace upbound {
+
+/// One row of the target mixture.
+struct CampusMixEntry {
+  AppProtocol app;
+  double conn_fraction;  // share of connections (Table 2 column 2)
+  double byte_fraction;  // share of bytes (Table 2 column 3)
+};
+
+/// The paper's Table 2 mixture. "Others" (2.82%/5%) is split into its DNS,
+/// FTP, and miscellaneous-service constituents.
+std::vector<CampusMixEntry> paper_table2_mix();
+
+/// A contrast workload: an enterprise client network with almost no P2P
+/// (web/DNS/mail-dominated). Used to show the filter is harmless where
+/// there is nothing to bound.
+std::vector<CampusMixEntry> enterprise_mix();
+
+struct CampusTraceConfig {
+  Duration duration = Duration::sec(60.0);
+  /// Target aggregate connection arrival rate (paper: ~250/s).
+  double connections_per_sec = 120.0;
+  /// Target average offered load in bits/s (paper: 146.7 Mbps; scaled
+  /// down by default to keep default runs small).
+  double bandwidth_bps = 40e6;
+  std::uint64_t seed = 42;
+  NetworkModelConfig network;
+  PacketizerOptions packetizer;
+  std::vector<CampusMixEntry> mix = paper_table2_mix();
+  /// Fraction of P2P TCP bytes flowing in the upload direction.
+  double p2p_upload_share = 0.985;
+  /// Cap on single-connection lifetimes, 0 = derive from duration. The
+  /// Fig. 4 benches pass an explicit large cap to keep the lifetime tail.
+  Duration lifetime_cap = Duration{};
+};
+
+/// The pre-packetization form of a campus workload: every connection's
+/// application-level description plus the client network. The closed-loop
+/// simulator consumes this directly (it decides per connection whether
+/// traffic materializes); generate_campus_trace() packetizes it into the
+/// fixed replayable trace.
+struct CampusWorkload {
+  std::vector<ConnectionSpec> connections;  // sorted by start time
+  ClientNetwork network;
+};
+
+/// Generates the calibrated workload without packetizing.
+CampusWorkload generate_campus_workload(const CampusTraceConfig& config = {});
+
+/// Generates the full calibrated trace.
+GeneratedTrace generate_campus_trace(const CampusTraceConfig& config = {});
+
+}  // namespace upbound

@@ -1,0 +1,60 @@
+#include "trace/network_model.h"
+
+#include <stdexcept>
+
+namespace upbound {
+
+NetworkModel::NetworkModel(const NetworkModelConfig& config)
+    : config_(config), network_({config.client_prefix}) {
+  // Skip network (.0) and broadcast-ish tail addresses.
+  const std::uint64_t usable =
+      config.client_prefix.size() > 2 ? config.client_prefix.size() - 2 : 1;
+  if (config.client_hosts == 0) {
+    throw std::invalid_argument("NetworkModel: need at least one host");
+  }
+  const std::uint64_t count =
+      std::min<std::uint64_t>(config.client_hosts, usable);
+  hosts_.reserve(count);
+  for (std::uint64_t i = 1; i <= count; ++i) {
+    hosts_.push_back(config.client_prefix.host(i));
+  }
+}
+
+Ipv4Addr NetworkModel::client_host(std::size_t index) const {
+  return hosts_.at(index);
+}
+
+Ipv4Addr NetworkModel::random_client_host(Rng& rng) const {
+  return hosts_[rng.next_below(hosts_.size())];
+}
+
+Ipv4Addr NetworkModel::random_external_host(Rng& rng) const {
+  for (;;) {
+    // Public-looking /8s: 1..223 excluding 10 (private) and 127 (loopback).
+    const std::uint8_t first =
+        static_cast<std::uint8_t>(1 + rng.next_below(223));
+    if (first == 10 || first == 127 || first == 172 || first == 192) continue;
+    const Ipv4Addr addr{
+        static_cast<std::uint32_t>(first) << 24 |
+        static_cast<std::uint32_t>(rng.next_below(1u << 24))};
+    if (!network_.is_internal(addr)) return addr;
+  }
+}
+
+std::uint16_t NetworkModel::ephemeral_port(Rng& rng) const {
+  return static_cast<std::uint16_t>(rng.next_range(32768, 61000));
+}
+
+std::uint16_t NetworkModel::p2p_listen_port(Rng& rng,
+                                            std::uint16_t default_port) const {
+  // Fig. 2: a noticeable mass on the protocol default, the rest spread
+  // over 10000-40000.
+  if (rng.next_bool(0.25)) return default_port;
+  return static_cast<std::uint16_t>(rng.next_range(10000, 40000));
+}
+
+std::uint16_t NetworkModel::random_high_port(Rng& rng) const {
+  return static_cast<std::uint16_t>(rng.next_range(1024, 65535));
+}
+
+}  // namespace upbound

@@ -1,0 +1,55 @@
+// Address and port allocation for the synthetic client network and the
+// external Internet it talks to. Reproduces the spatial structure the
+// paper's Figures 2-3 measure: well-known service ports, P2P listen ports
+// concentrated in 10000-40000 plus the protocol defaults, and uniformly
+// random ephemeral source ports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/direction.h"
+#include "net/ip.h"
+#include "util/rng.h"
+
+namespace upbound {
+
+struct NetworkModelConfig {
+  Cidr client_prefix = *Cidr::parse("140.112.30.0/24");
+  unsigned client_hosts = 200;  // active hosts inside the prefix
+  std::uint64_t seed = 1;
+};
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(const NetworkModelConfig& config);
+
+  const ClientNetwork& client_network() const { return network_; }
+
+  /// A client host address (index < config.client_hosts).
+  Ipv4Addr client_host(std::size_t index) const;
+  std::size_t client_host_count() const { return hosts_.size(); }
+  /// A uniformly random client host.
+  Ipv4Addr random_client_host(Rng& rng) const;
+
+  /// A random public (non-client) address; excludes the client prefix and
+  /// obvious reserved space so direction classification stays unambiguous.
+  Ipv4Addr random_external_host(Rng& rng) const;
+
+  /// Random ephemeral source port (32768-61000, the classic Linux range).
+  std::uint16_t ephemeral_port(Rng& rng) const;
+
+  /// A P2P listen port: the paper observes defaults (6881, 4662, 6346...)
+  /// plus a heavy spread of random ports in 10000-40000.
+  std::uint16_t p2p_listen_port(Rng& rng, std::uint16_t default_port) const;
+
+  /// A fully random port in 1024-65535 (the UNKNOWN/encrypted spread).
+  std::uint16_t random_high_port(Rng& rng) const;
+
+ private:
+  NetworkModelConfig config_;
+  ClientNetwork network_;
+  std::vector<Ipv4Addr> hosts_;
+};
+
+}  // namespace upbound

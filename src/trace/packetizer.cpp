@@ -1,0 +1,158 @@
+#include "trace/packetizer.h"
+
+#include <algorithm>
+
+namespace upbound {
+
+namespace {
+
+struct Builder {
+  const ConnectionSpec& spec;
+  const PacketizerOptions& opt;
+  Trace local;
+
+  // Delay before a causal response from the given side becomes visible at
+  // the edge. The internal host sits next to the monitor and answers in
+  // about a millisecond; a response from the external peer takes a full
+  // external round trip -- which is exactly what the Section 3.3 out-in
+  // packet delay measures.
+  bool from_internal(bool from_initiator) const {
+    return from_initiator == spec.initiator_internal;
+  }
+  Duration response_delay(bool from_initiator) const {
+    return from_internal(from_initiator) ? Duration::msec(1) : spec.rtt;
+  }
+
+  void emit(bool from_initiator, SimTime at, TcpFlags flags,
+            std::uint32_t payload_size,
+            std::vector<std::uint8_t> captured = {}) {
+    PacketRecord pkt;
+    pkt.timestamp = at;
+    pkt.tuple = from_initiator ? spec.tuple : spec.tuple.inverse();
+    pkt.flags = flags;
+    pkt.payload_size = payload_size;
+    pkt.payload = std::move(captured);
+    local.push_back(std::move(pkt));
+  }
+
+  // Emits one message's data segments starting at `t`; returns the time of
+  // the last data segment.
+  SimTime emit_message(const MessageSpec& msg, SimTime t) {
+    const std::uint64_t total =
+        std::max<std::uint64_t>(msg.total_bytes, msg.prefix.size());
+    std::uint64_t sent = 0;
+    std::uint32_t segment_index = 0;
+    SimTime last = t;
+    bool last_segment_acked = false;
+    const bool tcp = spec.tuple.protocol == Protocol::kTcp;
+    while (sent < total || (total == 0 && segment_index == 0)) {
+      const std::uint32_t chunk = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(opt.mss, total - sent));
+      std::vector<std::uint8_t> captured;
+      if (segment_index == 0 && !msg.prefix.empty()) {
+        const std::size_t keep =
+            std::min<std::size_t>({msg.prefix.size(), opt.capture_bytes,
+                                   std::max<std::uint32_t>(chunk, 1)});
+        captured.assign(msg.prefix.begin(),
+                        msg.prefix.begin() + static_cast<std::ptrdiff_t>(keep));
+      }
+      TcpFlags flags;
+      if (tcp) {
+        flags.ack = true;
+        flags.psh = sent + chunk >= total;
+      }
+      emit(msg.from_initiator, last, flags, chunk, std::move(captured));
+
+      // Sparse ACKs from the receiving side (TCP only).
+      last_segment_acked = tcp && opt.ack_every > 0 &&
+                           segment_index % opt.ack_every == opt.ack_every - 1;
+      if (last_segment_acked) {
+        emit(!msg.from_initiator, last + response_delay(!msg.from_initiator),
+             TcpFlags{.ack = true}, 0);
+      }
+
+      sent += chunk;
+      ++segment_index;
+      if (sent < total) last += opt.serialization_gap;
+      if (total == 0) break;
+    }
+    // Delayed ACK: TCP receivers acknowledge the tail of every message even
+    // when the sparse cadence missed it -- otherwise single-segment
+    // messages would never refresh the reverse direction and out-in delay
+    // samples would accumulate whole message gaps.
+    if (tcp && !last_segment_acked) {
+      emit(!msg.from_initiator, last + response_delay(!msg.from_initiator),
+           TcpFlags{.ack = true}, 0);
+    }
+    return last;
+  }
+
+  void run() {
+    SimTime t = spec.start;
+    const bool tcp = spec.tuple.protocol == Protocol::kTcp;
+    bool last_sender_initiator = true;
+
+    if (tcp) {
+      emit(true, t, TcpFlags{.syn = true}, 0);
+      t += response_delay(false);
+      emit(false, t, TcpFlags{.syn = true, .ack = true}, 0);
+      t += response_delay(true);
+      emit(true, t, TcpFlags{.ack = true}, 0);
+      last_sender_initiator = true;
+    }
+
+    for (const MessageSpec& msg : spec.messages) {
+      t += msg.gap_before;
+      if (msg.from_initiator != last_sender_initiator) {
+        t += response_delay(msg.from_initiator);
+      } else {
+        t += opt.serialization_gap;
+      }
+      t = emit_message(msg, t);
+      last_sender_initiator = msg.from_initiator;
+    }
+
+    if (tcp) {
+      t += spec.linger;
+      switch (spec.close) {
+        case CloseKind::kFin: {
+          t += response_delay(true);
+          emit(true, t, TcpFlags{.ack = true, .fin = true}, 0);
+          const SimTime peer = t + response_delay(false);
+          emit(false, peer, TcpFlags{.ack = true, .fin = true}, 0);
+          emit(true, peer + response_delay(true), TcpFlags{.ack = true}, 0);
+          break;
+        }
+        case CloseKind::kRst:
+          t += response_delay(true);
+          emit(true, t, TcpFlags{.rst = true}, 0);
+          break;
+        case CloseKind::kNone:
+          break;
+      }
+    }
+
+    std::stable_sort(local.begin(), local.end(),
+                     [](const PacketRecord& a, const PacketRecord& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+  }
+};
+
+}  // namespace
+
+void packetize(const ConnectionSpec& spec, const PacketizerOptions& options,
+               Trace& out) {
+  Builder builder{spec, options, {}};
+  builder.run();
+  out.insert(out.end(), std::make_move_iterator(builder.local.begin()),
+             std::make_move_iterator(builder.local.end()));
+}
+
+Trace packetize(const ConnectionSpec& spec, const PacketizerOptions& options) {
+  Trace out;
+  packetize(spec, options, out);
+  return out;
+}
+
+}  // namespace upbound

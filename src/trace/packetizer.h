@@ -1,0 +1,78 @@
+// Turns an application-level connection description into a timestamped
+// packet sequence as observed at the client network's edge.
+//
+// Timestamps model what the paper's traffic monitor sees (Fig. 1): the
+// reply to an outbound packet appears one external round-trip later, which
+// is exactly the "out-in packet delay" of Section 3.3. TCP connections get
+// a SYN / SYN-ACK / ACK opening, MSS-segmented data with sparse ACKs, and a
+// FIN or RST close; UDP connections are message exchanges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/app_protocol.h"
+#include "net/packet.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace upbound {
+
+/// One application message inside a connection.
+struct MessageSpec {
+  bool from_initiator = true;
+  /// Bytes placed in the first segment's payload (classifier-visible).
+  std::vector<std::uint8_t> prefix;
+  /// Total application bytes of the message (>= prefix size).
+  std::uint64_t total_bytes = 0;
+  /// Think time between the previous message's end and this message.
+  Duration gap_before;
+};
+
+enum class CloseKind {
+  kFin,   // graceful close by the initiator
+  kRst,   // abortive close
+  kNone,  // connection left dangling (lifetime measured to last packet)
+};
+
+/// Full description of one connection. The tuple is written from the
+/// initiator's perspective (initiator == tuple source).
+struct ConnectionSpec {
+  FiveTuple tuple;
+  SimTime start;
+  /// True when the initiating endpoint sits inside the client network
+  /// (outbound connection); false for inbound peer connections -- the ones
+  /// that trigger P2P upload traffic.
+  bool initiator_internal = true;
+  /// External round-trip time: gap between a packet crossing the edge
+  /// outward and its answer crossing back in.
+  Duration rtt = Duration::msec(50);
+  std::vector<MessageSpec> messages;
+  CloseKind close = CloseKind::kFin;
+  /// Idle time between the last message and the close exchange.
+  Duration linger = Duration{};
+  /// Ground-truth application (for classifier evaluation).
+  AppProtocol app = AppProtocol::kUnknown;
+};
+
+struct PacketizerOptions {
+  std::uint32_t mss = 1448;
+  /// Captured payload prefix per packet (paper header traces strip
+  /// payloads; the classifier needs only the first bytes).
+  std::uint32_t capture_bytes = 96;
+  /// Receiver acknowledges every ack_every-th data segment.
+  std::uint32_t ack_every = 2;
+  /// Gap between back-to-back segments from the same sender.
+  Duration serialization_gap = Duration::usec(120);
+};
+
+/// Expands `spec` into packets, appending to `out`. Packets are emitted in
+/// non-decreasing timestamp order.
+void packetize(const ConnectionSpec& spec, const PacketizerOptions& options,
+               Trace& out);
+
+/// Convenience wrapper returning a fresh trace.
+Trace packetize(const ConnectionSpec& spec,
+                const PacketizerOptions& options = {});
+
+}  // namespace upbound

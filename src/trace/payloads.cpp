@@ -1,0 +1,183 @@
+#include "trace/payloads.h"
+
+#include <cstdio>
+
+namespace upbound::payloads {
+
+Bytes from_string(const std::string& s) {
+  return Bytes{s.begin(), s.end()};
+}
+
+Bytes bittorrent_handshake(Rng& rng) {
+  Bytes out;
+  out.reserve(68);
+  out.push_back(0x13);
+  const std::string proto = "BitTorrent protocol";
+  out.insert(out.end(), proto.begin(), proto.end());
+  for (int i = 0; i < 8; ++i) out.push_back(0);  // reserved
+  for (int i = 0; i < 20; ++i) {                 // info_hash
+    out.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+  }
+  const std::string client = "-UB0100-";          // peer_id prefix
+  out.insert(out.end(), client.begin(), client.end());
+  for (int i = 0; i < 12; ++i) {
+    out.push_back(static_cast<std::uint8_t>('0' + rng.next_below(10)));
+  }
+  return out;
+}
+
+Bytes bittorrent_scrape_request(Rng& rng) {
+  std::string hash;
+  for (int i = 0; i < 8; ++i) {
+    char buf[4];
+    std::snprintf(buf, sizeof(buf), "%02x",
+                  static_cast<unsigned>(rng.next_below(256)));
+    hash += buf;
+  }
+  return from_string("GET /scrape?info_hash=" + hash +
+                     " HTTP/1.0\r\nHost: tracker\r\n\r\n");
+}
+
+Bytes edonkey_hello(Rng& rng) {
+  Bytes out;
+  out.push_back(0xe3);  // eDonkey protocol marker
+  // Little-endian payload length (opcode + hash + id + port + tags).
+  const std::uint32_t len = 41;
+  out.push_back(static_cast<std::uint8_t>(len));
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.push_back(static_cast<std::uint8_t>(len >> 16));
+  out.push_back(static_cast<std::uint8_t>(len >> 24));
+  out.push_back(0x01);  // OP_HELLO
+  out.push_back(16);    // hash size
+  for (int i = 0; i < 16; ++i) {
+    out.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+  }
+  for (int i = 0; i < 23; ++i) out.push_back(0);
+  return out;
+}
+
+Bytes edonkey_udp_ping(Rng& rng) {
+  Bytes out;
+  out.push_back(0xe3);
+  out.push_back(0x96);  // OP_GLOBGETSOURCES-ish
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+  }
+  return out;
+}
+
+Bytes gnutella_connect() {
+  return from_string(
+      "GNUTELLA CONNECT/0.6\r\n"
+      "User-Agent: LimeWire/4.12\r\n"
+      "X-Ultrapeer: False\r\n\r\n");
+}
+
+Bytes gnutella_ok() {
+  return from_string(
+      "GNUTELLA/0.6 200 OK\r\n"
+      "User-Agent: gtk-gnutella/0.96\r\n\r\n");
+}
+
+Bytes http_get(const std::string& host, const std::string& path) {
+  return from_string("GET " + path +
+                     " HTTP/1.1\r\n"
+                     "Host: " +
+                     host +
+                     "\r\n"
+                     "User-Agent: Mozilla/5.0\r\n"
+                     "Accept: */*\r\n\r\n");
+}
+
+Bytes http_response(int status, std::uint64_t content_length) {
+  const char* reason = status == 200   ? "OK"
+                       : status == 304 ? "Not Modified"
+                       : status == 404 ? "Not Found"
+                                       : "Other";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "HTTP/1.1 %d %s\r\n"
+                "Server: Apache/2.2\r\n"
+                "Content-Length: %llu\r\n"
+                "Content-Type: application/octet-stream\r\n\r\n",
+                status, reason, static_cast<unsigned long long>(content_length));
+  return from_string(buf);
+}
+
+Bytes ftp_banner() {
+  return from_string("220 upbound.example.edu FTP server ready.\r\n");
+}
+
+Bytes ftp_command(const std::string& verb, const std::string& arg) {
+  return from_string(arg.empty() ? verb + "\r\n" : verb + " " + arg + "\r\n");
+}
+
+namespace {
+
+std::string comma_quad_port(Ipv4Addr addr, std::uint16_t port) {
+  char buf[48];
+  const std::uint32_t v = addr.value();
+  std::snprintf(buf, sizeof(buf), "%u,%u,%u,%u,%u,%u", (v >> 24) & 0xff,
+                (v >> 16) & 0xff, (v >> 8) & 0xff, v & 0xff, port >> 8,
+                port & 0xff);
+  return buf;
+}
+
+}  // namespace
+
+Bytes ftp_pasv_response(Ipv4Addr addr, std::uint16_t port) {
+  return from_string("227 Entering Passive Mode (" +
+                     comma_quad_port(addr, port) + ").\r\n");
+}
+
+Bytes ftp_port_command(Ipv4Addr addr, std::uint16_t port) {
+  return from_string("PORT " + comma_quad_port(addr, port) + "\r\n");
+}
+
+Bytes dns_query(Rng& rng) {
+  Bytes out;
+  // Transaction id.
+  out.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+  out.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+  out.push_back(0x01);  // RD
+  out.push_back(0x00);
+  out.push_back(0x00); out.push_back(0x01);  // QDCOUNT = 1
+  for (int i = 0; i < 6; ++i) out.push_back(0);  // AN/NS/AR counts
+  // QNAME: <5 random letters>.example.com
+  out.push_back(5);
+  for (int i = 0; i < 5; ++i) {
+    out.push_back(static_cast<std::uint8_t>('a' + rng.next_below(26)));
+  }
+  const std::string rest = "example";
+  out.push_back(static_cast<std::uint8_t>(rest.size()));
+  out.insert(out.end(), rest.begin(), rest.end());
+  out.push_back(3);
+  out.push_back('c'); out.push_back('o'); out.push_back('m');
+  out.push_back(0);
+  out.push_back(0x00); out.push_back(0x01);  // QTYPE A
+  out.push_back(0x00); out.push_back(0x01);  // QCLASS IN
+  return out;
+}
+
+Bytes dns_response(Rng& rng) {
+  Bytes out = dns_query(rng);
+  out[2] = 0x81;  // QR + RD
+  out[3] = 0x80;  // RA
+  out[7] = 0x01;  // ANCOUNT = 1
+  // Answer: pointer to name, type A, class IN, TTL, RDLENGTH 4, address.
+  const std::uint8_t answer[] = {0xc0, 0x0c, 0x00, 0x01, 0x00, 0x01,
+                                 0x00, 0x00, 0x0e, 0x10, 0x00, 0x04};
+  out.insert(out.end(), answer, answer + sizeof(answer));
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+  }
+  return out;
+}
+
+Bytes random_bytes(Rng& rng, std::size_t n) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+}  // namespace upbound::payloads

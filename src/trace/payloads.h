@@ -1,0 +1,64 @@
+// Protocol-realistic payload synthesis for the first packets of generated
+// connections. Every synthesizer produces bytes that the corresponding
+// Table 1 pattern matches, so the analyzer classifies generated traffic the
+// same way it would classify real captures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ip.h"
+#include "util/rng.h"
+
+namespace upbound::payloads {
+
+using Bytes = std::vector<std::uint8_t>;
+
+Bytes from_string(const std::string& s);
+
+/// \x13"BitTorrent protocol" + reserved + info_hash + peer_id (68 bytes).
+Bytes bittorrent_handshake(Rng& rng);
+
+/// BitTorrent tracker scrape over HTTP.
+Bytes bittorrent_scrape_request(Rng& rng);
+
+/// eDonkey TCP hello: 0xe3 marker, LE length, opcode 0x01.
+Bytes edonkey_hello(Rng& rng);
+
+/// eDonkey UDP server status request: 0xe3 marker + opcode.
+Bytes edonkey_udp_ping(Rng& rng);
+
+/// "GNUTELLA CONNECT/0.6" handshake opener.
+Bytes gnutella_connect();
+
+/// "GNUTELLA/0.6 200 OK" handshake reply.
+Bytes gnutella_ok();
+
+/// HTTP/1.1 GET request for `path` on `host`.
+Bytes http_get(const std::string& host, const std::string& path);
+
+/// HTTP/1.1 response header announcing `content_length` body bytes.
+Bytes http_response(int status, std::uint64_t content_length);
+
+/// "220 ... FTP ..." service banner.
+Bytes ftp_banner();
+
+/// FTP client commands.
+Bytes ftp_command(const std::string& verb, const std::string& arg = "");
+
+/// "227 Entering Passive Mode (h1,h2,h3,h4,p1,p2)" reply.
+Bytes ftp_pasv_response(Ipv4Addr addr, std::uint16_t port);
+
+/// "PORT h1,h2,h3,h4,p1,p2" active-mode command.
+Bytes ftp_port_command(Ipv4Addr addr, std::uint16_t port);
+
+/// Minimal DNS query / response datagrams for a random name.
+Bytes dns_query(Rng& rng);
+Bytes dns_response(Rng& rng);
+
+/// Uniformly random bytes: models protocol-encrypted (PE/MSE/PHE) P2P
+/// traffic that defeats payload inspection.
+Bytes random_bytes(Rng& rng, std::size_t n);
+
+}  // namespace upbound::payloads

@@ -1,0 +1,460 @@
+#include "trace/sessions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "trace/payloads.h"
+
+namespace upbound {
+
+Duration sample_rtt(Rng& rng) {
+  const double sec = rng.lognormal(std::log(0.06), 0.9);
+  return Duration::sec(std::clamp(sec, 0.005, 2.5));
+}
+
+Duration sample_lifetime(Rng& rng, Duration mean) {
+  // Log-normal, solving mu for the requested mean (= exp(mu + sigma^2/2)).
+  // sigma = 2.57 reproduces the Fig. 4 percentile shape: with a ~46 s mean
+  // it gives P90 ~ 45 s, P95 well under 4 min and < 1% above 810 s.
+  const double sigma = 2.57;
+  const double mu = std::log(mean.to_sec()) - sigma * sigma / 2.0;
+  const double sec = rng.lognormal(mu, sigma);
+  return Duration::sec(std::clamp(sec, 0.005, 6.0 * 3600.0));
+}
+
+void add_transfer_messages(std::vector<MessageSpec>& messages, Rng& rng,
+                           std::uint64_t from_initiator,
+                           std::uint64_t to_initiator, Duration duration) {
+  // Chunk the transfer so throughput is spread over the lifetime instead
+  // of bursting at connection start. Roughly one chunk per second keeps
+  // inter-chunk think times well under the Fig. 5 out-in delay bound.
+  const int chunks = static_cast<int>(
+      std::clamp(duration.to_sec() + 1.0, 1.0, 48.0));
+  const Duration gap_unit = duration / (2 * chunks);
+  for (int i = 0; i < chunks; ++i) {
+    const std::uint64_t init_part = from_initiator / chunks;
+    const std::uint64_t resp_part = to_initiator / chunks;
+    const double jitter = 0.5 + rng.next_double();
+    if (init_part > 0 || i == 0) {
+      MessageSpec msg;
+      msg.from_initiator = true;
+      msg.total_bytes = init_part;
+      msg.gap_before = gap_unit * jitter;
+      messages.push_back(std::move(msg));
+    }
+    if (resp_part > 0) {
+      MessageSpec msg;
+      msg.from_initiator = false;
+      msg.total_bytes = resp_part;
+      msg.gap_before = gap_unit * (0.5 + rng.next_double());
+      messages.push_back(std::move(msg));
+    }
+  }
+}
+
+namespace {
+
+std::uint64_t heavy_tailed_bytes(Rng& rng, double mean) {
+  // Pareto with alpha = 1.5 has mean 3*xm; heavy upper tail like real
+  // transfer sizes. The cap keeps one infinite-variance draw from
+  // dominating a short trace's byte mix.
+  const double xm = mean / 3.0;
+  return static_cast<std::uint64_t>(
+      std::min(rng.pareto(std::max(xm, 16.0), 1.5), mean * 15.0));
+}
+
+}  // namespace
+
+std::vector<ConnectionSpec> make_http_session(const NetworkModel& net,
+                                              Rng& rng, SimTime start,
+                                              const HttpParams& params) {
+  ConnectionSpec conn;
+  conn.app = AppProtocol::kHttp;
+  conn.initiator_internal = true;
+  conn.rtt = sample_rtt(rng);
+  conn.start = start;
+  const std::uint16_t server_port =
+      rng.next_bool(0.85) ? 80
+                          : (rng.next_bool(0.5) ? 8080 : 3128);
+  conn.tuple = FiveTuple{Protocol::kTcp, net.random_client_host(rng),
+                         net.ephemeral_port(rng),
+                         net.random_external_host(rng), server_port};
+
+  const unsigned requests = 1 + static_cast<unsigned>(rng.next_below(
+                                    params.max_requests));
+  for (unsigned i = 0; i < requests; ++i) {
+    const std::uint64_t body = heavy_tailed_bytes(rng, params.mean_body_bytes);
+    MessageSpec request;
+    request.from_initiator = true;
+    request.prefix = payloads::http_get(
+        "www" + std::to_string(rng.next_below(100)) + ".example.com",
+        "/obj" + std::to_string(rng.next_below(1000)));
+    request.total_bytes = request.prefix.size();
+    request.gap_before = i == 0 ? Duration::msec(5)
+                                : Duration::sec(rng.exponential(1.2));
+    conn.messages.push_back(std::move(request));
+
+    MessageSpec response;
+    response.from_initiator = false;
+    response.prefix = payloads::http_response(
+        rng.next_bool(0.9) ? 200 : 404, body);
+    response.total_bytes = response.prefix.size() + body;
+    conn.messages.push_back(std::move(response));
+  }
+  conn.close = rng.next_bool(0.9) ? CloseKind::kFin : CloseKind::kRst;
+  conn.linger = Duration::sec(rng.exponential(0.8));
+  return {std::move(conn)};
+}
+
+std::vector<ConnectionSpec> make_dns_session(const NetworkModel& net,
+                                             Rng& rng, SimTime start,
+                                             const DnsParams& params) {
+  std::vector<ConnectionSpec> out;
+  const Ipv4Addr client = net.random_client_host(rng);
+  const Ipv4Addr resolver = net.random_external_host(rng);
+  const unsigned queries =
+      1 + static_cast<unsigned>(rng.next_below(params.max_queries));
+  SimTime t = start;
+  for (unsigned i = 0; i < queries; ++i) {
+    ConnectionSpec conn;
+    conn.app = AppProtocol::kDns;
+    conn.initiator_internal = true;
+    conn.rtt = sample_rtt(rng);
+    conn.start = t;
+    conn.tuple = FiveTuple{Protocol::kUdp, client, net.ephemeral_port(rng),
+                           resolver, 53};
+    MessageSpec query;
+    query.from_initiator = true;
+    query.prefix = payloads::dns_query(rng);
+    query.total_bytes = query.prefix.size();
+    conn.messages.push_back(std::move(query));
+    MessageSpec answer;
+    answer.from_initiator = false;
+    answer.prefix = payloads::dns_response(rng);
+    answer.total_bytes = answer.prefix.size();
+    conn.messages.push_back(std::move(answer));
+    conn.close = CloseKind::kNone;
+    out.push_back(std::move(conn));
+    t += Duration::sec(rng.exponential(0.3));
+  }
+  return out;
+}
+
+std::vector<ConnectionSpec> make_ftp_session(const NetworkModel& net,
+                                             Rng& rng, SimTime start,
+                                             const FtpParams& params) {
+  std::vector<ConnectionSpec> out;
+  const Ipv4Addr client = net.random_client_host(rng);
+  const Ipv4Addr server = net.random_external_host(rng);
+  const Duration rtt = sample_rtt(rng);
+
+  ConnectionSpec control;
+  control.app = AppProtocol::kFtp;
+  control.initiator_internal = true;
+  control.rtt = rtt;
+  control.start = start;
+  control.tuple = FiveTuple{Protocol::kTcp, client, net.ephemeral_port(rng),
+                            server, 21};
+
+  auto server_says = [&](payloads::Bytes text, Duration gap) {
+    MessageSpec msg;
+    msg.from_initiator = false;
+    msg.prefix = std::move(text);
+    msg.total_bytes = msg.prefix.size();
+    msg.gap_before = gap;
+    control.messages.push_back(std::move(msg));
+  };
+  auto client_says = [&](payloads::Bytes text, Duration gap) {
+    MessageSpec msg;
+    msg.from_initiator = true;
+    msg.prefix = std::move(text);
+    msg.total_bytes = msg.prefix.size();
+    msg.gap_before = gap;
+    control.messages.push_back(std::move(msg));
+  };
+
+  server_says(payloads::ftp_banner(), Duration::msec(10));
+  client_says(payloads::ftp_command("USER", "anonymous"), Duration::msec(400));
+  server_says(payloads::from_string("331 Guest login ok.\r\n"),
+              Duration::msec(5));
+  client_says(payloads::ftp_command("PASS", "guest@"), Duration::msec(300));
+  server_says(payloads::from_string("230 Login successful.\r\n"),
+              Duration::msec(5));
+
+  const unsigned files =
+      1 + static_cast<unsigned>(rng.next_below(params.max_files));
+  SimTime data_start = start + Duration::sec(2.0);
+  for (unsigned i = 0; i < files; ++i) {
+    const std::uint16_t data_port =
+        static_cast<std::uint16_t>(rng.next_range(20000, 60000));
+    client_says(payloads::ftp_command("PASV"), Duration::msec(600));
+    server_says(payloads::ftp_pasv_response(server, data_port),
+                Duration::msec(5));
+    client_says(payloads::ftp_command(
+                    "RETR", "file" + std::to_string(rng.next_below(100))),
+                Duration::msec(150));
+    server_says(payloads::from_string("150 Opening BINARY connection.\r\n"),
+                Duration::msec(5));
+
+    ConnectionSpec data;
+    data.app = AppProtocol::kFtp;
+    data.initiator_internal = true;
+    data.rtt = rtt;
+    data.start = data_start;
+    data.tuple = FiveTuple{Protocol::kTcp, client, net.ephemeral_port(rng),
+                           server, data_port};
+    const std::uint64_t bytes = heavy_tailed_bytes(rng, params.mean_file_bytes);
+    MessageSpec body;
+    body.from_initiator = false;
+    body.total_bytes = bytes;
+    body.gap_before = Duration::msec(50);
+    data.messages.push_back(std::move(body));
+    data.close = CloseKind::kFin;
+    out.push_back(std::move(data));
+
+    const Duration transfer_time =
+        Duration::sec(static_cast<double>(bytes) / 2e6);  // ~16 Mbps
+    server_says(payloads::from_string("226 Transfer complete.\r\n"),
+                transfer_time + Duration::msec(200));
+    data_start += transfer_time + Duration::sec(1.0 + rng.exponential(1.0));
+  }
+  client_says(payloads::ftp_command("QUIT"), Duration::msec(800));
+  server_says(payloads::from_string("221 Goodbye.\r\n"), Duration::msec(5));
+  control.close = CloseKind::kFin;
+  out.insert(out.begin(), std::move(control));
+  return out;
+}
+
+std::vector<ConnectionSpec> make_other_service_session(
+    const NetworkModel& net, Rng& rng, SimTime start,
+    const OtherServiceParams& params) {
+  static constexpr std::uint16_t kPorts[] = {22, 25, 110, 143, 443, 993};
+  ConnectionSpec conn;
+  conn.app = AppProtocol::kOther;
+  conn.initiator_internal = true;
+  conn.rtt = sample_rtt(rng);
+  conn.start = start;
+  conn.tuple = FiveTuple{Protocol::kTcp, net.random_client_host(rng),
+                         net.ephemeral_port(rng),
+                         net.random_external_host(rng),
+                         kPorts[rng.next_below(std::size(kPorts))]};
+  // Opaque service bytes: identified by port, not payload.
+  MessageSpec hello;
+  hello.from_initiator = false;
+  hello.prefix = payloads::random_bytes(rng, 32);
+  hello.total_bytes = 32;
+  hello.gap_before = Duration::msec(10);
+  conn.messages.push_back(std::move(hello));
+  const Duration life =
+      std::min(sample_lifetime(rng, Duration::sec(30.0)),
+               Duration::sec(120.0));
+  add_transfer_messages(conn.messages, rng,
+                        heavy_tailed_bytes(rng, params.mean_bytes * 0.4),
+                        heavy_tailed_bytes(rng, params.mean_bytes), life);
+  conn.close = CloseKind::kFin;
+  return {std::move(conn)};
+}
+
+namespace {
+
+// First-packet payloads for a P2P connection: what the initiator sends
+// first and what the responder answers.
+struct P2pHandshake {
+  payloads::Bytes initiator;
+  payloads::Bytes responder;
+  std::uint16_t default_port;
+};
+
+P2pHandshake p2p_handshake(AppProtocol app, Rng& rng) {
+  switch (app) {
+    case AppProtocol::kBitTorrent:
+      return {payloads::bittorrent_handshake(rng),
+              payloads::bittorrent_handshake(rng), 6881};
+    case AppProtocol::kEdonkey:
+      return {payloads::edonkey_hello(rng), payloads::edonkey_hello(rng),
+              4662};
+    case AppProtocol::kGnutella:
+      return {payloads::gnutella_connect(), payloads::gnutella_ok(), 6346};
+    default:
+      // Protocol-encrypted: nothing recognizable on the wire.
+      return {payloads::random_bytes(rng, 64), payloads::random_bytes(rng, 64),
+              0};
+  }
+}
+
+payloads::Bytes p2p_udp_payload(AppProtocol app, Rng& rng, bool query) {
+  switch (app) {
+    case AppProtocol::kBitTorrent: {
+      // Mainline DHT bencoded query/response; matches the Table 1
+      // "d1:ad2:id20:" signature.
+      payloads::Bytes out = payloads::from_string(
+          query ? "d1:ad2:id20:" : "d1:rd2:id20:");
+      const payloads::Bytes id = payloads::random_bytes(rng, 20);
+      out.insert(out.end(), id.begin(), id.end());
+      const payloads::Bytes tail = payloads::from_string(
+          query ? "e1:q4:ping1:t2:aa1:y1:qe" : "e1:t2:aa1:y1:re");
+      out.insert(out.end(), tail.begin(), tail.end());
+      return out;
+    }
+    case AppProtocol::kEdonkey:
+      return payloads::edonkey_udp_ping(rng);
+    case AppProtocol::kGnutella: {
+      // GND (Gnutella UDP) framing: "GND", two header bytes, 0x01.
+      payloads::Bytes out = payloads::from_string("GND");
+      out.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+      out.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+      out.push_back(0x01);
+      const payloads::Bytes body = payloads::random_bytes(rng, 16);
+      out.insert(out.end(), body.begin(), body.end());
+      return out;
+    }
+    default:
+      return payloads::random_bytes(rng, 24 + rng.next_below(80));
+  }
+}
+
+}  // namespace
+
+std::vector<ConnectionSpec> make_p2p_peer_session(const NetworkModel& net,
+                                                  Rng& rng, SimTime start,
+                                                  const P2pPeerParams& params) {
+  std::vector<ConnectionSpec> out;
+  const Ipv4Addr host = net.random_client_host(rng);
+  const P2pHandshake proto_probe = p2p_handshake(params.app, rng);
+  const std::uint16_t listen_port =
+      proto_probe.default_port != 0
+          ? net.p2p_listen_port(rng, proto_probe.default_port)
+          : net.random_high_port(rng);
+
+  std::vector<Ipv4Addr> contacted_peers;
+
+  auto make_tcp_conn = [&](bool outbound, SimTime t) {
+    ConnectionSpec conn;
+    conn.app = params.app;
+    conn.initiator_internal = outbound;
+    conn.rtt = sample_rtt(rng);
+    conn.start = t;
+    if (outbound) {
+      const Ipv4Addr peer = net.random_external_host(rng);
+      const std::uint16_t peer_port =
+          proto_probe.default_port != 0
+              ? net.p2p_listen_port(rng, proto_probe.default_port)
+              : net.random_high_port(rng);
+      // P2P clients often reuse their listen socket for outgoing
+      // connections; that reuse is what makes hole-punching keys match.
+      const std::uint16_t src_port =
+          rng.next_bool(params.listen_port_reuse_probability)
+              ? listen_port
+              : net.ephemeral_port(rng);
+      conn.tuple = FiveTuple{Protocol::kTcp, host, src_port, peer, peer_port};
+      contacted_peers.push_back(peer);
+    } else {
+      // Some inbound connections are call-backs from peers this host
+      // already contacted (from a fresh source port), the rest strangers.
+      const Ipv4Addr peer =
+          !contacted_peers.empty() &&
+                  rng.next_bool(params.callback_probability)
+              ? contacted_peers[rng.next_below(contacted_peers.size())]
+              : net.random_external_host(rng);
+      conn.tuple = FiveTuple{Protocol::kTcp, peer, net.ephemeral_port(rng),
+                             host, listen_port};
+    }
+
+    P2pHandshake hs = p2p_handshake(params.app, rng);
+    MessageSpec hello;
+    hello.from_initiator = true;
+    hello.prefix = std::move(hs.initiator);
+    hello.total_bytes = hello.prefix.size();
+    hello.gap_before = Duration::msec(5);
+    conn.messages.push_back(std::move(hello));
+    MessageSpec reply;
+    reply.from_initiator = false;
+    reply.prefix = std::move(hs.responder);
+    reply.total_bytes = reply.prefix.size();
+    conn.messages.push_back(std::move(reply));
+
+    // Payload flow: on outbound connections the inner peer mostly
+    // downloads; on inbound connections the external peer mostly
+    // downloads FROM us -- i.e. we upload.
+    const std::uint64_t download =
+        heavy_tailed_bytes(rng, params.mean_download_bytes);
+    const std::uint64_t upload =
+        heavy_tailed_bytes(rng, params.mean_upload_bytes);
+    const Duration life =
+        std::min(sample_lifetime(rng, params.mean_conn_duration),
+                 params.lifetime_cap);
+    if (outbound) {
+      // from_initiator = inner host: small requests out, download in.
+      add_transfer_messages(conn.messages, rng, download / 80, download, life);
+    } else {
+      // from_initiator = external peer: requests in, upload out.
+      add_transfer_messages(conn.messages, rng, upload / 80, upload, life);
+    }
+    // Occasional long mid-stream idle (a choked peer waiting to be
+    // unchoked): the traffic pattern that distinguishes expiry timers.
+    if (conn.messages.size() > 3 &&
+        rng.next_bool(params.idle_gap_probability)) {
+      const std::size_t victim =
+          3 + rng.next_below(conn.messages.size() - 3);
+      conn.messages[victim].gap_before +=
+          Duration::sec(std::min(rng.exponential(15.0), 80.0));
+    }
+    conn.close = rng.next_bool(0.8) ? CloseKind::kFin : CloseKind::kRst;
+    return conn;
+  };
+
+  SimTime t = start;
+  for (unsigned i = 0; i < params.outbound_conns; ++i) {
+    out.push_back(make_tcp_conn(true, t));
+    t += Duration::sec(rng.exponential(3.0));
+  }
+  t = start + Duration::sec(rng.exponential(2.0));
+  for (unsigned i = 0; i < params.inbound_conns; ++i) {
+    out.push_back(make_tcp_conn(false, t));
+    t += Duration::sec(rng.exponential(5.0));
+  }
+
+  // UDP overlay chatter: mixed initiative, small payloads, random ports.
+  t = start;
+  for (unsigned i = 0; i < params.udp_exchanges; ++i) {
+    ConnectionSpec conn;
+    conn.app = params.app;
+    conn.initiator_internal = rng.next_bool(0.55);
+    conn.rtt = sample_rtt(rng);
+    conn.start = t;
+    const Ipv4Addr peer = net.random_external_host(rng);
+    const std::uint16_t peer_port =
+        params.app == AppProtocol::kEdonkey && rng.next_bool(0.4)
+            ? (rng.next_bool(0.5) ? 4672 : 4661)
+            : net.random_high_port(rng);
+    if (conn.initiator_internal) {
+      conn.tuple = FiveTuple{Protocol::kUdp, host,
+                             conn.app == AppProtocol::kUnknown
+                                 ? net.random_high_port(rng)
+                                 : listen_port,
+                             peer, peer_port};
+    } else {
+      conn.tuple =
+          FiveTuple{Protocol::kUdp, peer, peer_port, host, listen_port};
+    }
+    MessageSpec query;
+    query.from_initiator = true;
+    query.prefix = p2p_udp_payload(params.app, rng, true);
+    query.total_bytes = query.prefix.size();
+    conn.messages.push_back(std::move(query));
+    if (rng.next_bool(0.8)) {  // some queries go unanswered
+      MessageSpec answer;
+      answer.from_initiator = false;
+      answer.prefix = p2p_udp_payload(params.app, rng, false);
+      answer.total_bytes = answer.prefix.size();
+      conn.messages.push_back(std::move(answer));
+    }
+    conn.close = CloseKind::kNone;
+    out.push_back(std::move(conn));
+    t += Duration::sec(rng.exponential(1.5));
+  }
+
+  return out;
+}
+
+}  // namespace upbound

@@ -1,0 +1,117 @@
+// Application session models: each produces the ConnectionSpecs one user
+// action (a page fetch, an FTP download, a period of P2P activity) creates.
+// Together they reproduce the structure paper Section 3.3 measures --
+// client-server sessions are outbound and download-heavy, peer-to-peer
+// sessions accept inbound connections whose payload flows outbound (the
+// uploads the bitmap filter exists to bound).
+#pragma once
+
+#include <vector>
+
+#include "net/app_protocol.h"
+#include "trace/network_model.h"
+#include "trace/packetizer.h"
+
+namespace upbound {
+
+/// Samples an external round-trip time; log-normal with ~60 ms median and
+/// a sub-second p99, matching the Fig. 5 out-in delay shape.
+Duration sample_rtt(Rng& rng);
+
+/// Samples a connection duration with the heavy-tailed Fig. 4 shape,
+/// scaled to the given mean. Clamped to [5 ms, 6 h].
+Duration sample_lifetime(Rng& rng, Duration mean);
+
+/// Appends alternating request/response message chunks that transfer
+/// `from_initiator` / `to_initiator` bytes spread over roughly `duration`.
+void add_transfer_messages(std::vector<MessageSpec>& messages, Rng& rng,
+                           std::uint64_t from_initiator,
+                           std::uint64_t to_initiator, Duration duration);
+
+// ---------------------------------------------------------------------
+// Client-server sessions (outbound, download-heavy).
+// ---------------------------------------------------------------------
+
+struct HttpParams {
+  double mean_body_bytes = 24e3;
+  unsigned max_requests = 4;
+};
+
+/// A browser fetching 1..max_requests objects over one keep-alive
+/// connection to an external web server.
+std::vector<ConnectionSpec> make_http_session(const NetworkModel& net,
+                                              Rng& rng, SimTime start,
+                                              const HttpParams& params = {});
+
+struct DnsParams {
+  unsigned max_queries = 3;
+};
+
+/// UDP DNS lookups to an external resolver.
+std::vector<ConnectionSpec> make_dns_session(const NetworkModel& net,
+                                             Rng& rng, SimTime start,
+                                             const DnsParams& params = {});
+
+struct FtpParams {
+  double mean_file_bytes = 400e3;
+  unsigned max_files = 2;
+};
+
+/// An FTP control connection plus one passive-mode data connection per
+/// retrieved file. The PASV reply in the control stream names the data
+/// port, which the analyzer's FTP tracker must parse (paper Section 3.2,
+/// second strategy).
+std::vector<ConnectionSpec> make_ftp_session(const NetworkModel& net,
+                                             Rng& rng, SimTime start,
+                                             const FtpParams& params = {});
+
+struct OtherServiceParams {
+  double mean_bytes = 30e3;
+};
+
+/// A catch-all well-known-port service session (SSH/SMTP/IMAP-style):
+/// identified by port, counted as "Others" in Table 2.
+std::vector<ConnectionSpec> make_other_service_session(
+    const NetworkModel& net, Rng& rng, SimTime start,
+    const OtherServiceParams& params = {});
+
+// ---------------------------------------------------------------------
+// Peer-to-peer sessions.
+// ---------------------------------------------------------------------
+
+struct P2pPeerParams {
+  AppProtocol app = AppProtocol::kBitTorrent;
+  /// Connections this peer initiates to external peers (downloads).
+  unsigned outbound_conns = 2;
+  /// Connections external peers initiate to this peer (uploads!).
+  unsigned inbound_conns = 3;
+  /// Small UDP exchanges (DHT / server pings / overlay chatter).
+  unsigned udp_exchanges = 8;
+  double mean_download_bytes = 120e3;
+  double mean_upload_bytes = 400e3;
+  Duration mean_conn_duration = Duration::sec(50.0);
+  /// Hard upper bound on a single connection's lifetime; keeps short
+  /// generated traces from being stretched by one heavy-tail draw.
+  Duration lifetime_cap = Duration::sec(600.0);
+  /// Probability that a TCP peer connection contains one long mid-stream
+  /// idle period (choke/unchoke pauses); exercises state-expiry behaviour.
+  double idle_gap_probability = 0.15;
+  /// Probability that an inbound connection comes from a peer this host
+  /// contacted earlier (a P2P call-back) rather than a stranger -- the
+  /// NAT hole-punching scenario of paper Section 4.2.
+  double callback_probability = 0.3;
+  /// Probability that an outbound connection originates from the host's
+  /// listen port (socket reuse, the hole-punch enabler).
+  double listen_port_reuse_probability = 0.5;
+};
+
+/// One internal host's P2P activity window: a mix of outbound and inbound
+/// TCP peer connections plus UDP overlay chatter. For
+/// AppProtocol::kUnknown the payloads are protocol-encrypted (random
+/// bytes) on random ports -- the traffic class the paper cannot identify
+/// but the bitmap filter still bounds.
+std::vector<ConnectionSpec> make_p2p_peer_session(const NetworkModel& net,
+                                                  Rng& rng, SimTime start,
+                                                  const P2pPeerParams& params);
+
+}  // namespace upbound

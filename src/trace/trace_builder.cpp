@@ -1,0 +1,55 @@
+#include "trace/trace_builder.h"
+
+#include <algorithm>
+
+namespace upbound {
+
+double GeneratedTrace::average_bits_per_sec() const {
+  const double sec = span().to_sec();
+  if (sec <= 0.0) return 0.0;
+  return static_cast<double>(outbound_bytes + inbound_bytes) * 8.0 / sec;
+}
+
+TraceBuilder::TraceBuilder(ClientNetwork network, PacketizerOptions options)
+    : network_(std::move(network)), options_(options) {
+  result_.network = network_;
+}
+
+void TraceBuilder::add(const ConnectionSpec& spec) {
+  const std::size_t before = result_.packets.size();
+  packetize(spec, options_, result_.packets);
+  for (std::size_t i = before; i < result_.packets.size(); ++i) {
+    const PacketRecord& pkt = result_.packets[i];
+    switch (network_.classify(pkt)) {
+      case Direction::kOutbound:
+        result_.outbound_bytes += pkt.wire_size();
+        break;
+      case Direction::kInbound:
+        result_.inbound_bytes += pkt.wire_size();
+        break;
+      default:
+        break;
+    }
+  }
+  result_.truth[spec.tuple.canonical()] = spec.app;
+  ++connections_;
+}
+
+void TraceBuilder::add_all(const std::vector<ConnectionSpec>& specs) {
+  for (const auto& spec : specs) add(spec);
+}
+
+GeneratedTrace TraceBuilder::build() {
+  std::stable_sort(result_.packets.begin(), result_.packets.end(),
+                   [](const PacketRecord& a, const PacketRecord& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  result_.connection_count = connections_;
+  GeneratedTrace out = std::move(result_);
+  result_ = GeneratedTrace{};
+  result_.network = network_;
+  connections_ = 0;
+  return out;
+}
+
+}  // namespace upbound

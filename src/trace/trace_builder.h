@@ -1,0 +1,58 @@
+// Assembles ConnectionSpecs into a single time-sorted trace with ground
+// truth labels for classifier evaluation.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/direction.h"
+#include "trace/packetizer.h"
+
+namespace upbound {
+
+/// A synthetic trace plus everything needed to evaluate against it.
+struct GeneratedTrace {
+  Trace packets;
+  ClientNetwork network;
+  /// Ground truth application per connection (canonical-tuple keyed).
+  std::unordered_map<FiveTuple, AppProtocol, CanonicalTupleHash,
+                     CanonicalTupleEq>
+      truth;
+  std::size_t connection_count = 0;
+
+  /// Total bytes crossing the edge, by direction.
+  std::uint64_t outbound_bytes = 0;
+  std::uint64_t inbound_bytes = 0;
+
+  SimTime first_packet_time() const {
+    return packets.empty() ? SimTime::origin() : packets.front().timestamp;
+  }
+  SimTime last_packet_time() const {
+    return packets.empty() ? SimTime::origin() : packets.back().timestamp;
+  }
+  Duration span() const { return last_packet_time() - first_packet_time(); }
+
+  /// Average offered load over the trace span, in bits per second.
+  double average_bits_per_sec() const;
+};
+
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(ClientNetwork network, PacketizerOptions options = {});
+
+  void add(const ConnectionSpec& spec);
+  void add_all(const std::vector<ConnectionSpec>& specs);
+
+  std::size_t connection_count() const { return connections_; }
+
+  /// Sorts and finalizes; the builder is left empty.
+  GeneratedTrace build();
+
+ private:
+  ClientNetwork network_;
+  PacketizerOptions options_;
+  GeneratedTrace result_;
+  std::size_t connections_ = 0;
+};
+
+}  // namespace upbound

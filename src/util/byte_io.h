@@ -1,0 +1,125 @@
+// Endian-explicit byte readers/writers used by the packet header codecs and
+// the pcap file format. Header-only.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace upbound {
+
+/// Byte-order reversal (std::byteswap is C++23; we target C++20).
+constexpr std::uint32_t bswap32(std::uint32_t v) {
+  return ((v & 0x000000ffu) << 24) | ((v & 0x0000ff00u) << 8) |
+         ((v & 0x00ff0000u) >> 8) | ((v & 0xff000000u) >> 24);
+}
+constexpr std::uint64_t bswap64(std::uint64_t v) {
+  return (static_cast<std::uint64_t>(bswap32(static_cast<std::uint32_t>(v)))
+          << 32) |
+         bswap32(static_cast<std::uint32_t>(v >> 32));
+}
+
+/// Appends fixed-width integers to a growable byte buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u16be(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32be(std::uint32_t v) {
+    u16be(static_cast<std::uint16_t>(v >> 16));
+    u16be(static_cast<std::uint16_t>(v));
+  }
+  void u16le(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32le(std::uint32_t v) {
+    u16le(static_cast<std::uint16_t>(v));
+    u16le(static_cast<std::uint16_t>(v >> 16));
+  }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Thrown when a reader runs past the end of its buffer.
+class ByteUnderflow : public std::runtime_error {
+ public:
+  ByteUnderflow() : std::runtime_error("byte reader underflow") {}
+};
+
+/// Consumes fixed-width integers from a byte span.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool empty() const { return remaining() == 0; }
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint16_t u16be() {
+    need(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32be() {
+    need(4);  // all-or-nothing: check before consuming either half
+    const std::uint32_t hi = u16be();
+    const std::uint32_t lo = u16be();
+    return (hi << 16) | lo;
+  }
+  std::uint16_t u16le() {
+    need(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32le() {
+    need(4);  // all-or-nothing: check before consuming either half
+    const std::uint32_t lo = u16le();
+    const std::uint32_t hi = u16le();
+    return lo | (hi << 16);
+  }
+
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    need(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  void skip(std::size_t n) {
+    need(n);
+    pos_ += n;
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (remaining() < n) throw ByteUnderflow{};
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace upbound

@@ -1,0 +1,40 @@
+// Hashing primitives.
+//
+// The bitmap filter needs a family of m independent hash functions over
+// socket-pair keys (paper Section 4.2); everything here is implemented from
+// scratch so hash values are stable across platforms and standard library
+// versions -- test vectors and experiment results must not change when the
+// toolchain does.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace upbound {
+
+/// 64-bit FNV-1a. Cheap; used for hash-table bucketing.
+std::uint64_t fnv1a64(std::span<const std::uint8_t> data,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// 128-bit MurmurHash3 (x64 variant), the workhorse behind the Bloom hash
+/// family. Returns the two 64-bit halves.
+struct Hash128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  bool operator==(const Hash128&) const = default;
+};
+
+Hash128 murmur3_x64_128(std::span<const std::uint8_t> data,
+                        std::uint64_t seed = 0);
+
+/// Final avalanche mixer from MurmurHash3; good for combining small ints.
+std::uint64_t mix64(std::uint64_t x);
+
+/// Combines two hashes order-dependently.
+inline std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace upbound

@@ -1,0 +1,46 @@
+// Minimal leveled logging to stderr. Quiet by default so benches emit only
+// their result tables; tests flip the level when diagnosing failures.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace upbound {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: LOG(kInfo) << "x=" << x;
+#define UPBOUND_LOG(level)                                       \
+  for (bool upbound_log_once =                                   \
+           static_cast<int>(::upbound::LogLevel::level) >=       \
+           static_cast<int>(::upbound::log_level());             \
+       upbound_log_once; upbound_log_once = false)               \
+  ::upbound::detail::LogLine(::upbound::LogLevel::level).stream()
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace upbound

@@ -1,0 +1,93 @@
+// Deterministic pseudo-random generation for synthetic workloads.
+//
+// The trace generator must be reproducible across runs and platforms, so we
+// implement the generator and every distribution from scratch instead of
+// relying on the implementation-defined std::<distribution> algorithms.
+// The core engine is xoshiro256++, seeded through splitmix64.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace upbound {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256++ engine with explicit, reproducible seeding.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform over the full 64-bit range.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). Requires bound > 0. Unbiased (rejection).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in the closed range [lo, hi]. Requires lo <= hi.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial.
+  bool next_bool(double probability);
+
+  /// Exponential with the given mean (> 0). Used for inter-arrival gaps.
+  double exponential(double mean);
+
+  /// Standard normal via the Marsaglia polar method.
+  double normal(double mu = 0.0, double sigma = 1.0);
+
+  /// Log-normal where mu/sigma parameterize the underlying normal.
+  /// Matches the heavy-tailed connection lifetime shapes in Fig. 4.
+  double lognormal(double mu, double sigma);
+
+  /// Pareto (Lomax-style, min scale xm > 0, shape alpha > 0): heavy-tailed
+  /// transfer sizes.
+  double pareto(double xm, double alpha);
+
+  /// Forks a statistically independent child stream; deterministic given
+  /// the parent state and salt.
+  Rng fork(std::uint64_t salt);
+
+ private:
+  std::uint64_t s_[4];
+  // Cached second output of the polar method.
+  double spare_normal_ = 0.0;
+  bool has_spare_normal_ = false;
+};
+
+/// Zipf(s) sampler over ranks {1..n} using a precomputed inverse CDF table.
+/// Used for host/port popularity skew (a few hot services, long tail).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  /// Returns a rank in [0, n).
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Weighted discrete choice over arbitrary weights (alias-free linear CDF;
+/// fine for the small category sets used in the workload mixes).
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(std::vector<double> weights);
+
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  /// Normalized probability of category i.
+  double probability(std::size_t i) const;
+
+ private:
+  std::vector<double> cdf_;  // cumulative, last element == total
+};
+
+}  // namespace upbound

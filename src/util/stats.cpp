@@ -1,0 +1,182 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace upbound {
+
+void SummaryStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double SummaryStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double SummaryStats::stddev() const { return std::sqrt(variance()); }
+
+const std::vector<double>& CdfBuilder::sorted() const {
+  if (dirty_) {
+    std::sort(samples_.begin(), samples_.end());
+    dirty_ = false;
+  }
+  return samples_;
+}
+
+double CdfBuilder::percentile(double pct) const {
+  const auto& s = sorted();
+  if (s.empty()) throw std::logic_error("CdfBuilder::percentile: no samples");
+  if (pct <= 0.0) return s.front();
+  if (pct >= 100.0) return s.back();
+  const double pos = pct / 100.0 * static_cast<double>(s.size() - 1);
+  const std::size_t idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  if (idx + 1 >= s.size()) return s.back();
+  return s[idx] * (1.0 - frac) + s[idx + 1] * frac;
+}
+
+double CdfBuilder::fraction_below(double x) const {
+  const auto& s = sorted();
+  if (s.empty()) return 0.0;
+  const auto it = std::upper_bound(s.begin(), s.end(), x);
+  return static_cast<double>(it - s.begin()) / static_cast<double>(s.size());
+}
+
+std::vector<std::pair<double, double>> CdfBuilder::curve(
+    std::size_t points) const {
+  if (points < 2) throw std::invalid_argument("CdfBuilder::curve: points < 2");
+  const auto& s = sorted();
+  std::vector<std::pair<double, double>> out;
+  if (s.empty()) return out;
+  out.reserve(points);
+  const double lo = s.front();
+  const double hi = s.back();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, fraction_below(x));
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (bins == 0 || hi <= lo) {
+    throw std::invalid_argument("Histogram: need bins > 0 and hi > lo");
+  }
+}
+
+void Histogram::add(double x, std::uint64_t weight) {
+  double pos = (x - lo_) / width_;
+  std::size_t idx;
+  if (pos < 0.0) {
+    idx = 0;
+  } else if (pos >= static_cast<double>(counts_.size())) {
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>(pos);
+  }
+  counts_[idx] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::percentile(double pct) const {
+  if (total_ == 0) throw std::logic_error("Histogram::percentile: empty");
+  const double target = pct / 100.0 * static_cast<double>(total_);
+  double run = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    run += static_cast<double>(counts_[i]);
+    if (run >= target) {
+      // Interpolate inside the bin.
+      const double prev = run - static_cast<double>(counts_[i]);
+      const double frac =
+          counts_[i] == 0
+              ? 0.0
+              : (target - prev) / static_cast<double>(counts_[i]);
+      return bin_lo(i) + frac * width_;
+    }
+  }
+  return bin_hi(counts_.size() - 1);
+}
+
+TimeSeries::TimeSeries(Duration bucket_width) : width_(bucket_width) {
+  if (width_.count_usec() <= 0) {
+    throw std::invalid_argument("TimeSeries: bucket width must be positive");
+  }
+}
+
+void TimeSeries::add(SimTime t, double value) {
+  if (t.usec() < 0) return;  // before trace origin: ignore
+  const std::size_t idx =
+      static_cast<std::size_t>(t.usec() / width_.count_usec());
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0.0);
+  buckets_[idx] += value;
+}
+
+SimTime TimeSeries::bucket_start(std::size_t i) const {
+  return SimTime::from_usec(static_cast<std::int64_t>(i) * width_.count_usec());
+}
+
+double TimeSeries::total() const {
+  double sum = 0.0;
+  for (double b : buckets_) sum += b;
+  return sum;
+}
+
+std::vector<double> TimeSeries::rates() const {
+  std::vector<double> out(buckets_.size());
+  const double w = width_.to_sec();
+  for (std::size_t i = 0; i < buckets_.size(); ++i) out[i] = buckets_[i] / w;
+  return out;
+}
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("Ewma: alpha must be in (0, 1]");
+  }
+}
+
+void Ewma::add(double x) {
+  if (!initialized_) {
+    value_ = x;
+    initialized_ = true;
+  } else {
+    value_ = alpha_ * x + (1.0 - alpha_) * value_;
+  }
+}
+
+std::string format_bits_per_sec(double bits_per_sec) {
+  char buf[64];
+  if (bits_per_sec >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f Gbps", bits_per_sec / 1e9);
+  } else if (bits_per_sec >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f Mbps", bits_per_sec / 1e6);
+  } else if (bits_per_sec >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f Kbps", bits_per_sec / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f bps", bits_per_sec);
+  }
+  return buf;
+}
+
+}  // namespace upbound

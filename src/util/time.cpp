@@ -1,0 +1,29 @@
+#include "util/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace upbound {
+
+namespace {
+
+std::string format_usec(std::int64_t usec) {
+  char buf[64];
+  const double abs_us = std::abs(static_cast<double>(usec));
+  if (abs_us < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(usec));
+  } else if (abs_us < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3gms", static_cast<double>(usec) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4gs", static_cast<double>(usec) / 1e6);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::to_string() const { return format_usec(usec_); }
+
+std::string SimTime::to_string() const { return format_usec(usec_); }
+
+}  // namespace upbound

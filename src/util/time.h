@@ -1,0 +1,92 @@
+// Simulation time primitives.
+//
+// All trace and filter code operates on a single monotonic timeline whose
+// origin is the first packet of a trace. Times and durations are stored as
+// signed 64-bit microsecond counts, which covers ~292k years of trace at
+// microsecond resolution -- far beyond the 7.5 h traces the paper studies.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace upbound {
+
+/// A span of simulated time (microsecond resolution).
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration usec(std::int64_t u) { return Duration{u}; }
+  static constexpr Duration msec(std::int64_t m) { return Duration{m * 1000}; }
+  static constexpr Duration sec(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e6)};
+  }
+  static constexpr Duration minutes(std::int64_t m) {
+    return Duration{m * 60'000'000};
+  }
+  static constexpr Duration hours(std::int64_t h) {
+    return Duration{h * 3'600'000'000LL};
+  }
+
+  constexpr std::int64_t count_usec() const { return usec_; }
+  constexpr double to_sec() const { return static_cast<double>(usec_) / 1e6; }
+  constexpr double to_msec() const { return static_cast<double>(usec_) / 1e3; }
+
+  constexpr bool is_zero() const { return usec_ == 0; }
+  constexpr bool is_negative() const { return usec_ < 0; }
+
+  constexpr Duration operator+(Duration o) const { return Duration{usec_ + o.usec_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{usec_ - o.usec_}; }
+  constexpr Duration operator*(double f) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(usec_) * f)};
+  }
+  constexpr Duration operator/(std::int64_t d) const { return Duration{usec_ / d}; }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(usec_) / static_cast<double>(o.usec_);
+  }
+  constexpr Duration operator-() const { return Duration{-usec_}; }
+  constexpr Duration& operator+=(Duration o) { usec_ += o.usec_; return *this; }
+  constexpr Duration& operator-=(Duration o) { usec_ -= o.usec_; return *this; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  /// Renders as a human-readable quantity, e.g. "45.84s" or "2.8ms".
+  std::string to_string() const;
+
+ private:
+  explicit constexpr Duration(std::int64_t u) : usec_(u) {}
+  std::int64_t usec_ = 0;
+};
+
+/// An instant on the simulated timeline (microseconds since trace origin).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime from_usec(std::int64_t u) { return SimTime{u}; }
+  static constexpr SimTime from_sec(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e6)};
+  }
+  static constexpr SimTime origin() { return SimTime{0}; }
+  /// Sentinel greater than every real timestamp.
+  static constexpr SimTime infinite() { return SimTime{INT64_MAX}; }
+
+  constexpr std::int64_t usec() const { return usec_; }
+  constexpr double sec() const { return static_cast<double>(usec_) / 1e6; }
+
+  constexpr SimTime operator+(Duration d) const { return SimTime{usec_ + d.count_usec()}; }
+  constexpr SimTime operator-(Duration d) const { return SimTime{usec_ - d.count_usec()}; }
+  constexpr Duration operator-(SimTime o) const { return Duration::usec(usec_ - o.usec_); }
+  constexpr SimTime& operator+=(Duration d) { usec_ += d.count_usec(); return *this; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr SimTime(std::int64_t u) : usec_(u) {}
+  std::int64_t usec_ = 0;
+};
+
+}  // namespace upbound

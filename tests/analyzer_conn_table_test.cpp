@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "analyzer/conn_table.h"
+
+namespace upbound {
+namespace {
+
+FiveTuple tuple() {
+  return FiveTuple{Protocol::kTcp, Ipv4Addr{140, 112, 30, 9}, 40000,
+                   Ipv4Addr{8, 8, 8, 8}, 80};
+}
+
+PacketRecord pkt(const FiveTuple& t, double t_sec, TcpFlags flags = {},
+                 std::uint32_t payload = 0) {
+  PacketRecord p;
+  p.timestamp = SimTime::from_sec(t_sec);
+  p.tuple = t;
+  p.flags = flags;
+  p.payload_size = payload;
+  return p;
+}
+
+TEST(StreamBuf, AppendsUpToCap) {
+  StreamBuf buf{8};
+  const std::uint8_t a[] = {1, 2, 3, 4, 5};
+  EXPECT_EQ(buf.append(a), 5u);
+  EXPECT_EQ(buf.append(a), 3u);  // only 3 bytes of room left
+  EXPECT_TRUE(buf.at_capacity());
+  EXPECT_EQ(buf.size(), 8u);
+  EXPECT_EQ(buf.bytes()[5], 1);
+}
+
+TEST(StreamBuf, DiscardReleasesMemory) {
+  StreamBuf buf;
+  const std::uint8_t a[64] = {};
+  buf.append(a);
+  buf.discard();
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(ConnTable, CreatesRecordOnFirstPacket) {
+  ConnTable table;
+  const auto& rec =
+      table.update(pkt(tuple(), 1.0, {.syn = true}), Direction::kOutbound);
+  EXPECT_EQ(rec.tuple, tuple());
+  EXPECT_TRUE(rec.saw_syn);
+  EXPECT_EQ(rec.first_direction, Direction::kOutbound);
+  EXPECT_EQ(rec.first_packet_time, SimTime::from_sec(1.0));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(ConnTable, BothDirectionsShareOneRecord) {
+  ConnTable table;
+  table.update(pkt(tuple(), 1.0, {.syn = true}), Direction::kOutbound);
+  table.update(pkt(tuple().inverse(), 1.1, {.syn = true, .ack = true}),
+               Direction::kInbound);
+  EXPECT_EQ(table.size(), 1u);
+  const ConnectionRecord* rec = table.find(tuple());
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->packets_from_initiator, 1u);
+  EXPECT_EQ(rec->packets_to_initiator, 1u);
+  EXPECT_EQ(table.find(tuple().inverse()), rec);
+}
+
+TEST(ConnTable, ByteCountersUseWireSize) {
+  ConnTable table;
+  table.update(pkt(tuple(), 1.0, {.ack = true}, 100), Direction::kOutbound);
+  const ConnectionRecord* rec = table.find(tuple());
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->bytes_from_initiator, 100u + 54u);  // payload + headers
+}
+
+TEST(ConnTable, CloseTimeFromFin) {
+  ConnTable table;
+  table.update(pkt(tuple(), 1.0, {.syn = true}), Direction::kOutbound);
+  table.update(pkt(tuple(), 5.0, {.ack = true, .fin = true}),
+               Direction::kOutbound);
+  // Later packets do not move the close time.
+  table.update(pkt(tuple().inverse(), 6.0, {.ack = true, .fin = true}),
+               Direction::kInbound);
+  const ConnectionRecord* rec = table.find(tuple());
+  ASSERT_TRUE(rec->closed);
+  EXPECT_EQ(rec->close_time, SimTime::from_sec(5.0));
+  EXPECT_EQ(rec->lifetime(), Duration::sec(4.0));
+}
+
+TEST(ConnTable, RstAlsoCloses) {
+  ConnTable table;
+  table.update(pkt(tuple(), 1.0, {.syn = true}), Direction::kOutbound);
+  table.update(pkt(tuple(), 2.5, {.rst = true}), Direction::kOutbound);
+  const ConnectionRecord* rec = table.find(tuple());
+  ASSERT_TRUE(rec->closed);
+  EXPECT_EQ(rec->lifetime(), Duration::sec(1.5));
+}
+
+TEST(ConnTable, MidStreamCaptureHasNoSyn) {
+  ConnTable table;
+  table.update(pkt(tuple(), 1.0, {.ack = true}, 500), Direction::kOutbound);
+  EXPECT_FALSE(table.find(tuple())->saw_syn);
+}
+
+TEST(ConnTable, LastPacketTimeTracksLatest) {
+  ConnTable table;
+  table.update(pkt(tuple(), 1.0, {.syn = true}), Direction::kOutbound);
+  table.update(pkt(tuple(), 9.0, {.ack = true}), Direction::kOutbound);
+  EXPECT_EQ(table.find(tuple())->last_packet_time, SimTime::from_sec(9.0));
+}
+
+TEST(ConnTable, ForEachVisitsAllRecords) {
+  ConnTable table;
+  for (std::uint16_t p = 1; p <= 10; ++p) {
+    FiveTuple t = tuple();
+    t.src_port = p;
+    table.update(pkt(t, 1.0, {.syn = true}), Direction::kOutbound);
+  }
+  int visited = 0;
+  table.for_each([&](const ConnectionRecord&) { ++visited; });
+  EXPECT_EQ(visited, 10);
+}
+
+TEST(ConnectionRecord, ToStringMentionsAppAndMethod) {
+  ConnTable table;
+  auto& rec = table.update(pkt(tuple(), 1.0, {.syn = true}),
+                           Direction::kOutbound);
+  rec.app = AppProtocol::kBitTorrent;
+  rec.method = ClassifyMethod::kPattern;
+  const std::string s = rec.to_string();
+  EXPECT_NE(s.find("bittorrent"), std::string::npos);
+  EXPECT_NE(s.find("pattern"), std::string::npos);
+}
+
+TEST(ClassifyMethodName, AllNamed) {
+  EXPECT_STREQ(classify_method_name(ClassifyMethod::kNone), "none");
+  EXPECT_STREQ(classify_method_name(ClassifyMethod::kPattern), "pattern");
+  EXPECT_STREQ(classify_method_name(ClassifyMethod::kPort), "port");
+  EXPECT_STREQ(classify_method_name(ClassifyMethod::kEndpointMemo),
+               "endpoint-memo");
+  EXPECT_STREQ(classify_method_name(ClassifyMethod::kFtpData), "ftp-data");
+}
+
+}  // namespace
+}  // namespace upbound

@@ -1,0 +1,112 @@
+#include "analyzer/host_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/campus.h"
+
+namespace upbound {
+namespace {
+
+ClientNetwork campus() {
+  return ClientNetwork{{*Cidr::parse("140.112.30.0/24")}};
+}
+
+PacketRecord pkt(Ipv4Addr src, Ipv4Addr dst, std::uint32_t payload,
+                 TcpFlags flags = {}) {
+  PacketRecord p;
+  p.tuple = FiveTuple{Protocol::kTcp, src, 1000, dst, 2000};
+  p.payload_size = payload;
+  p.flags = flags;
+  return p;
+}
+
+const Ipv4Addr kAlice{140, 112, 30, 10};
+const Ipv4Addr kBob{140, 112, 30, 11};
+const Ipv4Addr kPeer{61, 2, 3, 4};
+
+TEST(HostAccounting, AttributesByDirection) {
+  HostAccounting acc{campus()};
+  acc.observe(pkt(kAlice, kPeer, 1000));  // alice uploads
+  acc.observe(pkt(kPeer, kAlice, 200));   // alice downloads
+  acc.observe(pkt(kBob, kPeer, 50));      // bob uploads
+
+  const HostRecord* alice = acc.find(kAlice);
+  ASSERT_NE(alice, nullptr);
+  EXPECT_EQ(alice->upload_bytes, 1000u + 54u);
+  EXPECT_EQ(alice->download_bytes, 200u + 54u);
+  EXPECT_EQ(alice->upload_packets, 1u);
+  EXPECT_EQ(alice->download_packets, 1u);
+  EXPECT_EQ(acc.host_count(), 2u);
+}
+
+TEST(HostAccounting, SynCountingByDirection) {
+  HostAccounting acc{campus()};
+  acc.observe(pkt(kAlice, kPeer, 0, {.syn = true}));  // alice initiates
+  acc.observe(pkt(kPeer, kAlice, 0, {.syn = true}));  // peer calls alice
+  acc.observe(pkt(kPeer, kAlice, 0, {.syn = true, .ack = true}));  // not SYN-only
+  const HostRecord* alice = acc.find(kAlice);
+  EXPECT_EQ(alice->connections_initiated, 1u);
+  EXPECT_EQ(alice->connections_accepted, 1u);
+}
+
+TEST(HostAccounting, LocalAndTransitIgnored) {
+  HostAccounting acc{campus()};
+  acc.observe(pkt(kAlice, kBob, 1000));                        // local
+  acc.observe(pkt(Ipv4Addr{1, 1, 1, 1}, Ipv4Addr{2, 2, 2, 2}, 9));  // transit
+  EXPECT_EQ(acc.host_count(), 0u);
+}
+
+TEST(HostAccounting, TopUploadersOrdered) {
+  HostAccounting acc{campus()};
+  acc.observe(pkt(kAlice, kPeer, 100));
+  acc.observe(pkt(kBob, kPeer, 10'000));
+  const auto top = acc.top_uploaders(5);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].addr, kBob);
+  EXPECT_EQ(top[1].addr, kAlice);
+
+  const auto top1 = acc.top_uploaders(1);
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_EQ(top1[0].addr, kBob);
+}
+
+TEST(HostAccounting, UploadFraction) {
+  HostAccounting acc{campus()};
+  acc.observe(pkt(kAlice, kPeer, 946));  // 1000 wire bytes up
+  acc.observe(pkt(kPeer, kAlice, 946));  // 1000 wire bytes down
+  acc.observe(pkt(kAlice, kPeer, 946));
+  acc.observe(pkt(kAlice, kPeer, 946));
+  EXPECT_DOUBLE_EQ(acc.find(kAlice)->upload_fraction(), 0.75);
+}
+
+TEST(HostAccounting, CampusTraceSeedersVisible) {
+  CampusTraceConfig config;
+  config.duration = Duration::sec(15.0);
+  config.connections_per_sec = 50.0;
+  config.bandwidth_bps = 5e6;
+  config.seed = 3;
+  const GeneratedTrace trace = generate_campus_trace(config);
+
+  HostAccounting acc{trace.network};
+  for (const PacketRecord& pkt : trace.packets) acc.observe(pkt);
+
+  ASSERT_GT(acc.host_count(), 20u);
+  const auto top = acc.top_uploaders(5);
+  ASSERT_EQ(top.size(), 5u);
+  // P2P seeders dominate uploads and accept inbound connections.
+  EXPECT_GT(top[0].upload_fraction(), 0.5);
+  const auto accepting = acc.top_accepting(3);
+  EXPECT_GT(accepting[0].connections_accepted, 0u);
+
+  // Accounting conserves bytes: sum over hosts == trace totals.
+  std::uint64_t up = 0, down = 0;
+  for (const auto& host : acc.top_uploaders(acc.host_count())) {
+    up += host.upload_bytes;
+    down += host.download_bytes;
+  }
+  EXPECT_EQ(up, trace.outbound_bytes);
+  EXPECT_EQ(down, trace.inbound_bytes);
+}
+
+}  // namespace
+}  // namespace upbound

@@ -1,0 +1,93 @@
+#include "analyzer/out_in_delay.h"
+
+#include <gtest/gtest.h>
+
+namespace upbound {
+namespace {
+
+FiveTuple out_tuple(std::uint16_t sport = 40000) {
+  return FiveTuple{Protocol::kTcp, Ipv4Addr{140, 112, 30, 5}, sport,
+                   Ipv4Addr{61, 2, 3, 4}, 80};
+}
+
+PacketRecord pkt(const FiveTuple& t, double t_sec) {
+  PacketRecord p;
+  p.timestamp = SimTime::from_sec(t_sec);
+  p.tuple = t;
+  return p;
+}
+
+TEST(OutInDelay, MeasuresRoundTrip) {
+  OutInDelayTracker tracker;
+  tracker.on_packet(pkt(out_tuple(), 1.0), Direction::kOutbound);
+  tracker.on_packet(pkt(out_tuple().inverse(), 1.25), Direction::kInbound);
+  ASSERT_EQ(tracker.delays().count(), 1u);
+  EXPECT_DOUBLE_EQ(tracker.delays().sorted()[0], 0.25);
+}
+
+TEST(OutInDelay, InboundWithoutPriorOutboundIgnored) {
+  OutInDelayTracker tracker;
+  tracker.on_packet(pkt(out_tuple().inverse(), 1.0), Direction::kInbound);
+  EXPECT_EQ(tracker.delays().count(), 0u);
+}
+
+TEST(OutInDelay, OutboundRefreshUpdatesTimestamp) {
+  OutInDelayTracker tracker;
+  tracker.on_packet(pkt(out_tuple(), 1.0), Direction::kOutbound);
+  tracker.on_packet(pkt(out_tuple(), 5.0), Direction::kOutbound);
+  tracker.on_packet(pkt(out_tuple().inverse(), 5.1), Direction::kInbound);
+  ASSERT_EQ(tracker.delays().count(), 1u);
+  EXPECT_NEAR(tracker.delays().sorted()[0], 0.1, 1e-9);
+}
+
+TEST(OutInDelay, MultipleInboundSampleSameOutbound) {
+  // Each inbound packet of the connection yields a sample against the
+  // latest outbound packet.
+  OutInDelayTracker tracker;
+  tracker.on_packet(pkt(out_tuple(), 1.0), Direction::kOutbound);
+  tracker.on_packet(pkt(out_tuple().inverse(), 1.2), Direction::kInbound);
+  tracker.on_packet(pkt(out_tuple().inverse(), 1.4), Direction::kInbound);
+  EXPECT_EQ(tracker.delays().count(), 2u);
+}
+
+TEST(OutInDelay, ExpiryDropsStalePairs) {
+  OutInDelayTracker tracker{Duration::sec(600.0)};
+  tracker.on_packet(pkt(out_tuple(), 0.0), Direction::kOutbound);
+  // Reply after the expiry timer: the pair is treated as port reuse.
+  tracker.on_packet(pkt(out_tuple().inverse(), 601.0), Direction::kInbound);
+  EXPECT_EQ(tracker.delays().count(), 0u);
+  EXPECT_EQ(tracker.expired_pairs(), 1u);
+}
+
+TEST(OutInDelay, SweepBoundsTrackedPairs) {
+  OutInDelayTracker tracker{Duration::sec(10.0)};
+  for (int i = 0; i < 1000; ++i) {
+    tracker.on_packet(pkt(out_tuple(static_cast<std::uint16_t>(10000 + i)),
+                          i * 0.001),
+                      Direction::kOutbound);
+  }
+  EXPECT_EQ(tracker.tracked_pairs(), 1000u);
+  // A packet far in the future sweeps everything.
+  tracker.on_packet(pkt(out_tuple(9), 100.0), Direction::kOutbound);
+  EXPECT_EQ(tracker.tracked_pairs(), 1u);
+}
+
+TEST(OutInDelay, DistinctConnectionsIndependent) {
+  OutInDelayTracker tracker;
+  tracker.on_packet(pkt(out_tuple(1000), 0.0), Direction::kOutbound);
+  tracker.on_packet(pkt(out_tuple(2000), 1.0), Direction::kOutbound);
+  tracker.on_packet(pkt(out_tuple(2000).inverse(), 1.5),
+                    Direction::kInbound);
+  tracker.on_packet(pkt(out_tuple(1000).inverse(), 2.0),
+                    Direction::kInbound);
+  ASSERT_EQ(tracker.delays().count(), 2u);
+  EXPECT_DOUBLE_EQ(tracker.delays().sorted()[0], 0.5);
+  EXPECT_DOUBLE_EQ(tracker.delays().sorted()[1], 2.0);
+}
+
+TEST(OutInDelay, InvalidExpiryThrows) {
+  EXPECT_THROW(OutInDelayTracker{Duration::sec(0.0)}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace upbound

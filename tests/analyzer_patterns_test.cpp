@@ -1,0 +1,126 @@
+#include "analyzer/patterns.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/payloads.h"
+
+namespace upbound {
+namespace {
+
+std::span<const std::uint8_t> as_span(const payloads::Bytes& b) {
+  return {b.data(), b.size()};
+}
+
+class PatternSetTest : public ::testing::Test {
+ protected:
+  PatternSet patterns_;
+  Rng rng_{1};
+};
+
+TEST_F(PatternSetTest, IdentifiesBittorrentHandshake) {
+  EXPECT_EQ(patterns_.match(as_span(payloads::bittorrent_handshake(rng_))),
+            AppProtocol::kBitTorrent);
+}
+
+TEST_F(PatternSetTest, ScrapeBeatsGenericHttp) {
+  // Tracker scrape is HTTP-shaped but must classify as bittorrent.
+  EXPECT_EQ(
+      patterns_.match(as_span(payloads::bittorrent_scrape_request(rng_))),
+      AppProtocol::kBitTorrent);
+}
+
+TEST_F(PatternSetTest, IdentifiesDhtQuery) {
+  payloads::Bytes dht = payloads::from_string("d1:ad2:id20:");
+  const auto id = payloads::random_bytes(rng_, 20);
+  dht.insert(dht.end(), id.begin(), id.end());
+  EXPECT_EQ(patterns_.match(as_span(dht)), AppProtocol::kBitTorrent);
+}
+
+TEST_F(PatternSetTest, IdentifiesEdonkeyTcpHello) {
+  EXPECT_EQ(patterns_.match(as_span(payloads::edonkey_hello(rng_))),
+            AppProtocol::kEdonkey);
+}
+
+TEST_F(PatternSetTest, IdentifiesEdonkeyUdpPing) {
+  EXPECT_EQ(patterns_.match(as_span(payloads::edonkey_udp_ping(rng_))),
+            AppProtocol::kEdonkey);
+}
+
+TEST_F(PatternSetTest, IdentifiesGnutellaHandshakes) {
+  EXPECT_EQ(patterns_.match(as_span(payloads::gnutella_connect())),
+            AppProtocol::kGnutella);
+  EXPECT_EQ(patterns_.match(as_span(payloads::gnutella_ok())),
+            AppProtocol::kGnutella);
+}
+
+TEST_F(PatternSetTest, GnutellaUriResBeatsGenericHttp) {
+  const auto req = payloads::from_string(
+      "GET /uri-res/N2R?urn:sha1:PLSTHIPQGSSZTS5FJUPAKUZWUGYQYPFB "
+      "HTTP/1.1\r\n");
+  EXPECT_EQ(patterns_.match(as_span(req)), AppProtocol::kGnutella);
+}
+
+TEST_F(PatternSetTest, IdentifiesHttpBothWays) {
+  EXPECT_EQ(patterns_.match(
+                as_span(payloads::http_get("example.com", "/x"))),
+            AppProtocol::kHttp);
+  EXPECT_EQ(patterns_.match(as_span(payloads::http_response(200, 10))),
+            AppProtocol::kHttp);
+}
+
+TEST_F(PatternSetTest, IdentifiesFtpBanner) {
+  EXPECT_EQ(patterns_.match(as_span(payloads::ftp_banner())),
+            AppProtocol::kFtp);
+}
+
+TEST_F(PatternSetTest, FtpBannerRequiresFtpWord) {
+  const auto smtp = payloads::from_string("220 mail.example.com ESMTP\r\n");
+  EXPECT_NE(patterns_.match(as_span(smtp)), AppProtocol::kFtp);
+}
+
+TEST_F(PatternSetTest, FastTrackIdentifiedAsOther) {
+  const auto ft = payloads::from_string(
+      "GET /.hash=3da2f9b0c4e1 HTTP/1.1\r\nHost: x\r\n");
+  EXPECT_EQ(patterns_.match(as_span(ft)), AppProtocol::kOther);
+}
+
+TEST_F(PatternSetTest, EmptyAndOpaqueStreamsUnmatched) {
+  EXPECT_EQ(patterns_.match({}), std::nullopt);
+  const auto text = payloads::from_string("hello world, nothing special");
+  EXPECT_EQ(patterns_.match(as_span(text)), std::nullopt);
+}
+
+TEST_F(PatternSetTest, CaseInsensitive) {
+  const auto shout = payloads::from_string("GET /INDEX.HTML HTTP/1.1\r\n");
+  EXPECT_EQ(patterns_.match(as_span(shout)), AppProtocol::kHttp);
+}
+
+TEST(AppForPort, WellKnownTcpPorts) {
+  EXPECT_EQ(app_for_port(Protocol::kTcp, 80), AppProtocol::kHttp);
+  EXPECT_EQ(app_for_port(Protocol::kTcp, 8080), AppProtocol::kHttp);
+  EXPECT_EQ(app_for_port(Protocol::kTcp, 3128), AppProtocol::kHttp);
+  EXPECT_EQ(app_for_port(Protocol::kTcp, 21), AppProtocol::kFtp);
+  EXPECT_EQ(app_for_port(Protocol::kTcp, 4662), AppProtocol::kEdonkey);
+  EXPECT_EQ(app_for_port(Protocol::kTcp, 6881), AppProtocol::kBitTorrent);
+  EXPECT_EQ(app_for_port(Protocol::kTcp, 6346), AppProtocol::kGnutella);
+  EXPECT_EQ(app_for_port(Protocol::kTcp, 22), AppProtocol::kOther);
+  EXPECT_EQ(app_for_port(Protocol::kTcp, 443), AppProtocol::kOther);
+}
+
+TEST(AppForPort, UdpSpecificPorts) {
+  EXPECT_EQ(app_for_port(Protocol::kUdp, 53), AppProtocol::kDns);
+  EXPECT_EQ(app_for_port(Protocol::kUdp, 4672), AppProtocol::kEdonkey);
+  EXPECT_EQ(app_for_port(Protocol::kUdp, 4661), AppProtocol::kEdonkey);
+  // TCP-only services do not label UDP traffic.
+  EXPECT_EQ(app_for_port(Protocol::kUdp, 80), std::nullopt);
+  EXPECT_EQ(app_for_port(Protocol::kUdp, 21), std::nullopt);
+  EXPECT_EQ(app_for_port(Protocol::kUdp, 22), std::nullopt);
+}
+
+TEST(AppForPort, RandomHighPortsUnknown) {
+  EXPECT_EQ(app_for_port(Protocol::kTcp, 23456), std::nullopt);
+  EXPECT_EQ(app_for_port(Protocol::kUdp, 54321), std::nullopt);
+}
+
+}  // namespace
+}  // namespace upbound

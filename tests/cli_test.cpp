@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "cli/commands.h"
+#include "net/pcap.h"
+
+namespace upbound::cli {
+namespace {
+
+Args parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"upbound"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return Args::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+// ---------------- Args ----------------
+
+TEST(CliArgs, CommandAndOptions) {
+  const Args args = parse({"filter", "--pcap", "x.pcap", "--low", "3e6"});
+  EXPECT_EQ(args.command(), "filter");
+  EXPECT_EQ(args.get_string("pcap", ""), "x.pcap");
+  EXPECT_DOUBLE_EQ(args.get_double("low", 0.0), 3e6);
+}
+
+TEST(CliArgs, EqualsSyntax) {
+  const Args args = parse({"generate", "--out=trace.pcap", "--seed=9"});
+  EXPECT_EQ(args.get_string("out", ""), "trace.pcap");
+  EXPECT_EQ(args.get_u64("seed", 0), 9u);
+}
+
+TEST(CliArgs, BareFlagIsBoolean) {
+  const Args args = parse({"filter", "--blocklist", "--pcap", "x"});
+  EXPECT_TRUE(args.get_flag("blocklist"));
+  EXPECT_FALSE(args.get_flag("hole-punching"));
+}
+
+TEST(CliArgs, DefaultsWhenAbsent) {
+  const Args args = parse({"advise"});
+  EXPECT_EQ(args.get_int("bits", 20), 20);
+  EXPECT_DOUBLE_EQ(args.get_double("dt", 5.0), 5.0);
+  EXPECT_EQ(args.get_string("filter", "bitmap"), "bitmap");
+}
+
+TEST(CliArgs, EmptyCommand) {
+  const Args args = parse({});
+  EXPECT_TRUE(args.empty());
+}
+
+TEST(CliArgs, RequireThrowsWhenMissing) {
+  const Args args = parse({"generate"});
+  EXPECT_THROW(args.require_string("out"), ArgError);
+}
+
+TEST(CliArgs, BadNumbersThrow) {
+  EXPECT_THROW(parse({"x", "--n", "abc"}).get_int("n", 0), ArgError);
+  EXPECT_THROW(parse({"x", "--f", "1.2.3"}).get_double("f", 0), ArgError);
+  EXPECT_THROW(parse({"x", "--n", "-4"}).get_u64("n", 0), ArgError);
+}
+
+TEST(CliArgs, StrayPositionalThrows) {
+  EXPECT_THROW(parse({"filter", "stray"}), ArgError);
+}
+
+TEST(CliArgs, UnconsumedDetection) {
+  const Args args = parse({"x", "--used", "1", "--typo", "2"});
+  EXPECT_EQ(args.get_int("used", 0), 1);
+  const auto leftovers = args.unconsumed();
+  ASSERT_EQ(leftovers.size(), 1u);
+  EXPECT_EQ(leftovers[0], "typo");
+}
+
+// ---------------- Commands (end-to-end through run()) ----------------
+
+class CliCommandTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("upbound_cli_" + std::string(::testing::UnitTest::GetInstance()
+                                             ->current_test_info()
+                                             ->name()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  int run_cli(std::initializer_list<const char*> tokens) {
+    std::vector<const char*> argv{"upbound"};
+    argv.insert(argv.end(), tokens.begin(), tokens.end());
+    return run(static_cast<int>(argv.size()), argv.data());
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CliCommandTest, GenerateAnalyzeFilterPipeline) {
+  const std::string trace = (dir_ / "trace.pcap").string();
+  const std::string filtered = (dir_ / "filtered.pcap").string();
+
+  ASSERT_EQ(run_cli({"generate", "--out", trace.c_str(), "--duration", "5",
+                     "--rate", "30", "--bandwidth", "2e6", "--seed", "5"}),
+            0);
+  ASSERT_TRUE(std::filesystem::exists(trace));
+
+  EXPECT_EQ(run_cli({"analyze", "--pcap", trace.c_str()}), 0);
+
+  ASSERT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--filter", "bitmap",
+                     "--pd", "1.0", "--out", filtered.c_str()}),
+            0);
+  ASSERT_TRUE(std::filesystem::exists(filtered));
+
+  // The filtered pcap holds strictly fewer packets than the original.
+  PcapReader original{trace};
+  PcapReader survivor{filtered};
+  const std::size_t original_count = original.read_all().size();
+  const std::size_t survivor_count = survivor.read_all().size();
+  EXPECT_GT(original_count, 0u);
+  EXPECT_LT(survivor_count, original_count);
+  EXPECT_GT(survivor_count, original_count / 2);
+}
+
+TEST_F(CliCommandTest, FilterVariants) {
+  const std::string trace = (dir_ / "trace.pcap").string();
+  ASSERT_EQ(run_cli({"generate", "--out", trace.c_str(), "--duration", "3",
+                     "--rate", "20", "--bandwidth", "1e6"}),
+            0);
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--filter", "spi"}),
+            0);
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--filter", "naive",
+                     "--timeout", "10"}),
+            0);
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--filter", "bitmap",
+                     "--bits", "16", "--k", "3", "--dt", "2", "--m", "2",
+                     "--hole-punching", "--low", "1e6", "--high", "2e6",
+                     "--blocklist"}),
+            0);
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--filter", "aging",
+                     "--bits", "16", "--k", "5"}),
+            0);
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--filter",
+                     "bitmap-mt", "--bits", "16"}),
+            0);
+}
+
+TEST_F(CliCommandTest, AdviseRuns) {
+  EXPECT_EQ(run_cli({"advise", "--connections", "50000", "--bits", "20"}), 0);
+}
+
+TEST_F(CliCommandTest, PcapngFormatEndToEnd) {
+  const std::string trace = (dir_ / "trace.pcapng").string();
+  ASSERT_EQ(run_cli({"generate", "--out", trace.c_str(), "--format",
+                     "pcapng", "--duration", "3", "--rate", "20",
+                     "--bandwidth", "1e6"}),
+            0);
+  // Format auto-detected by magic, not extension.
+  EXPECT_EQ(run_cli({"analyze", "--pcap", trace.c_str()}), 0);
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str()}), 0);
+  EXPECT_EQ(run_cli({"generate", "--out", trace.c_str(), "--format",
+                     "hdf5"}),
+            2);
+}
+
+TEST_F(CliCommandTest, CompareRuns) {
+  const std::string trace = (dir_ / "trace.pcap").string();
+  ASSERT_EQ(run_cli({"generate", "--out", trace.c_str(), "--duration", "4",
+                     "--rate", "25", "--bandwidth", "1e6"}),
+            0);
+  EXPECT_EQ(run_cli({"compare", "--pcap", trace.c_str(), "--bits", "16"}),
+            0);
+}
+
+TEST_F(CliCommandTest, SaveAndLoadFilterState) {
+  const std::string trace = (dir_ / "trace.pcap").string();
+  const std::string state = (dir_ / "bitmap.state").string();
+  ASSERT_EQ(run_cli({"generate", "--out", trace.c_str(), "--duration", "3",
+                     "--rate", "20", "--bandwidth", "1e6"}),
+            0);
+  ASSERT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--save-state",
+                     state.c_str()}),
+            0);
+  ASSERT_TRUE(std::filesystem::exists(state));
+  // Resume from the snapshot.
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--load-state",
+                     state.c_str()}),
+            0);
+  // Malformed snapshot rejected.
+  {
+    std::FILE* f = std::fopen(state.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("garbage", f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--load-state",
+                     state.c_str()}),
+            2);
+  // --save-state with a non-bitmap filter is an error.
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--filter", "spi",
+                     "--save-state", state.c_str()}),
+            2);
+}
+
+TEST_F(CliCommandTest, HelpAndErrors) {
+  EXPECT_EQ(run_cli({"help"}), 0);
+  EXPECT_EQ(run_cli({}), 2);
+  EXPECT_EQ(run_cli({"frobnicate"}), 2);
+  EXPECT_EQ(run_cli({"generate"}), 2);  // missing --out
+  EXPECT_EQ(run_cli({"analyze", "--pcap", "/does/not/exist.pcap"}), 1);
+  EXPECT_EQ(run_cli({"filter", "--pcap", "x", "--filter", "quantum"}), 2);
+  EXPECT_EQ(run_cli({"advise", "--bogus-option", "3"}), 2);
+}
+
+TEST_F(CliCommandTest, BadNetworkRejected) {
+  EXPECT_EQ(run_cli({"analyze", "--pcap", "x", "--network", "not-a-cidr"}),
+            2);
+}
+
+}  // namespace
+}  // namespace upbound::cli

@@ -1,0 +1,178 @@
+#include "filter/aging_bloom.h"
+
+#include <gtest/gtest.h>
+
+#include "filter/naive_filter.h"
+#include "util/rng.h"
+
+namespace upbound {
+namespace {
+
+AgingBloomConfig small_config() {
+  AgingBloomConfig config;
+  config.cells = 1u << 16;
+  config.hash_count = 3;
+  config.epoch = Duration::sec(5.0);
+  config.valid_epochs = 4;  // Te = 20 s, matching the default bitmap
+  return config;
+}
+
+FiveTuple tuple_n(std::uint32_t n) {
+  return FiveTuple{Protocol::kTcp, Ipv4Addr{0x0a000000u + n},
+                   static_cast<std::uint16_t>(1024 + n % 60000),
+                   Ipv4Addr{0x3d000000u + n * 7919u},
+                   static_cast<std::uint16_t>(80 + n % 50000)};
+}
+
+PacketRecord out_pkt(const FiveTuple& t, double t_sec = 0.0) {
+  PacketRecord pkt;
+  pkt.timestamp = SimTime::from_sec(t_sec);
+  pkt.tuple = t;
+  return pkt;
+}
+
+PacketRecord in_pkt(const FiveTuple& t, double t_sec = 0.0) {
+  PacketRecord pkt = out_pkt(t, t_sec);
+  pkt.tuple = t.inverse();
+  return pkt;
+}
+
+TEST(AgingBloom, FreshFilterAdmitsNothing) {
+  AgingBloomFilter filter{small_config()};
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    EXPECT_FALSE(filter.admits_inbound(in_pkt(tuple_n(i))));
+  }
+}
+
+TEST(AgingBloom, MarkThenAdmit) {
+  AgingBloomFilter filter{small_config()};
+  filter.record_outbound(out_pkt(tuple_n(1)));
+  EXPECT_TRUE(filter.admits_inbound(in_pkt(tuple_n(1))));
+  EXPECT_FALSE(filter.admits_inbound(in_pkt(tuple_n(2))));
+}
+
+TEST(AgingBloom, ExpiryWindowMatchesConfig) {
+  // Te = 20 s: mark at t=0 admits until just before 20 s.
+  AgingBloomFilter filter{small_config()};
+  filter.advance_time(SimTime::origin());
+  filter.record_outbound(out_pkt(tuple_n(3), 0.0));
+  filter.advance_time(SimTime::from_sec(19.9));
+  EXPECT_TRUE(filter.admits_inbound(in_pkt(tuple_n(3), 19.9)));
+  filter.advance_time(SimTime::from_sec(20.0));
+  EXPECT_FALSE(filter.admits_inbound(in_pkt(tuple_n(3), 20.0)));
+}
+
+TEST(AgingBloom, RefreshExtendsLifetime) {
+  AgingBloomFilter filter{small_config()};
+  filter.record_outbound(out_pkt(tuple_n(4), 0.0));
+  for (int i = 1; i <= 20; ++i) {
+    filter.advance_time(SimTime::from_sec(i * 5.0));
+    filter.record_outbound(out_pkt(tuple_n(4), i * 5.0));
+    EXPECT_TRUE(filter.admits_inbound(in_pkt(tuple_n(4), i * 5.0)));
+  }
+}
+
+TEST(AgingBloom, RingWrapDoesNotResurrectOldMarks) {
+  // Mark once, then advance far past a full ring revolution (15 epochs)
+  // in single steps; the mark must never come back.
+  AgingBloomFilter filter{small_config()};
+  filter.record_outbound(out_pkt(tuple_n(5), 0.0));
+  for (int e = 1; e <= 40; ++e) {
+    filter.advance_time(SimTime::from_sec(e * 5.0));
+    if (e >= 4) {
+      EXPECT_FALSE(filter.admits_inbound(in_pkt(tuple_n(5), e * 5.0)))
+          << "resurrected at epoch " << e;
+    }
+  }
+}
+
+TEST(AgingBloom, LargeTimeJumpClearsState) {
+  AgingBloomFilter filter{small_config()};
+  filter.record_outbound(out_pkt(tuple_n(6), 0.0));
+  filter.advance_time(SimTime::from_sec(1000.0));
+  EXPECT_FALSE(filter.admits_inbound(in_pkt(tuple_n(6), 1000.0)));
+}
+
+TEST(AgingBloom, JumpAliasingCorner) {
+  // valid_epochs = 13 (max) with multi-epoch jumps crossing ring ages
+  // > 15: the stepped-sweep path must keep semantics exact.
+  AgingBloomConfig config = small_config();
+  config.valid_epochs = 13;
+  config.epoch = Duration::sec(1.0);
+  AgingBloomFilter filter{config};
+  filter.record_outbound(out_pkt(tuple_n(7), 0.0));
+  filter.advance_time(SimTime::from_sec(12.0));  // age 12 < 13: alive
+  EXPECT_TRUE(filter.admits_inbound(in_pkt(tuple_n(7), 12.0)));
+  filter.advance_time(SimTime::from_sec(24.0));  // far out: gone
+  EXPECT_FALSE(filter.admits_inbound(in_pkt(tuple_n(7), 24.0)));
+}
+
+TEST(AgingBloom, MatchesBitmapSemanticsAgainstExactTimer) {
+  // Same bracketing property the bitmap satisfies: admits everything an
+  // exact (valid_epochs-1)*epoch timer admits.
+  AgingBloomConfig config = small_config();
+  AgingBloomFilter aging{config};
+  NaiveFilter naive{{.state_timeout = config.epoch * 3.0}};  // floor timer
+
+  Rng rng{11};
+  double t = 0.0;
+  std::vector<FiveTuple> pool;
+  for (int i = 0; i < 300; ++i) pool.push_back(tuple_n(rng.next_below(1u << 20)));
+  for (int step = 0; step < 5000; ++step) {
+    t += rng.exponential(0.05);
+    const SimTime now = SimTime::from_sec(t);
+    aging.advance_time(now);
+    naive.advance_time(now);
+    const FiveTuple& tuple = pool[rng.next_below(pool.size())];
+    if (rng.next_bool(0.5)) {
+      aging.record_outbound(out_pkt(tuple, t));
+      naive.record_outbound(out_pkt(tuple, t));
+    } else if (naive.admits_inbound(in_pkt(tuple, t))) {
+      ASSERT_TRUE(aging.admits_inbound(in_pkt(tuple, t)))
+          << "false negative at t=" << t;
+    }
+  }
+}
+
+TEST(AgingBloom, StorageIsHalfAByteCell) {
+  AgingBloomConfig config;
+  config.cells = 1u << 20;
+  AgingBloomFilter filter{config};
+  EXPECT_EQ(filter.storage_bytes(), (1u << 20) / 2);
+  EXPECT_EQ(config.memory_bytes(), (1u << 20) / 2);
+}
+
+TEST(AgingBloom, ConfigValidation) {
+  AgingBloomConfig config;
+  config.cells = 3;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = AgingBloomConfig{};
+  config.valid_epochs = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = AgingBloomConfig{};
+  config.valid_epochs = 14;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = AgingBloomConfig{};
+  config.hash_count = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = AgingBloomConfig{};
+  config.epoch = Duration::sec(0.0);
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(AgingBloomConfig{}.validate());
+}
+
+TEST(AgingBloom, HolePunchingMode) {
+  AgingBloomConfig config = small_config();
+  config.key_mode = KeyMode::kHolePunching;
+  AgingBloomFilter filter{config};
+  const FiveTuple t = tuple_n(9);
+  filter.record_outbound(out_pkt(t));
+  FiveTuple other_port = t.inverse();
+  other_port.src_port = 55555;
+  PacketRecord probe;
+  probe.tuple = other_port;
+  EXPECT_TRUE(filter.admits_inbound(probe));
+}
+
+}  // namespace
+}  // namespace upbound

@@ -1,0 +1,239 @@
+// Tests for the two comparator filters: the naive exact-timer solution and
+// the SPI baseline.
+#include <gtest/gtest.h>
+
+#include "filter/naive_filter.h"
+#include "filter/spi_filter.h"
+
+namespace upbound {
+namespace {
+
+FiveTuple conn(std::uint16_t sport = 40000, std::uint16_t dport = 80) {
+  return FiveTuple{Protocol::kTcp, Ipv4Addr{10, 0, 0, 1}, sport,
+                   Ipv4Addr{8, 8, 8, 8}, dport};
+}
+
+PacketRecord pkt_out(const FiveTuple& t, double t_sec, TcpFlags flags = {}) {
+  PacketRecord pkt;
+  pkt.timestamp = SimTime::from_sec(t_sec);
+  pkt.tuple = t;
+  pkt.flags = flags;
+  return pkt;
+}
+
+PacketRecord pkt_in(const FiveTuple& t, double t_sec, TcpFlags flags = {}) {
+  PacketRecord pkt;
+  pkt.timestamp = SimTime::from_sec(t_sec);
+  pkt.tuple = t.inverse();
+  pkt.flags = flags;
+  return pkt;
+}
+
+// ---------------- NaiveFilter ----------------
+
+TEST(NaiveFilter, AdmitsWithinTimeout) {
+  NaiveFilter filter{{.state_timeout = Duration::sec(20.0)}};
+  filter.record_outbound(pkt_out(conn(), 0.0));
+  EXPECT_TRUE(filter.admits_inbound(pkt_in(conn(), 19.99)));
+}
+
+TEST(NaiveFilter, RejectsAfterTimeout) {
+  NaiveFilter filter{{.state_timeout = Duration::sec(20.0)}};
+  filter.record_outbound(pkt_out(conn(), 0.0));
+  EXPECT_FALSE(filter.admits_inbound(pkt_in(conn(), 20.0)));
+}
+
+TEST(NaiveFilter, RejectsUnknownConnection) {
+  NaiveFilter filter{{}};
+  filter.record_outbound(pkt_out(conn(1000), 0.0));
+  EXPECT_FALSE(filter.admits_inbound(pkt_in(conn(1001), 0.1)));
+}
+
+TEST(NaiveFilter, OutboundRefreshResetsTimer) {
+  NaiveFilter filter{{.state_timeout = Duration::sec(20.0)}};
+  filter.record_outbound(pkt_out(conn(), 0.0));
+  filter.record_outbound(pkt_out(conn(), 15.0));
+  EXPECT_TRUE(filter.admits_inbound(pkt_in(conn(), 30.0)));
+  EXPECT_FALSE(filter.admits_inbound(pkt_in(conn(), 35.0)));
+}
+
+TEST(NaiveFilter, AdvanceTimeEvictsExpiredPairs) {
+  NaiveFilter filter{{.state_timeout = Duration::sec(20.0)}};
+  for (std::uint16_t p = 1000; p < 1100; ++p) {
+    filter.record_outbound(pkt_out(conn(p), 0.0));
+  }
+  EXPECT_EQ(filter.active_pairs(), 100u);
+  filter.advance_time(SimTime::from_sec(10.0));
+  EXPECT_EQ(filter.active_pairs(), 100u);
+  filter.advance_time(SimTime::from_sec(20.0));
+  EXPECT_EQ(filter.active_pairs(), 0u);
+}
+
+TEST(NaiveFilter, RefreshedPairSurvivesSweep) {
+  NaiveFilter filter{{.state_timeout = Duration::sec(20.0)}};
+  filter.record_outbound(pkt_out(conn(), 0.0));
+  filter.record_outbound(pkt_out(conn(), 10.0));
+  filter.advance_time(SimTime::from_sec(20.0));  // first entry expires
+  EXPECT_EQ(filter.active_pairs(), 1u);
+  EXPECT_TRUE(filter.admits_inbound(pkt_in(conn(), 25.0)));
+  filter.advance_time(SimTime::from_sec(30.0));
+  EXPECT_EQ(filter.active_pairs(), 0u);
+}
+
+TEST(NaiveFilter, StorageGrowsWithActivePairs) {
+  NaiveFilter filter{{}};
+  const std::size_t empty = filter.storage_bytes();
+  for (std::uint16_t p = 1000; p < 2000; ++p) {
+    filter.record_outbound(pkt_out(conn(p), 0.0));
+  }
+  EXPECT_GT(filter.storage_bytes(), empty + 1000 * sizeof(FiveTuple));
+}
+
+TEST(NaiveFilter, HolePunchingMode) {
+  NaiveFilter filter{{.state_timeout = Duration::sec(20.0),
+                      .key_mode = KeyMode::kHolePunching}};
+  filter.record_outbound(pkt_out(conn(40000, 6881), 0.0));
+  // Inbound from another port of the same host is admitted.
+  FiveTuple from_other_port = conn(40000, 9999);
+  EXPECT_TRUE(filter.admits_inbound(pkt_in(from_other_port, 1.0)));
+  // Different external host still rejected.
+  FiveTuple other = conn(40000, 6881);
+  other.dst_addr = Ipv4Addr{9, 9, 9, 9};
+  EXPECT_FALSE(filter.admits_inbound(pkt_in(other, 1.0)));
+}
+
+TEST(NaiveFilter, InvalidTimeoutThrows) {
+  EXPECT_THROW(NaiveFilter({.state_timeout = Duration::sec(0.0)}),
+               std::invalid_argument);
+}
+
+TEST(NaiveFilter, UdpTracked) {
+  NaiveFilter filter{{}};
+  FiveTuple u = conn();
+  u.protocol = Protocol::kUdp;
+  filter.record_outbound(pkt_out(u, 0.0));
+  EXPECT_TRUE(filter.admits_inbound(pkt_in(u, 1.0)));
+  // The TCP tuple with identical endpoints is distinct state.
+  EXPECT_FALSE(filter.admits_inbound(pkt_in(conn(), 1.0)));
+}
+
+// ---------------- SpiFilter ----------------
+
+TEST(SpiFilter, OutboundCreatesFlowInboundAdmitted) {
+  SpiFilter filter{{}};
+  filter.record_outbound(pkt_out(conn(), 0.0, {.syn = true}));
+  EXPECT_TRUE(filter.admits_inbound(pkt_in(conn(), 0.05, {.syn = true,
+                                                          .ack = true})));
+  EXPECT_EQ(filter.tracked_flows(), 1u);
+  EXPECT_EQ(filter.flows_created(), 1u);
+}
+
+TEST(SpiFilter, UnsolicitedInboundRejected) {
+  SpiFilter filter{{}};
+  EXPECT_FALSE(filter.admits_inbound(pkt_in(conn(), 0.0, {.syn = true})));
+}
+
+TEST(SpiFilter, IdleTimeoutExpiresFlow) {
+  SpiFilter filter{{.idle_timeout = Duration::sec(240.0)}};
+  filter.record_outbound(pkt_out(conn(), 0.0, {.syn = true}));
+  // Expired on access even before a sweep runs.
+  EXPECT_FALSE(filter.admits_inbound(pkt_in(conn(), 240.0)));
+  EXPECT_EQ(filter.tracked_flows(), 0u);
+}
+
+TEST(SpiFilter, TrafficInEitherDirectionRefreshesIdleTimer) {
+  SpiFilter filter{{.idle_timeout = Duration::sec(240.0)}};
+  filter.record_outbound(pkt_out(conn(), 0.0, {.syn = true}));
+  EXPECT_TRUE(filter.admits_inbound(pkt_in(conn(), 200.0)));  // refresh
+  EXPECT_TRUE(filter.admits_inbound(pkt_in(conn(), 439.0)));  // alive
+  EXPECT_FALSE(filter.admits_inbound(pkt_in(conn(), 680.0)));
+}
+
+TEST(SpiFilter, FinClosesFlowImmediatelyWithZeroLinger) {
+  SpiFilter filter{{.close_linger = Duration::sec(0.0)}};
+  filter.record_outbound(pkt_out(conn(), 0.0, {.syn = true}));
+  filter.record_outbound(pkt_out(conn(), 1.0, {.ack = true, .fin = true}));
+  EXPECT_EQ(filter.tracked_flows(), 0u);
+  EXPECT_FALSE(filter.admits_inbound(pkt_in(conn(), 1.1)));
+}
+
+TEST(SpiFilter, RstFromOutsideClosesFlow) {
+  SpiFilter filter{{.close_linger = Duration::sec(0.0)}};
+  filter.record_outbound(pkt_out(conn(), 0.0, {.syn = true}));
+  // The RST itself belongs to the tracked flow and passes...
+  EXPECT_TRUE(filter.admits_inbound(pkt_in(conn(), 0.5, {.rst = true})));
+  // ...but the flow is gone afterwards.
+  EXPECT_FALSE(filter.admits_inbound(pkt_in(conn(), 0.6)));
+}
+
+TEST(SpiFilter, CloseLingerKeepsFlowBriefly) {
+  SpiFilter filter{{.close_linger = Duration::sec(2.0)}};
+  filter.record_outbound(pkt_out(conn(), 0.0, {.syn = true}));
+  filter.record_outbound(pkt_out(conn(), 1.0, {.fin = true}));
+  EXPECT_TRUE(filter.admits_inbound(pkt_in(conn(), 2.5)));   // still lingering
+  EXPECT_FALSE(filter.admits_inbound(pkt_in(conn(), 3.1)));  // gone
+}
+
+TEST(SpiFilter, StrayFinDoesNotCreateState) {
+  SpiFilter filter{{}};
+  filter.record_outbound(pkt_out(conn(), 0.0, {.fin = true}));
+  EXPECT_EQ(filter.tracked_flows(), 0u);
+  EXPECT_EQ(filter.flows_created(), 0u);
+}
+
+TEST(SpiFilter, SweepReclaimsIdleFlows) {
+  SpiFilter filter{{.idle_timeout = Duration::sec(240.0)}};
+  for (std::uint16_t p = 1000; p < 1500; ++p) {
+    filter.record_outbound(pkt_out(conn(p), 0.0, {.syn = true}));
+  }
+  EXPECT_EQ(filter.tracked_flows(), 500u);
+  filter.advance_time(SimTime::from_sec(239.0));
+  EXPECT_EQ(filter.tracked_flows(), 500u);
+  filter.advance_time(SimTime::from_sec(240.0));
+  EXPECT_EQ(filter.tracked_flows(), 0u);
+  EXPECT_EQ(filter.flows_expired(), 500u);
+}
+
+TEST(SpiFilter, StorageScalesWithFlows) {
+  // The O(n) storage the paper calls out as the SPI weakness.
+  SpiFilter filter{{}};
+  filter.advance_time(SimTime::origin());
+  const std::size_t base = filter.storage_bytes();
+  for (std::uint32_t i = 0; i < 10'000; ++i) {
+    FiveTuple t = conn(static_cast<std::uint16_t>(1024 + (i % 60000)));
+    t.src_addr = Ipv4Addr{0x0a000000u + i / 60000};
+    t.dst_addr = Ipv4Addr{0x08080808u + i};
+    filter.record_outbound(pkt_out(t, 0.0, {.syn = true}));
+  }
+  EXPECT_GT(filter.storage_bytes(), base + 10'000 * sizeof(FiveTuple));
+}
+
+TEST(SpiFilter, UdpFlowsTracked) {
+  SpiFilter filter{{}};
+  FiveTuple u = conn(50000, 53);
+  u.protocol = Protocol::kUdp;
+  filter.record_outbound(pkt_out(u, 0.0));
+  EXPECT_TRUE(filter.admits_inbound(pkt_in(u, 0.02)));
+  EXPECT_EQ(filter.tracked_flows(), 1u);
+}
+
+TEST(SpiFilter, InvalidConfigThrows) {
+  EXPECT_THROW(SpiFilter({.idle_timeout = Duration::sec(0.0)}),
+               std::invalid_argument);
+  EXPECT_THROW(SpiFilter({.close_linger = Duration::sec(-1.0)}),
+               std::invalid_argument);
+}
+
+TEST(SpiFilter, ReopenAfterCloseCreatesFreshFlow) {
+  SpiFilter filter{{.close_linger = Duration::sec(0.0)}};
+  filter.record_outbound(pkt_out(conn(), 0.0, {.syn = true}));
+  filter.record_outbound(pkt_out(conn(), 1.0, {.fin = true}));
+  EXPECT_EQ(filter.tracked_flows(), 0u);
+  filter.record_outbound(pkt_out(conn(), 2.0, {.syn = true}));
+  EXPECT_EQ(filter.tracked_flows(), 1u);
+  EXPECT_TRUE(filter.admits_inbound(pkt_in(conn(), 2.1)));
+  EXPECT_EQ(filter.flows_created(), 2u);
+}
+
+}  // namespace
+}  // namespace upbound

@@ -1,0 +1,358 @@
+#include "filter/bitmap_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "filter/params.h"
+#include "util/rng.h"
+
+namespace upbound {
+namespace {
+
+PacketRecord outbound_pkt(const FiveTuple& t, double t_sec = 0.0) {
+  PacketRecord pkt;
+  pkt.timestamp = SimTime::from_sec(t_sec);
+  pkt.tuple = t;
+  return pkt;
+}
+
+PacketRecord inbound_pkt(const FiveTuple& outbound_tuple, double t_sec = 0.0) {
+  PacketRecord pkt;
+  pkt.timestamp = SimTime::from_sec(t_sec);
+  pkt.tuple = outbound_tuple.inverse();
+  return pkt;
+}
+
+FiveTuple tuple_n(std::uint32_t n, Protocol proto = Protocol::kTcp) {
+  return FiveTuple{proto, Ipv4Addr{0x0a000000u + (n & 0xffff)},
+                   static_cast<std::uint16_t>(1024 + (n >> 16)),
+                   Ipv4Addr{0x3d000000u + (n * 2654435761u) % 0xffffff},
+                   static_cast<std::uint16_t>(80 + (n % 50000))};
+}
+
+BitmapFilterConfig small_config() {
+  BitmapFilterConfig cfg;
+  cfg.log2_bits = 16;
+  cfg.vector_count = 4;
+  cfg.hash_count = 3;
+  cfg.rotate_interval = Duration::sec(5.0);
+  return cfg;
+}
+
+TEST(BitmapFilter, FreshFilterAdmitsNothing) {
+  BitmapFilter filter{small_config()};
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(filter.admits_inbound(inbound_pkt(tuple_n(i))));
+  }
+}
+
+TEST(BitmapFilter, OutboundMarkAdmitsMatchingInbound) {
+  BitmapFilter filter{small_config()};
+  const FiveTuple t = tuple_n(1);
+  filter.record_outbound(outbound_pkt(t));
+  EXPECT_TRUE(filter.admits_inbound(inbound_pkt(t)));
+}
+
+TEST(BitmapFilter, UnrelatedInboundNotAdmitted) {
+  BitmapFilter filter{small_config()};
+  filter.record_outbound(outbound_pkt(tuple_n(1)));
+  // With one marked tuple in a 65536-bit vector, false positives are
+  // essentially impossible for these few probes.
+  for (std::uint32_t i = 2; i < 50; ++i) {
+    EXPECT_FALSE(filter.admits_inbound(inbound_pkt(tuple_n(i))));
+  }
+}
+
+TEST(BitmapFilter, SameConnectionDifferentDirectionObjectsAgree) {
+  BitmapFilter filter{small_config()};
+  const FiveTuple t = tuple_n(7, Protocol::kUdp);
+  filter.record_outbound(outbound_pkt(t));
+  EXPECT_TRUE(filter.admits_inbound(inbound_pkt(t)));
+  // The exact same outbound tuple probed as inbound does NOT match: the
+  // key is direction-sensitive (full-tuple mode).
+  PacketRecord wrong;
+  wrong.tuple = t;
+  EXPECT_FALSE(filter.admits_inbound(wrong));
+}
+
+TEST(BitmapFilter, RotationAdvancesIndexCyclically) {
+  BitmapFilter filter{small_config()};
+  EXPECT_EQ(filter.current_index(), 0u);
+  filter.rotate();
+  EXPECT_EQ(filter.current_index(), 1u);
+  filter.rotate();
+  filter.rotate();
+  filter.rotate();
+  EXPECT_EQ(filter.current_index(), 0u);
+  EXPECT_EQ(filter.rotations(), 4u);
+}
+
+TEST(BitmapFilter, MarksSurviveKMinusOneRotations) {
+  BitmapFilter filter{small_config()};  // k = 4
+  const FiveTuple t = tuple_n(3);
+  filter.record_outbound(outbound_pkt(t));
+  for (int r = 0; r < 3; ++r) {
+    filter.rotate();
+    EXPECT_TRUE(filter.admits_inbound(inbound_pkt(t)))
+        << "lost after rotation " << (r + 1);
+  }
+  filter.rotate();  // k-th rotation clears the last vector holding the mark
+  EXPECT_FALSE(filter.admits_inbound(inbound_pkt(t)));
+}
+
+TEST(BitmapFilter, RefreshOnOutboundExtendsLifetime) {
+  BitmapFilter filter{small_config()};
+  const FiveTuple t = tuple_n(4);
+  filter.record_outbound(outbound_pkt(t));
+  for (int r = 0; r < 20; ++r) {
+    filter.rotate();
+    filter.record_outbound(outbound_pkt(t));  // keep-alive
+    EXPECT_TRUE(filter.admits_inbound(inbound_pkt(t)));
+  }
+}
+
+TEST(BitmapFilter, AdvanceTimePerformsScheduledRotations) {
+  BitmapFilterConfig cfg = small_config();  // dt = 5 s
+  BitmapFilter filter{cfg};
+  filter.advance_time(SimTime::from_sec(4.9));
+  EXPECT_EQ(filter.rotations(), 0u);
+  filter.advance_time(SimTime::from_sec(5.0));
+  EXPECT_EQ(filter.rotations(), 1u);
+  filter.advance_time(SimTime::from_sec(27.0));  // catch-up: 10,15,20,25
+  EXPECT_EQ(filter.rotations(), 5u);
+}
+
+TEST(BitmapFilter, ExpiryTimerSemantics) {
+  // T_e = k*dt = 20 s: a mark at t=0 admits until just before t=20 and is
+  // gone at t=20 (mark landed immediately after a rotation boundary).
+  BitmapFilter filter{small_config()};
+  const FiveTuple t = tuple_n(5);
+  filter.advance_time(SimTime::from_sec(0.0));
+  filter.record_outbound(outbound_pkt(t, 0.0));
+
+  filter.advance_time(SimTime::from_sec(19.9));
+  EXPECT_TRUE(filter.admits_inbound(inbound_pkt(t, 19.9)));
+
+  filter.advance_time(SimTime::from_sec(20.0));
+  EXPECT_FALSE(filter.admits_inbound(inbound_pkt(t, 20.0)));
+}
+
+TEST(BitmapFilter, LateMarkSurvivesAtLeastKMinusOneIntervals) {
+  // A mark just before a rotation still survives (k-1)*dt = 15 s.
+  BitmapFilter filter{small_config()};
+  const FiveTuple t = tuple_n(6);
+  filter.advance_time(SimTime::from_sec(4.999));
+  filter.record_outbound(outbound_pkt(t, 4.999));
+
+  filter.advance_time(SimTime::from_sec(19.9));
+  EXPECT_TRUE(filter.admits_inbound(inbound_pkt(t, 19.9)));
+  filter.advance_time(SimTime::from_sec(20.0));
+  EXPECT_FALSE(filter.admits_inbound(inbound_pkt(t, 20.0)));
+}
+
+TEST(BitmapFilter, HolePunchingAdmitsAnyPeerPort) {
+  BitmapFilterConfig cfg = small_config();
+  cfg.key_mode = KeyMode::kHolePunching;
+  BitmapFilter filter{cfg};
+
+  const FiveTuple t = tuple_n(8);
+  filter.record_outbound(outbound_pkt(t));
+
+  // Inbound from the same external host but a different source port.
+  FiveTuple inbound_tuple = t.inverse();
+  inbound_tuple.src_port = 55555;
+  PacketRecord pkt;
+  pkt.tuple = inbound_tuple;
+  EXPECT_TRUE(filter.admits_inbound(pkt));
+
+  // A different external host is still rejected.
+  FiveTuple other_host = t.inverse();
+  other_host.src_addr = Ipv4Addr{9, 9, 9, 9};
+  pkt.tuple = other_host;
+  EXPECT_FALSE(filter.admits_inbound(pkt));
+}
+
+TEST(BitmapFilter, FullTupleRejectsDifferentPeerPort) {
+  BitmapFilter filter{small_config()};
+  const FiveTuple t = tuple_n(8);
+  filter.record_outbound(outbound_pkt(t));
+  FiveTuple inbound_tuple = t.inverse();
+  inbound_tuple.src_port = 55555;
+  PacketRecord pkt;
+  pkt.tuple = inbound_tuple;
+  EXPECT_FALSE(filter.admits_inbound(pkt));
+}
+
+TEST(BitmapFilter, StorageMatchesConfig) {
+  BitmapFilterConfig cfg;
+  cfg.log2_bits = 20;
+  cfg.vector_count = 4;
+  BitmapFilter filter{cfg};
+  // The paper's headline figure: {4 x 2^20} bitmap = 512K bytes.
+  EXPECT_EQ(filter.storage_bytes(), 512u * 1024u);
+  EXPECT_EQ(cfg.memory_bytes(), 512u * 1024u);
+}
+
+TEST(BitmapFilter, StorageConstantUnderLoad) {
+  BitmapFilter filter{small_config()};
+  const std::size_t before = filter.storage_bytes();
+  for (std::uint32_t i = 0; i < 10'000; ++i) {
+    filter.record_outbound(outbound_pkt(tuple_n(i)));
+  }
+  EXPECT_EQ(filter.storage_bytes(), before);
+}
+
+TEST(BitmapFilter, UtilizationGrowsWithMarks) {
+  BitmapFilter filter{small_config()};
+  EXPECT_DOUBLE_EQ(filter.current_utilization(), 0.0);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    filter.record_outbound(outbound_pkt(tuple_n(i)));
+  }
+  EXPECT_GT(filter.current_utilization(), 0.02);
+  EXPECT_LT(filter.current_utilization(), 0.06);  // ~3000/65536 minus overlap
+}
+
+TEST(BitmapFilterConfig, ValidationRejectsBadParameters) {
+  BitmapFilterConfig cfg;
+  cfg.log2_bits = 2;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = BitmapFilterConfig{};
+  cfg.vector_count = 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = BitmapFilterConfig{};
+  cfg.hash_count = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = BitmapFilterConfig{};
+  cfg.rotate_interval = Duration::sec(0.0);
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(BitmapFilterConfig{}.validate());
+}
+
+TEST(BitmapFilterConfig, DerivedQuantities) {
+  BitmapFilterConfig cfg;
+  cfg.log2_bits = 20;
+  cfg.vector_count = 4;
+  cfg.rotate_interval = Duration::sec(5.0);
+  EXPECT_EQ(cfg.bits(), 1u << 20);
+  EXPECT_EQ(cfg.expiry_timer(), Duration::sec(20.0));
+}
+
+// --- Parameterized false-positive sweep (paper Eq. 3) ------------------
+
+struct FpCase {
+  unsigned log2_bits;
+  unsigned hash_count;
+  std::size_t connections;
+};
+
+class BitmapFalsePositiveTest : public ::testing::TestWithParam<FpCase> {};
+
+TEST_P(BitmapFalsePositiveTest, EmpiricalRateTracksEq3) {
+  const FpCase& c = GetParam();
+  BitmapFilterConfig cfg;
+  cfg.log2_bits = c.log2_bits;
+  cfg.vector_count = 2;
+  cfg.hash_count = c.hash_count;
+  BitmapFilter filter{cfg};
+
+  Rng rng{1234};
+  for (std::size_t i = 0; i < c.connections; ++i) {
+    FiveTuple t{Protocol::kTcp, Ipv4Addr{static_cast<std::uint32_t>(
+                                     0x0a000000 | rng.next_below(1 << 16))},
+                static_cast<std::uint16_t>(rng.next_range(1024, 65535)),
+                Ipv4Addr{static_cast<std::uint32_t>(rng.next_u64())},
+                static_cast<std::uint16_t>(rng.next_range(1, 65535))};
+    filter.record_outbound(outbound_pkt(t));
+  }
+
+  // Probe with sockets never sent outbound.
+  const int probes = 200'000;
+  int penetrated = 0;
+  for (int i = 0; i < probes; ++i) {
+    FiveTuple t{Protocol::kUdp,
+                Ipv4Addr{static_cast<std::uint32_t>(rng.next_u64())},
+                static_cast<std::uint16_t>(rng.next_range(1, 65535)),
+                Ipv4Addr{static_cast<std::uint32_t>(
+                    0x0b000000 | rng.next_below(1 << 16))},
+                static_cast<std::uint16_t>(rng.next_range(1, 65535))};
+    PacketRecord pkt;
+    pkt.tuple = t;
+    if (filter.admits_inbound(pkt)) ++penetrated;
+  }
+
+  const double empirical = static_cast<double>(penetrated) / probes;
+  // Exact expectation uses the measured utilization (Eq. 2); Eq. 3 is the
+  // no-collision approximation, so allow a modest relative band plus an
+  // absolute floor for sampling noise.
+  const double expected = penetration_probability_at_utilization(
+      filter.current_utilization(), cfg.hash_count);
+  EXPECT_NEAR(empirical, expected, std::max(0.002, expected * 0.15))
+      << "N=2^" << c.log2_bits << " m=" << c.hash_count
+      << " c=" << c.connections;
+  // Eq. 3 assumes hash results "seldom collide", which makes it an upper
+  // bound: real utilization is 1 - exp(-c*m/N) < c*m/N. Check the band.
+  const double approx =
+      penetration_probability(c.connections, c.hash_count, cfg.bits());
+  EXPECT_LE(empirical, approx * 1.1 + 0.002);
+  EXPECT_GE(empirical, approx * 0.4 - 0.002);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Eq3Sweep, BitmapFalsePositiveTest,
+    ::testing::Values(FpCase{16, 1, 2000}, FpCase{16, 2, 2000},
+                      FpCase{16, 3, 2000}, FpCase{16, 3, 6000},
+                      FpCase{18, 3, 8000}, FpCase{18, 4, 8000},
+                      FpCase{14, 2, 1000}, FpCase{20, 3, 15000}),
+    [](const ::testing::TestParamInfo<FpCase>& info) {
+      return "N2p" + std::to_string(info.param.log2_bits) + "_m" +
+             std::to_string(info.param.hash_count) + "_c" +
+             std::to_string(info.param.connections);
+    });
+
+// --- Parameterized expiry sweep over k and dt ---------------------------
+
+struct ExpiryCase {
+  unsigned vector_count;
+  double rotate_sec;
+};
+
+class BitmapExpiryTest : public ::testing::TestWithParam<ExpiryCase> {};
+
+TEST_P(BitmapExpiryTest, MarkExpiresWithinTeWindow) {
+  const ExpiryCase& c = GetParam();
+  BitmapFilterConfig cfg = small_config();
+  cfg.vector_count = c.vector_count;
+  cfg.rotate_interval = Duration::sec(c.rotate_sec);
+  BitmapFilter filter{cfg};
+
+  const FiveTuple t = tuple_n(42);
+  filter.advance_time(SimTime::origin());
+  filter.record_outbound(outbound_pkt(t, 0.0));
+
+  const double te = cfg.expiry_timer().to_sec();
+  const double just_before = te - c.rotate_sec * 0.01;
+  filter.advance_time(SimTime::from_sec(just_before));
+  EXPECT_TRUE(filter.admits_inbound(inbound_pkt(t, just_before)))
+      << "k=" << c.vector_count << " dt=" << c.rotate_sec;
+  filter.advance_time(SimTime::from_sec(te));
+  EXPECT_FALSE(filter.admits_inbound(inbound_pkt(t, te)))
+      << "k=" << c.vector_count << " dt=" << c.rotate_sec;
+}
+
+INSTANTIATE_TEST_SUITE_P(KdtSweep, BitmapExpiryTest,
+                         ::testing::Values(ExpiryCase{2, 10.0},
+                                           ExpiryCase{3, 5.0},
+                                           ExpiryCase{4, 5.0},
+                                           ExpiryCase{4, 4.0},
+                                           ExpiryCase{6, 2.0},
+                                           ExpiryCase{10, 1.0}),
+                         [](const ::testing::TestParamInfo<ExpiryCase>& info) {
+                           return "k" + std::to_string(info.param.vector_count) +
+                                  "_dt" +
+                                  std::to_string(
+                                      static_cast<int>(info.param.rotate_sec));
+                         });
+
+}  // namespace
+}  // namespace upbound

@@ -1,0 +1,90 @@
+#include "filter/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace upbound {
+namespace {
+
+TEST(BitVector, StartsAllZero) {
+  BitVector v{1024};
+  EXPECT_EQ(v.popcount(), 0u);
+  for (std::size_t i = 0; i < 1024; i += 37) EXPECT_FALSE(v.test(i));
+}
+
+TEST(BitVector, SetAndTest) {
+  BitVector v{256};
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(255);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(63));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(255));
+  EXPECT_FALSE(v.test(1));
+  EXPECT_FALSE(v.test(128));
+  EXPECT_EQ(v.popcount(), 4u);
+}
+
+TEST(BitVector, SetIsIdempotent) {
+  BitVector v{64};
+  v.set(7);
+  v.set(7);
+  EXPECT_EQ(v.popcount(), 1u);
+}
+
+TEST(BitVector, ClearZeroesEverything) {
+  BitVector v{512};
+  Rng rng{3};
+  for (int i = 0; i < 200; ++i) v.set(rng.next_below(512));
+  EXPECT_GT(v.popcount(), 0u);
+  v.clear();
+  EXPECT_EQ(v.popcount(), 0u);
+  for (std::size_t i = 0; i < 512; ++i) EXPECT_FALSE(v.test(i));
+}
+
+TEST(BitVector, NonWordAlignedSize) {
+  BitVector v{100};  // not a multiple of 64
+  v.set(99);
+  EXPECT_TRUE(v.test(99));
+  EXPECT_EQ(v.popcount(), 1u);
+  EXPECT_EQ(v.storage_bytes(), 16u);  // two 64-bit words
+}
+
+TEST(BitVector, UtilizationFraction) {
+  BitVector v{100};
+  for (std::size_t i = 0; i < 25; ++i) v.set(i);
+  EXPECT_DOUBLE_EQ(v.utilization(), 0.25);
+}
+
+TEST(BitVector, StorageBytesMatchesSize) {
+  EXPECT_EQ(BitVector{1 << 20}.storage_bytes(), (1u << 20) / 8);
+  EXPECT_EQ(BitVector{64}.storage_bytes(), 8u);
+  EXPECT_EQ(BitVector{65}.storage_bytes(), 16u);
+}
+
+TEST(BitVector, ZeroSizeThrows) {
+  EXPECT_THROW(BitVector{0}, std::invalid_argument);
+}
+
+TEST(BitVector, RandomSetTestProperty) {
+  Rng rng{99};
+  BitVector v{4096};
+  std::vector<bool> shadow(4096, false);
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t idx = rng.next_below(4096);
+    v.set(idx);
+    shadow[idx] = true;
+  }
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < 4096; ++i) {
+    EXPECT_EQ(v.test(i), shadow[i]);
+    if (shadow[i]) ++expected;
+  }
+  EXPECT_EQ(v.popcount(), expected);
+}
+
+}  // namespace
+}  // namespace upbound

@@ -1,0 +1,150 @@
+#include "filter/concurrent_bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace upbound {
+namespace {
+
+BitmapFilterConfig small_config() {
+  BitmapFilterConfig config;
+  config.log2_bits = 16;
+  config.vector_count = 4;
+  config.hash_count = 3;
+  config.rotate_interval = Duration::sec(5.0);
+  return config;
+}
+
+FiveTuple tuple_n(std::uint32_t n) {
+  return FiveTuple{Protocol::kTcp, Ipv4Addr{0x0a000000u + n},
+                   static_cast<std::uint16_t>(1024 + n % 60000),
+                   Ipv4Addr{0x3d000000u + n * 2654435761u},
+                   static_cast<std::uint16_t>(80 + n % 40000)};
+}
+
+PacketRecord pkt_of(const FiveTuple& t, double t_sec = 0.0) {
+  PacketRecord pkt;
+  pkt.timestamp = SimTime::from_sec(t_sec);
+  pkt.tuple = t;
+  return pkt;
+}
+
+TEST(ConcurrentBitmap, SingleThreadSemanticsMatchSequentialFilter) {
+  // Identical config and seed: decisions must agree with BitmapFilter on
+  // a random single-threaded workload.
+  BitmapFilter sequential{small_config()};
+  ConcurrentBitmapFilter concurrent{small_config()};
+  Rng rng{5};
+  double t = 0.0;
+  for (int step = 0; step < 20'000; ++step) {
+    t += rng.exponential(0.01);
+    const SimTime now = SimTime::from_sec(t);
+    sequential.advance_time(now);
+    concurrent.advance_time(now);
+    const FiveTuple tuple = tuple_n(rng.next_below(500));
+    if (rng.next_bool(0.5)) {
+      sequential.record_outbound(pkt_of(tuple, t));
+      concurrent.record_outbound(pkt_of(tuple, t));
+    } else {
+      PacketRecord probe = pkt_of(tuple, t);
+      probe.tuple = probe.tuple.inverse();
+      ASSERT_EQ(sequential.admits_inbound(probe),
+                concurrent.admits_inbound(probe))
+          << "divergence at t=" << t;
+    }
+  }
+  EXPECT_EQ(sequential.rotations(), concurrent.rotations());
+}
+
+TEST(ConcurrentBitmap, ParallelMarkersAllVisible) {
+  ConcurrentBitmapFilter filter{small_config()};
+  constexpr int kThreads = 8;
+  constexpr std::uint32_t kPerThread = 2'000;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&filter, w] {
+      for (std::uint32_t i = 0; i < kPerThread; ++i) {
+        filter.record_outbound(
+            pkt_of(tuple_n(static_cast<std::uint32_t>(w) * kPerThread + i)));
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  // Every mark from every thread must be visible.
+  for (std::uint32_t n = 0; n < kThreads * kPerThread; ++n) {
+    PacketRecord probe = pkt_of(tuple_n(n));
+    probe.tuple = probe.tuple.inverse();
+    ASSERT_TRUE(filter.admits_inbound(probe)) << "lost mark " << n;
+  }
+}
+
+TEST(ConcurrentBitmap, ReadersWritersAndRotatorDoNotLoseFreshMarks) {
+  ConcurrentBitmapFilter filter{small_config()};
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> false_negatives{0};
+  std::atomic<double> sim_now{0.0};
+
+  // Rotator: advances simulated time continuously.
+  std::thread rotator{[&] {
+    double t = 0.0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      t += 0.37;
+      sim_now.store(t, std::memory_order_relaxed);
+      filter.advance_time(SimTime::from_sec(t));
+      std::this_thread::yield();
+    }
+  }};
+
+  // Workers: mark then immediately probe their own tuples; a mark made
+  // "now" is within Te by construction, so a miss is a real lost update
+  // (modulo the documented one-rotation race, which cannot happen here
+  // because the probe follows the mark within far less than dt).
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 6; ++w) {
+    workers.emplace_back([&, w] {
+      Rng rng{static_cast<std::uint64_t>(w) + 100};
+      while (!stop.load(std::memory_order_relaxed)) {
+        const FiveTuple tuple =
+            tuple_n(static_cast<std::uint32_t>(rng.next_below(100'000)));
+        const double t = sim_now.load(std::memory_order_relaxed);
+        filter.record_outbound(pkt_of(tuple, t));
+        PacketRecord probe = pkt_of(tuple, t);
+        probe.tuple = probe.tuple.inverse();
+        if (!filter.admits_inbound(probe)) {
+          false_negatives.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true);
+  for (auto& worker : workers) worker.join();
+  rotator.join();
+
+  // Mark->probe spans at most a few microseconds; a rotation in between
+  // could legitimately eat the mark only if it were the k-th rotation
+  // since marking -- impossible here. Allow a whisper of slack for the
+  // explicitly documented publish-then-clear straggler window.
+  EXPECT_LE(false_negatives.load(), 2u);
+  EXPECT_GT(filter.rotations(), 0u);
+}
+
+TEST(ConcurrentBitmap, StorageMatchesSequential) {
+  EXPECT_EQ(ConcurrentBitmapFilter{small_config()}.storage_bytes(),
+            BitmapFilter{small_config()}.storage_bytes());
+}
+
+TEST(ConcurrentBitmap, InvalidConfigRejected) {
+  BitmapFilterConfig config;
+  config.vector_count = 1;
+  EXPECT_THROW(ConcurrentBitmapFilter{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace upbound

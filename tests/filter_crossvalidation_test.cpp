@@ -1,0 +1,147 @@
+// Property-based cross-validation of the three state filters on random
+// packet streams: within its expiry window the bitmap filter must admit a
+// superset of the naive exact-timer filter's admissions (false negatives
+// impossible while marks are fresh; false positives possible but bounded).
+#include <gtest/gtest.h>
+
+#include "filter/bitmap_filter.h"
+#include "filter/naive_filter.h"
+#include "filter/params.h"
+#include "filter/spi_filter.h"
+#include "util/rng.h"
+
+namespace upbound {
+namespace {
+
+FiveTuple random_tuple(Rng& rng) {
+  return FiveTuple{rng.next_bool(0.5) ? Protocol::kTcp : Protocol::kUdp,
+                   Ipv4Addr{0x0a000000u | static_cast<std::uint32_t>(
+                                              rng.next_below(256))},
+                   static_cast<std::uint16_t>(rng.next_range(1024, 65535)),
+                   Ipv4Addr{static_cast<std::uint32_t>(rng.next_u64())},
+                   static_cast<std::uint16_t>(rng.next_range(1, 65535))};
+}
+
+PacketRecord packet(const FiveTuple& t, double t_sec) {
+  PacketRecord pkt;
+  pkt.timestamp = SimTime::from_sec(t_sec);
+  pkt.tuple = t;
+  return pkt;
+}
+
+struct CrossCase {
+  unsigned log2_bits;
+  unsigned hash_count;
+  int connections;
+  double duration_sec;
+};
+
+class FilterCrossValidation : public ::testing::TestWithParam<CrossCase> {};
+
+TEST_P(FilterCrossValidation, BitmapAdmitsSupersetOfNaive) {
+  const CrossCase& c = GetParam();
+
+  BitmapFilterConfig bitmap_config;
+  bitmap_config.log2_bits = c.log2_bits;
+  bitmap_config.vector_count = 4;
+  bitmap_config.hash_count = c.hash_count;
+  bitmap_config.rotate_interval = Duration::sec(5.0);
+  BitmapFilter bitmap{bitmap_config};
+
+  // The bitmap's marks survive at least (k-1)*dt and at most k*dt after
+  // the last refresh. Bracket it with two exact-timer filters: anything
+  // the floor timer admits, the bitmap must admit (no false negatives);
+  // anything the ceiling timer rejects that the bitmap admits is a true
+  // Bloom false positive.
+  NaiveFilterConfig floor_config;
+  floor_config.state_timeout =
+      bitmap_config.rotate_interval *
+      static_cast<double>(bitmap_config.vector_count - 1);
+  NaiveFilter naive_floor{floor_config};
+  NaiveFilterConfig ceil_config;
+  ceil_config.state_timeout = bitmap_config.expiry_timer();
+  NaiveFilter naive_ceil{ceil_config};
+
+  Rng rng{static_cast<std::uint64_t>(c.connections) * 31 + c.log2_bits};
+  std::vector<FiveTuple> pool;
+  for (int i = 0; i < c.connections; ++i) pool.push_back(random_tuple(rng));
+
+  int probes = 0;
+  int false_positives = 0;
+  double t = 0.0;
+  while (t < c.duration_sec) {
+    t += rng.exponential(c.duration_sec / (c.connections * 4.0));
+    const SimTime now = SimTime::from_sec(t);
+    bitmap.advance_time(now);
+    naive_floor.advance_time(now);
+    naive_ceil.advance_time(now);
+
+    const FiveTuple& tuple = pool[rng.next_below(pool.size())];
+    if (rng.next_bool(0.6)) {
+      const PacketRecord out = packet(tuple, t);
+      bitmap.record_outbound(out);
+      naive_floor.record_outbound(out);
+      naive_ceil.record_outbound(out);
+    } else {
+      // Probe inbound: either the inverse of a pool tuple (likely has
+      // state) or a fresh random tuple (must not, modulo FP).
+      const FiveTuple probe_tuple = rng.next_bool(0.7)
+                                        ? tuple.inverse()
+                                        : random_tuple(rng).inverse();
+      const PacketRecord in = packet(probe_tuple, t);
+      const bool bitmap_admits = bitmap.admits_inbound(in);
+      ++probes;
+      if (naive_floor.admits_inbound(in)) {
+        // Hard invariant: no false negatives inside the guaranteed
+        // (k-1)*dt window.
+        ASSERT_TRUE(bitmap_admits)
+            << "false negative at t=" << t << " for "
+            << probe_tuple.to_string();
+      }
+      if (bitmap_admits && !naive_ceil.admits_inbound(in)) {
+        ++false_positives;
+      }
+    }
+  }
+
+  ASSERT_GT(probes, 100);
+  // FP bound: generous multiple of the Eq. 3 estimate at peak load.
+  const double eq3 = penetration_probability(
+      static_cast<std::size_t>(c.connections), c.hash_count,
+      std::size_t{1} << c.log2_bits);
+  EXPECT_LT(static_cast<double>(false_positives) / probes,
+            std::max(0.02, eq3 * 5.0))
+      << "false positives beyond bound";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FilterCrossValidation,
+    ::testing::Values(CrossCase{20, 3, 500, 120.0},
+                      CrossCase{16, 3, 500, 120.0},
+                      CrossCase{16, 2, 2000, 60.0},
+                      CrossCase{14, 4, 1000, 60.0},
+                      CrossCase{12, 2, 300, 200.0}),
+    [](const ::testing::TestParamInfo<CrossCase>& info) {
+      return "N2p" + std::to_string(info.param.log2_bits) + "_m" +
+             std::to_string(info.param.hash_count) + "_c" +
+             std::to_string(info.param.connections);
+    });
+
+TEST(FilterCrossValidation, SpiAdmitsEstablishedSubsetOfNaiveLongTimer) {
+  // With matching long timers and no closes, SPI and naive agree exactly.
+  SpiFilter spi{{.idle_timeout = Duration::sec(100.0)}};
+  NaiveFilter naive{{.state_timeout = Duration::sec(100.0)}};
+  Rng rng{77};
+  for (int i = 0; i < 2000; ++i) {
+    const FiveTuple t = random_tuple(rng);
+    const double at = rng.next_double() * 50.0;
+    const PacketRecord out = packet(t, at);
+    spi.record_outbound(out);
+    naive.record_outbound(out);
+    const PacketRecord in = packet(t.inverse(), at + rng.next_double());
+    EXPECT_EQ(spi.admits_inbound(in), naive.admits_inbound(in));
+  }
+}
+
+}  // namespace
+}  // namespace upbound

@@ -1,0 +1,134 @@
+#include "filter/hash_family.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace upbound {
+namespace {
+
+FiveTuple out_tuple(std::uint16_t sport = 40000, std::uint16_t dport = 6881) {
+  return FiveTuple{Protocol::kTcp, Ipv4Addr{10, 0, 0, 5}, sport,
+                   Ipv4Addr{61, 2, 3, 4}, dport};
+}
+
+TEST(BloomHashFamily, IndexesWithinRange) {
+  BloomHashFamily family{1000, 8};
+  std::vector<std::size_t> idx(8);
+  family.outbound_indexes(out_tuple(), KeyMode::kFullTuple, idx);
+  for (std::size_t i : idx) EXPECT_LT(i, 1000u);
+}
+
+TEST(BloomHashFamily, DeterministicForSameTuple) {
+  BloomHashFamily family{1 << 20, 3};
+  std::vector<std::size_t> a(3), b(3);
+  family.outbound_indexes(out_tuple(), KeyMode::kFullTuple, a);
+  family.outbound_indexes(out_tuple(), KeyMode::kFullTuple, b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BloomHashFamily, InboundInverseHitsOutboundBits) {
+  BloomHashFamily family{1 << 20, 4};
+  std::vector<std::size_t> out(4), in(4);
+  const FiveTuple sigma_out = out_tuple();
+  family.outbound_indexes(sigma_out, KeyMode::kFullTuple, out);
+  // The inbound packet of the same connection carries the inverse tuple.
+  family.inbound_indexes(sigma_out.inverse(), KeyMode::kFullTuple, in);
+  EXPECT_EQ(out, in);
+}
+
+TEST(BloomHashFamily, DifferentTuplesDiverge) {
+  BloomHashFamily family{1 << 20, 3};
+  std::vector<std::size_t> a(3), b(3);
+  family.outbound_indexes(out_tuple(1000), KeyMode::kFullTuple, a);
+  family.outbound_indexes(out_tuple(1001), KeyMode::kFullTuple, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(BloomHashFamily, SeedSeparatesFamilies) {
+  BloomHashFamily f1{1 << 20, 3, 1};
+  BloomHashFamily f2{1 << 20, 3, 2};
+  std::vector<std::size_t> a(3), b(3);
+  f1.outbound_indexes(out_tuple(), KeyMode::kFullTuple, a);
+  f2.outbound_indexes(out_tuple(), KeyMode::kFullTuple, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(BloomHashFamily, HolePunchingIgnoresExternalPort) {
+  BloomHashFamily family{1 << 20, 3};
+  std::vector<std::size_t> a(3), b(3);
+  // Outbound to two different ports of the same external host.
+  family.outbound_indexes(out_tuple(40000, 6881), KeyMode::kHolePunching, a);
+  family.outbound_indexes(out_tuple(40000, 9999), KeyMode::kHolePunching, b);
+  EXPECT_EQ(a, b);
+
+  // Full-tuple mode distinguishes them.
+  family.outbound_indexes(out_tuple(40000, 6881), KeyMode::kFullTuple, a);
+  family.outbound_indexes(out_tuple(40000, 9999), KeyMode::kFullTuple, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(BloomHashFamily, HolePunchingInboundFromAnySourcePort) {
+  BloomHashFamily family{1 << 20, 3};
+  std::vector<std::size_t> marked(3), probe(3);
+  const FiveTuple sigma_out = out_tuple(40000, 6881);
+  family.outbound_indexes(sigma_out, KeyMode::kHolePunching, marked);
+
+  // An inbound connection from the same external host, arbitrary source
+  // port, to the same internal address/port.
+  FiveTuple inbound = sigma_out.inverse();
+  inbound.src_port = 12345;
+  family.inbound_indexes(inbound, KeyMode::kHolePunching, probe);
+  EXPECT_EQ(marked, probe);
+}
+
+TEST(BloomHashFamily, HolePunchingStillKeyedOnInternalPort) {
+  BloomHashFamily family{1 << 20, 3};
+  std::vector<std::size_t> a(3), b(3);
+  family.outbound_indexes(out_tuple(40000, 6881), KeyMode::kHolePunching, a);
+  family.outbound_indexes(out_tuple(40001, 6881), KeyMode::kHolePunching, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(BloomHashFamily, IndexDistributionRoughlyUniform) {
+  constexpr std::size_t kBits = 1 << 12;
+  BloomHashFamily family{kBits, 1};
+  std::vector<int> counts(kBits, 0);
+  Rng rng{5};
+  std::vector<std::size_t> idx(1);
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    FiveTuple t = out_tuple();
+    t.src_port = static_cast<std::uint16_t>(rng.next_u64());
+    t.src_addr = Ipv4Addr{static_cast<std::uint32_t>(rng.next_u64())};
+    family.outbound_indexes(t, KeyMode::kFullTuple, idx);
+    ++counts[idx[0]];
+  }
+  // Chi-square-ish sanity: each bucket expectation is ~48.8; flag any
+  // bucket more than 3x off.
+  const double expected = static_cast<double>(n) / kBits;
+  for (int c : counts) {
+    EXPECT_LT(c, expected * 3.0);
+  }
+}
+
+TEST(BloomHashFamily, ProbesDistinctForSmallTables) {
+  // Double hashing with odd step must cycle through distinct slots of a
+  // power-of-two table (up to table size).
+  BloomHashFamily family{64, 32};
+  std::vector<std::size_t> idx(32);
+  family.outbound_indexes(out_tuple(), KeyMode::kFullTuple, idx);
+  const std::set<std::size_t> unique(idx.begin(), idx.end());
+  EXPECT_GT(unique.size(), 16u);
+}
+
+TEST(BloomHashFamily, InvalidConstruction) {
+  EXPECT_THROW(BloomHashFamily(0, 3), std::invalid_argument);
+  EXPECT_THROW(BloomHashFamily(100, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace upbound

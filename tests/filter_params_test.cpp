@@ -1,0 +1,126 @@
+// Tests for the Section 4.3 / 5.1 parameter math, including the paper's
+// own worked example: N = 2^20, k = 4, dt = 5 s, T_e = 20 s gives
+// c <= ~167K / 125K / 83K active connections for p = 10% / 5% / 1%,
+// m = 3 hash functions, and 512 KB of memory.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "filter/params.h"
+
+namespace upbound {
+namespace {
+
+TEST(Params, PenetrationAtUtilizationIsEq2) {
+  EXPECT_DOUBLE_EQ(penetration_probability_at_utilization(0.5, 3), 0.125);
+  EXPECT_DOUBLE_EQ(penetration_probability_at_utilization(0.0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(penetration_probability_at_utilization(1.0, 5), 1.0);
+}
+
+TEST(Params, PenetrationApproximationIsEq3) {
+  // p ~= (c*m/N)^m.
+  const double p = penetration_probability(100, 3, 1000);
+  EXPECT_NEAR(p, std::pow(0.3, 3.0), 1e-12);
+}
+
+TEST(Params, PenetrationClampsAtFullUtilization) {
+  EXPECT_DOUBLE_EQ(penetration_probability(10'000, 4, 100), 1.0);
+}
+
+TEST(Params, OptimalHashCountRealIsEq5) {
+  // m* = N / (e*c).
+  EXPECT_NEAR(optimal_hash_count_real(1 << 20, 100'000),
+              (1 << 20) / (std::exp(1.0) * 100'000), 1e-9);
+}
+
+TEST(Params, OptimalHashCountNeverBelowOne) {
+  EXPECT_EQ(optimal_hash_count(100, 1'000'000), 1u);
+}
+
+TEST(Params, OptimalHashCountBeatsNeighbours) {
+  const std::size_t bits = 1 << 20;
+  for (std::size_t c : {20'000u, 50'000u, 100'000u, 150'000u}) {
+    const unsigned m = optimal_hash_count(bits, c);
+    const double p_m = penetration_probability(c, m, bits);
+    if (m > 1) {
+      EXPECT_LE(p_m, penetration_probability(c, m - 1, bits)) << "c=" << c;
+    }
+    EXPECT_LE(p_m, penetration_probability(c, m + 1, bits)) << "c=" << c;
+  }
+}
+
+TEST(Params, PaperWorkedExampleConnectionBounds) {
+  // Section 5.1: N = 2^20, target p of 10%, 5%, 1% -> c <= 167K, 125K, 83K.
+  const std::size_t bits = 1 << 20;
+  EXPECT_NEAR(static_cast<double>(max_connections_for(0.10, bits)), 167'000,
+              1'500);
+  EXPECT_NEAR(static_cast<double>(max_connections_for(0.05, bits)), 128'000,
+              4'000);
+  EXPECT_NEAR(static_cast<double>(max_connections_for(0.01, bits)), 83'000,
+              1'500);
+}
+
+TEST(Params, BoundIsMonotoneInTargetP) {
+  const std::size_t bits = 1 << 20;
+  EXPECT_GT(max_connections_for(0.10, bits), max_connections_for(0.05, bits));
+  EXPECT_GT(max_connections_for(0.05, bits), max_connections_for(0.01, bits));
+}
+
+TEST(Params, BoundScalesLinearlyWithBits) {
+  EXPECT_NEAR(static_cast<double>(max_connections_for(0.05, 2u << 20)),
+              2.0 * static_cast<double>(max_connections_for(0.05, 1u << 20)),
+              2.0);
+}
+
+TEST(Params, Eq6SatisfiesEq3AtOptimalM) {
+  // Marking exactly the Eq. 6 bound of connections and using the optimal m
+  // must give a penetration probability within tolerance of the target.
+  const std::size_t bits = 1 << 20;
+  for (double target : {0.10, 0.05, 0.01}) {
+    const std::size_t c = max_connections_for(target, bits);
+    const unsigned m = optimal_hash_count(bits, c);
+    const double p = penetration_probability(c, m, bits);
+    EXPECT_NEAR(p, target, target * 0.2) << "target " << target;
+  }
+}
+
+TEST(Params, AdviseReproducesPaperSetup) {
+  // Paper trace: ~15K active connections per 20 s window, N = 2^20, k = 4,
+  // dt = 5 s. Expect tiny expected penetration and 512 KB memory; the
+  // paper deploys m = 3 (storage/CPU trade-off) rather than the optimum.
+  const BitmapAdvice advice =
+      advise(1 << 20, 4, Duration::sec(5.0), 15'000);
+  EXPECT_EQ(advice.memory_bytes, 512u * 1024u);
+  EXPECT_EQ(advice.expiry_timer, Duration::sec(20.0));
+  EXPECT_GE(advice.hash_count, 3u);
+  EXPECT_LT(advice.expected_penetration, 1e-6);
+  EXPECT_FALSE(advice.to_string().empty());
+}
+
+TEST(Params, AdviseExpectedPenetrationConsistent) {
+  const BitmapAdvice advice = advise(1 << 16, 4, Duration::sec(5.0), 5'000);
+  EXPECT_DOUBLE_EQ(
+      advice.expected_penetration,
+      penetration_probability(5'000, advice.hash_count, 1 << 16));
+}
+
+TEST(Params, InvalidArgumentsThrow) {
+  EXPECT_THROW(penetration_probability_at_utilization(-0.1, 3),
+               std::invalid_argument);
+  EXPECT_THROW(penetration_probability_at_utilization(1.1, 3),
+               std::invalid_argument);
+  EXPECT_THROW(penetration_probability_at_utilization(0.5, 0),
+               std::invalid_argument);
+  EXPECT_THROW(penetration_probability(100, 3, 0), std::invalid_argument);
+  EXPECT_THROW(optimal_hash_count(0, 100), std::invalid_argument);
+  EXPECT_THROW(optimal_hash_count(100, 0), std::invalid_argument);
+  EXPECT_THROW(max_connections_for(0.0, 100), std::invalid_argument);
+  EXPECT_THROW(max_connections_for(1.0, 100), std::invalid_argument);
+  EXPECT_THROW(advise(1 << 20, 0, Duration::sec(5.0), 100),
+               std::invalid_argument);
+  EXPECT_THROW(advise(1 << 20, 4, Duration::sec(0.0), 100),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace upbound

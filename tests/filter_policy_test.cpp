@@ -1,0 +1,190 @@
+// Tests for RED drop policy (Eq. 1), the bandwidth meter, and the
+// blocked-connection store.
+#include <gtest/gtest.h>
+
+#include "filter/bandwidth_meter.h"
+#include "filter/blocklist.h"
+#include "filter/drop_policy.h"
+
+namespace upbound {
+namespace {
+
+// ---------------- RedDropPolicy (paper Eq. 1) ----------------
+
+TEST(RedDropPolicy, ZeroBelowLow) {
+  RedDropPolicy red{50e6, 100e6};
+  EXPECT_DOUBLE_EQ(red.drop_probability(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(red.drop_probability(49.9e6), 0.0);
+  EXPECT_DOUBLE_EQ(red.drop_probability(50e6), 0.0);  // b <= L
+}
+
+TEST(RedDropPolicy, OneAboveHigh) {
+  RedDropPolicy red{50e6, 100e6};
+  EXPECT_DOUBLE_EQ(red.drop_probability(100e6), 1.0);  // b >= H
+  EXPECT_DOUBLE_EQ(red.drop_probability(500e6), 1.0);
+}
+
+TEST(RedDropPolicy, LinearRampBetween) {
+  RedDropPolicy red{50e6, 100e6};
+  EXPECT_DOUBLE_EQ(red.drop_probability(75e6), 0.5);
+  EXPECT_DOUBLE_EQ(red.drop_probability(60e6), 0.2);
+  EXPECT_DOUBLE_EQ(red.drop_probability(95e6), 0.9);
+}
+
+TEST(RedDropPolicy, RampIsMonotone) {
+  RedDropPolicy red{10e6, 20e6};
+  double prev = -1.0;
+  for (double b = 0; b <= 30e6; b += 1e6) {
+    const double p = red.drop_probability(b);
+    EXPECT_GE(p, prev);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(RedDropPolicy, InvalidThresholdsThrow) {
+  EXPECT_THROW(RedDropPolicy(100e6, 50e6), std::invalid_argument);
+  EXPECT_THROW(RedDropPolicy(50e6, 50e6), std::invalid_argument);
+  EXPECT_THROW(RedDropPolicy(-1.0, 50e6), std::invalid_argument);
+}
+
+TEST(ConstantDropPolicy, FixedProbability) {
+  ConstantDropPolicy p{0.25};
+  EXPECT_DOUBLE_EQ(p.drop_probability(0.0), 0.25);
+  EXPECT_DOUBLE_EQ(p.drop_probability(1e12), 0.25);
+  EXPECT_THROW(ConstantDropPolicy{1.5}, std::invalid_argument);
+  EXPECT_THROW(ConstantDropPolicy{-0.1}, std::invalid_argument);
+}
+
+// ---------------- BandwidthMeter ----------------
+
+TEST(BandwidthMeter, SimpleRate) {
+  BandwidthMeter meter{Duration::sec(1.0), 10};
+  // 125 KB in one second = 1 Mbps.
+  for (int i = 0; i < 10; ++i) {
+    meter.add(SimTime::from_sec(i * 0.1), 12'500);
+  }
+  EXPECT_DOUBLE_EQ(meter.bits_per_sec(SimTime::from_sec(0.95)), 1e6);
+}
+
+TEST(BandwidthMeter, OldTrafficAges) {
+  BandwidthMeter meter{Duration::sec(1.0), 10};
+  meter.add(SimTime::from_sec(0.0), 100'000);
+  EXPECT_GT(meter.bits_per_sec(SimTime::from_sec(0.5)), 0.0);
+  // After the window passes, the burst no longer counts.
+  EXPECT_DOUBLE_EQ(meter.bits_per_sec(SimTime::from_sec(1.5)), 0.0);
+}
+
+TEST(BandwidthMeter, PartialAging) {
+  BandwidthMeter meter{Duration::sec(1.0), 10};
+  meter.add(SimTime::from_sec(0.05), 1000);
+  meter.add(SimTime::from_sec(0.95), 1000);
+  // At t=1.04 the first slot (t in [0, 0.1)) has expired, the second has
+  // not.
+  const double rate = meter.bits_per_sec(SimTime::from_sec(1.04));
+  EXPECT_DOUBLE_EQ(rate, 1000 * 8.0);
+}
+
+TEST(BandwidthMeter, LongGapZeroesEverything) {
+  BandwidthMeter meter{Duration::sec(1.0), 10};
+  for (int i = 0; i < 100; ++i) meter.add(SimTime::from_sec(i * 0.01), 500);
+  EXPECT_GT(meter.bits_per_sec(SimTime::from_sec(1.0)), 0.0);
+  EXPECT_DOUBLE_EQ(meter.bits_per_sec(SimTime::from_sec(100.0)), 0.0);
+}
+
+TEST(BandwidthMeter, AccumulatesWithinSlot) {
+  BandwidthMeter meter{Duration::sec(1.0), 10};
+  meter.add(SimTime::from_sec(0.01), 100);
+  meter.add(SimTime::from_sec(0.02), 100);
+  meter.add(SimTime::from_sec(0.03), 100);
+  EXPECT_DOUBLE_EQ(meter.bits_per_sec(SimTime::from_sec(0.05)), 300 * 8.0);
+}
+
+TEST(BandwidthMeter, InvalidConfigThrows) {
+  EXPECT_THROW(BandwidthMeter(Duration::sec(0.0), 10), std::invalid_argument);
+  EXPECT_THROW(BandwidthMeter(Duration::sec(1.0), 0), std::invalid_argument);
+  // 1 s not divisible into 7 equal microsecond slots.
+  EXPECT_THROW(BandwidthMeter(Duration::usec(1'000'003), 7),
+               std::invalid_argument);
+}
+
+TEST(BandwidthMeter, SteadyStateMatchesOfferedLoad) {
+  BandwidthMeter meter{Duration::sec(2.0), 20};
+  // Offer 8 Mbps for 10 seconds in 10 ms packets of 10 KB.
+  for (int i = 0; i < 1000; ++i) {
+    meter.add(SimTime::from_sec(i * 0.01), 10'000);
+  }
+  const double rate = meter.bits_per_sec(SimTime::from_sec(9.99));
+  EXPECT_NEAR(rate, 8e6, 8e6 * 0.02);
+}
+
+// ---------------- BlockList ----------------
+
+FiveTuple sigma() {
+  return FiveTuple{Protocol::kTcp, Ipv4Addr{61, 1, 1, 1}, 12345,
+                   Ipv4Addr{140, 112, 30, 5}, 6881};
+}
+
+TEST(BlockList, BlocksBothDirections) {
+  BlockList list;
+  list.block(sigma(), SimTime::origin());
+  EXPECT_TRUE(list.is_blocked(sigma(), SimTime::from_sec(1.0)));
+  EXPECT_TRUE(list.is_blocked(sigma().inverse(), SimTime::from_sec(1.0)));
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(BlockList, UnrelatedTupleNotBlocked) {
+  BlockList list;
+  list.block(sigma(), SimTime::origin());
+  FiveTuple other = sigma();
+  other.src_port = 54321;
+  EXPECT_FALSE(list.is_blocked(other, SimTime::from_sec(1.0)));
+}
+
+TEST(BlockList, DoubleBlockCountsOnce) {
+  BlockList list;
+  list.block(sigma(), SimTime::origin());
+  list.block(sigma().inverse(), SimTime::from_sec(1.0));
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.total_blocked(), 1u);
+}
+
+TEST(BlockList, ZeroTtlNeverExpires) {
+  BlockList list{Duration{}};
+  list.block(sigma(), SimTime::origin());
+  EXPECT_TRUE(list.is_blocked(sigma(), SimTime::from_sec(1e6)));
+}
+
+TEST(BlockList, TtlExpiresSilentPeers) {
+  BlockList list{Duration::sec(60.0)};
+  list.block(sigma(), SimTime::origin());
+  EXPECT_TRUE(list.is_blocked(sigma(), SimTime::from_sec(59.0)));
+  EXPECT_FALSE(list.is_blocked(sigma(), SimTime::from_sec(125.0)));
+  EXPECT_EQ(list.size(), 0u);
+}
+
+TEST(BlockList, RetriesKeepBlockAlive) {
+  BlockList list{Duration::sec(60.0)};
+  list.block(sigma(), SimTime::origin());
+  // A retry every 30 s keeps refreshing the TTL.
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_TRUE(list.is_blocked(sigma(), SimTime::from_sec(i * 30.0)));
+  }
+  // Silence for > TTL finally clears it.
+  EXPECT_FALSE(list.is_blocked(sigma(), SimTime::from_sec(10 * 30.0 + 61.0)));
+}
+
+TEST(BlockList, TotalBlockedCountsDistinctConnections) {
+  BlockList list;
+  for (std::uint16_t p = 1; p <= 50; ++p) {
+    FiveTuple t = sigma();
+    t.src_port = p;
+    list.block(t, SimTime::origin());
+  }
+  EXPECT_EQ(list.total_blocked(), 50u);
+  EXPECT_EQ(list.size(), 50u);
+}
+
+}  // namespace
+}  // namespace upbound

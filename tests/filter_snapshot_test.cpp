@@ -1,0 +1,135 @@
+#include "filter/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace upbound {
+namespace {
+
+BitmapFilterConfig small_config() {
+  BitmapFilterConfig config;
+  config.log2_bits = 14;
+  config.vector_count = 4;
+  config.hash_count = 3;
+  config.rotate_interval = Duration::sec(5.0);
+  return config;
+}
+
+FiveTuple tuple_n(std::uint32_t n) {
+  return FiveTuple{Protocol::kTcp, Ipv4Addr{0x0a000000u + n},
+                   static_cast<std::uint16_t>(1024 + n % 60000),
+                   Ipv4Addr{0x3d000000u + n * 7919u},
+                   static_cast<std::uint16_t>(80 + n % 40000)};
+}
+
+PacketRecord pkt_of(const FiveTuple& t, double t_sec = 0.0) {
+  PacketRecord pkt;
+  pkt.timestamp = SimTime::from_sec(t_sec);
+  pkt.tuple = t;
+  return pkt;
+}
+
+TEST(Snapshot, RoundTripPreservesEveryDecision) {
+  BitmapFilter original{small_config()};
+  Rng rng{1};
+  double t = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    t += rng.exponential(0.01);
+    original.advance_time(SimTime::from_sec(t));
+    original.record_outbound(
+        pkt_of(tuple_n(static_cast<std::uint32_t>(rng.next_below(800))), t));
+  }
+
+  const auto snapshot = snapshot_bitmap_filter(original, SimTime::from_sec(t));
+  auto restored = restore_bitmap_filter(snapshot);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->snapshot_time, SimTime::from_sec(t));
+  EXPECT_EQ(restored->filter.current_index(), original.current_index());
+  EXPECT_EQ(restored->filter.rotations(), original.rotations());
+  EXPECT_DOUBLE_EQ(restored->filter.current_utilization(),
+                   original.current_utilization());
+
+  // Every lookup agrees, hits and misses alike.
+  for (std::uint32_t n = 0; n < 2000; ++n) {
+    PacketRecord probe = pkt_of(tuple_n(n), t);
+    probe.tuple = probe.tuple.inverse();
+    ASSERT_EQ(original.admits_inbound(probe),
+              restored->filter.admits_inbound(probe))
+        << "divergence at tuple " << n;
+  }
+}
+
+TEST(Snapshot, RestoredFilterContinuesRotating) {
+  BitmapFilter original{small_config()};
+  original.advance_time(SimTime::from_sec(7.0));  // one rotation done
+  original.record_outbound(pkt_of(tuple_n(1), 7.0));
+
+  const auto snapshot =
+      snapshot_bitmap_filter(original, SimTime::from_sec(7.0));
+  auto restored = restore_bitmap_filter(snapshot);
+  ASSERT_TRUE(restored.has_value());
+
+  // Both filters, advanced identically, expire the mark at the same time.
+  for (double t = 8.0; t <= 30.0; t += 1.0) {
+    original.advance_time(SimTime::from_sec(t));
+    restored->filter.advance_time(SimTime::from_sec(t));
+    PacketRecord probe = pkt_of(tuple_n(1), t);
+    probe.tuple = probe.tuple.inverse();
+    ASSERT_EQ(original.admits_inbound(probe),
+              restored->filter.admits_inbound(probe))
+        << "divergence at t=" << t;
+  }
+}
+
+TEST(Snapshot, ConfigEmbedded) {
+  BitmapFilterConfig config = small_config();
+  config.key_mode = KeyMode::kHolePunching;
+  config.hash_seed = 12345;
+  BitmapFilter filter{config};
+  const auto snapshot = snapshot_bitmap_filter(filter, SimTime::origin());
+  auto restored = restore_bitmap_filter(snapshot);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->filter.config().key_mode, KeyMode::kHolePunching);
+  EXPECT_EQ(restored->filter.config().hash_seed, 12345u);
+  EXPECT_EQ(restored->filter.config().log2_bits, 14u);
+}
+
+TEST(Snapshot, SizeIsHeaderPlusBits) {
+  BitmapFilter filter{small_config()};
+  const auto snapshot = snapshot_bitmap_filter(filter, SimTime::origin());
+  EXPECT_EQ(snapshot.size(), 68u + 4u * (1u << 14) / 8u);  // 68-byte header
+}
+
+TEST(Snapshot, MalformedRejected) {
+  BitmapFilter filter{small_config()};
+  auto snapshot = snapshot_bitmap_filter(filter, SimTime::origin());
+
+  auto bad_magic = snapshot;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(restore_bitmap_filter(bad_magic).has_value());
+
+  auto bad_version = snapshot;
+  bad_version[4] = 99;
+  EXPECT_FALSE(restore_bitmap_filter(bad_version).has_value());
+
+  auto truncated = snapshot;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(restore_bitmap_filter(truncated).has_value());
+
+  auto trailing = snapshot;
+  trailing.push_back(0);
+  EXPECT_FALSE(restore_bitmap_filter(trailing).has_value());
+
+  EXPECT_FALSE(restore_bitmap_filter({}).has_value());
+}
+
+TEST(Snapshot, InsaneConfigRejected) {
+  BitmapFilter filter{small_config()};
+  auto snapshot = snapshot_bitmap_filter(filter, SimTime::origin());
+  snapshot[8] = 200;  // log2_bits = 200: config validation must refuse
+  EXPECT_FALSE(restore_bitmap_filter(snapshot).has_value());
+}
+
+}  // namespace
+}  // namespace upbound

@@ -1,0 +1,157 @@
+// Robustness sweeps over the untrusted-input surfaces: frame decoding,
+// pcap files, and regex patterns must either produce a valid result or
+// fail cleanly (nullopt / typed exception) on arbitrary bytes -- never
+// crash, hang, or read out of bounds.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "net/headers.h"
+#include "net/pcap.h"
+#include "rex/regex.h"
+#include "util/rng.h"
+
+namespace upbound {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+TEST(FuzzDecodeFrame, RandomBytesNeverCrash) {
+  Rng rng{20260706};
+  int decoded = 0;
+  for (int trial = 0; trial < 20'000; ++trial) {
+    const auto frame = random_bytes(rng, rng.next_below(200));
+    const auto result = decode_frame(frame, SimTime::origin());
+    if (result.has_value()) ++decoded;
+  }
+  // Random bytes essentially never look like valid IPv4/TCP frames.
+  EXPECT_LT(decoded, 10);
+}
+
+TEST(FuzzDecodeFrame, MutatedValidFramesNeverCrash) {
+  Rng rng{7};
+  PacketRecord pkt;
+  pkt.tuple = FiveTuple{Protocol::kTcp, Ipv4Addr{10, 0, 0, 1}, 1234,
+                        Ipv4Addr{8, 8, 8, 8}, 80};
+  pkt.payload = {1, 2, 3, 4, 5, 6, 7, 8};
+  pkt.payload_size = 8;
+  const auto base = encode_frame(pkt);
+  for (int trial = 0; trial < 20'000; ++trial) {
+    auto frame = base;
+    // 1-4 random byte mutations anywhere in the frame.
+    const int mutations = 1 + static_cast<int>(rng.next_below(4));
+    for (int m = 0; m < mutations; ++m) {
+      frame[rng.next_below(frame.size())] =
+          static_cast<std::uint8_t>(rng.next_u64());
+    }
+    // Random truncation half the time.
+    if (rng.next_bool(0.5)) {
+      frame.resize(rng.next_below(frame.size() + 1));
+    }
+    (void)decode_frame(frame, SimTime::origin());  // must not crash
+  }
+}
+
+class FuzzPcap : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             "upbound_fuzz_pcap.pcap")
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(FuzzPcap, GarbageBodiesFailCleanly) {
+  Rng rng{99};
+  const std::uint8_t valid_header[24] = {0xd4, 0xc3, 0xb2, 0xa1, 2, 0, 4, 0,
+                                         0,    0,    0,    0,    0, 0, 0, 0,
+                                         0xff, 0xff, 0,    0,    1, 0, 0, 0};
+  for (int trial = 0; trial < 300; ++trial) {
+    {
+      std::FILE* f = std::fopen(path_.c_str(), "wb");
+      ASSERT_NE(f, nullptr);
+      std::fwrite(valid_header, 1, sizeof(valid_header), f);
+      const auto body = random_bytes(rng, rng.next_below(2000));
+      std::fwrite(body.data(), 1, body.size(), f);
+      std::fclose(f);
+    }
+    try {
+      PcapReader reader{path_};
+      while (reader.next().has_value()) {
+      }
+    } catch (const PcapError&) {
+      // Clean failure is acceptable; crashing or hanging is not.
+    }
+  }
+}
+
+TEST_F(FuzzPcap, GarbageGlobalHeadersFailCleanly) {
+  Rng rng{101};
+  for (int trial = 0; trial < 300; ++trial) {
+    {
+      std::FILE* f = std::fopen(path_.c_str(), "wb");
+      ASSERT_NE(f, nullptr);
+      const auto bytes = random_bytes(rng, rng.next_below(64));
+      std::fwrite(bytes.data(), 1, bytes.size(), f);
+      std::fclose(f);
+    }
+    try {
+      PcapReader reader{path_};
+      while (reader.next().has_value()) {
+      }
+    } catch (const PcapError&) {
+    }
+  }
+}
+
+TEST(FuzzRegex, RandomPatternsParseOrThrow) {
+  Rng rng{13};
+  static constexpr char kChars[] =
+      "abcAB09()[]{}|*+?.^$\\-,xdswSDW ";
+  int compiled = 0;
+  for (int trial = 0; trial < 5'000; ++trial) {
+    std::string pattern;
+    const std::size_t len = rng.next_below(24);
+    for (std::size_t i = 0; i < len; ++i) {
+      pattern += kChars[rng.next_below(sizeof(kChars) - 1)];
+    }
+    try {
+      const rex::Regex re{pattern, {.ignore_case = rng.next_bool(0.5)}};
+      ++compiled;
+      // Matching random inputs must terminate and not crash.
+      const auto input = random_bytes(rng, rng.next_below(64));
+      (void)re.search(input);
+    } catch (const rex::ParseError&) {
+      // Fine: malformed pattern rejected with a typed error.
+    }
+  }
+  EXPECT_GT(compiled, 500);  // plenty of random patterns are valid
+}
+
+TEST(FuzzRegex, DeepNestingBoundedByParser) {
+  // Pathological nesting either compiles (and runs in linear time) or is
+  // rejected; it must not blow the stack.
+  std::string deep;
+  for (int i = 0; i < 2000; ++i) deep += "(a";
+  for (int i = 0; i < 2000; ++i) deep += ")*";
+  try {
+    const rex::Regex re{deep};
+    EXPECT_TRUE(re.search("aaaa"));
+  } catch (const rex::ParseError&) {
+  }
+}
+
+TEST(FuzzRegex, HugeCountedRepeatRejected) {
+  EXPECT_THROW(rex::Regex{"(ab){100000}"}, rex::ParseError);
+  EXPECT_THROW(rex::Regex{"a{999999999999}"}, rex::ParseError);
+}
+
+}  // namespace
+}  // namespace upbound

@@ -1,0 +1,97 @@
+// Coverage for the smaller public surfaces not exercised elsewhere:
+// analyzer stats helpers, the regex disassembler, and logging.
+#include <gtest/gtest.h>
+
+#include "analyzer/stats.h"
+#include "rex/regex.h"
+#include "util/logging.h"
+
+namespace upbound {
+namespace {
+
+TEST(PortClass, MappingMatchesPaperClasses) {
+  EXPECT_EQ(port_class_of(AppProtocol::kBitTorrent), PortClass::kP2p);
+  EXPECT_EQ(port_class_of(AppProtocol::kEdonkey), PortClass::kP2p);
+  EXPECT_EQ(port_class_of(AppProtocol::kGnutella), PortClass::kP2p);
+  EXPECT_EQ(port_class_of(AppProtocol::kHttp), PortClass::kNonP2p);
+  EXPECT_EQ(port_class_of(AppProtocol::kFtp), PortClass::kNonP2p);
+  EXPECT_EQ(port_class_of(AppProtocol::kDns), PortClass::kNonP2p);
+  EXPECT_EQ(port_class_of(AppProtocol::kOther), PortClass::kNonP2p);
+  EXPECT_EQ(port_class_of(AppProtocol::kUnknown), PortClass::kUnknown);
+}
+
+TEST(PortClass, Names) {
+  EXPECT_STREQ(port_class_name(PortClass::kAll), "ALL");
+  EXPECT_STREQ(port_class_name(PortClass::kP2p), "P2P");
+  EXPECT_STREQ(port_class_name(PortClass::kNonP2p), "Non-P2P");
+  EXPECT_STREQ(port_class_name(PortClass::kUnknown), "UNKNOWN");
+}
+
+TEST(AnalyzerReport, ShareOfThrowsForMissingApp) {
+  AnalyzerReport report;
+  EXPECT_THROW(report.share_of(AppProtocol::kHttp), std::out_of_range);
+}
+
+TEST(AnalyzerReport, UploadFractionEmptyIsZero) {
+  AnalyzerReport report;
+  EXPECT_DOUBLE_EQ(report.upload_fraction(), 0.0);
+}
+
+TEST(AnalyzerReport, ProtocolTableEmptyStillRendersHeader) {
+  AnalyzerReport report;
+  const std::string table = report.protocol_table();
+  EXPECT_NE(table.find("Protocol"), std::string::npos);
+  EXPECT_NE(table.find("Utilization"), std::string::npos);
+}
+
+TEST(AppProtocolName, AllValuesNamed) {
+  for (const AppProtocol app : kAllAppProtocols) {
+    EXPECT_STRNE(app_protocol_name(app), "?");
+  }
+}
+
+TEST(AppProtocolIsP2p, OnlyThreeProtocols) {
+  int count = 0;
+  for (const AppProtocol app : kAllAppProtocols) {
+    if (is_p2p(app)) ++count;
+  }
+  EXPECT_EQ(count, 3);
+}
+
+TEST(RexDisassemble, ListsInstructions) {
+  const rex::Regex re{"^ab|c*"};
+  const std::string listing = re.disassemble();
+  EXPECT_NE(listing.find("assert ^"), std::string::npos);
+  EXPECT_NE(listing.find("split"), std::string::npos);
+  EXPECT_NE(listing.find("byteset"), std::string::npos);
+  EXPECT_NE(listing.find("match"), std::string::npos);
+  EXPECT_GT(re.program_size(), 4u);
+}
+
+TEST(RexDisassemble, AnyAndJump) {
+  const rex::Regex re{".+"};
+  const std::string listing = re.disassemble();
+  EXPECT_NE(listing.find("any"), std::string::npos);
+  EXPECT_NE(listing.find("jump"), std::string::npos);
+}
+
+TEST(RexRegex, PatternAccessorRoundTrip) {
+  const rex::Regex re{"abc[0-9]"};
+  EXPECT_EQ(re.pattern(), "abc[0-9]");
+}
+
+TEST(Logging, LevelGateHoldsMessages) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below the gate: the statement must not evaluate its stream (the
+  // side-effect-free guard), and must not crash.
+  UPBOUND_LOG(kDebug) << "dropped " << 42;
+  UPBOUND_LOG(kError) << "emitted " << 43;
+  set_log_level(LogLevel::kOff);
+  UPBOUND_LOG(kError) << "also dropped";
+  set_log_level(saved);
+}
+
+}  // namespace
+}  // namespace upbound

@@ -1,0 +1,75 @@
+#include "net/direction.h"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+
+namespace upbound {
+namespace {
+
+ClientNetwork campus() {
+  return ClientNetwork{{*Cidr::parse("140.112.30.0/24")}};
+}
+
+FiveTuple tuple(Ipv4Addr src, Ipv4Addr dst) {
+  return FiveTuple{Protocol::kTcp, src, 1234, dst, 80};
+}
+
+TEST(ClientNetwork, OutboundWhenSourceInternal) {
+  EXPECT_EQ(campus().classify(
+                tuple(Ipv4Addr(140, 112, 30, 7), Ipv4Addr(8, 8, 8, 8))),
+            Direction::kOutbound);
+}
+
+TEST(ClientNetwork, InboundWhenDestinationInternal) {
+  EXPECT_EQ(campus().classify(
+                tuple(Ipv4Addr(8, 8, 8, 8), Ipv4Addr(140, 112, 30, 7))),
+            Direction::kInbound);
+}
+
+TEST(ClientNetwork, LocalWhenBothInternal) {
+  EXPECT_EQ(campus().classify(tuple(Ipv4Addr(140, 112, 30, 1),
+                                    Ipv4Addr(140, 112, 30, 2))),
+            Direction::kLocal);
+}
+
+TEST(ClientNetwork, TransitWhenNeitherInternal) {
+  EXPECT_EQ(
+      campus().classify(tuple(Ipv4Addr(1, 1, 1, 1), Ipv4Addr(8, 8, 8, 8))),
+      Direction::kTransit);
+}
+
+TEST(ClientNetwork, MultiplePrefixes) {
+  ClientNetwork net;
+  net.add_prefix(*Cidr::parse("10.0.0.0/8"));
+  net.add_prefix(*Cidr::parse("192.168.0.0/16"));
+  EXPECT_TRUE(net.is_internal(Ipv4Addr(10, 200, 3, 4)));
+  EXPECT_TRUE(net.is_internal(Ipv4Addr(192, 168, 44, 1)));
+  EXPECT_FALSE(net.is_internal(Ipv4Addr(172, 16, 0, 1)));
+}
+
+TEST(ClientNetwork, EmptyNetworkClassifiesEverythingTransit) {
+  const ClientNetwork net;
+  EXPECT_EQ(net.classify(tuple(Ipv4Addr(1, 2, 3, 4), Ipv4Addr(5, 6, 7, 8))),
+            Direction::kTransit);
+}
+
+TEST(ClientNetwork, ClassifyPacketOverload) {
+  PacketRecord pkt;
+  pkt.tuple = tuple(Ipv4Addr(140, 112, 30, 9), Ipv4Addr(9, 9, 9, 9));
+  EXPECT_EQ(campus().classify(pkt), Direction::kOutbound);
+}
+
+TEST(ClientNetwork, ToStringListsPrefixes) {
+  EXPECT_EQ(campus().to_string(), "{140.112.30.0/24}");
+}
+
+TEST(DirectionName, AllValuesNamed) {
+  EXPECT_STREQ(direction_name(Direction::kOutbound), "outbound");
+  EXPECT_STREQ(direction_name(Direction::kInbound), "inbound");
+  EXPECT_STREQ(direction_name(Direction::kLocal), "local");
+  EXPECT_STREQ(direction_name(Direction::kTransit), "transit");
+}
+
+}  // namespace
+}  // namespace upbound

@@ -1,0 +1,121 @@
+#include "net/five_tuple.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace upbound {
+namespace {
+
+FiveTuple sample_tuple() {
+  return FiveTuple{Protocol::kTcp, Ipv4Addr{140, 112, 30, 5}, 34567,
+                   Ipv4Addr{61, 2, 3, 4}, 6881};
+}
+
+TEST(FiveTuple, InverseSwapsEndpoints) {
+  const FiveTuple t = sample_tuple();
+  const FiveTuple inv = t.inverse();
+  EXPECT_EQ(inv.src_addr, t.dst_addr);
+  EXPECT_EQ(inv.src_port, t.dst_port);
+  EXPECT_EQ(inv.dst_addr, t.src_addr);
+  EXPECT_EQ(inv.dst_port, t.src_port);
+  EXPECT_EQ(inv.protocol, t.protocol);
+  EXPECT_EQ(inv.inverse(), t);
+}
+
+TEST(FiveTuple, CanonicalIsDirectionIndependent) {
+  const FiveTuple t = sample_tuple();
+  EXPECT_EQ(t.canonical(), t.inverse().canonical());
+}
+
+TEST(FiveTuple, CanonicalIsIdempotent) {
+  const FiveTuple t = sample_tuple();
+  EXPECT_EQ(t.canonical().canonical(), t.canonical());
+}
+
+TEST(FiveTuple, CanonicalOrdersByAddressThenPort) {
+  FiveTuple t{Protocol::kUdp, Ipv4Addr{10, 0, 0, 1}, 9999,
+              Ipv4Addr{10, 0, 0, 1}, 53};
+  // Same address: the smaller port goes first.
+  EXPECT_EQ(t.canonical().src_port, 53);
+}
+
+TEST(FiveTuple, ToStringFormat) {
+  EXPECT_EQ(sample_tuple().to_string(),
+            "TCP 140.112.30.5:34567 -> 61.2.3.4:6881");
+}
+
+TEST(FiveTuple, ProtocolNames) {
+  EXPECT_STREQ(protocol_name(Protocol::kTcp), "TCP");
+  EXPECT_STREQ(protocol_name(Protocol::kUdp), "UDP");
+}
+
+TEST(TupleKey, LayoutIsNetworkOrder) {
+  std::uint8_t key[kTupleKeySize];
+  encode_tuple_key(sample_tuple(), key);
+  EXPECT_EQ(key[0], 6);      // TCP
+  EXPECT_EQ(key[1], 140);    // src address big-endian
+  EXPECT_EQ(key[4], 5);
+  EXPECT_EQ(key[5], 34567 >> 8);
+  EXPECT_EQ(key[6], 34567 & 0xff);
+  EXPECT_EQ(key[7], 61);     // dst address
+  EXPECT_EQ(key[11], 6881 >> 8);
+  EXPECT_EQ(key[12], 6881 & 0xff);
+}
+
+TEST(TupleHash, DirectionSensitive) {
+  const FiveTuple t = sample_tuple();
+  EXPECT_NE(tuple_hash(t), tuple_hash(t.inverse()));
+}
+
+TEST(TupleHash, SeedSeparates) {
+  const FiveTuple t = sample_tuple();
+  EXPECT_NE(tuple_hash(t, 0), tuple_hash(t, 1));
+}
+
+TEST(TupleHash, StableAcrossCalls) {
+  const FiveTuple t = sample_tuple();
+  EXPECT_EQ(tuple_hash(t), tuple_hash(t));
+}
+
+TEST(TupleHash, SensitiveToEveryField) {
+  const FiveTuple base = sample_tuple();
+  const std::uint64_t h0 = tuple_hash(base);
+
+  FiveTuple t = base;
+  t.protocol = Protocol::kUdp;
+  EXPECT_NE(tuple_hash(t), h0);
+
+  t = base;
+  t.src_addr = Ipv4Addr{140, 112, 30, 6};
+  EXPECT_NE(tuple_hash(t), h0);
+
+  t = base;
+  t.src_port ^= 1;
+  EXPECT_NE(tuple_hash(t), h0);
+
+  t = base;
+  t.dst_addr = Ipv4Addr{61, 2, 3, 5};
+  EXPECT_NE(tuple_hash(t), h0);
+
+  t = base;
+  t.dst_port ^= 1;
+  EXPECT_NE(tuple_hash(t), h0);
+}
+
+TEST(TupleHashers, UnorderedSetUsage) {
+  std::unordered_set<FiveTuple, FiveTupleHash> directional;
+  directional.insert(sample_tuple());
+  EXPECT_TRUE(directional.contains(sample_tuple()));
+  EXPECT_FALSE(directional.contains(sample_tuple().inverse()));
+
+  std::unordered_set<FiveTuple, CanonicalTupleHash, CanonicalTupleEq> conns;
+  conns.insert(sample_tuple());
+  EXPECT_TRUE(conns.contains(sample_tuple()));
+  EXPECT_TRUE(conns.contains(sample_tuple().inverse()));
+  conns.insert(sample_tuple().inverse());
+  EXPECT_EQ(conns.size(), 1u);
+}
+
+}  // namespace
+}  // namespace upbound

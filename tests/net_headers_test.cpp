@@ -1,0 +1,165 @@
+#include "net/headers.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace upbound {
+namespace {
+
+PacketRecord make_tcp_packet() {
+  PacketRecord pkt;
+  pkt.timestamp = SimTime::from_sec(1.5);
+  pkt.tuple = FiveTuple{Protocol::kTcp, Ipv4Addr{10, 0, 0, 1}, 40000,
+                        Ipv4Addr{93, 184, 216, 34}, 80};
+  pkt.flags = TcpFlags{.syn = false, .ack = true, .psh = true};
+  pkt.payload = {'G', 'E', 'T', ' ', '/', '\r', '\n'};
+  pkt.payload_size = static_cast<std::uint32_t>(pkt.payload.size());
+  return pkt;
+}
+
+PacketRecord make_udp_packet() {
+  PacketRecord pkt;
+  pkt.timestamp = SimTime::from_sec(2.0);
+  pkt.tuple = FiveTuple{Protocol::kUdp, Ipv4Addr{10, 0, 0, 2}, 50000,
+                        Ipv4Addr{8, 8, 8, 8}, 53};
+  pkt.payload = {0x12, 0x34, 0x01, 0x00};
+  pkt.payload_size = 4;
+  return pkt;
+}
+
+TEST(InternetChecksum, KnownVector) {
+  // RFC 1071 example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(InternetChecksum, OddLengthPadsWithZero) {
+  const std::uint8_t even[] = {0xab, 0x00};
+  const std::uint8_t odd[] = {0xab};
+  EXPECT_EQ(internet_checksum(even), internet_checksum(odd));
+}
+
+TEST(EncodeFrame, TcpFrameSizes) {
+  const PacketRecord pkt = make_tcp_packet();
+  const auto frame = encode_frame(pkt);
+  EXPECT_EQ(frame.size(), pkt.wire_size());
+  EXPECT_EQ(frame.size(), 14u + 20u + 20u + 7u);
+}
+
+TEST(EncodeFrame, UdpFrameSizes) {
+  const PacketRecord pkt = make_udp_packet();
+  const auto frame = encode_frame(pkt);
+  EXPECT_EQ(frame.size(), 14u + 20u + 8u + 4u);
+}
+
+TEST(EncodeDecode, TcpRoundTrip) {
+  const PacketRecord pkt = make_tcp_packet();
+  const auto frame = encode_frame(pkt);
+  const auto decoded = decode_frame(frame, pkt.timestamp);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->packet.tuple, pkt.tuple);
+  EXPECT_EQ(decoded->packet.flags, pkt.flags);
+  EXPECT_EQ(decoded->packet.payload, pkt.payload);
+  EXPECT_EQ(decoded->packet.payload_size, pkt.payload_size);
+  EXPECT_EQ(decoded->packet.timestamp, pkt.timestamp);
+  EXPECT_TRUE(decoded->ip_checksum_ok);
+  EXPECT_TRUE(decoded->l4_checksum_ok);
+}
+
+TEST(EncodeDecode, UdpRoundTrip) {
+  const PacketRecord pkt = make_udp_packet();
+  const auto frame = encode_frame(pkt);
+  const auto decoded = decode_frame(frame, pkt.timestamp);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->packet.tuple, pkt.tuple);
+  EXPECT_EQ(decoded->packet.payload, pkt.payload);
+  EXPECT_TRUE(decoded->ip_checksum_ok);
+  EXPECT_TRUE(decoded->l4_checksum_ok);
+}
+
+TEST(EncodeDecode, SynPacketFlags) {
+  PacketRecord pkt = make_tcp_packet();
+  pkt.flags = TcpFlags{.syn = true};
+  pkt.payload.clear();
+  pkt.payload_size = 0;
+  const auto decoded = decode_frame(encode_frame(pkt), pkt.timestamp);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->packet.flags.syn);
+  EXPECT_FALSE(decoded->packet.flags.ack);
+  EXPECT_TRUE(decoded->packet.is_syn_only());
+}
+
+TEST(EncodeDecode, StrippedPayloadZeroFilled) {
+  PacketRecord pkt = make_tcp_packet();
+  pkt.payload_size = 100;  // only 7 bytes captured
+  const auto frame = encode_frame(pkt);
+  EXPECT_EQ(frame.size(), pkt.wire_size());
+  const auto decoded = decode_frame(frame, pkt.timestamp);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->packet.payload_size, 100u);
+  ASSERT_EQ(decoded->packet.payload.size(), 100u);
+  EXPECT_EQ(decoded->packet.payload[0], 'G');
+  EXPECT_EQ(decoded->packet.payload[7], 0);  // zero fill after the prefix
+}
+
+TEST(DecodeFrame, CorruptedIpChecksumDetected) {
+  auto frame = encode_frame(make_tcp_packet());
+  frame[14 + 8] ^= 0xff;  // flip the TTL inside the IP header
+  const auto decoded = decode_frame(frame, SimTime::origin());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->ip_checksum_ok);
+}
+
+TEST(DecodeFrame, CorruptedPayloadFailsL4Checksum) {
+  auto frame = encode_frame(make_tcp_packet());
+  frame.back() ^= 0x01;
+  const auto decoded = decode_frame(frame, SimTime::origin());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->ip_checksum_ok);
+  EXPECT_FALSE(decoded->l4_checksum_ok);
+}
+
+TEST(DecodeFrame, TruncatedCaptureStillParses) {
+  const PacketRecord pkt = make_tcp_packet();
+  auto frame = encode_frame(pkt);
+  frame.resize(14 + 20 + 20 + 3);  // snaplen cut inside the payload
+  const auto decoded = decode_frame(frame, SimTime::origin());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->packet.payload_size, 7u);  // true length from IP header
+  EXPECT_EQ(decoded->packet.payload.size(), 3u);
+  EXPECT_FALSE(decoded->l4_checksum_ok);  // cannot verify a partial segment
+}
+
+TEST(DecodeFrame, RejectsNonIpv4) {
+  auto frame = encode_frame(make_tcp_packet());
+  frame[12] = 0x86;  // EtherType -> IPv6
+  frame[13] = 0xdd;
+  EXPECT_FALSE(decode_frame(frame, SimTime::origin()).has_value());
+}
+
+TEST(DecodeFrame, RejectsNonTcpUdp) {
+  auto frame = encode_frame(make_tcp_packet());
+  frame[14 + 9] = 1;  // protocol -> ICMP
+  EXPECT_FALSE(decode_frame(frame, SimTime::origin()).has_value());
+}
+
+TEST(DecodeFrame, RejectsTinyFrame) {
+  const std::vector<std::uint8_t> tiny(10, 0);
+  EXPECT_FALSE(decode_frame(tiny, SimTime::origin()).has_value());
+}
+
+TEST(TcpFlags, ByteRoundTrip) {
+  for (int b = 0; b < 32; ++b) {
+    const auto f = TcpFlags::from_byte(static_cast<std::uint8_t>(b));
+    EXPECT_EQ(f.to_byte(), b);
+  }
+}
+
+TEST(PacketRecord, WireSizeMatchesProtocol) {
+  EXPECT_EQ(make_tcp_packet().wire_size(), 61u);
+  EXPECT_EQ(make_udp_packet().wire_size(), 46u);
+}
+
+}  // namespace
+}  // namespace upbound

@@ -1,0 +1,94 @@
+#include "net/ip.h"
+
+#include <gtest/gtest.h>
+
+namespace upbound {
+namespace {
+
+TEST(Ipv4Addr, ParseValid) {
+  const auto a = Ipv4Addr::parse("140.112.30.5");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->value(), 0x8C701E05u);
+  EXPECT_EQ(a->to_string(), "140.112.30.5");
+}
+
+TEST(Ipv4Addr, ParseBoundaries) {
+  EXPECT_EQ(Ipv4Addr::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Addr::parse("255.255.255.255")->value(), 0xffffffffu);
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse(""));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Addr::parse("256.1.1.1"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.x"));
+  EXPECT_FALSE(Ipv4Addr::parse("1..2.3"));
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4 "));
+  EXPECT_FALSE(Ipv4Addr::parse("-1.2.3.4"));
+}
+
+TEST(Ipv4Addr, OctetConstructor) {
+  const Ipv4Addr a{10, 0, 0, 1};
+  EXPECT_EQ(a.to_string(), "10.0.0.1");
+}
+
+TEST(Ipv4Addr, Ordering) {
+  EXPECT_LT(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2));
+  EXPECT_LT(Ipv4Addr(9, 255, 255, 255), Ipv4Addr(10, 0, 0, 0));
+}
+
+TEST(Cidr, ContainsAndBoundaries) {
+  const Cidr c{Ipv4Addr{192, 168, 1, 77}, 24};  // host bits ignored
+  EXPECT_EQ(c.network().to_string(), "192.168.1.0");
+  EXPECT_TRUE(c.contains(Ipv4Addr(192, 168, 1, 0)));
+  EXPECT_TRUE(c.contains(Ipv4Addr(192, 168, 1, 255)));
+  EXPECT_FALSE(c.contains(Ipv4Addr(192, 168, 2, 0)));
+  EXPECT_FALSE(c.contains(Ipv4Addr(192, 168, 0, 255)));
+}
+
+TEST(Cidr, ZeroPrefixMatchesEverything) {
+  const Cidr any{Ipv4Addr{}, 0};
+  EXPECT_TRUE(any.contains(Ipv4Addr(1, 2, 3, 4)));
+  EXPECT_TRUE(any.contains(Ipv4Addr(255, 255, 255, 255)));
+  EXPECT_EQ(any.size(), 1ULL << 32);
+}
+
+TEST(Cidr, HostPrefixMatchesOnlyItself) {
+  const Cidr host{Ipv4Addr{8, 8, 8, 8}, 32};
+  EXPECT_TRUE(host.contains(Ipv4Addr(8, 8, 8, 8)));
+  EXPECT_FALSE(host.contains(Ipv4Addr(8, 8, 8, 9)));
+  EXPECT_EQ(host.size(), 1u);
+}
+
+TEST(Cidr, HostIndexing) {
+  const Cidr c{Ipv4Addr{10, 1, 2, 0}, 30};
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.host(0).to_string(), "10.1.2.0");
+  EXPECT_EQ(c.host(3).to_string(), "10.1.2.3");
+  EXPECT_THROW(c.host(4), std::out_of_range);
+}
+
+TEST(Cidr, ParseAndFormat) {
+  const auto c = Cidr::parse("172.16.0.0/12");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->prefix_len(), 12u);
+  EXPECT_EQ(c->to_string(), "172.16.0.0/12");
+  EXPECT_TRUE(c->contains(Ipv4Addr(172, 31, 255, 255)));
+  EXPECT_FALSE(c->contains(Ipv4Addr(172, 32, 0, 0)));
+}
+
+TEST(Cidr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Cidr::parse("1.2.3.4"));
+  EXPECT_FALSE(Cidr::parse("1.2.3.4/33"));
+  EXPECT_FALSE(Cidr::parse("1.2.3/8"));
+  EXPECT_FALSE(Cidr::parse("1.2.3.4/"));
+  EXPECT_FALSE(Cidr::parse("1.2.3.4/8x"));
+}
+
+TEST(Cidr, InvalidPrefixLenThrows) {
+  EXPECT_THROW(Cidr(Ipv4Addr{1, 2, 3, 4}, 33), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace upbound

@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rex/regex.h"
+
+namespace upbound::rex {
+namespace {
+
+bool hits(const std::string& pattern, const std::string& input,
+          bool icase = false) {
+  return Regex{pattern, {.ignore_case = icase}}.search(input);
+}
+
+TEST(RexMatch, LiteralSubstringSearch) {
+  EXPECT_TRUE(hits("needle", "haystack needle haystack"));
+  EXPECT_FALSE(hits("needle", "haystack"));
+  EXPECT_TRUE(hits("", "anything"));  // empty pattern matches everywhere
+}
+
+TEST(RexMatch, AnchoredStart) {
+  EXPECT_TRUE(hits("^GET", "GET / HTTP/1.1"));
+  EXPECT_FALSE(hits("^GET", "FORGET / HTTP/1.1"));
+}
+
+TEST(RexMatch, AnchoredEnd) {
+  EXPECT_TRUE(hits("dog$", "the lazy dog"));
+  EXPECT_FALSE(hits("dog$", "dog food"));
+}
+
+TEST(RexMatch, FullyAnchored) {
+  EXPECT_TRUE(hits("^abc$", "abc"));
+  EXPECT_FALSE(hits("^abc$", "abcd"));
+  EXPECT_FALSE(hits("^abc$", "xabc"));
+}
+
+TEST(RexMatch, DotMatchesAnyByteIncludingNewline) {
+  EXPECT_TRUE(hits("a.c", "abc"));
+  EXPECT_TRUE(hits("a.c", "a\nc"));
+  EXPECT_TRUE(hits("a.c", std::string("a\0c", 3)));
+  EXPECT_FALSE(hits("a.c", "ac"));
+}
+
+TEST(RexMatch, StarGreedyAndEmpty) {
+  EXPECT_TRUE(hits("ab*c", "ac"));
+  EXPECT_TRUE(hits("ab*c", "abbbbc"));
+  EXPECT_FALSE(hits("ab*c", "adc"));
+}
+
+TEST(RexMatch, PlusRequiresOne) {
+  EXPECT_FALSE(hits("ab+c", "ac"));
+  EXPECT_TRUE(hits("ab+c", "abc"));
+  EXPECT_TRUE(hits("ab+c", "abbc"));
+}
+
+TEST(RexMatch, QuestionOptional) {
+  EXPECT_TRUE(hits("colou?r", "color"));
+  EXPECT_TRUE(hits("colou?r", "colour"));
+  EXPECT_FALSE(hits("colou?r", "colouur"));
+}
+
+TEST(RexMatch, CountedRepeats) {
+  EXPECT_TRUE(hits("^a{3}$", "aaa"));
+  EXPECT_FALSE(hits("^a{3}$", "aa"));
+  EXPECT_FALSE(hits("^a{3}$", "aaaa"));
+  EXPECT_TRUE(hits("^a{2,4}$", "aa"));
+  EXPECT_TRUE(hits("^a{2,4}$", "aaaa"));
+  EXPECT_FALSE(hits("^a{2,4}$", "aaaaa"));
+  EXPECT_TRUE(hits("^a{2,}$", "aaaaaaaa"));
+  EXPECT_FALSE(hits("^a{2,}$", "a"));
+}
+
+TEST(RexMatch, Alternation) {
+  EXPECT_TRUE(hits("cat|dog", "hotdog stand"));
+  EXPECT_TRUE(hits("cat|dog", "catalog"));
+  EXPECT_FALSE(hits("cat|dog", "bird"));
+}
+
+TEST(RexMatch, GroupedAlternationWithRepeat) {
+  EXPECT_TRUE(hits("^(ab|cd)+$", "ababcd"));
+  EXPECT_FALSE(hits("^(ab|cd)+$", "abc"));
+}
+
+TEST(RexMatch, NestedGroups) {
+  EXPECT_TRUE(hits("^(a(bc)*d)+$", "adabcbcd"));
+  EXPECT_FALSE(hits("^(a(bc)*d)+$", "abcbc"));
+}
+
+TEST(RexMatch, ClassesAndNegation) {
+  EXPECT_TRUE(hits("^[0-9]+$", "12345"));
+  EXPECT_FALSE(hits("^[0-9]+$", "123a5"));
+  EXPECT_TRUE(hits("^[^0-9]+$", "abcdef"));
+  EXPECT_FALSE(hits("^[^0-9]+$", "abc1"));
+}
+
+TEST(RexMatch, PredefinedClasses) {
+  EXPECT_TRUE(hits("\\d\\d:\\d\\d", "meet at 12:45 sharp"));
+  EXPECT_TRUE(hits("^\\w+$", "under_score123"));
+  EXPECT_FALSE(hits("^\\w+$", "has space"));
+  EXPECT_TRUE(hits("a\\sb", "a b"));
+}
+
+TEST(RexMatch, IgnoreCase) {
+  EXPECT_TRUE(hits("bittorrent", "BitTorrent Protocol", true));
+  EXPECT_FALSE(hits("bittorrent", "BitTorrent Protocol", false));
+  EXPECT_TRUE(hits("^HTTP", "http/1.0 200 ok", true));
+}
+
+TEST(RexMatch, BinaryBytes) {
+  const std::string handshake = std::string("\x13", 1) + "BitTorrent protocol";
+  const Regex bt{"^\\x13bittorrent protocol", {.ignore_case = true}};
+  EXPECT_TRUE(bt.search(handshake));
+  const std::string edonkey = std::string("\xe3\x26\x00\x00\x00\x01", 6);
+  const Regex ed{"^[\\xc5\\xd4\\xe3-\\xe5]"};
+  EXPECT_TRUE(ed.search(edonkey));
+  EXPECT_FALSE(ed.search("plain text"));
+}
+
+TEST(RexMatch, NullBytesInInput) {
+  const std::string input = std::string("ab\0cd", 5);
+  EXPECT_TRUE(Regex{"b\\0c"}.search(input));
+  EXPECT_TRUE(Regex{"b.c"}.search(input));
+}
+
+TEST(RexMatch, MatchPrefixVsSearch) {
+  Regex re{"abc"};
+  EXPECT_TRUE(re.search("xxabcxx"));
+  EXPECT_FALSE(re.match_prefix("xxabcxx"));
+  EXPECT_TRUE(re.match_prefix("abcxx"));
+}
+
+TEST(RexMatch, RepeatedSearchesOnSameObject) {
+  Regex re{"^a+b$"};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(re.search("aaab"));
+    EXPECT_FALSE(re.search("aaac"));
+  }
+}
+
+TEST(RexMatch, PathologicalNestedQuantifiersStayLinear) {
+  // (a+)+b against a^n is exponential for backtrackers; the Pike VM must
+  // finish instantly.
+  Regex re{"^(a+)+b$"};
+  const std::string input(2000, 'a');
+  EXPECT_FALSE(re.search(input));
+  EXPECT_TRUE(re.search(input + "b"));
+}
+
+TEST(RexMatch, ManyAlternativesLinear) {
+  std::string pattern;
+  for (int i = 0; i < 50; ++i) {
+    if (i > 0) pattern += "|";
+    pattern += "word" + std::to_string(i);
+  }
+  Regex re{pattern};
+  EXPECT_TRUE(re.search("prefix word49 suffix"));
+  EXPECT_FALSE(re.search("prefix wordy suffix"));
+}
+
+TEST(RexMatch, EmptyInput) {
+  EXPECT_TRUE(hits("", ""));
+  EXPECT_TRUE(hits("^$", ""));
+  EXPECT_TRUE(hits("a*", ""));
+  EXPECT_FALSE(hits("a", ""));
+  EXPECT_FALSE(hits("^a$", ""));
+}
+
+TEST(RexMatch, AnchorsMidPattern) {
+  // '^' can only hold at offset 0; "a^b" is unsatisfiable.
+  EXPECT_FALSE(hits("a^b", "ab"));
+  EXPECT_FALSE(hits("a$b", "ab"));
+}
+
+TEST(RexMatch, DollarInAlternation) {
+  EXPECT_TRUE(hits("(end$|stop)", "will stop here"));
+  EXPECT_TRUE(hits("(end$|stop)", "the end"));
+  EXPECT_FALSE(hits("(end$|stop)", "the end."));
+}
+
+struct L7Case {
+  const char* name;
+  const char* pattern;
+  bool icase;
+  std::string positive;
+  std::string negative;
+};
+
+class L7PatternTest : public ::testing::TestWithParam<L7Case> {};
+
+TEST_P(L7PatternTest, PositiveMatchesNegativeDoesNot) {
+  const L7Case& c = GetParam();
+  Regex re{c.pattern, {.ignore_case = c.icase}};
+  EXPECT_TRUE(re.search(c.positive)) << c.name;
+  EXPECT_FALSE(re.search(c.negative)) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable1, L7PatternTest,
+    ::testing::Values(
+        L7Case{"bittorrent_handshake", "^\\x13bittorrent protocol", true,
+               std::string("\x13", 1) + "BitTorrent protocol" +
+                   std::string(8, '\0'),
+               "GET / HTTP/1.1\r\n"},
+        L7Case{"bittorrent_tracker", "^get /scrape\\?info_hash=", true,
+               "GET /scrape?info_hash=12345", "GET /index.html"},
+        L7Case{"edonkey_header", "^[\\xc5\\xd4\\xe3-\\xe5]", false,
+               std::string("\xe3\x26\x00\x00", 4),
+               std::string("\x01\x02\x03", 3)},
+        L7Case{"gnutella_connect", "^gnutella connect/[012]\\.[0-9]\\x0d\\x0a",
+               true, "GNUTELLA CONNECT/0.6\r\nUser-Agent: X\r\n",
+               "GNUTELLA CONNECT/3.0\r\n"},
+        L7Case{"http_response", "^http/(0\\.9|1\\.0|1\\.1) [1-5][0-9][0-9]",
+               true, "HTTP/1.1 200 OK\r\n", "HTTP/2.0 200 OK\r\n"},
+        L7Case{"ftp_banner", "^220[\\x09-\\x0d -~]*ftp", true,
+               "220 ProFTPD 1.3.0 ftp server ready", "220 smtp ready"}),
+    [](const ::testing::TestParamInfo<L7Case>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace upbound::rex

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "rex/parser.h"
+
+namespace upbound::rex {
+namespace {
+
+TEST(RexParser, SingleLiteral) {
+  const NodePtr n = parse("a");
+  ASSERT_EQ(n->kind, NodeKind::kByteSet);
+  EXPECT_TRUE(n->bytes.test('a'));
+  EXPECT_EQ(n->bytes.count(), 1u);
+}
+
+TEST(RexParser, IgnoreCaseFoldsLiterals) {
+  const NodePtr n = parse("a", {.ignore_case = true});
+  EXPECT_TRUE(n->bytes.test('a'));
+  EXPECT_TRUE(n->bytes.test('A'));
+  EXPECT_EQ(n->bytes.count(), 2u);
+}
+
+TEST(RexParser, ConcatAndAlternateShape) {
+  const NodePtr n = parse("ab|cd");
+  ASSERT_EQ(n->kind, NodeKind::kAlternate);
+  ASSERT_EQ(n->children.size(), 2u);
+  EXPECT_EQ(n->children[0]->kind, NodeKind::kConcat);
+}
+
+TEST(RexParser, EmptyPatternIsEmptyNode) {
+  EXPECT_EQ(parse("")->kind, NodeKind::kEmpty);
+}
+
+TEST(RexParser, EmptyAlternativeBranch) {
+  const NodePtr n = parse("a|");
+  ASSERT_EQ(n->kind, NodeKind::kAlternate);
+  EXPECT_EQ(n->children[1]->kind, NodeKind::kEmpty);
+}
+
+TEST(RexParser, QuantifierShapes) {
+  const NodePtr star = parse("a*");
+  ASSERT_EQ(star->kind, NodeKind::kRepeat);
+  EXPECT_EQ(star->min, 0);
+  EXPECT_EQ(star->max, kUnbounded);
+
+  const NodePtr plus = parse("a+");
+  EXPECT_EQ(plus->min, 1);
+  EXPECT_EQ(plus->max, kUnbounded);
+
+  const NodePtr opt = parse("a?");
+  EXPECT_EQ(opt->min, 0);
+  EXPECT_EQ(opt->max, 1);
+}
+
+TEST(RexParser, CountedRepeats) {
+  const NodePtr exact = parse("a{3}");
+  EXPECT_EQ(exact->min, 3);
+  EXPECT_EQ(exact->max, 3);
+
+  const NodePtr open = parse("a{2,}");
+  EXPECT_EQ(open->min, 2);
+  EXPECT_EQ(open->max, kUnbounded);
+
+  const NodePtr range = parse("a{2,5}");
+  EXPECT_EQ(range->min, 2);
+  EXPECT_EQ(range->max, 5);
+}
+
+TEST(RexParser, MalformedBracesAreLiterals) {
+  // POSIX-ish leniency: '{' not opening a valid counted repeat is literal.
+  const NodePtr n = parse("a{x}");
+  EXPECT_EQ(n->kind, NodeKind::kConcat);
+}
+
+TEST(RexParser, CountedRepeatBoundsChecked) {
+  EXPECT_THROW(parse("a{5,2}"), ParseError);
+  EXPECT_THROW(parse("a{9999}"), ParseError);
+}
+
+TEST(RexParser, CountedRepeatLimitConfigurable) {
+  EXPECT_NO_THROW(parse("a{300}", {.max_counted_repeat = 300}));
+  EXPECT_THROW(parse("a{300}", {.max_counted_repeat = 100}), ParseError);
+}
+
+TEST(RexParser, HexEscapes) {
+  const NodePtr n = parse("\\x13");
+  ASSERT_EQ(n->kind, NodeKind::kByteSet);
+  EXPECT_TRUE(n->bytes.test(0x13));
+  EXPECT_EQ(n->bytes.count(), 1u);
+}
+
+TEST(RexParser, HexEscapeSingleDigit) {
+  const NodePtr n = parse("\\xAz");  // \xA then literal 'z'
+  ASSERT_EQ(n->kind, NodeKind::kConcat);
+  EXPECT_TRUE(n->children[0]->bytes.test(0x0a));
+}
+
+TEST(RexParser, HexEscapeWithoutDigitsThrows) {
+  EXPECT_THROW(parse("\\xzz"), ParseError);
+}
+
+TEST(RexParser, ControlEscapes) {
+  EXPECT_TRUE(parse("\\n")->bytes.test('\n'));
+  EXPECT_TRUE(parse("\\r")->bytes.test('\r'));
+  EXPECT_TRUE(parse("\\t")->bytes.test('\t'));
+  EXPECT_TRUE(parse("\\0")->bytes.test(0));
+}
+
+TEST(RexParser, MetacharEscapes) {
+  EXPECT_TRUE(parse("\\.")->bytes.test('.'));
+  EXPECT_TRUE(parse("\\*")->bytes.test('*'));
+  EXPECT_TRUE(parse("\\\\")->bytes.test('\\'));
+  EXPECT_TRUE(parse("\\[")->bytes.test('['));
+  EXPECT_TRUE(parse("\\$")->bytes.test('$'));
+}
+
+TEST(RexParser, UnknownAlphaEscapeThrows) {
+  EXPECT_THROW(parse("\\q"), ParseError);
+}
+
+TEST(RexParser, DanglingBackslashThrows) {
+  EXPECT_THROW(parse("abc\\"), ParseError);
+}
+
+TEST(RexParser, ClassEscapes) {
+  EXPECT_EQ(parse("\\d")->bytes.count(), 10u);
+  EXPECT_EQ(parse("\\D")->bytes.count(), 246u);
+  EXPECT_EQ(parse("\\w")->bytes.count(), 63u);
+  EXPECT_EQ(parse("\\s")->bytes.count(), 6u);
+}
+
+TEST(RexParser, SimpleClass) {
+  const NodePtr n = parse("[abc]");
+  EXPECT_EQ(n->bytes.count(), 3u);
+  EXPECT_TRUE(n->bytes.test('a'));
+  EXPECT_TRUE(n->bytes.test('c'));
+}
+
+TEST(RexParser, ClassRange) {
+  const NodePtr n = parse("[0-9a-f]");
+  EXPECT_EQ(n->bytes.count(), 16u);
+  EXPECT_TRUE(n->bytes.test('d'));
+  EXPECT_FALSE(n->bytes.test('g'));
+}
+
+TEST(RexParser, NegatedClass) {
+  const NodePtr n = parse("[^0-9]");
+  EXPECT_EQ(n->bytes.count(), 246u);
+  EXPECT_FALSE(n->bytes.test('5'));
+  EXPECT_TRUE(n->bytes.test('a'));
+}
+
+TEST(RexParser, ClassWithLeadingCloseBracket) {
+  const NodePtr n = parse("[]a]");
+  EXPECT_TRUE(n->bytes.test(']'));
+  EXPECT_TRUE(n->bytes.test('a'));
+  EXPECT_EQ(n->bytes.count(), 2u);
+}
+
+TEST(RexParser, ClassTrailingDashIsLiteral) {
+  const NodePtr n = parse("[a-]");
+  EXPECT_TRUE(n->bytes.test('a'));
+  EXPECT_TRUE(n->bytes.test('-'));
+}
+
+TEST(RexParser, ClassHexEscapesAndRanges) {
+  const NodePtr n = parse("[\\x01-\\x03\\x10]");
+  EXPECT_TRUE(n->bytes.test(1));
+  EXPECT_TRUE(n->bytes.test(2));
+  EXPECT_TRUE(n->bytes.test(3));
+  EXPECT_TRUE(n->bytes.test(0x10));
+  EXPECT_EQ(n->bytes.count(), 4u);
+}
+
+TEST(RexParser, ClassPredefinedEscapeInside) {
+  const NodePtr n = parse("[\\d_]");
+  EXPECT_EQ(n->bytes.count(), 11u);
+}
+
+TEST(RexParser, ReversedRangeThrows) {
+  EXPECT_THROW(parse("[z-a]"), ParseError);
+}
+
+TEST(RexParser, UnterminatedClassThrows) {
+  EXPECT_THROW(parse("[abc"), ParseError);
+}
+
+TEST(RexParser, IgnoreCaseClass) {
+  const NodePtr n = parse("[a-c]", {.ignore_case = true});
+  EXPECT_TRUE(n->bytes.test('B'));
+  EXPECT_EQ(n->bytes.count(), 6u);
+}
+
+TEST(RexParser, NegatedIgnoreCaseClassExcludesBothCases) {
+  const NodePtr n = parse("[^a]", {.ignore_case = true});
+  EXPECT_FALSE(n->bytes.test('a'));
+  EXPECT_FALSE(n->bytes.test('A'));
+  EXPECT_EQ(n->bytes.count(), 254u);
+}
+
+TEST(RexParser, Groups) {
+  const NodePtr n = parse("(ab)+");
+  ASSERT_EQ(n->kind, NodeKind::kRepeat);
+  EXPECT_EQ(n->children[0]->kind, NodeKind::kConcat);
+}
+
+TEST(RexParser, NonCapturingGroupSyntax) {
+  EXPECT_NO_THROW(parse("(?:abc)+"));
+  EXPECT_THROW(parse("(?=abc)"), ParseError);  // lookahead unsupported
+}
+
+TEST(RexParser, UnterminatedGroupThrows) {
+  EXPECT_THROW(parse("(ab"), ParseError);
+}
+
+TEST(RexParser, UnmatchedCloseThrows) {
+  EXPECT_THROW(parse("ab)"), ParseError);
+}
+
+TEST(RexParser, QuantifierWithoutAtomThrows) {
+  EXPECT_THROW(parse("*a"), ParseError);
+  EXPECT_THROW(parse("|+"), ParseError);
+}
+
+TEST(RexParser, Anchors) {
+  const NodePtr n = parse("^ab$");
+  ASSERT_EQ(n->kind, NodeKind::kConcat);
+  EXPECT_EQ(n->children.front()->kind, NodeKind::kAssertStart);
+  EXPECT_EQ(n->children.back()->kind, NodeKind::kAssertEnd);
+}
+
+TEST(RexParser, ErrorCarriesOffset) {
+  try {
+    parse("ab[qq");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.offset(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace upbound::rex

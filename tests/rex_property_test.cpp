@@ -1,0 +1,182 @@
+// Property tests: the Pike VM is cross-checked against a tiny brute-force
+// backtracking matcher over a restricted grammar (literals, '.', '*', '?')
+// on random inputs, and structural invariants are exercised with random
+// byte strings.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "rex/regex.h"
+#include "util/rng.h"
+
+namespace upbound::rex {
+namespace {
+
+// Reference semantics for patterns limited to: literal bytes, '.', and
+// postfix '*' / '?' on the preceding element. Anchored full-scan search.
+class ReferenceMatcher {
+ public:
+  explicit ReferenceMatcher(std::string_view pattern) {
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+      Element e;
+      e.byte = pattern[i];
+      e.any = pattern[i] == '.';
+      if (i + 1 < pattern.size() &&
+          (pattern[i + 1] == '*' || pattern[i + 1] == '?')) {
+        e.star = pattern[i + 1] == '*';
+        e.opt = pattern[i + 1] == '?';
+        ++i;
+      }
+      elements_.push_back(e);
+    }
+  }
+
+  bool search(std::string_view input) const {
+    for (std::size_t start = 0; start <= input.size(); ++start) {
+      if (match_here(0, input, start)) return true;
+    }
+    return false;
+  }
+
+ private:
+  struct Element {
+    char byte = 0;
+    bool any = false;
+    bool star = false;
+    bool opt = false;
+  };
+
+  bool consumes(const Element& e, char c) const {
+    return e.any || e.byte == c;
+  }
+
+  bool match_here(std::size_t ei, std::string_view input,
+                  std::size_t pos) const {
+    if (ei == elements_.size()) return true;
+    const Element& e = elements_[ei];
+    if (e.star) {
+      for (std::size_t k = pos;; ++k) {
+        if (match_here(ei + 1, input, k)) return true;
+        if (k >= input.size() || !consumes(e, input[k])) return false;
+      }
+    }
+    if (e.opt) {
+      if (match_here(ei + 1, input, pos)) return true;
+      return pos < input.size() && consumes(e, input[pos]) &&
+             match_here(ei + 1, input, pos + 1);
+    }
+    return pos < input.size() && consumes(e, input[pos]) &&
+           match_here(ei + 1, input, pos + 1);
+  }
+
+  std::vector<Element> elements_;
+};
+
+std::string random_pattern(Rng& rng, std::size_t len) {
+  static constexpr char kAlphabet[] = "abc.";
+  std::string out;
+  for (std::size_t i = 0; i < len; ++i) {
+    out += kAlphabet[rng.next_below(4)];
+    if (rng.next_bool(0.3)) out += rng.next_bool(0.5) ? '*' : '?';
+  }
+  return out;
+}
+
+std::string random_input(Rng& rng, std::size_t len) {
+  std::string out;
+  for (std::size_t i = 0; i < len; ++i) {
+    out += static_cast<char>('a' + rng.next_below(3));
+  }
+  return out;
+}
+
+TEST(RexProperty, AgreesWithReferenceOnRandomPatterns) {
+  Rng rng{20260706};
+  int checked = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const std::string pattern = random_pattern(rng, 1 + rng.next_below(6));
+    const ReferenceMatcher ref{pattern};
+    const Regex re{pattern};
+    for (int j = 0; j < 25; ++j) {
+      const std::string input = random_input(rng, rng.next_below(12));
+      ASSERT_EQ(re.search(input), ref.search(input))
+          << "pattern '" << pattern << "' input '" << input << "'";
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, 400 * 25);
+}
+
+std::string escape_all(const std::string& raw) {
+  std::string out;
+  char buf[8];
+  for (unsigned char c : raw) {
+    std::snprintf(buf, sizeof(buf), "\\x%02x", c);
+    out += buf;
+  }
+  return out;
+}
+
+TEST(RexProperty, EscapedRandomBytesAlwaysSelfMatch) {
+  Rng rng{7};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string raw;
+    const std::size_t len = 1 + rng.next_below(16);
+    for (std::size_t i = 0; i < len; ++i) {
+      raw += static_cast<char>(rng.next_below(256));
+    }
+    const Regex re{"^" + escape_all(raw) + "$"};
+    EXPECT_TRUE(re.search(raw));
+    // A one-byte perturbation must not full-match.
+    std::string mutated = raw;
+    mutated[rng.next_below(mutated.size())] =
+        static_cast<char>(mutated[rng.next_below(mutated.size())] ^ 0x5a);
+    if (mutated != raw) {
+      EXPECT_FALSE(re.search(mutated));
+    }
+  }
+}
+
+TEST(RexProperty, DotStarMatchesEverything) {
+  Rng rng{11};
+  const Regex re{".*"};
+  for (int trial = 0; trial < 100; ++trial) {
+    EXPECT_TRUE(re.search(random_input(rng, rng.next_below(50))));
+  }
+}
+
+TEST(RexProperty, SearchEqualsPrefixMatchWithDotStarPrefix) {
+  Rng rng{13};
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::string pattern = random_pattern(rng, 1 + rng.next_below(5));
+    const Regex plain{pattern};
+    const Regex prefixed{".*" + pattern};
+    const std::string input = random_input(rng, rng.next_below(15));
+    EXPECT_EQ(plain.search(input), prefixed.match_prefix(
+                                       std::span<const std::uint8_t>{
+                                           reinterpret_cast<const std::uint8_t*>(
+                                               input.data()),
+                                           input.size()}))
+        << "pattern '" << pattern << "' input '" << input << "'";
+  }
+}
+
+TEST(RexProperty, CountedRepeatEqualsManualExpansion) {
+  Rng rng{17};
+  for (int reps = 0; reps <= 6; ++reps) {
+    const Regex counted{"^(ab){" + std::to_string(reps) + "}$"};
+    std::string expansion;
+    for (int i = 0; i < reps; ++i) expansion += "ab";
+    const Regex expanded{"^" + expansion + "$"};
+    for (int j = 0; j < 10; ++j) {
+      std::string input;
+      const int n = static_cast<int>(rng.next_below(8));
+      for (int k = 0; k < n; ++k) input += "ab";
+      EXPECT_EQ(counted.search(input), expanded.search(input))
+          << "reps=" << reps << " input=" << input;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace upbound::rex

@@ -1,0 +1,151 @@
+#include "sim/closed_loop.h"
+
+#include <gtest/gtest.h>
+
+#include "filter/bitmap_filter.h"
+#include "sim/replay.h"
+
+namespace upbound {
+namespace {
+
+CampusWorkload small_workload(std::uint64_t seed = 3) {
+  CampusTraceConfig config;
+  config.duration = Duration::sec(20.0);
+  config.connections_per_sec = 40.0;
+  config.bandwidth_bps = 5e6;
+  config.seed = seed;
+  return generate_campus_workload(config);
+}
+
+std::unique_ptr<EdgeRouter> router_for(const ClientNetwork& network,
+                                       double drop_p, bool blocklist) {
+  EdgeRouterConfig config;
+  config.network = network;
+  config.track_blocked_connections = blocklist;
+  return std::make_unique<EdgeRouter>(
+      config, std::make_unique<BitmapFilter>(BitmapFilterConfig{}),
+      std::make_unique<ConstantDropPolicy>(drop_p));
+}
+
+TEST(ClosedLoop, OpenRouterEstablishesEverything) {
+  const CampusWorkload workload = small_workload();
+  auto router = router_for(workload.network, 0.0, false);
+  const ClosedLoopResult result = run_closed_loop(workload, *router);
+  EXPECT_EQ(result.connections_suppressed, 0u);
+  EXPECT_EQ(result.retries_attempted, 0u);
+  EXPECT_EQ(result.connections_established, workload.connections.size());
+  EXPECT_EQ(result.upload_bytes_never_generated, 0u);
+  EXPECT_GT(result.carried_outbound.total(), 0.0);
+}
+
+TEST(ClosedLoop, OpenRouterMatchesReplayTotals) {
+  const CampusWorkload workload = small_workload();
+
+  auto loop_router = router_for(workload.network, 0.0, false);
+  const ClosedLoopResult loop = run_closed_loop(workload, *loop_router);
+
+  CampusTraceConfig config;
+  config.duration = Duration::sec(20.0);
+  config.connections_per_sec = 40.0;
+  config.bandwidth_bps = 5e6;
+  config.seed = 3;
+  const GeneratedTrace trace = generate_campus_trace(config);
+  auto replay_router = router_for(trace.network, 0.0, false);
+  const ReplayResult replay =
+      replay_trace(trace.packets, *replay_router, trace.network);
+
+  // With nothing dropped, closed loop and replay carry the same bytes.
+  EXPECT_DOUBLE_EQ(loop.carried_outbound.total(),
+                   replay.passed_outbound.total());
+  EXPECT_DOUBLE_EQ(loop.carried_inbound.total(),
+                   replay.passed_inbound.total());
+}
+
+TEST(ClosedLoop, DropAllSuppressesInboundInitiatedConnections) {
+  const CampusWorkload workload = small_workload();
+  std::size_t inbound_initiated = 0;
+  for (const ConnectionSpec& spec : workload.connections) {
+    if (!spec.initiator_internal) ++inbound_initiated;
+  }
+  ASSERT_GT(inbound_initiated, 0u);
+
+  auto router = router_for(workload.network, 1.0, true);
+  ClosedLoopConfig config;
+  config.max_retries = 2;
+  config.initial_backoff = Duration::sec(1.0);
+  const ClosedLoopResult result = run_closed_loop(workload, *router, config);
+
+  // Every inbound-initiated connection is eventually suppressed; every
+  // outbound-initiated one establishes.
+  EXPECT_EQ(result.connections_suppressed, inbound_initiated);
+  EXPECT_EQ(result.connections_established,
+            workload.connections.size() - inbound_initiated);
+  EXPECT_GT(result.upload_bytes_never_generated, 0u);
+  // Each suppressed connection burned exactly max_retries retries.
+  EXPECT_EQ(result.retries_attempted, inbound_initiated * 2u);
+}
+
+TEST(ClosedLoop, SuppressionRemovesUploadFromTheWire) {
+  const CampusWorkload workload = small_workload();
+  auto open_router = router_for(workload.network, 0.0, false);
+  const ClosedLoopResult open = run_closed_loop(workload, *open_router);
+
+  auto strict_router = router_for(workload.network, 1.0, true);
+  const ClosedLoopResult strict =
+      run_closed_loop(workload, *strict_router);
+
+  // The suppressed upload must be genuinely absent from the carried
+  // series, and be the dominant share of the open-router uplink (the
+  // paper's "most upload rides inbound connections").
+  EXPECT_LT(strict.carried_outbound.total(),
+            open.carried_outbound.total() * 0.5);
+  EXPECT_GT(static_cast<double>(strict.upload_bytes_never_generated),
+            open.carried_outbound.total() * 0.5);
+}
+
+TEST(ClosedLoop, RetriesCanSucceedWhenStateAppears) {
+  // One inbound connection attempt arrives before the inner host has any
+  // state; an outbound connection to the same peer starts slightly later.
+  // With full-tuple keys the retry still fails, but with hole-punching
+  // keys and listen-port reuse the retry after the outbound packet is
+  // admitted -- retries are not always futile.
+  CampusWorkload workload;
+  workload.network = ClientNetwork{{*Cidr::parse("10.0.0.0/24")}};
+
+  ConnectionSpec outbound;
+  outbound.tuple = FiveTuple{Protocol::kTcp, Ipv4Addr{10, 0, 0, 5}, 31337,
+                             Ipv4Addr{61, 2, 3, 4}, 6881};
+  outbound.initiator_internal = true;
+  outbound.start = SimTime::from_sec(1.0);
+  MessageSpec msg;
+  msg.from_initiator = true;
+  msg.total_bytes = 100;
+  outbound.messages.push_back(msg);
+
+  ConnectionSpec inbound;
+  inbound.tuple = FiveTuple{Protocol::kTcp, Ipv4Addr{61, 2, 3, 4}, 50000,
+                            Ipv4Addr{10, 0, 0, 5}, 31337};
+  inbound.initiator_internal = false;
+  inbound.start = SimTime::from_sec(0.5);  // before any outbound state
+  inbound.messages.push_back(msg);
+
+  workload.connections = {inbound, outbound};
+
+  EdgeRouterConfig router_config;
+  router_config.network = workload.network;
+  router_config.track_blocked_connections = false;
+  BitmapFilterConfig bitmap;
+  bitmap.key_mode = KeyMode::kHolePunching;
+  EdgeRouter router{router_config, std::make_unique<BitmapFilter>(bitmap),
+                    std::make_unique<ConstantDropPolicy>(1.0)};
+
+  ClosedLoopConfig config;
+  config.initial_backoff = Duration::sec(2.0);  // retry lands after t=1.0
+  const ClosedLoopResult result = run_closed_loop(workload, router, config);
+  EXPECT_EQ(result.connections_suppressed, 0u);
+  EXPECT_EQ(result.connections_established, 2u);
+  EXPECT_GE(result.retries_attempted, 1u);
+}
+
+}  // namespace
+}  // namespace upbound

@@ -1,0 +1,144 @@
+#include "sim/filter_bank.h"
+
+#include <gtest/gtest.h>
+
+#include "filter/bitmap_filter.h"
+#include "trace/campus.h"
+
+namespace upbound {
+namespace {
+
+ClientNetwork net_of(const char* cidr) {
+  return ClientNetwork{{*Cidr::parse(cidr)}};
+}
+
+PacketRecord pkt(Ipv4Addr src, Ipv4Addr dst, double t_sec = 0.0,
+                 std::uint32_t payload = 100) {
+  PacketRecord p;
+  p.timestamp = SimTime::from_sec(t_sec);
+  p.tuple = FiveTuple{Protocol::kTcp, src, 1000, dst, 2000};
+  p.payload_size = payload;
+  return p;
+}
+
+FilterBank two_site_bank() {
+  FilterBank bank;
+  bank.add_bitmap_site("site-a", net_of("10.1.0.0/24"),
+                       BitmapFilterConfig{}, 1e3, 2e3);
+  bank.add_bitmap_site("site-b", net_of("10.2.0.0/24"),
+                       BitmapFilterConfig{}, 1e9, 2e9);
+  return bank;
+}
+
+const Ipv4Addr kHostA{10, 1, 0, 5};
+const Ipv4Addr kHostB{10, 2, 0, 5};
+const Ipv4Addr kExternal{61, 2, 3, 4};
+
+TEST(FilterBank, SiteLookup) {
+  const FilterBank bank = two_site_bank();
+  EXPECT_EQ(bank.site_of(kHostA), 0u);
+  EXPECT_EQ(bank.site_of(kHostB), 1u);
+  EXPECT_EQ(bank.site_of(kExternal), FilterBank::kNoSite);
+  EXPECT_EQ(bank.site_count(), 2u);
+  EXPECT_EQ(bank.site_name(0), "site-a");
+}
+
+TEST(FilterBank, RoutesToOwningSite) {
+  FilterBank bank = two_site_bank();
+  // Outbound from site A passes and is accounted on site A's router.
+  EXPECT_EQ(bank.process(pkt(kHostA, kExternal)),
+            RouterDecision::kPassedOutbound);
+  EXPECT_EQ(bank.site_router(0).stats().outbound_packets, 1u);
+  EXPECT_EQ(bank.site_router(1).stats().outbound_packets, 0u);
+}
+
+TEST(FilterBank, PerSitePolicyIndependent) {
+  FilterBank bank = two_site_bank();
+  // Saturate site A's tiny RED thresholds with one outbound packet.
+  bank.process(pkt(kHostA, kExternal, 0.0, 5000));
+  // Unsolicited inbound to site A: dropped (past its H threshold).
+  EXPECT_EQ(bank.process(pkt(kExternal, kHostA, 0.1)),
+            RouterDecision::kDroppedByPolicy);
+  // Same situation at site B, whose thresholds are enormous: passes.
+  bank.process(pkt(kHostB, kExternal, 0.0, 5000));
+  EXPECT_EQ(bank.process(pkt(kExternal, kHostB, 0.1)),
+            RouterDecision::kPassedInbound);
+}
+
+TEST(FilterBank, UnguardedTransitIgnored) {
+  FilterBank bank = two_site_bank();
+  EXPECT_EQ(bank.process(pkt(kExternal, Ipv4Addr{8, 8, 8, 8})),
+            RouterDecision::kIgnored);
+  EXPECT_EQ(bank.unguarded_packets(), 1u);
+}
+
+TEST(FilterBank, InterSiteTrafficHandledByFirstOwner) {
+  FilterBank bank = two_site_bank();
+  // A->B is outbound for site A (source owner wins).
+  EXPECT_EQ(bank.process(pkt(kHostA, kHostB)),
+            RouterDecision::kPassedOutbound);
+  EXPECT_EQ(bank.site_router(0).stats().outbound_packets, 1u);
+}
+
+TEST(FilterBank, StateScalesWithSitesNotFlows) {
+  FilterBank bank = two_site_bank();
+  const std::size_t before = bank.total_filter_state_bytes();
+  EXPECT_EQ(before, 2u * 512 * 1024);
+  // Hammer with thousands of flows: constant.
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    bank.process(pkt(Ipv4Addr{0x0a010000u + (i % 200)},
+                     Ipv4Addr{0x3d000000u + i}, i * 0.001));
+  }
+  EXPECT_EQ(bank.total_filter_state_bytes(), before);
+}
+
+TEST(FilterBank, NullRouterRejected) {
+  FilterBank bank;
+  EXPECT_THROW(bank.add_site("x", net_of("10.0.0.0/8"), nullptr),
+               std::invalid_argument);
+}
+
+TEST(FilterBank, EndToEndTwoTraces) {
+  // Replay two sites' traces interleaved through one bank; per-site stats
+  // must match running each site's router alone.
+  CampusTraceConfig config_a;
+  config_a.duration = Duration::sec(8.0);
+  config_a.connections_per_sec = 30.0;
+  config_a.bandwidth_bps = 2e6;
+  config_a.seed = 1;
+  config_a.network.client_prefix = *Cidr::parse("10.1.0.0/24");
+  const GeneratedTrace trace_a = generate_campus_trace(config_a);
+
+  CampusTraceConfig config_b = config_a;
+  config_b.seed = 2;
+  config_b.network.client_prefix = *Cidr::parse("10.2.0.0/24");
+  const GeneratedTrace trace_b = generate_campus_trace(config_b);
+
+  // Interleave by timestamp.
+  Trace merged;
+  merged.reserve(trace_a.packets.size() + trace_b.packets.size());
+  std::merge(trace_a.packets.begin(), trace_a.packets.end(),
+             trace_b.packets.begin(), trace_b.packets.end(),
+             std::back_inserter(merged),
+             [](const PacketRecord& x, const PacketRecord& y) {
+               return x.timestamp < y.timestamp;
+             });
+
+  FilterBank bank = two_site_bank();
+  for (const PacketRecord& p : merged) bank.process(p);
+
+  EdgeRouterConfig solo_config;
+  solo_config.network = trace_a.network;
+  EdgeRouter solo{solo_config,
+                  std::make_unique<BitmapFilter>(BitmapFilterConfig{}),
+                  std::make_unique<RedDropPolicy>(1e3, 2e3)};
+  for (const PacketRecord& p : trace_a.packets) solo.process(p);
+
+  EXPECT_EQ(bank.site_router(0).stats().outbound_packets,
+            solo.stats().outbound_packets);
+  EXPECT_EQ(bank.site_router(0).stats().inbound_dropped_packets,
+            solo.stats().inbound_dropped_packets);
+}
+
+}  // namespace
+}  // namespace upbound

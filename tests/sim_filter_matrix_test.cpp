@@ -1,0 +1,109 @@
+// Cross-implementation matrix on a real replay: every StateFilter
+// implementation must run the full campus trace through an EdgeRouter, and
+// the implementations that promise identical semantics must produce
+// identical decisions.
+#include <gtest/gtest.h>
+
+#include "filter/aging_bloom.h"
+#include "filter/bitmap_filter.h"
+#include "filter/concurrent_bitmap.h"
+#include "filter/naive_filter.h"
+#include "filter/spi_filter.h"
+#include "sim/replay.h"
+#include "trace/campus.h"
+
+namespace upbound {
+namespace {
+
+const GeneratedTrace& shared_trace() {
+  static const GeneratedTrace trace = [] {
+    CampusTraceConfig config;
+    config.duration = Duration::sec(25.0);
+    config.connections_per_sec = 50.0;
+    config.bandwidth_bps = 6e6;
+    config.seed = 12;
+    return generate_campus_trace(config);
+  }();
+  return trace;
+}
+
+EdgeRouterStats run(std::unique_ptr<StateFilter> filter) {
+  EdgeRouterConfig config;
+  config.network = shared_trace().network;
+  config.track_blocked_connections = false;
+  EdgeRouter router{config, std::move(filter),
+                    std::make_unique<ConstantDropPolicy>(1.0)};
+  const ReplayResult result =
+      replay_trace(shared_trace().packets, router, shared_trace().network);
+  return result.stats;
+}
+
+BitmapFilterConfig default_bitmap() { return BitmapFilterConfig{}; }
+
+TEST(FilterMatrix, AllImplementationsCompleteTheReplay) {
+  AgingBloomConfig aging;  // defaults match the bitmap's Te = 20 s
+  NaiveFilterConfig naive;
+  const EdgeRouterStats results[] = {
+      run(std::make_unique<BitmapFilter>(default_bitmap())),
+      run(std::make_unique<ConcurrentBitmapFilter>(default_bitmap())),
+      run(std::make_unique<AgingBloomFilter>(aging)),
+      run(std::make_unique<NaiveFilter>(naive)),
+      run(std::make_unique<SpiFilter>(SpiFilterConfig{})),
+  };
+  const std::uint64_t total_inbound = results[0].inbound_passed_packets +
+                                      results[0].inbound_dropped_packets;
+  for (const EdgeRouterStats& stats : results) {
+    // Same packet stream seen by every filter.
+    EXPECT_EQ(stats.outbound_packets, results[0].outbound_packets);
+    EXPECT_EQ(stats.inbound_passed_packets + stats.inbound_dropped_packets,
+              total_inbound);
+    // Everyone drops something, nobody drops everything.
+    EXPECT_GT(stats.inbound_dropped_packets, 0u);
+    EXPECT_LT(stats.inbound_drop_rate(), 0.25);
+  }
+}
+
+TEST(FilterMatrix, ConcurrentBitmapMatchesSequentialExactly) {
+  const EdgeRouterStats sequential =
+      run(std::make_unique<BitmapFilter>(default_bitmap()));
+  const EdgeRouterStats concurrent =
+      run(std::make_unique<ConcurrentBitmapFilter>(default_bitmap()));
+  EXPECT_EQ(sequential.inbound_passed_packets,
+            concurrent.inbound_passed_packets);
+  EXPECT_EQ(sequential.inbound_dropped_packets,
+            concurrent.inbound_dropped_packets);
+  EXPECT_EQ(sequential.inbound_dropped_bytes,
+            concurrent.inbound_dropped_bytes);
+}
+
+TEST(FilterMatrix, AgingBloomMatchesBitmapAtMatchingParameters) {
+  // Same hash family, same slot count, same epoch/rotation cadence: the
+  // 4-bit-stamp filter is decision-identical to the {4 x N} bitmap.
+  const BitmapFilterConfig bitmap_config = default_bitmap();
+  AgingBloomConfig aging;
+  aging.cells = bitmap_config.bits();
+  aging.hash_count = bitmap_config.hash_count;
+  aging.epoch = bitmap_config.rotate_interval;
+  aging.valid_epochs = bitmap_config.vector_count;
+  aging.hash_seed = bitmap_config.hash_seed;
+
+  const EdgeRouterStats bitmap =
+      run(std::make_unique<BitmapFilter>(bitmap_config));
+  const EdgeRouterStats aging_stats =
+      run(std::make_unique<AgingBloomFilter>(aging));
+  EXPECT_EQ(bitmap.inbound_passed_packets, aging_stats.inbound_passed_packets);
+  EXPECT_EQ(bitmap.inbound_dropped_packets,
+            aging_stats.inbound_dropped_packets);
+}
+
+TEST(FilterMatrix, BitmapMatchesNaiveWithinApproximationBand) {
+  NaiveFilterConfig naive;
+  naive.state_timeout = default_bitmap().expiry_timer();
+  const EdgeRouterStats bitmap =
+      run(std::make_unique<BitmapFilter>(default_bitmap()));
+  const EdgeRouterStats exact = run(std::make_unique<NaiveFilter>(naive));
+  EXPECT_NEAR(bitmap.inbound_drop_rate(), exact.inbound_drop_rate(), 0.01);
+}
+
+}  // namespace
+}  // namespace upbound

@@ -1,0 +1,175 @@
+// Replay-level integration: the Fig. 8 drop-rate parity between SPI and
+// bitmap filters, and the Fig. 9 upload bounding, on a calibrated trace.
+#include "sim/replay.h"
+
+#include <gtest/gtest.h>
+
+#include "filter/bitmap_filter.h"
+#include "filter/naive_filter.h"
+#include "filter/spi_filter.h"
+#include "trace/campus.h"
+
+namespace upbound {
+namespace {
+
+const GeneratedTrace& shared_trace() {
+  static const GeneratedTrace trace = [] {
+    CampusTraceConfig config;
+    config.duration = Duration::sec(40.0);
+    config.connections_per_sec = 60.0;
+    config.bandwidth_bps = 12e6;
+    config.seed = 3;
+    return generate_campus_trace(config);
+  }();
+  return trace;
+}
+
+std::unique_ptr<EdgeRouter> router_with(std::unique_ptr<StateFilter> filter,
+                                        std::unique_ptr<DropPolicy> policy,
+                                        bool blocklist = false) {
+  EdgeRouterConfig config;
+  config.network = shared_trace().network;
+  config.track_blocked_connections = blocklist;
+  return std::make_unique<EdgeRouter>(std::move(config), std::move(filter),
+                                      std::move(policy));
+}
+
+BitmapFilterConfig paper_bitmap() {
+  BitmapFilterConfig config;   // {4 x 2^20}, dt = 5 s, Te = 20 s, m = 3
+  return config;
+}
+
+TEST(SimReplay, Fig8DropRateParitySpiVsBitmap) {
+  const GeneratedTrace& trace = shared_trace();
+
+  auto spi = router_with(std::make_unique<SpiFilter>(SpiFilterConfig{}),
+                         std::make_unique<ConstantDropPolicy>(1.0));
+  auto bitmap = router_with(std::make_unique<BitmapFilter>(paper_bitmap()),
+                            std::make_unique<ConstantDropPolicy>(1.0));
+
+  const ReplayResult spi_result =
+      replay_trace(trace.packets, *spi, trace.network);
+  const ReplayResult bitmap_result =
+      replay_trace(trace.packets, *bitmap, trace.network);
+
+  const double spi_rate = spi_result.stats.inbound_drop_rate();
+  const double bitmap_rate = bitmap_result.stats.inbound_drop_rate();
+
+  // Both filters drop only a small share of inbound packets (unsolicited
+  // inbound requests) and agree closely -- the Fig. 8 slope-1 result. The
+  // SPI filter sees connection closes so it drops at least as much.
+  EXPECT_GT(spi_rate, 0.0);
+  EXPECT_GT(bitmap_rate, 0.0);
+  EXPECT_LT(spi_rate, 0.30);
+  EXPECT_LT(bitmap_rate, 0.30);
+  EXPECT_NEAR(spi_rate, bitmap_rate, 0.03);
+  EXPECT_GE(spi_rate, bitmap_rate - 0.005);
+}
+
+TEST(SimReplay, NaiveAndBitmapNearlyIdentical) {
+  // The bitmap filter approximates the naive exact-timer filter with the
+  // same Te; their decisions should almost coincide (false positives are
+  // rare at this load).
+  const GeneratedTrace& trace = shared_trace();
+
+  NaiveFilterConfig naive_config;
+  naive_config.state_timeout = paper_bitmap().expiry_timer();
+  auto naive = router_with(std::make_unique<NaiveFilter>(naive_config),
+                           std::make_unique<ConstantDropPolicy>(1.0));
+  auto bitmap = router_with(std::make_unique<BitmapFilter>(paper_bitmap()),
+                            std::make_unique<ConstantDropPolicy>(1.0));
+
+  const ReplayResult naive_result =
+      replay_trace(trace.packets, *naive, trace.network);
+  const ReplayResult bitmap_result =
+      replay_trace(trace.packets, *bitmap, trace.network);
+
+  EXPECT_NEAR(naive_result.stats.inbound_drop_rate(),
+              bitmap_result.stats.inbound_drop_rate(), 0.01);
+}
+
+TEST(SimReplay, Fig9UploadBoundedByRedPolicy) {
+  const GeneratedTrace& trace = shared_trace();
+
+  // Thresholds well under the offered uplink load so the limiter must act:
+  // offered ~10 Mbps upload; bound it to H = 6 Mbps.
+  const double kLow = 3e6;
+  const double kHigh = 6e6;
+  auto limited = router_with(std::make_unique<BitmapFilter>(paper_bitmap()),
+                             std::make_unique<RedDropPolicy>(kLow, kHigh),
+                             /*blocklist=*/true);
+  const ReplayResult result =
+      replay_trace(trace.packets, *limited, trace.network);
+
+  const ReplayResult original = offered_load(trace.packets, trace.network);
+
+  const double offered_up = original.offered_outbound.total();
+  const double carried_up = result.passed_outbound.total();
+  EXPECT_GT(offered_up, 0.0);
+  // The limiter must remove a substantial share of upload...
+  EXPECT_LT(carried_up, offered_up * 0.85);
+  // ...without touching solicited traffic excessively: downlink survives
+  // far better than uplink is cut.
+  const double offered_down = original.offered_inbound.total();
+  const double carried_down = result.passed_inbound.total();
+  EXPECT_GT(carried_down, offered_down * 0.4);
+
+  // Post-filter uplink rate should hover near/below H for the busy middle
+  // of the trace: no sustained excursions far above the bound.
+  const auto rates = result.passed_outbound.rates();
+  std::size_t above = 0, busy = 0;
+  for (std::size_t i = 5; i + 5 < rates.size(); ++i) {
+    ++busy;
+    if (rates[i] * 8.0 > kHigh * 2.0) ++above;
+  }
+  ASSERT_GT(busy, 0u);
+  EXPECT_LT(static_cast<double>(above) / static_cast<double>(busy), 0.15);
+}
+
+TEST(SimReplay, UnlimitedRouterCarriesEverything) {
+  const GeneratedTrace& trace = shared_trace();
+  auto open_router =
+      router_with(std::make_unique<BitmapFilter>(paper_bitmap()),
+                  std::make_unique<ConstantDropPolicy>(0.0));
+  const ReplayResult result =
+      replay_trace(trace.packets, *open_router, trace.network);
+  EXPECT_EQ(result.stats.inbound_dropped_packets, 0u);
+  EXPECT_DOUBLE_EQ(result.passed_outbound.total(),
+                   result.offered_outbound.total());
+  EXPECT_DOUBLE_EQ(result.passed_inbound.total(),
+                   result.offered_inbound.total());
+}
+
+TEST(SimReplay, OfferedLoadMatchesTraceTotals) {
+  const GeneratedTrace& trace = shared_trace();
+  const ReplayResult original = offered_load(trace.packets, trace.network);
+  EXPECT_DOUBLE_EQ(original.offered_outbound.total(),
+                   static_cast<double>(trace.outbound_bytes));
+  EXPECT_DOUBLE_EQ(original.offered_inbound.total(),
+                   static_cast<double>(trace.inbound_bytes));
+}
+
+TEST(SimReplay, BlocklistAmplifiesSuppression) {
+  const GeneratedTrace& trace = shared_trace();
+  auto with_blocklist =
+      router_with(std::make_unique<BitmapFilter>(paper_bitmap()),
+                  std::make_unique<ConstantDropPolicy>(1.0),
+                  /*blocklist=*/true);
+  auto without_blocklist =
+      router_with(std::make_unique<BitmapFilter>(paper_bitmap()),
+                  std::make_unique<ConstantDropPolicy>(1.0),
+                  /*blocklist=*/false);
+  const ReplayResult with_result =
+      replay_trace(trace.packets, *with_blocklist, trace.network);
+  const ReplayResult without_result =
+      replay_trace(trace.packets, *without_blocklist, trace.network);
+
+  // Per-connection suppression removes the upload bytes that blocked
+  // inbound requests would have triggered.
+  EXPECT_GT(with_result.stats.suppressed_outbound_bytes, 0u);
+  EXPECT_LT(with_result.passed_outbound.total(),
+            without_result.passed_outbound.total());
+}
+
+}  // namespace
+}  // namespace upbound

@@ -1,0 +1,67 @@
+// Multi-seed calibration sweep: the campus generator's Table 2 / Section
+// 3.3 targets must hold across seeds, not just the seed the other tests
+// use. Bands are wider than the single-seed tests because each trace is
+// small; what is being asserted is that no seed drifts grossly.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "trace/campus.h"
+
+namespace upbound {
+namespace {
+
+class CalibrationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CalibrationSweep, AggregatesHoldAcrossSeeds) {
+  CampusTraceConfig config;
+  config.duration = Duration::sec(25.0);
+  config.connections_per_sec = 70.0;
+  config.bandwidth_bps = 8e6;
+  config.seed = GetParam();
+  const GeneratedTrace trace = generate_campus_trace(config);
+
+  ASSERT_TRUE(is_time_sorted(trace.packets));
+  ASSERT_GT(trace.connection_count, 1000u);
+
+  // Connection mix (ground truth).
+  std::map<AppProtocol, std::size_t> conns;
+  std::size_t udp = 0;
+  for (const auto& [tuple, app] : trace.truth) {
+    ++conns[app];
+    if (tuple.protocol == Protocol::kUdp) ++udp;
+  }
+  const double total = static_cast<double>(trace.truth.size());
+  EXPECT_NEAR(conns[AppProtocol::kBitTorrent] / total, 0.479, 0.10);
+  EXPECT_NEAR(conns[AppProtocol::kEdonkey] / total, 0.220, 0.08);
+  EXPECT_NEAR(udp / total, 0.69, 0.08);
+
+  // Byte direction and protocol structure.
+  std::uint64_t tcp_bytes = 0, all_bytes = 0;
+  for (const auto& pkt : trace.packets) {
+    all_bytes += pkt.wire_size();
+    if (pkt.is_tcp()) tcp_bytes += pkt.wire_size();
+  }
+  EXPECT_GT(static_cast<double>(tcp_bytes) / static_cast<double>(all_bytes),
+            0.98);
+  const double upload =
+      static_cast<double>(trace.outbound_bytes) /
+      static_cast<double>(trace.outbound_bytes + trace.inbound_bytes);
+  EXPECT_GT(upload, 0.75);
+  EXPECT_LT(upload, 0.95);
+
+  // Offered volume within a loose factor of the configured target.
+  const double target_bytes = 8e6 * 25.0 / 8.0;
+  EXPECT_GT(static_cast<double>(all_bytes), target_bytes * 0.5);
+  EXPECT_LT(static_cast<double>(all_bytes), target_bytes * 2.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CalibrationSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 99),
+                         [](const ::testing::TestParamInfo<std::uint64_t>&
+                                info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace upbound

@@ -1,0 +1,230 @@
+// End-to-end calibration checks: the generated campus trace must reproduce
+// the aggregates the paper reports for its capture (Section 3.3, Table 2).
+#include "trace/campus.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace upbound {
+namespace {
+
+CampusTraceConfig small_config() {
+  CampusTraceConfig config;
+  config.duration = Duration::sec(30.0);
+  config.connections_per_sec = 80.0;
+  config.bandwidth_bps = 10e6;
+  config.seed = 20260706;
+  return config;
+}
+
+class CampusTraceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_ = new GeneratedTrace(generate_campus_trace(small_config()));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    trace_ = nullptr;
+  }
+
+  static GeneratedTrace* trace_;
+};
+
+GeneratedTrace* CampusTraceTest::trace_ = nullptr;
+
+TEST_F(CampusTraceTest, TraceIsTimeSorted) {
+  EXPECT_TRUE(is_time_sorted(trace_->packets));
+}
+
+TEST_F(CampusTraceTest, ConnectionCountNearTarget) {
+  const double target = 30.0 * 80.0;
+  EXPECT_NEAR(static_cast<double>(trace_->connection_count), target,
+              target * 0.25);
+}
+
+TEST_F(CampusTraceTest, EveryPacketCrossesTheEdge) {
+  for (const auto& pkt : trace_->packets) {
+    const Direction dir = trace_->network.classify(pkt);
+    ASSERT_TRUE(dir == Direction::kOutbound || dir == Direction::kInbound)
+        << pkt.to_string();
+  }
+}
+
+TEST_F(CampusTraceTest, GroundTruthCoversEveryConnection) {
+  for (const auto& pkt : trace_->packets) {
+    ASSERT_TRUE(trace_->truth.contains(pkt.tuple.canonical()))
+        << pkt.to_string();
+  }
+  EXPECT_EQ(trace_->truth.size(), trace_->connection_count);
+}
+
+TEST_F(CampusTraceTest, ConnectionMixTracksTable2) {
+  std::map<AppProtocol, std::size_t> counts;
+  for (const auto& [tuple, app] : trace_->truth) ++counts[app];
+  const double total = static_cast<double>(trace_->truth.size());
+
+  const auto fraction = [&](AppProtocol app) {
+    return static_cast<double>(counts[app]) / total;
+  };
+  // Bands are generous: small trace, stochastic session sizes.
+  EXPECT_NEAR(fraction(AppProtocol::kBitTorrent), 0.479, 0.08);
+  EXPECT_NEAR(fraction(AppProtocol::kEdonkey), 0.220, 0.06);
+  EXPECT_NEAR(fraction(AppProtocol::kGnutella), 0.0756, 0.04);
+  EXPECT_NEAR(fraction(AppProtocol::kUnknown), 0.1755, 0.06);
+  EXPECT_NEAR(fraction(AppProtocol::kHttp), 0.0217, 0.02);
+}
+
+TEST_F(CampusTraceTest, ByteMixTracksTable2Utilization) {
+  std::map<AppProtocol, std::uint64_t> bytes;
+  std::uint64_t total = 0;
+  for (const auto& pkt : trace_->packets) {
+    const auto it = trace_->truth.find(pkt.tuple.canonical());
+    ASSERT_NE(it, trace_->truth.end());
+    bytes[it->second] += pkt.wire_size();
+    total += pkt.wire_size();
+  }
+  const auto fraction = [&](AppProtocol app) {
+    return static_cast<double>(bytes[app]) / static_cast<double>(total);
+  };
+  EXPECT_NEAR(fraction(AppProtocol::kBitTorrent), 0.18, 0.08);
+  EXPECT_NEAR(fraction(AppProtocol::kEdonkey), 0.21, 0.09);
+  EXPECT_NEAR(fraction(AppProtocol::kGnutella), 0.16, 0.08);
+  EXPECT_NEAR(fraction(AppProtocol::kUnknown), 0.35, 0.12);
+  EXPECT_NEAR(fraction(AppProtocol::kHttp), 0.05, 0.04);
+}
+
+TEST_F(CampusTraceTest, UdpConnectionShareNearPaper) {
+  // Paper: 70.1% of connections UDP. Our mixture lands near 68%.
+  std::size_t udp = 0;
+  for (const auto& [tuple, app] : trace_->truth) {
+    if (tuple.protocol == Protocol::kUdp) ++udp;
+  }
+  const double share =
+      static_cast<double>(udp) / static_cast<double>(trace_->truth.size());
+  EXPECT_NEAR(share, 0.69, 0.06);
+}
+
+TEST_F(CampusTraceTest, TcpCarriesAlmostAllBytes) {
+  // Paper: 99.5% of bytes on TCP.
+  std::uint64_t tcp = 0, total = 0;
+  for (const auto& pkt : trace_->packets) {
+    total += pkt.wire_size();
+    if (pkt.is_tcp()) tcp += pkt.wire_size();
+  }
+  EXPECT_GT(static_cast<double>(tcp) / static_cast<double>(total), 0.985);
+}
+
+TEST_F(CampusTraceTest, UploadDominatesLikePaper) {
+  // Paper: 89.8% upload. Accept a band around it.
+  const double up = static_cast<double>(trace_->outbound_bytes);
+  const double down = static_cast<double>(trace_->inbound_bytes);
+  const double share = up / (up + down);
+  EXPECT_GT(share, 0.80);
+  EXPECT_LT(share, 0.97);
+}
+
+TEST_F(CampusTraceTest, MostOutboundBytesRideInboundConnections) {
+  // Paper: 80% of outbound traffic is sent along with inbound connections.
+  // A connection counts as inbound-initiated when its first packet at the
+  // edge flows inbound.
+  std::unordered_map<FiveTuple, Direction, CanonicalTupleHash,
+                     CanonicalTupleEq>
+      first_dir;
+  std::uint64_t outbound_on_inbound_conns = 0, outbound_total = 0;
+  for (const auto& pkt : trace_->packets) {
+    const Direction dir = trace_->network.classify(pkt);
+    first_dir.try_emplace(pkt.tuple, dir);
+    if (dir == Direction::kOutbound) {
+      outbound_total += pkt.wire_size();
+      if (first_dir[pkt.tuple] == Direction::kInbound) {
+        outbound_on_inbound_conns += pkt.wire_size();
+      }
+    }
+  }
+  const double share = static_cast<double>(outbound_on_inbound_conns) /
+                       static_cast<double>(outbound_total);
+  EXPECT_GT(share, 0.65);
+  EXPECT_LT(share, 0.99);
+}
+
+TEST_F(CampusTraceTest, OfferedLoadNearConfiguredBandwidth) {
+  // Bytes were sized for 10 Mbps over 30 s; connections may drain past the
+  // nominal duration, so compare total bytes, not instantaneous rate.
+  const double expected_bytes = 10e6 * 30.0 / 8.0;
+  const double actual_bytes = static_cast<double>(trace_->outbound_bytes +
+                                                  trace_->inbound_bytes);
+  EXPECT_NEAR(actual_bytes, expected_bytes, expected_bytes * 0.45);
+}
+
+TEST_F(CampusTraceTest, DeterministicForSeed) {
+  const GeneratedTrace again = generate_campus_trace(small_config());
+  ASSERT_EQ(again.packets.size(), trace_->packets.size());
+  for (std::size_t i = 0; i < again.packets.size(); i += 997) {
+    EXPECT_EQ(again.packets[i].tuple, trace_->packets[i].tuple);
+    EXPECT_EQ(again.packets[i].timestamp, trace_->packets[i].timestamp);
+  }
+}
+
+TEST_F(CampusTraceTest, DifferentSeedDiffers) {
+  CampusTraceConfig config = small_config();
+  config.seed = 777;
+  config.duration = Duration::sec(5.0);
+  config.connections_per_sec = 40.0;
+  config.bandwidth_bps = 2e6;
+  const GeneratedTrace other = generate_campus_trace(config);
+  EXPECT_NE(other.packets.size(), trace_->packets.size());
+}
+
+TEST(CampusTrace, InvalidConfigThrows) {
+  CampusTraceConfig config;
+  config.duration = Duration::sec(0.0);
+  EXPECT_THROW(generate_campus_trace(config), std::invalid_argument);
+  config = CampusTraceConfig{};
+  config.connections_per_sec = 0.0;
+  EXPECT_THROW(generate_campus_trace(config), std::invalid_argument);
+  config = CampusTraceConfig{};
+  config.bandwidth_bps = -1.0;
+  EXPECT_THROW(generate_campus_trace(config), std::invalid_argument);
+}
+
+TEST(CampusTrace, MixSumsToOne) {
+  for (const auto& mix : {paper_table2_mix(), enterprise_mix()}) {
+    double conn_sum = 0.0, byte_sum = 0.0;
+    for (const auto& entry : mix) {
+      conn_sum += entry.conn_fraction;
+      byte_sum += entry.byte_fraction;
+    }
+    EXPECT_NEAR(conn_sum, 1.0, 1e-9);
+    EXPECT_NEAR(byte_sum, 1.0, 1e-9);
+  }
+}
+
+TEST(CampusTrace, EnterpriseMixIsClientServerDominated) {
+  CampusTraceConfig config;
+  config.duration = Duration::sec(10.0);
+  config.connections_per_sec = 50.0;
+  config.bandwidth_bps = 4e6;
+  config.seed = 5;
+  config.mix = enterprise_mix();
+  const GeneratedTrace trace = generate_campus_trace(config);
+
+  std::uint64_t p2p_bytes = 0, total_bytes = 0;
+  for (const auto& pkt : trace.packets) {
+    const AppProtocol app = trace.truth.at(pkt.tuple.canonical());
+    total_bytes += pkt.wire_size();
+    if (is_p2p(app) || app == AppProtocol::kUnknown) {
+      p2p_bytes += pkt.wire_size();
+    }
+  }
+  EXPECT_LT(static_cast<double>(p2p_bytes) / static_cast<double>(total_bytes),
+            0.15);
+  // Enterprise traffic is download-heavy: upload well under half.
+  const double up =
+      static_cast<double>(trace.outbound_bytes) /
+      static_cast<double>(trace.outbound_bytes + trace.inbound_bytes);
+  EXPECT_LT(up, 0.5);
+}
+
+}  // namespace
+}  // namespace upbound

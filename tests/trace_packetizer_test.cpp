@@ -1,0 +1,263 @@
+#include "trace/packetizer.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "net/direction.h"
+
+namespace upbound {
+namespace {
+
+FiveTuple tuple() {
+  return FiveTuple{Protocol::kTcp, Ipv4Addr{140, 112, 30, 5}, 40000,
+                   Ipv4Addr{61, 2, 3, 4}, 80};
+}
+
+ConnectionSpec basic_spec() {
+  ConnectionSpec spec;
+  spec.tuple = tuple();
+  spec.start = SimTime::from_sec(10.0);
+  spec.rtt = Duration::msec(100);
+  MessageSpec request;
+  request.from_initiator = true;
+  request.prefix = {'G', 'E', 'T'};
+  request.total_bytes = 300;
+  spec.messages.push_back(request);
+  MessageSpec response;
+  response.from_initiator = false;
+  response.total_bytes = 5000;
+  spec.messages.push_back(response);
+  return spec;
+}
+
+std::uint64_t bytes_in_direction(const Trace& trace, bool from_initiator,
+                                 const FiveTuple& t) {
+  std::uint64_t total = 0;
+  for (const auto& pkt : trace) {
+    if ((pkt.tuple == t) == from_initiator) total += pkt.payload_size;
+  }
+  return total;
+}
+
+TEST(Packetizer, TcpHandshakeOpensConnection) {
+  const Trace trace = packetize(basic_spec());
+  ASSERT_GE(trace.size(), 3u);
+  EXPECT_TRUE(trace[0].is_syn_only());
+  EXPECT_EQ(trace[0].tuple, tuple());
+  EXPECT_EQ(trace[0].timestamp, SimTime::from_sec(10.0));
+  EXPECT_TRUE(trace[1].flags.syn);
+  EXPECT_TRUE(trace[1].flags.ack);
+  EXPECT_EQ(trace[1].tuple, tuple().inverse());
+  EXPECT_TRUE(trace[2].flags.ack);
+  EXPECT_FALSE(trace[2].flags.syn);
+}
+
+TEST(Packetizer, SynAckDelayedByRtt) {
+  const Trace trace = packetize(basic_spec());
+  EXPECT_EQ(trace[1].timestamp - trace[0].timestamp, Duration::msec(100));
+}
+
+TEST(Packetizer, TimestampsNonDecreasing) {
+  const Trace trace = packetize(basic_spec());
+  EXPECT_TRUE(is_time_sorted(trace));
+}
+
+TEST(Packetizer, ByteConservation) {
+  const ConnectionSpec spec = basic_spec();
+  const Trace trace = packetize(spec);
+  EXPECT_EQ(bytes_in_direction(trace, true, spec.tuple), 300u);
+  EXPECT_EQ(bytes_in_direction(trace, false, spec.tuple), 5000u);
+}
+
+TEST(Packetizer, MssSegmentation) {
+  ConnectionSpec spec = basic_spec();
+  spec.messages[1].total_bytes = 10'000;
+  PacketizerOptions opt;
+  opt.mss = 1448;
+  const Trace trace = packetize(spec, opt);
+  int data_segments = 0;
+  for (const auto& pkt : trace) {
+    if (pkt.tuple == spec.tuple.inverse() && pkt.payload_size > 0) {
+      EXPECT_LE(pkt.payload_size, 1448u);
+      ++data_segments;
+    }
+  }
+  EXPECT_EQ(data_segments, 7);  // ceil(10000 / 1448)
+}
+
+TEST(Packetizer, FirstSegmentCarriesPrefix) {
+  const ConnectionSpec spec = basic_spec();
+  const Trace trace = packetize(spec);
+  for (const auto& pkt : trace) {
+    if (pkt.tuple == spec.tuple && pkt.payload_size > 0) {
+      ASSERT_EQ(pkt.payload.size(), 3u);
+      EXPECT_EQ(pkt.payload[0], 'G');
+      break;
+    }
+  }
+}
+
+TEST(Packetizer, CaptureBytesTruncatesPrefix) {
+  ConnectionSpec spec = basic_spec();
+  spec.messages[0].prefix.assign(200, 0x42);
+  spec.messages[0].total_bytes = 200;
+  PacketizerOptions opt;
+  opt.capture_bytes = 64;
+  const Trace trace = packetize(spec, opt);
+  for (const auto& pkt : trace) {
+    if (pkt.tuple == spec.tuple && pkt.payload_size > 0) {
+      EXPECT_EQ(pkt.payload.size(), 64u);
+      EXPECT_EQ(pkt.payload_size, 200u);
+      break;
+    }
+  }
+}
+
+TEST(Packetizer, FinCloseSequence) {
+  ConnectionSpec spec = basic_spec();
+  spec.close = CloseKind::kFin;
+  const Trace trace = packetize(spec);
+  int fins = 0;
+  for (const auto& pkt : trace) {
+    if (pkt.flags.fin) ++fins;
+  }
+  EXPECT_EQ(fins, 2);  // one from each side
+  EXPECT_TRUE(trace.back().flags.ack);
+}
+
+TEST(Packetizer, RstCloseSinglePacket) {
+  ConnectionSpec spec = basic_spec();
+  spec.close = CloseKind::kRst;
+  const Trace trace = packetize(spec);
+  EXPECT_TRUE(trace.back().flags.rst);
+  int rsts = 0;
+  for (const auto& pkt : trace) {
+    if (pkt.flags.rst) ++rsts;
+  }
+  EXPECT_EQ(rsts, 1);
+}
+
+TEST(Packetizer, NoCloseLeavesConnectionDangling) {
+  ConnectionSpec spec = basic_spec();
+  spec.close = CloseKind::kNone;
+  const Trace trace = packetize(spec);
+  for (const auto& pkt : trace) {
+    EXPECT_FALSE(pkt.flags.fin);
+    EXPECT_FALSE(pkt.flags.rst);
+  }
+}
+
+TEST(Packetizer, UdpHasNoHandshakeOrFlags) {
+  ConnectionSpec spec;
+  spec.tuple = tuple();
+  spec.tuple.protocol = Protocol::kUdp;
+  spec.start = SimTime::origin();
+  MessageSpec msg;
+  msg.from_initiator = true;
+  msg.total_bytes = 100;
+  spec.messages.push_back(msg);
+  const Trace trace = packetize(spec);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].flags, TcpFlags{});
+  EXPECT_EQ(trace[0].payload_size, 100u);
+}
+
+TEST(Packetizer, OutInDelayMatchesRttForOutboundConnection) {
+  // Outbound connection: outbound SYN at t, inbound SYN-ACK at t + RTT.
+  ConnectionSpec spec = basic_spec();
+  spec.initiator_internal = true;
+  spec.rtt = Duration::msec(250);
+  const Trace trace = packetize(spec);
+  EXPECT_EQ(trace[1].timestamp - trace[0].timestamp, Duration::msec(250));
+}
+
+TEST(Packetizer, OutInDelayMatchesRttForInboundConnection) {
+  // Inbound connection (external initiator): inbound SYN, outbound SYN-ACK
+  // ~1 ms later, inbound ACK a full RTT after that.
+  ConnectionSpec spec = basic_spec();
+  spec.initiator_internal = false;
+  spec.rtt = Duration::msec(250);
+  const Trace trace = packetize(spec);
+  EXPECT_EQ(trace[1].timestamp - trace[0].timestamp, Duration::msec(1));
+  EXPECT_EQ(trace[2].timestamp - trace[1].timestamp, Duration::msec(250));
+}
+
+TEST(Packetizer, AcksFlowOppositeToData) {
+  ConnectionSpec spec = basic_spec();
+  spec.messages[1].total_bytes = 20'000;
+  PacketizerOptions opt;
+  opt.ack_every = 2;
+  const Trace trace = packetize(spec, opt);
+  int acks_from_initiator = 0;
+  bool saw_response_data = false;
+  for (const auto& pkt : trace) {
+    if (pkt.tuple == spec.tuple.inverse() && pkt.payload_size > 0) {
+      saw_response_data = true;
+    }
+    if (pkt.tuple == spec.tuple && pkt.payload_size == 0 && pkt.flags.ack &&
+        !pkt.flags.syn && !pkt.flags.fin && saw_response_data) {
+      ++acks_from_initiator;
+    }
+  }
+  EXPECT_GE(acks_from_initiator, 20'000 / 1448 / 2 - 1);
+}
+
+TEST(Packetizer, EmptyMessageStillEmitsProbe) {
+  ConnectionSpec spec = basic_spec();
+  spec.messages.clear();
+  MessageSpec empty;
+  empty.from_initiator = true;
+  empty.total_bytes = 0;
+  spec.messages.push_back(empty);
+  const Trace trace = packetize(spec);
+  // Handshake (3) + one zero-length data packet + close (3).
+  bool saw_empty_data = false;
+  for (const auto& pkt : trace) {
+    if (pkt.tuple == spec.tuple && pkt.payload_size == 0 && pkt.flags.psh) {
+      saw_empty_data = true;
+    }
+  }
+  EXPECT_TRUE(saw_empty_data);
+}
+
+TEST(Packetizer, PrefixLargerThanTotalClamps) {
+  ConnectionSpec spec = basic_spec();
+  spec.messages[0].prefix.assign(500, 0x41);
+  spec.messages[0].total_bytes = 100;  // spec error: prefix wins
+  const Trace trace = packetize(spec);
+  EXPECT_EQ(bytes_in_direction(trace, true, spec.tuple), 500u);
+}
+
+TEST(Packetizer, AppendModeAccumulates) {
+  Trace out;
+  packetize(basic_spec(), PacketizerOptions{}, out);
+  const std::size_t first = out.size();
+  ConnectionSpec second = basic_spec();
+  second.start = SimTime::from_sec(100.0);
+  packetize(second, PacketizerOptions{}, out);
+  EXPECT_EQ(out.size(), 2 * first);
+}
+
+TEST(Packetizer, GapBeforeDelaysMessage) {
+  ConnectionSpec spec = basic_spec();
+  spec.messages[0].gap_before = Duration::sec(5.0);
+  const Trace trace = packetize(spec);
+  // First data packet from the initiator comes >= 5 s after the handshake.
+  SimTime handshake_done;
+  for (const auto& pkt : trace) {
+    if (pkt.flags.ack && !pkt.flags.syn && pkt.payload_size == 0) {
+      handshake_done = pkt.timestamp;
+      break;
+    }
+  }
+  for (const auto& pkt : trace) {
+    if (pkt.payload_size > 0 && pkt.tuple == spec.tuple) {
+      EXPECT_GE(pkt.timestamp - handshake_done, Duration::sec(5.0));
+      break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace upbound

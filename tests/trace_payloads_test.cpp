@@ -1,0 +1,175 @@
+// Payload synthesizers must emit bytes the Table 1 signatures recognize.
+#include <gtest/gtest.h>
+
+#include "rex/regex.h"
+#include "trace/payloads.h"
+
+namespace upbound {
+namespace {
+
+using payloads::Bytes;
+
+std::span<const std::uint8_t> as_span(const Bytes& b) {
+  return {b.data(), b.size()};
+}
+
+TEST(Payloads, BittorrentHandshakeShape) {
+  Rng rng{1};
+  const Bytes hs = payloads::bittorrent_handshake(rng);
+  ASSERT_EQ(hs.size(), 68u);
+  EXPECT_EQ(hs[0], 0x13);
+  EXPECT_EQ(std::string(hs.begin() + 1, hs.begin() + 20),
+            "BitTorrent protocol");
+}
+
+TEST(Payloads, BittorrentHandshakeMatchesSignature) {
+  Rng rng{2};
+  const rex::Regex sig{"^\\x13bittorrent protocol", {.ignore_case = true}};
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(sig.search(as_span(payloads::bittorrent_handshake(rng))));
+  }
+}
+
+TEST(Payloads, ScrapeRequestMatchesSignature) {
+  Rng rng{3};
+  const rex::Regex sig{"^get /scrape\\?info_hash=", {.ignore_case = true}};
+  EXPECT_TRUE(sig.search(as_span(payloads::bittorrent_scrape_request(rng))));
+}
+
+TEST(Payloads, EdonkeyHelloMatchesMarker) {
+  Rng rng{4};
+  const rex::Regex sig{"^[\\xc5\\xd4\\xe3-\\xe5]"};
+  const Bytes hello = payloads::edonkey_hello(rng);
+  EXPECT_TRUE(sig.search(as_span(hello)));
+  EXPECT_EQ(hello[0], 0xe3);
+  // Little-endian length field covers the remaining payload.
+  const std::uint32_t len = hello[1] | (hello[2] << 8) |
+                            (static_cast<std::uint32_t>(hello[3]) << 16) |
+                            (static_cast<std::uint32_t>(hello[4]) << 24);
+  EXPECT_EQ(len, hello.size() - 5);
+}
+
+TEST(Payloads, EdonkeyUdpPingMatchesMarker) {
+  Rng rng{5};
+  const rex::Regex sig{"^[\\xc5\\xd4\\xe3-\\xe5]"};
+  EXPECT_TRUE(sig.search(as_span(payloads::edonkey_udp_ping(rng))));
+}
+
+TEST(Payloads, GnutellaHandshakesMatchSignature) {
+  const rex::Regex sig{"^gnutella (connect/[012]\\.[0-9]|/[012]\\.[0-9])",
+                       {.ignore_case = true}};
+  EXPECT_TRUE(sig.search(as_span(payloads::gnutella_connect())));
+  const rex::Regex ok{"^gnutella/[012]\\.[0-9] [1-5][0-9][0-9]",
+                      {.ignore_case = true}};
+  EXPECT_TRUE(ok.search(as_span(payloads::gnutella_ok())));
+}
+
+TEST(Payloads, HttpRequestResponseMatchSignatures) {
+  const rex::Regex req{
+      "^(get|post|head) [\\x09-\\x0d -~]* http/(0\\.9|1\\.0|1\\.1)",
+      {.ignore_case = true}};
+  EXPECT_TRUE(
+      req.search(as_span(payloads::http_get("example.com", "/index.html"))));
+  const rex::Regex resp{"^http/(0\\.9|1\\.0|1\\.1) [1-5][0-9][0-9]",
+                        {.ignore_case = true}};
+  EXPECT_TRUE(resp.search(as_span(payloads::http_response(200, 1234))));
+  EXPECT_TRUE(resp.search(as_span(payloads::http_response(404, 0))));
+}
+
+TEST(Payloads, HttpResponseAnnouncesContentLength) {
+  const Bytes resp = payloads::http_response(200, 98765);
+  const std::string text(resp.begin(), resp.end());
+  EXPECT_NE(text.find("Content-Length: 98765"), std::string::npos);
+}
+
+TEST(Payloads, FtpBannerMatchesSignature) {
+  const rex::Regex sig{"^220[\\x09-\\x0d -~]*ftp", {.ignore_case = true}};
+  EXPECT_TRUE(sig.search(as_span(payloads::ftp_banner())));
+}
+
+TEST(Payloads, FtpPasvResponseEncodesHostPort) {
+  const Bytes resp =
+      payloads::ftp_pasv_response(Ipv4Addr{192, 0, 2, 17}, 51234);
+  const std::string text(resp.begin(), resp.end());
+  // 51234 = 200*256 + 34.
+  EXPECT_NE(text.find("(192,0,2,17,200,34)"), std::string::npos);
+  EXPECT_EQ(text.substr(0, 4), "227 ");
+}
+
+TEST(Payloads, FtpPortCommandEncodesHostPort) {
+  const Bytes cmd = payloads::ftp_port_command(Ipv4Addr{10, 1, 2, 3}, 256);
+  const std::string text(cmd.begin(), cmd.end());
+  EXPECT_EQ(text, "PORT 10,1,2,3,1,0\r\n");
+}
+
+TEST(Payloads, FtpCommandFormatting) {
+  const Bytes with_arg = payloads::ftp_command("USER", "anonymous");
+  EXPECT_EQ(std::string(with_arg.begin(), with_arg.end()),
+            "USER anonymous\r\n");
+  const Bytes bare = payloads::ftp_command("PASV");
+  EXPECT_EQ(std::string(bare.begin(), bare.end()), "PASV\r\n");
+}
+
+TEST(Payloads, DnsQueryWellFormed) {
+  Rng rng{6};
+  const Bytes q = payloads::dns_query(rng);
+  ASSERT_GT(q.size(), 16u);
+  EXPECT_EQ(q[4], 0x00);  // QDCOUNT
+  EXPECT_EQ(q[5], 0x01);
+  // Terminal bytes: QTYPE A, QCLASS IN.
+  EXPECT_EQ(q[q.size() - 4], 0x00);
+  EXPECT_EQ(q[q.size() - 3], 0x01);
+  EXPECT_EQ(q[q.size() - 2], 0x00);
+  EXPECT_EQ(q[q.size() - 1], 0x01);
+}
+
+TEST(Payloads, DnsResponseLargerThanQueryWithAnswer) {
+  Rng rng{7};
+  const Bytes q = payloads::dns_query(rng);
+  const Bytes r = payloads::dns_response(rng);
+  EXPECT_GT(r.size(), q.size());
+  EXPECT_EQ(r[2] & 0x80, 0x80);  // QR bit set
+  EXPECT_EQ(r[7], 0x01);         // ANCOUNT
+}
+
+TEST(Payloads, DhtQueryMatchesBittorrentSignature) {
+  // The Table 1 bittorrent pattern includes the DHT opener d1:ad2:id20:.
+  Rng rng{8};
+  const rex::Regex sig{"^d1:ad2:id20:"};
+  payloads::Bytes out = payloads::from_string("d1:ad2:id20:");
+  const payloads::Bytes id = payloads::random_bytes(rng, 20);
+  out.insert(out.end(), id.begin(), id.end());
+  EXPECT_TRUE(sig.search(as_span(out)));
+}
+
+TEST(Payloads, RandomBytesAreSeededAndSized) {
+  Rng a{9};
+  Rng b{9};
+  const Bytes x = payloads::random_bytes(a, 64);
+  const Bytes y = payloads::random_bytes(b, 64);
+  EXPECT_EQ(x, y);
+  EXPECT_EQ(x.size(), 64u);
+  Rng c{10};
+  EXPECT_NE(payloads::random_bytes(c, 64), x);
+}
+
+TEST(Payloads, RandomBytesDoNotMatchP2pSignatures) {
+  // Encrypted P2P must evade all Table 1 signatures (that is its point).
+  Rng rng{11};
+  const rex::Regex bt{"^\\x13bittorrent protocol", {.ignore_case = true}};
+  const rex::Regex gn{"^gnutella connect", {.ignore_case = true}};
+  int ed_hits = 0;
+  const rex::Regex ed{"^[\\xc5\\xd4\\xe3-\\xe5]"};
+  for (int i = 0; i < 200; ++i) {
+    const Bytes r = payloads::random_bytes(rng, 64);
+    EXPECT_FALSE(bt.search(as_span(r)));
+    EXPECT_FALSE(gn.search(as_span(r)));
+    if (ed.search(as_span(r))) ++ed_hits;
+  }
+  // The eDonkey marker is a 4/256 first-byte check; random data hits it
+  // occasionally but rarely.
+  EXPECT_LT(ed_hits, 12);
+}
+
+}  // namespace
+}  // namespace upbound

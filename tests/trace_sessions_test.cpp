@@ -1,0 +1,244 @@
+#include "trace/sessions.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace upbound {
+namespace {
+
+class SessionsTest : public ::testing::Test {
+ protected:
+  NetworkModel net_{NetworkModelConfig{}};
+  Rng rng_{7};
+};
+
+TEST_F(SessionsTest, RttSamplesInPlausibleRange) {
+  for (int i = 0; i < 5000; ++i) {
+    const Duration rtt = sample_rtt(rng_);
+    EXPECT_GE(rtt, Duration::msec(5));
+    EXPECT_LE(rtt, Duration::sec(2.5));
+  }
+}
+
+TEST_F(SessionsTest, RttP99UnderPaperBound) {
+  // Fig. 5: 99% of out-in delays under 2.8 s.
+  int over = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (sample_rtt(rng_) > Duration::sec(2.8)) ++over;
+  }
+  EXPECT_LT(static_cast<double>(over) / n, 0.01);
+}
+
+TEST_F(SessionsTest, LifetimeShapeMatchesFig4) {
+  // With the paper's 45.84 s mean: ~90% under 45 s, 95% under 4 min,
+  // under ~1.5% above 810 s.
+  const Duration mean = Duration::sec(45.84);
+  int under_45 = 0, under_240 = 0, over_810 = 0;
+  const int n = 30'000;
+  for (int i = 0; i < n; ++i) {
+    const Duration life = sample_lifetime(rng_, mean);
+    if (life < Duration::sec(45.0)) ++under_45;
+    if (life < Duration::sec(240.0)) ++under_240;
+    if (life > Duration::sec(810.0)) ++over_810;
+  }
+  EXPECT_NEAR(static_cast<double>(under_45) / n, 0.90, 0.03);
+  EXPECT_GT(static_cast<double>(under_240) / n, 0.945);
+  EXPECT_LT(static_cast<double>(over_810) / n, 0.015);
+}
+
+TEST_F(SessionsTest, HttpSessionShape) {
+  for (int i = 0; i < 50; ++i) {
+    const auto conns =
+        make_http_session(net_, rng_, SimTime::from_sec(1.0));
+    ASSERT_EQ(conns.size(), 1u);
+    const ConnectionSpec& c = conns[0];
+    EXPECT_EQ(c.app, AppProtocol::kHttp);
+    EXPECT_TRUE(c.initiator_internal);
+    EXPECT_EQ(c.tuple.protocol, Protocol::kTcp);
+    EXPECT_TRUE(net_.client_network().is_internal(c.tuple.src_addr));
+    EXPECT_FALSE(net_.client_network().is_internal(c.tuple.dst_addr));
+    EXPECT_TRUE(c.tuple.dst_port == 80 || c.tuple.dst_port == 8080 ||
+                c.tuple.dst_port == 3128);
+    ASSERT_GE(c.messages.size(), 2u);
+    EXPECT_TRUE(c.messages[0].from_initiator);
+    EXPECT_FALSE(c.messages[1].from_initiator);
+    // Response dominates: download-heavy.
+    EXPECT_GT(c.messages[1].total_bytes, c.messages[0].total_bytes);
+  }
+}
+
+TEST_F(SessionsTest, DnsSessionShape) {
+  const auto conns = make_dns_session(net_, rng_, SimTime::origin());
+  ASSERT_GE(conns.size(), 1u);
+  ASSERT_LE(conns.size(), 3u);
+  for (const auto& c : conns) {
+    EXPECT_EQ(c.app, AppProtocol::kDns);
+    EXPECT_EQ(c.tuple.protocol, Protocol::kUdp);
+    EXPECT_EQ(c.tuple.dst_port, 53);
+    EXPECT_EQ(c.close, CloseKind::kNone);
+    EXPECT_EQ(c.messages.size(), 2u);
+  }
+}
+
+TEST_F(SessionsTest, FtpSessionControlAndDataLinked) {
+  for (int i = 0; i < 20; ++i) {
+    const auto conns = make_ftp_session(net_, rng_, SimTime::origin());
+    ASSERT_GE(conns.size(), 2u);
+    const ConnectionSpec& control = conns[0];
+    EXPECT_EQ(control.tuple.dst_port, 21);
+    EXPECT_EQ(control.app, AppProtocol::kFtp);
+
+    // Every data connection's port must be announced in a PASV reply on
+    // the control stream.
+    std::set<std::uint16_t> announced;
+    for (const auto& msg : control.messages) {
+      const std::string text(msg.prefix.begin(), msg.prefix.end());
+      if (text.rfind("227 ", 0) == 0) {
+        const auto open = text.rfind(',');
+        // "...,p1,p2)." -- parse the final two comma fields.
+        const auto prev = text.rfind(',', open - 1);
+        const int p1 = std::stoi(text.substr(prev + 1));
+        const int p2 = std::stoi(text.substr(open + 1));
+        announced.insert(static_cast<std::uint16_t>(p1 * 256 + p2));
+      }
+    }
+    for (std::size_t d = 1; d < conns.size(); ++d) {
+      EXPECT_EQ(conns[d].app, AppProtocol::kFtp);
+      EXPECT_EQ(conns[d].tuple.dst_addr, control.tuple.dst_addr);
+      EXPECT_TRUE(announced.contains(conns[d].tuple.dst_port))
+          << "data port " << conns[d].tuple.dst_port << " not announced";
+      EXPECT_GE(conns[d].start, control.start);
+    }
+  }
+}
+
+TEST_F(SessionsTest, OtherServiceUsesWellKnownPorts) {
+  const std::set<std::uint16_t> allowed{22, 25, 110, 143, 443, 993};
+  for (int i = 0; i < 30; ++i) {
+    const auto conns =
+        make_other_service_session(net_, rng_, SimTime::origin());
+    ASSERT_EQ(conns.size(), 1u);
+    EXPECT_TRUE(allowed.contains(conns[0].tuple.dst_port));
+    EXPECT_EQ(conns[0].app, AppProtocol::kOther);
+  }
+}
+
+TEST_F(SessionsTest, P2pSessionMixesDirections) {
+  P2pPeerParams params;
+  params.app = AppProtocol::kBitTorrent;
+  params.outbound_conns = 2;
+  params.inbound_conns = 3;
+  params.udp_exchanges = 5;
+  const auto conns =
+      make_p2p_peer_session(net_, rng_, SimTime::origin(), params);
+  ASSERT_EQ(conns.size(), 10u);
+
+  int outbound_tcp = 0, inbound_tcp = 0, udp = 0;
+  for (const auto& c : conns) {
+    EXPECT_EQ(c.app, AppProtocol::kBitTorrent);
+    if (c.tuple.protocol == Protocol::kUdp) {
+      ++udp;
+    } else if (c.initiator_internal) {
+      ++outbound_tcp;
+      EXPECT_TRUE(net_.client_network().is_internal(c.tuple.src_addr));
+    } else {
+      ++inbound_tcp;
+      EXPECT_FALSE(net_.client_network().is_internal(c.tuple.src_addr));
+      EXPECT_TRUE(net_.client_network().is_internal(c.tuple.dst_addr));
+    }
+  }
+  EXPECT_EQ(outbound_tcp, 2);
+  EXPECT_EQ(inbound_tcp, 3);
+  EXPECT_EQ(udp, 5);
+}
+
+TEST_F(SessionsTest, P2pInboundConnectionsTargetSameListenPort) {
+  P2pPeerParams params;
+  params.inbound_conns = 5;
+  params.outbound_conns = 0;
+  params.udp_exchanges = 0;
+  const auto conns =
+      make_p2p_peer_session(net_, rng_, SimTime::origin(), params);
+  std::set<std::uint16_t> listen_ports;
+  for (const auto& c : conns) listen_ports.insert(c.tuple.dst_port);
+  EXPECT_EQ(listen_ports.size(), 1u);  // one shared listen socket
+}
+
+TEST_F(SessionsTest, P2pUploadsFlowOutboundOnInboundConnections) {
+  P2pPeerParams params;
+  params.inbound_conns = 4;
+  params.outbound_conns = 0;
+  params.udp_exchanges = 0;
+  params.mean_upload_bytes = 1e6;
+  const auto conns =
+      make_p2p_peer_session(net_, rng_, SimTime::origin(), params);
+  for (const auto& c : conns) {
+    std::uint64_t from_external = 0, from_internal = 0;
+    for (const auto& m : c.messages) {
+      // Initiator is the external peer on inbound connections.
+      (m.from_initiator ? from_external : from_internal) += m.total_bytes;
+    }
+    EXPECT_GT(from_internal, from_external)
+        << "upload should dominate on inbound P2P connections";
+  }
+}
+
+TEST_F(SessionsTest, UnknownP2pUsesRandomPortsAndOpaquePayloads) {
+  P2pPeerParams params;
+  params.app = AppProtocol::kUnknown;
+  params.outbound_conns = 5;
+  params.inbound_conns = 5;
+  params.udp_exchanges = 5;
+  const auto conns =
+      make_p2p_peer_session(net_, rng_, SimTime::origin(), params);
+  std::set<std::uint16_t> ports;
+  for (const auto& c : conns) {
+    ports.insert(c.tuple.dst_port);
+    for (const auto& m : c.messages) {
+      if (!m.prefix.empty()) {
+        const std::string text(m.prefix.begin(),
+                               m.prefix.begin() + std::min<std::size_t>(
+                                                      m.prefix.size(), 13));
+        EXPECT_EQ(text.find("BitTorrent"), std::string::npos);
+        EXPECT_EQ(text.find("GNUTELLA"), std::string::npos);
+      }
+    }
+  }
+  EXPECT_GT(ports.size(), 3u);  // no single well-known port
+}
+
+TEST_F(SessionsTest, EdonkeyUdpSometimesUsesDefaultPorts) {
+  P2pPeerParams params;
+  params.app = AppProtocol::kEdonkey;
+  params.outbound_conns = 0;
+  params.inbound_conns = 0;
+  params.udp_exchanges = 100;
+  const auto conns =
+      make_p2p_peer_session(net_, rng_, SimTime::origin(), params);
+  int default_port_hits = 0;
+  for (const auto& c : conns) {
+    if (c.tuple.dst_port == 4672 || c.tuple.dst_port == 4661 ||
+        c.tuple.src_port == 4672 || c.tuple.src_port == 4661) {
+      ++default_port_hits;
+    }
+  }
+  EXPECT_GT(default_port_hits, 10);  // the Fig. 3 eDonkey spikes
+}
+
+TEST_F(SessionsTest, SessionsAreDeterministicPerSeed) {
+  Rng a{123};
+  Rng b{123};
+  const auto x = make_http_session(net_, a, SimTime::origin());
+  const auto y = make_http_session(net_, b, SimTime::origin());
+  ASSERT_EQ(x.size(), y.size());
+  EXPECT_EQ(x[0].tuple, y[0].tuple);
+  ASSERT_EQ(x[0].messages.size(), y[0].messages.size());
+  for (std::size_t i = 0; i < x[0].messages.size(); ++i) {
+    EXPECT_EQ(x[0].messages[i].total_bytes, y[0].messages[i].total_bytes);
+  }
+}
+
+}  // namespace
+}  // namespace upbound

@@ -1,0 +1,87 @@
+#include "util/byte_io.h"
+
+#include <gtest/gtest.h>
+
+namespace upbound {
+namespace {
+
+TEST(ByteWriter, BigEndianLayout) {
+  std::vector<std::uint8_t> buf;
+  ByteWriter w{buf};
+  w.u16be(0x1234);
+  w.u32be(0xdeadbeef);
+  ASSERT_EQ(buf.size(), 6u);
+  EXPECT_EQ(buf[0], 0x12);
+  EXPECT_EQ(buf[1], 0x34);
+  EXPECT_EQ(buf[2], 0xde);
+  EXPECT_EQ(buf[3], 0xad);
+  EXPECT_EQ(buf[4], 0xbe);
+  EXPECT_EQ(buf[5], 0xef);
+}
+
+TEST(ByteWriter, LittleEndianLayout) {
+  std::vector<std::uint8_t> buf;
+  ByteWriter w{buf};
+  w.u16le(0x1234);
+  w.u32le(0xdeadbeef);
+  ASSERT_EQ(buf.size(), 6u);
+  EXPECT_EQ(buf[0], 0x34);
+  EXPECT_EQ(buf[1], 0x12);
+  EXPECT_EQ(buf[2], 0xef);
+  EXPECT_EQ(buf[3], 0xbe);
+  EXPECT_EQ(buf[4], 0xad);
+  EXPECT_EQ(buf[5], 0xde);
+}
+
+TEST(ByteWriter, AppendsToExistingContent) {
+  std::vector<std::uint8_t> buf{0xff};
+  ByteWriter w{buf};
+  w.u8(0x01);
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0], 0xff);
+  EXPECT_EQ(buf[1], 0x01);
+}
+
+TEST(ByteReaderWriter, RoundTripAllWidths) {
+  std::vector<std::uint8_t> buf;
+  ByteWriter w{buf};
+  w.u8(0xab);
+  w.u16be(0xbeef);
+  w.u32be(0x01020304);
+  w.u16le(0xcafe);
+  w.u32le(0x05060708);
+  const std::uint8_t blob[] = {9, 8, 7};
+  w.bytes(blob);
+
+  ByteReader r{buf};
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16be(), 0xbeef);
+  EXPECT_EQ(r.u32be(), 0x01020304u);
+  EXPECT_EQ(r.u16le(), 0xcafe);
+  EXPECT_EQ(r.u32le(), 0x05060708u);
+  const auto tail = r.bytes(3);
+  EXPECT_EQ(tail[0], 9);
+  EXPECT_EQ(tail[2], 7);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ByteReader, UnderflowThrows) {
+  const std::uint8_t data[] = {1, 2};
+  ByteReader r{data};
+  EXPECT_THROW(r.u32be(), ByteUnderflow);
+  // Failed read must not consume.
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_EQ(r.u16be(), 0x0102);
+}
+
+TEST(ByteReader, SkipAndPosition) {
+  const std::uint8_t data[] = {1, 2, 3, 4, 5};
+  ByteReader r{data};
+  r.skip(2);
+  EXPECT_EQ(r.position(), 2u);
+  EXPECT_EQ(r.u8(), 3);
+  EXPECT_THROW(r.skip(3), ByteUnderflow);
+}
+
+}  // namespace
+}  // namespace upbound

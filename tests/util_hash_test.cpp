@@ -1,0 +1,95 @@
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string_view>
+#include <vector>
+
+namespace upbound {
+namespace {
+
+std::span<const std::uint8_t> bytes_of(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(Fnv1a64, KnownVectors) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(bytes_of("")), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64(bytes_of("a")), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64(bytes_of("foobar")), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64, SeedChangesResult) {
+  EXPECT_NE(fnv1a64(bytes_of("x"), 1), fnv1a64(bytes_of("x"), 2));
+}
+
+TEST(Murmur3, EmptyInputStableAcrossCalls) {
+  const Hash128 a = murmur3_x64_128({});
+  const Hash128 b = murmur3_x64_128({});
+  EXPECT_EQ(a, b);
+}
+
+TEST(Murmur3, SeedSeparatesStreams) {
+  const auto h1 = murmur3_x64_128(bytes_of("hello"), 0);
+  const auto h2 = murmur3_x64_128(bytes_of("hello"), 1);
+  EXPECT_NE(h1, h2);
+}
+
+TEST(Murmur3, AllTailLengthsDistinct) {
+  // Exercise every switch arm (lengths 0..16) and confirm no collisions.
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  std::vector<std::uint8_t> data(17);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i + 1);
+  }
+  for (std::size_t len = 0; len <= 17; ++len) {
+    const Hash128 h =
+        murmur3_x64_128(std::span<const std::uint8_t>{data.data(), len});
+    EXPECT_TRUE(seen.insert({h.lo, h.hi}).second) << "collision at len " << len;
+  }
+}
+
+TEST(Murmur3, SingleBitFlipAvalanches) {
+  std::vector<std::uint8_t> a(32, 0xAA);
+  std::vector<std::uint8_t> b = a;
+  b[13] ^= 0x01;
+  const Hash128 ha = murmur3_x64_128(a);
+  const Hash128 hb = murmur3_x64_128(b);
+  const int flipped = __builtin_popcountll(ha.lo ^ hb.lo) +
+                      __builtin_popcountll(ha.hi ^ hb.hi);
+  // Of 128 bits, a good avalanche flips ~half; accept a generous band.
+  EXPECT_GT(flipped, 40);
+  EXPECT_LT(flipped, 88);
+}
+
+TEST(Murmur3, MatchesReferenceVector) {
+  // The canonical MurmurHash3_x64_128 digest of "The quick brown fox jumps
+  // over the lazy dog" (seed 0) prints as 6c1b07bc7bbc4be347939ac4a93c437a;
+  // that string is the little-endian byte dump of (h1, h2), so the integer
+  // halves are its byte-reversed values.
+  const auto h = murmur3_x64_128(
+      bytes_of("The quick brown fox jumps over the lazy dog"), 0);
+  EXPECT_EQ(h.lo, 0xe34bbc7bbc071b6cULL);
+  EXPECT_EQ(h.hi, 0x7a433ca9c49a9347ULL);
+}
+
+TEST(Mix64, BijectiveSpotCheck) {
+  // mix64 is a bijection; distinct inputs must give distinct outputs.
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    EXPECT_TRUE(outputs.insert(mix64(i)).second);
+  }
+}
+
+TEST(Mix64, ZeroMapsToZero) {
+  EXPECT_EQ(mix64(0), 0u);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+}  // namespace
+}  // namespace upbound

@@ -1,0 +1,216 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace upbound {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng{7};
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng{7};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, NextRangeBadArgsThrow) {
+  Rng rng{7};
+  EXPECT_THROW(rng.next_range(1, 0), std::invalid_argument);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng{11};
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliFrequencyTracksProbability) {
+  Rng rng{13};
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.next_bool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerateProbabilities) {
+  Rng rng{13};
+  EXPECT_FALSE(rng.next_bool(0.0));
+  EXPECT_TRUE(rng.next_bool(1.0));
+  EXPECT_FALSE(rng.next_bool(-1.0));
+  EXPECT_TRUE(rng.next_bool(2.0));
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng{17};
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.5);
+  EXPECT_NEAR(sum / n, 3.5, 0.05);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng{17};
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng{19};
+  const int n = 200'000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(Rng, LognormalMedianIsExpMu) {
+  Rng rng{23};
+  const int n = 100'001;
+  std::vector<double> xs(n);
+  for (auto& x : xs) x = rng.lognormal(1.0, 0.75);
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], std::exp(1.0), 0.1);
+}
+
+TEST(Rng, ParetoRespectsScaleAndTail) {
+  Rng rng{29};
+  const int n = 100'000;
+  int above_double = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.pareto(2.0, 1.5);
+    EXPECT_GE(x, 2.0);
+    if (x > 4.0) ++above_double;
+  }
+  // P(X > 2*xm) = (1/2)^alpha = 0.3536 for alpha = 1.5.
+  EXPECT_NEAR(static_cast<double>(above_double) / n, std::pow(0.5, 1.5), 0.01);
+}
+
+TEST(Rng, ParetoRejectsBadParams) {
+  Rng rng{29};
+  EXPECT_THROW(rng.pareto(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.pareto(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng parent1{31};
+  Rng parent2{31};
+  Rng child1 = parent1.fork(5);
+  Rng child2 = parent2.fork(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child1.next_u64(), child2.next_u64());
+
+  Rng parent3{31};
+  Rng other = parent3.fork(6);
+  Rng child3 = Rng{31}.fork(5);
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (other.next_u64() == child3.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(ZipfSampler, RankZeroDominates) {
+  Rng rng{37};
+  ZipfSampler zipf{100, 1.0};
+  std::vector<int> counts(100, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+  // Harmonic weight of rank 1 over H(100) ~ 0.1928.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.1928, 0.01);
+}
+
+TEST(ZipfSampler, RejectsEmpty) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+TEST(DiscreteSampler, FrequenciesMatchWeights) {
+  Rng rng{41};
+  DiscreteSampler sampler{{1.0, 3.0, 6.0}};
+  std::vector<int> counts(3, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.6, 0.01);
+}
+
+TEST(DiscreteSampler, ProbabilityAccessor) {
+  DiscreteSampler sampler{{2.0, 2.0, 4.0}};
+  EXPECT_DOUBLE_EQ(sampler.probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(sampler.probability(1), 0.25);
+  EXPECT_DOUBLE_EQ(sampler.probability(2), 0.5);
+}
+
+TEST(DiscreteSampler, ZeroWeightCategoryNeverSampled) {
+  Rng rng{43};
+  DiscreteSampler sampler{{1.0, 0.0, 1.0}};
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_NE(sampler.sample(rng), 1u);
+  }
+}
+
+TEST(DiscreteSampler, RejectsInvalidWeights) {
+  EXPECT_THROW(DiscreteSampler({}), std::invalid_argument);
+  EXPECT_THROW(DiscreteSampler({-1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(DiscreteSampler({0.0, 0.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace upbound

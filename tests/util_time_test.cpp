@@ -1,0 +1,78 @@
+#include "util/time.h"
+
+#include <gtest/gtest.h>
+
+namespace upbound {
+namespace {
+
+TEST(Duration, FactoryUnitsAgree) {
+  EXPECT_EQ(Duration::usec(1'000'000), Duration::sec(1.0));
+  EXPECT_EQ(Duration::msec(1000), Duration::sec(1.0));
+  EXPECT_EQ(Duration::minutes(2), Duration::sec(120.0));
+  EXPECT_EQ(Duration::hours(1), Duration::minutes(60));
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::sec(1.5);
+  const Duration b = Duration::msec(500);
+  EXPECT_EQ((a + b).to_sec(), 2.0);
+  EXPECT_EQ((a - b).to_sec(), 1.0);
+  EXPECT_EQ((a * 2).to_sec(), 3.0);
+  EXPECT_EQ((a / 3).count_usec(), 500'000);
+  EXPECT_DOUBLE_EQ(a / b, 3.0);
+  EXPECT_EQ((-a).count_usec(), -1'500'000);
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration d = Duration::sec(1.0);
+  d += Duration::sec(0.5);
+  EXPECT_DOUBLE_EQ(d.to_sec(), 1.5);
+  d -= Duration::sec(1.0);
+  EXPECT_DOUBLE_EQ(d.to_sec(), 0.5);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(Duration::msec(999), Duration::sec(1.0));
+  EXPECT_GT(Duration::minutes(1), Duration::sec(59.9));
+  EXPECT_LE(Duration::usec(0), Duration{});
+  EXPECT_TRUE(Duration{}.is_zero());
+  EXPECT_TRUE((Duration::usec(0) - Duration::usec(1)).is_negative());
+}
+
+TEST(Duration, ScaleByDouble) {
+  EXPECT_EQ((Duration::sec(10.0) * 0.5).to_sec(), 5.0);
+}
+
+TEST(Duration, ToStringPicksUnit) {
+  EXPECT_EQ(Duration::usec(12).to_string(), "12us");
+  EXPECT_NE(Duration::msec(3).to_string().find("ms"), std::string::npos);
+  EXPECT_NE(Duration::sec(45.84).to_string().find("s"), std::string::npos);
+}
+
+TEST(SimTime, OriginAndOffsets) {
+  const SimTime t0 = SimTime::origin();
+  EXPECT_EQ(t0.usec(), 0);
+  const SimTime t1 = t0 + Duration::sec(2.5);
+  EXPECT_DOUBLE_EQ(t1.sec(), 2.5);
+  EXPECT_EQ(t1 - t0, Duration::sec(2.5));
+  EXPECT_EQ(t1 - Duration::sec(2.5), t0);
+}
+
+TEST(SimTime, InfiniteOrdersAfterEverything) {
+  EXPECT_LT(SimTime::from_sec(1e12), SimTime::infinite());
+}
+
+TEST(SimTime, CompoundAdd) {
+  SimTime t = SimTime::from_sec(1.0);
+  t += Duration::sec(1.0);
+  EXPECT_DOUBLE_EQ(t.sec(), 2.0);
+}
+
+TEST(SimTime, RoundTripUsec) {
+  const SimTime t = SimTime::from_usec(123456789);
+  EXPECT_EQ(t.usec(), 123456789);
+  EXPECT_DOUBLE_EQ(t.sec(), 123.456789);
+}
+
+}  // namespace
+}  // namespace upbound
