@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_lifetime"
+  "../bench/bench_fig4_lifetime.pdb"
+  "CMakeFiles/bench_fig4_lifetime.dir/bench_fig4_lifetime.cpp.o"
+  "CMakeFiles/bench_fig4_lifetime.dir/bench_fig4_lifetime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

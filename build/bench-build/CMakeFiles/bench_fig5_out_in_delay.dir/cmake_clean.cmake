@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_out_in_delay"
+  "../bench/bench_fig5_out_in_delay.pdb"
+  "CMakeFiles/bench_fig5_out_in_delay.dir/bench_fig5_out_in_delay.cpp.o"
+  "CMakeFiles/bench_fig5_out_in_delay.dir/bench_fig5_out_in_delay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_out_in_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

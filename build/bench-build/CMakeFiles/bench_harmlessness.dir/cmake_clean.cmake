@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_harmlessness"
+  "../bench/bench_harmlessness.pdb"
+  "CMakeFiles/bench_harmlessness.dir/bench_harmlessness.cpp.o"
+  "CMakeFiles/bench_harmlessness.dir/bench_harmlessness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_harmlessness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ptp_identification"
+  "../bench/bench_ptp_identification.pdb"
+  "CMakeFiles/bench_ptp_identification.dir/bench_ptp_identification.cpp.o"
+  "CMakeFiles/bench_ptp_identification.dir/bench_ptp_identification.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ptp_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec51_false_positive"
+  "../bench/bench_sec51_false_positive.pdb"
+  "CMakeFiles/bench_sec51_false_positive.dir/bench_sec51_false_positive.cpp.o"
+  "CMakeFiles/bench_sec51_false_positive.dir/bench_sec51_false_positive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51_false_positive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

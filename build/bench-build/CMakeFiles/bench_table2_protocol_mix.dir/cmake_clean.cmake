@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_protocol_mix"
+  "../bench/bench_table2_protocol_mix.pdb"
+  "CMakeFiles/bench_table2_protocol_mix.dir/bench_table2_protocol_mix.cpp.o"
+  "CMakeFiles/bench_table2_protocol_mix.dir/bench_table2_protocol_mix.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_protocol_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

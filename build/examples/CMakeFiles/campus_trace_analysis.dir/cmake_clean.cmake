@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_trace_analysis.dir/campus_trace_analysis.cpp.o"
+  "CMakeFiles/campus_trace_analysis.dir/campus_trace_analysis.cpp.o.d"
+  "campus_trace_analysis"
+  "campus_trace_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_trace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

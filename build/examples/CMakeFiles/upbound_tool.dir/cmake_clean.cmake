@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upbound_tool.dir/upbound.cpp.o"
+  "CMakeFiles/upbound_tool.dir/upbound.cpp.o.d"
+  "upbound"
+  "upbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upbound_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

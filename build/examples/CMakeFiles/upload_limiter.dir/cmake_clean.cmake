@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upload_limiter.dir/upload_limiter.cpp.o"
+  "CMakeFiles/upload_limiter.dir/upload_limiter.cpp.o.d"
+  "upload_limiter"
+  "upload_limiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upload_limiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analyzer/analyzer.cpp" "src/CMakeFiles/upbound_analyzer.dir/analyzer/analyzer.cpp.o" "gcc" "src/CMakeFiles/upbound_analyzer.dir/analyzer/analyzer.cpp.o.d"
+  "/root/repo/src/analyzer/classifier.cpp" "src/CMakeFiles/upbound_analyzer.dir/analyzer/classifier.cpp.o" "gcc" "src/CMakeFiles/upbound_analyzer.dir/analyzer/classifier.cpp.o.d"
+  "/root/repo/src/analyzer/conn_table.cpp" "src/CMakeFiles/upbound_analyzer.dir/analyzer/conn_table.cpp.o" "gcc" "src/CMakeFiles/upbound_analyzer.dir/analyzer/conn_table.cpp.o.d"
+  "/root/repo/src/analyzer/connection.cpp" "src/CMakeFiles/upbound_analyzer.dir/analyzer/connection.cpp.o" "gcc" "src/CMakeFiles/upbound_analyzer.dir/analyzer/connection.cpp.o.d"
+  "/root/repo/src/analyzer/host_stats.cpp" "src/CMakeFiles/upbound_analyzer.dir/analyzer/host_stats.cpp.o" "gcc" "src/CMakeFiles/upbound_analyzer.dir/analyzer/host_stats.cpp.o.d"
+  "/root/repo/src/analyzer/netflow.cpp" "src/CMakeFiles/upbound_analyzer.dir/analyzer/netflow.cpp.o" "gcc" "src/CMakeFiles/upbound_analyzer.dir/analyzer/netflow.cpp.o.d"
+  "/root/repo/src/analyzer/out_in_delay.cpp" "src/CMakeFiles/upbound_analyzer.dir/analyzer/out_in_delay.cpp.o" "gcc" "src/CMakeFiles/upbound_analyzer.dir/analyzer/out_in_delay.cpp.o.d"
+  "/root/repo/src/analyzer/patterns.cpp" "src/CMakeFiles/upbound_analyzer.dir/analyzer/patterns.cpp.o" "gcc" "src/CMakeFiles/upbound_analyzer.dir/analyzer/patterns.cpp.o.d"
+  "/root/repo/src/analyzer/stats.cpp" "src/CMakeFiles/upbound_analyzer.dir/analyzer/stats.cpp.o" "gcc" "src/CMakeFiles/upbound_analyzer.dir/analyzer/stats.cpp.o.d"
+  "/root/repo/src/analyzer/stream_buf.cpp" "src/CMakeFiles/upbound_analyzer.dir/analyzer/stream_buf.cpp.o" "gcc" "src/CMakeFiles/upbound_analyzer.dir/analyzer/stream_buf.cpp.o.d"
+  "/root/repo/src/analyzer/transport_heuristics.cpp" "src/CMakeFiles/upbound_analyzer.dir/analyzer/transport_heuristics.cpp.o" "gcc" "src/CMakeFiles/upbound_analyzer.dir/analyzer/transport_heuristics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/upbound_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upbound_rex.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upbound_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upbound_analyzer.dir/analyzer/analyzer.cpp.o"
+  "CMakeFiles/upbound_analyzer.dir/analyzer/analyzer.cpp.o.d"
+  "CMakeFiles/upbound_analyzer.dir/analyzer/classifier.cpp.o"
+  "CMakeFiles/upbound_analyzer.dir/analyzer/classifier.cpp.o.d"
+  "CMakeFiles/upbound_analyzer.dir/analyzer/conn_table.cpp.o"
+  "CMakeFiles/upbound_analyzer.dir/analyzer/conn_table.cpp.o.d"
+  "CMakeFiles/upbound_analyzer.dir/analyzer/connection.cpp.o"
+  "CMakeFiles/upbound_analyzer.dir/analyzer/connection.cpp.o.d"
+  "CMakeFiles/upbound_analyzer.dir/analyzer/host_stats.cpp.o"
+  "CMakeFiles/upbound_analyzer.dir/analyzer/host_stats.cpp.o.d"
+  "CMakeFiles/upbound_analyzer.dir/analyzer/netflow.cpp.o"
+  "CMakeFiles/upbound_analyzer.dir/analyzer/netflow.cpp.o.d"
+  "CMakeFiles/upbound_analyzer.dir/analyzer/out_in_delay.cpp.o"
+  "CMakeFiles/upbound_analyzer.dir/analyzer/out_in_delay.cpp.o.d"
+  "CMakeFiles/upbound_analyzer.dir/analyzer/patterns.cpp.o"
+  "CMakeFiles/upbound_analyzer.dir/analyzer/patterns.cpp.o.d"
+  "CMakeFiles/upbound_analyzer.dir/analyzer/stats.cpp.o"
+  "CMakeFiles/upbound_analyzer.dir/analyzer/stats.cpp.o.d"
+  "CMakeFiles/upbound_analyzer.dir/analyzer/stream_buf.cpp.o"
+  "CMakeFiles/upbound_analyzer.dir/analyzer/stream_buf.cpp.o.d"
+  "CMakeFiles/upbound_analyzer.dir/analyzer/transport_heuristics.cpp.o"
+  "CMakeFiles/upbound_analyzer.dir/analyzer/transport_heuristics.cpp.o.d"
+  "libupbound_analyzer.a"
+  "libupbound_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upbound_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upbound_cli.dir/cli/args.cpp.o"
+  "CMakeFiles/upbound_cli.dir/cli/args.cpp.o.d"
+  "CMakeFiles/upbound_cli.dir/cli/commands.cpp.o"
+  "CMakeFiles/upbound_cli.dir/cli/commands.cpp.o.d"
+  "libupbound_cli.a"
+  "libupbound_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upbound_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

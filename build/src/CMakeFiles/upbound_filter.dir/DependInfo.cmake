@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filter/aging_bloom.cpp" "src/CMakeFiles/upbound_filter.dir/filter/aging_bloom.cpp.o" "gcc" "src/CMakeFiles/upbound_filter.dir/filter/aging_bloom.cpp.o.d"
+  "/root/repo/src/filter/bandwidth_meter.cpp" "src/CMakeFiles/upbound_filter.dir/filter/bandwidth_meter.cpp.o" "gcc" "src/CMakeFiles/upbound_filter.dir/filter/bandwidth_meter.cpp.o.d"
+  "/root/repo/src/filter/bitmap_filter.cpp" "src/CMakeFiles/upbound_filter.dir/filter/bitmap_filter.cpp.o" "gcc" "src/CMakeFiles/upbound_filter.dir/filter/bitmap_filter.cpp.o.d"
+  "/root/repo/src/filter/bitvector.cpp" "src/CMakeFiles/upbound_filter.dir/filter/bitvector.cpp.o" "gcc" "src/CMakeFiles/upbound_filter.dir/filter/bitvector.cpp.o.d"
+  "/root/repo/src/filter/blocklist.cpp" "src/CMakeFiles/upbound_filter.dir/filter/blocklist.cpp.o" "gcc" "src/CMakeFiles/upbound_filter.dir/filter/blocklist.cpp.o.d"
+  "/root/repo/src/filter/concurrent_bitmap.cpp" "src/CMakeFiles/upbound_filter.dir/filter/concurrent_bitmap.cpp.o" "gcc" "src/CMakeFiles/upbound_filter.dir/filter/concurrent_bitmap.cpp.o.d"
+  "/root/repo/src/filter/drop_policy.cpp" "src/CMakeFiles/upbound_filter.dir/filter/drop_policy.cpp.o" "gcc" "src/CMakeFiles/upbound_filter.dir/filter/drop_policy.cpp.o.d"
+  "/root/repo/src/filter/hash_family.cpp" "src/CMakeFiles/upbound_filter.dir/filter/hash_family.cpp.o" "gcc" "src/CMakeFiles/upbound_filter.dir/filter/hash_family.cpp.o.d"
+  "/root/repo/src/filter/naive_filter.cpp" "src/CMakeFiles/upbound_filter.dir/filter/naive_filter.cpp.o" "gcc" "src/CMakeFiles/upbound_filter.dir/filter/naive_filter.cpp.o.d"
+  "/root/repo/src/filter/params.cpp" "src/CMakeFiles/upbound_filter.dir/filter/params.cpp.o" "gcc" "src/CMakeFiles/upbound_filter.dir/filter/params.cpp.o.d"
+  "/root/repo/src/filter/snapshot.cpp" "src/CMakeFiles/upbound_filter.dir/filter/snapshot.cpp.o" "gcc" "src/CMakeFiles/upbound_filter.dir/filter/snapshot.cpp.o.d"
+  "/root/repo/src/filter/spi_filter.cpp" "src/CMakeFiles/upbound_filter.dir/filter/spi_filter.cpp.o" "gcc" "src/CMakeFiles/upbound_filter.dir/filter/spi_filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/upbound_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upbound_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upbound_filter.dir/filter/aging_bloom.cpp.o"
+  "CMakeFiles/upbound_filter.dir/filter/aging_bloom.cpp.o.d"
+  "CMakeFiles/upbound_filter.dir/filter/bandwidth_meter.cpp.o"
+  "CMakeFiles/upbound_filter.dir/filter/bandwidth_meter.cpp.o.d"
+  "CMakeFiles/upbound_filter.dir/filter/bitmap_filter.cpp.o"
+  "CMakeFiles/upbound_filter.dir/filter/bitmap_filter.cpp.o.d"
+  "CMakeFiles/upbound_filter.dir/filter/bitvector.cpp.o"
+  "CMakeFiles/upbound_filter.dir/filter/bitvector.cpp.o.d"
+  "CMakeFiles/upbound_filter.dir/filter/blocklist.cpp.o"
+  "CMakeFiles/upbound_filter.dir/filter/blocklist.cpp.o.d"
+  "CMakeFiles/upbound_filter.dir/filter/concurrent_bitmap.cpp.o"
+  "CMakeFiles/upbound_filter.dir/filter/concurrent_bitmap.cpp.o.d"
+  "CMakeFiles/upbound_filter.dir/filter/drop_policy.cpp.o"
+  "CMakeFiles/upbound_filter.dir/filter/drop_policy.cpp.o.d"
+  "CMakeFiles/upbound_filter.dir/filter/hash_family.cpp.o"
+  "CMakeFiles/upbound_filter.dir/filter/hash_family.cpp.o.d"
+  "CMakeFiles/upbound_filter.dir/filter/naive_filter.cpp.o"
+  "CMakeFiles/upbound_filter.dir/filter/naive_filter.cpp.o.d"
+  "CMakeFiles/upbound_filter.dir/filter/params.cpp.o"
+  "CMakeFiles/upbound_filter.dir/filter/params.cpp.o.d"
+  "CMakeFiles/upbound_filter.dir/filter/snapshot.cpp.o"
+  "CMakeFiles/upbound_filter.dir/filter/snapshot.cpp.o.d"
+  "CMakeFiles/upbound_filter.dir/filter/spi_filter.cpp.o"
+  "CMakeFiles/upbound_filter.dir/filter/spi_filter.cpp.o.d"
+  "libupbound_filter.a"
+  "libupbound_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upbound_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

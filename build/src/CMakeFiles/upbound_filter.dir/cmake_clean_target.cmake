@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libupbound_filter.a"
+)

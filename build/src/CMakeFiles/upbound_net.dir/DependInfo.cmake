@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/app_protocol.cpp" "src/CMakeFiles/upbound_net.dir/net/app_protocol.cpp.o" "gcc" "src/CMakeFiles/upbound_net.dir/net/app_protocol.cpp.o.d"
+  "/root/repo/src/net/direction.cpp" "src/CMakeFiles/upbound_net.dir/net/direction.cpp.o" "gcc" "src/CMakeFiles/upbound_net.dir/net/direction.cpp.o.d"
+  "/root/repo/src/net/five_tuple.cpp" "src/CMakeFiles/upbound_net.dir/net/five_tuple.cpp.o" "gcc" "src/CMakeFiles/upbound_net.dir/net/five_tuple.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/CMakeFiles/upbound_net.dir/net/headers.cpp.o" "gcc" "src/CMakeFiles/upbound_net.dir/net/headers.cpp.o.d"
+  "/root/repo/src/net/ip.cpp" "src/CMakeFiles/upbound_net.dir/net/ip.cpp.o" "gcc" "src/CMakeFiles/upbound_net.dir/net/ip.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/upbound_net.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/upbound_net.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/pcap.cpp" "src/CMakeFiles/upbound_net.dir/net/pcap.cpp.o" "gcc" "src/CMakeFiles/upbound_net.dir/net/pcap.cpp.o.d"
+  "/root/repo/src/net/pcapng.cpp" "src/CMakeFiles/upbound_net.dir/net/pcapng.cpp.o" "gcc" "src/CMakeFiles/upbound_net.dir/net/pcapng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/upbound_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

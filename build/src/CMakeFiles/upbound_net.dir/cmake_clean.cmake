@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upbound_net.dir/net/app_protocol.cpp.o"
+  "CMakeFiles/upbound_net.dir/net/app_protocol.cpp.o.d"
+  "CMakeFiles/upbound_net.dir/net/direction.cpp.o"
+  "CMakeFiles/upbound_net.dir/net/direction.cpp.o.d"
+  "CMakeFiles/upbound_net.dir/net/five_tuple.cpp.o"
+  "CMakeFiles/upbound_net.dir/net/five_tuple.cpp.o.d"
+  "CMakeFiles/upbound_net.dir/net/headers.cpp.o"
+  "CMakeFiles/upbound_net.dir/net/headers.cpp.o.d"
+  "CMakeFiles/upbound_net.dir/net/ip.cpp.o"
+  "CMakeFiles/upbound_net.dir/net/ip.cpp.o.d"
+  "CMakeFiles/upbound_net.dir/net/packet.cpp.o"
+  "CMakeFiles/upbound_net.dir/net/packet.cpp.o.d"
+  "CMakeFiles/upbound_net.dir/net/pcap.cpp.o"
+  "CMakeFiles/upbound_net.dir/net/pcap.cpp.o.d"
+  "CMakeFiles/upbound_net.dir/net/pcapng.cpp.o"
+  "CMakeFiles/upbound_net.dir/net/pcapng.cpp.o.d"
+  "libupbound_net.a"
+  "libupbound_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upbound_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

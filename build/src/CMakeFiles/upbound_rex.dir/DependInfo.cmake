@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rex/compiler.cpp" "src/CMakeFiles/upbound_rex.dir/rex/compiler.cpp.o" "gcc" "src/CMakeFiles/upbound_rex.dir/rex/compiler.cpp.o.d"
+  "/root/repo/src/rex/parser.cpp" "src/CMakeFiles/upbound_rex.dir/rex/parser.cpp.o" "gcc" "src/CMakeFiles/upbound_rex.dir/rex/parser.cpp.o.d"
+  "/root/repo/src/rex/regex.cpp" "src/CMakeFiles/upbound_rex.dir/rex/regex.cpp.o" "gcc" "src/CMakeFiles/upbound_rex.dir/rex/regex.cpp.o.d"
+  "/root/repo/src/rex/vm.cpp" "src/CMakeFiles/upbound_rex.dir/rex/vm.cpp.o" "gcc" "src/CMakeFiles/upbound_rex.dir/rex/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/upbound_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

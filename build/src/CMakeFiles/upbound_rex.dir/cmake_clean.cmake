@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upbound_rex.dir/rex/compiler.cpp.o"
+  "CMakeFiles/upbound_rex.dir/rex/compiler.cpp.o.d"
+  "CMakeFiles/upbound_rex.dir/rex/parser.cpp.o"
+  "CMakeFiles/upbound_rex.dir/rex/parser.cpp.o.d"
+  "CMakeFiles/upbound_rex.dir/rex/regex.cpp.o"
+  "CMakeFiles/upbound_rex.dir/rex/regex.cpp.o.d"
+  "CMakeFiles/upbound_rex.dir/rex/vm.cpp.o"
+  "CMakeFiles/upbound_rex.dir/rex/vm.cpp.o.d"
+  "libupbound_rex.a"
+  "libupbound_rex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upbound_rex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

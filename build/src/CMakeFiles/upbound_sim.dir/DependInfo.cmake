@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/closed_loop.cpp" "src/CMakeFiles/upbound_sim.dir/sim/closed_loop.cpp.o" "gcc" "src/CMakeFiles/upbound_sim.dir/sim/closed_loop.cpp.o.d"
+  "/root/repo/src/sim/edge_router.cpp" "src/CMakeFiles/upbound_sim.dir/sim/edge_router.cpp.o" "gcc" "src/CMakeFiles/upbound_sim.dir/sim/edge_router.cpp.o.d"
+  "/root/repo/src/sim/filter_bank.cpp" "src/CMakeFiles/upbound_sim.dir/sim/filter_bank.cpp.o" "gcc" "src/CMakeFiles/upbound_sim.dir/sim/filter_bank.cpp.o.d"
+  "/root/repo/src/sim/replay.cpp" "src/CMakeFiles/upbound_sim.dir/sim/replay.cpp.o" "gcc" "src/CMakeFiles/upbound_sim.dir/sim/replay.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/CMakeFiles/upbound_sim.dir/sim/report.cpp.o" "gcc" "src/CMakeFiles/upbound_sim.dir/sim/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/upbound_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upbound_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upbound_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upbound_rex.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upbound_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upbound_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

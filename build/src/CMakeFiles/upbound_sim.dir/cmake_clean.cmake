@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upbound_sim.dir/sim/closed_loop.cpp.o"
+  "CMakeFiles/upbound_sim.dir/sim/closed_loop.cpp.o.d"
+  "CMakeFiles/upbound_sim.dir/sim/edge_router.cpp.o"
+  "CMakeFiles/upbound_sim.dir/sim/edge_router.cpp.o.d"
+  "CMakeFiles/upbound_sim.dir/sim/filter_bank.cpp.o"
+  "CMakeFiles/upbound_sim.dir/sim/filter_bank.cpp.o.d"
+  "CMakeFiles/upbound_sim.dir/sim/replay.cpp.o"
+  "CMakeFiles/upbound_sim.dir/sim/replay.cpp.o.d"
+  "CMakeFiles/upbound_sim.dir/sim/report.cpp.o"
+  "CMakeFiles/upbound_sim.dir/sim/report.cpp.o.d"
+  "libupbound_sim.a"
+  "libupbound_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upbound_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

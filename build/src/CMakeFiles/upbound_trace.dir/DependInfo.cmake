@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/campus.cpp" "src/CMakeFiles/upbound_trace.dir/trace/campus.cpp.o" "gcc" "src/CMakeFiles/upbound_trace.dir/trace/campus.cpp.o.d"
+  "/root/repo/src/trace/network_model.cpp" "src/CMakeFiles/upbound_trace.dir/trace/network_model.cpp.o" "gcc" "src/CMakeFiles/upbound_trace.dir/trace/network_model.cpp.o.d"
+  "/root/repo/src/trace/packetizer.cpp" "src/CMakeFiles/upbound_trace.dir/trace/packetizer.cpp.o" "gcc" "src/CMakeFiles/upbound_trace.dir/trace/packetizer.cpp.o.d"
+  "/root/repo/src/trace/payloads.cpp" "src/CMakeFiles/upbound_trace.dir/trace/payloads.cpp.o" "gcc" "src/CMakeFiles/upbound_trace.dir/trace/payloads.cpp.o.d"
+  "/root/repo/src/trace/sessions.cpp" "src/CMakeFiles/upbound_trace.dir/trace/sessions.cpp.o" "gcc" "src/CMakeFiles/upbound_trace.dir/trace/sessions.cpp.o.d"
+  "/root/repo/src/trace/trace_builder.cpp" "src/CMakeFiles/upbound_trace.dir/trace/trace_builder.cpp.o" "gcc" "src/CMakeFiles/upbound_trace.dir/trace/trace_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/upbound_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upbound_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

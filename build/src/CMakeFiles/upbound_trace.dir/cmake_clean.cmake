@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upbound_trace.dir/trace/campus.cpp.o"
+  "CMakeFiles/upbound_trace.dir/trace/campus.cpp.o.d"
+  "CMakeFiles/upbound_trace.dir/trace/network_model.cpp.o"
+  "CMakeFiles/upbound_trace.dir/trace/network_model.cpp.o.d"
+  "CMakeFiles/upbound_trace.dir/trace/packetizer.cpp.o"
+  "CMakeFiles/upbound_trace.dir/trace/packetizer.cpp.o.d"
+  "CMakeFiles/upbound_trace.dir/trace/payloads.cpp.o"
+  "CMakeFiles/upbound_trace.dir/trace/payloads.cpp.o.d"
+  "CMakeFiles/upbound_trace.dir/trace/sessions.cpp.o"
+  "CMakeFiles/upbound_trace.dir/trace/sessions.cpp.o.d"
+  "CMakeFiles/upbound_trace.dir/trace/trace_builder.cpp.o"
+  "CMakeFiles/upbound_trace.dir/trace/trace_builder.cpp.o.d"
+  "libupbound_trace.a"
+  "libupbound_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upbound_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

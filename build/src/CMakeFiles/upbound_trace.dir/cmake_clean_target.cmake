@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libupbound_trace.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upbound_util.dir/util/hash.cpp.o"
+  "CMakeFiles/upbound_util.dir/util/hash.cpp.o.d"
+  "CMakeFiles/upbound_util.dir/util/logging.cpp.o"
+  "CMakeFiles/upbound_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/upbound_util.dir/util/rng.cpp.o"
+  "CMakeFiles/upbound_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/upbound_util.dir/util/stats.cpp.o"
+  "CMakeFiles/upbound_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/upbound_util.dir/util/time.cpp.o"
+  "CMakeFiles/upbound_util.dir/util/time.cpp.o.d"
+  "libupbound_util.a"
+  "libupbound_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upbound_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyzer_conn_table_test.dir/analyzer_conn_table_test.cpp.o"
+  "CMakeFiles/analyzer_conn_table_test.dir/analyzer_conn_table_test.cpp.o.d"
+  "analyzer_conn_table_test"
+  "analyzer_conn_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyzer_conn_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

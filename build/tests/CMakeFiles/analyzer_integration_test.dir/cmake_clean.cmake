@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyzer_integration_test.dir/analyzer_integration_test.cpp.o"
+  "CMakeFiles/analyzer_integration_test.dir/analyzer_integration_test.cpp.o.d"
+  "analyzer_integration_test"
+  "analyzer_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyzer_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

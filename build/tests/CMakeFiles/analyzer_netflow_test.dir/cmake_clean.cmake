@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyzer_netflow_test.dir/analyzer_netflow_test.cpp.o"
+  "CMakeFiles/analyzer_netflow_test.dir/analyzer_netflow_test.cpp.o.d"
+  "analyzer_netflow_test"
+  "analyzer_netflow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyzer_netflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

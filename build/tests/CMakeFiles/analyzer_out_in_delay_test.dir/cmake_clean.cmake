@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyzer_out_in_delay_test.dir/analyzer_out_in_delay_test.cpp.o"
+  "CMakeFiles/analyzer_out_in_delay_test.dir/analyzer_out_in_delay_test.cpp.o.d"
+  "analyzer_out_in_delay_test"
+  "analyzer_out_in_delay_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyzer_out_in_delay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

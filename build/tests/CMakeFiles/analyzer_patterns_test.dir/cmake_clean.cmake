@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyzer_patterns_test.dir/analyzer_patterns_test.cpp.o"
+  "CMakeFiles/analyzer_patterns_test.dir/analyzer_patterns_test.cpp.o.d"
+  "analyzer_patterns_test"
+  "analyzer_patterns_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyzer_patterns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

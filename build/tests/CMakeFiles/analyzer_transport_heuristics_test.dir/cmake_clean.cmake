@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyzer_transport_heuristics_test.dir/analyzer_transport_heuristics_test.cpp.o"
+  "CMakeFiles/analyzer_transport_heuristics_test.dir/analyzer_transport_heuristics_test.cpp.o.d"
+  "analyzer_transport_heuristics_test"
+  "analyzer_transport_heuristics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyzer_transport_heuristics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_aging_bloom_test.dir/filter_aging_bloom_test.cpp.o"
+  "CMakeFiles/filter_aging_bloom_test.dir/filter_aging_bloom_test.cpp.o.d"
+  "filter_aging_bloom_test"
+  "filter_aging_bloom_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_aging_bloom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

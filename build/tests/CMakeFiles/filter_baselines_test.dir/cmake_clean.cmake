@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_baselines_test.dir/filter_baselines_test.cpp.o"
+  "CMakeFiles/filter_baselines_test.dir/filter_baselines_test.cpp.o.d"
+  "filter_baselines_test"
+  "filter_baselines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_bitvector_test.dir/filter_bitvector_test.cpp.o"
+  "CMakeFiles/filter_bitvector_test.dir/filter_bitvector_test.cpp.o.d"
+  "filter_bitvector_test"
+  "filter_bitvector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_bitvector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_concurrent_bitmap_test.dir/filter_concurrent_bitmap_test.cpp.o"
+  "CMakeFiles/filter_concurrent_bitmap_test.dir/filter_concurrent_bitmap_test.cpp.o.d"
+  "filter_concurrent_bitmap_test"
+  "filter_concurrent_bitmap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_concurrent_bitmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

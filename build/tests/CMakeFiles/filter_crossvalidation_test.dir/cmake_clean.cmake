@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_crossvalidation_test.dir/filter_crossvalidation_test.cpp.o"
+  "CMakeFiles/filter_crossvalidation_test.dir/filter_crossvalidation_test.cpp.o.d"
+  "filter_crossvalidation_test"
+  "filter_crossvalidation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_crossvalidation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

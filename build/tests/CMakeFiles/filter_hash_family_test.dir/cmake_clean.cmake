@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_hash_family_test.dir/filter_hash_family_test.cpp.o"
+  "CMakeFiles/filter_hash_family_test.dir/filter_hash_family_test.cpp.o.d"
+  "filter_hash_family_test"
+  "filter_hash_family_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_hash_family_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

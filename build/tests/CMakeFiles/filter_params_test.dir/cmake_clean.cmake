@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_params_test.dir/filter_params_test.cpp.o"
+  "CMakeFiles/filter_params_test.dir/filter_params_test.cpp.o.d"
+  "filter_params_test"
+  "filter_params_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

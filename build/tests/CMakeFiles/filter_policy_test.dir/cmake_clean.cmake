@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_policy_test.dir/filter_policy_test.cpp.o"
+  "CMakeFiles/filter_policy_test.dir/filter_policy_test.cpp.o.d"
+  "filter_policy_test"
+  "filter_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

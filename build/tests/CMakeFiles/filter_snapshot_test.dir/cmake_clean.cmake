@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_snapshot_test.dir/filter_snapshot_test.cpp.o"
+  "CMakeFiles/filter_snapshot_test.dir/filter_snapshot_test.cpp.o.d"
+  "filter_snapshot_test"
+  "filter_snapshot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

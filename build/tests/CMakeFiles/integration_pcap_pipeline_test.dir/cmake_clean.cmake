@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_pcap_pipeline_test.dir/integration_pcap_pipeline_test.cpp.o"
+  "CMakeFiles/integration_pcap_pipeline_test.dir/integration_pcap_pipeline_test.cpp.o.d"
+  "integration_pcap_pipeline_test"
+  "integration_pcap_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_pcap_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

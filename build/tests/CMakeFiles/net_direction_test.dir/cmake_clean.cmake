@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_direction_test.dir/net_direction_test.cpp.o"
+  "CMakeFiles/net_direction_test.dir/net_direction_test.cpp.o.d"
+  "net_direction_test"
+  "net_direction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_direction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

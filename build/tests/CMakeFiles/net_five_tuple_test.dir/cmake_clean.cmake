@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_five_tuple_test.dir/net_five_tuple_test.cpp.o"
+  "CMakeFiles/net_five_tuple_test.dir/net_five_tuple_test.cpp.o.d"
+  "net_five_tuple_test"
+  "net_five_tuple_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_five_tuple_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

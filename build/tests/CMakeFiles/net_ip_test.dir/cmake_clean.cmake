@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_ip_test.dir/net_ip_test.cpp.o"
+  "CMakeFiles/net_ip_test.dir/net_ip_test.cpp.o.d"
+  "net_ip_test"
+  "net_ip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_ip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

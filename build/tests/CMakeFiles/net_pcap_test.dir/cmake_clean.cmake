@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_pcap_test.dir/net_pcap_test.cpp.o"
+  "CMakeFiles/net_pcap_test.dir/net_pcap_test.cpp.o.d"
+  "net_pcap_test"
+  "net_pcap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_pcap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

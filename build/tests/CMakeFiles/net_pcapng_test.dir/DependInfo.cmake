@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net_pcapng_test.cpp" "tests/CMakeFiles/net_pcapng_test.dir/net_pcapng_test.cpp.o" "gcc" "tests/CMakeFiles/net_pcapng_test.dir/net_pcapng_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/upbound_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upbound_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upbound_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upbound_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upbound_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upbound_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upbound_rex.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/upbound_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

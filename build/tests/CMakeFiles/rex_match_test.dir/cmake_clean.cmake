@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rex_match_test.dir/rex_match_test.cpp.o"
+  "CMakeFiles/rex_match_test.dir/rex_match_test.cpp.o.d"
+  "rex_match_test"
+  "rex_match_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rex_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

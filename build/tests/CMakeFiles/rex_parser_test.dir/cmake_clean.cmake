@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rex_parser_test.dir/rex_parser_test.cpp.o"
+  "CMakeFiles/rex_parser_test.dir/rex_parser_test.cpp.o.d"
+  "rex_parser_test"
+  "rex_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rex_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rex_property_test.dir/rex_property_test.cpp.o"
+  "CMakeFiles/rex_property_test.dir/rex_property_test.cpp.o.d"
+  "rex_property_test"
+  "rex_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rex_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_closed_loop_test.dir/sim_closed_loop_test.cpp.o"
+  "CMakeFiles/sim_closed_loop_test.dir/sim_closed_loop_test.cpp.o.d"
+  "sim_closed_loop_test"
+  "sim_closed_loop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_closed_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

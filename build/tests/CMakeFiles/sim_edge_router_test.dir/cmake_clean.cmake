@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_edge_router_test.dir/sim_edge_router_test.cpp.o"
+  "CMakeFiles/sim_edge_router_test.dir/sim_edge_router_test.cpp.o.d"
+  "sim_edge_router_test"
+  "sim_edge_router_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_edge_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_filter_matrix_test.dir/sim_filter_matrix_test.cpp.o"
+  "CMakeFiles/sim_filter_matrix_test.dir/sim_filter_matrix_test.cpp.o.d"
+  "sim_filter_matrix_test"
+  "sim_filter_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_filter_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_calibration_sweep_test.dir/trace_calibration_sweep_test.cpp.o"
+  "CMakeFiles/trace_calibration_sweep_test.dir/trace_calibration_sweep_test.cpp.o.d"
+  "trace_calibration_sweep_test"
+  "trace_calibration_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_calibration_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

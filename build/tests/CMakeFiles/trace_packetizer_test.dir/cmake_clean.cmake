@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_packetizer_test.dir/trace_packetizer_test.cpp.o"
+  "CMakeFiles/trace_packetizer_test.dir/trace_packetizer_test.cpp.o.d"
+  "trace_packetizer_test"
+  "trace_packetizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_packetizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_payloads_test.dir/trace_payloads_test.cpp.o"
+  "CMakeFiles/trace_payloads_test.dir/trace_payloads_test.cpp.o.d"
+  "trace_payloads_test"
+  "trace_payloads_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_payloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_sessions_test.dir/trace_sessions_test.cpp.o"
+  "CMakeFiles/trace_sessions_test.dir/trace_sessions_test.cpp.o.d"
+  "trace_sessions_test"
+  "trace_sessions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_sessions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
