@@ -1,5 +1,7 @@
 #include "cli/commands.h"
 
+#include <algorithm>
+#include <array>
 #include <cstdio>
 #include <memory>
 
@@ -283,11 +285,18 @@ int cmd_filter(const Args& args) {
 
   std::unique_ptr<PcapWriter> writer;
   if (!out.empty()) writer = std::make_unique<PcapWriter>(out);
-  for (const PacketRecord& pkt : trace) {
-    const RouterDecision decision = router.process(pkt);
-    if (writer != nullptr && (decision == RouterDecision::kPassedOutbound ||
-                              decision == RouterDecision::kPassedInbound)) {
-      writer->write(pkt);
+  constexpr std::size_t kCliBatch = 256;
+  std::array<RouterDecision, kCliBatch> decisions;
+  for (std::size_t start = 0; start < trace.size(); start += kCliBatch) {
+    const std::size_t n = std::min(kCliBatch, trace.size() - start);
+    const PacketBatch batch{trace.data() + start, n};
+    router.process_batch(batch, std::span<RouterDecision>{decisions.data(), n});
+    if (writer == nullptr) continue;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (decisions[p] == RouterDecision::kPassedOutbound ||
+          decisions[p] == RouterDecision::kPassedInbound) {
+        writer->write(batch[p]);
+      }
     }
   }
 
@@ -310,6 +319,11 @@ int cmd_filter(const Args& args) {
   std::printf("filter state: %zu bytes (%s)\n",
               router.filter().storage_bytes(),
               router.filter().name().c_str());
+  std::printf("datapath stage counters:\n");
+  for (const CounterSample& sample : stats.stage_counters) {
+    std::printf("  %-28s %llu\n", sample.name.c_str(),
+                static_cast<unsigned long long>(sample.value));
+  }
   if (writer != nullptr) {
     std::printf("surviving packets written to %s\n", out.c_str());
   }
@@ -374,7 +388,14 @@ int cmd_compare(const Args& args) {
     config.track_blocked_connections = false;
     EdgeRouter router{config, std::move(candidate.filter),
                       std::make_unique<ConstantDropPolicy>(pd)};
-    for (const PacketRecord& pkt : trace) router.process(pkt);
+    constexpr std::size_t kCompareBatch = 256;
+    std::array<RouterDecision, kCompareBatch> decisions;
+    for (std::size_t start = 0; start < trace.size();
+         start += kCompareBatch) {
+      const std::size_t n = std::min(kCompareBatch, trace.size() - start);
+      router.process_batch(PacketBatch{trace.data() + start, n},
+                           std::span<RouterDecision>{decisions.data(), n});
+    }
     const EdgeRouterStats& stats = router.stats();
     rows.push_back({candidate.name,
                     report::percent(stats.inbound_drop_rate(), 3),

@@ -50,6 +50,8 @@ class AgingBloomFilter final : public StateFilter {
   void advance_time(SimTime now) override;
   void record_outbound(const PacketRecord& pkt) override;
   bool admits_inbound(const PacketRecord& pkt) override;
+  // Lookup only reads cell stamps; aging happens in advance_time's sweep.
+  bool inbound_lookup_is_pure() const override { return true; }
   std::size_t storage_bytes() const override;
   std::string name() const override { return "aging-bloom"; }
 

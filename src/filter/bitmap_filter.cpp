@@ -73,6 +73,82 @@ bool BitmapFilter::admits_inbound(const PacketRecord& pkt) {
   return true;
 }
 
+void BitmapFilter::record_outbound_batch(PacketBatch batch) {
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    advance_time(batch[i].timestamp);
+    // Extend the chunk while no rotation interleaves: inside it, marks
+    // commute (idempotent bit-ORs with no clears between), so hashing and
+    // touching in two passes is indistinguishable from the scalar order.
+    std::size_t j = i + 1;
+    while (j < batch.size() && j - i < kBatchChunk &&
+           batch[j].timestamp < next_rotation_) {
+      ++j;
+    }
+    mark_chunk(batch.subspan(i, j - i));
+    i = j;
+  }
+}
+
+void BitmapFilter::mark_chunk(PacketBatch chunk) {
+  const std::size_t m = config_.hash_count;
+  batch_scratch_.resize(chunk.size() * m);
+  // Stagger prefetches one vector ahead of the stores instead of issuing
+  // chunk*m*k up front: hardware tracks a limited number of outstanding
+  // prefetches, and over-issuing drops the late ones -- exactly the lines
+  // the last vectors need.
+  for (std::size_t p = 0; p < chunk.size(); ++p) {
+    const std::span<std::size_t> slots{batch_scratch_.data() + p * m, m};
+    hashes_.outbound_indexes(chunk[p].tuple, config_.key_mode, slots);
+    for (const std::size_t bit : slots) vectors_[0].prefetch_for_set(bit);
+  }
+  for (std::size_t v = 0; v < vectors_.size(); ++v) {
+    BitVector& vector = vectors_[v];
+    BitVector* next = v + 1 < vectors_.size() ? &vectors_[v + 1] : nullptr;
+    for (const std::size_t bit : batch_scratch_) {
+      if (next != nullptr) next->prefetch_for_set(bit);
+      vector.set(bit);
+    }
+  }
+}
+
+void BitmapFilter::admits_inbound_batch(PacketBatch batch,
+                                        std::span<bool> admits) {
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    advance_time(batch[i].timestamp);
+    std::size_t j = i + 1;
+    while (j < batch.size() && j - i < kBatchChunk &&
+           batch[j].timestamp < next_rotation_) {
+      ++j;
+    }
+    test_chunk(batch.subspan(i, j - i), admits.subspan(i));
+    i = j;
+  }
+}
+
+void BitmapFilter::test_chunk(PacketBatch chunk, std::span<bool> admits) {
+  const std::size_t m = config_.hash_count;
+  batch_scratch_.resize(chunk.size() * m);
+  // Lookups touch the current vector only; no rotation happens inside the
+  // chunk, so idx_ is stable and the lookups are pure.
+  const BitVector& current = vectors_[idx_];
+  for (std::size_t p = 0; p < chunk.size(); ++p) {
+    const std::span<std::size_t> slots{batch_scratch_.data() + p * m, m};
+    hashes_.inbound_indexes(chunk[p].tuple, config_.key_mode, slots);
+    for (const std::size_t bit : slots) current.prefetch_for_test(bit);
+  }
+  for (std::size_t p = 0; p < chunk.size(); ++p) {
+    // Branchless all-bits-set: every word is prefetched, so testing all m
+    // is cheaper than an early-exit branch that mispredicts half the time.
+    bool admit = true;
+    for (std::size_t h = 0; h < m; ++h) {
+      admit &= current.test(batch_scratch_[p * m + h]);
+    }
+    admits[p] = admit;
+  }
+}
+
 void BitmapFilter::restore_rotation_state(std::size_t idx,
                                           SimTime next_rotation,
                                           std::uint64_t rotations) {

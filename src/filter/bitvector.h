@@ -7,6 +7,8 @@
 #include <span>
 #include <vector>
 
+#include "util/prefetch.h"
+
 namespace upbound {
 
 class BitVector {
@@ -22,6 +24,15 @@ class BitVector {
 
   bool test(std::size_t i) const {
     return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Cache hints for the word holding bit `i`; the batched datapath
+  /// issues these for a whole chunk before touching any word.
+  void prefetch_for_test(std::size_t i) const {
+    prefetch_read(words_.data() + (i >> 6));
+  }
+  void prefetch_for_set(std::size_t i) const {
+    prefetch_write(words_.data() + (i >> 6));
   }
 
   /// Zeroes every bit; O(size/64) sequential word stores.

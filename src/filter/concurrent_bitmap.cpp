@@ -1,5 +1,7 @@
 #include "filter/concurrent_bitmap.h"
 
+#include "util/prefetch.h"
+
 namespace upbound {
 
 ConcurrentBitmapFilter::ConcurrentBitmapFilter(
@@ -8,7 +10,8 @@ ConcurrentBitmapFilter::ConcurrentBitmapFilter(
       hashes_(config.bits(), config.hash_count, config.hash_seed),
       words_per_vector_((config.bits() + 63) / 64),
       words_(words_per_vector_ * config.vector_count),
-      next_rotation_(SimTime::origin() + config.rotate_interval) {
+      next_rotation_(SimTime::origin() + config.rotate_interval),
+      next_rotation_usec_(next_rotation_.usec()) {
   for (auto& word : words_) word.store(0, std::memory_order_relaxed);
 }
 
@@ -42,12 +45,18 @@ void ConcurrentBitmapFilter::rotate_locked() {
 
 void ConcurrentBitmapFilter::advance_time(SimTime now) {
   // Fast path without the lock: most calls are not at a rotation edge.
+  if (now < SimTime::from_usec(
+                next_rotation_usec_.load(std::memory_order_acquire))) {
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock{rotate_mutex_};
     while (now >= next_rotation_) {
       rotate_locked();
       next_rotation_ += config_.rotate_interval;
     }
+    next_rotation_usec_.store(next_rotation_.usec(),
+                              std::memory_order_release);
   }
 }
 
@@ -69,6 +78,77 @@ bool ConcurrentBitmapFilter::admits_inbound(const PacketRecord& pkt) {
     if (!test_bit(current, bit)) return false;
   }
   return true;
+}
+
+void ConcurrentBitmapFilter::record_outbound_batch(PacketBatch batch) {
+  // Stack scratch: concurrent batch calls from different threads must not
+  // share state. hash_count is capped at 64 by config validation.
+  std::size_t slots[kBatchChunk * 64];
+  const std::size_t m = config_.hash_count;
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    advance_time(batch[i].timestamp);
+    const SimTime edge = SimTime::from_usec(
+        next_rotation_usec_.load(std::memory_order_acquire));
+    std::size_t j = i + 1;
+    while (j < batch.size() && j - i < kBatchChunk &&
+           batch[j].timestamp < edge) {
+      ++j;
+    }
+    const PacketBatch chunk = batch.subspan(i, j - i);
+    for (std::size_t p = 0; p < chunk.size(); ++p) {
+      const std::span<std::size_t> out{slots + p * m, m};
+      hashes_.outbound_indexes(chunk[p].tuple, config_.key_mode, out);
+      for (const std::size_t bit : out) {
+        for (std::size_t v = 0; v < config_.vector_count; ++v) {
+          prefetch_write(&words_[v * words_per_vector_ + (bit >> 6)]);
+        }
+      }
+    }
+    for (std::size_t v = 0; v < config_.vector_count; ++v) {
+      for (std::size_t s = 0; s < chunk.size() * m; ++s) {
+        set_bit(v, slots[s]);
+      }
+    }
+    i = j;
+  }
+}
+
+void ConcurrentBitmapFilter::admits_inbound_batch(PacketBatch batch,
+                                                  std::span<bool> admits) {
+  std::size_t slots[kBatchChunk * 64];
+  const std::size_t m = config_.hash_count;
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    advance_time(batch[i].timestamp);
+    const SimTime edge = SimTime::from_usec(
+        next_rotation_usec_.load(std::memory_order_acquire));
+    std::size_t j = i + 1;
+    while (j < batch.size() && j - i < kBatchChunk &&
+           batch[j].timestamp < edge) {
+      ++j;
+    }
+    const PacketBatch chunk = batch.subspan(i, j - i);
+    const std::size_t current = idx_.load(std::memory_order_acquire);
+    for (std::size_t p = 0; p < chunk.size(); ++p) {
+      const std::span<std::size_t> out{slots + p * m, m};
+      hashes_.inbound_indexes(chunk[p].tuple, config_.key_mode, out);
+      for (const std::size_t bit : out) {
+        prefetch_read(&words_[current * words_per_vector_ + (bit >> 6)]);
+      }
+    }
+    for (std::size_t p = 0; p < chunk.size(); ++p) {
+      bool admit = true;
+      for (std::size_t h = 0; h < m; ++h) {
+        if (!test_bit(current, slots[p * m + h])) {
+          admit = false;
+          break;
+        }
+      }
+      admits[i + p] = admit;
+    }
+    i = j;
+  }
 }
 
 std::size_t ConcurrentBitmapFilter::storage_bytes() const {

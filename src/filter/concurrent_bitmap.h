@@ -32,6 +32,16 @@ class ConcurrentBitmapFilter final : public StateFilter {
   void advance_time(SimTime now) override;
   void record_outbound(const PacketRecord& pkt) override;
   bool admits_inbound(const PacketRecord& pkt) override;
+  // Batch paths mirror BitmapFilter's hash-then-prefetch-then-touch
+  // pipeline over the atomic words. Thread-safe like the scalar ops;
+  // scratch lives on the stack so concurrent batch calls never share
+  // state. Under single-threaded driving the decisions are bit-identical
+  // to the scalar path; under concurrent rotation the usual one-rotation
+  // approximation window applies.
+  void record_outbound_batch(PacketBatch batch) override;
+  void admits_inbound_batch(PacketBatch batch,
+                            std::span<bool> admits) override;
+  bool inbound_lookup_is_pure() const override { return true; }
   std::size_t storage_bytes() const override;
   std::string name() const override { return "bitmap-concurrent"; }
 
@@ -41,6 +51,8 @@ class ConcurrentBitmapFilter final : public StateFilter {
   const BitmapFilterConfig& config() const { return config_; }
 
  private:
+  static constexpr std::size_t kBatchChunk = 64;
+
   // One flat allocation: vector v's word w at words_[v * words_per_vector_
   // + w].
   void set_bit(std::size_t vector, std::size_t bit);
@@ -57,6 +69,9 @@ class ConcurrentBitmapFilter final : public StateFilter {
 
   std::mutex rotate_mutex_;
   SimTime next_rotation_;  // guarded by rotate_mutex_
+  // Lock-free mirror of next_rotation_ so batch chunking can stop at the
+  // rotation edge without taking the mutex per chunk.
+  std::atomic<std::int64_t> next_rotation_usec_;
 };
 
 }  // namespace upbound

@@ -37,6 +37,7 @@ BloomHashFamily::BloomHashFamily(std::size_t bits, unsigned hash_count,
   if (hash_count == 0) {
     throw std::invalid_argument("BloomHashFamily: hash_count == 0");
   }
+  if ((bits & (bits - 1)) == 0) mask_ = bits - 1;
 }
 
 void BloomHashFamily::indexes_for_key(std::span<const std::uint8_t> key,
@@ -46,9 +47,16 @@ void BloomHashFamily::indexes_for_key(std::span<const std::uint8_t> key,
   // for power-of-two table sizes.
   const std::uint64_t h2 = h.hi | 1;
   std::uint64_t acc = h.lo;
-  for (unsigned i = 0; i < hash_count_; ++i) {
-    out[i] = static_cast<std::size_t>(acc % bits_);
-    acc += h2;
+  if (mask_ != 0) {
+    for (unsigned i = 0; i < hash_count_; ++i) {
+      out[i] = static_cast<std::size_t>(acc & mask_);
+      acc += h2;
+    }
+  } else {
+    for (unsigned i = 0; i < hash_count_; ++i) {
+      out[i] = static_cast<std::size_t>(acc % bits_);
+      acc += h2;
+    }
   }
 }
 

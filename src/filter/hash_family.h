@@ -54,6 +54,10 @@ class BloomHashFamily {
   std::size_t bits_;
   unsigned hash_count_;
   std::uint64_t seed_;
+  // bits - 1 when bits is a power of two (the default 2^20 always is):
+  // index reduction becomes a mask instead of a 64-bit divide. Zero
+  // otherwise. x & (2^n - 1) == x % 2^n, so results are bit-identical.
+  std::uint64_t mask_ = 0;
 };
 
 }  // namespace upbound

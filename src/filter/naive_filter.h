@@ -31,6 +31,9 @@ class NaiveFilter final : public StateFilter {
   void advance_time(SimTime now) override;
   void record_outbound(const PacketRecord& pkt) override;
   bool admits_inbound(const PacketRecord& pkt) override;
+  // admits_inbound is a pure map lookup (expiry is handled by
+  // advance_time), so speculative batch evaluation is safe.
+  bool inbound_lookup_is_pure() const override { return true; }
   std::size_t storage_bytes() const override;
   std::string name() const override { return "naive"; }
 

@@ -4,12 +4,22 @@
 // (Section 5.3). Each answers one question on the inbound path -- "did an
 // inner client recently talk to this socket pair?" -- and differs only in
 // state representation and expiry semantics.
+//
+// The scalar methods are the semantic ground truth. The *_batch methods
+// exist so hot implementations can amortize virtual dispatch, hash once
+// per packet, and overlap bit-vector cache misses; their contract is that
+// a batch call is observably identical to the per-packet sequence
+// {advance_time(pkt.timestamp); <op>(pkt)} in batch order. The defaults
+// below implement exactly that loop, so new filters are batch-correct for
+// free and the fast paths can be differential-tested against them.
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 
 #include "net/packet.h"
+#include "net/packet_batch.h"
 #include "util/time.h"
 
 namespace upbound {
@@ -30,6 +40,37 @@ class StateFilter {
   /// sender-first, i.e. destination is the internal client). Inbound
   /// packets without state are subject to the drop policy.
   virtual bool admits_inbound(const PacketRecord& pkt) = 0;
+
+  /// Records a time-sorted batch of outbound packets. Equivalent to
+  /// {advance_time(pkt.timestamp); record_outbound(pkt)} per packet in
+  /// batch order; overrides may reorder internally only where the result
+  /// is indistinguishable (e.g. commuting idempotent bit marks between
+  /// rotations).
+  virtual void record_outbound_batch(PacketBatch batch) {
+    for (const PacketRecord& pkt : batch) {
+      advance_time(pkt.timestamp);
+      record_outbound(pkt);
+    }
+  }
+
+  /// Looks up a time-sorted batch of inbound packets; writes one verdict
+  /// per packet into `admits` (which must be at least batch.size() long).
+  /// Equivalent to {advance_time(pkt.timestamp); admits_inbound(pkt)} per
+  /// packet in batch order.
+  virtual void admits_inbound_batch(PacketBatch batch,
+                                    std::span<bool> admits) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      advance_time(batch[i].timestamp);
+      admits[i] = admits_inbound(batch[i]);
+    }
+  }
+
+  /// True when admits_inbound is a pure lookup: no observable state
+  /// change, so callers may evaluate it speculatively for packets whose
+  /// verdict ends up unused (the batched edge router relies on this to
+  /// look up a whole inbound run before consulting the blocklist).
+  /// Conservative default: false.
+  virtual bool inbound_lookup_is_pure() const { return false; }
 
   /// Current heap footprint of the connection state, in bytes.
   virtual std::size_t storage_bytes() const = 0;

@@ -1,0 +1,55 @@
+// PacketBatch: a zero-copy, read-only view over a contiguous run of
+// PacketRecords -- the unit of work of the batched datapath. A batch is
+// just a span: building one never allocates or copies, and sub-batches
+// (per-stage runs, rotation-bounded chunks) are cheap slices of the same
+// storage. Batch consumers require timestamps to be non-decreasing within
+// a batch; EdgeRouter enforces this by clamping regressions before the
+// filter stages see them.
+#pragma once
+
+#include <span>
+
+#include "net/packet.h"
+
+namespace upbound {
+
+class PacketBatch {
+ public:
+  using iterator = const PacketRecord*;
+
+  constexpr PacketBatch() = default;
+  constexpr PacketBatch(const PacketRecord* data, std::size_t count)
+      : span_(data, count) {}
+  // Implicit on purpose: spans and whole traces are batches.
+  constexpr PacketBatch(std::span<const PacketRecord> span) : span_(span) {}
+  PacketBatch(const Trace& trace) : span_(trace.data(), trace.size()) {}
+
+  constexpr std::size_t size() const { return span_.size(); }
+  constexpr bool empty() const { return span_.empty(); }
+  constexpr const PacketRecord& operator[](std::size_t i) const {
+    return span_[i];
+  }
+  constexpr const PacketRecord& front() const { return span_.front(); }
+  constexpr const PacketRecord& back() const { return span_.back(); }
+  constexpr iterator begin() const { return span_.data(); }
+  constexpr iterator end() const { return span_.data() + span_.size(); }
+
+  constexpr PacketBatch subspan(std::size_t offset,
+                                std::size_t count = std::dynamic_extent)
+      const {
+    return PacketBatch{span_.subspan(offset, count)};
+  }
+
+  /// True when timestamps are non-decreasing across the batch.
+  bool is_time_sorted() const {
+    for (std::size_t i = 1; i < span_.size(); ++i) {
+      if (span_[i].timestamp < span_[i - 1].timestamp) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::span<const PacketRecord> span_;
+};
+
+}  // namespace upbound

@@ -1,7 +1,9 @@
 #include "sim/closed_loop.h"
 
 #include <queue>
+#include <span>
 
+#include "net/packet_batch.h"
 #include "trace/packetizer.h"
 
 namespace upbound {
@@ -65,13 +67,9 @@ ClosedLoopResult run_closed_loop(const CampusWorkload& workload,
     return bytes;
   };
 
-  while (!heap.empty()) {
-    const HeapEntry entry = heap.top();
-    heap.pop();
-    LiveConnection& live = connections[entry.conn];
-
-    const PacketRecord pkt = live.next_packet();
-    const RouterDecision decision = router.process(pkt);
+  const auto apply_feedback = [&](std::size_t conn, const PacketRecord& pkt,
+                                  RouterDecision decision) {
+    LiveConnection& live = connections[conn];
     const bool dropped = decision == RouterDecision::kDroppedByPolicy ||
                          decision == RouterDecision::kDroppedBlocked;
 
@@ -84,14 +82,14 @@ ClosedLoopResult run_closed_loop(const CampusWorkload& workload,
         ++result.retries_attempted;
         live.shift += live.next_backoff;
         live.next_backoff = live.next_backoff * 2.0;
-        heap.push(HeapEntry{live.next_time(), entry.conn});
+        heap.push(HeapEntry{live.next_time(), conn});
       } else {
         ++result.connections_suppressed;
         result.upload_bytes_never_generated += suppressed_upload_bytes(live);
         live.packets.clear();
         live.packets.shrink_to_fit();
       }
-      continue;
+      return;
     }
 
     if (!dropped) {
@@ -109,7 +107,57 @@ ClosedLoopResult run_closed_loop(const CampusWorkload& workload,
 
     ++live.cursor;
     if (live.cursor < live.packets.size()) {
-      heap.push(HeapEntry{live.next_time(), entry.conn});
+      heap.push(HeapEntry{live.next_time(), conn});
+    }
+  };
+
+  // Earliest event the connection could push back into the heap after its
+  // current packet is processed, whatever the router decides: the next
+  // packet if it establishes/continues, or the backoff retry if the
+  // opening packet drops. Staging is safe for every heap entry strictly
+  // before the minimum of these bounds -- the event order (and therefore
+  // rng/meter/blocklist state) is identical to popping one at a time.
+  const auto earliest_next = [](const LiveConnection& live) {
+    SimTime bound = SimTime::infinite();
+    if (live.cursor + 1 < live.packets.size()) {
+      bound = live.packets[live.cursor + 1].timestamp + live.shift;
+    }
+    if (live.cursor == 0 && live.retries_left > 0) {
+      const SimTime retry = live.next_time() + live.next_backoff;
+      if (retry < bound) bound = retry;
+    }
+    return bound;
+  };
+
+  constexpr std::size_t kLoopBatch = 64;
+  std::vector<std::size_t> staged_conns;
+  Trace staged_pkts;
+  std::vector<RouterDecision> decisions;
+  staged_conns.reserve(kLoopBatch);
+  staged_pkts.reserve(kLoopBatch);
+  decisions.reserve(kLoopBatch);
+
+  while (!heap.empty()) {
+    staged_conns.clear();
+    staged_pkts.clear();
+    SimTime bound = SimTime::infinite();
+    while (!heap.empty() && staged_conns.size() < kLoopBatch &&
+           heap.top().at < bound) {
+      const HeapEntry entry = heap.top();
+      heap.pop();
+      const LiveConnection& live = connections[entry.conn];
+      staged_conns.push_back(entry.conn);
+      staged_pkts.push_back(live.next_packet());
+      const SimTime possible = earliest_next(live);
+      if (possible < bound) bound = possible;
+    }
+
+    decisions.resize(staged_pkts.size());
+    router.process_batch(PacketBatch{staged_pkts},
+                         std::span<RouterDecision>{decisions});
+
+    for (std::size_t s = 0; s < staged_conns.size(); ++s) {
+      apply_feedback(staged_conns[s], staged_pkts[s], decisions[s]);
     }
   }
 

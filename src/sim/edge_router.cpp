@@ -1,5 +1,6 @@
 #include "sim/edge_router.h"
 
+#include <limits>
 #include <stdexcept>
 
 namespace upbound {
@@ -14,17 +15,216 @@ EdgeRouter::EdgeRouter(EdgeRouterConfig config,
       blocklist_(config_.blocklist_ttl),
       rng_(config_.seed),
       passed_out_(config_.series_bucket),
-      passed_in_(config_.series_bucket) {
+      passed_in_(config_.series_bucket),
+      last_time_(
+          SimTime::from_usec(std::numeric_limits<std::int64_t>::min())),
+      ctr_classify_outbound_(counters_.counter("classify.outbound_packets")),
+      ctr_classify_inbound_(counters_.counter("classify.inbound_packets")),
+      ctr_classify_ignored_(counters_.counter("classify.ignored_packets")),
+      ctr_classify_out_of_order_(
+          counters_.counter("classify.out_of_order_packets")),
+      ctr_blocklist_lookups_(counters_.counter("blocklist.lookups")),
+      ctr_blocklist_hits_(counters_.counter("blocklist.hits")),
+      ctr_blocklist_inserts_(counters_.counter("blocklist.inserts")),
+      ctr_state_marks_(counters_.counter("state.marks")),
+      ctr_state_lookups_(counters_.counter("state.lookups")),
+      ctr_state_hits_(counters_.counter("state.hits")),
+      ctr_state_misses_(counters_.counter("state.misses")),
+      ctr_policy_evaluations_(counters_.counter("policy.evaluations")),
+      ctr_policy_drops_(counters_.counter("policy.drops")),
+      ctr_policy_passes_(counters_.counter("policy.passes")) {
   if (filter_ == nullptr || policy_ == nullptr) {
     throw std::invalid_argument("EdgeRouter: filter and policy required");
   }
 }
 
 RouterDecision EdgeRouter::process(const PacketRecord& pkt) {
+  RouterDecision decision = RouterDecision::kIgnored;
+  process_batch(PacketBatch{&pkt, 1}, std::span<RouterDecision>{&decision, 1});
+  return decision;
+}
+
+void EdgeRouter::process_batch(PacketBatch batch,
+                               std::span<RouterDecision> decisions) {
+  if (decisions.size() < batch.size()) {
+    throw std::invalid_argument(
+        "EdgeRouter::process_batch: decisions span smaller than batch");
+  }
+  classify_batch(batch);
+
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    const PacketRecord& pkt = batch[i];
+    const Direction dir = dirs_[i];
+
+    if (pkt.timestamp < last_time_) {
+      // Regressed clock (reordered capture, clock step): clamp to the
+      // last-seen time so the meter, blocklist TTLs, and the filter's
+      // rotation schedule stay monotonic instead of silently corrupting.
+      ++stats_.out_of_order_packets;
+      ctr_classify_out_of_order_.inc();
+      PacketRecord clamped = pkt;
+      clamped.timestamp = last_time_;
+      decisions[i] = process_one(clamped, dir);
+      ++i;
+      continue;
+    }
+
+    if (dir != Direction::kOutbound && dir != Direction::kInbound) {
+      last_time_ = pkt.timestamp;
+      filter_->advance_time(last_time_);
+      ++stats_.ignored_packets;
+      decisions[i] = RouterDecision::kIgnored;
+      ++i;
+      continue;
+    }
+
+    // Maximal same-direction, time-sorted run: the unit the state stage
+    // can batch without changing any mark/lookup interleaving.
+    std::size_t j = i + 1;
+    while (j < batch.size() && dirs_[j] == dir &&
+           batch[j].timestamp >= batch[j - 1].timestamp) {
+      ++j;
+    }
+    const PacketBatch run = batch.subspan(i, j - i);
+    if (dir == Direction::kOutbound) {
+      process_outbound_run(run, decisions.subspan(i, j - i));
+    } else {
+      process_inbound_run(run, decisions.subspan(i, j - i));
+    }
+    last_time_ = batch[j - 1].timestamp;
+    i = j;
+  }
+}
+
+void EdgeRouter::classify_batch(PacketBatch batch) {
+  dirs_.resize(batch.size());
+  std::uint64_t outbound = 0;
+  std::uint64_t inbound = 0;
+  std::uint64_t ignored = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Direction dir = config_.network.classify(batch[i]);
+    dirs_[i] = dir;
+    if (dir == Direction::kOutbound) {
+      ++outbound;
+    } else if (dir == Direction::kInbound) {
+      ++inbound;
+    } else {
+      ++ignored;
+    }
+  }
+  ctr_classify_outbound_.inc(outbound);
+  ctr_classify_inbound_.inc(inbound);
+  ctr_classify_ignored_.inc(ignored);
+}
+
+void EdgeRouter::process_outbound_run(PacketBatch run,
+                                      std::span<RouterDecision> decisions) {
+  // Blocklist stage. is_blocked refreshes entry TTLs, so it runs per
+  // packet in order; within an outbound run nothing inserts entries, so
+  // the verdicts are stable for the rest of the run.
+  const bool check_blocked = config_.track_blocked_connections &&
+                             config_.suppress_blocked_outbound;
+  if (check_blocked) {
+    run_blocked_.resize(run.size());
+    for (std::size_t p = 0; p < run.size(); ++p) {
+      ctr_blocklist_lookups_.inc();
+      run_blocked_[p] =
+          blocklist_.is_blocked(run[p].tuple, run[p].timestamp) ? 1 : 0;
+    }
+  } else {
+    run_blocked_.assign(run.size(), 0);
+  }
+
+  // State stage: batch-mark maximal unsuppressed stretches. Suppressed
+  // packets never reach record_outbound (same as scalar); they only keep
+  // the filter clock current.
+  std::size_t s = 0;
+  while (s < run.size()) {
+    if (run_blocked_[s]) {
+      filter_->advance_time(run[s].timestamp);
+      ++s;
+      continue;
+    }
+    std::size_t e = s + 1;
+    while (e < run.size() && !run_blocked_[e]) ++e;
+    filter_->record_outbound_batch(run.subspan(s, e - s));
+    ctr_state_marks_.inc(e - s);
+    s = e;
+  }
+
+  // Meter/bookkeeping stage. The meter is only read on the inbound path,
+  // which cannot occur inside an outbound run.
+  for (std::size_t p = 0; p < run.size(); ++p) {
+    const PacketRecord& pkt = run[p];
+    if (run_blocked_[p]) {
+      ctr_blocklist_hits_.inc();
+      ++stats_.suppressed_outbound_packets;
+      stats_.suppressed_outbound_bytes += pkt.wire_size();
+      decisions[p] = RouterDecision::kDroppedBlocked;
+      continue;
+    }
+    meter_.add(pkt.timestamp, pkt.wire_size());
+    ++stats_.outbound_packets;
+    stats_.outbound_bytes += pkt.wire_size();
+    passed_out_.add(pkt.timestamp, static_cast<double>(pkt.wire_size()));
+    decisions[p] = RouterDecision::kPassedOutbound;
+  }
+}
+
+void EdgeRouter::process_inbound_run(PacketBatch run,
+                                     std::span<RouterDecision> decisions) {
+  if (!filter_->inbound_lookup_is_pure()) {
+    // Side-effectful lookups (SPI refreshes flow timers): preserve the
+    // exact scalar interleaving of blocklist, lookup, and policy.
+    for (std::size_t p = 0; p < run.size(); ++p) {
+      decisions[p] = process_one(run[p], Direction::kInbound);
+    }
+    return;
+  }
+
+  // State stage first: the whole run's verdicts in one batched lookup.
+  // Safe because the lookup is pure -- verdicts for packets the blocklist
+  // stage later rejects are simply discarded.
+  if (admit_capacity_ < run.size()) {
+    admit_buf_ = std::make_unique<bool[]>(run.size());
+    admit_capacity_ = run.size();
+  }
+  const std::span<bool> admits{admit_buf_.get(), run.size()};
+  filter_->admits_inbound_batch(run, admits);
+  ctr_state_lookups_.inc(run.size());
+
+  // Blocklist + policy stages, per packet in order (both mutate).
+  for (std::size_t p = 0; p < run.size(); ++p) {
+    const PacketRecord& pkt = run[p];
+    const SimTime now = pkt.timestamp;
+    if (config_.track_blocked_connections) {
+      ctr_blocklist_lookups_.inc();
+      if (blocklist_.is_blocked(pkt.tuple, now)) {
+        ctr_blocklist_hits_.inc();
+        ++stats_.inbound_dropped_packets;
+        stats_.inbound_dropped_bytes += pkt.wire_size();
+        ++stats_.blocked_drops;
+        decisions[p] = RouterDecision::kDroppedBlocked;
+        continue;
+      }
+    }
+    if (admits[p]) {
+      ctr_state_hits_.inc();
+      decisions[p] = admit_inbound(pkt);
+      continue;
+    }
+    ctr_state_misses_.inc();
+    decisions[p] = drop_or_pass_inbound(pkt, now);
+  }
+}
+
+RouterDecision EdgeRouter::process_one(const PacketRecord& pkt,
+                                       Direction dir) {
   const SimTime now = pkt.timestamp;
+  last_time_ = now;  // caller guarantees now >= the previous last_time_
   filter_->advance_time(now);
 
-  const Direction dir = config_.network.classify(pkt);
   if (dir != Direction::kOutbound && dir != Direction::kInbound) {
     ++stats_.ignored_packets;
     return RouterDecision::kIgnored;
@@ -37,20 +237,24 @@ RouterDecision EdgeRouter::process(const PacketRecord& pkt) {
   // request been dropped at the edge (the replay limitation the paper
   // notes; per-connection suppression models it).
   if (config_.track_blocked_connections &&
-      (dir == Direction::kInbound || config_.suppress_blocked_outbound) &&
-      blocklist_.is_blocked(pkt.tuple, now)) {
-    if (dir == Direction::kOutbound) {
-      ++stats_.suppressed_outbound_packets;
-      stats_.suppressed_outbound_bytes += pkt.wire_size();
-    } else {
-      ++stats_.inbound_dropped_packets;
-      stats_.inbound_dropped_bytes += pkt.wire_size();
-      ++stats_.blocked_drops;
+      (dir == Direction::kInbound || config_.suppress_blocked_outbound)) {
+    ctr_blocklist_lookups_.inc();
+    if (blocklist_.is_blocked(pkt.tuple, now)) {
+      ctr_blocklist_hits_.inc();
+      if (dir == Direction::kOutbound) {
+        ++stats_.suppressed_outbound_packets;
+        stats_.suppressed_outbound_bytes += pkt.wire_size();
+      } else {
+        ++stats_.inbound_dropped_packets;
+        stats_.inbound_dropped_bytes += pkt.wire_size();
+        ++stats_.blocked_drops;
+      }
+      return RouterDecision::kDroppedBlocked;
     }
-    return RouterDecision::kDroppedBlocked;
   }
 
   if (dir == Direction::kOutbound) {
+    ctr_state_marks_.inc();
     filter_->record_outbound(pkt);
     meter_.add(now, pkt.wire_size());
     ++stats_.outbound_packets;
@@ -59,29 +263,44 @@ RouterDecision EdgeRouter::process(const PacketRecord& pkt) {
     return RouterDecision::kPassedOutbound;
   }
 
-  // Inbound.
+  ctr_state_lookups_.inc();
   if (filter_->admits_inbound(pkt)) {
-    ++stats_.inbound_passed_packets;
-    stats_.inbound_passed_bytes += pkt.wire_size();
-    passed_in_.add(now, static_cast<double>(pkt.wire_size()));
-    return RouterDecision::kPassedInbound;
+    ctr_state_hits_.inc();
+    return admit_inbound(pkt);
   }
+  ctr_state_misses_.inc();
+  return drop_or_pass_inbound(pkt, now);
+}
 
-  const double p_drop =
-      policy_->drop_probability(meter_.bits_per_sec(now));
+RouterDecision EdgeRouter::admit_inbound(const PacketRecord& pkt) {
+  ++stats_.inbound_passed_packets;
+  stats_.inbound_passed_bytes += pkt.wire_size();
+  passed_in_.add(pkt.timestamp, static_cast<double>(pkt.wire_size()));
+  return RouterDecision::kPassedInbound;
+}
+
+RouterDecision EdgeRouter::drop_or_pass_inbound(const PacketRecord& pkt,
+                                                SimTime now) {
+  ctr_policy_evaluations_.inc();
+  const double p_drop = policy_->drop_probability(meter_.bits_per_sec(now));
   if (rng_.next_bool(p_drop)) {
+    ctr_policy_drops_.inc();
     ++stats_.inbound_dropped_packets;
     stats_.inbound_dropped_bytes += pkt.wire_size();
     if (config_.track_blocked_connections) {
+      ctr_blocklist_inserts_.inc();
       blocklist_.block(pkt.tuple, now);
     }
     return RouterDecision::kDroppedByPolicy;
   }
+  ctr_policy_passes_.inc();
+  return admit_inbound(pkt);
+}
 
-  ++stats_.inbound_passed_packets;
-  stats_.inbound_passed_bytes += pkt.wire_size();
-  passed_in_.add(now, static_cast<double>(pkt.wire_size()));
-  return RouterDecision::kPassedInbound;
+EdgeRouterStats EdgeRouter::stats() const {
+  EdgeRouterStats out = stats_;
+  out.stage_counters = counters_.snapshot();
+  return out;
 }
 
 }  // namespace upbound

@@ -8,15 +8,27 @@
 //   inbound  -> blocked sigma?            drop
 //              state present?            pass
 //              else                      drop with P_d(uplink throughput)
+//
+// The datapath is batched: process_batch() runs a batch through explicit
+// stages -- classify -> blocklist -> state -> meter/Eq.1 policy -- and
+// hands maximal same-direction runs to the filter's batch API so the
+// bitmap path hashes once per packet and overlaps its bit-vector cache
+// misses. The single-packet process() is a batch-of-1 wrapper. Decisions
+// and stats are bit-identical between the two entry points (enforced by
+// the differential tests); each stage exposes per-stage event counters
+// through a CounterRegistry.
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "filter/bandwidth_meter.h"
 #include "filter/blocklist.h"
 #include "filter/drop_policy.h"
 #include "filter/state_filter.h"
 #include "net/direction.h"
+#include "net/packet_batch.h"
+#include "util/counters.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -63,6 +75,14 @@ struct EdgeRouterStats {
   std::uint64_t suppressed_outbound_packets = 0;
   std::uint64_t suppressed_outbound_bytes = 0;
   std::uint64_t ignored_packets = 0;
+  /// Packets whose timestamp regressed below the last-seen time; their
+  /// time is clamped so the meter and rotation schedule stay monotonic.
+  std::uint64_t out_of_order_packets = 0;
+  /// Per-stage datapath counters (classify./blocklist./state./policy.*),
+  /// snapshotted from the router's CounterRegistry by stats().
+  CounterSnapshot stage_counters;
+
+  bool operator==(const EdgeRouterStats&) const = default;
 
   /// Inbound drop rate over all inbound packets.
   double inbound_drop_rate() const {
@@ -79,12 +99,21 @@ class EdgeRouter {
   EdgeRouter(EdgeRouterConfig config, std::unique_ptr<StateFilter> filter,
              std::unique_ptr<DropPolicy> policy);
 
-  /// Processes one packet; timestamps must be non-decreasing.
+  /// Processes one packet: a batch-of-1 through the staged pipeline.
   RouterDecision process(const PacketRecord& pkt);
 
-  const EdgeRouterStats& stats() const { return stats_; }
+  /// Processes a batch; writes one decision per packet into `decisions`
+  /// (which must be at least batch.size() long). Timestamps should be
+  /// non-decreasing; regressions are clamped and counted. Decisions and
+  /// stats are identical to calling process() per packet in batch order.
+  void process_batch(PacketBatch batch, std::span<RouterDecision> decisions);
+
+  /// Aggregate stats, including a fresh per-stage counter snapshot.
+  EdgeRouterStats stats() const;
+
   const StateFilter& filter() const { return *filter_; }
   const BlockList& blocklist() const { return blocklist_; }
+  const CounterRegistry& counters() const { return counters_; }
 
   /// Bytes that crossed the router, bucketed over time, by direction.
   const TimeSeries& passed_outbound_series() const { return passed_out_; }
@@ -94,6 +123,26 @@ class EdgeRouter {
   double uplink_bits_per_sec(SimTime now) { return meter_.bits_per_sec(now); }
 
  private:
+  // --- Pipeline stages (each consumes a batch or a run of one) ---
+
+  /// Stage 1: direction per packet into dirs_, plus classify.* counters.
+  void classify_batch(PacketBatch batch);
+
+  /// Stages 2-4 for a maximal same-direction, time-sorted run.
+  void process_outbound_run(PacketBatch run,
+                            std::span<RouterDecision> decisions);
+  void process_inbound_run(PacketBatch run,
+                           std::span<RouterDecision> decisions);
+
+  /// Exact scalar pipeline for one packet whose direction is known.
+  /// Used for clamped out-of-order packets and for filters whose inbound
+  /// lookup has side effects (SPI) and therefore cannot be batched.
+  RouterDecision process_one(const PacketRecord& pkt, Direction dir);
+
+  // Inbound verdict bookkeeping shared by the batched and scalar paths.
+  RouterDecision admit_inbound(const PacketRecord& pkt);
+  RouterDecision drop_or_pass_inbound(const PacketRecord& pkt, SimTime now);
+
   EdgeRouterConfig config_;
   std::unique_ptr<StateFilter> filter_;
   std::unique_ptr<DropPolicy> policy_;
@@ -103,6 +152,33 @@ class EdgeRouter {
   EdgeRouterStats stats_;
   TimeSeries passed_out_;
   TimeSeries passed_in_;
+
+  /// Highest timestamp seen; regressions are clamped up to this.
+  SimTime last_time_;
+
+  CounterRegistry counters_;
+  // Cached per-stage counters (references into counters_ stay valid).
+  StageCounter& ctr_classify_outbound_;
+  StageCounter& ctr_classify_inbound_;
+  StageCounter& ctr_classify_ignored_;
+  StageCounter& ctr_classify_out_of_order_;
+  StageCounter& ctr_blocklist_lookups_;
+  StageCounter& ctr_blocklist_hits_;
+  StageCounter& ctr_blocklist_inserts_;
+  StageCounter& ctr_state_marks_;
+  StageCounter& ctr_state_lookups_;
+  StageCounter& ctr_state_hits_;
+  StageCounter& ctr_state_misses_;
+  StageCounter& ctr_policy_evaluations_;
+  StageCounter& ctr_policy_drops_;
+  StageCounter& ctr_policy_passes_;
+
+  // Reused per-batch scratch; capacity persists so the steady-state
+  // datapath performs no allocations.
+  std::vector<Direction> dirs_;
+  std::vector<std::uint8_t> run_blocked_;
+  std::unique_ptr<bool[]> admit_buf_;
+  std::size_t admit_capacity_ = 0;
 };
 
 }  // namespace upbound

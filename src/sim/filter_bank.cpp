@@ -1,5 +1,7 @@
 #include "sim/filter_bank.h"
 
+#include <stdexcept>
+
 #include "filter/bitmap_filter.h"
 
 namespace upbound {
@@ -32,15 +34,41 @@ std::size_t FilterBank::site_of(Ipv4Addr addr) const {
 }
 
 RouterDecision FilterBank::process(const PacketRecord& pkt) {
-  // The packet belongs to the site owning either endpoint; outbound
-  // packets match on source, inbound on destination.
-  std::size_t site = site_of(pkt.tuple.src_addr);
-  if (site == kNoSite) site = site_of(pkt.tuple.dst_addr);
-  if (site == kNoSite) {
-    ++unguarded_;
-    return RouterDecision::kIgnored;
+  RouterDecision decision = RouterDecision::kIgnored;
+  process_batch(PacketBatch{&pkt, 1}, std::span<RouterDecision>{&decision, 1});
+  return decision;
+}
+
+void FilterBank::process_batch(PacketBatch batch,
+                               std::span<RouterDecision> decisions) {
+  if (decisions.size() < batch.size()) {
+    throw std::invalid_argument(
+        "FilterBank::process_batch: decisions span smaller than batch");
   }
-  return sites_[site].router->process(pkt);
+  // The packet belongs to the site owning either endpoint; outbound
+  // packets match on source, inbound on destination. Consecutive packets
+  // of the same site form a sub-batch for that site's router.
+  const auto site_for = [this](const PacketRecord& pkt) {
+    std::size_t site = site_of(pkt.tuple.src_addr);
+    if (site == kNoSite) site = site_of(pkt.tuple.dst_addr);
+    return site;
+  };
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    const std::size_t site = site_for(batch[i]);
+    std::size_t j = i + 1;
+    while (j < batch.size() && site_for(batch[j]) == site) ++j;
+    if (site == kNoSite) {
+      unguarded_ += j - i;
+      for (std::size_t p = i; p < j; ++p) {
+        decisions[p] = RouterDecision::kIgnored;
+      }
+    } else {
+      sites_[site].router->process_batch(batch.subspan(i, j - i),
+                                         decisions.subspan(i, j - i));
+    }
+    i = j;
+  }
 }
 
 std::size_t FilterBank::total_filter_state_bytes() const {

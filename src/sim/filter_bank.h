@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "filter/bitmap_filter.h"
+#include "net/packet_batch.h"
 #include "sim/edge_router.h"
 
 namespace upbound {
@@ -39,6 +40,11 @@ class FilterBank {
   /// Routes the packet to its site's filter. Packets that belong to no
   /// site are passed through (kIgnored).
   RouterDecision process(const PacketRecord& pkt);
+
+  /// Batched routing: consecutive packets of the same site are handed to
+  /// that site's router as one sub-batch, so each site still sees its
+  /// packets in trace order. Writes one decision per packet.
+  void process_batch(PacketBatch batch, std::span<RouterDecision> decisions);
 
   std::size_t site_count() const { return sites_.size(); }
   /// Site index for an address, or npos when unguarded.

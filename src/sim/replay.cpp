@@ -1,5 +1,10 @@
 #include "sim/replay.h"
 
+#include <algorithm>
+#include <array>
+
+#include "net/packet_batch.h"
+
 namespace upbound {
 
 namespace {
@@ -20,17 +25,28 @@ void account_offered(ReplayResult& result, const PacketRecord& pkt,
 ReplayResult replay_trace(const Trace& trace, EdgeRouter& router,
                           const ClientNetwork& network,
                           Duration series_bucket) {
+  // Fixed-size chunks through the batched datapath; the decision buffer
+  // lives on the stack so replay performs no per-packet allocation.
+  constexpr std::size_t kReplayBatch = 256;
+  std::array<RouterDecision, kReplayBatch> decisions;
+
   ReplayResult result{series_bucket};
-  for (const PacketRecord& pkt : trace) {
-    const Direction dir = network.classify(pkt);
-    account_offered(result, pkt, dir);
-    const RouterDecision decision = router.process(pkt);
-    if (decision == RouterDecision::kPassedOutbound) {
-      result.passed_outbound.add(pkt.timestamp,
-                                 static_cast<double>(pkt.wire_size()));
-    } else if (decision == RouterDecision::kPassedInbound) {
-      result.passed_inbound.add(pkt.timestamp,
-                                static_cast<double>(pkt.wire_size()));
+  for (std::size_t start = 0; start < trace.size(); start += kReplayBatch) {
+    const std::size_t n = std::min(kReplayBatch, trace.size() - start);
+    const PacketBatch batch{trace.data() + start, n};
+    for (const PacketRecord& pkt : batch) {
+      account_offered(result, pkt, network.classify(pkt));
+    }
+    router.process_batch(batch, std::span<RouterDecision>{decisions.data(), n});
+    for (std::size_t p = 0; p < n; ++p) {
+      const PacketRecord& pkt = batch[p];
+      if (decisions[p] == RouterDecision::kPassedOutbound) {
+        result.passed_outbound.add(pkt.timestamp,
+                                   static_cast<double>(pkt.wire_size()));
+      } else if (decisions[p] == RouterDecision::kPassedInbound) {
+        result.passed_inbound.add(pkt.timestamp,
+                                  static_cast<double>(pkt.wire_size()));
+      }
     }
   }
   result.stats = router.stats();

@@ -1,0 +1,39 @@
+#include "util/counters.h"
+
+#include <algorithm>
+
+namespace upbound {
+
+StageCounter& CounterRegistry::counter(std::string_view name) {
+  for (auto& [existing, value] : counters_) {
+    if (existing == name) return value;
+  }
+  counters_.emplace_back(std::string{name}, StageCounter{});
+  return counters_.back().second;
+}
+
+std::uint64_t CounterRegistry::value(std::string_view name) const {
+  for (const auto& [existing, value] : counters_) {
+    if (existing == name) return value.value();
+  }
+  return 0;
+}
+
+CounterSnapshot CounterRegistry::snapshot() const {
+  CounterSnapshot out;
+  out.reserve(counters_.size());
+  for (const auto& [name, value] : counters_) {
+    out.push_back(CounterSample{name, value.value()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CounterSample& a, const CounterSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void CounterRegistry::reset() {
+  for (auto& [name, value] : counters_) value.reset();
+}
+
+}  // namespace upbound

@@ -1,0 +1,64 @@
+// Lightweight named-counter registry for datapath instrumentation.
+//
+// Each pipeline stage owns StageCounter references resolved once at setup
+// (a linear name lookup); the hot path then pays a single add on a plain
+// u64 -- no hashing, no atomics, no branches. snapshot() materializes a
+// name-sorted copy for reports and cross-implementation comparisons, so a
+// registry can be diffed with operator== in tests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace upbound {
+
+/// One monotonically increasing event counter. Not thread-safe; each
+/// datapath thread should own its registry and merge snapshots.
+class StageCounter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// A point-in-time reading of one counter.
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+
+  bool operator==(const CounterSample&) const = default;
+};
+
+/// Name-sorted readings of a whole registry.
+using CounterSnapshot = std::vector<CounterSample>;
+
+class CounterRegistry {
+ public:
+  /// Returns the counter registered under `name`, creating it at zero on
+  /// first use. The reference stays valid for the registry's lifetime.
+  StageCounter& counter(std::string_view name);
+
+  /// Current value of `name`, or 0 when it was never registered.
+  std::uint64_t value(std::string_view name) const;
+
+  /// All counters, sorted by name.
+  CounterSnapshot snapshot() const;
+
+  std::size_t size() const { return counters_.size(); }
+
+  /// Zeroes every registered counter (registrations are kept).
+  void reset();
+
+ private:
+  // A deque keeps addresses stable across registrations; registries hold
+  // tens of counters, so linear lookup at registration time is fine.
+  std::deque<std::pair<std::string, StageCounter>> counters_;
+};
+
+}  // namespace upbound

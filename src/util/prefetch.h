@@ -1,0 +1,27 @@
+// Software prefetch hints for the batched datapath. The batch pipeline
+// computes all hash indexes for a chunk first, issues prefetches for every
+// bit-vector word the chunk will touch, and only then dereferences them --
+// turning a serial chain of dependent cache misses into overlapped ones
+// (memory-level parallelism). On compilers without __builtin_prefetch the
+// hints compile to nothing; correctness never depends on them.
+#pragma once
+
+namespace upbound {
+
+inline void prefetch_read(const void* addr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, 0, 3);
+#else
+  (void)addr;
+#endif
+}
+
+inline void prefetch_write(const void* addr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, 1, 3);
+#else
+  (void)addr;
+#endif
+}
+
+}  // namespace upbound

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
 
+#include "net/packet_batch.h"
 #include "util/rng.h"
 
 namespace upbound {
@@ -133,6 +135,45 @@ TEST(ConcurrentBitmap, ReadersWritersAndRotatorDoNotLoseFreshMarks) {
   // explicitly documented publish-then-clear straggler window.
   EXPECT_LE(false_negatives.load(), 2u);
   EXPECT_GT(filter.rotations(), 0u);
+}
+
+TEST(ConcurrentBitmap, ParallelBatchMarkersAllVisibleToBatchLookup) {
+  // The batch entry points keep their hash scratch on the stack, so
+  // concurrent batch calls from many threads must neither race nor lose
+  // marks. Threads mark disjoint tuple ranges in chunks through
+  // record_outbound_batch; afterwards a batched lookup must admit all.
+  ConcurrentBitmapFilter filter{small_config()};
+  constexpr int kThreads = 8;
+  constexpr std::uint32_t kPerThread = 2'000;
+  constexpr std::size_t kChunk = 64;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&filter, w] {
+      Trace chunk;
+      for (std::uint32_t i = 0; i < kPerThread; ++i) {
+        chunk.push_back(
+            pkt_of(tuple_n(static_cast<std::uint32_t>(w) * kPerThread + i)));
+        if (chunk.size() == kChunk || i + 1 == kPerThread) {
+          filter.record_outbound_batch(PacketBatch{chunk});
+          chunk.clear();
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  Trace probes;
+  for (std::uint32_t n = 0; n < kThreads * kPerThread; ++n) {
+    PacketRecord probe = pkt_of(tuple_n(n));
+    probe.tuple = probe.tuple.inverse();
+    probes.push_back(probe);
+  }
+  std::unique_ptr<bool[]> admits{new bool[probes.size()]};
+  filter.admits_inbound_batch(PacketBatch{probes},
+                              std::span<bool>{admits.get(), probes.size()});
+  for (std::size_t n = 0; n < probes.size(); ++n) {
+    ASSERT_TRUE(admits[n]) << "lost batched mark " << n;
+  }
 }
 
 TEST(ConcurrentBitmap, StorageMatchesSequential) {

@@ -4,10 +4,17 @@
 // impossible while marks are fresh; false positives possible but bounded).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+
+#include "filter/aging_bloom.h"
 #include "filter/bitmap_filter.h"
+#include "filter/concurrent_bitmap.h"
 #include "filter/naive_filter.h"
 #include "filter/params.h"
 #include "filter/spi_filter.h"
+#include "sim/edge_router.h"
+#include "trace/campus.h"
 #include "util/rng.h"
 
 namespace upbound {
@@ -126,6 +133,132 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.hash_count) + "_c" +
              std::to_string(info.param.connections);
     });
+
+// --- Batched datapath differential tests -------------------------------
+//
+// The batch API's contract is bit-identical decisions and stats versus
+// processing the same packets one at a time. These tests enforce it for
+// every filter implementation on a realistic campus trace, including the
+// blocklist feedback, the RED policy's rng stream, and deliberately
+// injected timestamp regressions.
+
+std::unique_ptr<StateFilter> make_filter(const std::string& kind) {
+  if (kind == "bitmap") {
+    return std::make_unique<BitmapFilter>(BitmapFilterConfig{});
+  }
+  if (kind == "bitmap_mt") {
+    return std::make_unique<ConcurrentBitmapFilter>(BitmapFilterConfig{});
+  }
+  if (kind == "aging") {
+    return std::make_unique<AgingBloomFilter>(AgingBloomConfig{});
+  }
+  if (kind == "naive") {
+    return std::make_unique<NaiveFilter>(NaiveFilterConfig{});
+  }
+  return std::make_unique<SpiFilter>(SpiFilterConfig{});
+}
+
+class BatchScalarDifferential
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BatchScalarDifferential, BatchDecisionsBitIdenticalToScalar) {
+  CampusTraceConfig trace_config;
+  trace_config.duration = Duration::sec(20.0);
+  trace_config.connections_per_sec = 40.0;
+  trace_config.bandwidth_bps = 6e6;
+  trace_config.seed = 33;
+  const GeneratedTrace generated = generate_campus_trace(trace_config);
+
+  // Inject timestamp regressions so the clamp path is exercised too.
+  Trace packets = generated.packets;
+  for (std::size_t i = 50; i < packets.size(); i += 97) {
+    packets[i].timestamp = packets[i].timestamp - Duration::sec(0.5);
+  }
+
+  EdgeRouterConfig config;
+  config.network = generated.network;
+  config.track_blocked_connections = true;
+  config.seed = 99;
+  // RED band below the offered load so the policy drops, blocks, and
+  // consumes rng -- any ordering divergence desynchronizes the streams.
+  EdgeRouter scalar{config, make_filter(GetParam()),
+                    std::make_unique<RedDropPolicy>(1e6, 4e6)};
+  EdgeRouter batched{config, make_filter(GetParam()),
+                     std::make_unique<RedDropPolicy>(1e6, 4e6)};
+
+  std::vector<RouterDecision> scalar_decisions;
+  scalar_decisions.reserve(packets.size());
+  for (const PacketRecord& pkt : packets) {
+    scalar_decisions.push_back(scalar.process(pkt));
+  }
+
+  std::vector<RouterDecision> batch_decisions(packets.size());
+  constexpr std::size_t kChunk = 37;  // odd: exercises partial tails
+  for (std::size_t start = 0; start < packets.size(); start += kChunk) {
+    const std::size_t n = std::min(kChunk, packets.size() - start);
+    batched.process_batch(
+        PacketBatch{packets.data() + start, n},
+        std::span<RouterDecision>{batch_decisions.data() + start, n});
+  }
+
+  ASSERT_EQ(scalar_decisions, batch_decisions);
+  const EdgeRouterStats scalar_stats = scalar.stats();
+  EXPECT_EQ(scalar_stats, batched.stats());
+  EXPECT_GT(scalar_stats.out_of_order_packets, 0u);
+  EXPECT_GT(scalar_stats.blocked_drops, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFilters, BatchScalarDifferential,
+                         ::testing::Values("bitmap", "bitmap_mt", "aging",
+                                           "naive", "spi"),
+                         [](const ::testing::TestParamInfo<const char*>&
+                                info) { return std::string(info.param); });
+
+TEST(BatchScalarDifferential, BitmapBatchApiMatchesScalarAcrossRotations) {
+  BitmapFilterConfig config;
+  config.log2_bits = 14;
+  BitmapFilter scalar{config};
+  BitmapFilter batched{config};
+
+  Rng rng{4242};
+  std::vector<FiveTuple> pool;
+  for (int i = 0; i < 300; ++i) pool.push_back(random_tuple(rng));
+
+  Trace marks;
+  Trace probes;
+  double t = 0.0;
+  while (t < 60.0) {  // spans many 5 s rotations and full expiries
+    t += rng.exponential(0.02);
+    const FiveTuple& tuple = pool[rng.next_below(pool.size())];
+    marks.push_back(packet(tuple, t));
+    probes.push_back(packet(rng.next_bool(0.8)
+                                ? tuple.inverse()
+                                : random_tuple(rng).inverse(),
+                            t));
+  }
+
+  constexpr std::size_t kChunk = 41;
+  const auto scalar_admit = [&](const PacketRecord& pkt) {
+    scalar.advance_time(pkt.timestamp);
+    return scalar.admits_inbound(pkt);
+  };
+  std::unique_ptr<bool[]> admits{new bool[kChunk]};
+  for (std::size_t start = 0; start < marks.size(); start += kChunk) {
+    const std::size_t n = std::min(kChunk, marks.size() - start);
+    for (std::size_t p = start; p < start + n; ++p) {
+      scalar.advance_time(marks[p].timestamp);
+      scalar.record_outbound(marks[p]);
+    }
+    batched.record_outbound_batch(PacketBatch{marks.data() + start, n});
+    batched.admits_inbound_batch(PacketBatch{probes.data() + start, n},
+                                 std::span<bool>{admits.get(), n});
+    for (std::size_t p = 0; p < n; ++p) {
+      ASSERT_EQ(scalar_admit(probes[start + p]), admits[p])
+          << "probe " << (start + p) << " at t="
+          << probes[start + p].timestamp.to_string();
+    }
+  }
+}
 
 TEST(FilterCrossValidation, SpiAdmitsEstablishedSubsetOfNaiveLongTimer) {
   // With matching long timers and no closes, SPI and naive agree exactly.

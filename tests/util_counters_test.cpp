@@ -1,0 +1,69 @@
+#include "util/counters.h"
+
+#include <gtest/gtest.h>
+
+namespace upbound {
+namespace {
+
+TEST(Counters, StartAtZeroAndAccumulate) {
+  CounterRegistry registry;
+  StageCounter& hits = registry.counter("state.hits");
+  EXPECT_EQ(hits.value(), 0u);
+  hits.inc();
+  hits.inc(41);
+  EXPECT_EQ(hits.value(), 42u);
+  EXPECT_EQ(registry.value("state.hits"), 42u);
+}
+
+TEST(Counters, LookupIsIdempotentAndReferencesAreStable) {
+  CounterRegistry registry;
+  StageCounter& first = registry.counter("a");
+  // Registering many more counters must not invalidate `first`.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("filler." + std::to_string(i)).inc();
+  }
+  StageCounter& again = registry.counter("a");
+  EXPECT_EQ(&first, &again);
+  first.inc(7);
+  EXPECT_EQ(registry.value("a"), 7u);
+  EXPECT_EQ(registry.size(), 101u);
+}
+
+TEST(Counters, UnknownNameReadsZero) {
+  CounterRegistry registry;
+  EXPECT_EQ(registry.value("never.registered"), 0u);
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(Counters, SnapshotIsNameSortedAndComparable) {
+  CounterRegistry registry;
+  registry.counter("zeta").inc(3);
+  registry.counter("alpha").inc(1);
+  registry.counter("mid").inc(2);
+
+  const CounterSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0], (CounterSample{"alpha", 1}));
+  EXPECT_EQ(snap[1], (CounterSample{"mid", 2}));
+  EXPECT_EQ(snap[2], (CounterSample{"zeta", 3}));
+
+  CounterRegistry other;
+  other.counter("alpha").inc(1);
+  other.counter("zeta").inc(3);
+  other.counter("mid").inc(2);
+  EXPECT_EQ(snap, other.snapshot());  // registration order is irrelevant
+}
+
+TEST(Counters, ResetZeroesValuesButKeepsRegistrations) {
+  CounterRegistry registry;
+  StageCounter& drops = registry.counter("policy.drops");
+  drops.inc(9);
+  registry.reset();
+  EXPECT_EQ(drops.value(), 0u);
+  EXPECT_EQ(registry.size(), 1u);
+  drops.inc();
+  EXPECT_EQ(registry.value("policy.drops"), 1u);
+}
+
+}  // namespace
+}  // namespace upbound
