@@ -17,6 +17,7 @@
 #include "filter/spi_filter.h"
 #include "net/pcap.h"
 #include "net/pcapng.h"
+#include "sim/parallel_replay.h"
 #include "sim/replay.h"
 #include "sim/report.h"
 #include "trace/campus.h"
@@ -89,6 +90,110 @@ int reject_unconsumed(const Args& args) {
     std::fprintf(stderr, "error: unknown option --%s\n", key.c_str());
   }
   return 2;
+}
+
+/// Everything needed to build a fresh state filter -- parsed once from the
+/// args, then instantiated per shard by the parallel replay factory.
+struct FilterSpec {
+  std::string kind;
+  BitmapFilterConfig bitmap;
+  AgingBloomConfig aging;
+  SpiFilterConfig spi;
+  NaiveFilterConfig naive;
+};
+
+FilterSpec filter_spec_from(const Args& args, const std::string& kind) {
+  FilterSpec spec;
+  spec.kind = kind;
+  if (kind == "bitmap" || kind == "bitmap-mt") {
+    spec.bitmap = bitmap_from(args);
+  } else if (kind == "aging") {
+    spec.aging.cells = std::size_t{1} << args.get_int("bits", 20);
+    spec.aging.hash_count = static_cast<unsigned>(args.get_int("m", 3));
+    spec.aging.epoch = Duration::sec(args.get_double("dt", 5.0));
+    spec.aging.valid_epochs = static_cast<unsigned>(args.get_int("k", 4));
+    if (args.get_flag("hole-punching")) {
+      spec.aging.key_mode = KeyMode::kHolePunching;
+    }
+    spec.aging.validate();
+  } else if (kind == "spi") {
+    spec.spi.idle_timeout = Duration::sec(args.get_double("timeout", 240.0));
+  } else if (kind == "naive") {
+    spec.naive.state_timeout = Duration::sec(args.get_double("timeout", 20.0));
+  } else {
+    throw ArgError("unknown --filter '" + kind +
+                   "' (bitmap|bitmap-mt|aging|spi|naive)");
+  }
+  return spec;
+}
+
+std::unique_ptr<StateFilter> make_filter(const FilterSpec& spec) {
+  if (spec.kind == "bitmap") return std::make_unique<BitmapFilter>(spec.bitmap);
+  if (spec.kind == "bitmap-mt") {
+    return std::make_unique<ConcurrentBitmapFilter>(spec.bitmap);
+  }
+  if (spec.kind == "aging") {
+    return std::make_unique<AgingBloomFilter>(spec.aging);
+  }
+  if (spec.kind == "spi") return std::make_unique<SpiFilter>(spec.spi);
+  return std::make_unique<NaiveFilter>(spec.naive);
+}
+
+/// Parsed drop-policy parameters; RED thresholds are divided by the shard
+/// count in parallel mode, since each shard meters only its own slice of
+/// the uplink.
+struct PolicySpec {
+  bool red = false;
+  double low = 50e6;
+  double high = 100e6;
+  double pd = 1.0;
+};
+
+PolicySpec policy_spec_from(const Args& args) {
+  PolicySpec spec;
+  if (args.has("low") || args.has("high")) {
+    spec.red = true;
+    spec.low = args.get_double("low", 50e6);
+    spec.high = args.get_double("high", 100e6);
+  } else {
+    spec.pd = args.get_double("pd", 1.0);
+  }
+  return spec;
+}
+
+std::unique_ptr<DropPolicy> make_policy(const PolicySpec& spec,
+                                        std::size_t shards) {
+  if (spec.red) {
+    const double scale = static_cast<double>(shards == 0 ? 1 : shards);
+    return std::make_unique<RedDropPolicy>(spec.low / scale,
+                                           spec.high / scale);
+  }
+  return std::make_unique<ConstantDropPolicy>(spec.pd);
+}
+
+std::string shard_mode_from(const Args& args) {
+  const std::string mode = args.get_string("shard-mode", "sharded");
+  if (mode != "sharded" && mode != "shared") {
+    throw ArgError("unknown --shard-mode '" + mode + "' (sharded|shared)");
+  }
+  return mode;
+}
+
+void print_shard_table(const ParallelReplayResult& result) {
+  std::vector<std::vector<std::string>> rows{
+      {"shard", "packets", "out bytes", "in passed", "in dropped",
+       "drop rate"}};
+  for (std::size_t s = 0; s < result.shards; ++s) {
+    const EdgeRouterStats& stats = result.shard_stats[s];
+    rows.push_back({std::to_string(s),
+                    std::to_string(result.shard_packets[s]),
+                    std::to_string(stats.outbound_bytes),
+                    std::to_string(stats.inbound_passed_bytes),
+                    std::to_string(stats.inbound_dropped_packets),
+                    report::percent(stats.inbound_drop_rate())});
+  }
+  std::printf("\nper-shard breakdown (%zu shards, %zu threads):\n%s",
+              result.shards, result.threads, report::table(rows).c_str());
 }
 
 }  // namespace
@@ -218,66 +323,120 @@ int cmd_filter(const Args& args) {
   const std::string out = args.get_string("out", "");
   const std::string save_state = args.get_string("save-state", "");
   const std::string load_state = args.get_string("load-state", "");
+  const std::size_t threads =
+      static_cast<std::size_t>(args.get_int("threads", 1));
+  const std::size_t shards =
+      static_cast<std::size_t>(args.get_int("shards", 0));
+  const std::string shard_mode = shard_mode_from(args);
 
   EdgeRouterConfig config;
   config.network = network_from(args);
   config.track_blocked_connections = args.get_flag("blocklist");
   config.seed = args.get_u64("seed", 7);
 
-  std::unique_ptr<StateFilter> filter;
-  if (kind == "bitmap") {
-    if (!load_state.empty()) {
-      std::FILE* f = std::fopen(load_state.c_str(), "rb");
-      if (f == nullptr) throw ArgError("cannot read " + load_state);
-      std::vector<std::uint8_t> bytes;
-      std::uint8_t buf[4096];
-      std::size_t got;
-      while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-        bytes.insert(bytes.end(), buf, buf + got);
-      }
-      std::fclose(f);
-      auto restored = restore_bitmap_filter(bytes);
-      if (!restored) throw ArgError("malformed snapshot " + load_state);
-      std::printf("restored bitmap state from %s (snapshot at %s)\n",
-                  load_state.c_str(),
-                  restored->snapshot_time.to_string().c_str());
-      filter = std::make_unique<BitmapFilter>(std::move(restored->filter));
+  if (threads > 1) {
+    if (!out.empty() || !save_state.empty() || !load_state.empty()) {
+      throw ArgError(
+          "--out/--save-state/--load-state require --threads 1");
+    }
+    if (shard_mode == "shared" && kind != "bitmap" && kind != "bitmap-mt") {
+      throw ArgError("--shard-mode shared requires --filter bitmap|bitmap-mt");
+    }
+    const FilterSpec spec = filter_spec_from(args, kind);
+    const PolicySpec policy_spec = policy_spec_from(args);
+    if (const int rc = reject_unconsumed(args); rc != 0) return rc;
+
+    const Trace trace = read_capture(path, nullptr);
+    ParallelReplayConfig pconfig;
+    pconfig.threads = threads;
+    pconfig.shards = shards;
+    const std::size_t effective_shards =
+        shards == 0 ? kDefaultShardCount : shards;
+
+    std::unique_ptr<ConcurrentBitmapFilter> shared_filter;
+    if (shard_mode == "shared") {
+      shared_filter = std::make_unique<ConcurrentBitmapFilter>(spec.bitmap);
+    }
+    ConcurrentBitmapFilter* shared = shared_filter.get();
+    const EdgeRouterConfig base = config;
+    const ShardRouterFactory factory =
+        [&spec, &policy_spec, &base, shared, effective_shards](
+            const ClientNetwork& net, std::size_t shard) {
+          EdgeRouterConfig cfg = base;
+          cfg.network = net;
+          cfg.seed = shard_seed(base.seed, shard);
+          std::unique_ptr<StateFilter> shard_state =
+              shared != nullptr
+                  ? std::unique_ptr<StateFilter>(
+                        std::make_unique<SharedFilterView>(*shared))
+                  : make_filter(spec);
+          return std::make_unique<EdgeRouter>(
+              cfg, std::move(shard_state),
+              make_policy(policy_spec, effective_shards));
+        };
+
+    const ParallelReplayResult result =
+        parallel_replay(trace, config.network, factory, pconfig);
+    const EdgeRouterStats& stats = result.merged.stats;
+    std::printf("outbound passed:  %llu packets, %llu bytes\n",
+                static_cast<unsigned long long>(stats.outbound_packets),
+                static_cast<unsigned long long>(stats.outbound_bytes));
+    std::printf("inbound passed:   %llu packets, %llu bytes\n",
+                static_cast<unsigned long long>(stats.inbound_passed_packets),
+                static_cast<unsigned long long>(stats.inbound_passed_bytes));
+    std::printf("inbound dropped:  %llu packets (%s), %llu via blocklist\n",
+                static_cast<unsigned long long>(
+                    stats.inbound_dropped_packets),
+                report::percent(stats.inbound_drop_rate()).c_str(),
+                static_cast<unsigned long long>(stats.blocked_drops));
+    std::printf("upload suppressed: %llu packets, %llu bytes\n",
+                static_cast<unsigned long long>(
+                    stats.suppressed_outbound_packets),
+                static_cast<unsigned long long>(
+                    stats.suppressed_outbound_bytes));
+    if (shared != nullptr) {
+      std::printf("filter state: %zu bytes shared across %zu shards (%s)\n",
+                  shared->storage_bytes(), result.shards,
+                  result.filter_name.c_str());
     } else {
-      filter = std::make_unique<BitmapFilter>(bitmap_from(args));
+      std::size_t total_bytes = 0;
+      for (const std::size_t bytes : result.shard_filter_bytes) {
+        total_bytes += bytes;
+      }
+      std::printf("filter state: %zu bytes over %zu shards (%s)\n",
+                  total_bytes, result.shards, result.filter_name.c_str());
     }
-  } else if (kind == "bitmap-mt") {
-    filter = std::make_unique<ConcurrentBitmapFilter>(bitmap_from(args));
-  } else if (kind == "aging") {
-    AgingBloomConfig aging;
-    aging.cells = std::size_t{1} << args.get_int("bits", 20);
-    aging.hash_count = static_cast<unsigned>(args.get_int("m", 3));
-    aging.epoch = Duration::sec(args.get_double("dt", 5.0));
-    aging.valid_epochs = static_cast<unsigned>(args.get_int("k", 4));
-    if (args.get_flag("hole-punching")) {
-      aging.key_mode = KeyMode::kHolePunching;
+    std::printf("datapath stage counters:\n");
+    for (const CounterSample& sample : stats.stage_counters) {
+      std::printf("  %-28s %llu\n", sample.name.c_str(),
+                  static_cast<unsigned long long>(sample.value));
     }
-    aging.validate();
-    filter = std::make_unique<AgingBloomFilter>(aging);
-  } else if (kind == "spi") {
-    SpiFilterConfig spi;
-    spi.idle_timeout = Duration::sec(args.get_double("timeout", 240.0));
-    filter = std::make_unique<SpiFilter>(spi);
-  } else if (kind == "naive") {
-    NaiveFilterConfig naive;
-    naive.state_timeout = Duration::sec(args.get_double("timeout", 20.0));
-    filter = std::make_unique<NaiveFilter>(naive);
-  } else {
-    throw ArgError("unknown --filter '" + kind +
-                   "' (bitmap|bitmap-mt|aging|spi|naive)");
+    print_shard_table(result);
+    return 0;
   }
 
-  std::unique_ptr<DropPolicy> policy;
-  if (args.has("low") || args.has("high")) {
-    policy = std::make_unique<RedDropPolicy>(args.get_double("low", 50e6),
-                                             args.get_double("high", 100e6));
+  std::unique_ptr<StateFilter> filter;
+  if (kind == "bitmap" && !load_state.empty()) {
+    std::FILE* f = std::fopen(load_state.c_str(), "rb");
+    if (f == nullptr) throw ArgError("cannot read " + load_state);
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      bytes.insert(bytes.end(), buf, buf + got);
+    }
+    std::fclose(f);
+    auto restored = restore_bitmap_filter(bytes);
+    if (!restored) throw ArgError("malformed snapshot " + load_state);
+    std::printf("restored bitmap state from %s (snapshot at %s)\n",
+                load_state.c_str(),
+                restored->snapshot_time.to_string().c_str());
+    filter = std::make_unique<BitmapFilter>(std::move(restored->filter));
   } else {
-    policy = std::make_unique<ConstantDropPolicy>(args.get_double("pd", 1.0));
+    filter = make_filter(filter_spec_from(args, kind));
   }
+
+  std::unique_ptr<DropPolicy> policy = make_policy(policy_spec_from(args), 1);
   if (const int rc = reject_unconsumed(args); rc != 0) return rc;
 
   const Trace trace = read_capture(path, nullptr);
@@ -356,14 +515,15 @@ int cmd_compare(const Args& args) {
   const ClientNetwork network = network_from(args);
   const BitmapFilterConfig bitmap_config = bitmap_from(args);
   const std::uint64_t seed = args.get_u64("seed", 7);
+  const std::size_t threads =
+      static_cast<std::size_t>(args.get_int("threads", 1));
+  const std::size_t shards =
+      static_cast<std::size_t>(args.get_int("shards", 0));
+  const std::string shard_mode = shard_mode_from(args);
   if (const int rc = reject_unconsumed(args); rc != 0) return rc;
 
   const Trace trace = read_capture(path, nullptr);
 
-  struct Candidate {
-    const char* name;
-    std::unique_ptr<StateFilter> filter;
-  };
   AgingBloomConfig aging;
   aging.cells = bitmap_config.bits();
   aging.hash_count = bitmap_config.hash_count;
@@ -371,22 +531,78 @@ int cmd_compare(const Args& args) {
   aging.valid_epochs = bitmap_config.vector_count;
   NaiveFilterConfig naive;
   naive.state_timeout = bitmap_config.expiry_timer();
-  Candidate candidates[] = {
-      {"bitmap", std::make_unique<BitmapFilter>(bitmap_config)},
-      {"aging-bloom", std::make_unique<AgingBloomFilter>(aging)},
-      {"naive (exact)", std::make_unique<NaiveFilter>(naive)},
-      {"spi (240s)", std::make_unique<SpiFilter>(SpiFilterConfig{})},
+
+  struct Candidate {
+    const char* name;
+    FilterSpec spec;
+  };
+  FilterSpec bitmap_spec{"bitmap", bitmap_config, {}, {}, {}};
+  // In shared mode the bitmap row drives one concurrent filter from every
+  // shard instead of a per-shard BitmapFilter.
+  if (threads > 1 && shard_mode == "shared") bitmap_spec.kind = "bitmap-mt";
+  const Candidate candidates[] = {
+      {threads > 1 && shard_mode == "shared" ? "bitmap (shared)" : "bitmap",
+       bitmap_spec},
+      {"aging-bloom", FilterSpec{"aging", {}, aging, {}, {}}},
+      {"naive (exact)", FilterSpec{"naive", {}, {}, {}, naive}},
+      {"spi (240s)", FilterSpec{"spi", {}, {}, SpiFilterConfig{}, {}}},
   };
 
   std::vector<std::vector<std::string>> rows{
       {"filter", "inbound drop rate", "carried up", "carried down",
        "state bytes"}};
-  for (Candidate& candidate : candidates) {
+  for (const Candidate& candidate : candidates) {
+    if (threads > 1) {
+      const bool share =
+          shard_mode == "shared" && candidate.spec.kind == "bitmap-mt";
+      std::unique_ptr<ConcurrentBitmapFilter> shared_filter;
+      if (share) {
+        shared_filter = std::make_unique<ConcurrentBitmapFilter>(
+            candidate.spec.bitmap);
+      }
+      ConcurrentBitmapFilter* shared = shared_filter.get();
+      const ShardRouterFactory factory =
+          [&candidate, &network, seed, pd, shared](const ClientNetwork&,
+                                                   std::size_t shard) {
+            EdgeRouterConfig config;
+            config.network = network;
+            config.seed = shard_seed(seed, shard);
+            config.track_blocked_connections = false;
+            std::unique_ptr<StateFilter> shard_state =
+                shared != nullptr
+                    ? std::unique_ptr<StateFilter>(
+                          std::make_unique<SharedFilterView>(*shared))
+                    : make_filter(candidate.spec);
+            return std::make_unique<EdgeRouter>(
+                config, std::move(shard_state),
+                std::make_unique<ConstantDropPolicy>(pd));
+          };
+      ParallelReplayConfig pconfig;
+      pconfig.threads = threads;
+      pconfig.shards = shards;
+      const ParallelReplayResult result =
+          parallel_replay(trace, network, factory, pconfig);
+      std::size_t state_bytes = 0;
+      if (shared != nullptr) {
+        state_bytes = shared->storage_bytes();
+      } else {
+        for (const std::size_t bytes : result.shard_filter_bytes) {
+          state_bytes += bytes;
+        }
+      }
+      const EdgeRouterStats& stats = result.merged.stats;
+      rows.push_back({candidate.name,
+                      report::percent(stats.inbound_drop_rate(), 3),
+                      std::to_string(stats.outbound_bytes),
+                      std::to_string(stats.inbound_passed_bytes),
+                      std::to_string(state_bytes)});
+      continue;
+    }
     EdgeRouterConfig config;
     config.network = network;
     config.seed = seed;
     config.track_blocked_connections = false;
-    EdgeRouter router{config, std::move(candidate.filter),
+    EdgeRouter router{config, make_filter(candidate.spec),
                       std::make_unique<ConstantDropPolicy>(pd)};
     constexpr std::size_t kCompareBatch = 256;
     std::array<RouterDecision, kCompareBatch> decisions;
@@ -450,9 +666,11 @@ void print_usage() {
       "            [--bits N --k K --dt SEC --m M] [--hole-punching]\n"
       "            [--timeout SEC] [--out FILE] [--seed N]\n"
       "            [--save-state FILE] [--load-state FILE]\n"
+      "            [--threads N] [--shards S] [--shard-mode sharded|shared]\n"
       "  compare   run bitmap / aging-bloom / naive / spi side by side\n"
       "            --pcap FILE [--network CIDR] [--pd PROB]\n"
       "            [--bits N --k K --dt SEC --m M]\n"
+      "            [--threads N] [--shards S] [--shard-mode sharded|shared]\n"
       "  advise    size a bitmap filter for an expected load\n"
       "            [--connections N] [--bits N] [--k K] [--dt SEC]\n");
 }

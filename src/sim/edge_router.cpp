@@ -297,6 +297,22 @@ RouterDecision EdgeRouter::drop_or_pass_inbound(const PacketRecord& pkt,
   return admit_inbound(pkt);
 }
 
+EdgeRouterStats& EdgeRouterStats::merge(const EdgeRouterStats& other) {
+  outbound_packets += other.outbound_packets;
+  outbound_bytes += other.outbound_bytes;
+  inbound_passed_packets += other.inbound_passed_packets;
+  inbound_passed_bytes += other.inbound_passed_bytes;
+  inbound_dropped_packets += other.inbound_dropped_packets;
+  inbound_dropped_bytes += other.inbound_dropped_bytes;
+  blocked_drops += other.blocked_drops;
+  suppressed_outbound_packets += other.suppressed_outbound_packets;
+  suppressed_outbound_bytes += other.suppressed_outbound_bytes;
+  ignored_packets += other.ignored_packets;
+  out_of_order_packets += other.out_of_order_packets;
+  merge_counter_snapshot(stage_counters, other.stage_counters);
+  return *this;
+}
+
 EdgeRouterStats EdgeRouter::stats() const {
   EdgeRouterStats out = stats_;
   out.stage_counters = counters_.snapshot();

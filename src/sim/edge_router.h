@@ -84,6 +84,12 @@ struct EdgeRouterStats {
 
   bool operator==(const EdgeRouterStats&) const = default;
 
+  /// Sums `other` into this stats object, including the per-stage counter
+  /// snapshot (merged by name). Merging per-shard stats in a fixed shard
+  /// order is how the parallel replay engine builds its deterministic
+  /// aggregate report.
+  EdgeRouterStats& merge(const EdgeRouterStats& other);
+
   /// Inbound drop rate over all inbound packets.
   double inbound_drop_rate() const {
     const std::uint64_t total =

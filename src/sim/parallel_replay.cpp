@@ -1,0 +1,270 @@
+#include "sim/parallel_replay.h"
+
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "util/rng.h"
+#include "util/spsc_ring.h"
+
+namespace upbound {
+
+namespace {
+
+/// Fixed salt so shard placement is stable across runs and processes
+/// (changing it would change the decomposition, i.e. the semantics).
+constexpr std::uint64_t kShardHashSeed = 0x73686172645f7632ULL;
+
+/// A filled packet buffer in flight between the partitioner and a worker.
+struct Chunk {
+  PacketRecord* data = nullptr;
+  std::size_t size = 0;
+};
+
+/// Per-shard hand-off lane: a data ring carrying filled chunks toward the
+/// worker and a free ring recycling consumed buffers back, so steady-state
+/// replay reuses ring_chunks fixed buffers per shard and never allocates.
+struct ShardLane {
+  explicit ShardLane(std::size_t ring_chunks, std::size_t chunk_packets)
+      : data_ring(ring_chunks), free_ring(ring_chunks) {
+    buffers.reserve(ring_chunks);
+    for (std::size_t i = 0; i < ring_chunks; ++i) {
+      buffers.push_back(std::make_unique<PacketRecord[]>(chunk_packets));
+      free_ring.try_push(Chunk{buffers.back().get(), 0});
+    }
+  }
+
+  SpscRing<Chunk> data_ring;  // partitioner -> worker
+  SpscRing<Chunk> free_ring;  // worker -> partitioner
+  std::vector<std::unique_ptr<PacketRecord[]>> buffers;
+  std::atomic<bool> done{false};
+
+  // Partitioner-side fill state (only the partitioning thread touches it).
+  Chunk filling;
+  std::size_t fill = 0;
+};
+
+/// Copies the replay-relevant fields of a packet; payload bytes are not
+/// consulted by any router stage (wire_size uses payload_size), so the
+/// copy stays allocation-free.
+void copy_for_replay(PacketRecord& dst, const PacketRecord& src) {
+  dst.timestamp = src.timestamp;
+  dst.tuple = src.tuple;
+  dst.flags = src.flags;
+  dst.payload_size = src.payload_size;
+  dst.payload.clear();
+  dst.checksum_valid = src.checksum_valid;
+}
+
+ParallelReplayConfig resolve(const ParallelReplayConfig& config) {
+  ParallelReplayConfig out = config;
+  if (out.shards == 0) out.shards = kDefaultShardCount;
+  if (out.threads == 0) out.threads = 1;
+  if (out.threads > out.shards) out.threads = out.shards;
+  if (out.chunk_packets == 0) out.chunk_packets = 256;
+  if (out.ring_chunks < 2) out.ring_chunks = 2;
+  return out;
+}
+
+std::vector<std::unique_ptr<EdgeRouter>> build_routers(
+    const ClientNetwork& network, const ShardRouterFactory& factory,
+    std::size_t shards) {
+  std::vector<std::unique_ptr<EdgeRouter>> routers;
+  routers.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    routers.push_back(factory(network, s));
+    if (routers.back() == nullptr) {
+      throw std::invalid_argument("parallel_replay: factory returned null");
+    }
+  }
+  return routers;
+}
+
+ParallelReplayResult merge_shards(
+    const ParallelReplayConfig& config,
+    std::vector<ReplayResult>& shard_results,
+    std::vector<std::uint64_t>&& shard_packets,
+    const std::vector<std::unique_ptr<EdgeRouter>>& routers) {
+  ParallelReplayResult out{config.series_bucket};
+  out.shards = config.shards;
+  out.threads = config.threads;
+  out.shard_packets = std::move(shard_packets);
+  out.shard_stats.reserve(shard_results.size());
+  for (const ReplayResult& result : shard_results) {
+    out.shard_stats.push_back(result.stats);
+    out.merged.merge(result);
+  }
+  out.shard_filter_bytes.reserve(routers.size());
+  for (const auto& router : routers) {
+    out.shard_filter_bytes.push_back(router->filter().storage_bytes());
+  }
+  if (!routers.empty()) out.filter_name = routers.front()->filter().name();
+  return out;
+}
+
+}  // namespace
+
+std::size_t shard_of(const FiveTuple& tuple, std::size_t shards) {
+  if (shards <= 1) return 0;
+  return static_cast<std::size_t>(
+      tuple_hash(tuple.canonical(), kShardHashSeed) % shards);
+}
+
+std::uint64_t shard_seed(std::uint64_t seed, std::size_t shard) {
+  std::uint64_t state = seed ^ (0x9e3779b97f4a7c15ULL * (shard + 1));
+  return splitmix64(state);
+}
+
+ParallelReplayResult parallel_replay(const Trace& trace,
+                                     const ClientNetwork& network,
+                                     const ShardRouterFactory& factory,
+                                     const ParallelReplayConfig& raw_config) {
+  const ParallelReplayConfig config = resolve(raw_config);
+  const std::size_t shards = config.shards;
+  const std::size_t threads = config.threads;
+
+  // Routers are built on this thread in shard order, so factory-side seed
+  // derivation is scheduling-independent.
+  std::vector<std::unique_ptr<EdgeRouter>> routers =
+      build_routers(network, factory, shards);
+
+  std::vector<std::unique_ptr<ShardLane>> lanes;
+  lanes.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    lanes.push_back(
+        std::make_unique<ShardLane>(config.ring_chunks, config.chunk_packets));
+  }
+
+  std::vector<ReplayResult> shard_results(shards,
+                                          ReplayResult{config.series_bucket});
+  std::vector<std::uint64_t> shard_packets(shards, 0);
+  std::vector<std::exception_ptr> worker_errors(threads);
+
+  // Workers: shard s is owned by worker s % threads; each worker drains its
+  // lanes round-robin so one stalled shard cannot starve the others.
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      try {
+        std::vector<std::size_t> owned;
+        for (std::size_t s = w; s < shards; s += threads) owned.push_back(s);
+        std::vector<bool> finished(owned.size(), false);
+        std::vector<RouterDecision> decisions(config.chunk_packets);
+        std::size_t live = owned.size();
+
+        const auto drain = [&](std::size_t s) {
+          ShardLane& lane = *lanes[s];
+          Chunk chunk;
+          bool any = false;
+          while (lane.data_ring.try_pop(chunk)) {
+            any = true;
+            const PacketBatch batch{chunk.data, chunk.size};
+            routers[s]->process_batch(
+                batch, std::span<RouterDecision>{decisions.data(), chunk.size});
+            account_replay_batch(
+                shard_results[s], network, batch,
+                std::span<const RouterDecision>{decisions.data(), chunk.size});
+            shard_packets[s] += chunk.size;
+            chunk.size = 0;
+            while (!lane.free_ring.try_push(chunk)) {
+              std::this_thread::yield();  // cannot persist: ring holds every
+            }                             // buffer
+          }
+          return any;
+        };
+
+        while (live > 0) {
+          bool progressed = false;
+          for (std::size_t i = 0; i < owned.size(); ++i) {
+            if (finished[i]) continue;
+            const std::size_t s = owned[i];
+            if (drain(s)) progressed = true;
+            // done is stored (release) after the final push, so observing it
+            // then draining once more catches any chunk that raced the first
+            // empty check; after that the lane is provably exhausted.
+            if (lanes[s]->done.load(std::memory_order_acquire)) {
+              if (drain(s)) progressed = true;
+              finished[i] = true;
+              --live;
+              shard_results[s].stats = routers[s]->stats();
+            }
+          }
+          if (!progressed && live > 0) std::this_thread::yield();
+        }
+      } catch (...) {
+        worker_errors[w] = std::current_exception();
+      }
+    });
+  }
+
+  // Partition on the calling thread: walk the trace in order, append each
+  // packet to its shard's current buffer, hand full buffers to the ring.
+  for (const PacketRecord& pkt : trace) {
+    const std::size_t s = shard_of(pkt.tuple, shards);
+    ShardLane& lane = *lanes[s];
+    if (lane.filling.data == nullptr) {
+      while (!lane.free_ring.try_pop(lane.filling)) {
+        std::this_thread::yield();  // worker is behind; wait for a buffer
+      }
+      lane.fill = 0;
+    }
+    copy_for_replay(lane.filling.data[lane.fill], pkt);
+    ++lane.fill;
+    if (lane.fill == config.chunk_packets) {
+      lane.filling.size = lane.fill;
+      while (!lane.data_ring.try_push(lane.filling)) {
+        std::this_thread::yield();
+      }
+      lane.filling = Chunk{};
+      lane.fill = 0;
+    }
+  }
+  for (std::size_t s = 0; s < shards; ++s) {
+    ShardLane& lane = *lanes[s];
+    if (lane.filling.data != nullptr && lane.fill > 0) {
+      lane.filling.size = lane.fill;
+      while (!lane.data_ring.try_push(lane.filling)) {
+        std::this_thread::yield();
+      }
+      lane.filling = Chunk{};
+    }
+    lane.done.store(true, std::memory_order_release);
+  }
+
+  for (std::thread& worker : workers) worker.join();
+  for (const std::exception_ptr& error : worker_errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  return merge_shards(config, shard_results, std::move(shard_packets), routers);
+}
+
+ParallelReplayResult sharded_replay_reference(
+    const Trace& trace, const ClientNetwork& network,
+    const ShardRouterFactory& factory,
+    const ParallelReplayConfig& raw_config) {
+  const ParallelReplayConfig config = resolve(raw_config);
+  const std::size_t shards = config.shards;
+
+  std::vector<Trace> sub_traces(shards);
+  for (const PacketRecord& pkt : trace) {
+    sub_traces[shard_of(pkt.tuple, shards)].push_back(pkt);
+  }
+
+  std::vector<std::unique_ptr<EdgeRouter>> routers =
+      build_routers(network, factory, shards);
+  std::vector<ReplayResult> shard_results;
+  std::vector<std::uint64_t> shard_packets(shards, 0);
+  shard_results.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    shard_results.push_back(replay_trace(sub_traces[s], *routers[s], network,
+                                         config.series_bucket));
+    shard_packets[s] = sub_traces[s].size();
+  }
+  return merge_shards(config, shard_results, std::move(shard_packets), routers);
+}
+
+}  // namespace upbound

@@ -22,6 +22,33 @@ void account_offered(ReplayResult& result, const PacketRecord& pkt,
 
 }  // namespace
 
+ReplayResult& ReplayResult::merge(const ReplayResult& other) {
+  stats.merge(other.stats);
+  offered_outbound.add_series(other.offered_outbound);
+  offered_inbound.add_series(other.offered_inbound);
+  passed_outbound.add_series(other.passed_outbound);
+  passed_inbound.add_series(other.passed_inbound);
+  return *this;
+}
+
+void account_replay_batch(ReplayResult& result, const ClientNetwork& network,
+                          PacketBatch batch,
+                          std::span<const RouterDecision> decisions) {
+  for (const PacketRecord& pkt : batch) {
+    account_offered(result, pkt, network.classify(pkt));
+  }
+  for (std::size_t p = 0; p < batch.size(); ++p) {
+    const PacketRecord& pkt = batch[p];
+    if (decisions[p] == RouterDecision::kPassedOutbound) {
+      result.passed_outbound.add(pkt.timestamp,
+                                 static_cast<double>(pkt.wire_size()));
+    } else if (decisions[p] == RouterDecision::kPassedInbound) {
+      result.passed_inbound.add(pkt.timestamp,
+                                static_cast<double>(pkt.wire_size()));
+    }
+  }
+}
+
 ReplayResult replay_trace(const Trace& trace, EdgeRouter& router,
                           const ClientNetwork& network,
                           Duration series_bucket) {
@@ -34,20 +61,9 @@ ReplayResult replay_trace(const Trace& trace, EdgeRouter& router,
   for (std::size_t start = 0; start < trace.size(); start += kReplayBatch) {
     const std::size_t n = std::min(kReplayBatch, trace.size() - start);
     const PacketBatch batch{trace.data() + start, n};
-    for (const PacketRecord& pkt : batch) {
-      account_offered(result, pkt, network.classify(pkt));
-    }
     router.process_batch(batch, std::span<RouterDecision>{decisions.data(), n});
-    for (std::size_t p = 0; p < n; ++p) {
-      const PacketRecord& pkt = batch[p];
-      if (decisions[p] == RouterDecision::kPassedOutbound) {
-        result.passed_outbound.add(pkt.timestamp,
-                                   static_cast<double>(pkt.wire_size()));
-      } else if (decisions[p] == RouterDecision::kPassedInbound) {
-        result.passed_inbound.add(pkt.timestamp,
-                                  static_cast<double>(pkt.wire_size()));
-      }
-    }
+    account_replay_batch(result, network, batch,
+                         std::span<const RouterDecision>{decisions.data(), n});
   }
   result.stats = router.stats();
   return result;

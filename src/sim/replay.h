@@ -23,7 +23,22 @@ struct ReplayResult {
         offered_inbound(bucket),
         passed_outbound(bucket),
         passed_inbound(bucket) {}
+
+  bool operator==(const ReplayResult&) const = default;
+
+  /// Sums `other` into this result: stats merge plus bucket-wise series
+  /// sums. All series values are integer byte counts held in doubles, so
+  /// the sums are exact and a fixed merge order is bitwise deterministic.
+  ReplayResult& merge(const ReplayResult& other);
 };
+
+/// Accounts one processed batch into `result`: offered load from the
+/// network's direction classification, carried load from the router's
+/// decisions. Shared by replay_trace and the parallel replay workers so
+/// both paths account identically.
+void account_replay_batch(ReplayResult& result, const ClientNetwork& network,
+                          PacketBatch batch,
+                          std::span<const RouterDecision> decisions);
 
 /// Replays `trace` through `router`. The offered series are measured from
 /// the raw trace with the router's network/bucketing so original and

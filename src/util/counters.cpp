@@ -36,4 +36,26 @@ void CounterRegistry::reset() {
   for (auto& [name, value] : counters_) value.reset();
 }
 
+void merge_counter_snapshot(CounterSnapshot& into,
+                            const CounterSnapshot& from) {
+  CounterSnapshot merged;
+  merged.reserve(into.size() + from.size());
+  std::size_t i = 0, j = 0;
+  while (i < into.size() && j < from.size()) {
+    if (into[i].name == from[j].name) {
+      merged.push_back(
+          CounterSample{into[i].name, into[i].value + from[j].value});
+      ++i;
+      ++j;
+    } else if (into[i].name < from[j].name) {
+      merged.push_back(into[i++]);
+    } else {
+      merged.push_back(from[j++]);
+    }
+  }
+  for (; i < into.size(); ++i) merged.push_back(into[i]);
+  for (; j < from.size(); ++j) merged.push_back(from[j]);
+  into = std::move(merged);
+}
+
 }  // namespace upbound

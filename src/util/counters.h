@@ -38,6 +38,14 @@ struct CounterSample {
 /// Name-sorted readings of a whole registry.
 using CounterSnapshot = std::vector<CounterSample>;
 
+/// Sums `from` into `into` by counter name; names present in only one
+/// snapshot keep their value. Both inputs must be name-sorted (as
+/// CounterRegistry::snapshot() produces) and the result is name-sorted,
+/// so merging per-thread registries is deterministic regardless of how
+/// the work was scheduled.
+void merge_counter_snapshot(CounterSnapshot& into,
+                            const CounterSnapshot& from);
+
 class CounterRegistry {
  public:
   /// Returns the counter registered under `name`, creating it at zero on

@@ -1,0 +1,89 @@
+// Bounded lock-free single-producer/single-consumer ring buffer -- the
+// hand-off primitive of the sharded parallel replay engine. One thread may
+// push, one (other) thread may pop; under that contract every operation is
+// wait-free: one relaxed load, one acquire load at most, one release store.
+//
+// The producer and consumer each keep a cached copy of the opposite index
+// so the common case touches only the cache line they own; the shared
+// indexes live on their own cache lines to avoid false sharing between the
+// two sides. Capacity is rounded up to a power of two so wrap-around is a
+// mask, and the indexes are free-running 64-bit counters (no ABA at any
+// realistic rate).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace upbound {
+
+/// T must be default-constructible and movable; slots are recycled in
+/// place, so popped values are moved out and replaced by moved-in pushes.
+template <typename T>
+class SpscRing {
+ public:
+  // Fixed 64 rather than std::hardware_destructive_interference_size: the
+  // library value varies per -mtune (an ABI hazard GCC warns about), and 64
+  // is the destructive-interference line size on every target we build for.
+  static constexpr std::size_t kCacheLine = 64;
+
+  /// Holds up to `capacity` elements (rounded up to a power of two, min 2).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Producer side. Returns false when the ring is full.
+  bool try_push(T value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == capacity()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == capacity()) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Snapshot count; exact only when called from the producer or consumer
+  /// thread (the other side may move concurrently).
+  std::size_t size() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Consumer-owned line: shared head plus the consumer's cache of tail.
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  std::size_t cached_tail_ = 0;
+  // Producer-owned line: shared tail plus the producer's cache of head.
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+  std::size_t cached_head_ = 0;
+};
+
+}  // namespace upbound

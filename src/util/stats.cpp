@@ -143,6 +143,18 @@ double TimeSeries::total() const {
   return sum;
 }
 
+void TimeSeries::add_series(const TimeSeries& other) {
+  if (width_ != other.width_) {
+    throw std::invalid_argument("TimeSeries::add_series: width mismatch");
+  }
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0.0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
 std::vector<double> TimeSeries::rates() const {
   std::vector<double> out(buckets_.size());
   const double w = width_.to_sec();

@@ -107,6 +107,14 @@ class TimeSeries {
   /// Bucket sums scaled by 1/width (per-second rates if values are counts).
   std::vector<double> rates() const;
 
+  /// Bucket-wise sum of `other` into this series; widths must match
+  /// (throws std::invalid_argument otherwise). Used to merge per-shard
+  /// series -- byte counts are integer-valued doubles far below 2^53, so
+  /// the sums are exact and merge order cannot change the result.
+  void add_series(const TimeSeries& other);
+
+  bool operator==(const TimeSeries&) const = default;
+
  private:
   Duration width_;
   std::vector<double> buckets_;

@@ -1,0 +1,152 @@
+// End-to-end golden regression: a FilterBank guarding one campus site,
+// driven over a fixed-seed calibrated trace. The metrics below were
+// produced by this exact configuration and are locked; a change in any
+// layer underneath (trace generator, hashing, filter, meter, policy, RNG,
+// batching) that shifts aggregate behaviour shows up here as a diff.
+//
+// Exact-integer quantities (packet conservation, decision totals) are
+// asserted exactly; byte-level quantities get a narrow relative tolerance
+// so a deliberate, behaviour-preserving change (e.g. a header-size
+// accounting tweak) reads as a small drift, not an avalanche of failures.
+#include "sim/filter_bank.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "trace/campus.h"
+
+namespace upbound {
+namespace {
+
+constexpr double kRedLow = 3e6;
+constexpr double kRedHigh = 6e6;
+
+const GeneratedTrace& golden_trace() {
+  static const GeneratedTrace trace = [] {
+    CampusTraceConfig config;
+    config.duration = Duration::sec(40.0);
+    config.connections_per_sec = 60.0;
+    config.bandwidth_bps = 12e6;
+    config.seed = 11;
+    return generate_campus_trace(config);
+  }();
+  return trace;
+}
+
+struct GoldenMetrics {
+  std::uint64_t total_packets = 0;
+  std::uint64_t passed_outbound = 0;
+  std::uint64_t passed_inbound = 0;
+  std::uint64_t dropped = 0;  // policy + blocklist drops
+  std::uint64_t ignored = 0;  // suppressed at the router or unguarded
+  std::uint64_t outbound_bytes = 0;
+  std::uint64_t inbound_passed_bytes = 0;
+  std::uint64_t inbound_dropped_bytes = 0;
+  double drop_rate = 0.0;
+};
+
+GoldenMetrics run_bank(bool batched) {
+  const GeneratedTrace& trace = golden_trace();
+  FilterBank bank;
+  bank.add_bitmap_site("campus", trace.network, BitmapFilterConfig{}, kRedLow,
+                       kRedHigh);
+
+  GoldenMetrics m;
+  m.total_packets = trace.packets.size();
+  std::array<std::uint64_t, 5> decisions{};
+  if (batched) {
+    constexpr std::size_t kBatch = 256;
+    std::array<RouterDecision, kBatch> buf;
+    for (std::size_t start = 0; start < trace.packets.size();
+         start += kBatch) {
+      const std::size_t n = std::min(kBatch, trace.packets.size() - start);
+      bank.process_batch(PacketBatch{trace.packets.data() + start, n},
+                         std::span<RouterDecision>{buf.data(), n});
+      for (std::size_t i = 0; i < n; ++i) {
+        ++decisions[static_cast<std::size_t>(buf[i])];
+      }
+    }
+  } else {
+    for (const PacketRecord& pkt : trace.packets) {
+      ++decisions[static_cast<std::size_t>(bank.process(pkt))];
+    }
+  }
+  m.passed_outbound =
+      decisions[static_cast<std::size_t>(RouterDecision::kPassedOutbound)];
+  m.passed_inbound =
+      decisions[static_cast<std::size_t>(RouterDecision::kPassedInbound)];
+  m.dropped =
+      decisions[static_cast<std::size_t>(RouterDecision::kDroppedByPolicy)] +
+      decisions[static_cast<std::size_t>(RouterDecision::kDroppedBlocked)];
+  m.ignored = decisions[static_cast<std::size_t>(RouterDecision::kIgnored)];
+
+  const EdgeRouterStats stats = bank.site_router(0).stats();
+  m.outbound_bytes = stats.outbound_bytes;
+  m.inbound_passed_bytes = stats.inbound_passed_bytes;
+  m.inbound_dropped_bytes = stats.inbound_dropped_bytes;
+  m.drop_rate = stats.inbound_drop_rate();
+  return m;
+}
+
+// --- The golden values (locked from a reference run of this test) ---
+constexpr std::uint64_t kGoldenTotalPackets = 84'155;
+constexpr std::uint64_t kGoldenPassedOutbound = 34'928;
+constexpr std::uint64_t kGoldenPassedInbound = 25'812;
+constexpr std::uint64_t kGoldenDropped = 23'415;
+constexpr std::uint64_t kGoldenOutboundBytes = 33'090'216;
+constexpr std::uint64_t kGoldenInboundPassedBytes = 6'548'099;
+constexpr double kGoldenDropRate = 0.261818;
+
+TEST(SimGoldenRegression, BatchedBankMatchesLockedMetrics) {
+  const GoldenMetrics m = run_bank(/*batched=*/true);
+  std::printf("golden actuals: total=%llu out=%llu in=%llu drop=%llu "
+              "ignored=%llu outB=%llu inB=%llu dropB=%llu rate=%.6f\n",
+              (unsigned long long)m.total_packets,
+              (unsigned long long)m.passed_outbound,
+              (unsigned long long)m.passed_inbound,
+              (unsigned long long)m.dropped, (unsigned long long)m.ignored,
+              (unsigned long long)m.outbound_bytes,
+              (unsigned long long)m.inbound_passed_bytes,
+              (unsigned long long)m.inbound_dropped_bytes, m.drop_rate);
+
+  // Conservation is exact by construction.
+  EXPECT_EQ(m.passed_outbound + m.passed_inbound + m.dropped + m.ignored,
+            m.total_packets);
+
+  // Locked counts: the trace and every decision above it are fixed-seed
+  // deterministic, so these are exact on a healthy build.
+  EXPECT_EQ(m.total_packets, kGoldenTotalPackets);
+  EXPECT_EQ(m.passed_outbound, kGoldenPassedOutbound);
+  EXPECT_EQ(m.passed_inbound, kGoldenPassedInbound);
+  EXPECT_EQ(m.dropped, kGoldenDropped);
+
+  // Byte totals with a 0.5% relative band, drop rate within one point.
+  EXPECT_NEAR(static_cast<double>(m.outbound_bytes),
+              static_cast<double>(kGoldenOutboundBytes),
+              0.005 * static_cast<double>(kGoldenOutboundBytes));
+  EXPECT_NEAR(static_cast<double>(m.inbound_passed_bytes),
+              static_cast<double>(kGoldenInboundPassedBytes),
+              0.005 * static_cast<double>(kGoldenInboundPassedBytes));
+  EXPECT_NEAR(m.drop_rate, kGoldenDropRate, 0.01);
+
+  // The RED limiter must be visibly active on this overloaded site but far
+  // from starving it.
+  EXPECT_GT(m.drop_rate, 0.0);
+  EXPECT_LT(m.drop_rate, 0.9);
+}
+
+TEST(SimGoldenRegression, ScalarAndBatchedBankAgreeExactly) {
+  const GoldenMetrics batched = run_bank(/*batched=*/true);
+  const GoldenMetrics scalar = run_bank(/*batched=*/false);
+  EXPECT_EQ(batched.passed_outbound, scalar.passed_outbound);
+  EXPECT_EQ(batched.passed_inbound, scalar.passed_inbound);
+  EXPECT_EQ(batched.dropped, scalar.dropped);
+  EXPECT_EQ(batched.ignored, scalar.ignored);
+  EXPECT_EQ(batched.outbound_bytes, scalar.outbound_bytes);
+  EXPECT_EQ(batched.inbound_passed_bytes, scalar.inbound_passed_bytes);
+  EXPECT_EQ(batched.inbound_dropped_bytes, scalar.inbound_dropped_bytes);
+}
+
+}  // namespace
+}  // namespace upbound

@@ -1,0 +1,137 @@
+// SPSC ring semantics plus a two-thread hand-off stress. The deeper
+// cross-thread torture (run this binary under -DUPBOUND_TSAN) lives in
+// concurrency_stress_test.cpp; here we pin down the single-queue contract
+// the parallel replay engine builds on.
+#include "util/spsc_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace upbound {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(64).capacity(), 64u);
+  EXPECT_EQ(SpscRing<int>(65).capacity(), 128u);
+}
+
+TEST(SpscRing, FifoOrderSingleThreaded) {
+  SpscRing<int> ring{8};
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(i));
+  int out = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(SpscRing, PushFailsWhenFullPopFailsWhenEmpty) {
+  SpscRing<int> ring{2};
+  int out = 0;
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_TRUE(ring.try_push(1));
+  EXPECT_TRUE(ring.try_push(2));
+  EXPECT_FALSE(ring.try_push(3));
+  EXPECT_EQ(ring.size(), 2u);
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(ring.try_push(3));  // slot freed by the pop
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 2);
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 3);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, WrapsAroundManyTimes) {
+  SpscRing<std::size_t> ring{4};
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(ring.try_push(i));
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(SpscRing, MoveOnlyPayload) {
+  SpscRing<std::unique_ptr<int>> ring{4};
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(42)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+TEST(SpscRing, TwoThreadHandOffPreservesOrderAndCount) {
+  constexpr std::size_t kItems = 200'000;
+  SpscRing<std::size_t> ring{64};
+
+  std::thread producer([&ring] {
+    for (std::size_t i = 0; i < kItems; ++i) {
+      while (!ring.try_push(i)) std::this_thread::yield();
+    }
+  });
+
+  std::size_t received = 0;
+  std::uint64_t sum = 0;
+  std::size_t value = 0;
+  while (received < kItems) {
+    if (!ring.try_pop(value)) {
+      std::this_thread::yield();
+      continue;
+    }
+    ASSERT_EQ(value, received);  // strict FIFO: i-th pop sees i
+    sum += value;
+    ++received;
+  }
+  producer.join();
+  EXPECT_FALSE(ring.try_pop(value));
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(kItems) * (kItems - 1) / 2);
+}
+
+TEST(SpscRing, RecyclingPairNeverLosesABuffer) {
+  // The replay engine's usage pattern: a data ring forward, a free ring
+  // back, with a fixed buffer population cycling between them.
+  constexpr std::size_t kBuffers = 8;
+  constexpr std::size_t kRounds = 50'000;
+  SpscRing<int> data{kBuffers};
+  SpscRing<int> free_ring{kBuffers};
+  for (int b = 0; b < static_cast<int>(kBuffers); ++b) {
+    ASSERT_TRUE(free_ring.try_push(b));
+  }
+
+  std::thread consumer([&] {
+    int buffer = -1;
+    for (std::size_t i = 0; i < kRounds; ++i) {
+      while (!data.try_pop(buffer)) std::this_thread::yield();
+      while (!free_ring.try_push(buffer)) std::this_thread::yield();
+    }
+  });
+
+  int buffer = -1;
+  std::vector<std::size_t> uses(kBuffers, 0);
+  for (std::size_t i = 0; i < kRounds; ++i) {
+    while (!free_ring.try_pop(buffer)) std::this_thread::yield();
+    ASSERT_GE(buffer, 0);
+    ASSERT_LT(static_cast<std::size_t>(buffer), kBuffers);
+    ++uses[static_cast<std::size_t>(buffer)];
+    while (!data.try_push(buffer)) std::this_thread::yield();
+  }
+  consumer.join();
+
+  std::size_t total = 0;
+  for (const std::size_t u : uses) total += u;
+  EXPECT_EQ(total, kRounds);
+  // Every buffer ends parked in exactly one of the two rings.
+  EXPECT_EQ(data.size() + free_ring.size(), kBuffers);
+}
+
+}  // namespace
+}  // namespace upbound
