@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Validate a metrics JSONL file against the upbound.metrics.v1 schema.
+
+The `upbound filter --metrics-out` exporter writes one canonical JSON
+object per line (periodic "interval" snapshots followed by one "final"
+snapshot). CI runs this validator over a fresh export so a schema drift
+in the C++ exporter -- a renamed key, a histogram stat gone missing, a
+counter that stops being monotone across snapshots -- fails the build
+rather than silently breaking downstream dashboards.
+
+Only the standard library is used. Exit status: 0 valid, 1 invalid,
+2 usage error.
+
+Usage: check_metrics_schema.py METRICS.jsonl [--expect-final]
+"""
+
+import json
+import sys
+
+SCHEMA = "upbound.metrics.v1"
+TOP_LEVEL_KEYS = {"schema", "label", "sim_time_usec",
+                  "counters", "gauges", "histograms"}
+HISTOGRAM_KEYS = {"count", "sum", "min", "max", "p50", "p90", "p99"}
+
+# Cross-counter identities the datapath maintains by construction; a
+# violation means a stage counter bug, not a malformed file.
+COUNTER_IDENTITIES = [
+    ("state.lookups", ("state.hits", "state.misses")),
+    ("policy.evaluations", ("policy.drops", "policy.passes")),
+]
+
+
+class SchemaError(Exception):
+    pass
+
+
+def fail(line_no, message):
+    raise SchemaError(f"line {line_no}: {message}")
+
+
+def is_uint(value):
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def check_histogram(line_no, name, hist):
+    if not isinstance(hist, dict):
+        fail(line_no, f"histogram {name!r} is not an object")
+    if set(hist) != HISTOGRAM_KEYS:
+        fail(line_no, f"histogram {name!r} keys {sorted(hist)} != "
+                      f"{sorted(HISTOGRAM_KEYS)}")
+    for key, value in hist.items():
+        if not is_uint(value):
+            fail(line_no, f"histogram {name!r}.{key} is not a uint: {value!r}")
+    if hist["count"] == 0:
+        if any(hist[k] != 0 for k in ("sum", "min", "max", "p50", "p90", "p99")):
+            fail(line_no, f"empty histogram {name!r} has nonzero stats")
+        return
+    # Percentiles are reported as log-linear bin floors, so each is <= the
+    # exact max but may undershoot the exact min by one bin width.
+    order = [hist["p50"], hist["p90"], hist["p99"]]
+    if order != sorted(order):
+        fail(line_no, f"histogram {name!r} percentiles not monotone: {order}")
+    if hist["p99"] > hist["max"]:
+        fail(line_no, f"histogram {name!r} p99 {hist['p99']} > max "
+                      f"{hist['max']}")
+    if hist["min"] > hist["max"]:
+        fail(line_no, f"histogram {name!r} min > max")
+    if hist["sum"] < hist["max"]:
+        fail(line_no, f"histogram {name!r} sum {hist['sum']} < max "
+                      f"{hist['max']}")
+
+
+def check_line(line_no, obj, prev_counters):
+    if not isinstance(obj, dict):
+        fail(line_no, "not a JSON object")
+    if set(obj) != TOP_LEVEL_KEYS:
+        fail(line_no, f"top-level keys {sorted(obj)} != "
+                      f"{sorted(TOP_LEVEL_KEYS)}")
+    if obj["schema"] != SCHEMA:
+        fail(line_no, f"schema {obj['schema']!r} != {SCHEMA!r}")
+    if not isinstance(obj["label"], str) or not obj["label"]:
+        fail(line_no, f"label must be a non-empty string: {obj['label']!r}")
+    if not isinstance(obj["sim_time_usec"], int) or \
+            isinstance(obj["sim_time_usec"], bool):
+        fail(line_no, f"sim_time_usec is not an int: {obj['sim_time_usec']!r}")
+
+    counters = obj["counters"]
+    if not isinstance(counters, dict):
+        fail(line_no, "counters is not an object")
+    for name, value in counters.items():
+        if not is_uint(value):
+            fail(line_no, f"counter {name!r} is not a uint: {value!r}")
+    for total, parts in COUNTER_IDENTITIES:
+        if total in counters:
+            expected = sum(counters.get(p, 0) for p in parts)
+            if counters[total] != expected:
+                fail(line_no, f"counter identity broken: {total}="
+                              f"{counters[total]} != {' + '.join(parts)}"
+                              f"={expected}")
+    # Counters only ever increment, so successive snapshots of one run
+    # must be monotone name-by-name.
+    for name, value in prev_counters.items():
+        if counters.get(name, 0) < value:
+            fail(line_no, f"counter {name!r} regressed: {value} -> "
+                          f"{counters.get(name, 0)}")
+
+    gauges = obj["gauges"]
+    if not isinstance(gauges, dict):
+        fail(line_no, "gauges is not an object")
+    for name, value in gauges.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            fail(line_no, f"gauge {name!r} is not a number: {value!r}")
+
+    histograms = obj["histograms"]
+    if not isinstance(histograms, dict):
+        fail(line_no, "histograms is not an object")
+    for name, hist in histograms.items():
+        check_histogram(line_no, name, hist)
+    return counters
+
+
+def main(argv):
+    expect_final = "--expect-final" in argv
+    paths = [a for a in argv if not a.startswith("--")]
+    if len(paths) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    lines = 0
+    last_label = None
+    prev_counters = {}
+    try:
+        with open(paths[0], "r", encoding="utf-8") as fh:
+            for line_no, raw in enumerate(fh, start=1):
+                raw = raw.strip()
+                if not raw:
+                    fail(line_no, "blank line")
+                try:
+                    obj = json.loads(raw)
+                except json.JSONDecodeError as err:
+                    fail(line_no, f"invalid JSON: {err}")
+                prev_counters = check_line(line_no, obj, prev_counters)
+                last_label = obj["label"]
+                lines += 1
+        if lines == 0:
+            raise SchemaError("file is empty")
+        if expect_final and last_label != "final":
+            raise SchemaError(
+                f"last snapshot label is {last_label!r}, expected 'final'")
+    except OSError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    except SchemaError as err:
+        print(f"{paths[0]}: INVALID -- {err}", file=sys.stderr)
+        return 1
+
+    print(f"{paths[0]}: OK -- {lines} snapshot(s), schema {SCHEMA}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -21,6 +21,7 @@
 #include "sim/replay.h"
 #include "sim/report.h"
 #include "trace/campus.h"
+#include "util/metrics_export.h"
 
 namespace upbound::cli {
 
@@ -81,6 +82,67 @@ Trace read_capture(const std::string& path, std::uint64_t* skipped) {
   Trace trace = reader.read_all();
   if (skipped != nullptr) *skipped = reader.frames_skipped();
   return trace;
+}
+
+/// Telemetry export options of the filter command (--metrics-*).
+struct MetricsOptions {
+  std::string out;
+  Duration interval{};  // zero = only the final snapshot
+  bool prometheus = false;
+  bool deterministic = false;
+
+  bool enabled() const { return !out.empty(); }
+};
+
+MetricsOptions metrics_options_from(const Args& args, std::size_t threads) {
+  MetricsOptions opts;
+  opts.out = args.get_string("metrics-out", "");
+  const double interval_sec = args.get_double("metrics-interval", 0.0);
+  const std::string format = args.get_string("metrics-format", "jsonl");
+  opts.deterministic = args.get_flag("metrics-deterministic");
+  if (format == "prom") {
+    opts.prometheus = true;
+  } else if (format != "jsonl") {
+    throw ArgError("--metrics-format must be jsonl or prom");
+  }
+  if (opts.out.empty()) {
+    if (interval_sec != 0.0 || opts.deterministic) {
+      throw ArgError("--metrics-interval/--metrics-deterministic require "
+                     "--metrics-out");
+    }
+    return opts;
+  }
+  if (interval_sec < 0.0) throw ArgError("--metrics-interval must be >= 0");
+  if (interval_sec > 0.0) {
+    // Interval snapshots walk sim time inside the single-thread replay
+    // loop; the parallel engine only yields one merged final snapshot.
+    if (threads > 1) throw ArgError("--metrics-interval requires --threads 1");
+    if (opts.prometheus) {
+      throw ArgError("--metrics-interval requires --metrics-format jsonl");
+    }
+    opts.interval = Duration::sec(interval_sec);
+  }
+  return opts;
+}
+
+/// Writes the final (possibly deterministic-only) snapshot in the chosen
+/// format. Interval snapshots are handled inline by the replay loop.
+void write_final_metrics(const MetricsOptions& opts,
+                         MetricsJsonlWriter* jsonl_writer,
+                         const MetricsSnapshot& snapshot, SimTime end_time) {
+  const MetricsSnapshot exported =
+      opts.deterministic ? snapshot.deterministic() : snapshot;
+  if (opts.prometheus) {
+    std::FILE* f = std::fopen(opts.out.c_str(), "wb");
+    if (f == nullptr) {
+      throw std::runtime_error("cannot open metrics output: " + opts.out);
+    }
+    const std::string text = metrics_to_prometheus(exported);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return;
+  }
+  jsonl_writer->write(exported, "final", end_time);
 }
 
 int reject_unconsumed(const Args& args) {
@@ -328,6 +390,7 @@ int cmd_filter(const Args& args) {
   const std::size_t shards =
       static_cast<std::size_t>(args.get_int("shards", 0));
   const std::string shard_mode = shard_mode_from(args);
+  const MetricsOptions metrics = metrics_options_from(args, threads);
 
   EdgeRouterConfig config;
   config.network = network_from(args);
@@ -412,6 +475,16 @@ int cmd_filter(const Args& args) {
                   static_cast<unsigned long long>(sample.value));
     }
     print_shard_table(result);
+    if (metrics.enabled()) {
+      const SimTime end =
+          trace.empty() ? SimTime::origin() : trace.back().timestamp;
+      std::unique_ptr<MetricsJsonlWriter> jsonl;
+      if (!metrics.prometheus) {
+        jsonl = std::make_unique<MetricsJsonlWriter>(metrics.out);
+      }
+      write_final_metrics(metrics, jsonl.get(), result.merged.metrics, end);
+      std::printf("metrics written to %s\n", metrics.out.c_str());
+    }
     return 0;
   }
 
@@ -444,12 +517,29 @@ int cmd_filter(const Args& args) {
 
   std::unique_ptr<PcapWriter> writer;
   if (!out.empty()) writer = std::make_unique<PcapWriter>(out);
+  std::unique_ptr<MetricsJsonlWriter> metrics_writer;
+  if (metrics.enabled() && !metrics.prometheus) {
+    metrics_writer = std::make_unique<MetricsJsonlWriter>(metrics.out);
+  }
+  // Interval snapshots fire on sim-time boundaries measured from the first
+  // packet, so a trace replayed at any speed emits the same sequence.
+  const bool interval_mode = !metrics.interval.is_zero() && !trace.empty();
+  SimTime next_emit = interval_mode
+                          ? trace.front().timestamp + metrics.interval
+                          : SimTime::infinite();
   constexpr std::size_t kCliBatch = 256;
   std::array<RouterDecision, kCliBatch> decisions;
   for (std::size_t start = 0; start < trace.size(); start += kCliBatch) {
     const std::size_t n = std::min(kCliBatch, trace.size() - start);
     const PacketBatch batch{trace.data() + start, n};
     router.process_batch(batch, std::span<RouterDecision>{decisions.data(), n});
+    while (batch[n - 1].timestamp >= next_emit) {
+      const MetricsSnapshot snap = metrics.deterministic
+                                       ? router.metrics_snapshot().deterministic()
+                                       : router.metrics_snapshot();
+      metrics_writer->write(snap, "interval", next_emit);
+      next_emit += metrics.interval;
+    }
     if (writer == nullptr) continue;
     for (std::size_t p = 0; p < n; ++p) {
       if (decisions[p] == RouterDecision::kPassedOutbound ||
@@ -457,6 +547,13 @@ int cmd_filter(const Args& args) {
         writer->write(batch[p]);
       }
     }
+  }
+  if (metrics.enabled()) {
+    const SimTime end =
+        trace.empty() ? SimTime::origin() : trace.back().timestamp;
+    write_final_metrics(metrics, metrics_writer.get(),
+                        router.metrics_snapshot(), end);
+    std::printf("metrics written to %s\n", metrics.out.c_str());
   }
 
   const EdgeRouterStats& stats = router.stats();
@@ -667,6 +764,8 @@ void print_usage() {
       "            [--timeout SEC] [--out FILE] [--seed N]\n"
       "            [--save-state FILE] [--load-state FILE]\n"
       "            [--threads N] [--shards S] [--shard-mode sharded|shared]\n"
+      "            [--metrics-out FILE] [--metrics-interval SEC]\n"
+      "            [--metrics-format jsonl|prom] [--metrics-deterministic]\n"
       "  compare   run bitmap / aging-bloom / naive / spi side by side\n"
       "            --pcap FILE [--network CIDR] [--pd PROB]\n"
       "            [--bits N --k K --dt SEC --m M]\n"

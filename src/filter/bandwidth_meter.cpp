@@ -6,6 +6,20 @@ namespace upbound {
 
 namespace {
 
+/// Floor division: rounds toward negative infinity, unlike C++'s `/`
+/// which truncates toward zero. A pre-origin SimTime (negative usec) must
+/// map to the slot whose span contains it -- truncation would map e.g.
+/// -0.5 slots to slot 0 and make the window appear to roll backward.
+std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  return a / b - ((a % b != 0 && (a ^ b) < 0) ? 1 : 0);
+}
+
+/// Non-negative remainder in [0, b), valid for negative a.
+std::size_t floor_mod(std::int64_t a, std::int64_t b) {
+  const std::int64_t m = a % b;
+  return static_cast<std::size_t>(m < 0 ? m + b : m);
+}
+
 Duration checked_slot_width(Duration window, unsigned slots) {
   if (window <= Duration{} || slots == 0 ||
       window.count_usec() % slots != 0) {
@@ -24,7 +38,12 @@ BandwidthMeter::BandwidthMeter(Duration window, unsigned slots)
 
 void BandwidthMeter::roll_to(SimTime now) {
   const std::int64_t target =
-      now.usec() / slot_width_.count_usec();
+      floor_div(now.usec(), slot_width_.count_usec());
+  if (!primed_) {
+    primed_ = true;
+    head_slot_ = target;
+    return;
+  }
   if (target <= head_slot_) return;
   const std::int64_t steps = target - head_slot_;
   const std::int64_t n = static_cast<std::int64_t>(slots_.size());
@@ -34,7 +53,7 @@ void BandwidthMeter::roll_to(SimTime now) {
     total_bytes_ = 0;
   } else {
     for (std::int64_t i = 1; i <= steps; ++i) {
-      auto& slot = slots_[static_cast<std::size_t>((head_slot_ + i) % n)];
+      auto& slot = slots_[floor_mod(head_slot_ + i, n)];
       total_bytes_ -= slot;
       slot = 0;
     }
@@ -44,8 +63,10 @@ void BandwidthMeter::roll_to(SimTime now) {
 
 void BandwidthMeter::add(SimTime now, std::uint64_t bytes) {
   roll_to(now);
-  slots_[static_cast<std::size_t>(head_slot_ % static_cast<std::int64_t>(
-                                                   slots_.size()))] += bytes;
+  // floor_mod: head_slot_ is negative for pre-origin times, where C++'s
+  // `%` would produce a negative (out-of-range) slot index.
+  slots_[floor_mod(head_slot_, static_cast<std::int64_t>(slots_.size()))] +=
+      bytes;
   total_bytes_ += bytes;
 }
 

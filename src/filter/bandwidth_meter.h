@@ -35,6 +35,10 @@ class BandwidthMeter {
   Duration slot_width_;
   std::vector<std::uint64_t> slots_;
   std::int64_t head_slot_ = 0;  // absolute slot index of the newest slot
+  /// head_slot_ is meaningless until the first event sets it; without the
+  /// latch a meter whose first event is pre-origin (negative slot index)
+  /// would never roll forward from the default head of 0.
+  bool primed_ = false;
   std::uint64_t total_bytes_ = 0;
 };
 

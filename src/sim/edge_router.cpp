@@ -18,21 +18,30 @@ EdgeRouter::EdgeRouter(EdgeRouterConfig config,
       passed_in_(config_.series_bucket),
       last_time_(
           SimTime::from_usec(std::numeric_limits<std::int64_t>::min())),
-      ctr_classify_outbound_(counters_.counter("classify.outbound_packets")),
-      ctr_classify_inbound_(counters_.counter("classify.inbound_packets")),
-      ctr_classify_ignored_(counters_.counter("classify.ignored_packets")),
+      ctr_classify_outbound_(metrics_.counter("classify.outbound_packets")),
+      ctr_classify_inbound_(metrics_.counter("classify.inbound_packets")),
+      ctr_classify_ignored_(metrics_.counter("classify.ignored_packets")),
       ctr_classify_out_of_order_(
-          counters_.counter("classify.out_of_order_packets")),
-      ctr_blocklist_lookups_(counters_.counter("blocklist.lookups")),
-      ctr_blocklist_hits_(counters_.counter("blocklist.hits")),
-      ctr_blocklist_inserts_(counters_.counter("blocklist.inserts")),
-      ctr_state_marks_(counters_.counter("state.marks")),
-      ctr_state_lookups_(counters_.counter("state.lookups")),
-      ctr_state_hits_(counters_.counter("state.hits")),
-      ctr_state_misses_(counters_.counter("state.misses")),
-      ctr_policy_evaluations_(counters_.counter("policy.evaluations")),
-      ctr_policy_drops_(counters_.counter("policy.drops")),
-      ctr_policy_passes_(counters_.counter("policy.passes")) {
+          metrics_.counter("classify.out_of_order_packets")),
+      ctr_blocklist_lookups_(metrics_.counter("blocklist.lookups")),
+      ctr_blocklist_hits_(metrics_.counter("blocklist.hits")),
+      ctr_blocklist_inserts_(metrics_.counter("blocklist.inserts")),
+      ctr_state_marks_(metrics_.counter("state.marks")),
+      ctr_state_lookups_(metrics_.counter("state.lookups")),
+      ctr_state_hits_(metrics_.counter("state.hits")),
+      ctr_state_misses_(metrics_.counter("state.misses")),
+      ctr_policy_evaluations_(metrics_.counter("policy.evaluations")),
+      ctr_policy_drops_(metrics_.counter("policy.drops")),
+      ctr_policy_passes_(metrics_.counter("policy.passes")),
+      hist_batch_packets_(metrics_.histogram("batch.packets")),
+      hist_run_packets_(metrics_.histogram("run.packets")),
+      hist_batch_ns_(metrics_.histogram("latency.batch_ns")),
+      hist_classify_ns_(metrics_.histogram("latency.classify_ns")),
+      hist_blocklist_ns_(metrics_.histogram("latency.blocklist_ns")),
+      hist_state_ns_(metrics_.histogram("latency.state_ns")),
+      hist_policy_ns_(metrics_.histogram("latency.policy_ns")),
+      hist_forward_ns_(metrics_.histogram("latency.forward_ns")),
+      timing_(kTelemetryCompiled && config_.stage_timing) {
   if (filter_ == nullptr || policy_ == nullptr) {
     throw std::invalid_argument("EdgeRouter: filter and policy required");
   }
@@ -50,6 +59,15 @@ void EdgeRouter::process_batch(PacketBatch batch,
     throw std::invalid_argument(
         "EdgeRouter::process_batch: decisions span smaller than batch");
   }
+  // Telemetry reads sit outside the decision path: clock values are only
+  // ever recorded, never branched on, so decisions and stats are
+  // bit-identical with timing on, off, or compiled out.
+  if constexpr (kTelemetryCompiled) hist_batch_packets_.record(batch.size());
+  // kTelemetryCompiled is constexpr, so under UPBOUND_TELEMETRY=OFF every
+  // `kTelemetryCompiled && timing_` check and the clock reads behind it
+  // are eliminated at compile time.
+  const std::uint64_t batch_t0 =
+      (kTelemetryCompiled && timing_) ? telemetry_clock_ns() : 0;
   classify_batch(batch);
 
   std::size_t i = 0;
@@ -87,6 +105,7 @@ void EdgeRouter::process_batch(PacketBatch batch,
       ++j;
     }
     const PacketBatch run = batch.subspan(i, j - i);
+    if constexpr (kTelemetryCompiled) hist_run_packets_.record(run.size());
     if (dir == Direction::kOutbound) {
       process_outbound_run(run, decisions.subspan(i, j - i));
     } else {
@@ -95,9 +114,14 @@ void EdgeRouter::process_batch(PacketBatch batch,
     last_time_ = batch[j - 1].timestamp;
     i = j;
   }
+  if (kTelemetryCompiled && timing_) {
+    hist_batch_ns_.record(telemetry_clock_ns() - batch_t0);
+  }
 }
 
 void EdgeRouter::classify_batch(PacketBatch batch) {
+  const std::uint64_t t0 =
+      (kTelemetryCompiled && timing_) ? telemetry_clock_ns() : 0;
   dirs_.resize(batch.size());
   std::uint64_t outbound = 0;
   std::uint64_t inbound = 0;
@@ -116,6 +140,9 @@ void EdgeRouter::classify_batch(PacketBatch batch) {
   ctr_classify_outbound_.inc(outbound);
   ctr_classify_inbound_.inc(inbound);
   ctr_classify_ignored_.inc(ignored);
+  if (kTelemetryCompiled && timing_) {
+    hist_classify_ns_.record(telemetry_clock_ns() - t0);
+  }
 }
 
 void EdgeRouter::process_outbound_run(PacketBatch run,
@@ -125,6 +152,10 @@ void EdgeRouter::process_outbound_run(PacketBatch run,
   // the verdicts are stable for the rest of the run.
   const bool check_blocked = config_.track_blocked_connections &&
                              config_.suppress_blocked_outbound;
+  // 1-in-kTimingSamplePeriod run sampling; see the header note.
+  const bool sample = kTelemetryCompiled && timing_ &&
+                      (timing_tick_++ & (kTimingSamplePeriod - 1)) == 0;
+  const std::uint64_t blocklist_t0 = sample ? telemetry_clock_ns() : 0;
   if (check_blocked) {
     run_blocked_.resize(run.size());
     for (std::size_t p = 0; p < run.size(); ++p) {
@@ -135,6 +166,8 @@ void EdgeRouter::process_outbound_run(PacketBatch run,
   } else {
     run_blocked_.assign(run.size(), 0);
   }
+  const std::uint64_t state_t0 = sample ? telemetry_clock_ns() : 0;
+  if (sample) hist_blocklist_ns_.record(state_t0 - blocklist_t0);
 
   // State stage: batch-mark maximal unsuppressed stretches. Suppressed
   // packets never reach record_outbound (same as scalar); they only keep
@@ -152,6 +185,8 @@ void EdgeRouter::process_outbound_run(PacketBatch run,
     ctr_state_marks_.inc(e - s);
     s = e;
   }
+  const std::uint64_t forward_t0 = sample ? telemetry_clock_ns() : 0;
+  if (sample) hist_state_ns_.record(forward_t0 - state_t0);
 
   // Meter/bookkeeping stage. The meter is only read on the inbound path,
   // which cannot occur inside an outbound run.
@@ -170,29 +205,41 @@ void EdgeRouter::process_outbound_run(PacketBatch run,
     passed_out_.add(pkt.timestamp, static_cast<double>(pkt.wire_size()));
     decisions[p] = RouterDecision::kPassedOutbound;
   }
+  if (sample) hist_forward_ns_.record(telemetry_clock_ns() - forward_t0);
 }
 
 void EdgeRouter::process_inbound_run(PacketBatch run,
                                      std::span<RouterDecision> decisions) {
+  // 1-in-kTimingSamplePeriod run sampling; see the header note.
+  const bool sample = kTelemetryCompiled && timing_ &&
+                      (timing_tick_++ & (kTimingSamplePeriod - 1)) == 0;
   if (!filter_->inbound_lookup_is_pure()) {
     // Side-effectful lookups (SPI refreshes flow timers): preserve the
-    // exact scalar interleaving of blocklist, lookup, and policy.
+    // exact scalar interleaving of blocklist, lookup, and policy. The
+    // whole interleaved run is attributed to the policy stage.
+    const std::uint64_t t0 = sample ? telemetry_clock_ns() : 0;
     for (std::size_t p = 0; p < run.size(); ++p) {
       decisions[p] = process_one(run[p], Direction::kInbound);
     }
+    if (sample) hist_policy_ns_.record(telemetry_clock_ns() - t0);
     return;
   }
 
   // State stage first: the whole run's verdicts in one batched lookup.
   // Safe because the lookup is pure -- verdicts for packets the blocklist
-  // stage later rejects are simply discarded.
+  // stage later rejects are simply discarded. state.lookups is counted in
+  // the per-packet loop below, not here: the scalar path never consults
+  // the filter for blocked packets, and the counters must agree exactly
+  // (lookups == hits + misses on both paths).
+  const std::uint64_t state_t0 = sample ? telemetry_clock_ns() : 0;
   if (admit_capacity_ < run.size()) {
     admit_buf_ = std::make_unique<bool[]>(run.size());
     admit_capacity_ = run.size();
   }
   const std::span<bool> admits{admit_buf_.get(), run.size()};
   filter_->admits_inbound_batch(run, admits);
-  ctr_state_lookups_.inc(run.size());
+  const std::uint64_t policy_t0 = sample ? telemetry_clock_ns() : 0;
+  if (sample) hist_state_ns_.record(policy_t0 - state_t0);
 
   // Blocklist + policy stages, per packet in order (both mutate).
   for (std::size_t p = 0; p < run.size(); ++p) {
@@ -209,6 +256,7 @@ void EdgeRouter::process_inbound_run(PacketBatch run,
         continue;
       }
     }
+    ctr_state_lookups_.inc();
     if (admits[p]) {
       ctr_state_hits_.inc();
       decisions[p] = admit_inbound(pkt);
@@ -217,6 +265,7 @@ void EdgeRouter::process_inbound_run(PacketBatch run,
     ctr_state_misses_.inc();
     decisions[p] = drop_or_pass_inbound(pkt, now);
   }
+  if (sample) hist_policy_ns_.record(telemetry_clock_ns() - policy_t0);
 }
 
 RouterDecision EdgeRouter::process_one(const PacketRecord& pkt,
@@ -315,8 +364,16 @@ EdgeRouterStats& EdgeRouterStats::merge(const EdgeRouterStats& other) {
 
 EdgeRouterStats EdgeRouter::stats() const {
   EdgeRouterStats out = stats_;
-  out.stage_counters = counters_.snapshot();
+  out.stage_counters = metrics_.counters().snapshot();
   return out;
+}
+
+MetricsSnapshot EdgeRouter::metrics_snapshot() {
+  metrics_.gauge("filter.storage_bytes")
+      .set(static_cast<double>(filter_->storage_bytes()));
+  metrics_.gauge("blocklist.entries")
+      .set(static_cast<double>(blocklist_.size()));
+  return metrics_.snapshot();
 }
 
 }  // namespace upbound

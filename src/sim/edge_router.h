@@ -29,6 +29,7 @@
 #include "net/direction.h"
 #include "net/packet_batch.h"
 #include "util/counters.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -59,6 +60,11 @@ struct EdgeRouterConfig {
   /// TTL for blocked entries (0 = never forget).
   Duration blocklist_ttl = Duration::sec(120.0);
   std::uint64_t seed = 7;
+  /// Records wall-clock per-stage latency histograms (latency.*_ns) while
+  /// replaying. Only effective when telemetry is compiled in
+  /// (UPBOUND_TELEMETRY=ON); the timing reads happen outside the decision
+  /// path, so decisions and stats are identical either way.
+  bool stage_timing = true;
 };
 
 struct EdgeRouterStats {
@@ -117,9 +123,17 @@ class EdgeRouter {
   /// Aggregate stats, including a fresh per-stage counter snapshot.
   EdgeRouterStats stats() const;
 
+  /// Full telemetry snapshot: the stage counters plus gauges (state
+  /// footprint, blocklist population) and per-stage histograms -- batch and
+  /// run size distributions (deterministic) and, with stage_timing, the
+  /// wall-clock latency.*_ns latency distributions. Gauges are refreshed
+  /// from live structures at snapshot time.
+  MetricsSnapshot metrics_snapshot();
+
   const StateFilter& filter() const { return *filter_; }
   const BlockList& blocklist() const { return blocklist_; }
-  const CounterRegistry& counters() const { return counters_; }
+  const CounterRegistry& counters() const { return metrics_.counters(); }
+  const MetricsRegistry& metrics() const { return metrics_; }
 
   /// Bytes that crossed the router, bucketed over time, by direction.
   const TimeSeries& passed_outbound_series() const { return passed_out_; }
@@ -162,8 +176,8 @@ class EdgeRouter {
   /// Highest timestamp seen; regressions are clamped up to this.
   SimTime last_time_;
 
-  CounterRegistry counters_;
-  // Cached per-stage counters (references into counters_ stay valid).
+  MetricsRegistry metrics_;
+  // Cached per-stage counters (references into metrics_ stay valid).
   StageCounter& ctr_classify_outbound_;
   StageCounter& ctr_classify_inbound_;
   StageCounter& ctr_classify_ignored_;
@@ -178,6 +192,30 @@ class EdgeRouter {
   StageCounter& ctr_policy_evaluations_;
   StageCounter& ctr_policy_drops_;
   StageCounter& ctr_policy_passes_;
+
+  // Telemetry histograms (references into metrics_ stay valid). The
+  // batch./run. size histograms are simulation-domain and deterministic;
+  // the latency.*_ns histograms are wall-clock and recorded only when
+  // timing_ is set. Empty in both classes when telemetry is compiled out.
+  LatencyHistogram& hist_batch_packets_;
+  LatencyHistogram& hist_run_packets_;
+  LatencyHistogram& hist_batch_ns_;
+  LatencyHistogram& hist_classify_ns_;
+  LatencyHistogram& hist_blocklist_ns_;
+  LatencyHistogram& hist_state_ns_;
+  LatencyHistogram& hist_policy_ns_;
+  LatencyHistogram& hist_forward_ns_;
+  /// config_.stage_timing && telemetry compiled in; constant-folded to
+  /// false (dead timing code removed) under UPBOUND_TELEMETRY=OFF.
+  const bool timing_;
+  /// Runs are often a handful of packets, so timing every one would spend
+  /// more cycles in the clock than in the stages (~75% overhead measured).
+  /// The run-level stage timers sample 1 run in kTimingSamplePeriod
+  /// instead; batch-level timers (batch_ns, classify_ns) are per batch and
+  /// stay unsampled. The tick advances with the run sequence only -- no
+  /// clock value feeds it -- so sampling preserves decision purity.
+  static constexpr std::uint64_t kTimingSamplePeriod = 32;
+  std::uint64_t timing_tick_ = 0;
 
   // Reused per-batch scratch; capacity persists so the steady-state
   // datapath performs no allocations.

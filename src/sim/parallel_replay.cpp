@@ -190,6 +190,7 @@ ParallelReplayResult parallel_replay(const Trace& trace,
               finished[i] = true;
               --live;
               shard_results[s].stats = routers[s]->stats();
+              shard_results[s].metrics = routers[s]->metrics_snapshot();
             }
           }
           if (!progressed && live > 0) std::this_thread::yield();

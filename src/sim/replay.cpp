@@ -28,6 +28,7 @@ ReplayResult& ReplayResult::merge(const ReplayResult& other) {
   offered_inbound.add_series(other.offered_inbound);
   passed_outbound.add_series(other.passed_outbound);
   passed_inbound.add_series(other.passed_inbound);
+  merge_metrics_snapshot(metrics, other.metrics);
   return *this;
 }
 
@@ -66,6 +67,7 @@ ReplayResult replay_trace(const Trace& trace, EdgeRouter& router,
                          std::span<const RouterDecision>{decisions.data(), n});
   }
   result.stats = router.stats();
+  result.metrics = router.metrics_snapshot();
   return result;
 }
 

@@ -17,6 +17,12 @@ struct ReplayResult {
   /// Carried (post-filter) load by direction.
   TimeSeries passed_outbound;
   TimeSeries passed_inbound;
+  /// Full telemetry snapshot of the router(s) that produced this result.
+  /// Deliberately excluded from operator==: its latency.*_ns histograms
+  /// are wall-clock and differ run to run, while everything compared by
+  /// the replay-equivalence tests is simulation-domain. Use
+  /// metrics.deterministic() to compare the deterministic subset.
+  MetricsSnapshot metrics;
 
   ReplayResult(Duration bucket)
       : offered_outbound(bucket),
@@ -24,11 +30,20 @@ struct ReplayResult {
         passed_outbound(bucket),
         passed_inbound(bucket) {}
 
-  bool operator==(const ReplayResult&) const = default;
+  bool operator==(const ReplayResult& other) const {
+    return stats == other.stats &&
+           offered_outbound == other.offered_outbound &&
+           offered_inbound == other.offered_inbound &&
+           passed_outbound == other.passed_outbound &&
+           passed_inbound == other.passed_inbound;
+  }
 
   /// Sums `other` into this result: stats merge plus bucket-wise series
-  /// sums. All series values are integer byte counts held in doubles, so
-  /// the sums are exact and a fixed merge order is bitwise deterministic.
+  /// sums plus a name-wise metrics merge. All series values are integer
+  /// byte counts held in doubles, so the sums are exact and a fixed merge
+  /// order is bitwise deterministic (for metrics: over the deterministic
+  /// subset -- wall-clock histograms merge losslessly but their contents
+  /// vary run to run).
   ReplayResult& merge(const ReplayResult& other);
 };
 

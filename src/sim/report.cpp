@@ -15,6 +15,37 @@ std::string percent(double fraction, int decimals) {
   return num(fraction * 100.0, decimals) + "%";
 }
 
+std::string metrics_table(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"metric", "value"});
+  for (const CounterSample& counter : snapshot.counters) {
+    rows.push_back({counter.name, std::to_string(counter.value)});
+  }
+  for (const GaugeSample& gauge : snapshot.gauges) {
+    rows.push_back({gauge.name, num(gauge.value, 0)});
+  }
+  out += table(rows);
+
+  if (!snapshot.histograms.empty()) {
+    rows.clear();
+    rows.push_back({"histogram", "count", "p50", "p90", "p99", "max"});
+    for (const HistogramSample& hist : snapshot.histograms) {
+      const bool ns = hist.name.size() > 3 &&
+                      hist.name.compare(hist.name.size() - 3, 3, "_ns") == 0;
+      const auto cell = [ns](std::uint64_t v) {
+        return ns ? num(static_cast<double>(v) / 1000.0, 2) + "us"
+                  : std::to_string(v);
+      };
+      rows.push_back({hist.name, std::to_string(hist.count),
+                      cell(hist.percentile(50)), cell(hist.percentile(90)),
+                      cell(hist.percentile(99)), cell(hist.max)});
+    }
+    out += "\n" + table(rows);
+  }
+  return out;
+}
+
 std::string table(const std::vector<std::vector<std::string>>& rows) {
   if (rows.empty()) return "";
   std::vector<std::size_t> widths;

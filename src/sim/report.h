@@ -6,9 +6,16 @@
 #include <string>
 #include <vector>
 
+#include "util/metrics.h"
 #include "util/stats.h"
 
 namespace upbound::report {
+
+/// Renders a metrics snapshot as an aligned human-readable table: one
+/// counters/gauges section and one histogram row per distribution with
+/// count, p50/p90/p99, and max. Latency histograms (*_ns) print in
+/// microseconds for readability.
+std::string metrics_table(const MetricsSnapshot& snapshot);
 
 /// Renders rows as an aligned markdown-style table. The first row is the
 /// header. Cells are right-aligned except the first column.

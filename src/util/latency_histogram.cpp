@@ -1,0 +1,83 @@
+#include "util/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace upbound {
+
+std::size_t LatencyHistogram::bin_of(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  // Octave = position of the most significant bit; the next kSubBucketBits
+  // bits select the linear sub-bucket within it.
+  const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(value));
+  const unsigned group = msb - kSubBucketBits + 1;
+  const std::uint64_t sub =
+      (value >> (msb - kSubBucketBits)) & (kSubBuckets - 1);
+  return group * kSubBuckets + static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::bin_floor(std::size_t bin) {
+  if (bin < kSubBuckets) return bin;
+  const std::size_t group = bin / kSubBuckets;
+  const std::uint64_t sub = bin % kSubBuckets;
+  const unsigned msb = static_cast<unsigned>(group) + kSubBucketBits - 1;
+  return (std::uint64_t{1} << msb) | (sub << (msb - kSubBucketBits));
+}
+
+void LatencyHistogram::record(std::uint64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  bins_[bin_of(value)] += count;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += count;
+  sum_ += value * count;
+}
+
+std::uint64_t LatencyHistogram::percentile(double pct) const {
+  if (count_ == 0) return 0;
+  if (pct >= 100.0) return max_;
+  if (pct < 0.0) pct = 0.0;
+  // First bin where the cumulative count reaches ceil(pct% of total), with
+  // a minimum rank of 1 so p0 reports the lowest populated bin.
+  const double exact = pct / 100.0 * static_cast<double>(count_);
+  std::uint64_t rank = static_cast<std::uint64_t>(exact);
+  if (static_cast<double>(rank) < exact) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t bin = 0; bin < kBinCount; ++bin) {
+    cumulative += bins_[bin];
+    if (cumulative >= rank) return bin_floor(bin);
+  }
+  return max_;  // unreachable when counts are consistent
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t bin = 0; bin < kBinCount; ++bin) {
+    bins_[bin] += other.bins_[bin];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void LatencyHistogram::reset() {
+  bins_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+}  // namespace upbound

@@ -1,0 +1,62 @@
+// Log-linear histogram for latency-class values (HdrHistogram-style
+// binning): 2^kSubBucketBits linear sub-buckets per power-of-two octave,
+// so every recorded value lands in a bin whose lower bound is within
+// 1/2^kSubBucketBits (6.25%) of the value. Bins cover the full uint64
+// range in a fixed-size array, record() is branch-light O(1) (a bit-scan
+// plus two shifts), and two histograms merge by bin-wise addition -- the
+// property the sharded replay engine relies on for deterministic
+// shard-order merges.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace upbound {
+
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per octave: 16, giving <= 6.25% bin width.
+  static constexpr unsigned kSubBucketBits = 4;
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBucketBits;
+  /// Values below kSubBuckets get exact bins; each higher octave
+  /// (64 - kSubBucketBits of them) contributes kSubBuckets bins.
+  static constexpr std::size_t kBinCount =
+      kSubBuckets * (64 - kSubBucketBits + 1);
+
+  /// Bin index holding `value`. Exact for value < kSubBuckets.
+  static std::size_t bin_of(std::uint64_t value);
+
+  /// Smallest value mapping to `bin` -- the deterministic representative
+  /// used for percentile queries.
+  static std::uint64_t bin_floor(std::size_t bin);
+
+  void record(std::uint64_t value, std::uint64_t count = 1);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  /// Exact extremes (not bin-quantized); 0 when empty.
+  std::uint64_t min_value() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max_value() const { return count_ == 0 ? 0 : max_; }
+
+  /// Value at percentile `pct` in [0, 100]: the bin floor of the first bin
+  /// whose cumulative count reaches pct% of the total (exact max_value()
+  /// for pct >= 100). 0 when empty.
+  std::uint64_t percentile(double pct) const;
+
+  std::uint64_t bin_count_at(std::size_t bin) const { return bins_[bin]; }
+
+  /// Bin-wise sum of `other` into this histogram.
+  void merge(const LatencyHistogram& other);
+
+  void reset();
+
+ private:
+  std::array<std::uint64_t, kBinCount> bins_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace upbound

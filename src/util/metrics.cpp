@@ -1,0 +1,191 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+
+namespace upbound {
+
+namespace {
+
+bool is_wall_clock_name(std::string_view name) {
+  return name.ends_with("_ns");
+}
+
+HistogramSample sample_of(const std::string& name,
+                          const LatencyHistogram& hist) {
+  HistogramSample out;
+  out.name = name;
+  out.count = hist.count();
+  out.sum = hist.sum();
+  out.min = hist.min_value();
+  out.max = hist.max_value();
+  for (std::size_t bin = 0; bin < LatencyHistogram::kBinCount; ++bin) {
+    const std::uint64_t count = hist.bin_count_at(bin);
+    if (count != 0) {
+      out.bins.push_back(
+          HistogramBinSample{static_cast<std::uint32_t>(bin), count});
+    }
+  }
+  return out;
+}
+
+/// Bin-sorted sparse merge of `from` into `into`.
+void merge_bins(std::vector<HistogramBinSample>& into,
+                const std::vector<HistogramBinSample>& from) {
+  std::vector<HistogramBinSample> merged;
+  merged.reserve(into.size() + from.size());
+  std::size_t i = 0, j = 0;
+  while (i < into.size() && j < from.size()) {
+    if (into[i].bin == from[j].bin) {
+      merged.push_back(
+          HistogramBinSample{into[i].bin, into[i].count + from[j].count});
+      ++i;
+      ++j;
+    } else if (into[i].bin < from[j].bin) {
+      merged.push_back(into[i++]);
+    } else {
+      merged.push_back(from[j++]);
+    }
+  }
+  for (; i < into.size(); ++i) merged.push_back(into[i]);
+  for (; j < from.size(); ++j) merged.push_back(from[j]);
+  into = std::move(merged);
+}
+
+void merge_histogram_sample(HistogramSample& into,
+                            const HistogramSample& from) {
+  if (from.count == 0) return;
+  if (into.count == 0) {
+    into.min = from.min;
+    into.max = from.max;
+  } else {
+    into.min = std::min(into.min, from.min);
+    into.max = std::max(into.max, from.max);
+  }
+  into.count += from.count;
+  into.sum += from.sum;
+  merge_bins(into.bins, from.bins);
+}
+
+}  // namespace
+
+std::uint64_t HistogramSample::percentile(double pct) const {
+  if (count == 0) return 0;
+  if (pct >= 100.0) return max;
+  if (pct < 0.0) pct = 0.0;
+  const double exact = pct / 100.0 * static_cast<double>(count);
+  std::uint64_t rank = static_cast<std::uint64_t>(exact);
+  if (static_cast<double>(rank) < exact) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (const HistogramBinSample& bin : bins) {
+    cumulative += bin.count;
+    if (cumulative >= rank) return LatencyHistogram::bin_floor(bin.bin);
+  }
+  return max;
+}
+
+MetricsSnapshot MetricsSnapshot::deterministic() const {
+  MetricsSnapshot out;
+  out.counters = counters;
+  out.gauges = gauges;
+  for (const HistogramSample& hist : histograms) {
+    if (!is_wall_clock_name(hist.name)) out.histograms.push_back(hist);
+  }
+  return out;
+}
+
+void merge_metrics_snapshot(MetricsSnapshot& into,
+                            const MetricsSnapshot& from) {
+  merge_counter_snapshot(into.counters, from.counters);
+
+  std::vector<GaugeSample> gauges;
+  gauges.reserve(into.gauges.size() + from.gauges.size());
+  std::size_t i = 0, j = 0;
+  while (i < into.gauges.size() && j < from.gauges.size()) {
+    if (into.gauges[i].name == from.gauges[j].name) {
+      gauges.push_back(GaugeSample{into.gauges[i].name,
+                                   into.gauges[i].value +
+                                       from.gauges[j].value});
+      ++i;
+      ++j;
+    } else if (into.gauges[i].name < from.gauges[j].name) {
+      gauges.push_back(into.gauges[i++]);
+    } else {
+      gauges.push_back(from.gauges[j++]);
+    }
+  }
+  for (; i < into.gauges.size(); ++i) gauges.push_back(into.gauges[i]);
+  for (; j < from.gauges.size(); ++j) gauges.push_back(from.gauges[j]);
+  into.gauges = std::move(gauges);
+
+  std::vector<HistogramSample> hists;
+  hists.reserve(into.histograms.size() + from.histograms.size());
+  i = 0;
+  j = 0;
+  while (i < into.histograms.size() && j < from.histograms.size()) {
+    if (into.histograms[i].name == from.histograms[j].name) {
+      HistogramSample merged = std::move(into.histograms[i]);
+      merge_histogram_sample(merged, from.histograms[j]);
+      hists.push_back(std::move(merged));
+      ++i;
+      ++j;
+    } else if (into.histograms[i].name < from.histograms[j].name) {
+      hists.push_back(std::move(into.histograms[i++]));
+    } else {
+      hists.push_back(from.histograms[j++]);
+    }
+  }
+  for (; i < into.histograms.size(); ++i) {
+    hists.push_back(std::move(into.histograms[i]));
+  }
+  for (; j < from.histograms.size(); ++j) {
+    hists.push_back(from.histograms[j]);
+  }
+  into.histograms = std::move(hists);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  for (auto& [existing, value] : gauges_) {
+    if (existing == name) return value;
+  }
+  gauges_.emplace_back(std::string{name}, Gauge{});
+  return gauges_.back().second;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(std::string_view name) {
+  for (auto& [existing, value] : histograms_) {
+    if (existing == name) return value;
+  }
+  histograms_.emplace_back(std::string{name}, LatencyHistogram{});
+  return histograms_.back().second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  out.counters = counters_.snapshot();
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.push_back(GaugeSample{name, gauge.value()});
+  }
+  std::sort(out.gauges.begin(), out.gauges.end(),
+            [](const GaugeSample& a, const GaugeSample& b) {
+              return a.name < b.name;
+            });
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    out.histograms.push_back(sample_of(name, hist));
+  }
+  std::sort(out.histograms.begin(), out.histograms.end(),
+            [](const HistogramSample& a, const HistogramSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  counters_.reset();
+  for (auto& [name, gauge] : gauges_) gauge.set(0.0);
+  for (auto& [name, hist] : histograms_) hist.reset();
+}
+
+}  // namespace upbound

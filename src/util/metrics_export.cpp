@@ -1,0 +1,190 @@
+#include "util/metrics_export.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace upbound {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out += buf;
+}
+
+/// Canonical double rendering: integral values (the common case -- byte
+/// and entry counts) as plain decimals, everything else shortest
+/// round-trip via %.17g.
+void append_double(std::string& out, double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 9.0e15) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+std::string prometheus_name(std::string_view prefix, std::string_view name) {
+  std::string out{prefix};
+  out.push_back('_');
+  for (const char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c))
+                      ? c
+                      : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string metrics_to_json(const MetricsSnapshot& snapshot,
+                            std::string_view label, SimTime sim_time) {
+  std::string out;
+  out.reserve(1024);
+  out += "{\"schema\":\"upbound.metrics.v1\",\"label\":\"";
+  append_escaped(out, label);
+  out += "\",\"sim_time_usec\":";
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld",
+                static_cast<long long>(sim_time.usec()));
+  out += buf;
+
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const CounterSample& counter : snapshot.counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    append_escaped(out, counter.name);
+    out += "\":";
+    append_u64(out, counter.value);
+  }
+
+  out += "},\"gauges\":{";
+  first = true;
+  for (const GaugeSample& gauge : snapshot.gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    append_escaped(out, gauge.name);
+    out += "\":";
+    append_double(out, gauge.value);
+  }
+
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramSample& hist : snapshot.histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    append_escaped(out, hist.name);
+    out += "\":{\"count\":";
+    append_u64(out, hist.count);
+    out += ",\"sum\":";
+    append_u64(out, hist.sum);
+    out += ",\"min\":";
+    append_u64(out, hist.min);
+    out += ",\"max\":";
+    append_u64(out, hist.max);
+    out += ",\"p50\":";
+    append_u64(out, hist.percentile(50));
+    out += ",\"p90\":";
+    append_u64(out, hist.percentile(90));
+    out += ",\"p99\":";
+    append_u64(out, hist.percentile(99));
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+std::string metrics_to_prometheus(const MetricsSnapshot& snapshot,
+                                  std::string_view prefix) {
+  std::string out;
+  out.reserve(2048);
+  for (const CounterSample& counter : snapshot.counters) {
+    const std::string name = prometheus_name(prefix, counter.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " ";
+    append_u64(out, counter.value);
+    out.push_back('\n');
+  }
+  for (const GaugeSample& gauge : snapshot.gauges) {
+    const std::string name = prometheus_name(prefix, gauge.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " ";
+    append_double(out, gauge.value);
+    out.push_back('\n');
+  }
+  for (const HistogramSample& hist : snapshot.histograms) {
+    const std::string name = prometheus_name(prefix, hist.name);
+    out += "# TYPE " + name + " summary\n";
+    for (const double pct : {50.0, 90.0, 99.0}) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "{quantile=\"%.2f\"} ",
+                    pct / 100.0);
+      out += name + label;
+      append_u64(out, hist.percentile(pct));
+      out.push_back('\n');
+    }
+    out += name + "_sum ";
+    append_u64(out, hist.sum);
+    out.push_back('\n');
+    out += name + "_count ";
+    append_u64(out, hist.count);
+    out.push_back('\n');
+    out += name + "_max ";
+    append_u64(out, hist.max);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+MetricsJsonlWriter::MetricsJsonlWriter(const std::string& path)
+    : path_(path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("cannot open metrics output: " + path);
+  }
+}
+
+MetricsJsonlWriter::~MetricsJsonlWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void MetricsJsonlWriter::write(const MetricsSnapshot& snapshot,
+                               std::string_view label, SimTime sim_time) {
+  const std::string line = metrics_to_json(snapshot, label, sim_time);
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fputc('\n', file_) == EOF) {
+    throw std::runtime_error("write failed on metrics output: " + path_);
+  }
+  std::fflush(file_);
+  ++written_;
+}
+
+}  // namespace upbound

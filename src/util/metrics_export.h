@@ -1,0 +1,54 @@
+// Machine-readable metrics export: JSON-lines snapshots (one snapshot per
+// line, schema "upbound.metrics.v1", validated in CI by
+// scripts/check_metrics_schema.py) and Prometheus text exposition.
+//
+// Rendering is deliberately canonical -- metrics are emitted in the
+// snapshot's name-sorted order, integers as plain decimals, doubles via a
+// shortest-round-trip format -- so exporting a deterministic snapshot
+// yields a byte-identical file across runs and thread counts (the CLI's
+// --metrics-deterministic mode relies on this).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "util/metrics.h"
+#include "util/time.h"
+
+namespace upbound {
+
+/// One JSON object (single line, no trailing newline) for a snapshot.
+/// `label` names the snapshot ("interval"/"final"); `sim_time` is the
+/// simulation time it was taken at.
+std::string metrics_to_json(const MetricsSnapshot& snapshot,
+                            std::string_view label, SimTime sim_time);
+
+/// Prometheus text exposition (one metric family per counter/gauge, a
+/// summary per histogram). Metric names are prefixed with `prefix` and
+/// dots become underscores: state.lookups -> upbound_state_lookups.
+std::string metrics_to_prometheus(const MetricsSnapshot& snapshot,
+                                  std::string_view prefix = "upbound");
+
+/// Appends JSON-lines snapshots to a file. Throws std::runtime_error when
+/// the file cannot be opened or written.
+class MetricsJsonlWriter {
+ public:
+  explicit MetricsJsonlWriter(const std::string& path);
+  ~MetricsJsonlWriter();
+
+  MetricsJsonlWriter(const MetricsJsonlWriter&) = delete;
+  MetricsJsonlWriter& operator=(const MetricsJsonlWriter&) = delete;
+
+  void write(const MetricsSnapshot& snapshot, std::string_view label,
+             SimTime sim_time);
+
+  std::uint64_t snapshots_written() const { return written_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::uint64_t written_ = 0;
+};
+
+}  // namespace upbound

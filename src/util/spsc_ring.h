@@ -68,9 +68,18 @@ class SpscRing {
 
   /// Snapshot count; exact only when called from the producer or consumer
   /// thread (the other side may move concurrently).
+  ///
+  /// Reading order matters: head_ must be loaded BEFORE tail_. head_ only
+  /// grows and head_ <= tail_ holds at every instant, so a tail_ read that
+  /// happens after the head_ read always observes tail >= the head value
+  /// read, and the unsigned subtraction cannot wrap. (The reverse order
+  /// loses that guarantee: a pop between the two loads makes the stale
+  /// tail smaller than the fresh head and size() returns a near-2^64
+  /// value, so empty() reports a full ring.) The clamp is belt and braces.
   std::size_t size() const {
-    return tail_.load(std::memory_order_acquire) -
-           head_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : 0;
   }
 
   bool empty() const { return size() == 0; }

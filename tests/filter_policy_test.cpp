@@ -109,6 +109,51 @@ TEST(BandwidthMeter, InvalidConfigThrows) {
                std::invalid_argument);
 }
 
+TEST(BandwidthMeter, NegativeTimestampsUseFloorSlots) {
+  // Regression: slot indexing used truncating division/modulo, which maps
+  // pre-origin times (negative usec, legal SimTime values) to the wrong
+  // slot -- e.g. t=-0.05s truncates to slot 0 alongside t=+0.05s -- and
+  // produces negative (out-of-range) array indexes in add(). With floor
+  // semantics the window behaves identically on both sides of the origin.
+  BandwidthMeter meter{Duration::sec(1.0), 10};
+  meter.add(SimTime::from_sec(-2.0), 100'000);
+  // Still inside the 1 s window at t=-1.5...
+  EXPECT_GT(meter.bits_per_sec(SimTime::from_sec(-1.5)), 0.0);
+  // ...fully aged out once the window has passed, before the origin.
+  EXPECT_DOUBLE_EQ(meter.bits_per_sec(SimTime::from_sec(-0.5)), 0.0);
+}
+
+TEST(BandwidthMeter, CrossOriginWindowAgesSlotBySlot) {
+  BandwidthMeter meter{Duration::sec(1.0), 10};
+  meter.add(SimTime::from_sec(-0.55), 1000);  // slot [-0.6, -0.5)
+  meter.add(SimTime::from_sec(-0.05), 1000);  // slot [-0.1, 0.0)
+  // At t=0.04 both contributions are inside the window.
+  EXPECT_DOUBLE_EQ(meter.bits_per_sec(SimTime::from_sec(0.04)), 2000 * 8.0);
+  // At t=0.44 the first slot has expired, the second has not.
+  EXPECT_DOUBLE_EQ(meter.bits_per_sec(SimTime::from_sec(0.44)), 1000 * 8.0);
+  // At t=0.94 everything pre-origin has aged out.
+  EXPECT_DOUBLE_EQ(meter.bits_per_sec(SimTime::from_sec(0.94)), 0.0);
+}
+
+TEST(BandwidthMeter, NegativeMirrorsPositiveBehaviour) {
+  // The same offered pattern shifted by a whole number of windows must
+  // yield the same estimates, whether it straddles the origin or not.
+  BandwidthMeter positive{Duration::sec(1.0), 10};
+  BandwidthMeter negative{Duration::sec(1.0), 10};
+  const Duration shift = Duration::sec(5.0);
+  for (int i = 0; i < 30; ++i) {
+    const SimTime t = SimTime::from_sec(i * 0.1);
+    positive.add(t, 2500);
+    negative.add(t - shift, 2500);
+  }
+  for (double probe = 0.05; probe < 3.0; probe += 0.3) {
+    EXPECT_DOUBLE_EQ(
+        positive.bits_per_sec(SimTime::from_sec(probe)),
+        negative.bits_per_sec(SimTime::from_sec(probe) - shift))
+        << "probe=" << probe;
+  }
+}
+
 TEST(BandwidthMeter, SteadyStateMatchesOfferedLoad) {
   BandwidthMeter meter{Duration::sec(2.0), 20};
   // Offer 8 Mbps for 10 seconds in 10 ms packets of 10 KB.

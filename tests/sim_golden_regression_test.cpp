@@ -136,6 +136,62 @@ TEST(SimGoldenRegression, BatchedBankMatchesLockedMetrics) {
   EXPECT_LT(m.drop_rate, 0.9);
 }
 
+// --- Locked per-stage counters (same reference run; exact) ---
+// These pin the datapath's internal event accounting, not just its
+// outcomes: a refactor that preserves decisions but changes how often a
+// stage fires (e.g. counting speculative filter lookups the scalar path
+// never performs) shows up here. state.lookups counts only packets that
+// survive the blocklist, so lookups == hits + misses by construction.
+constexpr std::uint64_t kGoldenStateLookups = 26'227;
+constexpr std::uint64_t kGoldenStateHits = 25'050;
+constexpr std::uint64_t kGoldenStateMisses = 1'177;
+constexpr std::uint64_t kGoldenStateMarks = 34'928;
+constexpr std::uint64_t kGoldenBlocklistHits = 23'000;
+constexpr std::uint64_t kGoldenPolicyDrops = 415;
+
+TEST(SimGoldenRegression, StageCountersMatchLockedSnapshot) {
+  const GeneratedTrace& trace = golden_trace();
+  FilterBank bank;
+  bank.add_bitmap_site("campus", trace.network, BitmapFilterConfig{},
+                       kRedLow, kRedHigh);
+  constexpr std::size_t kBatch = 256;
+  std::array<RouterDecision, kBatch> buf;
+  for (std::size_t start = 0; start < trace.packets.size(); start += kBatch) {
+    const std::size_t n = std::min(kBatch, trace.packets.size() - start);
+    bank.process_batch(PacketBatch{trace.packets.data() + start, n},
+                       std::span<RouterDecision>{buf.data(), n});
+  }
+
+  const CounterSnapshot counters =
+      bank.site_router(0).stats().stage_counters;
+  const auto value = [&counters](std::string_view name) -> std::uint64_t {
+    for (const CounterSample& sample : counters) {
+      if (sample.name == name) return sample.value;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return 0;
+  };
+  std::printf("golden stage counters:\n");
+  for (const CounterSample& sample : counters) {
+    std::printf("  %-28s %llu\n", sample.name.c_str(),
+                (unsigned long long)sample.value);
+  }
+
+  EXPECT_EQ(value("state.lookups"), kGoldenStateLookups);
+  EXPECT_EQ(value("state.hits"), kGoldenStateHits);
+  EXPECT_EQ(value("state.misses"), kGoldenStateMisses);
+  EXPECT_EQ(value("state.marks"), kGoldenStateMarks);
+  EXPECT_EQ(value("blocklist.hits"), kGoldenBlocklistHits);
+  EXPECT_EQ(value("policy.drops"), kGoldenPolicyDrops);
+
+  // Structural invariants, independent of the locked values.
+  EXPECT_EQ(value("state.lookups"),
+            value("state.hits") + value("state.misses"));
+  EXPECT_EQ(value("policy.evaluations"),
+            value("policy.drops") + value("policy.passes"));
+  EXPECT_LE(value("blocklist.hits"), value("blocklist.lookups"));
+}
+
 TEST(SimGoldenRegression, ScalarAndBatchedBankAgreeExactly) {
   const GoldenMetrics batched = run_bank(/*batched=*/true);
   const GoldenMetrics scalar = run_bank(/*batched=*/false);

@@ -1,0 +1,224 @@
+// Telemetry layer: log-linear histogram binning and percentiles, registry
+// snapshot/merge semantics, the deterministic-subset contract, and the
+// canonical JSON-lines / Prometheus renderings.
+#include <gtest/gtest.h>
+
+#include "util/latency_histogram.h"
+#include "util/metrics.h"
+#include "util/metrics_export.h"
+
+namespace upbound {
+namespace {
+
+TEST(LatencyHistogram, SmallValuesGetExactBins) {
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+    EXPECT_EQ(LatencyHistogram::bin_of(v), v);
+    EXPECT_EQ(LatencyHistogram::bin_floor(LatencyHistogram::bin_of(v)), v);
+  }
+}
+
+TEST(LatencyHistogram, BinFloorIsTightLowerBound) {
+  // bin_floor(bin_of(v)) <= v, and within 6.25% (one sub-bucket width).
+  for (const std::uint64_t v :
+       {17ull, 100ull, 1000ull, 4097ull, 1'000'000ull, 123'456'789ull,
+        (1ull << 40) + 12345, ~0ull}) {
+    const std::size_t bin = LatencyHistogram::bin_of(v);
+    const std::uint64_t floor = LatencyHistogram::bin_floor(bin);
+    EXPECT_LE(floor, v);
+    EXPECT_GE(static_cast<double>(floor), static_cast<double>(v) * 0.9375)
+        << "v=" << v;
+    // Monotone: the next bin starts above v.
+    if (bin + 1 < LatencyHistogram::kBinCount) {
+      EXPECT_GT(LatencyHistogram::bin_floor(bin + 1), v);
+    }
+  }
+}
+
+TEST(LatencyHistogram, CountSumMinMax) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min_value(), 0u);
+  EXPECT_EQ(h.max_value(), 0u);
+  h.record(10);
+  h.record(500, 3);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 10u + 3 * 500u);
+  EXPECT_EQ(h.min_value(), 10u);
+  EXPECT_EQ(h.max_value(), 500u);
+}
+
+TEST(LatencyHistogram, PercentilesOnUniformRamp) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  // Bin floors quantize downward by at most 6.25%.
+  EXPECT_NEAR(static_cast<double>(h.percentile(50)), 500.0, 500.0 * 0.0625);
+  EXPECT_NEAR(static_cast<double>(h.percentile(90)), 900.0, 900.0 * 0.0625);
+  EXPECT_NEAR(static_cast<double>(h.percentile(99)), 990.0, 990.0 * 0.0625);
+  EXPECT_EQ(h.percentile(100), 1000u);  // exact max
+  EXPECT_EQ(h.percentile(0), LatencyHistogram::bin_floor(
+                                 LatencyHistogram::bin_of(1)));
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  for (std::uint64_t v = 1; v <= 300; ++v) {
+    (v % 2 == 0 ? a : b).record(v * 7);
+    combined.record(v * 7);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.min_value(), combined.min_value());
+  EXPECT_EQ(a.max_value(), combined.max_value());
+  for (std::size_t bin = 0; bin < LatencyHistogram::kBinCount; ++bin) {
+    EXPECT_EQ(a.bin_count_at(bin), combined.bin_count_at(bin));
+  }
+  EXPECT_EQ(a.percentile(50), combined.percentile(50));
+}
+
+TEST(MetricsRegistry, SnapshotIsNameSorted) {
+  MetricsRegistry registry;
+  registry.counter("zeta").inc(1);
+  registry.counter("alpha").inc(2);
+  registry.gauge("g2").set(2.0);
+  registry.gauge("g1").set(1.0);
+  registry.histogram("h.late").record(5);
+  registry.histogram("h.early").record(7);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "alpha");
+  EXPECT_EQ(snap.counters[1].name, "zeta");
+  ASSERT_EQ(snap.gauges.size(), 2u);
+  EXPECT_EQ(snap.gauges[0].name, "g1");
+  ASSERT_EQ(snap.histograms.size(), 2u);
+  EXPECT_EQ(snap.histograms[0].name, "h.early");
+}
+
+TEST(MetricsRegistry, SameNameReturnsSameMetric) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("x");
+  registry.gauge("x").set(4.0);
+  EXPECT_EQ(g.value(), 4.0);
+  EXPECT_EQ(registry.gauge_count(), 1u);
+  LatencyHistogram& h = registry.histogram("y");
+  registry.histogram("y").record(9);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(registry.histogram_count(), 1u);
+}
+
+TEST(MetricsSnapshot, MergeSumsAndCombines) {
+  MetricsRegistry a, b;
+  a.counter("c").inc(5);
+  b.counter("c").inc(7);
+  b.counter("only_b").inc(1);
+  a.gauge("bytes").set(100.0);
+  b.gauge("bytes").set(50.0);
+  a.histogram("h").record(10);
+  b.histogram("h").record(1000);
+
+  MetricsSnapshot merged = a.snapshot();
+  merge_metrics_snapshot(merged, b.snapshot());
+
+  ASSERT_EQ(merged.counters.size(), 2u);
+  EXPECT_EQ(merged.counters[0].name, "c");
+  EXPECT_EQ(merged.counters[0].value, 12u);
+  EXPECT_EQ(merged.counters[1].value, 1u);
+  // Gauges sum: per-shard instantaneous values add up to the site total.
+  ASSERT_EQ(merged.gauges.size(), 1u);
+  EXPECT_EQ(merged.gauges[0].value, 150.0);
+  ASSERT_EQ(merged.histograms.size(), 1u);
+  EXPECT_EQ(merged.histograms[0].count, 2u);
+  EXPECT_EQ(merged.histograms[0].min, 10u);
+  EXPECT_EQ(merged.histograms[0].max, 1000u);
+}
+
+TEST(MetricsSnapshot, MergeOrderIndependentForSums) {
+  MetricsRegistry a, b;
+  a.histogram("h").record(3);
+  a.histogram("h").record(900);
+  b.histogram("h").record(47);
+  MetricsSnapshot ab = a.snapshot();
+  merge_metrics_snapshot(ab, b.snapshot());
+  MetricsSnapshot ba = b.snapshot();
+  merge_metrics_snapshot(ba, a.snapshot());
+  EXPECT_EQ(ab, ba);
+}
+
+TEST(MetricsSnapshot, DeterministicStripsWallClockHistograms) {
+  MetricsRegistry registry;
+  registry.counter("state.lookups").inc(3);
+  registry.histogram("batch.packets").record(256);
+  registry.histogram("latency.state_ns").record(1234);
+  const MetricsSnapshot det = registry.snapshot().deterministic();
+  EXPECT_EQ(det.counters.size(), 1u);
+  ASSERT_EQ(det.histograms.size(), 1u);
+  EXPECT_EQ(det.histograms[0].name, "batch.packets");
+}
+
+TEST(HistogramSample, PercentileMatchesHistogram) {
+  MetricsRegistry registry;
+  LatencyHistogram& h = registry.histogram("h");
+  for (std::uint64_t v = 1; v <= 5000; v += 3) h.record(v);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  for (const double pct : {0.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_EQ(snap.histograms[0].percentile(pct), h.percentile(pct))
+        << "pct=" << pct;
+  }
+}
+
+TEST(MetricsExport, JsonIsSingleCanonicalLine) {
+  MetricsRegistry registry;
+  registry.counter("a.count").inc(42);
+  registry.gauge("b.bytes").set(4096.0);
+  registry.histogram("c.packets").record(7);
+  const std::string line =
+      metrics_to_json(registry.snapshot(), "final", SimTime::from_usec(123));
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("\"schema\":\"upbound.metrics.v1\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"label\":\"final\""), std::string::npos);
+  EXPECT_NE(line.find("\"sim_time_usec\":123"), std::string::npos);
+  EXPECT_NE(line.find("\"a.count\":42"), std::string::npos);
+  EXPECT_NE(line.find("\"b.bytes\":4096"), std::string::npos);
+  // Same snapshot, same bytes: the rendering is canonical.
+  EXPECT_EQ(line, metrics_to_json(registry.snapshot(), "final",
+                                  SimTime::from_usec(123)));
+}
+
+TEST(MetricsExport, PrometheusTextTypesAndNames) {
+  MetricsRegistry registry;
+  registry.counter("state.lookups").inc(9);
+  registry.gauge("filter.storage_bytes").set(1024.0);
+  registry.histogram("latency.batch_ns").record(500);
+  const std::string text = metrics_to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE upbound_state_lookups counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("upbound_state_lookups 9"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE upbound_filter_storage_bytes gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE upbound_latency_batch_ns summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("upbound_latency_batch_ns{quantile=\"0.50\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("upbound_latency_batch_ns_count 1"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  registry.counter("c").inc(3);
+  registry.gauge("g").set(5.0);
+  registry.histogram("h").record(11);
+  registry.reset();
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].value, 0u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].value, 0.0);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 0u);
+}
+
+}  // namespace
+}  // namespace upbound

@@ -96,6 +96,41 @@ TEST(SpscRing, TwoThreadHandOffPreservesOrderAndCount) {
   EXPECT_EQ(sum, static_cast<std::uint64_t>(kItems) * (kItems - 1) / 2);
 }
 
+TEST(SpscRing, SizeNeverWrapsUnderConcurrentPop) {
+  // Regression: size() used to load tail_ before head_; a pop landing
+  // between the two loads paired a stale tail with a fresh head, the
+  // unsigned subtraction wrapped to ~2^64, and empty() reported a full
+  // ring. With head_ loaded first a racing observer may overestimate (a
+  // stale head against a fresh tail) but the value stays small and sane --
+  // bounded by the traffic between the two loads, never near 2^64.
+  constexpr std::size_t kItems = 150'000;
+  SpscRing<std::size_t> ring{16};
+  std::atomic<bool> stop{false};
+
+  std::thread observer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::size_t size = ring.size();
+      ASSERT_LE(size, kItems);  // a wrapped subtraction would be ~2^64
+    }
+  });
+
+  std::thread producer([&ring] {
+    for (std::size_t i = 0; i < kItems; ++i) {
+      while (!ring.try_push(i)) std::this_thread::yield();
+    }
+  });
+
+  std::size_t value = 0;
+  for (std::size_t received = 0; received < kItems; ++received) {
+    while (!ring.try_pop(value)) std::this_thread::yield();
+    ASSERT_EQ(value, received);
+  }
+  producer.join();
+  stop.store(true, std::memory_order_relaxed);
+  observer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
 TEST(SpscRing, RecyclingPairNeverLosesABuffer) {
   // The replay engine's usage pattern: a data ring forward, a free ring
   // back, with a fixed buffer population cycling between them.
