@@ -1,0 +1,380 @@
+#include "attack/evaluator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "filter/drop_policy.h"
+#include "filter/naive_filter.h"
+#include "filter/spi_filter.h"
+#include "sim/edge_router.h"
+#include "sim/parallel_replay.h"
+#include "sim/report.h"
+#include "util/metrics_export.h"
+
+namespace upbound {
+
+namespace {
+
+std::unique_ptr<StateFilter> make_named_filter(
+    const std::string& name, const AttackEvaluatorConfig& config) {
+  if (name == "bitmap") {
+    return std::make_unique<BitmapFilter>(config.attack.bitmap);
+  }
+  if (name == "spi") {
+    SpiFilterConfig spi;
+    spi.idle_timeout = config.attack.spi_idle_timeout;
+    return std::make_unique<SpiFilter>(spi);
+  }
+  if (name == "naive") {
+    NaiveFilterConfig naive;
+    naive.state_timeout = config.attack.naive_timeout();
+    naive.key_mode = config.attack.bitmap.key_mode;
+    return std::make_unique<NaiveFilter>(naive);
+  }
+  throw std::invalid_argument("unknown attack filter '" + name +
+                              "' (bitmap|spi|naive)");
+}
+
+struct RunResult {
+  AttackTally tally;
+  std::vector<std::uint32_t> occupancy_permille;
+};
+
+std::uint32_t occupancy_permille_of(const BitmapFilter& filter) {
+  return static_cast<std::uint32_t>(
+      std::llround(filter.current_utilization() * 1000.0));
+}
+
+/// Replays one shard's slice through one router, splitting batches at the
+/// occupancy grid so the bitmap is sampled at exact sim times.
+RunResult run_shard(const std::vector<PacketRecord>& packets,
+                    const std::vector<AttackLabel>& labels,
+                    const ClientNetwork& network, const std::string& filter,
+                    std::uint64_t seed,
+                    const std::vector<SimTime>& occupancy_grid,
+                    const AttackEvaluatorConfig& config) {
+  EdgeRouterConfig rcfg;
+  rcfg.network = network;
+  // The blocklist would make the open-loop blend diverge from the paper's
+  // replay semantics and couple scenarios through TTL state; collateral
+  // is measured purely through the drop policy.
+  rcfg.track_blocked_connections = false;
+  rcfg.seed = seed;
+  rcfg.stage_timing = false;
+  EdgeRouter router{rcfg, make_named_filter(filter, config),
+                    std::make_unique<ConstantDropPolicy>(config.pd)};
+  auto* bitmap = dynamic_cast<BitmapFilter*>(&router.filter());
+
+  RunResult result;
+  result.occupancy_permille.assign(
+      bitmap != nullptr ? occupancy_grid.size() : 0, 0);
+
+  // connection (canonical tuple) -> was the most recent probe admitted?
+  std::unordered_map<FiveTuple, bool, CanonicalTupleHash, CanonicalTupleEq>
+      probe_verdict;
+
+  constexpr std::size_t kBatch = 256;
+  RouterDecision decisions[kBatch];
+  std::size_t pos = 0;
+  std::size_t grid_i = 0;
+  AttackTally& tally = result.tally;
+  while (pos < packets.size()) {
+    const SimTime next_grid = bitmap != nullptr && grid_i < occupancy_grid.size()
+                                  ? occupancy_grid[grid_i]
+                                  : SimTime::infinite();
+    if (packets[pos].timestamp >= next_grid) {
+      // Advancing the filter clock to the grid point before the next
+      // packet (whose timestamp is >= the grid point) runs exactly the
+      // rotations the router would run anyway: decisions are unchanged.
+      bitmap->advance_time(next_grid);
+      result.occupancy_permille[grid_i] = occupancy_permille_of(*bitmap);
+      ++grid_i;
+      continue;
+    }
+    std::size_t end = pos + 1;
+    while (end < packets.size() && end - pos < kBatch &&
+           packets[end].timestamp < next_grid) {
+      ++end;
+    }
+    const std::size_t n = end - pos;
+    router.process_batch(PacketBatch{packets.data() + pos, n},
+                         std::span<RouterDecision>{decisions, n});
+    for (std::size_t i = 0; i < n; ++i) {
+      const PacketRecord& pkt = packets[pos + i];
+      const RouterDecision decision = decisions[i];
+      switch (labels[pos + i]) {
+        case AttackLabel::kLegit:
+          if (decision == RouterDecision::kPassedOutbound) {
+            ++tally.legit_outbound_packets;
+          } else if (decision == RouterDecision::kPassedInbound) {
+            ++tally.legit_inbound_packets;
+          } else if (decision == RouterDecision::kDroppedByPolicy ||
+                     decision == RouterDecision::kDroppedBlocked) {
+            ++tally.legit_inbound_packets;
+            ++tally.legit_inbound_dropped;
+          }
+          break;
+        case AttackLabel::kProbe:
+          ++tally.probe_packets;
+          if (decision == RouterDecision::kPassedInbound) {
+            ++tally.probe_admitted;
+            probe_verdict[pkt.tuple] = true;
+          } else {
+            probe_verdict[pkt.tuple] = false;
+          }
+          break;
+        case AttackLabel::kSupport:
+          ++tally.support_packets;
+          break;
+        case AttackLabel::kUpload: {
+          ++tally.upload_packets;
+          const std::uint64_t bytes = pkt.wire_size();
+          tally.upload_bytes += bytes;
+          const auto it = probe_verdict.find(pkt.tuple);
+          if (decision == RouterDecision::kPassedOutbound &&
+              it != probe_verdict.end() && it->second) {
+            tally.achieved_upload_bytes += bytes;
+          }
+          break;
+        }
+      }
+    }
+    pos = end;
+  }
+  if (bitmap != nullptr) {
+    for (; grid_i < occupancy_grid.size(); ++grid_i) {
+      bitmap->advance_time(occupancy_grid[grid_i]);
+      result.occupancy_permille[grid_i] = occupancy_permille_of(*bitmap);
+    }
+  }
+  return result;
+}
+
+RunResult run_blend(const AttackBlend& blend, const ClientNetwork& network,
+                    const std::string& filter,
+                    const AttackEvaluatorConfig& config) {
+  // Fixed sim-time grid shared by every shard (and every filter, so the
+  // exported trajectories line up point for point).
+  std::vector<SimTime> grid;
+  if (!blend.packets.empty() && !config.occupancy_interval.is_zero()) {
+    const auto samples = static_cast<std::size_t>(std::min<std::int64_t>(
+        blend.span().count_usec() / config.occupancy_interval.count_usec(),
+        4096));
+    grid.reserve(samples);
+    for (std::size_t i = 1; i <= samples; ++i) {
+      grid.push_back(blend.first_time() +
+                     config.occupancy_interval * static_cast<std::int64_t>(i));
+    }
+  }
+
+  const std::size_t shards = std::max<std::size_t>(1, config.shards);
+  if (shards == 1) {
+    return run_shard(blend.packets, blend.labels, network, filter,
+                     config.seed, grid, config);
+  }
+
+  std::vector<std::vector<PacketRecord>> shard_packets(shards);
+  std::vector<std::vector<AttackLabel>> shard_labels(shards);
+  for (std::size_t i = 0; i < blend.packets.size(); ++i) {
+    const std::size_t s = shard_of(blend.packets[i].tuple, shards);
+    shard_packets[s].push_back(blend.packets[i]);
+    shard_labels[s].push_back(blend.labels[i]);
+  }
+  RunResult merged;
+  merged.occupancy_permille.assign(filter == "bitmap" ? grid.size() : 0, 0);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const RunResult shard =
+        run_shard(shard_packets[s], shard_labels[s], network, filter,
+                  shard_seed(config.seed, s), grid, config);
+    merged.tally.merge(shard.tally);
+    for (std::size_t i = 0; i < merged.occupancy_permille.size(); ++i) {
+      merged.occupancy_permille[i] += shard.occupancy_permille[i];
+    }
+  }
+  // Mean across the per-shard bitmaps: each holds its slice's marks, so
+  // the mean tracks the aggregate utilization an unsharded deployment
+  // would see (up to rounding).
+  for (auto& v : merged.occupancy_permille) {
+    v = static_cast<std::uint32_t>(v / shards);
+  }
+  return merged;
+}
+
+}  // namespace
+
+AttackTally& AttackTally::merge(const AttackTally& other) {
+  probe_packets += other.probe_packets;
+  probe_admitted += other.probe_admitted;
+  legit_inbound_packets += other.legit_inbound_packets;
+  legit_inbound_dropped += other.legit_inbound_dropped;
+  legit_outbound_packets += other.legit_outbound_packets;
+  support_packets += other.support_packets;
+  upload_packets += other.upload_packets;
+  upload_bytes += other.upload_bytes;
+  achieved_upload_bytes += other.achieved_upload_bytes;
+  return *this;
+}
+
+std::uint32_t AttackOutcome::occupancy_peak_permille() const {
+  std::uint32_t peak = 0;
+  for (const std::uint32_t v : occupancy_permille) peak = std::max(peak, v);
+  return peak;
+}
+
+MetricsSnapshot AttackOutcome::to_metrics() const {
+  MetricsRegistry registry;
+  registry.gauge("attack.bypass_rate").set(bypass_rate());
+  registry.gauge("attack.probe_packets")
+      .set(static_cast<double>(tally.probe_packets));
+  registry.gauge("attack.probe_admitted")
+      .set(static_cast<double>(tally.probe_admitted));
+  registry.gauge("attack.collateral_drop_rate").set(collateral_drop_rate());
+  registry.gauge("attack.baseline_legit_drop_rate")
+      .set(baseline_legit_drop_rate);
+  registry.gauge("attack.legit_inbound_packets")
+      .set(static_cast<double>(tally.legit_inbound_packets));
+  registry.gauge("attack.legit_inbound_dropped")
+      .set(static_cast<double>(tally.legit_inbound_dropped));
+  registry.gauge("attack.legit_outbound_packets")
+      .set(static_cast<double>(tally.legit_outbound_packets));
+  registry.gauge("attack.support_packets")
+      .set(static_cast<double>(tally.support_packets));
+  registry.gauge("attack.upload_packets")
+      .set(static_cast<double>(tally.upload_packets));
+  registry.gauge("attack.upload_bytes")
+      .set(static_cast<double>(tally.upload_bytes));
+  registry.gauge("attack.achieved_upload_bytes")
+      .set(static_cast<double>(tally.achieved_upload_bytes));
+  registry.gauge("attack.upload_vs_bound").set(upload_vs_bound);
+  registry.gauge("attack.occupancy_peak")
+      .set(static_cast<double>(occupancy_peak_permille()) / 1000.0);
+  registry.gauge("attack.occupancy_final")
+      .set(occupancy_permille.empty()
+               ? 0.0
+               : static_cast<double>(occupancy_permille.back()) / 1000.0);
+  LatencyHistogram& hist = registry.histogram("attack.occupancy_permille");
+  for (const std::uint32_t v : occupancy_permille) hist.record(v);
+  return registry.snapshot();
+}
+
+std::string AttackReport::to_jsonl() const {
+  std::string out;
+  for (const AttackOutcome& outcome : outcomes) {
+    out += metrics_to_json(outcome.to_metrics(),
+                           "attack:" + outcome.scenario + ":" + outcome.filter,
+                           end_time);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string AttackReport::summary_table() const {
+  std::vector<std::vector<std::string>> rows{
+      {"scenario", "filter", "probes", "bypass", "legit drop", "baseline",
+       "upload/bound", "occ peak"}};
+  for (const AttackOutcome& o : outcomes) {
+    rows.push_back({o.scenario, o.filter,
+                    std::to_string(o.tally.probe_packets),
+                    report::percent(o.bypass_rate()),
+                    report::percent(o.collateral_drop_rate()),
+                    report::percent(o.baseline_legit_drop_rate),
+                    report::num(o.upload_vs_bound),
+                    report::percent(
+                        static_cast<double>(o.occupancy_peak_permille()) /
+                        1000.0, 1)});
+  }
+  return report::table(rows);
+}
+
+AttackReport evaluate_attacks(const Trace& legit, const ClientNetwork& network,
+                              std::span<const AttackScenarioKind> scenarios,
+                              const AttackEvaluatorConfig& config) {
+  // Blends are generated up front (they are shared read-only by all
+  // filter runs of a scenario). Index 0 is the legit-only baseline.
+  std::vector<AttackBlend> blends;
+  blends.reserve(scenarios.size() + 1);
+  {
+    AttackBlend legit_only;
+    legit_only.packets = legit;
+    legit_only.labels.assign(legit.size(), AttackLabel::kLegit);
+    blends.push_back(std::move(legit_only));
+  }
+  for (const AttackScenarioKind kind : scenarios) {
+    blends.push_back(blend_with_legit(
+        legit, generate_attack(kind, legit, network, config.attack)));
+  }
+
+  struct Run {
+    std::size_t blend;   // index into blends
+    std::size_t filter;  // index into config.filters
+  };
+  std::vector<Run> runs;
+  for (std::size_t b = 0; b < blends.size(); ++b) {
+    for (std::size_t f = 0; f < config.filters.size(); ++f) {
+      runs.push_back(Run{b, f});
+    }
+  }
+
+  // Workers claim whole runs; every run is independent and deterministic,
+  // and results land in a preallocated slot, so the thread count cannot
+  // influence the report.
+  std::vector<RunResult> results(runs.size());
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(config.threads, runs.size()));
+  if (workers == 1) {
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+      results[r] = run_blend(blends[runs[r].blend], network,
+                             config.filters[runs[r].filter], config);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&]() {
+        for (;;) {
+          const std::size_t r = next.fetch_add(1);
+          if (r >= runs.size()) return;
+          results[r] = run_blend(blends[runs[r].blend], network,
+                                 config.filters[runs[r].filter], config);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  AttackReport report;
+  report.end_time = SimTime::origin();
+  for (const AttackBlend& blend : blends) {
+    report.end_time = std::max(report.end_time, blend.last_time());
+  }
+  const std::size_t filters = config.filters.size();
+  for (std::size_t b = 0; b < blends.size(); ++b) {
+    const double span_sec = blends[b].span().to_sec();
+    for (std::size_t f = 0; f < filters; ++f) {
+      const RunResult& run = results[b * filters + f];
+      AttackOutcome outcome;
+      outcome.scenario =
+          b == 0 ? "baseline" : attack_scenario_name(scenarios[b - 1]);
+      outcome.filter = config.filters[f];
+      outcome.tally = run.tally;
+      outcome.baseline_legit_drop_rate =
+          results[f].tally.legit_drop_rate();  // blend 0 = legit only
+      outcome.occupancy_permille = run.occupancy_permille;
+      if (span_sec > 0.0 && config.upload_bound_bps > 0.0) {
+        outcome.upload_vs_bound =
+            static_cast<double>(run.tally.achieved_upload_bytes) * 8.0 /
+            span_sec / config.upload_bound_bps;
+      }
+      report.outcomes.push_back(std::move(outcome));
+    }
+  }
+  return report;
+}
+
+}  // namespace upbound

@@ -1,0 +1,136 @@
+// AttackEvaluator: replays attack blends (attack/scenario.h) through the
+// EdgeRouter and reports what the adversary achieved versus what honest
+// traffic lost. For every (scenario, filter) pair it measures
+//
+//   bypass rate            admitted fraction of attack probe packets
+//   collateral drop rate   legit inbound drop rate under attack, next to
+//                          the same filter's legit-only baseline
+//   upload-vs-bound        achieved attack upload throughput (uploads
+//                          whose triggering probe was admitted) relative
+//                          to the configured upload bound
+//   occupancy trajectory   bitmap set-bit fraction sampled on a fixed
+//                          sim-time grid (the saturation scenario's
+//                          headline curve)
+//
+// Runs are bit-deterministic under a fixed seed: simulation-domain inputs
+// only, fixed shard partition (shard count is part of the semantics, as
+// in sim/parallel_replay.h), shard-order merges, and worker threads that
+// only ever pick up whole independent runs. The JSONL export carries
+// gauges and deterministic histograms only, so reports are byte-identical
+// across repeat runs and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "attack/scenario.h"
+#include "util/metrics.h"
+
+namespace upbound {
+
+struct AttackEvaluatorConfig {
+  /// Scenario knobs; also the source of the bitmap design and the SPI /
+  /// naive baseline timeouts, so the attacked filter and the attacker's
+  /// model of it cannot drift apart.
+  AttackScenarioParams attack;
+  /// P_d for stateless inbound (paper Fig. 8 strict mode: drop all).
+  double pd = 1.0;
+  /// Denominator of the upload-vs-bound ratio, bits/s.
+  double upload_bound_bps = 2e6;
+  /// Router seed (drop-coin stream; irrelevant at pd = 1.0 but kept so
+  /// probabilistic configs stay reproducible).
+  std::uint64_t seed = 7;
+  /// Worker threads; each worker executes whole (scenario, filter) runs,
+  /// so the thread count never affects results.
+  std::size_t threads = 1;
+  /// Shard count of the sharded-parallel replay path. 1 = one router
+  /// sees the whole blend (the reference semantics, and the mode where
+  /// collision mining models the deployed aggregate filter). Like the
+  /// parallel replay engine, the shard count is part of the semantics:
+  /// results are comparable only at equal shard counts.
+  std::size_t shards = 1;
+  /// Occupancy sampling grid.
+  Duration occupancy_interval = Duration::sec(1.0);
+  /// Filters to evaluate under each blend, in report order.
+  std::vector<std::string> filters{"bitmap", "spi", "naive"};
+};
+
+/// Integer event tallies of one run; exact, so merging shard results in
+/// shard order is trivially deterministic.
+struct AttackTally {
+  std::uint64_t probe_packets = 0;
+  std::uint64_t probe_admitted = 0;
+  std::uint64_t legit_inbound_packets = 0;
+  std::uint64_t legit_inbound_dropped = 0;
+  std::uint64_t legit_outbound_packets = 0;
+  std::uint64_t support_packets = 0;
+  std::uint64_t upload_packets = 0;
+  std::uint64_t upload_bytes = 0;
+  /// Upload bytes whose most recent same-connection probe was admitted:
+  /// the upload a closed-loop attacker would actually have been paid for.
+  std::uint64_t achieved_upload_bytes = 0;
+
+  bool operator==(const AttackTally&) const = default;
+  AttackTally& merge(const AttackTally& other);
+
+  double bypass_rate() const {
+    return probe_packets == 0 ? 0.0
+                              : static_cast<double>(probe_admitted) /
+                                    static_cast<double>(probe_packets);
+  }
+  double legit_drop_rate() const {
+    return legit_inbound_packets == 0
+               ? 0.0
+               : static_cast<double>(legit_inbound_dropped) /
+                     static_cast<double>(legit_inbound_packets);
+  }
+};
+
+/// Result of one (scenario, filter) run.
+struct AttackOutcome {
+  std::string scenario;  // attack_scenario_name(), or "baseline"
+  std::string filter;
+  AttackTally tally;
+  /// Legit-only drop rate of the same filter (the collateral reference).
+  double baseline_legit_drop_rate = 0.0;
+  /// Achieved upload bits/s over the blend span, divided by the bound.
+  double upload_vs_bound = 0.0;
+  /// Bitmap set-bit fraction (current vector) per grid point, in
+  /// permille; empty for non-bitmap filters.
+  std::vector<std::uint32_t> occupancy_permille;
+
+  bool operator==(const AttackOutcome&) const = default;
+
+  double bypass_rate() const { return tally.bypass_rate(); }
+  double collateral_drop_rate() const { return tally.legit_drop_rate(); }
+  std::uint32_t occupancy_peak_permille() const;
+
+  /// Gauges + the occupancy histogram, counters left empty (independent
+  /// runs cannot promise cross-line counter monotonicity, which the
+  /// JSONL schema checker enforces).
+  MetricsSnapshot to_metrics() const;
+};
+
+struct AttackReport {
+  std::vector<AttackOutcome> outcomes;  // scenario-major, filter order
+  SimTime end_time;                     // last blend timestamp
+
+  bool operator==(const AttackReport&) const = default;
+
+  /// One upbound.metrics.v1 JSON line per outcome, newline-terminated;
+  /// byte-identical for equal reports.
+  std::string to_jsonl() const;
+
+  /// Aligned human-readable summary table.
+  std::string summary_table() const;
+};
+
+/// Runs every scenario against every configured filter (plus one
+/// legit-only baseline run per filter) and assembles the report.
+AttackReport evaluate_attacks(const Trace& legit, const ClientNetwork& network,
+                              std::span<const AttackScenarioKind> scenarios,
+                              const AttackEvaluatorConfig& config);
+
+}  // namespace upbound

@@ -1,0 +1,126 @@
+// Adversarial workloads against the {k x N}-bitmap filter (paper
+// Section 4). Each generator models an attacker who knows the deployed
+// design -- vector count k, rotation interval dt, hash family, even the
+// hash seed (Kerckhoffs's principle) -- and emits a time-sorted packet
+// stream that is blended with the honest campus trace and replayed
+// through the edge router by the AttackEvaluator (attack/evaluator.h).
+//
+// The four shipped scenarios each target a distinct weakness:
+//
+//   collision probing    unsolicited inbound packets whose m hash bits
+//                        all collide with marks legit outbound traffic
+//                        left in the current vector (Bloom false
+//                        positives, mined offline from the shared hashes)
+//   saturation flooding  compromised inside hosts mark distinct tuples at
+//                        high rate, driving occupancy U up and with it
+//                        the network-wide false-positive rate (Eq. 2)
+//   rotation timing      keepalives placed just after a rotation boundary
+//                        stretch state lifetime to the full k*dt instead
+//                        of the (k-1)*dt minimum, buying T_e of inbound
+//                        reachability per packet
+//   trigger forgery      one minimal outbound keepalive legitimizes an
+//                        unbounded inbound-request -> outbound-upload
+//                        loop: the paper's own conceded limitation
+//
+// Every generator is a pure function of (legit trace, network, params):
+// no wall clock, no global state, so a fixed seed reproduces the attack
+// byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "filter/bitmap_filter.h"
+#include "net/direction.h"
+#include "net/packet.h"
+
+namespace upbound {
+
+/// Per-packet attribution label carried alongside a blended trace. Kept
+/// in a parallel vector rather than derived from tuples, because several
+/// scenarios deliberately reuse legit five-tuples (stale replays).
+enum class AttackLabel : std::uint8_t {
+  kLegit,    // honest campus traffic
+  kProbe,    // attack inbound measured for bypass
+  kSupport,  // attack outbound that builds or keeps state (keepalive,
+             // flood marking); not counted as achieved upload
+  kUpload,   // attack outbound upload payload triggered by a probe
+};
+
+enum class AttackScenarioKind {
+  kCollisionProbing,
+  kSaturationFlooding,
+  kRotationTiming,
+  kTriggerForgery,
+};
+
+/// Stable scenario name used in CLI flags, report labels, and docs.
+const char* attack_scenario_name(AttackScenarioKind kind);
+
+/// Parses a scenario name (as printed by attack_scenario_name, with
+/// "collision"/"saturation"/"rotation"/"forgery" accepted as short
+/// forms). Returns false on unknown names.
+bool parse_attack_scenario(const std::string& name, AttackScenarioKind* out);
+
+/// All four scenarios in canonical (report) order.
+std::vector<AttackScenarioKind> all_attack_scenarios();
+
+struct AttackScenarioParams {
+  /// Scales attacker effort: probe counts, flood width, flow counts.
+  double intensity = 1.0;
+  std::uint64_t seed = 42;
+  /// The deployed filter design the attacker reverse-engineered. The
+  /// collision miner uses its exact hash family; the timing scenario its
+  /// rotation schedule.
+  BitmapFilterConfig bitmap;
+  /// Idle timeout of the SpiFilter baseline evaluated under the same
+  /// blend; stale-replay probes are placed inside (T_e, spi_idle) so the
+  /// exact-state baselines order strictly (naive < spi).
+  Duration spi_idle_timeout = Duration::sec(240.0);
+  /// Target set-bit fraction the saturation flood aims for (before the
+  /// intensity scaling).
+  double saturation_occupancy = 0.4;
+  /// When true the rotation-timing keepalives land just *before* each
+  /// boundary (worst placement, (k-1)*dt lifetime) instead of just after
+  /// (best placement, k*dt). The contrast isolates the schedule leak.
+  bool rotation_mistimed = false;
+  /// Inbound request rate per forged flow during an active burst.
+  double forgery_requests_per_sec = 8.0;
+
+  /// T of the exact-timer baseline, locked to the bitmap's T_e so all
+  /// filters see the same nominal expiry.
+  Duration naive_timeout() const { return bitmap.expiry_timer(); }
+};
+
+/// One scenario's packets plus the per-packet labels (same length).
+struct AttackTraffic {
+  Trace packets;
+  std::vector<AttackLabel> labels;
+};
+
+/// Legit + attack merged on the timestamp axis (legit wins ties), with
+/// labels carried along packet-for-packet.
+struct AttackBlend {
+  Trace packets;
+  std::vector<AttackLabel> labels;
+
+  SimTime first_time() const {
+    return packets.empty() ? SimTime::origin() : packets.front().timestamp;
+  }
+  SimTime last_time() const {
+    return packets.empty() ? SimTime::origin() : packets.back().timestamp;
+  }
+  Duration span() const { return last_time() - first_time(); }
+};
+
+/// Generates one scenario's attack traffic against `legit`.
+AttackTraffic generate_attack(AttackScenarioKind kind, const Trace& legit,
+                              const ClientNetwork& network,
+                              const AttackScenarioParams& params);
+
+/// Merges the attack stream into the legit trace by timestamp; a legit
+/// packet precedes an attack packet carrying the same timestamp.
+AttackBlend blend_with_legit(const Trace& legit, const AttackTraffic& attack);
+
+}  // namespace upbound

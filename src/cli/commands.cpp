@@ -8,6 +8,8 @@
 #include "analyzer/analyzer.h"
 #include "analyzer/host_stats.h"
 #include "analyzer/netflow.h"
+#include "attack/evaluator.h"
+#include "attack/scenario.h"
 #include "filter/aging_bloom.h"
 #include "filter/bitmap_filter.h"
 #include "filter/concurrent_bitmap.h"
@@ -26,6 +28,11 @@
 namespace upbound::cli {
 
 namespace {
+
+/// The one replay seed knob shared by filter/compare/attack: every
+/// command reads --seed with the same default, so a seed that reproduces
+/// one command's run reproduces the whole pipeline.
+std::uint64_t seed_from(const Args& args) { return args.get_u64("seed", 7); }
 
 ClientNetwork network_from(const Args& args) {
   const std::string spec =
@@ -395,7 +402,7 @@ int cmd_filter(const Args& args) {
   EdgeRouterConfig config;
   config.network = network_from(args);
   config.track_blocked_connections = args.get_flag("blocklist");
-  config.seed = args.get_u64("seed", 7);
+  config.seed = seed_from(args);
 
   if (threads > 1) {
     if (!out.empty() || !save_state.empty() || !load_state.empty()) {
@@ -488,8 +495,17 @@ int cmd_filter(const Args& args) {
     return 0;
   }
 
+  const bool load_bitmap = kind == "bitmap" && !load_state.empty();
+  std::optional<FilterSpec> spec;
+  if (!load_bitmap) spec = filter_spec_from(args, kind);
+  std::unique_ptr<DropPolicy> policy = make_policy(policy_spec_from(args), 1);
+  if (const int rc = reject_unconsumed(args); rc != 0) return rc;
+
+  // The trace is read before --load-state resolves so the staleness check
+  // can compare the snapshot time against the replay's first timestamp.
+  const Trace trace = read_capture(path, nullptr);
   std::unique_ptr<StateFilter> filter;
-  if (kind == "bitmap" && !load_state.empty()) {
+  if (load_bitmap) {
     std::FILE* f = std::fopen(load_state.c_str(), "rb");
     if (f == nullptr) throw ArgError("cannot read " + load_state);
     std::vector<std::uint8_t> bytes;
@@ -499,20 +515,28 @@ int cmd_filter(const Args& args) {
       bytes.insert(bytes.end(), buf, buf + got);
     }
     std::fclose(f);
-    auto restored = restore_bitmap_filter(bytes);
-    if (!restored) throw ArgError("malformed snapshot " + load_state);
+    const std::optional<SimTime> now =
+        trace.empty() ? std::nullopt
+                      : std::optional<SimTime>{trace.front().timestamp};
+    auto restored = restore_bitmap_filter_checked(bytes, now);
+    if (!restored.ok()) {
+      if (restored.error == SnapshotRestoreError::kStale) {
+        throw ArgError("snapshot " + load_state + " is stale: taken " +
+                       restored.staleness.to_string() +
+                       " before the trace starts (> T_e); every mark has "
+                       "expired -- start cold instead");
+      }
+      throw ArgError("cannot restore " + load_state + ": " +
+                     snapshot_restore_error_name(restored.error));
+    }
     std::printf("restored bitmap state from %s (snapshot at %s)\n",
                 load_state.c_str(),
-                restored->snapshot_time.to_string().c_str());
-    filter = std::make_unique<BitmapFilter>(std::move(restored->filter));
+                restored.restored->snapshot_time.to_string().c_str());
+    filter = std::make_unique<BitmapFilter>(
+        std::move(restored.restored->filter));
   } else {
-    filter = make_filter(filter_spec_from(args, kind));
+    filter = make_filter(*spec);
   }
-
-  std::unique_ptr<DropPolicy> policy = make_policy(policy_spec_from(args), 1);
-  if (const int rc = reject_unconsumed(args); rc != 0) return rc;
-
-  const Trace trace = read_capture(path, nullptr);
   EdgeRouter router{config, std::move(filter), std::move(policy)};
 
   std::unique_ptr<PcapWriter> writer;
@@ -611,7 +635,7 @@ int cmd_compare(const Args& args) {
   const double pd = args.get_double("pd", 1.0);
   const ClientNetwork network = network_from(args);
   const BitmapFilterConfig bitmap_config = bitmap_from(args);
-  const std::uint64_t seed = args.get_u64("seed", 7);
+  const std::uint64_t seed = seed_from(args);
   const std::size_t threads =
       static_cast<std::size_t>(args.get_int("threads", 1));
   const std::size_t shards =
@@ -721,6 +745,111 @@ int cmd_compare(const Args& args) {
   return 0;
 }
 
+int cmd_attack(const Args& args) {
+  const std::string pcap = args.get_string("pcap", "");
+  const std::string scenario_arg = args.get_string("scenario", "all");
+  const std::string filters_arg = args.get_string("filters", "bitmap,spi,naive");
+  const std::string out = args.get_string("out", "attack_report.jsonl");
+
+  AttackEvaluatorConfig config;
+  config.attack.bitmap = bitmap_from(args);
+  config.attack.intensity = args.get_double("intensity", 1.0);
+  config.attack.seed = seed_from(args);
+  config.attack.spi_idle_timeout =
+      Duration::sec(args.get_double("spi-timeout", 240.0));
+  config.attack.saturation_occupancy =
+      args.get_double("saturation-occupancy", 0.4);
+  config.attack.rotation_mistimed = args.get_flag("mistimed");
+  config.attack.forgery_requests_per_sec = args.get_double("request-rate", 8.0);
+  config.pd = args.get_double("pd", 1.0);
+  config.upload_bound_bps = args.get_double("bound", 2e6);
+  config.seed = config.attack.seed;
+  config.threads = static_cast<std::size_t>(args.get_int("threads", 1));
+  config.shards = static_cast<std::size_t>(args.get_int("shards", 1));
+  config.occupancy_interval =
+      Duration::sec(args.get_double("occupancy-interval", 1.0));
+  if (config.threads == 0) throw ArgError("--threads must be >= 1");
+  if (config.shards == 0) throw ArgError("--shards must be >= 1");
+  if (config.attack.intensity <= 0.0) {
+    throw ArgError("--intensity must be > 0");
+  }
+
+  config.filters.clear();
+  for (std::size_t start = 0; start < filters_arg.size();) {
+    const std::size_t comma = filters_arg.find(',', start);
+    const std::size_t end =
+        comma == std::string::npos ? filters_arg.size() : comma;
+    if (end > start) config.filters.push_back(filters_arg.substr(start, end - start));
+    start = end + 1;
+  }
+  if (config.filters.empty()) throw ArgError("--filters must name a filter");
+  for (const std::string& name : config.filters) {
+    if (name != "bitmap" && name != "spi" && name != "naive") {
+      throw ArgError("unknown filter '" + name +
+                     "' in --filters (bitmap|spi|naive)");
+    }
+  }
+
+  std::vector<AttackScenarioKind> scenarios;
+  if (scenario_arg == "all") {
+    scenarios = all_attack_scenarios();
+  } else {
+    for (std::size_t start = 0; start < scenario_arg.size();) {
+      const std::size_t comma = scenario_arg.find(',', start);
+      const std::size_t end =
+          comma == std::string::npos ? scenario_arg.size() : comma;
+      const std::string one = scenario_arg.substr(start, end - start);
+      AttackScenarioKind kind;
+      if (!parse_attack_scenario(one, &kind)) {
+        throw ArgError("unknown --scenario '" + one +
+                       "' (collision|saturation|rotation|forgery|all)");
+      }
+      scenarios.push_back(kind);
+      start = end + 1;
+    }
+  }
+  if (scenarios.empty()) throw ArgError("--scenario must name a scenario");
+
+  const ClientNetwork network = network_from(args);
+  // The legit background comes from a capture when provided, else from the
+  // calibrated campus generator (same knobs as `generate`).
+  CampusTraceConfig campus;
+  campus.duration = Duration::sec(args.get_double("duration", 60.0));
+  campus.connections_per_sec = args.get_double("rate", 80.0);
+  campus.bandwidth_bps = args.get_double("bandwidth", 12e6);
+  campus.seed = config.attack.seed;
+  campus.network.client_prefix = network.prefixes().front();
+  if (const int rc = reject_unconsumed(args); rc != 0) return rc;
+
+  Trace legit;
+  if (!pcap.empty()) {
+    legit = read_capture(pcap, nullptr);
+  } else {
+    legit = generate_campus_trace(campus).packets;
+  }
+
+  const AttackReport report =
+      evaluate_attacks(legit, network, scenarios, config);
+
+  std::printf("%zu legit packets, %zu scenarios x %zu filters "
+              "(seed %llu, shards %zu)\n\n%s",
+              legit.size(), scenarios.size(), config.filters.size(),
+              static_cast<unsigned long long>(config.attack.seed),
+              config.shards, report.summary_table().c_str());
+  if (!out.empty()) {
+    std::FILE* f = std::fopen(out.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+      return 1;
+    }
+    const std::string jsonl = report.to_jsonl();
+    std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+    std::fclose(f);
+    std::printf("\nreport written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
 int cmd_advise(const Args& args) {
   const std::size_t connections =
       static_cast<std::size_t>(args.get_int("connections", 15'000));
@@ -767,9 +896,19 @@ void print_usage() {
       "            [--metrics-out FILE] [--metrics-interval SEC]\n"
       "            [--metrics-format jsonl|prom] [--metrics-deterministic]\n"
       "  compare   run bitmap / aging-bloom / naive / spi side by side\n"
-      "            --pcap FILE [--network CIDR] [--pd PROB]\n"
+      "            --pcap FILE [--network CIDR] [--pd PROB] [--seed N]\n"
       "            [--bits N --k K --dt SEC --m M]\n"
       "            [--threads N] [--shards S] [--shard-mode sharded|shared]\n"
+      "  attack    evaluate adversarial workloads against the filters\n"
+      "            [--scenario collision|saturation|rotation|forgery|all]\n"
+      "            [--pcap FILE | --duration SEC --rate CONNS/S\n"
+      "             --bandwidth BPS] [--network CIDR] [--seed N]\n"
+      "            [--filters bitmap,spi,naive] [--intensity X]\n"
+      "            [--bits N --k K --dt SEC --m M] [--hole-punching]\n"
+      "            [--pd PROB] [--bound BPS] [--spi-timeout SEC]\n"
+      "            [--saturation-occupancy U] [--mistimed]\n"
+      "            [--request-rate R] [--occupancy-interval SEC]\n"
+      "            [--threads N] [--shards S] [--out FILE]\n"
       "  advise    size a bitmap filter for an expected load\n"
       "            [--connections N] [--bits N] [--k K] [--dt SEC]\n");
 }
@@ -785,6 +924,7 @@ int run(int argc, const char* const* argv) {
     if (args.command() == "analyze") return cmd_analyze(args);
     if (args.command() == "filter") return cmd_filter(args);
     if (args.command() == "compare") return cmd_compare(args);
+    if (args.command() == "attack") return cmd_attack(args);
     if (args.command() == "advise") return cmd_advise(args);
     std::fprintf(stderr, "error: unknown command '%s'\n",
                  args.command().c_str());

@@ -23,6 +23,7 @@ int cmd_analyze(const Args& args);
 int cmd_filter(const Args& args);
 int cmd_compare(const Args& args);
 int cmd_advise(const Args& args);
+int cmd_attack(const Args& args);
 
 /// Prints the usage summary.
 void print_usage();

@@ -166,4 +166,11 @@ std::size_t BitmapFilter::storage_bytes() const {
   return total;
 }
 
+std::vector<double> BitmapFilter::occupancy() const {
+  std::vector<double> out;
+  out.reserve(vectors_.size());
+  for (const auto& vector : vectors_) out.push_back(vector.utilization());
+  return out;
+}
+
 }  // namespace upbound

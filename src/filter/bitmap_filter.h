@@ -84,6 +84,10 @@ class BitmapFilter final : public StateFilter {
   SimTime next_rotation() const { return next_rotation_; }
   /// Utilization U = b/N of the current bit vector (paper Eq. 2 input).
   double current_utilization() const { return vectors_[idx_].utilization(); }
+  /// Set-bit fraction of every vector, indexed by vector position; the
+  /// entry at current_index() equals current_utilization(). Capacity
+  /// planning and the saturation-attack evaluation read this.
+  std::vector<double> occupancy() const;
   std::uint64_t rotations() const { return rotations_; }
 
  private:

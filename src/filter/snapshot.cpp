@@ -52,12 +52,45 @@ std::vector<std::uint8_t> snapshot_bitmap_filter(const BitmapFilter& filter,
   return out;
 }
 
-std::optional<RestoredBitmapFilter> restore_bitmap_filter(
-    std::span<const std::uint8_t> snapshot) {
+const char* snapshot_restore_error_name(SnapshotRestoreError error) {
+  switch (error) {
+    case SnapshotRestoreError::kNone:
+      return "none";
+    case SnapshotRestoreError::kTruncated:
+      return "truncated";
+    case SnapshotRestoreError::kBadMagic:
+      return "bad magic";
+    case SnapshotRestoreError::kBadVersion:
+      return "unsupported version";
+    case SnapshotRestoreError::kBadConfig:
+      return "invalid embedded configuration";
+    case SnapshotRestoreError::kBadRotationIndex:
+      return "rotation index out of range";
+    case SnapshotRestoreError::kBadRotationTime:
+      return "rotation schedule out of range";
+    case SnapshotRestoreError::kTrailingBytes:
+      return "trailing bytes";
+    case SnapshotRestoreError::kStale:
+      return "stale (older than T_e)";
+  }
+  return "unknown";
+}
+
+BitmapRestoreResult restore_bitmap_filter_checked(
+    std::span<const std::uint8_t> snapshot, std::optional<SimTime> now) {
+  BitmapRestoreResult result;
+  const auto fail = [&result](SnapshotRestoreError error) {
+    result.error = error;
+    return result;
+  };
   try {
     ByteReader r{snapshot};
-    if (r.u32le() != kSnapshotMagic) return std::nullopt;
-    if (r.u32le() != kSnapshotVersion) return std::nullopt;
+    if (r.u32le() != kSnapshotMagic) {
+      return fail(SnapshotRestoreError::kBadMagic);
+    }
+    if (r.u32le() != kSnapshotVersion) {
+      return fail(SnapshotRestoreError::kBadVersion);
+    }
 
     BitmapFilterConfig config;
     config.log2_bits = r.u32le();
@@ -71,31 +104,62 @@ std::optional<RestoredBitmapFilter> restore_bitmap_filter(
     try {
       config.validate();
     } catch (const std::invalid_argument&) {
-      return std::nullopt;
+      return fail(SnapshotRestoreError::kBadConfig);
     }
 
     const std::uint32_t idx = r.u32le();
-    if (idx >= config.vector_count) return std::nullopt;
+    if (idx >= config.vector_count) {
+      return fail(SnapshotRestoreError::kBadRotationIndex);
+    }
     const SimTime next_rotation =
         SimTime::from_usec(static_cast<std::int64_t>(read_u64le(r)));
     const std::uint64_t rotations = read_u64le(r);
     const SimTime snapshot_time =
         SimTime::from_usec(static_cast<std::int64_t>(read_u64le(r)));
+    // A healthy snapshot has its next rotation within one expiry cycle of
+    // the snapshot time; anything further off is corruption, and a value
+    // far in the past would wedge the first advance_time() in a
+    // one-rotate-per-dt loop across the whole gap.
+    if (next_rotation < snapshot_time - config.expiry_timer() ||
+        next_rotation > snapshot_time + config.expiry_timer()) {
+      return fail(SnapshotRestoreError::kBadRotationTime);
+    }
+    if (now.has_value() && *now - snapshot_time > config.expiry_timer()) {
+      // Restoring would only fake a warm start: every mark the snapshot
+      // holds has already rotated out of its survival window.
+      result.staleness = *now - snapshot_time;
+      return fail(SnapshotRestoreError::kStale);
+    }
+
+    // Size-check the payload before touching the allocator: a bit-flipped
+    // log2_bits must not make us reserve gigabytes only to underflow.
+    const std::size_t words_per_vector = (config.bits() + 63) / 64;
+    const std::size_t payload_bytes =
+        config.vector_count * words_per_vector * 8;
+    if (r.remaining() < payload_bytes) {
+      return fail(SnapshotRestoreError::kTruncated);
+    }
+    if (r.remaining() > payload_bytes) {
+      return fail(SnapshotRestoreError::kTrailingBytes);
+    }
 
     BitmapFilter filter{config};
-    const std::size_t words_per_vector = (config.bits() + 63) / 64;
     std::vector<std::uint64_t> words(words_per_vector);
     for (unsigned v = 0; v < config.vector_count; ++v) {
       for (auto& word : words) word = read_u64le(r);
       filter.load_vector_words(v, words);
     }
-    if (!r.empty()) return std::nullopt;  // trailing garbage
-
     filter.restore_rotation_state(idx, next_rotation, rotations);
-    return RestoredBitmapFilter{std::move(filter), snapshot_time};
+    result.restored = RestoredBitmapFilter{std::move(filter), snapshot_time};
+    return result;
   } catch (const ByteUnderflow&) {
-    return std::nullopt;
+    return fail(SnapshotRestoreError::kTruncated);
   }
+}
+
+std::optional<RestoredBitmapFilter> restore_bitmap_filter(
+    std::span<const std::uint8_t> snapshot) {
+  return restore_bitmap_filter_checked(snapshot).restored;
 }
 
 }  // namespace upbound

@@ -26,8 +26,48 @@ struct RestoredBitmapFilter {
   SimTime snapshot_time;
 };
 
+/// Why a snapshot could not be restored. Snapshots cross a trust
+/// boundary (files on disk survive truncation, bit rot, and tampering),
+/// so every failure is a typed reason, never UB or a crash.
+enum class SnapshotRestoreError {
+  kNone,              // restored successfully
+  kTruncated,         // ran out of bytes mid-header or mid-vector
+  kBadMagic,          // not a UBMF snapshot
+  kBadVersion,        // format version this build does not read
+  kBadConfig,         // embedded configuration fails validate()
+  kBadRotationIndex,  // current index >= vector count
+  kBadRotationTime,   // next-rotation stamp implausibly far from the
+                      // snapshot time (a forged value would make the
+                      // first advance_time() spin one rotate per dt
+                      // across the whole gap)
+  kTrailingBytes,     // extra bytes after the last vector word
+  kStale,             // gap since snapshot_time exceeds T_e: every mark
+                      // would have rotated out, restoring is pointless
+};
+
+const char* snapshot_restore_error_name(SnapshotRestoreError error);
+
+struct BitmapRestoreResult {
+  /// Populated iff error == kNone.
+  std::optional<RestoredBitmapFilter> restored;
+  SnapshotRestoreError error = SnapshotRestoreError::kNone;
+  /// For kStale: how far `now` lies past the snapshot time (> T_e).
+  Duration staleness{};
+
+  bool ok() const { return error == SnapshotRestoreError::kNone; }
+};
+
+/// Rebuilds a filter from a snapshot with a typed failure reason. When
+/// `now` is provided, a snapshot older than the configuration's T_e is
+/// rejected as kStale -- all its marks would have expired anyway, so
+/// restoring would only fake a warm start.
+BitmapRestoreResult restore_bitmap_filter_checked(
+    std::span<const std::uint8_t> snapshot,
+    std::optional<SimTime> now = std::nullopt);
+
 /// Rebuilds a filter from a snapshot. Returns nullopt for malformed or
-/// version-incompatible snapshots.
+/// version-incompatible snapshots (no staleness check; wrapper over
+/// restore_bitmap_filter_checked).
 std::optional<RestoredBitmapFilter> restore_bitmap_filter(
     std::span<const std::uint8_t> snapshot);
 

@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "filter/bitmap_filter.h"
+
 namespace upbound {
 
 EdgeRouter::EdgeRouter(EdgeRouterConfig config,
@@ -373,6 +375,11 @@ MetricsSnapshot EdgeRouter::metrics_snapshot() {
       .set(static_cast<double>(filter_->storage_bytes()));
   metrics_.gauge("blocklist.entries")
       .set(static_cast<double>(blocklist_.size()));
+  if (const auto* bitmap = dynamic_cast<const BitmapFilter*>(filter_.get())) {
+    // Current-vector set-bit fraction: the live Eq. 2 false-positive
+    // input, and the quantity saturation attacks drive up.
+    metrics_.gauge("state.occupancy").set(bitmap->current_utilization());
+  }
   return metrics_.snapshot();
 }
 

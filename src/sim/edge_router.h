@@ -131,6 +131,10 @@ class EdgeRouter {
   MetricsSnapshot metrics_snapshot();
 
   const StateFilter& filter() const { return *filter_; }
+  /// Mutable access for harnesses that advance the filter clock between
+  /// packets (e.g. occupancy sampling on a fixed sim-time grid); callers
+  /// must keep the filter's time monotonic with the packet stream.
+  StateFilter& filter() { return *filter_; }
   const BlockList& blocklist() const { return blocklist_; }
   const CounterRegistry& counters() const { return metrics_.counters(); }
   const MetricsRegistry& metrics() const { return metrics_; }

@@ -1,0 +1,205 @@
+// Unit-level behaviour of the attack evaluation harness: blend merging,
+// tally arithmetic, upload attribution, and the JSONL report contract.
+#include <gtest/gtest.h>
+
+#include "attack/evaluator.h"
+#include "attack/scenario.h"
+#include "trace/campus.h"
+
+namespace upbound {
+namespace {
+
+ClientNetwork campus_network() {
+  ClientNetwork network;
+  network.add_prefix(*Cidr::parse("140.112.30.0/24"));
+  return network;
+}
+
+Trace tiny_campus() {
+  CampusTraceConfig config;
+  config.duration = Duration::sec(16.0);
+  config.connections_per_sec = 25.0;
+  config.bandwidth_bps = 2e6;
+  config.seed = 42;
+  config.network.client_prefix = campus_network().prefixes().front();
+  return generate_campus_trace(config).packets;
+}
+
+AttackEvaluatorConfig tiny_config() {
+  AttackEvaluatorConfig config;
+  config.attack.bitmap.log2_bits = 12;
+  config.attack.bitmap.vector_count = 4;
+  config.attack.bitmap.hash_count = 3;
+  config.attack.bitmap.rotate_interval = Duration::sec(1.0);
+  config.attack.seed = 42;
+  config.attack.spi_idle_timeout = Duration::sec(30.0);
+  config.seed = 42;
+  return config;
+}
+
+PacketRecord packet_at(double t_sec, std::uint16_t src_port) {
+  PacketRecord pkt;
+  pkt.timestamp = SimTime::from_sec(t_sec);
+  pkt.tuple = FiveTuple{Protocol::kUdp, Ipv4Addr{140, 112, 30, 1}, src_port,
+                        Ipv4Addr{8, 8, 8, 8}, 53};
+  return pkt;
+}
+
+TEST(AttackBlendTest, MergePreservesOrderAndLabels) {
+  Trace legit;
+  legit.push_back(packet_at(1.0, 1000));
+  legit.push_back(packet_at(2.0, 1001));
+  legit.push_back(packet_at(3.0, 1002));
+
+  AttackTraffic attack;
+  attack.packets.push_back(packet_at(0.5, 2000));
+  attack.packets.push_back(packet_at(2.0, 2001));  // ties a legit packet
+  attack.packets.push_back(packet_at(4.0, 2002));
+  attack.labels = {AttackLabel::kSupport, AttackLabel::kProbe,
+                   AttackLabel::kUpload};
+
+  const AttackBlend blend = blend_with_legit(legit, attack);
+  ASSERT_EQ(blend.packets.size(), 6u);
+  ASSERT_EQ(blend.labels.size(), 6u);
+  for (std::size_t i = 1; i < blend.packets.size(); ++i) {
+    EXPECT_LE(blend.packets[i - 1].timestamp, blend.packets[i].timestamp);
+  }
+  // The tie at t=2.0: the legit packet comes first.
+  EXPECT_EQ(blend.packets[2].tuple.src_port, 1001);
+  EXPECT_EQ(blend.labels[2], AttackLabel::kLegit);
+  EXPECT_EQ(blend.packets[3].tuple.src_port, 2001);
+  EXPECT_EQ(blend.labels[3], AttackLabel::kProbe);
+  EXPECT_EQ(blend.labels[0], AttackLabel::kSupport);
+  EXPECT_EQ(blend.labels[5], AttackLabel::kUpload);
+  EXPECT_EQ(blend.first_time(), SimTime::from_sec(0.5));
+  EXPECT_EQ(blend.last_time(), SimTime::from_sec(4.0));
+}
+
+TEST(AttackBlendTest, GeneratorsArePureFunctions) {
+  const Trace legit = tiny_campus();
+  AttackScenarioParams params;
+  params.bitmap = tiny_config().attack.bitmap;
+  params.seed = 42;
+  for (const AttackScenarioKind kind : all_attack_scenarios()) {
+    const AttackTraffic a =
+        generate_attack(kind, legit, campus_network(), params);
+    const AttackTraffic b =
+        generate_attack(kind, legit, campus_network(), params);
+    ASSERT_FALSE(a.packets.empty()) << attack_scenario_name(kind);
+    ASSERT_EQ(a.packets.size(), a.labels.size());
+    ASSERT_EQ(a.packets.size(), b.packets.size());
+    for (std::size_t i = 0; i < a.packets.size(); ++i) {
+      ASSERT_EQ(a.packets[i].timestamp, b.packets[i].timestamp);
+      ASSERT_EQ(a.packets[i].tuple, b.packets[i].tuple);
+      ASSERT_EQ(a.labels[i], b.labels[i]);
+    }
+    // Time-sorted, as the blend merge requires.
+    for (std::size_t i = 1; i < a.packets.size(); ++i) {
+      ASSERT_LE(a.packets[i - 1].timestamp, a.packets[i].timestamp);
+    }
+  }
+}
+
+TEST(AttackTallyTest, MergeSumsEveryField) {
+  AttackTally a;
+  a.probe_packets = 10;
+  a.probe_admitted = 3;
+  a.legit_inbound_packets = 100;
+  a.legit_inbound_dropped = 7;
+  a.upload_bytes = 1400;
+  a.achieved_upload_bytes = 700;
+  AttackTally b = a;
+  a.merge(b);
+  EXPECT_EQ(a.probe_packets, 20u);
+  EXPECT_EQ(a.probe_admitted, 6u);
+  EXPECT_EQ(a.legit_inbound_dropped, 14u);
+  EXPECT_EQ(a.achieved_upload_bytes, 1400u);
+  EXPECT_DOUBLE_EQ(a.bypass_rate(), 0.3);
+  EXPECT_DOUBLE_EQ(a.legit_drop_rate(), 0.07);
+  EXPECT_DOUBLE_EQ(AttackTally{}.bypass_rate(), 0.0);
+}
+
+TEST(AttackEvaluatorTest, ForgeryUploadsAreAttributedToAdmittedProbes) {
+  const Trace legit = tiny_campus();
+  const AttackScenarioKind scenarios[] = {AttackScenarioKind::kTriggerForgery};
+  const AttackReport report = evaluate_attacks(legit, campus_network(),
+                                               scenarios, tiny_config());
+  for (const AttackOutcome& outcome : report.outcomes) {
+    if (outcome.scenario != "trigger-forgery") continue;
+    EXPECT_GT(outcome.tally.upload_bytes, 0u) << outcome.filter;
+    // Achieved upload only counts bytes whose triggering request got in.
+    EXPECT_LE(outcome.tally.achieved_upload_bytes, outcome.tally.upload_bytes);
+    EXPECT_GT(outcome.tally.probe_admitted, 0u) << outcome.filter;
+    EXPECT_GT(outcome.tally.achieved_upload_bytes, 0u) << outcome.filter;
+    EXPECT_GT(outcome.upload_vs_bound, 0.0) << outcome.filter;
+  }
+}
+
+TEST(AttackEvaluatorTest, ReportShapeAndJsonlContract) {
+  const Trace legit = tiny_campus();
+  const AttackScenarioKind scenarios[] = {
+      AttackScenarioKind::kCollisionProbing,
+      AttackScenarioKind::kRotationTiming};
+  AttackEvaluatorConfig config = tiny_config();
+  config.filters = {"bitmap", "spi"};
+  const AttackReport report =
+      evaluate_attacks(legit, campus_network(), scenarios, config);
+
+  // (baseline + 2 scenarios) x 2 filters, scenario-major, baseline first.
+  ASSERT_EQ(report.outcomes.size(), 6u);
+  EXPECT_EQ(report.outcomes[0].scenario, "baseline");
+  EXPECT_EQ(report.outcomes[0].filter, "bitmap");
+  EXPECT_EQ(report.outcomes[1].filter, "spi");
+  EXPECT_EQ(report.outcomes[2].scenario, "collision-probing");
+  EXPECT_EQ(report.outcomes[4].scenario, "rotation-timing");
+
+  const std::string jsonl = report.to_jsonl();
+  std::size_t lines = 0;
+  for (const char c : jsonl) lines += c == '\n';
+  EXPECT_EQ(lines, report.outcomes.size());
+  EXPECT_NE(jsonl.find("\"schema\":\"upbound.metrics.v1\""),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("\"label\":\"attack:collision-probing:bitmap\""),
+            std::string::npos);
+  EXPECT_NE(jsonl.find("attack.bypass_rate"), std::string::npos);
+  EXPECT_NE(jsonl.find("attack.occupancy_peak"), std::string::npos);
+  // Counters stay empty so the cross-line monotonicity rule of the
+  // metrics schema holds for any line ordering.
+  EXPECT_NE(jsonl.find("\"counters\":{}"), std::string::npos);
+
+  // The baseline run of each filter is its collateral reference.
+  for (const AttackOutcome& outcome : report.outcomes) {
+    const AttackOutcome& base =
+        outcome.filter == "bitmap" ? report.outcomes[0] : report.outcomes[1];
+    EXPECT_DOUBLE_EQ(outcome.baseline_legit_drop_rate,
+                     base.tally.legit_drop_rate());
+  }
+}
+
+TEST(AttackEvaluatorTest, ShardedRunsAreReproducible) {
+  const Trace legit = tiny_campus();
+  const AttackScenarioKind scenarios[] = {
+      AttackScenarioKind::kSaturationFlooding};
+  AttackEvaluatorConfig config = tiny_config();
+  config.shards = 2;
+  const AttackReport a =
+      evaluate_attacks(legit, campus_network(), scenarios, config);
+  config.threads = 3;
+  const AttackReport b =
+      evaluate_attacks(legit, campus_network(), scenarios, config);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.to_jsonl(), b.to_jsonl());
+}
+
+TEST(AttackEvaluatorTest, UnknownFilterNameThrows) {
+  const Trace legit = tiny_campus();
+  const AttackScenarioKind scenarios[] = {
+      AttackScenarioKind::kCollisionProbing};
+  AttackEvaluatorConfig config = tiny_config();
+  config.filters = {"bitmap", "chrome"};
+  EXPECT_THROW(evaluate_attacks(legit, campus_network(), scenarios, config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace upbound

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 
 #include "cli/commands.h"
 #include "net/pcap.h"
@@ -212,6 +214,45 @@ TEST_F(CliCommandTest, HelpAndErrors) {
 TEST_F(CliCommandTest, BadNetworkRejected) {
   EXPECT_EQ(run_cli({"analyze", "--pcap", "x", "--network", "not-a-cidr"}),
             2);
+}
+
+TEST_F(CliCommandTest, SeedFlagAcceptedAcrossCommands) {
+  const std::string trace = (dir_ / "trace.pcap").string();
+  ASSERT_EQ(run_cli({"generate", "--out", trace.c_str(), "--duration", "3",
+                     "--rate", "20", "--bandwidth", "1e6", "--seed", "11"}),
+            0);
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--seed", "11"}), 0);
+  EXPECT_EQ(run_cli({"compare", "--pcap", trace.c_str(), "--bits", "16",
+                     "--seed", "11"}),
+            0);
+}
+
+TEST_F(CliCommandTest, AttackRunsAndReportIsByteStable) {
+  const std::string out_a = (dir_ / "report_a.jsonl").string();
+  const std::string out_b = (dir_ / "report_b.jsonl").string();
+  ASSERT_EQ(run_cli({"attack", "--scenario", "forgery,rotation", "--seed",
+                     "42", "--duration", "12", "--rate", "20", "--bandwidth",
+                     "1e6", "--bits", "12", "--dt", "1", "--out",
+                     out_a.c_str()}),
+            0);
+  ASSERT_EQ(run_cli({"attack", "--scenario", "forgery,rotation", "--seed",
+                     "42", "--duration", "12", "--rate", "20", "--bandwidth",
+                     "1e6", "--bits", "12", "--dt", "1", "--threads", "3",
+                     "--out", out_b.c_str()}),
+            0);
+  std::ifstream a{out_a}, b{out_b};
+  const std::string bytes_a{std::istreambuf_iterator<char>{a}, {}};
+  const std::string bytes_b{std::istreambuf_iterator<char>{b}, {}};
+  EXPECT_FALSE(bytes_a.empty());
+  // Same seed, different thread count: byte-identical reports.
+  EXPECT_EQ(bytes_a, bytes_b);
+}
+
+TEST_F(CliCommandTest, AttackRejectsBadArguments) {
+  EXPECT_EQ(run_cli({"attack", "--scenario", "ddos"}), 2);
+  EXPECT_EQ(run_cli({"attack", "--filters", "bitmap,chrome"}), 2);
+  EXPECT_EQ(run_cli({"attack", "--intensity", "0"}), 2);
+  EXPECT_EQ(run_cli({"attack", "--shards", "0"}), 2);
 }
 
 }  // namespace

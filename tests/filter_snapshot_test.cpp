@@ -131,5 +131,79 @@ TEST(Snapshot, InsaneConfigRejected) {
   EXPECT_FALSE(restore_bitmap_filter(snapshot).has_value());
 }
 
+TEST(Snapshot, CheckedRestoreNamesTheFailure) {
+  BitmapFilter filter{small_config()};
+  const auto snapshot = snapshot_bitmap_filter(filter, SimTime::origin());
+
+  auto bad_magic = snapshot;
+  bad_magic[0] ^= 0xff;
+  EXPECT_EQ(restore_bitmap_filter_checked(bad_magic).error,
+            SnapshotRestoreError::kBadMagic);
+
+  auto bad_version = snapshot;
+  bad_version[4] = 99;
+  EXPECT_EQ(restore_bitmap_filter_checked(bad_version).error,
+            SnapshotRestoreError::kBadVersion);
+
+  auto bad_config = snapshot;
+  bad_config[8] = 200;
+  EXPECT_EQ(restore_bitmap_filter_checked(bad_config).error,
+            SnapshotRestoreError::kBadConfig);
+
+  auto bad_index = snapshot;
+  bad_index[40] = 7;  // current index byte; vector_count is 4
+  EXPECT_EQ(restore_bitmap_filter_checked(bad_index).error,
+            SnapshotRestoreError::kBadRotationIndex);
+
+  // next_rotation forged to INT64_MIN usec: restoring would wedge the
+  // first advance_time() in a rotate-per-dt loop across the gap.
+  auto bad_schedule = snapshot;
+  for (std::size_t i = 44; i < 52; ++i) bad_schedule[i] = 0;
+  bad_schedule[51] = 0x80;
+  EXPECT_EQ(restore_bitmap_filter_checked(bad_schedule).error,
+            SnapshotRestoreError::kBadRotationTime);
+
+  auto truncated = snapshot;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_EQ(restore_bitmap_filter_checked(truncated).error,
+            SnapshotRestoreError::kTruncated);
+  EXPECT_EQ(restore_bitmap_filter_checked({}).error,
+            SnapshotRestoreError::kTruncated);
+
+  auto trailing = snapshot;
+  trailing.push_back(0);
+  EXPECT_EQ(restore_bitmap_filter_checked(trailing).error,
+            SnapshotRestoreError::kTrailingBytes);
+
+  const auto good = restore_bitmap_filter_checked(snapshot);
+  EXPECT_TRUE(good.ok());
+  EXPECT_EQ(good.error, SnapshotRestoreError::kNone);
+  ASSERT_TRUE(good.restored.has_value());
+}
+
+TEST(Snapshot, StaleSnapshotRejectedWithGap) {
+  BitmapFilter filter{small_config()};
+  const SimTime taken = SimTime::from_sec(100.0);
+  filter.advance_time(taken);  // clock caught up, as after a real replay
+  const auto snapshot = snapshot_bitmap_filter(filter, taken);
+  const Duration te = small_config().expiry_timer();  // 4 * 5s
+
+  // Inside T_e the restore succeeds, even right at the edge.
+  EXPECT_TRUE(restore_bitmap_filter_checked(snapshot, taken).ok());
+  EXPECT_TRUE(restore_bitmap_filter_checked(snapshot, taken + te).ok());
+
+  // Past T_e every mark has expired: typed rejection with the gap size.
+  const auto stale =
+      restore_bitmap_filter_checked(snapshot, taken + te + Duration::sec(1.0));
+  EXPECT_FALSE(stale.ok());
+  EXPECT_EQ(stale.error, SnapshotRestoreError::kStale);
+  EXPECT_EQ(stale.staleness, te + Duration::sec(1.0));
+  EXPECT_STREQ(snapshot_restore_error_name(stale.error),
+               "stale (older than T_e)");
+
+  // Without a `now` the staleness check is skipped (legacy behaviour).
+  EXPECT_TRUE(restore_bitmap_filter_checked(snapshot).ok());
+}
+
 }  // namespace
 }  // namespace upbound

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "filter/snapshot.h"
 #include "net/headers.h"
 #include "net/pcap.h"
 #include "rex/regex.h"
@@ -151,6 +152,67 @@ TEST(FuzzRegex, DeepNestingBoundedByParser) {
 TEST(FuzzRegex, HugeCountedRepeatRejected) {
   EXPECT_THROW(rex::Regex{"(ab){100000}"}, rex::ParseError);
   EXPECT_THROW(rex::Regex{"a{999999999999}"}, rex::ParseError);
+}
+
+TEST(FuzzSnapshot, RandomBytesNeverRestore) {
+  Rng rng{20260805};
+  for (int trial = 0; trial < 5'000; ++trial) {
+    const auto bytes = random_bytes(rng, rng.next_below(512));
+    const auto result = restore_bitmap_filter_checked(bytes);
+    // Random bytes essentially never carry the magic + a valid config;
+    // whatever happens, the failure must be a typed reason, not a crash.
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.error, SnapshotRestoreError::kNone);
+  }
+}
+
+TEST(FuzzSnapshot, MutatedAndTruncatedSnapshotsFailCleanly) {
+  BitmapFilterConfig config;
+  config.log2_bits = 12;
+  config.vector_count = 4;
+  config.hash_count = 3;
+  config.rotate_interval = Duration::sec(2.0);
+  BitmapFilter filter{config};
+  Rng fill{5};
+  for (int i = 0; i < 500; ++i) {
+    PacketRecord pkt;
+    pkt.timestamp = SimTime::from_sec(static_cast<double>(i) * 0.01);
+    pkt.tuple = FiveTuple{Protocol::kTcp,
+                          Ipv4Addr{static_cast<std::uint32_t>(
+                              0x0a000000u + fill.next_below(256))},
+                          static_cast<std::uint16_t>(1024 + i),
+                          Ipv4Addr{8, 8, 8, 8}, 80};
+    filter.record_outbound(pkt);
+  }
+  const auto base = snapshot_bitmap_filter(filter, SimTime::from_sec(5.0));
+
+  Rng rng{31337};
+  int restored_ok = 0;
+  for (int trial = 0; trial < 5'000; ++trial) {
+    auto bytes = base;
+    const int mutations = 1 + static_cast<int>(rng.next_below(4));
+    for (int m = 0; m < mutations; ++m) {
+      bytes[rng.next_below(bytes.size())] =
+          static_cast<std::uint8_t>(rng.next_u64());
+    }
+    if (rng.next_bool(0.5)) {
+      bytes.resize(rng.next_below(bytes.size() + 1));
+    }
+    auto result = restore_bitmap_filter_checked(bytes);  // no crash
+    if (result.ok()) {
+      ++restored_ok;
+      // Bit flips confined to vector words restore fine; the filter must
+      // still be usable.
+      PacketRecord probe;
+      probe.timestamp = SimTime::from_sec(5.0);
+      probe.tuple = FiveTuple{Protocol::kTcp, Ipv4Addr{8, 8, 8, 8}, 80,
+                              Ipv4Addr{10, 0, 0, 1}, 1024};
+      (void)result.restored->filter.admits_inbound(probe);
+    }
+  }
+  // Most mutations hit the large vector payload, which carries no
+  // structure to violate -- flipping data bits yields a valid snapshot.
+  EXPECT_GT(restored_ok, 0);
 }
 
 }  // namespace
