@@ -10,6 +10,8 @@
 #include "analyzer/netflow.h"
 #include "attack/evaluator.h"
 #include "attack/scenario.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_spec.h"
 #include "filter/aging_bloom.h"
 #include "filter/bitmap_filter.h"
 #include "filter/concurrent_bitmap.h"
@@ -101,7 +103,7 @@ struct MetricsOptions {
   bool enabled() const { return !out.empty(); }
 };
 
-MetricsOptions metrics_options_from(const Args& args, std::size_t threads) {
+MetricsOptions metrics_options_from(const Args& args, bool parallel_engine) {
   MetricsOptions opts;
   opts.out = args.get_string("metrics-out", "");
   const double interval_sec = args.get_double("metrics-interval", 0.0);
@@ -123,7 +125,10 @@ MetricsOptions metrics_options_from(const Args& args, std::size_t threads) {
   if (interval_sec > 0.0) {
     // Interval snapshots walk sim time inside the single-thread replay
     // loop; the parallel engine only yields one merged final snapshot.
-    if (threads > 1) throw ArgError("--metrics-interval requires --threads 1");
+    if (parallel_engine) {
+      throw ArgError("--metrics-interval requires the single-thread engine "
+                     "(--threads 1, no --fault-spec)");
+    }
     if (opts.prometheus) {
       throw ArgError("--metrics-interval requires --metrics-format jsonl");
     }
@@ -397,17 +402,66 @@ int cmd_filter(const Args& args) {
   const std::size_t shards =
       static_cast<std::size_t>(args.get_int("shards", 0));
   const std::string shard_mode = shard_mode_from(args);
-  const MetricsOptions metrics = metrics_options_from(args, threads);
 
   EdgeRouterConfig config;
   config.network = network_from(args);
   config.track_blocked_connections = args.get_flag("blocklist");
   config.seed = seed_from(args);
 
-  if (threads > 1) {
+  // --on-unhealthy arms the router's health monitor (degraded stance);
+  // effective on both engines.
+  const std::string on_unhealthy = args.get_string("on-unhealthy", "");
+  if (!on_unhealthy.empty()) {
+    if (!kFaultsCompiled) {
+      throw ArgError(
+          "--on-unhealthy requires a build with UPBOUND_FAULTS=ON "
+          "(the fault plane is compiled out of this binary)");
+    }
+    if (on_unhealthy == "fail-open") {
+      config.health.stance = UnhealthyStance::kFailOpen;
+    } else if (on_unhealthy == "fail-closed") {
+      config.health.stance = UnhealthyStance::kFailClosed;
+    } else {
+      throw ArgError("--on-unhealthy must be fail-open or fail-closed");
+    }
+    const double occ =
+        args.get_double("health-occupancy", config.health.occupancy_enter);
+    if (!(occ > 0.0) || occ > 1.0) {
+      throw ArgError("--health-occupancy must be in (0, 1]");
+    }
+    config.health.occupancy_enter = occ;
+    config.health.occupancy_exit = occ * 0.7;
+  } else if (args.has("health-occupancy")) {
+    throw ArgError("--health-occupancy requires --on-unhealthy");
+  }
+
+  // --fault-spec routes the run through the supervised parallel engine
+  // (even at --threads 1) so lane faults have lanes to land on.
+  const std::string fault_spec_text = args.get_string("fault-spec", "");
+  std::optional<FaultInjector> fault_injector;
+  if (!fault_spec_text.empty()) {
+    if (!kFaultsCompiled) {
+      throw ArgError(
+          "--fault-spec requires a build with UPBOUND_FAULTS=ON "
+          "(the fault plane is compiled out of this binary)");
+    }
+    try {
+      fault_injector.emplace(FaultSpec::parse(fault_spec_text), config.seed);
+    } catch (const std::invalid_argument& e) {
+      throw ArgError(std::string{"--fault-spec: "} + e.what());
+    }
+  }
+  const bool faulted = fault_injector.has_value() && fault_injector->armed();
+  const bool parallel_engine = threads > 1 || faulted;
+  const MetricsOptions metrics = metrics_options_from(args, parallel_engine);
+
+  if (parallel_engine) {
     if (!out.empty() || !save_state.empty() || !load_state.empty()) {
       throw ArgError(
-          "--out/--save-state/--load-state require --threads 1");
+          faulted
+              ? "--fault-spec is incompatible with "
+                "--out/--save-state/--load-state"
+              : "--out/--save-state/--load-state require --threads 1");
     }
     if (shard_mode == "shared" && kind != "bitmap" && kind != "bitmap-mt") {
       throw ArgError("--shard-mode shared requires --filter bitmap|bitmap-mt");
@@ -420,6 +474,7 @@ int cmd_filter(const Args& args) {
     ParallelReplayConfig pconfig;
     pconfig.threads = threads;
     pconfig.shards = shards;
+    if (faulted) pconfig.fault_injector = &*fault_injector;
     const std::size_t effective_shards =
         shards == 0 ? kDefaultShardCount : shards;
 
@@ -482,6 +537,34 @@ int cmd_filter(const Args& args) {
                   static_cast<unsigned long long>(sample.value));
     }
     print_shard_table(result);
+    if (faulted) {
+      std::size_t dead_lanes = 0;
+      for (const std::uint8_t failed : result.shard_failed) {
+        dead_lanes += failed;
+      }
+      std::printf("fault plane: spec '%s', seed %llu\n",
+                  fault_spec_text.c_str(),
+                  static_cast<unsigned long long>(config.seed));
+      std::printf(
+          "  feed: %llu corrupted, %llu clock-faulted\n",
+          static_cast<unsigned long long>(fault_injector->packets_corrupted()),
+          static_cast<unsigned long long>(
+              fault_injector->clock_faulted_packets()));
+      std::printf(
+          "  lanes: %llu bit flips (%llu ignored), %llu stalls, "
+          "%zu dead of %zu\n",
+          static_cast<unsigned long long>(fault_injector->bits_flipped()),
+          static_cast<unsigned long long>(fault_injector->flips_ignored()),
+          static_cast<unsigned long long>(fault_injector->stalls_taken()),
+          dead_lanes, result.shards);
+      std::printf(
+          "  failover: %llu packets re-merged, %llu unroutable, "
+          "%llu lost, %llu condemned by watchdog\n",
+          static_cast<unsigned long long>(result.failover_packets),
+          static_cast<unsigned long long>(result.unroutable_packets),
+          static_cast<unsigned long long>(result.lost_packets),
+          static_cast<unsigned long long>(result.lanes_condemned));
+    }
     if (metrics.enabled()) {
       const SimTime end =
           trace.empty() ? SimTime::origin() : trace.back().timestamp;
@@ -617,13 +700,14 @@ int cmd_filter(const Args& args) {
     const SimTime end =
         trace.empty() ? SimTime::origin() : trace.back().timestamp;
     const auto snapshot = snapshot_bitmap_filter(*bitmap, end);
-    std::FILE* f = std::fopen(save_state.c_str(), "wb");
-    if (f == nullptr) {
-      std::fprintf(stderr, "error: cannot write %s\n", save_state.c_str());
+    try {
+      // Crash-consistent: tmp file + flush + fsync + atomic rename, so a
+      // crash mid-save leaves either the old state or the new one.
+      save_snapshot_file(save_state, snapshot);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
     }
-    std::fwrite(snapshot.data(), 1, snapshot.size(), f);
-    std::fclose(f);
     std::printf("bitmap state (%zu bytes) saved to %s\n", snapshot.size(),
                 save_state.c_str());
   }
@@ -895,6 +979,8 @@ void print_usage() {
       "            [--threads N] [--shards S] [--shard-mode sharded|shared]\n"
       "            [--metrics-out FILE] [--metrics-interval SEC]\n"
       "            [--metrics-format jsonl|prom] [--metrics-deterministic]\n"
+      "            [--fault-spec SPEC] [--on-unhealthy fail-open|fail-closed]\n"
+      "            [--health-occupancy U]\n"
       "  compare   run bitmap / aging-bloom / naive / spi side by side\n"
       "            --pcap FILE [--network CIDR] [--pd PROB] [--seed N]\n"
       "            [--bits N --k K --dt SEC --m M]\n"

@@ -1,0 +1,196 @@
+#include "fault/fault_injector.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "filter/bitmap_filter.h"
+#include "util/hash.h"
+
+namespace upbound {
+
+namespace {
+
+/// Uniform double in [0, 1) from a packet's identity -- stateless, so the
+/// corruption decision for packet i never depends on feed order.
+double unit_from(std::uint64_t seed, std::uint64_t index, std::uint64_t salt) {
+  const std::uint64_t word = mix64(seed ^ mix64(index ^ salt));
+  return static_cast<double>(word >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t word_from(std::uint64_t seed, std::uint64_t index,
+                        std::uint64_t salt) {
+  return mix64(seed ^ mix64(index ^ salt));
+}
+
+constexpr std::uint64_t kCorruptGateSalt = 0x636f727275707431ULL;
+constexpr std::uint64_t kCorruptBitsSalt = 0x636f727275707432ULL;
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed) {
+  for (const FaultEvent& ev : spec_.events) {
+    switch (ev.kind) {
+      case FaultKind::kCorruptPacket:
+        // Multiple corrupt entries combine into one effective rate.
+        corrupt_rate_ = 1.0 - (1.0 - corrupt_rate_) * (1.0 - ev.value);
+        break;
+      case FaultKind::kClockSkew:
+        skew_factor_ *= ev.value;
+        break;
+      case FaultKind::kClockStep:
+        steps_.push_back(ev);
+        break;
+      default:
+        break;  // lane faults are laid out in bind()
+    }
+  }
+}
+
+void FaultInjector::bind(std::size_t shards) {
+  lanes_.assign(shards, LaneFaults{});
+  packets_corrupted_ = 0;
+  clock_faulted_ = 0;
+  for (const FaultEvent& ev : spec_.events) {
+    const bool lane_scoped =
+        ev.kind == FaultKind::kKillShard ||
+        ev.kind == FaultKind::kStallShard || ev.kind == FaultKind::kFlipBit ||
+        ev.kind == FaultKind::kRingOverflow;
+    if (!lane_scoped) continue;
+    if (ev.shard >= shards) {
+      throw std::invalid_argument(
+          std::string("fault-spec: ") + fault_kind_name(ev.kind) +
+          " targets shard " + std::to_string(ev.shard) + " but the run has " +
+          std::to_string(shards) + " shards");
+    }
+    LaneFaults& lane = lanes_[ev.shard];
+    lane.faulted = true;
+    switch (ev.kind) {
+      case FaultKind::kKillShard:
+        lane.kill_at = std::min(lane.kill_at, ev.at_packet);
+        break;
+      case FaultKind::kStallShard:
+        lane.stalls.push_back(StallEvent{ev.at_packet, ev.value, false});
+        break;
+      case FaultKind::kFlipBit:
+        lane.flips.push_back(FlipEvent{ev.at_packet, ev.aux, false});
+        break;
+      case FaultKind::kRingOverflow:
+        lane.ring_overflow = true;
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void FaultInjector::apply_feed(std::uint64_t index, PacketRecord& pkt) {
+  if (corrupt_rate_ > 0.0 &&
+      unit_from(seed_, index, kCorruptGateSalt) < corrupt_rate_) {
+    // Deterministic multi-field mangle: the kind of damage a broken NIC or
+    // capture box produces -- a bad checksum, a torn length field, and
+    // (sometimes) a smashed port that re-routes the packet entirely.
+    const std::uint64_t bits = word_from(seed_, index, kCorruptBitsSalt);
+    pkt.checksum_valid = false;
+    pkt.payload_size ^= static_cast<std::uint32_t>(bits & 0x3ff);
+    if ((bits & 0x400) != 0) {
+      pkt.tuple.dst_port = static_cast<std::uint16_t>(bits >> 16);
+    }
+    ++packets_corrupted_;
+  }
+
+  bool clock_touched = false;
+  if (skew_factor_ != 1.0) {
+    pkt.timestamp = SimTime::from_usec(static_cast<std::int64_t>(
+        std::llround(static_cast<double>(pkt.timestamp.usec()) *
+                     skew_factor_)));
+    clock_touched = true;
+  }
+  for (const FaultEvent& step : steps_) {
+    if (index >= step.at_packet) {
+      pkt.timestamp = pkt.timestamp + Duration::sec(step.value);
+      clock_touched = true;
+    }
+  }
+  if (clock_touched) ++clock_faulted_;
+}
+
+double FaultInjector::take_stall_ms(std::size_t shard,
+                                    std::uint64_t processed) {
+  LaneFaults& lane = lanes_[shard];
+  for (StallEvent& stall : lane.stalls) {
+    if (!stall.taken && processed >= stall.at_packet) {
+      stall.taken = true;
+      ++lane.stalls_taken;
+      return stall.ms;
+    }
+  }
+  return 0.0;
+}
+
+void FaultInjector::apply_state_faults(std::size_t shard,
+                                       std::uint64_t processed,
+                                       StateFilter& filter) {
+  LaneFaults& lane = lanes_[shard];
+  for (FlipEvent& flip : lane.flips) {
+    if (flip.applied || processed < flip.at_packet) continue;
+    flip.applied = true;
+    auto* bitmap = dynamic_cast<BitmapFilter*>(&filter);
+    if (bitmap == nullptr) {
+      ++lane.flips_ignored;  // SPI/naive have no bit plane to flip
+      continue;
+    }
+    const std::size_t v = bitmap->current_index();
+    const std::size_t bit = flip.bit % bitmap->config().bits();
+    std::vector<std::uint64_t> words(bitmap->vector_words(v).begin(),
+                                     bitmap->vector_words(v).end());
+    words[bit / 64] ^= std::uint64_t{1} << (bit % 64);
+    bitmap->load_vector_words(v, words);
+    ++lane.bits_flipped;
+  }
+}
+
+std::uint64_t FaultInjector::next_lane_trigger(std::size_t shard,
+                                               std::uint64_t processed) const {
+  const LaneFaults& lane = lanes_[shard];
+  std::uint64_t next = kFaultNever;
+  if (lane.kill_at != kFaultNever && lane.kill_at > processed) {
+    next = lane.kill_at;
+  }
+  for (const FlipEvent& flip : lane.flips) {
+    if (!flip.applied && flip.at_packet > processed) {
+      next = std::min(next, flip.at_packet);
+    }
+  }
+  for (const StallEvent& stall : lane.stalls) {
+    if (!stall.taken && stall.at_packet > processed) {
+      next = std::min(next, stall.at_packet);
+    }
+  }
+  return next;
+}
+
+std::size_t FaultInjector::ring_chunks_for(std::size_t shard,
+                                           std::size_t fallback) const {
+  return lanes_[shard].ring_overflow ? 2 : fallback;
+}
+
+std::uint64_t FaultInjector::bits_flipped() const {
+  std::uint64_t n = 0;
+  for (const LaneFaults& lane : lanes_) n += lane.bits_flipped;
+  return n;
+}
+
+std::uint64_t FaultInjector::flips_ignored() const {
+  std::uint64_t n = 0;
+  for (const LaneFaults& lane : lanes_) n += lane.flips_ignored;
+  return n;
+}
+
+std::uint64_t FaultInjector::stalls_taken() const {
+  std::uint64_t n = 0;
+  for (const LaneFaults& lane : lanes_) n += lane.stalls_taken;
+  return n;
+}
+
+}  // namespace upbound

@@ -1,0 +1,168 @@
+#include "fault/fault_spec.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace upbound {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& entry, const std::string& why) {
+  throw std::invalid_argument("fault-spec '" + entry + "': " + why);
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t next = text.find(sep, start);
+    const std::size_t end = next == std::string::npos ? text.size() : next;
+    out.push_back(text.substr(start, end - start));
+    if (next == std::string::npos) break;
+    start = next + 1;
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& entry, const std::string& token) {
+  if (token.empty()) bad(entry, "expected a number, got ''");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size()) {
+    bad(entry, "expected a number, got '" + token + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_double(const std::string& entry, const std::string& token) {
+  if (token.empty()) bad(entry, "expected a number, got ''");
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) {
+    bad(entry, "expected a number, got '" + token + "'");
+  }
+  return v;
+}
+
+/// Splits an optional "@<n>" trigger suffix off `token`; returns the base.
+std::string take_at(const std::string& entry, const std::string& token,
+                    std::uint64_t* at) {
+  const std::size_t pos = token.find('@');
+  if (pos == std::string::npos) return token;
+  *at = parse_u64(entry, token.substr(pos + 1));
+  return token.substr(0, pos);
+}
+
+FaultEvent parse_entry(const std::string& entry) {
+  const std::vector<std::string> parts = split(entry, ':');
+  const std::string& name = parts.front();
+  const std::size_t operands = parts.size() - 1;
+  FaultEvent ev;
+
+  if (name == "kill-shard") {
+    if (operands != 1) bad(entry, "expected kill-shard:<s>[@<n>]");
+    ev.kind = FaultKind::kKillShard;
+    ev.shard = static_cast<std::size_t>(
+        parse_u64(entry, take_at(entry, parts[1], &ev.at_packet)));
+  } else if (name == "stall-shard") {
+    if (operands < 1 || operands > 2) {
+      bad(entry, "expected stall-shard:<s>[@<n>][:<ms>]");
+    }
+    ev.kind = FaultKind::kStallShard;
+    ev.shard = static_cast<std::size_t>(
+        parse_u64(entry, take_at(entry, parts[1], &ev.at_packet)));
+    ev.value = operands == 2 ? parse_double(entry, parts[2]) : 100.0;
+    if (ev.value < 0.0) bad(entry, "stall duration must be >= 0 ms");
+  } else if (name == "corrupt") {
+    if (operands != 1) bad(entry, "expected corrupt:<rate>");
+    ev.kind = FaultKind::kCorruptPacket;
+    ev.value = parse_double(entry, parts[1]);
+    if (ev.value < 0.0 || ev.value > 1.0) {
+      bad(entry, "corruption rate must be in [0, 1]");
+    }
+  } else if (name == "clock-step") {
+    if (operands != 1) bad(entry, "expected clock-step:<sec>[@<n>]");
+    ev.kind = FaultKind::kClockStep;
+    ev.value = parse_double(entry, take_at(entry, parts[1], &ev.at_packet));
+  } else if (name == "clock-skew") {
+    if (operands != 1) bad(entry, "expected clock-skew:<factor>");
+    ev.kind = FaultKind::kClockSkew;
+    ev.value = parse_double(entry, parts[1]);
+    if (ev.value <= 0.0) bad(entry, "skew factor must be > 0");
+  } else if (name == "flip-bit") {
+    if (operands != 2) bad(entry, "expected flip-bit:<s>:<bit>[@<n>]");
+    ev.kind = FaultKind::kFlipBit;
+    ev.shard = static_cast<std::size_t>(parse_u64(entry, parts[1]));
+    ev.aux = parse_u64(entry, take_at(entry, parts[2], &ev.at_packet));
+  } else if (name == "ring-overflow") {
+    if (operands != 1) bad(entry, "expected ring-overflow:<s>");
+    ev.kind = FaultKind::kRingOverflow;
+    ev.shard = static_cast<std::size_t>(parse_u64(entry, parts[1]));
+  } else {
+    bad(entry,
+        "unknown fault (kill-shard|stall-shard|corrupt|clock-step|"
+        "clock-skew|flip-bit|ring-overflow)");
+  }
+  return ev;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kKillShard: return "kill-shard";
+    case FaultKind::kStallShard: return "stall-shard";
+    case FaultKind::kCorruptPacket: return "corrupt";
+    case FaultKind::kClockStep: return "clock-step";
+    case FaultKind::kClockSkew: return "clock-skew";
+    case FaultKind::kFlipBit: return "flip-bit";
+    case FaultKind::kRingOverflow: return "ring-overflow";
+  }
+  return "unknown";
+}
+
+FaultSpec FaultSpec::parse(const std::string& text) {
+  FaultSpec spec;
+  for (const std::string& entry : split(text, ',')) {
+    if (entry.empty()) continue;  // tolerate "a,,b" and trailing commas
+    spec.events.push_back(parse_entry(entry));
+  }
+  return spec;
+}
+
+std::string FaultSpec::to_string() const {
+  std::string out;
+  for (const FaultEvent& ev : events) {
+    if (!out.empty()) out += ',';
+    out += fault_kind_name(ev.kind);
+    switch (ev.kind) {
+      case FaultKind::kKillShard:
+        out += ':' + std::to_string(ev.shard) + '@' +
+               std::to_string(ev.at_packet);
+        break;
+      case FaultKind::kStallShard:
+        out += ':' + std::to_string(ev.shard) + '@' +
+               std::to_string(ev.at_packet) + ':' +
+               std::to_string(ev.value);
+        break;
+      case FaultKind::kCorruptPacket:
+      case FaultKind::kClockSkew:
+        out += ':' + std::to_string(ev.value);
+        break;
+      case FaultKind::kClockStep:
+        out += ':' + std::to_string(ev.value) + '@' +
+               std::to_string(ev.at_packet);
+        break;
+      case FaultKind::kFlipBit:
+        out += ':' + std::to_string(ev.shard) + ':' +
+               std::to_string(ev.aux) + '@' + std::to_string(ev.at_packet);
+        break;
+      case FaultKind::kRingOverflow:
+        out += ':' + std::to_string(ev.shard);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace upbound

@@ -1,0 +1,77 @@
+// Deterministic fault schedule grammar -- the parsed form of --fault-spec.
+//
+// A spec is a comma-separated list of fault events. Every trigger is
+// expressed in the simulation domain (a packet index in the global trace
+// or in one shard's packet subsequence), never in wall-clock time, so a
+// spec plus a seed reproduces the exact same faults on any machine at any
+// thread count. Grammar (one entry per event):
+//
+//   kill-shard:<s>[@<n>]        shard s's worker dies after processing n
+//                               packets of its stream (default 0: dies
+//                               before its first packet)
+//   stall-shard:<s>[@<n>][:<ms>]  worker sleeps <ms> wall-clock ms (default
+//                               100) once shard s has processed n packets;
+//                               perturbs timing only, never results
+//   corrupt:<rate>              each fed packet is corrupted independently
+//                               with probability rate (seeded RNG keyed by
+//                               the packet index)
+//   clock-step:<sec>[@<n>]      adds <sec> (may be negative: a regression)
+//                               to every timestamp from global packet n on
+//   clock-skew:<factor>         multiplies every timestamp by factor
+//                               (drifting capture clock)
+//   flip-bit:<s>:<bit>[@<n>]    flips bit <bit> of the current vector of
+//                               shard s's bitmap filter once it has
+//                               processed n packets (ignored, counted, for
+//                               non-bitmap filters)
+//   ring-overflow:<s>           clamps shard s's hand-off ring to the
+//                               minimum capacity, forcing producer
+//                               backpressure on every chunk
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace upbound {
+
+enum class FaultKind {
+  kKillShard,
+  kStallShard,
+  kCorruptPacket,
+  kClockStep,
+  kClockSkew,
+  kFlipBit,
+  kRingOverflow,
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kKillShard;
+  /// Target shard for the shard-scoped kinds; unused otherwise.
+  std::size_t shard = 0;
+  /// Trigger: packet index (shard-local for shard-scoped kinds, global
+  /// trace index for clock faults). 0 = from the start.
+  std::uint64_t at_packet = 0;
+  /// Kind-specific magnitude: corruption rate, clock step seconds, skew
+  /// factor, or stall milliseconds.
+  double value = 0.0;
+  /// Kind-specific extra: bit index for flip-bit.
+  std::uint64_t aux = 0;
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+struct FaultSpec {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Parses the --fault-spec grammar above. Throws std::invalid_argument
+  /// with a pointed message on malformed input.
+  static FaultSpec parse(const std::string& text);
+
+  std::string to_string() const;
+};
+
+}  // namespace upbound

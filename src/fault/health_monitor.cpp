@@ -1,0 +1,82 @@
+#include "fault/health_monitor.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace upbound {
+
+const char* unhealthy_stance_name(UnhealthyStance stance) {
+  switch (stance) {
+    case UnhealthyStance::kDisabled: return "disabled";
+    case UnhealthyStance::kFailOpen: return "fail-open";
+    case UnhealthyStance::kFailClosed: return "fail-closed";
+  }
+  return "unknown";
+}
+
+const char* health_state_name(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+  }
+  return "unknown";
+}
+
+HealthMonitor::HealthMonitor(const HealthConfig& config)
+    : config_(config),
+      clock_signal_until_(SimTime::from_usec(
+          std::numeric_limits<std::int64_t>::min())) {
+  if (!(config_.occupancy_enter > 0.0 && config_.occupancy_enter <= 1.0) ||
+      config_.occupancy_exit < 0.0 ||
+      config_.occupancy_exit > config_.occupancy_enter) {
+    throw std::invalid_argument(
+        "HealthMonitor: need 0 < occupancy_enter <= 1 and "
+        "0 <= occupancy_exit <= occupancy_enter");
+  }
+}
+
+void HealthMonitor::note_occupancy(double occupancy, SimTime now) {
+  if (occupancy >= config_.occupancy_enter) {
+    occupancy_signal_ = true;
+  } else if (occupancy <= config_.occupancy_exit) {
+    occupancy_signal_ = false;
+  }
+  update(now);
+}
+
+void HealthMonitor::note_clock_clamp(SimTime now) {
+  ++clamp_events_;
+  if (config_.clamp_threshold == 0) {
+    update(now);
+    return;
+  }
+  // Bursts within one hold window accumulate; a quiet window resets the
+  // count, so sporadic reordering never trips the signal.
+  if (clock_signal_ || now <= clock_signal_until_) {
+    ++clamps_in_window_;
+  } else {
+    clamps_in_window_ = 1;
+  }
+  clock_signal_until_ = now + config_.clamp_hold;
+  if (clamps_in_window_ >= config_.clamp_threshold) clock_signal_ = true;
+  update(now);
+}
+
+void HealthMonitor::update(SimTime now) {
+  if (clock_signal_ && now > clock_signal_until_) {
+    clock_signal_ = false;
+    clamps_in_window_ = 0;
+  }
+  const HealthState next = (occupancy_signal_ || clock_signal_)
+                               ? HealthState::kDegraded
+                               : HealthState::kHealthy;
+  if (next == state_) return;
+  state_ = next;
+  if (next == HealthState::kDegraded) {
+    ++to_degraded_;
+  } else {
+    ++to_healthy_;
+  }
+}
+
+}  // namespace upbound

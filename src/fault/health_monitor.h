@@ -1,0 +1,95 @@
+// Filter health tracking and the degraded-operation stance.
+//
+// The paper's trust chain is: the bitmap's current-vector occupancy stays
+// near its design point, so the Eq. 2 false-positive rate stays small, so
+// a state miss is strong evidence of unsolicited traffic. When occupancy
+// is driven far past the design point (saturation attack, undersized N)
+// or the input clock misbehaves (regressed timestamps wedging rotation),
+// that chain breaks -- a miss no longer means much, and the operator must
+// pick which error to eat:
+//
+//   fail-open   admit stateless inbound while degraded (no legitimate
+//               traffic lost, the upload bound is temporarily waived);
+//   fail-closed drop stateless inbound outright (the bound holds, false
+//               positives spike -- Eq. 2 with U -> 1 predicts this).
+//
+// The monitor is purely simulation-domain: every input is an occupancy
+// reading or a clamped-clock event carried by packet timestamps, so state
+// transitions are bitwise reproducible at any thread count.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace upbound {
+
+enum class UnhealthyStance {
+  kDisabled,    // never degrade; pre-PR behaviour
+  kFailOpen,    // degraded => admit stateless inbound
+  kFailClosed,  // degraded => drop stateless inbound
+};
+
+enum class HealthState { kHealthy, kDegraded };
+
+const char* unhealthy_stance_name(UnhealthyStance stance);
+const char* health_state_name(HealthState state);
+
+struct HealthConfig {
+  UnhealthyStance stance = UnhealthyStance::kDisabled;
+  /// Current-vector occupancy at which the filter is declared degraded.
+  /// 0.5 is far past the paper's design point (U ~ 0.04 at 15k
+  /// connections): Eq. 2 gives a ~12.5% false-positive rate there for
+  /// m=3.
+  double occupancy_enter = 0.5;
+  /// Occupancy below which the occupancy signal clears (hysteresis so a
+  /// reading dancing around the threshold does not flap the stance).
+  double occupancy_exit = 0.35;
+  /// Occupancy is sampled every this many batches (a full popcount scan
+  /// of the current vector -- ~128 KB at 2^20 bits -- so per-batch
+  /// sampling would dominate the datapath). The cadence counts batches,
+  /// not wall time, so sampling stays deterministic for a fixed batch
+  /// framing. 1 = sample every batch (tests).
+  std::uint64_t occupancy_sample_batches = 64;
+  /// Clamped-clock events within one hold window that trip the clock
+  /// signal; 0 disables the signal.
+  std::uint64_t clamp_threshold = 0;
+  /// How long the clock signal holds after the last clamp burst.
+  Duration clamp_hold = Duration::sec(5.0);
+
+  bool enabled() const { return stance != UnhealthyStance::kDisabled; }
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(const HealthConfig& config);
+
+  /// Feeds a current-vector occupancy reading taken at sim time `now`.
+  void note_occupancy(double occupancy, SimTime now);
+  /// Records one clamped-clock event (a packet whose timestamp regressed)
+  /// at sim time `now`; BandwidthMeter clamps are fed here too.
+  void note_clock_clamp(SimTime now);
+
+  HealthState state() const { return state_; }
+  bool degraded() const { return state_ == HealthState::kDegraded; }
+  const HealthConfig& config() const { return config_; }
+
+  std::uint64_t transitions_to_degraded() const { return to_degraded_; }
+  std::uint64_t transitions_to_healthy() const { return to_healthy_; }
+  std::uint64_t clamp_events() const { return clamp_events_; }
+
+ private:
+  void update(SimTime now);
+
+  HealthConfig config_;
+  HealthState state_ = HealthState::kHealthy;
+  bool occupancy_signal_ = false;
+  bool clock_signal_ = false;
+  std::uint64_t clamp_events_ = 0;
+  std::uint64_t clamps_in_window_ = 0;
+  SimTime clock_signal_until_;
+  std::uint64_t to_degraded_ = 0;
+  std::uint64_t to_healthy_ = 0;
+};
+
+}  // namespace upbound

@@ -61,8 +61,17 @@ void BandwidthMeter::roll_to(SimTime now) {
   head_slot_ = target;
 }
 
+SimTime BandwidthMeter::clamp(SimTime now) {
+  if (primed_ && now < high_water_) {
+    ++clamp_events_;
+    return high_water_;
+  }
+  high_water_ = now;
+  return now;
+}
+
 void BandwidthMeter::add(SimTime now, std::uint64_t bytes) {
-  roll_to(now);
+  roll_to(clamp(now));
   // floor_mod: head_slot_ is negative for pre-origin times, where C++'s
   // `%` would produce a negative (out-of-range) slot index.
   slots_[floor_mod(head_slot_, static_cast<std::int64_t>(slots_.size()))] +=
@@ -71,7 +80,7 @@ void BandwidthMeter::add(SimTime now, std::uint64_t bytes) {
 }
 
 double BandwidthMeter::bits_per_sec(SimTime now) {
-  roll_to(now);
+  roll_to(clamp(now));
   return static_cast<double>(total_bytes_) * 8.0 / window_.to_sec();
 }
 

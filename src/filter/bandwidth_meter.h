@@ -19,15 +19,26 @@ class BandwidthMeter {
   explicit BandwidthMeter(Duration window = Duration::sec(1.0),
                           unsigned slots = 10);
 
-  /// Accounts `bytes` observed at time `now`. Times must be non-decreasing.
+  /// Accounts `bytes` observed at time `now`. A regressed `now` (below
+  /// the highest time seen) is clamped to that high-water mark and
+  /// counted, mirroring EdgeRouter's rotation-clock clamp: a backwards
+  /// step books the bytes into the newest slot instead of corrupting the
+  /// window the Eq. 1 P_d input is averaged over.
   void add(SimTime now, std::uint64_t bytes);
 
   /// Throughput over the window ending at `now`, in bits per second.
+  /// Regressed times are clamped like add().
   double bits_per_sec(SimTime now);
 
   Duration window() const { return window_; }
 
+  /// Calls whose `now` regressed and was clamped.
+  std::uint64_t clamp_events() const { return clamp_events_; }
+
  private:
+  /// Clamps a regressed `now` to the high-water mark (and counts it).
+  SimTime clamp(SimTime now);
+
   /// Zeroes slots whose time span fell out of the window.
   void roll_to(SimTime now);
 
@@ -40,6 +51,9 @@ class BandwidthMeter {
   /// would never roll forward from the default head of 0.
   bool primed_ = false;
   std::uint64_t total_bytes_ = 0;
+  /// Highest time seen; regressions are clamped up to it.
+  SimTime high_water_;
+  std::uint64_t clamp_events_ = 0;
 };
 
 }  // namespace upbound

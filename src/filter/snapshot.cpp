@@ -1,13 +1,28 @@
 #include "filter/snapshot.h"
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <stdexcept>
+
 #include "util/byte_io.h"
+#include "util/hash.h"
 
 namespace upbound {
 
 namespace {
 
 constexpr std::uint32_t kSnapshotMagic = 0x55424d46;  // "UBMF"
-constexpr std::uint32_t kSnapshotVersion = 1;
+// v2 appends a CRC-32 to the v1 header (offset 68; all field offsets
+// before it are unchanged), covering every byte except the CRC itself.
+constexpr std::uint32_t kSnapshotVersion = 2;
+constexpr std::size_t kCrcOffset = 68;
+
+/// CRC over the whole image minus the 4 CRC bytes at kCrcOffset.
+std::uint32_t image_crc(std::span<const std::uint8_t> image) {
+  const std::uint32_t head = crc32(image.subspan(0, kCrcOffset));
+  return crc32(image.subspan(kCrcOffset + 4), head);
+}
 
 void write_u64le(ByteWriter& w, std::uint64_t v) {
   w.u32le(static_cast<std::uint32_t>(v));
@@ -43,12 +58,19 @@ std::vector<std::uint8_t> snapshot_bitmap_filter(const BitmapFilter& filter,
   write_u64le(w, static_cast<std::uint64_t>(filter.next_rotation().usec()));
   write_u64le(w, filter.rotations());
   write_u64le(w, static_cast<std::uint64_t>(now.usec()));
+  w.u32le(0);  // CRC placeholder, patched below
 
   for (unsigned v = 0; v < config.vector_count; ++v) {
     for (const std::uint64_t word : filter.vector_words(v)) {
       write_u64le(w, word);
     }
   }
+
+  const std::uint32_t crc = image_crc(out);
+  out[kCrcOffset + 0] = static_cast<std::uint8_t>(crc);
+  out[kCrcOffset + 1] = static_cast<std::uint8_t>(crc >> 8);
+  out[kCrcOffset + 2] = static_cast<std::uint8_t>(crc >> 16);
+  out[kCrcOffset + 3] = static_cast<std::uint8_t>(crc >> 24);
   return out;
 }
 
@@ -72,6 +94,8 @@ const char* snapshot_restore_error_name(SnapshotRestoreError error) {
       return "trailing bytes";
     case SnapshotRestoreError::kStale:
       return "stale (older than T_e)";
+    case SnapshotRestoreError::kCorruptCrc:
+      return "corrupt-crc";
   }
   return "unknown";
 }
@@ -116,6 +140,7 @@ BitmapRestoreResult restore_bitmap_filter_checked(
     const std::uint64_t rotations = read_u64le(r);
     const SimTime snapshot_time =
         SimTime::from_usec(static_cast<std::int64_t>(read_u64le(r)));
+    const std::uint32_t stored_crc = r.u32le();
     // A healthy snapshot has its next rotation within one expiry cycle of
     // the snapshot time; anything further off is corruption, and a value
     // far in the past would wedge the first advance_time() in a
@@ -142,6 +167,12 @@ BitmapRestoreResult restore_bitmap_filter_checked(
     if (r.remaining() > payload_bytes) {
       return fail(SnapshotRestoreError::kTrailingBytes);
     }
+    // CRC last, once the structure is known sound: semantically invalid
+    // fields keep their pointed reasons above; the CRC catches the rest
+    // (payload bit rot, damage the field checks cannot see).
+    if (stored_crc != image_crc(snapshot)) {
+      return fail(SnapshotRestoreError::kCorruptCrc);
+    }
 
     BitmapFilter filter{config};
     std::vector<std::uint64_t> words(words_per_vector);
@@ -160,6 +191,29 @@ BitmapRestoreResult restore_bitmap_filter_checked(
 std::optional<RestoredBitmapFilter> restore_bitmap_filter(
     std::span<const std::uint8_t> snapshot) {
   return restore_bitmap_filter_checked(snapshot).restored;
+}
+
+void save_snapshot_file(const std::string& path,
+                        std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("save_snapshot_file: cannot open " + tmp);
+  }
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
+      std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  if (std::fclose(f) != 0 || !wrote) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("save_snapshot_file: write failed for " + tmp);
+  }
+  // rename(2) is atomic within a filesystem: readers see the old file or
+  // the new one, never a prefix.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("save_snapshot_file: cannot rename " + tmp +
+                             " to " + path);
+  }
 }
 
 }  // namespace upbound

@@ -1,13 +1,19 @@
 // Bitmap filter state snapshots: serialize the full {k x N} state (bits,
 // current index, rotation phase) so an edge device can restart without a
 // cold-start window in which every inbound packet of established
-// connections would be dropped. Format: versioned little-endian header +
-// raw vector words; a few hundred KB writes in microseconds.
+// connections would be dropped. Format (v2): versioned little-endian
+// header ending in a CRC-32 over every other byte, then raw vector words;
+// a few hundred KB writes in microseconds. The CRC turns silent bit rot
+// into a typed corrupt-crc rejection, and save_snapshot_file() makes the
+// on-disk write crash-consistent (temp file + fsync + atomic rename), so
+// a restart mid-save finds either the old snapshot or the new one, never
+// a torn hybrid.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "filter/bitmap_filter.h"
@@ -43,6 +49,8 @@ enum class SnapshotRestoreError {
   kTrailingBytes,     // extra bytes after the last vector word
   kStale,             // gap since snapshot_time exceeds T_e: every mark
                       // would have rotated out, restoring is pointless
+  kCorruptCrc,        // structurally sound but the CRC-32 over header and
+                      // payload mismatches: bit rot or tampering
 };
 
 const char* snapshot_restore_error_name(SnapshotRestoreError error);
@@ -70,5 +78,13 @@ BitmapRestoreResult restore_bitmap_filter_checked(
 /// restore_bitmap_filter_checked).
 std::optional<RestoredBitmapFilter> restore_bitmap_filter(
     std::span<const std::uint8_t> snapshot);
+
+/// Crash-consistent snapshot write: the bytes go to `path` + ".tmp",
+/// are flushed and fsync'd, then atomically renamed over `path`. A crash
+/// at any point leaves either the previous snapshot or the complete new
+/// one -- never a torn file. Throws std::runtime_error on I/O failure
+/// (the temp file is removed best-effort).
+void save_snapshot_file(const std::string& path,
+                        std::span<const std::uint8_t> bytes);
 
 }  // namespace upbound

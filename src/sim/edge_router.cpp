@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "fault/fault_injector.h"  // kFaultsCompiled
 #include "filter/bitmap_filter.h"
 
 namespace upbound {
@@ -47,6 +48,43 @@ EdgeRouter::EdgeRouter(EdgeRouterConfig config,
   if (filter_ == nullptr || policy_ == nullptr) {
     throw std::invalid_argument("EdgeRouter: filter and policy required");
   }
+  if constexpr (kFaultsCompiled) {
+    if (config_.health.enabled()) {
+      health_.emplace(config_.health);
+      health_bitmap_ = dynamic_cast<const BitmapFilter*>(filter_.get());
+      // Lazily registered here, not in the init list: a router with health
+      // disabled must not grow new counter names in its snapshots.
+      ctr_health_fail_open_ = &metrics_.counter("health.fail_open_admits");
+      ctr_health_fail_closed_ = &metrics_.counter("health.fail_closed_drops");
+      ctr_health_degraded_ =
+          &metrics_.counter("health.transitions_degraded");
+      ctr_health_recovered_ =
+          &metrics_.counter("health.transitions_recovered");
+    }
+  }
+}
+
+void EdgeRouter::health_poll(PacketBatch batch) {
+  if (batch.empty()) return;
+  SimTime now = batch[0].timestamp;
+  if (now < last_time_) now = last_time_;
+  // The meter clamps on its own high-water mark; surface every clamp it
+  // took since the last poll as a clock anomaly.
+  const std::uint64_t clamps = meter_.clamp_events();
+  for (; health_meter_clamps_seen_ < clamps; ++health_meter_clamps_seen_) {
+    health_->note_clock_clamp(now);
+  }
+  if (health_bitmap_ != nullptr &&
+      health_tick_++ % config_.health.occupancy_sample_batches == 0) {
+    health_->note_occupancy(health_bitmap_->current_utilization(), now);
+  }
+  const std::uint64_t degraded = health_->transitions_to_degraded();
+  const std::uint64_t recovered = health_->transitions_to_healthy();
+  ctr_health_degraded_->inc(degraded - health_degraded_seen_);
+  ctr_health_recovered_->inc(recovered - health_recovered_seen_);
+  health_degraded_seen_ = degraded;
+  health_recovered_seen_ = recovered;
+  health_degraded_ = health_->degraded();
 }
 
 RouterDecision EdgeRouter::process(const PacketRecord& pkt) {
@@ -70,6 +108,7 @@ void EdgeRouter::process_batch(PacketBatch batch,
   // are eliminated at compile time.
   const std::uint64_t batch_t0 =
       (kTelemetryCompiled && timing_) ? telemetry_clock_ns() : 0;
+  if (kFaultsCompiled && health_.has_value()) health_poll(batch);
   classify_batch(batch);
 
   std::size_t i = 0;
@@ -83,6 +122,10 @@ void EdgeRouter::process_batch(PacketBatch batch,
       // rotation schedule stay monotonic instead of silently corrupting.
       ++stats_.out_of_order_packets;
       ctr_classify_out_of_order_.inc();
+      if (kFaultsCompiled && health_.has_value()) {
+        health_->note_clock_clamp(last_time_);
+        health_degraded_ = health_->degraded();
+      }
       PacketRecord clamped = pkt;
       clamped.timestamp = last_time_;
       decisions[i] = process_one(clamped, dir);
@@ -332,6 +375,20 @@ RouterDecision EdgeRouter::admit_inbound(const PacketRecord& pkt) {
 
 RouterDecision EdgeRouter::drop_or_pass_inbound(const PacketRecord& pkt,
                                                 SimTime now) {
+  if (kFaultsCompiled && health_degraded_) {
+    // Degraded: the miss that brought us here is no longer evidence (the
+    // Eq. 2 chain is broken), so Eq. 1 is not evaluated and nothing is
+    // blocklisted -- both stances are reversible the moment health
+    // recovers.
+    if (config_.health.stance == UnhealthyStance::kFailOpen) {
+      ctr_health_fail_open_->inc();
+      return admit_inbound(pkt);
+    }
+    ctr_health_fail_closed_->inc();
+    ++stats_.inbound_dropped_packets;
+    stats_.inbound_dropped_bytes += pkt.wire_size();
+    return RouterDecision::kDroppedByPolicy;
+  }
   ctr_policy_evaluations_.inc();
   const double p_drop = policy_->drop_probability(meter_.bits_per_sec(now));
   if (rng_.next_bool(p_drop)) {
@@ -379,6 +436,9 @@ MetricsSnapshot EdgeRouter::metrics_snapshot() {
     // Current-vector set-bit fraction: the live Eq. 2 false-positive
     // input, and the quantity saturation attacks drive up.
     metrics_.gauge("state.occupancy").set(bitmap->current_utilization());
+  }
+  if (kFaultsCompiled && health_.has_value()) {
+    metrics_.gauge("health.state").set(health_->degraded() ? 1.0 : 0.0);
   }
   return metrics_.snapshot();
 }

@@ -20,8 +20,10 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "fault/health_monitor.h"
 #include "filter/bandwidth_meter.h"
 #include "filter/blocklist.h"
 #include "filter/drop_policy.h"
@@ -65,6 +67,13 @@ struct EdgeRouterConfig {
   /// (UPBOUND_TELEMETRY=ON); the timing reads happen outside the decision
   /// path, so decisions and stats are identical either way.
   bool stage_timing = true;
+  /// Health monitoring + degraded stance (see fault/health_monitor.h).
+  /// Disabled by default; also inert when the fault plane is compiled out
+  /// (UPBOUND_FAULTS=OFF). While degraded, only the stateless-inbound
+  /// verdict changes: fail-open admits, fail-closed drops (without
+  /// evaluating Eq. 1 or inserting blocklist entries, so the policy.* and
+  /// blocklist stage identities keep holding).
+  HealthConfig health;
 };
 
 struct EdgeRouterStats {
@@ -136,6 +145,10 @@ class EdgeRouter {
   /// must keep the filter's time monotonic with the packet stream.
   StateFilter& filter() { return *filter_; }
   const BlockList& blocklist() const { return blocklist_; }
+  /// The health monitor, or nullptr when disabled (or compiled out).
+  const HealthMonitor* health() const {
+    return health_.has_value() ? &*health_ : nullptr;
+  }
   const CounterRegistry& counters() const { return metrics_.counters(); }
   const MetricsRegistry& metrics() const { return metrics_; }
 
@@ -167,6 +180,11 @@ class EdgeRouter {
   RouterDecision admit_inbound(const PacketRecord& pkt);
   RouterDecision drop_or_pass_inbound(const PacketRecord& pkt, SimTime now);
 
+  /// Health sampling, once per batch: feeds occupancy and any meter clamp
+  /// events accumulated since the last poll into the monitor and mirrors
+  /// its transition counters. Only called when health_ is engaged.
+  void health_poll(PacketBatch batch);
+
   EdgeRouterConfig config_;
   std::unique_ptr<StateFilter> filter_;
   std::unique_ptr<DropPolicy> policy_;
@@ -179,6 +197,29 @@ class EdgeRouter {
 
   /// Highest timestamp seen; regressions are clamped up to this.
   SimTime last_time_;
+
+  /// Engaged iff config_.health.enabled() and the fault plane is compiled
+  /// in; every health member below is untouched otherwise, and the
+  /// health.* counters are never registered -- a disabled router's metrics
+  /// output is byte-identical to a build without the feature.
+  std::optional<HealthMonitor> health_;
+  /// Occupancy source (null for non-bitmap filters: no occupancy signal).
+  const class BitmapFilter* health_bitmap_ = nullptr;
+  std::uint64_t health_meter_clamps_seen_ = 0;
+  /// Batch tick driving the occupancy sampling cadence (simulation-domain:
+  /// advances per batch, never reads a clock).
+  std::uint64_t health_tick_ = 0;
+  /// Mirror of health_->degraded(), refreshed at the two sites that can
+  /// change it (health_poll, clock clamps), so the per-packet policy path
+  /// tests one bool instead of chasing the optional. Always false when
+  /// health is disengaged.
+  bool health_degraded_ = false;
+  std::uint64_t health_degraded_seen_ = 0;
+  std::uint64_t health_recovered_seen_ = 0;
+  StageCounter* ctr_health_fail_open_ = nullptr;
+  StageCounter* ctr_health_fail_closed_ = nullptr;
+  StageCounter* ctr_health_degraded_ = nullptr;
+  StageCounter* ctr_health_recovered_ = nullptr;
 
   MetricsRegistry metrics_;
   // Cached per-stage counters (references into metrics_ stay valid).

@@ -30,13 +30,34 @@
 // determinism: racing marks and rotations make decisions run-dependent
 // within the one-rotation approximation window the concurrent filter
 // documents.
+//
+// Supervision and failover: every shard lane carries a heartbeat the
+// worker bumps per chunk; a wall-clock watchdog condemns a lane whose
+// worker makes no progress while packets wait, and a condemned (or
+// fault-killed, or crashed) lane dies at a chunk boundary. A dead lane's
+// unprocessed packets -- the remainder of its in-flight chunk, everything
+// queued in its ring, and everything the partitioner routes to it later
+// -- accumulate in trace order in the lane's sidecar. After the workers
+// join, the failover re-merge rule runs: dead shards are visited in
+// ascending shard index; each sidecar packet goes to the surviving shard
+// alive[tuple_hash(canonical, shard-salt) % alive_count], and each
+// surviving shard processes its failover packets, in that order, after
+// its primary stream (timestamp regressions at the seam are clamped and
+// counted by the router). Every input to the rule -- the death point of
+// an injector-killed lane, sidecar order, the alive set -- is a pure
+// function of (trace, spec, seed, S), so a kill-shard run is bitwise
+// identical at any thread count. Watchdog condemnations are wall-clock
+// triggered and therefore outside that contract: they guarantee the
+// replay completes, not that two runs agree.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "fault/fault_injector.h"
 #include "filter/state_filter.h"
 #include "sim/replay.h"
 
@@ -58,6 +79,20 @@ struct ParallelReplayConfig {
   std::size_t chunk_packets = 256;
   /// Chunks buffered per shard ring (bounds in-flight memory).
   std::size_t ring_chunks = 64;
+  /// Deterministic fault injector (non-owning; may be nullptr). When armed,
+  /// the engine calls bind(shards) before feeding and applies feed faults in
+  /// the partitioner and lane faults in the owning worker. Ignored entirely
+  /// when the fault plane is compiled out (UPBOUND_FAULTS=OFF).
+  FaultInjector* fault_injector = nullptr;
+  /// Watchdog: a live lane whose worker bumped no heartbeat for this long
+  /// while packets sat in its ring is condemned; the worker acknowledges at
+  /// its next chunk boundary and the lane fails over. Zero disables the
+  /// watchdog. Wall-clock by nature -- a liveness guarantee, not part of the
+  /// determinism contract. Heartbeats are per lane, so when a worker
+  /// multiplexes several lanes and wedges, every lane it owns stops
+  /// heartbeating and all of them are condemned -- the effective failure
+  /// unit is the worker, not just the lane it got stuck in.
+  std::chrono::milliseconds watchdog_timeout{10000};
 };
 
 struct ParallelReplayResult {
@@ -73,6 +108,23 @@ struct ParallelReplayResult {
   std::string filter_name;
   std::size_t shards = 0;
   std::size_t threads = 0;
+  /// 1 for each shard whose lane died (injected kill, watchdog
+  /// condemnation, or worker crash); its stats/metrics above are frozen at
+  /// the death point.
+  std::vector<std::uint8_t> shard_failed;
+  /// Packets re-routed from dead lanes into surviving shards by the
+  /// failover rule documented at the top of this header.
+  std::uint64_t failover_packets = 0;
+  /// Sidecar packets with no surviving shard to take them (every lane
+  /// died).
+  std::uint64_t unroutable_packets = 0;
+  /// In-flight chunk packets discarded when a worker crashed mid-chunk (a
+  /// partially applied chunk cannot be replayed safely).
+  std::uint64_t lost_packets = 0;
+  /// Lanes condemned by the wall-clock watchdog. Kept out of
+  /// merged.metrics: it is timing-dependent, unlike the injected-fault
+  /// counters there.
+  std::uint64_t lanes_condemned = 0;
 
   explicit ParallelReplayResult(Duration bucket) : merged(bucket) {}
 };

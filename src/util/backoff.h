@@ -1,0 +1,55 @@
+// Bounded exponential backoff for producer/consumer waits.
+//
+// A full SPSC ring used to be handled with a bare yield loop, which pegs
+// a core at 100% while the consumer catches up. ExpBackoff escalates
+// instead: a few spins (cheap, catches sub-microsecond stalls), then
+// yields, then exponentially growing sleeps capped at kMaxSleep -- so a
+// slow consumer costs throughput, never a burned core, and the waiter
+// still reacts within ~a quarter millisecond once space appears.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace upbound {
+
+class ExpBackoff {
+ public:
+  static constexpr std::uint32_t kSpinLimit = 64;
+  static constexpr std::uint32_t kYieldLimit = 16;
+  static constexpr std::chrono::microseconds kMinSleep{1};
+  static constexpr std::chrono::microseconds kMaxSleep{256};
+
+  /// One wait step; each call escalates until the sleep cap is reached.
+  void pause() {
+    if (round_ < kSpinLimit) {
+      ++round_;
+      // Busy-spin: the scheduler-free path for the common transient case.
+      return;
+    }
+    if (round_ < kSpinLimit + kYieldLimit) {
+      ++round_;
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(sleep_);
+    if (sleep_ < kMaxSleep) sleep_ *= 2;
+  }
+
+  /// Call after the awaited condition held, so the next wait starts cheap.
+  void reset() {
+    round_ = 0;
+    sleep_ = kMinSleep;
+  }
+
+  /// True once the backoff has escalated past pure spinning -- the point
+  /// from which the wait is worth accounting as backpressure.
+  bool slow() const { return round_ >= kSpinLimit; }
+
+ private:
+  std::uint32_t round_ = 0;
+  std::chrono::microseconds sleep_{kMinSleep};
+};
+
+}  // namespace upbound

@@ -27,6 +27,23 @@ std::uint64_t mix64(std::uint64_t x) {
 
 namespace {
 
+/// Nibble-sliced CRC-32 table (16 entries): small enough to stay resident,
+/// two lookups per byte. Built once at static-init from the reflected
+/// IEEE polynomial 0xedb88320.
+struct Crc32Table {
+  std::uint32_t entries[16];
+  constexpr Crc32Table() : entries{} {
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 4; ++bit) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+constexpr Crc32Table kCrc32Table;
+
 std::uint64_t load_u64le(const std::uint8_t* p) {
   std::uint64_t v;
   std::memcpy(&v, p, sizeof(v));
@@ -37,6 +54,15 @@ std::uint64_t load_u64le(const std::uint8_t* p) {
 }
 
 }  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  std::uint32_t c = ~seed;
+  for (const std::uint8_t byte : data) {
+    c = kCrc32Table.entries[(c ^ byte) & 0x0f] ^ (c >> 4);
+    c = kCrc32Table.entries[(c ^ (byte >> 4)) & 0x0f] ^ (c >> 4);
+  }
+  return ~c;
+}
 
 Hash128 murmur3_x64_128(std::span<const std::uint8_t> data,
                         std::uint64_t seed) {

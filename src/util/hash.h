@@ -32,6 +32,13 @@ Hash128 murmur3_x64_128(std::span<const std::uint8_t> data,
 /// Final avalanche mixer from MurmurHash3; good for combining small ints.
 std::uint64_t mix64(std::uint64_t x);
 
+/// CRC-32 (IEEE 802.3 polynomial, reflected), for detecting bit rot in
+/// at-rest artifacts like filter snapshots. Software table-driven so the
+/// value is identical on every platform. `seed` is the running CRC for
+/// incremental use (pass the previous return value to continue).
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t seed = 0);
+
 /// Combines two hashes order-dependently.
 inline std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
   return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));

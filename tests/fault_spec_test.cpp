@@ -1,0 +1,159 @@
+// The --fault-spec grammar and the injector's deterministic plumbing:
+// parsing round-trips, malformed specs get pointed errors, and the
+// feed/lane fault triggers are pure functions of (spec, seed, index).
+#include "fault/fault_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fault/fault_injector.h"
+
+namespace upbound {
+namespace {
+
+TEST(FaultSpec, ParsesEveryKind) {
+  const FaultSpec spec = FaultSpec::parse(
+      "kill-shard:3@500,stall-shard:1@10:250,corrupt:0.25,"
+      "clock-step:-2.5@100,clock-skew:1.001,flip-bit:2:12345@7,"
+      "ring-overflow:4");
+  ASSERT_EQ(spec.events.size(), 7u);
+
+  EXPECT_EQ(spec.events[0].kind, FaultKind::kKillShard);
+  EXPECT_EQ(spec.events[0].shard, 3u);
+  EXPECT_EQ(spec.events[0].at_packet, 500u);
+
+  EXPECT_EQ(spec.events[1].kind, FaultKind::kStallShard);
+  EXPECT_EQ(spec.events[1].shard, 1u);
+  EXPECT_EQ(spec.events[1].at_packet, 10u);
+  EXPECT_DOUBLE_EQ(spec.events[1].value, 250.0);
+
+  EXPECT_EQ(spec.events[2].kind, FaultKind::kCorruptPacket);
+  EXPECT_DOUBLE_EQ(spec.events[2].value, 0.25);
+
+  EXPECT_EQ(spec.events[3].kind, FaultKind::kClockStep);
+  EXPECT_DOUBLE_EQ(spec.events[3].value, -2.5);
+  EXPECT_EQ(spec.events[3].at_packet, 100u);
+
+  EXPECT_EQ(spec.events[4].kind, FaultKind::kClockSkew);
+  EXPECT_DOUBLE_EQ(spec.events[4].value, 1.001);
+
+  EXPECT_EQ(spec.events[5].kind, FaultKind::kFlipBit);
+  EXPECT_EQ(spec.events[5].shard, 2u);
+  EXPECT_EQ(spec.events[5].aux, 12345u);
+  EXPECT_EQ(spec.events[5].at_packet, 7u);
+
+  EXPECT_EQ(spec.events[6].kind, FaultKind::kRingOverflow);
+  EXPECT_EQ(spec.events[6].shard, 4u);
+}
+
+TEST(FaultSpec, DefaultsApply) {
+  const FaultSpec spec = FaultSpec::parse("kill-shard:2,stall-shard:0");
+  ASSERT_EQ(spec.events.size(), 2u);
+  EXPECT_EQ(spec.events[0].at_packet, 0u);  // dies before the first packet
+  EXPECT_EQ(spec.events[1].at_packet, 0u);
+  EXPECT_DOUBLE_EQ(spec.events[1].value, 100.0);  // default stall ms
+}
+
+TEST(FaultSpec, EmptyAndSparseEntriesTolerated) {
+  EXPECT_TRUE(FaultSpec::parse("").empty());
+  const FaultSpec spec = FaultSpec::parse(",kill-shard:1,,corrupt:0.5,");
+  EXPECT_EQ(spec.events.size(), 2u);
+}
+
+TEST(FaultSpec, MalformedSpecsThrow) {
+  EXPECT_THROW(FaultSpec::parse("bogus:1"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("kill-shard"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("kill-shard:x"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("kill-shard:1:2"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("corrupt:1.5"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("corrupt:-0.1"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("clock-skew:0"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("clock-skew:-1"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("stall-shard:1@5:-3"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("flip-bit:1"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("kill-shard:1@"), std::invalid_argument);
+}
+
+TEST(FaultSpec, ToStringRoundTrips) {
+  const std::string text =
+      "kill-shard:3@500,stall-shard:1@10:250,corrupt:0.25,"
+      "clock-step:-2.5@100,clock-skew:1.001,flip-bit:2:12345@7,"
+      "ring-overflow:4";
+  const FaultSpec spec = FaultSpec::parse(text);
+  const FaultSpec again = FaultSpec::parse(spec.to_string());
+  EXPECT_EQ(spec.events, again.events);
+}
+
+PacketRecord indexed_packet(std::uint32_t n, double t_sec) {
+  PacketRecord pkt;
+  pkt.timestamp = SimTime::from_sec(t_sec);
+  pkt.tuple = FiveTuple{Protocol::kTcp, Ipv4Addr{0x0a000000u + n},
+                        static_cast<std::uint16_t>(1024 + n),
+                        Ipv4Addr{61, 2, 3, 4}, 80};
+  pkt.payload_size = 64;
+  return pkt;
+}
+
+TEST(FaultInjectorUnit, UnarmedWhenSpecEmpty) {
+  FaultInjector injector{FaultSpec{}, 7};
+  EXPECT_FALSE(injector.armed());
+  FaultInjector armed{FaultSpec::parse("corrupt:0.5"), 7};
+  EXPECT_TRUE(armed.armed());
+}
+
+TEST(FaultInjectorUnit, ClockStepAppliesFromTriggerIndex) {
+  FaultInjector injector{FaultSpec::parse("clock-step:5@2"), 7};
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    PacketRecord pkt = indexed_packet(0, 10.0);
+    injector.apply_feed(i, pkt);
+    const double expected = i >= 2 ? 15.0 : 10.0;
+    EXPECT_DOUBLE_EQ(pkt.timestamp.sec(), expected) << "index " << i;
+  }
+  EXPECT_EQ(injector.clock_faulted_packets(), 2u);
+}
+
+TEST(FaultInjectorUnit, CorruptionIsSeedDeterministic) {
+  // Two injectors with the same (spec, seed) must corrupt exactly the
+  // same packet indexes -- the property the cross-thread determinism of
+  // faulted replays rests on.
+  FaultInjector a{FaultSpec::parse("corrupt:0.3"), 42};
+  FaultInjector b{FaultSpec::parse("corrupt:0.3"), 42};
+  FaultInjector c{FaultSpec::parse("corrupt:0.3"), 43};
+  int differs_from_c = 0;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    PacketRecord pa = indexed_packet(static_cast<std::uint32_t>(i), 1.0);
+    PacketRecord pb = pa;
+    PacketRecord pc = pa;
+    a.apply_feed(i, pa);
+    b.apply_feed(i, pb);
+    c.apply_feed(i, pc);
+    ASSERT_EQ(pa.tuple, pb.tuple) << "index " << i;
+    ASSERT_EQ(pa.timestamp, pb.timestamp) << "index " << i;
+    ASSERT_EQ(pa.payload_size, pb.payload_size) << "index " << i;
+    if (!(pa.tuple == pc.tuple) || pa.payload_size != pc.payload_size) {
+      ++differs_from_c;
+    }
+  }
+  EXPECT_EQ(a.packets_corrupted(), b.packets_corrupted());
+  EXPECT_GT(a.packets_corrupted(), 300u);  // rate 0.3 over 2000 packets
+  EXPECT_GT(differs_from_c, 0);            // a different seed corrupts differently
+}
+
+TEST(FaultInjectorUnit, LaneTriggerSchedule) {
+  FaultInjector injector{
+      FaultSpec::parse("kill-shard:1@100,flip-bit:1:5@50"), 7};
+  injector.bind(4);
+  EXPECT_TRUE(injector.lane_faulted(1));
+  EXPECT_FALSE(injector.lane_faulted(0));
+  EXPECT_EQ(injector.kill_at(1), 100u);
+  EXPECT_EQ(injector.kill_at(0), kFaultNever);
+  // next_lane_trigger returns the next strictly-later event boundary.
+  EXPECT_EQ(injector.next_lane_trigger(1, 0), 50u);
+  EXPECT_EQ(injector.next_lane_trigger(1, 50), 100u);
+  EXPECT_EQ(injector.next_lane_trigger(1, 100), kFaultNever);
+  EXPECT_EQ(injector.next_lane_trigger(0, 0), kFaultNever);
+}
+
+}  // namespace
+}  // namespace upbound

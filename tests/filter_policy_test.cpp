@@ -135,6 +135,35 @@ TEST(BandwidthMeter, CrossOriginWindowAgesSlotBySlot) {
   EXPECT_DOUBLE_EQ(meter.bits_per_sec(SimTime::from_sec(0.94)), 0.0);
 }
 
+TEST(BandwidthMeter, RegressedTimestampsClampToHighWater) {
+  // Regression: a backwards timestamp (clock fault, merge artifact) used
+  // to rewind the window cursor, which could misattribute bytes to slots
+  // already aged out or spuriously zero live slots. Regressions now clamp
+  // to the high-water mark and are counted.
+  BandwidthMeter meter{Duration::sec(1.0), 10};
+  meter.add(SimTime::from_sec(5.0), 1000);
+  EXPECT_EQ(meter.clamp_events(), 0u);
+
+  meter.add(SimTime::from_sec(4.2), 500);  // regressed: lands at t=5.0
+  EXPECT_EQ(meter.clamp_events(), 1u);
+  EXPECT_DOUBLE_EQ(meter.bits_per_sec(SimTime::from_sec(5.0)), 1500 * 8.0);
+
+  // A regressed read also clamps instead of aging the window backwards.
+  EXPECT_DOUBLE_EQ(meter.bits_per_sec(SimTime::from_sec(1.0)), 1500 * 8.0);
+  EXPECT_EQ(meter.clamp_events(), 2u);
+
+  // Monotonic progress resumes from the high-water mark, not the
+  // regressed value: the traffic ages out on the original schedule.
+  EXPECT_DOUBLE_EQ(meter.bits_per_sec(SimTime::from_sec(6.5)), 0.0);
+}
+
+TEST(BandwidthMeter, FirstCallNeverCountsAsClamp) {
+  BandwidthMeter meter{Duration::sec(1.0), 10};
+  // Pre-origin first touch: nothing to clamp against yet.
+  meter.add(SimTime::from_sec(-3.0), 100);
+  EXPECT_EQ(meter.clamp_events(), 0u);
+}
+
 TEST(BandwidthMeter, NegativeMirrorsPositiveBehaviour) {
   // The same offered pattern shifted by a whole number of windows must
   // yield the same estimates, whether it straddles the origin or not.

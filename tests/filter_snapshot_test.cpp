@@ -98,7 +98,7 @@ TEST(Snapshot, ConfigEmbedded) {
 TEST(Snapshot, SizeIsHeaderPlusBits) {
   BitmapFilter filter{small_config()};
   const auto snapshot = snapshot_bitmap_filter(filter, SimTime::origin());
-  EXPECT_EQ(snapshot.size(), 68u + 4u * (1u << 14) / 8u);  // 68-byte header
+  EXPECT_EQ(snapshot.size(), 72u + 4u * (1u << 14) / 8u);  // 72-byte header
 }
 
 TEST(Snapshot, MalformedRejected) {

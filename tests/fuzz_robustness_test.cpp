@@ -187,7 +187,7 @@ TEST(FuzzSnapshot, MutatedAndTruncatedSnapshotsFailCleanly) {
   const auto base = snapshot_bitmap_filter(filter, SimTime::from_sec(5.0));
 
   Rng rng{31337};
-  int restored_ok = 0;
+  int crc_caught = 0;
   for (int trial = 0; trial < 5'000; ++trial) {
     auto bytes = base;
     const int mutations = 1 + static_cast<int>(rng.next_below(4));
@@ -200,19 +200,22 @@ TEST(FuzzSnapshot, MutatedAndTruncatedSnapshotsFailCleanly) {
     }
     auto result = restore_bitmap_filter_checked(bytes);  // no crash
     if (result.ok()) {
-      ++restored_ok;
-      // Bit flips confined to vector words restore fine; the filter must
-      // still be usable.
+      // The payload CRC turns every effective bit flip into a typed
+      // failure, so a restore can only succeed when the mutations
+      // happened to rewrite the bytes they replaced.
+      EXPECT_EQ(bytes, base);
       PacketRecord probe;
       probe.timestamp = SimTime::from_sec(5.0);
       probe.tuple = FiveTuple{Protocol::kTcp, Ipv4Addr{8, 8, 8, 8}, 80,
                               Ipv4Addr{10, 0, 0, 1}, 1024};
       (void)result.restored->filter.admits_inbound(probe);
+    } else if (result.error == SnapshotRestoreError::kCorruptCrc) {
+      ++crc_caught;
     }
   }
-  // Most mutations hit the large vector payload, which carries no
-  // structure to violate -- flipping data bits yields a valid snapshot.
-  EXPECT_GT(restored_ok, 0);
+  // Most mutations hit the large vector payload, which carries no header
+  // structure to violate -- only the CRC catches those.
+  EXPECT_GT(crc_caught, 0);
 }
 
 }  // namespace
