@@ -10,9 +10,19 @@
 //   5. Mark-all-vectors vs the hypothetical mark-current-only design:
 //      marking only the current vector would shrink the effective timer to
 //      a single rotation interval (modelled here by k=2 with dt=Te/k).
+//   7. Registry-driven backend bakeoff: every registered filter backend on
+//      the same trace -- bypass rate, collateral damage, memory, Mpps.
+//      Emits machine-readable BAKEOFF lines consumed by
+//      scripts/bench_report. `--smoke` runs only the bakeoff on a short
+//      trace (the CI ASan job).
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
 #include "bench_common.h"
 #include "filter/aging_bloom.h"
 #include "filter/bitmap_filter.h"
+#include "filter/filter_registry.h"
 #include "filter/naive_filter.h"
 #include "sim/replay.h"
 #include "sim/report.h"
@@ -24,6 +34,7 @@ namespace {
 struct RunResult {
   double drop_rate;
   double inbound_pass_bytes;
+  double wall_seconds;
 };
 
 RunResult run(const GeneratedTrace& trace,
@@ -33,10 +44,55 @@ RunResult run(const GeneratedTrace& trace,
   config.track_blocked_connections = false;
   EdgeRouter router{config, std::move(filter),
                     std::make_unique<ConstantDropPolicy>(1.0)};
+  const auto start = std::chrono::steady_clock::now();
   const ReplayResult result =
       replay_trace(trace.packets, router, trace.network);
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
   return {result.stats.inbound_drop_rate(),
-          static_cast<double>(result.stats.inbound_passed_bytes)};
+          static_cast<double>(result.stats.inbound_passed_bytes),
+          elapsed.count()};
+}
+
+/// Section 7: every registered backend at a common 2^16-slot geometry on
+/// the same trace. Bypass = stateless traffic the exact reference drops
+/// but the backend admits (false positives / leaks); collateral = traffic
+/// the exact reference admits but the backend drops (false negatives /
+/// overkill). The BAKEOFF lines feed scripts/bench_report.
+void backend_bakeoff(const GeneratedTrace& trace, const RunResult& exact) {
+  std::printf("-- registry bakeoff: every backend, %zu packets --\n",
+              trace.packets.size());
+  std::vector<std::vector<std::string>> rows{
+      {"backend", "drop rate", "bypass", "collateral", "memory", "Mpps"}};
+  for (const BackendDescriptor& backend :
+       FilterRegistry::instance().descriptors()) {
+    MapFilterArgs args;
+    args.set("bits", "16");
+    const FilterSpec spec = backend.parse(args);
+    std::unique_ptr<StateFilter> filter = make_state_filter(spec);
+    const std::size_t memory = filter->storage_bytes();
+    const RunResult r = run(trace, std::move(filter));
+    const double bypass = std::max(0.0, exact.drop_rate - r.drop_rate);
+    const double collateral = std::max(0.0, r.drop_rate - exact.drop_rate);
+    const double mpps = r.wall_seconds > 0.0
+                            ? static_cast<double>(trace.packets.size()) /
+                                  r.wall_seconds / 1e6
+                            : 0.0;
+    rows.push_back({backend.name, report::percent(r.drop_rate, 3),
+                    report::percent(bypass, 3),
+                    report::percent(collateral, 3),
+                    std::to_string(memory / 1024) + " KB",
+                    report::num(mpps, 2)});
+    std::printf(
+        "BAKEOFF backend=%s drop_rate=%.6f bypass=%.6f collateral=%.6f "
+        "memory_bytes=%zu mpps=%.3f\n",
+        backend.name.c_str(), r.drop_rate, bypass, collateral, memory,
+        mpps);
+  }
+  std::printf("%s", report::table(rows).c_str());
+  std::printf("(bypass and collateral are vs the exact-timer reference at "
+              "%s;\n Mpps is single-thread replay throughput, wall clock)\n",
+              report::percent(exact.drop_rate, 3).c_str());
 }
 
 BitmapFilterConfig bitmap_with(unsigned log2_bits, unsigned k,
@@ -53,28 +109,44 @@ BitmapFilterConfig bitmap_with(unsigned log2_bits, unsigned k,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+
   bench::header("Ablations -- bitmap filter design choices",
                 "Section 4.3 parameter discussion, quantified");
 
-  const GeneratedTrace trace =
-      generate_campus_trace(bench::eval_trace_config(/*duration_sec=*/40.0));
+  const GeneratedTrace trace = generate_campus_trace(
+      bench::eval_trace_config(/*duration_sec=*/smoke ? 10.0 : 40.0));
 
   // Reference: the exact-timer filter at Te = 20 s is ground truth.
   NaiveFilterConfig naive_config;
   naive_config.state_timeout = Duration::sec(20.0);
   const RunResult exact =
-      run(trace, std::make_unique<NaiveFilter>(naive_config));
+      run(trace, make_state_filter(naive_filter_spec(naive_config)));
   std::printf("reference (naive exact timers, Te = 20 s): %s drop rate\n\n",
               report::percent(exact.drop_rate, 3).c_str());
+
+  if (smoke) {
+    // CI ASan job: just the registry sweep on the short trace.
+    backend_bakeoff(trace, exact);
+    return 0;
+  }
 
   std::printf("-- 1. k and dt at fixed Te = 20 s --\n");
   std::vector<std::vector<std::string>> rows{
       {"k", "dt", "drop rate", "delta vs exact"}};
   for (const auto& [k, dt] : std::vector<std::pair<unsigned, double>>{
            {2, 10.0}, {4, 5.0}, {10, 2.0}, {20, 1.0}}) {
-    const RunResult r = run(trace, std::make_unique<BitmapFilter>(
-                                       bitmap_with(20, k, dt, 3)));
+    const RunResult r = run(trace, make_state_filter(bitmap_filter_spec(
+                                       bitmap_with(20, k, dt, 3))));
     rows.push_back({std::to_string(k), report::num(dt, 0) + "s",
                     report::percent(r.drop_rate, 3),
                     report::percent(r.drop_rate - exact.drop_rate, 3)});
@@ -85,11 +157,11 @@ int main() {
 
   std::printf("-- 2. expiry timer Te (k = 4) --\n");
   rows = {{"Te", "drop rate", "overkill vs Te=20s"}};
-  const RunResult te20 = run(trace, std::make_unique<BitmapFilter>(
-                                        bitmap_with(20, 4, 5.0, 3)));
+  const RunResult te20 = run(trace, make_state_filter(bitmap_filter_spec(
+                                        bitmap_with(20, 4, 5.0, 3))));
   for (const double te : {4.0, 8.0, 20.0, 40.0, 120.0}) {
-    const RunResult r = run(trace, std::make_unique<BitmapFilter>(
-                                       bitmap_with(20, 4, te / 4.0, 3)));
+    const RunResult r = run(trace, make_state_filter(bitmap_filter_spec(
+                                       bitmap_with(20, 4, te / 4.0, 3))));
     rows.push_back({report::num(te, 0) + "s", report::percent(r.drop_rate, 3),
                     report::percent(r.drop_rate - te20.drop_rate, 3)});
   }
@@ -101,8 +173,8 @@ int main() {
   rows = {{"N", "m", "memory", "drop rate", "leak vs exact"}};
   for (const unsigned log2_bits : {10u, 12u, 16u, 20u}) {
     for (const unsigned m : {1u, 3u}) {
-      const RunResult r = run(trace, std::make_unique<BitmapFilter>(
-                                         bitmap_with(log2_bits, 4, 5.0, m)));
+      const RunResult r = run(trace, make_state_filter(bitmap_filter_spec(
+                                         bitmap_with(log2_bits, 4, 5.0, m))));
       rows.push_back(
           {"2^" + std::to_string(log2_bits), std::to_string(m),
            std::to_string((4u << log2_bits) / 8 / 1024) + " KB",
@@ -115,11 +187,11 @@ int main() {
               " drop rate falls below the exact filter's)\n\n");
 
   std::printf("-- 4. key mode: full tuple vs hole-punching --\n");
-  const RunResult full = run(trace, std::make_unique<BitmapFilter>(
-                                        bitmap_with(20, 4, 5.0, 3)));
+  const RunResult full = run(trace, make_state_filter(bitmap_filter_spec(
+                                        bitmap_with(20, 4, 5.0, 3))));
   const RunResult hole = run(
-      trace, std::make_unique<BitmapFilter>(
-                 bitmap_with(20, 4, 5.0, 3, KeyMode::kHolePunching)));
+      trace, make_state_filter(bitmap_filter_spec(
+                 bitmap_with(20, 4, 5.0, 3, KeyMode::kHolePunching))));
   bench::row("full-tuple drop rate", "-", report::percent(full.drop_rate, 3));
   bench::row("hole-punching drop rate", "lower (admits NAT traversal)",
              report::percent(hole.drop_rate, 3));
@@ -137,20 +209,20 @@ int main() {
            "aging k=10 e=2s (finer)"}};
   for (const unsigned log2_bits : {12u, 16u, 20u}) {
     const RunResult bitmap_result = run(
-        trace, std::make_unique<BitmapFilter>(bitmap_with(log2_bits, 4, 5.0,
-                                                          3)));
+        trace, make_state_filter(bitmap_filter_spec(bitmap_with(log2_bits, 4, 5.0,
+                                                          3))));
     AgingBloomConfig same;
     same.cells = std::size_t{1} << log2_bits;
     same.hash_count = 3;
     same.epoch = Duration::sec(5.0);
     same.valid_epochs = 4;
     const RunResult same_result =
-        run(trace, std::make_unique<AgingBloomFilter>(same));
+        run(trace, make_state_filter(aging_filter_spec(same)));
     AgingBloomConfig finer = same;
     finer.epoch = Duration::sec(2.0);
     finer.valid_epochs = 10;  // Te = 20 s, 2 s granularity
     const RunResult finer_result =
-        run(trace, std::make_unique<AgingBloomFilter>(finer));
+        run(trace, make_state_filter(aging_filter_spec(finer)));
     rows.push_back({std::to_string((4u << log2_bits) / 8 / 1024) + " KB",
                     report::percent(bitmap_result.drop_rate, 3),
                     report::percent(same_result.drop_rate, 3),
@@ -165,11 +237,14 @@ int main() {
   // Marking only the current vector is equivalent to state that survives
   // exactly one rotation: a {2 x N} bitmap with dt = Te/k models the
   // resulting 1/k-scale timer.
-  const RunResult single = run(trace, std::make_unique<BitmapFilter>(
-                                          bitmap_with(20, 2, 5.0, 3)));
+  const RunResult single = run(trace, make_state_filter(bitmap_filter_spec(
+                                          bitmap_with(20, 2, 5.0, 3))));
   bench::row("mark-all {4 x 2^20}, Te = 20 s", "-",
              report::percent(full.drop_rate, 3));
   bench::row("single-vector-equivalent (Te = 10 s)", "overkills",
              report::percent(single.drop_rate, 3));
+
+  std::printf("\n-- 7. backend bakeoff --\n");
+  backend_bakeoff(trace, exact);
   return 0;
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "filter/bitmap_filter.h"
+#include "filter/filter_registry.h"
 #include "net/packet_batch.h"
 #include "sim/edge_router.h"
 #include "trace/campus.h"
@@ -145,7 +146,7 @@ EdgeRouter make_router() {
   EdgeRouterConfig config;
   config.network = campus().network;
   config.seed = 11;
-  return EdgeRouter{config, std::make_unique<BitmapFilter>(config_for(20)),
+  return EdgeRouter{config, make_state_filter(bitmap_filter_spec(config_for(20))),
                     std::make_unique<RedDropPolicy>(2e6, 6e6)};
 }
 

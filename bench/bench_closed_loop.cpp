@@ -12,6 +12,7 @@
 // and reports how much harder the live deployment bounds the uplink.
 #include "bench_common.h"
 #include "filter/bitmap_filter.h"
+#include "filter/filter_registry.h"
 #include "sim/closed_loop.h"
 #include "sim/replay.h"
 #include "sim/report.h"
@@ -30,7 +31,7 @@ std::unique_ptr<EdgeRouter> make_router(const ClientNetwork& network,
   // already triggered -- the frozen trace keeps playing it.
   config.suppress_blocked_outbound = !paper_replay_semantics;
   return std::make_unique<EdgeRouter>(
-      config, std::make_unique<BitmapFilter>(BitmapFilterConfig{}),
+      config, make_state_filter(bitmap_filter_spec(BitmapFilterConfig{})),
       std::make_unique<RedDropPolicy>(low, high));
 }
 

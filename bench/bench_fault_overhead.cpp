@@ -24,6 +24,7 @@
 
 #include "fault/fault_injector.h"
 #include "filter/bitmap_filter.h"
+#include "filter/filter_registry.h"
 #include "sim/edge_router.h"
 #include "trace/campus.h"
 
@@ -50,7 +51,7 @@ EdgeRouter make_router(const ClientNetwork& network, bool monitored) {
   }
   BitmapFilterConfig bitmap;
   bitmap.log2_bits = 20;
-  return EdgeRouter{config, std::make_unique<BitmapFilter>(bitmap),
+  return EdgeRouter{config, make_state_filter(bitmap_filter_spec(bitmap)),
                     std::make_unique<RedDropPolicy>(2e6, 6e6)};
 }
 

@@ -14,6 +14,7 @@
 
 #include "bench_common.h"
 #include "filter/bitmap_filter.h"
+#include "filter/filter_registry.h"
 #include "filter/spi_filter.h"
 #include "sim/replay.h"
 #include "sim/report.h"
@@ -67,11 +68,11 @@ int main() {
   SpiFilterConfig spi_config;
   spi_config.idle_timeout = Duration::sec(240.0);
   spi_config.close_linger = Duration::sec(240.0);
-  EdgeRouter spi_router{config, std::make_unique<SpiFilter>(spi_config),
+  EdgeRouter spi_router{config, make_state_filter(spi_filter_spec(spi_config)),
                         std::make_unique<ConstantDropPolicy>(1.0)};
   // Bitmap filter with the paper's {4 x 2^20}, dt = 5 s, Te = 20 s.
   EdgeRouter bitmap_router{config,
-                           std::make_unique<BitmapFilter>(BitmapFilterConfig{}),
+                           make_state_filter(bitmap_filter_spec(BitmapFilterConfig{})),
                            std::make_unique<ConstantDropPolicy>(1.0)};
 
   const Duration bucket = Duration::sec(5.0);
@@ -139,7 +140,7 @@ int main() {
       {"bitmap {4 x 2^20}, Te=4s (hasty expiry)", hasty},
   };
   for (const Variant& v : variants) {
-    EdgeRouter variant_router{config, std::make_unique<BitmapFilter>(v.bitmap),
+    EdgeRouter variant_router{config, make_state_filter(bitmap_filter_spec(v.bitmap)),
                               std::make_unique<ConstantDropPolicy>(1.0)};
     const auto rates = interval_drop_rates(trace.packets, variant_router,
                                            bucket);

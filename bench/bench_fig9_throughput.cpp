@@ -6,6 +6,7 @@
 // is filtered too because P2P download rides inbound connections.
 #include "bench_common.h"
 #include "filter/bitmap_filter.h"
+#include "filter/filter_registry.h"
 #include "sim/replay.h"
 #include "sim/report.h"
 
@@ -37,7 +38,7 @@ int main() {
   config.network = trace.network;
   config.track_blocked_connections = true;
 
-  EdgeRouter router{config, std::make_unique<BitmapFilter>(BitmapFilterConfig{}),
+  EdgeRouter router{config, make_state_filter(bitmap_filter_spec(BitmapFilterConfig{})),
                     std::make_unique<RedDropPolicy>(kLow, kHigh)};
   const ReplayResult result =
       replay_trace(trace.packets, router, trace.network);

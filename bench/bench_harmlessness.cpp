@@ -14,6 +14,7 @@
 
 #include "bench_common.h"
 #include "filter/bitmap_filter.h"
+#include "filter/filter_registry.h"
 #include "sim/replay.h"
 #include "sim/report.h"
 
@@ -31,7 +32,7 @@ std::map<AppProtocol, AppDamage> replay_with_attribution(
   EdgeRouterConfig config;
   config.network = trace.network;
   config.track_blocked_connections = true;
-  EdgeRouter router{config, std::make_unique<BitmapFilter>(BitmapFilterConfig{}),
+  EdgeRouter router{config, make_state_filter(bitmap_filter_spec(BitmapFilterConfig{})),
                     std::make_unique<RedDropPolicy>(low, high)};
   std::map<AppProtocol, AppDamage> damage;
   for (const PacketRecord& pkt : trace.packets) {

@@ -15,6 +15,7 @@
 #include "bench_common.h"
 #include "filter/bitmap_filter.h"
 #include "filter/concurrent_bitmap.h"
+#include "filter/filter_registry.h"
 #include "sim/parallel_replay.h"
 #include "sim/report.h"
 
@@ -29,7 +30,7 @@ ShardRouterFactory bitmap_factory() {
     config.track_blocked_connections = true;
     config.seed = shard_seed(7, shard);
     return std::make_unique<EdgeRouter>(
-        config, std::make_unique<BitmapFilter>(BitmapFilterConfig{}),
+        config, make_state_filter(bitmap_filter_spec(BitmapFilterConfig{})),
         std::make_unique<ConstantDropPolicy>(1.0));
   };
 }
@@ -68,7 +69,7 @@ int main() {
   seq_config.track_blocked_connections = true;
   seq_config.seed = shard_seed(7, 0);
   EdgeRouter router{seq_config,
-                    std::make_unique<BitmapFilter>(BitmapFilterConfig{}),
+                    make_state_filter(bitmap_filter_spec(BitmapFilterConfig{})),
                     std::make_unique<ConstantDropPolicy>(1.0)};
   const ReplayResult sequential =
       replay_trace(trace.packets, router, trace.network);

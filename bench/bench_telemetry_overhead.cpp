@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "filter/bitmap_filter.h"
+#include "filter/filter_registry.h"
 #include "sim/edge_router.h"
 #include "sim/report.h"
 #include "trace/campus.h"
@@ -44,7 +45,7 @@ EdgeRouter make_router(const ClientNetwork& network, bool stage_timing) {
   config.stage_timing = stage_timing;
   BitmapFilterConfig bitmap;
   bitmap.log2_bits = 20;
-  return EdgeRouter{config, std::make_unique<BitmapFilter>(bitmap),
+  return EdgeRouter{config, make_state_filter(bitmap_filter_spec(bitmap)),
                     std::make_unique<RedDropPolicy>(2e6, 6e6)};
 }
 

@@ -8,6 +8,7 @@
 
 #include "analyzer/analyzer.h"
 #include "filter/bitmap_filter.h"
+#include "filter/filter_registry.h"
 #include "net/pcap.h"
 #include "sim/replay.h"
 #include "trace/campus.h"
@@ -56,7 +57,7 @@ int main(int argc, char** argv) {
   EdgeRouterConfig router_config;
   router_config.network = generated.network;
   EdgeRouter router{router_config,
-                    std::make_unique<BitmapFilter>(BitmapFilterConfig{}),
+                    make_state_filter(bitmap_filter_spec(BitmapFilterConfig{})),
                     std::make_unique<ConstantDropPolicy>(1.0)};
   const ReplayResult result =
       replay_trace(replayed, router, generated.network);

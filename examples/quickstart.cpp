@@ -7,6 +7,7 @@
 
 #include "filter/bitmap_filter.h"
 #include "filter/drop_policy.h"
+#include "filter/filter_registry.h"
 #include "sim/edge_router.h"
 
 using namespace upbound;
@@ -53,7 +54,7 @@ int main() {
 
   // Drop every stateless inbound packet (P_d = 1) to make decisions vivid;
   // production deployments use RedDropPolicy{L, H} instead.
-  EdgeRouter router{config, std::make_unique<BitmapFilter>(bitmap),
+  EdgeRouter router{config, make_state_filter(bitmap_filter_spec(bitmap)),
                     std::make_unique<ConstantDropPolicy>(1.0)};
 
   struct Step {

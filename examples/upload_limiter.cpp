@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "filter/bitmap_filter.h"
+#include "filter/filter_registry.h"
 #include "sim/replay.h"
 #include "sim/report.h"
 #include "trace/campus.h"
@@ -32,7 +33,7 @@ int main(int argc, char** argv) {
   router_config.track_blocked_connections = true;
 
   BitmapFilterConfig bitmap;  // the paper's {4 x 2^20}, Te = 20 s, m = 3
-  EdgeRouter router{router_config, std::make_unique<BitmapFilter>(bitmap),
+  EdgeRouter router{router_config, make_state_filter(bitmap_filter_spec(bitmap)),
                     std::make_unique<RedDropPolicy>(low_mbps * 1e6,
                                                     high_mbps * 1e6)};
 

@@ -1,0 +1,259 @@
+#!/usr/bin/env python3
+"""Registry bakeoff bench report.
+
+Runs bench_ablation, parses its machine-readable BAKEOFF lines into a
+schema-validated JSON report (BENCH_6.json at the repo root), and compares
+the fresh numbers against previously committed BENCH_*.json baselines,
+flagging regressions larger than the threshold.
+
+Deterministic metrics (bypass, collateral, memory) are compared strictly:
+the replay is seeded and single-threaded, so they reproduce bit-for-bit on
+any machine and a change means the code changed behaviour. Throughput
+(mpps) is hardware-dependent and only ever produces warnings.
+
+Standard library only.
+
+Usage:
+  scripts/bench_report.py [--build-dir build] [--out BENCH_6.json]
+                          [--smoke] [--enforce] [--threshold 0.05]
+                          [--validate-only FILE]
+"""
+
+import argparse
+import json
+import math
+import os
+import re
+import subprocess
+import sys
+
+SCHEMA = {
+    "type": "object",
+    "required": ["schema", "version", "pr", "mode", "packets",
+                 "reference_drop_rate", "backends"],
+    "properties": {
+        "schema": {"type": "string", "const": "upbound-bench-bakeoff"},
+        "version": {"type": "integer"},
+        "pr": {"type": "integer"},
+        "mode": {"type": "string", "enum": ["full", "smoke"]},
+        "packets": {"type": "integer", "minimum": 1},
+        "reference_drop_rate": {"type": "number", "minimum": 0,
+                                "maximum": 1},
+        "backends": {
+            "type": "object",
+            "minProperties": 1,
+            "values": {
+                "type": "object",
+                "required": ["drop_rate", "bypass", "collateral",
+                             "memory_bytes", "mpps"],
+                "properties": {
+                    "drop_rate": {"type": "number", "minimum": 0,
+                                  "maximum": 1},
+                    "bypass": {"type": "number", "minimum": 0,
+                               "maximum": 1},
+                    "collateral": {"type": "number", "minimum": 0,
+                                   "maximum": 1},
+                    "memory_bytes": {"type": "integer", "minimum": 0},
+                    "mpps": {"type": "number", "minimum": 0},
+                },
+            },
+        },
+    },
+}
+
+BAKEOFF_RE = re.compile(
+    r"^BAKEOFF backend=(\S+) drop_rate=([\d.]+) bypass=([\d.]+) "
+    r"collateral=([\d.]+) memory_bytes=(\d+) mpps=([\d.]+)\s*$")
+PACKETS_RE = re.compile(r"registry bakeoff: every backend, (\d+) packets")
+REFERENCE_RE = re.compile(
+    r"reference \(naive exact timers.*: ([\d.]+)% drop rate")
+
+
+def validate(doc, schema=SCHEMA, path="$"):
+    """Minimal JSON-schema-style validator (stdlib only). Raises
+    ValueError with the offending path on the first mismatch."""
+    t = schema.get("type")
+    if t == "object":
+        if not isinstance(doc, dict):
+            raise ValueError(f"{path}: expected object, got {type(doc).__name__}")
+        for key in schema.get("required", []):
+            if key not in doc:
+                raise ValueError(f"{path}: missing required key '{key}'")
+        if "minProperties" in schema and len(doc) < schema["minProperties"]:
+            raise ValueError(f"{path}: wants >= {schema['minProperties']} entries")
+        for key, sub in schema.get("properties", {}).items():
+            if key in doc:
+                validate(doc[key], sub, f"{path}.{key}")
+        if "values" in schema:
+            for key, value in doc.items():
+                validate(value, schema["values"], f"{path}.{key}")
+    elif t == "integer":
+        if not isinstance(doc, int) or isinstance(doc, bool):
+            raise ValueError(f"{path}: expected integer")
+        _check_range(doc, schema, path)
+    elif t == "number":
+        if not isinstance(doc, (int, float)) or isinstance(doc, bool):
+            raise ValueError(f"{path}: expected number")
+        if isinstance(doc, float) and not math.isfinite(doc):
+            raise ValueError(f"{path}: non-finite number")
+        _check_range(doc, schema, path)
+    elif t == "string":
+        if not isinstance(doc, str):
+            raise ValueError(f"{path}: expected string")
+        if "const" in schema and doc != schema["const"]:
+            raise ValueError(f"{path}: expected '{schema['const']}', got '{doc}'")
+        if "enum" in schema and doc not in schema["enum"]:
+            raise ValueError(f"{path}: '{doc}' not one of {schema['enum']}")
+
+
+def _check_range(value, schema, path):
+    if "minimum" in schema and value < schema["minimum"]:
+        raise ValueError(f"{path}: {value} below minimum {schema['minimum']}")
+    if "maximum" in schema and value > schema["maximum"]:
+        raise ValueError(f"{path}: {value} above maximum {schema['maximum']}")
+
+
+def run_bakeoff(build_dir, smoke):
+    binary = os.path.join(build_dir, "bench", "bench_ablation")
+    if not os.path.exists(binary):
+        sys.exit(f"bench_report: {binary} not built")
+    cmd = [binary] + (["--smoke"] if smoke else [])
+    out = subprocess.run(cmd, capture_output=True, text=True, check=True)
+
+    backends = {}
+    packets = None
+    reference = None
+    for line in out.stdout.splitlines():
+        m = BAKEOFF_RE.match(line)
+        if m:
+            backends[m.group(1)] = {
+                "drop_rate": float(m.group(2)),
+                "bypass": float(m.group(3)),
+                "collateral": float(m.group(4)),
+                "memory_bytes": int(m.group(5)),
+                "mpps": float(m.group(6)),
+            }
+            continue
+        m = PACKETS_RE.search(line)
+        if m:
+            packets = int(m.group(1))
+            continue
+        m = REFERENCE_RE.search(line)
+        if m:
+            reference = float(m.group(1)) / 100.0
+    if not backends or packets is None or reference is None:
+        sys.exit("bench_report: could not parse bench_ablation output")
+    return {
+        "schema": "upbound-bench-bakeoff",
+        "version": 1,
+        "pr": 6,
+        "mode": "smoke" if smoke else "full",
+        "packets": packets,
+        "reference_drop_rate": reference,
+        "backends": backends,
+    }
+
+
+def compare(fresh, baseline_path, threshold):
+    """Returns (errors, warnings) comparing fresh against one baseline.
+    Deterministic metrics exceeding the threshold are errors; throughput
+    is a warning. A backend present only on one side is a warning (the
+    zoo is allowed to grow)."""
+    with open(baseline_path) as f:
+        base = json.load(f)
+    try:
+        validate(base)
+    except ValueError as e:
+        return ([], [f"{baseline_path}: baseline invalid ({e}); skipped"])
+    if base.get("mode") != fresh["mode"]:
+        return ([], [f"{baseline_path}: mode '{base.get('mode')}' differs "
+                     f"from fresh '{fresh['mode']}'; skipped"])
+
+    errors, warnings = [], []
+    for name, b in base["backends"].items():
+        f_ = fresh["backends"].get(name)
+        if f_ is None:
+            warnings.append(f"{baseline_path}: backend '{name}' disappeared")
+            continue
+        for metric in ("bypass", "collateral"):
+            old, new = b[metric], f_[metric]
+            # Relative gate with an absolute floor: 0 -> 0.0001 is noise,
+            # not a 5% regression of nothing.
+            if new > old * (1 + threshold) + 1e-4:
+                errors.append(
+                    f"{name}.{metric}: {old:.6f} -> {new:.6f} "
+                    f"(> {threshold:.0%} regression vs {baseline_path})")
+        if f_["memory_bytes"] > b["memory_bytes"] * (1 + threshold):
+            errors.append(
+                f"{name}.memory_bytes: {b['memory_bytes']} -> "
+                f"{f_['memory_bytes']} (vs {baseline_path})")
+        if b["mpps"] > 0 and f_["mpps"] < b["mpps"] * (1 - threshold):
+            warnings.append(
+                f"{name}.mpps: {b['mpps']:.3f} -> {f_['mpps']:.3f} "
+                f"(hardware-dependent; not enforced)")
+    for name in fresh["backends"]:
+        if name not in base["backends"]:
+            warnings.append(f"new backend '{name}' (no baseline)")
+    return errors, warnings
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--out", default=None,
+                    help="write the report here (default: no file)")
+    ap.add_argument("--smoke", action="store_true",
+                    help="short trace, bakeoff only")
+    ap.add_argument("--enforce", action="store_true",
+                    help="exit 1 on deterministic-metric regressions")
+    ap.add_argument("--threshold", type=float, default=0.05)
+    ap.add_argument("--baseline", action="append", default=None,
+                    help="baseline BENCH_*.json (repeatable; default: all "
+                         "BENCH_*.json at the repo root except --out)")
+    ap.add_argument("--validate-only", metavar="FILE",
+                    help="validate FILE against the schema and exit")
+    args = ap.parse_args()
+
+    if args.validate_only:
+        with open(args.validate_only) as f:
+            validate(json.load(f))
+        print(f"{args.validate_only}: valid")
+        return
+
+    fresh = run_bakeoff(args.build_dir, args.smoke)
+    validate(fresh)
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    if args.baseline is None:
+        out_name = os.path.basename(args.out) if args.out else None
+        baselines = sorted(
+            os.path.join(root, name) for name in os.listdir(root)
+            if re.fullmatch(r"BENCH_\d+\.json", name) and name != out_name)
+    else:
+        baselines = args.baseline
+
+    all_errors = []
+    for path in baselines:
+        errors, warnings = compare(fresh, path, args.threshold)
+        for w in warnings:
+            print(f"WARN  {w}")
+        for e in errors:
+            print(f"REGRESSION  {e}")
+        all_errors.extend(errors)
+    if not baselines:
+        print("no baselines found; nothing to compare")
+
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(fresh, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.out} ({len(fresh['backends'])} backends, "
+              f"mode={fresh['mode']})")
+
+    if all_errors and args.enforce:
+        sys.exit(f"bench_report: {len(all_errors)} regression(s) beyond "
+                 f"{args.threshold:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,8 +9,7 @@
 #include <unordered_map>
 
 #include "filter/drop_policy.h"
-#include "filter/naive_filter.h"
-#include "filter/spi_filter.h"
+#include "filter/filter_registry.h"
 #include "sim/edge_router.h"
 #include "sim/parallel_replay.h"
 #include "sim/report.h"
@@ -20,24 +19,26 @@ namespace upbound {
 
 namespace {
 
+/// Builds the filter under attack via the registry, so every registered
+/// backend is attackable. Bitmap-geometry backends inherit the scenario's
+/// bitmap design (the attacker's model of the filter and the filter itself
+/// must agree); exact-state backends take the scenario timeouts.
 std::unique_ptr<StateFilter> make_named_filter(
     const std::string& name, const AttackEvaluatorConfig& config) {
-  if (name == "bitmap") {
-    return std::make_unique<BitmapFilter>(config.attack.bitmap);
-  }
+  const BackendDescriptor& backend = FilterRegistry::instance().at(name);
+  const BitmapFilterConfig& bitmap = config.attack.bitmap;
+  MapFilterArgs args;
+  args.set("bits", std::to_string(bitmap.log2_bits));
+  args.set("k", std::to_string(bitmap.vector_count));
+  args.set("m", std::to_string(bitmap.hash_count));
+  args.set("dt", std::to_string(bitmap.rotate_interval.to_sec()));
+  if (bitmap.key_mode == KeyMode::kHolePunching) args.set_flag("hole-punching");
   if (name == "spi") {
-    SpiFilterConfig spi;
-    spi.idle_timeout = config.attack.spi_idle_timeout;
-    return std::make_unique<SpiFilter>(spi);
+    args.set("timeout", std::to_string(config.attack.spi_idle_timeout.to_sec()));
+  } else if (name == "naive") {
+    args.set("timeout", std::to_string(config.attack.naive_timeout().to_sec()));
   }
-  if (name == "naive") {
-    NaiveFilterConfig naive;
-    naive.state_timeout = config.attack.naive_timeout();
-    naive.key_mode = config.attack.bitmap.key_mode;
-    return std::make_unique<NaiveFilter>(naive);
-  }
-  throw std::invalid_argument("unknown attack filter '" + name +
-                              "' (bitmap|spi|naive)");
+  return make_state_filter(backend.parse(args));
 }
 
 struct RunResult {
@@ -45,9 +46,9 @@ struct RunResult {
   std::vector<std::uint32_t> occupancy_permille;
 };
 
-std::uint32_t occupancy_permille_of(const BitmapFilter& filter) {
+std::uint32_t occupancy_permille_of(const StateFilter& filter) {
   return static_cast<std::uint32_t>(
-      std::llround(filter.current_utilization() * 1000.0));
+      std::llround(filter.occupancy_fraction().value_or(0.0) * 1000.0));
 }
 
 /// Replays one shard's slice through one router, splitting batches at the
@@ -68,11 +69,12 @@ RunResult run_shard(const std::vector<PacketRecord>& packets,
   rcfg.stage_timing = false;
   EdgeRouter router{rcfg, make_named_filter(filter, config),
                     std::make_unique<ConstantDropPolicy>(config.pd)};
-  auto* bitmap = dynamic_cast<BitmapFilter*>(&router.filter());
+  StateFilter& state = router.filter();
+  const bool sample_occupancy = state.occupancy_fraction().has_value();
 
   RunResult result;
-  result.occupancy_permille.assign(
-      bitmap != nullptr ? occupancy_grid.size() : 0, 0);
+  result.occupancy_permille.assign(sample_occupancy ? occupancy_grid.size() : 0,
+                                   0);
 
   // connection (canonical tuple) -> was the most recent probe admitted?
   std::unordered_map<FiveTuple, bool, CanonicalTupleHash, CanonicalTupleEq>
@@ -84,15 +86,15 @@ RunResult run_shard(const std::vector<PacketRecord>& packets,
   std::size_t grid_i = 0;
   AttackTally& tally = result.tally;
   while (pos < packets.size()) {
-    const SimTime next_grid = bitmap != nullptr && grid_i < occupancy_grid.size()
+    const SimTime next_grid = sample_occupancy && grid_i < occupancy_grid.size()
                                   ? occupancy_grid[grid_i]
                                   : SimTime::infinite();
     if (packets[pos].timestamp >= next_grid) {
       // Advancing the filter clock to the grid point before the next
       // packet (whose timestamp is >= the grid point) runs exactly the
       // rotations the router would run anyway: decisions are unchanged.
-      bitmap->advance_time(next_grid);
-      result.occupancy_permille[grid_i] = occupancy_permille_of(*bitmap);
+      state.advance_time(next_grid);
+      result.occupancy_permille[grid_i] = occupancy_permille_of(state);
       ++grid_i;
       continue;
     }
@@ -146,10 +148,10 @@ RunResult run_shard(const std::vector<PacketRecord>& packets,
     }
     pos = end;
   }
-  if (bitmap != nullptr) {
+  if (sample_occupancy) {
     for (; grid_i < occupancy_grid.size(); ++grid_i) {
-      bitmap->advance_time(occupancy_grid[grid_i]);
-      result.occupancy_permille[grid_i] = occupancy_permille_of(*bitmap);
+      state.advance_time(occupancy_grid[grid_i]);
+      result.occupancy_permille[grid_i] = occupancy_permille_of(state);
     }
   }
   return result;
@@ -186,7 +188,9 @@ RunResult run_blend(const AttackBlend& blend, const ClientNetwork& network,
     shard_labels[s].push_back(blend.labels[i]);
   }
   RunResult merged;
-  merged.occupancy_permille.assign(filter == "bitmap" ? grid.size() : 0, 0);
+  const bool merge_occupancy =
+      FilterRegistry::instance().at(filter).has(kCapOccupancy);
+  merged.occupancy_permille.assign(merge_occupancy ? grid.size() : 0, 0);
   for (std::size_t s = 0; s < shards; ++s) {
     const RunResult shard =
         run_shard(shard_packets[s], shard_labels[s], network, filter,
@@ -196,7 +200,7 @@ RunResult run_blend(const AttackBlend& blend, const ClientNetwork& network,
       merged.occupancy_permille[i] += shard.occupancy_permille[i];
     }
   }
-  // Mean across the per-shard bitmaps: each holds its slice's marks, so
+  // Mean across the per-shard filters: each holds its slice's marks, so
   // the mean tracks the aggregate utilization an unsharded deployment
   // would see (up to rounding).
   for (auto& v : merged.occupancy_permille) {

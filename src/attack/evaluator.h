@@ -8,9 +8,10 @@
 //   upload-vs-bound        achieved attack upload throughput (uploads
 //                          whose triggering probe was admitted) relative
 //                          to the configured upload bound
-//   occupancy trajectory   bitmap set-bit fraction sampled on a fixed
-//                          sim-time grid (the saturation scenario's
-//                          headline curve)
+//   occupancy trajectory   filter occupancy fraction sampled on a fixed
+//                          sim-time grid for backends with an occupancy
+//                          signal (the saturation scenario's headline
+//                          curve)
 //
 // Runs are bit-deterministic under a fixed seed: simulation-domain inputs
 // only, fixed shard partition (shard count is part of the semantics, as
@@ -97,8 +98,8 @@ struct AttackOutcome {
   double baseline_legit_drop_rate = 0.0;
   /// Achieved upload bits/s over the blend span, divided by the bound.
   double upload_vs_bound = 0.0;
-  /// Bitmap set-bit fraction (current vector) per grid point, in
-  /// permille; empty for non-bitmap filters.
+  /// Filter occupancy fraction per grid point, in permille; empty for
+  /// backends without an occupancy signal (kCapOccupancy).
   std::vector<std::uint32_t> occupancy_permille;
 
   bool operator==(const AttackOutcome&) const = default;

@@ -12,13 +12,9 @@
 #include "attack/scenario.h"
 #include "fault/fault_injector.h"
 #include "fault/fault_spec.h"
-#include "filter/aging_bloom.h"
-#include "filter/bitmap_filter.h"
-#include "filter/concurrent_bitmap.h"
-#include "filter/naive_filter.h"
+#include "filter/filter_registry.h"
 #include "filter/params.h"
 #include "filter/snapshot.h"
-#include "filter/spi_filter.h"
 #include "net/pcap.h"
 #include "net/pcapng.h"
 #include "sim/parallel_replay.h"
@@ -166,51 +162,52 @@ int reject_unconsumed(const Args& args) {
   return 2;
 }
 
-/// Everything needed to build a fresh state filter -- parsed once from the
-/// args, then instantiated per shard by the parallel replay factory.
-struct FilterSpec {
-  std::string kind;
-  BitmapFilterConfig bitmap;
-  AgingBloomConfig aging;
-  SpiFilterConfig spi;
-  NaiveFilterConfig naive;
+/// FilterArgs view over cli::Args. The registry's backend parsers consume
+/// exactly the keys they understand through this adapter, so
+/// reject_unconsumed() still catches typos and keys the selected backend
+/// does not take.
+class CliFilterArgs final : public FilterArgs {
+ public:
+  explicit CliFilterArgs(const Args& args) : args_(args) {}
+
+  std::optional<std::string> value(const std::string& key) const override {
+    if (!args_.has(key)) return std::nullopt;
+    return args_.get_string(key, "");
+  }
+  bool flag(const std::string& key) const override {
+    return args_.get_flag(key);
+  }
+
+ private:
+  const Args& args_;
 };
 
-FilterSpec filter_spec_from(const Args& args, const std::string& kind) {
-  FilterSpec spec;
-  spec.kind = kind;
-  if (kind == "bitmap" || kind == "bitmap-mt") {
-    spec.bitmap = bitmap_from(args);
-  } else if (kind == "aging") {
-    spec.aging.cells = std::size_t{1} << args.get_int("bits", 20);
-    spec.aging.hash_count = static_cast<unsigned>(args.get_int("m", 3));
-    spec.aging.epoch = Duration::sec(args.get_double("dt", 5.0));
-    spec.aging.valid_epochs = static_cast<unsigned>(args.get_int("k", 4));
-    if (args.get_flag("hole-punching")) {
-      spec.aging.key_mode = KeyMode::kHolePunching;
-    }
-    spec.aging.validate();
-  } else if (kind == "spi") {
-    spec.spi.idle_timeout = Duration::sec(args.get_double("timeout", 240.0));
-  } else if (kind == "naive") {
-    spec.naive.state_timeout = Duration::sec(args.get_double("timeout", 20.0));
-  } else {
-    throw ArgError("unknown --filter '" + kind +
-                   "' (bitmap|bitmap-mt|aging|spi|naive)");
+/// Resolves --filter through the registry and parses the backend's
+/// arguments, mapping registry errors onto ArgError (exit code 2).
+FilterSpec parse_filter_spec(const Args& args, const std::string& kind) {
+  const FilterRegistry& registry = FilterRegistry::instance();
+  const BackendDescriptor* backend = registry.find(kind);
+  if (backend == nullptr) {
+    throw ArgError("unknown --filter '" + kind + "' (" +
+                   registry.names_joined("|") + ")");
   }
-  return spec;
+  try {
+    return backend->parse(CliFilterArgs{args});
+  } catch (const std::invalid_argument& e) {
+    throw ArgError(e.what());
+  }
 }
 
-std::unique_ptr<StateFilter> make_filter(const FilterSpec& spec) {
-  if (spec.kind == "bitmap") return std::make_unique<BitmapFilter>(spec.bitmap);
-  if (spec.kind == "bitmap-mt") {
-    return std::make_unique<ConcurrentBitmapFilter>(spec.bitmap);
+/// Registered backend names holding `cap`, pipe-joined for error text.
+std::string names_with(FilterCapability cap) {
+  std::string out;
+  for (const BackendDescriptor& backend :
+       FilterRegistry::instance().descriptors()) {
+    if (!backend.has(cap)) continue;
+    if (!out.empty()) out += '|';
+    out += backend.name;
   }
-  if (spec.kind == "aging") {
-    return std::make_unique<AgingBloomFilter>(spec.aging);
-  }
-  if (spec.kind == "spi") return std::make_unique<SpiFilter>(spec.spi);
-  return std::make_unique<NaiveFilter>(spec.naive);
+  return out;
 }
 
 /// Parsed drop-policy parameters; RED thresholds are divided by the shard
@@ -403,6 +400,26 @@ int cmd_filter(const Args& args) {
       static_cast<std::size_t>(args.get_int("shards", 0));
   const std::string shard_mode = shard_mode_from(args);
 
+  const FilterRegistry& registry = FilterRegistry::instance();
+  const BackendDescriptor* backend = registry.find(kind);
+  if (backend == nullptr) {
+    throw ArgError("unknown --filter '" + kind + "' (" +
+                   registry.names_joined("|") + ")");
+  }
+  // Snapshot flags are gated on the backend's capability up front, so a
+  // run never completes and then discovers its state cannot be saved (or
+  // silently ignores a --load-state it cannot honor).
+  if (!save_state.empty() && !backend->has(kCapSnapshot)) {
+    throw ArgError("--save-state requires a snapshot-capable backend (" +
+                   names_with(kCapSnapshot) + "); --filter " + kind +
+                   " does not support snapshots");
+  }
+  if (!load_state.empty() && !backend->has(kCapSnapshot)) {
+    throw ArgError("--load-state requires a snapshot-capable backend (" +
+                   names_with(kCapSnapshot) + "); --filter " + kind +
+                   " does not support snapshots");
+  }
+
   EdgeRouterConfig config;
   config.network = network_from(args);
   config.track_blocked_connections = args.get_flag("blocklist");
@@ -455,6 +472,31 @@ int cmd_filter(const Args& args) {
   const bool parallel_engine = threads > 1 || faulted;
   const MetricsOptions metrics = metrics_options_from(args, parallel_engine);
 
+  // --tune arms the recommend-only adaptive tuner. Like
+  // --metrics-interval it needs the single-thread engine: the tuner
+  // samples the one live filter's occupancy in sim time.
+  const bool tune = args.get_flag("tune");
+  double tune_target = 0.01;
+  if (args.has("tune-target")) {
+    tune_target = args.get_double("tune-target", 0.01);
+    if (!tune) throw ArgError("--tune-target requires --tune");
+    if (!(tune_target > 0.0 && tune_target < 1.0)) {
+      throw ArgError("--tune-target must be in (0, 1)");
+    }
+  }
+  if (tune) {
+    if (parallel_engine) {
+      throw ArgError("--tune requires the single-thread engine "
+                     "(--threads 1, no --fault-spec)");
+    }
+    if (!backend->has(kCapOccupancy)) {
+      throw ArgError("--tune requires a backend with an occupancy signal (" +
+                     names_with(kCapOccupancy) + ")");
+    }
+    config.tuner.enabled = true;
+    config.tuner.target_penetration = tune_target;
+  }
+
   if (parallel_engine) {
     if (!out.empty() || !save_state.empty() || !load_state.empty()) {
       throw ArgError(
@@ -463,10 +505,11 @@ int cmd_filter(const Args& args) {
                 "--out/--save-state/--load-state"
               : "--out/--save-state/--load-state require --threads 1");
     }
-    if (shard_mode == "shared" && kind != "bitmap" && kind != "bitmap-mt") {
-      throw ArgError("--shard-mode shared requires --filter bitmap|bitmap-mt");
+    if (shard_mode == "shared" && !backend->has(kCapSharedView)) {
+      throw ArgError("--shard-mode shared requires a shared-view-capable "
+                     "backend (" + names_with(kCapSharedView) + ")");
     }
-    const FilterSpec spec = filter_spec_from(args, kind);
+    const FilterSpec spec = parse_filter_spec(args, kind);
     const PolicySpec policy_spec = policy_spec_from(args);
     if (const int rc = reject_unconsumed(args); rc != 0) return rc;
 
@@ -480,7 +523,8 @@ int cmd_filter(const Args& args) {
 
     std::unique_ptr<ConcurrentBitmapFilter> shared_filter;
     if (shard_mode == "shared") {
-      shared_filter = std::make_unique<ConcurrentBitmapFilter>(spec.bitmap);
+      shared_filter = std::make_unique<ConcurrentBitmapFilter>(
+          spec.config_as<BitmapFilterConfig>());
     }
     ConcurrentBitmapFilter* shared = shared_filter.get();
     const EdgeRouterConfig base = config;
@@ -494,7 +538,7 @@ int cmd_filter(const Args& args) {
               shared != nullptr
                   ? std::unique_ptr<StateFilter>(
                         std::make_unique<SharedFilterView>(*shared))
-                  : make_filter(spec);
+                  : make_state_filter(spec);
           return std::make_unique<EdgeRouter>(
               cfg, std::move(shard_state),
               make_policy(policy_spec, effective_shards));
@@ -578,9 +622,12 @@ int cmd_filter(const Args& args) {
     return 0;
   }
 
-  const bool load_bitmap = kind == "bitmap" && !load_state.empty();
+  // With --load-state the filter's geometry comes from the snapshot, so
+  // the backend's own arguments are not parsed (geometry flags alongside
+  // --load-state are rejected as unconsumed).
+  const bool load_snapshot = !load_state.empty();
   std::optional<FilterSpec> spec;
-  if (!load_bitmap) spec = filter_spec_from(args, kind);
+  if (!load_snapshot) spec = parse_filter_spec(args, kind);
   std::unique_ptr<DropPolicy> policy = make_policy(policy_spec_from(args), 1);
   if (const int rc = reject_unconsumed(args); rc != 0) return rc;
 
@@ -588,7 +635,7 @@ int cmd_filter(const Args& args) {
   // can compare the snapshot time against the replay's first timestamp.
   const Trace trace = read_capture(path, nullptr);
   std::unique_ptr<StateFilter> filter;
-  if (load_bitmap) {
+  if (load_snapshot) {
     std::FILE* f = std::fopen(load_state.c_str(), "rb");
     if (f == nullptr) throw ArgError("cannot read " + load_state);
     std::vector<std::uint8_t> bytes;
@@ -615,10 +662,23 @@ int cmd_filter(const Args& args) {
     std::printf("restored bitmap state from %s (snapshot at %s)\n",
                 load_state.c_str(),
                 restored.restored->snapshot_time.to_string().c_str());
-    filter = std::make_unique<BitmapFilter>(
-        std::move(restored.restored->filter));
+    if (tune) {
+      const BitmapFilterConfig& bc = restored.restored->filter.config();
+      config.tuner.geometry.bits = bc.bits();
+      config.tuner.geometry.hash_count = bc.hash_count;
+      config.tuner.geometry.vector_count = bc.vector_count;
+      config.tuner.geometry.rotate_interval = bc.rotate_interval;
+    }
+    filter = take_restored_filter(std::move(*restored.restored));
   } else {
-    filter = make_filter(*spec);
+    if (tune) {
+      const std::optional<FilterGeometry> geometry = backend->geometry(*spec);
+      if (!geometry.has_value()) {
+        throw ArgError("--tune requires a backend with a declared geometry");
+      }
+      config.tuner.geometry = *geometry;
+    }
+    filter = make_state_filter(*spec);
   }
   EdgeRouter router{config, std::move(filter), std::move(policy)};
 
@@ -687,6 +747,9 @@ int cmd_filter(const Args& args) {
     std::printf("  %-28s %llu\n", sample.name.c_str(),
                 static_cast<unsigned long long>(sample.value));
   }
+  if (const AdaptiveTuner* tuner = router.tuner()) {
+    std::printf("%s\n", tuner->recommendation().to_string().c_str());
+  }
   if (writer != nullptr) {
     std::printf("surviving packets written to %s\n", out.c_str());
   }
@@ -729,46 +792,46 @@ int cmd_compare(const Args& args) {
 
   const Trace trace = read_capture(path, nullptr);
 
-  AgingBloomConfig aging;
-  aging.cells = bitmap_config.bits();
-  aging.hash_count = bitmap_config.hash_count;
-  aging.epoch = bitmap_config.rotate_interval;
-  aging.valid_epochs = bitmap_config.vector_count;
-  NaiveFilterConfig naive;
-  naive.state_timeout = bitmap_config.expiry_timer();
-
-  struct Candidate {
-    const char* name;
-    FilterSpec spec;
-  };
-  FilterSpec bitmap_spec{"bitmap", bitmap_config, {}, {}, {}};
-  // In shared mode the bitmap row drives one concurrent filter from every
-  // shard instead of a per-shard BitmapFilter.
-  if (threads > 1 && shard_mode == "shared") bitmap_spec.kind = "bitmap-mt";
-  const Candidate candidates[] = {
-      {threads > 1 && shard_mode == "shared" ? "bitmap (shared)" : "bitmap",
-       bitmap_spec},
-      {"aging-bloom", FilterSpec{"aging", {}, aging, {}, {}}},
-      {"naive (exact)", FilterSpec{"naive", {}, {}, {}, naive}},
-      {"spi (240s)", FilterSpec{"spi", {}, {}, SpiFilterConfig{}, {}}},
-  };
-
+  // One row per registered backend, every backend derived from the shared
+  // bitmap design so the rows stay comparable: bitmap-geometry backends
+  // take {bits, k, m, dt} directly, the exact-state backends take the
+  // matching expiry window (naive) or the SPI default timeout.
   std::vector<std::vector<std::string>> rows{
       {"filter", "inbound drop rate", "carried up", "carried down",
        "state bytes"}};
-  for (const Candidate& candidate : candidates) {
+  for (const BackendDescriptor& backend :
+       FilterRegistry::instance().descriptors()) {
+    MapFilterArgs margs;
+    margs.set("bits", std::to_string(bitmap_config.log2_bits));
+    margs.set("k", std::to_string(bitmap_config.vector_count));
+    margs.set("m", std::to_string(bitmap_config.hash_count));
+    margs.set("dt", std::to_string(bitmap_config.rotate_interval.to_sec()));
+    if (bitmap_config.key_mode == KeyMode::kHolePunching) {
+      margs.set_flag("hole-punching");
+    }
+    if (backend.name == "spi") {
+      margs.set("timeout", "240");
+    } else if (backend.name == "naive") {
+      margs.set("timeout",
+                std::to_string(bitmap_config.expiry_timer().to_sec()));
+    }
+    const FilterSpec spec = backend.parse(margs);
+    // In shared mode, shared-view-capable rows drive one concurrent
+    // filter from every shard instead of a per-shard instance.
+    const bool share = threads > 1 && shard_mode == "shared" &&
+                       backend.has(kCapSharedView);
+    const std::string label =
+        share ? backend.name + " (shared)" : backend.name;
     if (threads > 1) {
-      const bool share =
-          shard_mode == "shared" && candidate.spec.kind == "bitmap-mt";
       std::unique_ptr<ConcurrentBitmapFilter> shared_filter;
       if (share) {
         shared_filter = std::make_unique<ConcurrentBitmapFilter>(
-            candidate.spec.bitmap);
+            spec.config_as<BitmapFilterConfig>());
       }
       ConcurrentBitmapFilter* shared = shared_filter.get();
       const ShardRouterFactory factory =
-          [&candidate, &network, seed, pd, shared](const ClientNetwork&,
-                                                   std::size_t shard) {
+          [&spec, &network, seed, pd, shared](const ClientNetwork&,
+                                              std::size_t shard) {
             EdgeRouterConfig config;
             config.network = network;
             config.seed = shard_seed(seed, shard);
@@ -777,7 +840,7 @@ int cmd_compare(const Args& args) {
                 shared != nullptr
                     ? std::unique_ptr<StateFilter>(
                           std::make_unique<SharedFilterView>(*shared))
-                    : make_filter(candidate.spec);
+                    : make_state_filter(spec);
             return std::make_unique<EdgeRouter>(
                 config, std::move(shard_state),
                 std::make_unique<ConstantDropPolicy>(pd));
@@ -796,7 +859,7 @@ int cmd_compare(const Args& args) {
         }
       }
       const EdgeRouterStats& stats = result.merged.stats;
-      rows.push_back({candidate.name,
+      rows.push_back({label,
                       report::percent(stats.inbound_drop_rate(), 3),
                       std::to_string(stats.outbound_bytes),
                       std::to_string(stats.inbound_passed_bytes),
@@ -807,7 +870,7 @@ int cmd_compare(const Args& args) {
     config.network = network;
     config.seed = seed;
     config.track_blocked_connections = false;
-    EdgeRouter router{config, make_filter(candidate.spec),
+    EdgeRouter router{config, make_state_filter(spec),
                       std::make_unique<ConstantDropPolicy>(pd)};
     constexpr std::size_t kCompareBatch = 256;
     std::array<RouterDecision, kCompareBatch> decisions;
@@ -818,7 +881,7 @@ int cmd_compare(const Args& args) {
                            std::span<RouterDecision>{decisions.data(), n});
     }
     const EdgeRouterStats& stats = router.stats();
-    rows.push_back({candidate.name,
+    rows.push_back({label,
                     report::percent(stats.inbound_drop_rate(), 3),
                     std::to_string(stats.outbound_bytes),
                     std::to_string(stats.inbound_passed_bytes),
@@ -868,9 +931,9 @@ int cmd_attack(const Args& args) {
   }
   if (config.filters.empty()) throw ArgError("--filters must name a filter");
   for (const std::string& name : config.filters) {
-    if (name != "bitmap" && name != "spi" && name != "naive") {
-      throw ArgError("unknown filter '" + name +
-                     "' in --filters (bitmap|spi|naive)");
+    if (FilterRegistry::instance().find(name) == nullptr) {
+      throw ArgError("unknown filter '" + name + "' in --filters (" +
+                     FilterRegistry::instance().names_joined("|") + ")");
     }
   }
 
@@ -956,6 +1019,7 @@ int cmd_advise(const Args& args) {
 }
 
 void print_usage() {
+  const std::string filters = FilterRegistry::instance().names_joined("|");
   std::printf(
       "upbound -- bound P2P upload traffic without payload inspection\n"
       "\n"
@@ -971,17 +1035,19 @@ void print_usage() {
       "            [--top N] [--netflow FILE]\n"
       "  filter    replay a pcap through an edge filter\n"
       "            --pcap FILE [--network CIDR]\n"
-      "            [--filter bitmap|bitmap-mt|aging|spi|naive]\n"
+      "            [--filter %s]\n"
       "            [--low BPS --high BPS | --pd PROB] [--blocklist]\n"
       "            [--bits N --k K --dt SEC --m M] [--hole-punching]\n"
-      "            [--timeout SEC] [--out FILE] [--seed N]\n"
+      "            [--timeout SEC] [--retouch-fraction R --retouch-seed N]\n"
+      "            [--no-close-delete] [--out FILE] [--seed N]\n"
       "            [--save-state FILE] [--load-state FILE]\n"
+      "            [--tune] [--tune-target P]\n"
       "            [--threads N] [--shards S] [--shard-mode sharded|shared]\n"
       "            [--metrics-out FILE] [--metrics-interval SEC]\n"
       "            [--metrics-format jsonl|prom] [--metrics-deterministic]\n"
       "            [--fault-spec SPEC] [--on-unhealthy fail-open|fail-closed]\n"
       "            [--health-occupancy U]\n"
-      "  compare   run bitmap / aging-bloom / naive / spi side by side\n"
+      "  compare   run every registered filter backend side by side\n"
       "            --pcap FILE [--network CIDR] [--pd PROB] [--seed N]\n"
       "            [--bits N --k K --dt SEC --m M]\n"
       "            [--threads N] [--shards S] [--shard-mode sharded|shared]\n"
@@ -989,14 +1055,16 @@ void print_usage() {
       "            [--scenario collision|saturation|rotation|forgery|all]\n"
       "            [--pcap FILE | --duration SEC --rate CONNS/S\n"
       "             --bandwidth BPS] [--network CIDR] [--seed N]\n"
-      "            [--filters bitmap,spi,naive] [--intensity X]\n"
+      "            [--filters NAME[,NAME...] from %s]\n"
+      "            [--intensity X]\n"
       "            [--bits N --k K --dt SEC --m M] [--hole-punching]\n"
       "            [--pd PROB] [--bound BPS] [--spi-timeout SEC]\n"
       "            [--saturation-occupancy U] [--mistimed]\n"
       "            [--request-rate R] [--occupancy-interval SEC]\n"
       "            [--threads N] [--shards S] [--out FILE]\n"
       "  advise    size a bitmap filter for an expected load\n"
-      "            [--connections N] [--bits N] [--k K] [--dt SEC]\n");
+      "            [--connections N] [--bits N] [--k K] [--dt SEC]\n",
+      filters.c_str(), filters.c_str());
 }
 
 int run(int argc, const char* const* argv) {

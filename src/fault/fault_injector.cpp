@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "filter/bitmap_filter.h"
+#include "filter/counting_filter.h"
+#include "filter/retouched_bitmap.h"
 #include "util/hash.h"
 
 namespace upbound {
@@ -135,18 +137,30 @@ void FaultInjector::apply_state_faults(std::size_t shard,
   for (FlipEvent& flip : lane.flips) {
     if (flip.applied || processed < flip.at_packet) continue;
     flip.applied = true;
+    // Backends with a bit/counter plane take the flip; exact-state
+    // filters (SPI/naive hash maps) have nothing addressable to flip.
     auto* bitmap = dynamic_cast<BitmapFilter*>(&filter);
     if (bitmap == nullptr) {
-      ++lane.flips_ignored;  // SPI/naive have no bit plane to flip
+      if (auto* retouched = dynamic_cast<RetouchedBitmapFilter*>(&filter)) {
+        bitmap = &retouched->inner();  // flip the ground-truth bit plane
+      }
+    }
+    if (bitmap != nullptr) {
+      const std::size_t v = bitmap->current_index();
+      const std::size_t bit = flip.bit % bitmap->config().bits();
+      std::vector<std::uint64_t> words(bitmap->vector_words(v).begin(),
+                                       bitmap->vector_words(v).end());
+      words[bit / 64] ^= std::uint64_t{1} << (bit % 64);
+      bitmap->load_vector_words(v, words);
+      ++lane.bits_flipped;
       continue;
     }
-    const std::size_t v = bitmap->current_index();
-    const std::size_t bit = flip.bit % bitmap->config().bits();
-    std::vector<std::uint64_t> words(bitmap->vector_words(v).begin(),
-                                     bitmap->vector_words(v).end());
-    words[bit / 64] ^= std::uint64_t{1} << (bit % 64);
-    bitmap->load_vector_words(v, words);
-    ++lane.bits_flipped;
+    if (auto* counting = dynamic_cast<CountingFilter*>(&filter)) {
+      counting->corrupt_cell(flip.bit);
+      ++lane.bits_flipped;
+      continue;
+    }
+    ++lane.flips_ignored;
   }
 }
 

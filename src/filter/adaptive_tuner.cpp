@@ -1,0 +1,122 @@
+#include "filter/adaptive_tuner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "filter/params.h"
+
+namespace upbound {
+
+void TunerConfig::validate() const {
+  if (!enabled) return;
+  if (!(target_penetration > 0.0) || target_penetration >= 1.0) {
+    throw std::invalid_argument(
+        "TunerConfig: target_penetration must be in (0, 1)");
+  }
+  if (sample_batches == 0) {
+    throw std::invalid_argument("TunerConfig: sample_batches must be >= 1");
+  }
+  if (!(ewma_alpha > 0.0) || ewma_alpha > 1.0) {
+    throw std::invalid_argument("TunerConfig: ewma_alpha must be in (0, 1]");
+  }
+  if (geometry.bits == 0 || geometry.hash_count == 0 ||
+      geometry.vector_count == 0 || geometry.rotate_interval <= Duration{}) {
+    throw std::invalid_argument(
+        "TunerConfig: enabled tuner needs the filter geometry");
+  }
+}
+
+AdaptiveTuner::AdaptiveTuner(const TunerConfig& config) : config_(config) {
+  config_.validate();
+  rec_.recommended_hash_count = config_.geometry.hash_count;
+  rec_.recommended_bits = config_.geometry.bits;
+  rec_.recommended_rotate_interval = config_.geometry.rotate_interval;
+}
+
+void AdaptiveTuner::observe(double occupancy, std::uint64_t generation) {
+  if (current_generation_.has_value() &&
+      generation != *current_generation_) {
+    fold_and_recompute();
+    pending_peak_ = 0.0;
+  }
+  current_generation_ = generation;
+  pending_peak_ = std::max(pending_peak_, occupancy);
+  ++rec_.samples;
+}
+
+void AdaptiveTuner::fold_and_recompute() {
+  ewma_ = ewma_primed_
+              ? config_.ewma_alpha * pending_peak_ +
+                    (1.0 - config_.ewma_alpha) * ewma_
+              : pending_peak_;
+  ewma_primed_ = true;
+  ++rec_.generations_observed;
+
+  const FilterGeometry& g = config_.geometry;
+  const double u = std::clamp(ewma_, 0.0, 1.0);
+  rec_.occupancy_peak_ewma = u;
+  rec_.penetration_estimate =
+      penetration_probability_at_utilization(u, g.hash_count);
+
+  // Invert the Bloom fill equation U = 1 - (1 - 1/N)^(c*m) ~= 1 - e^(-cm/N)
+  // for the active connection estimate c. At U -> 1 the inversion blows
+  // up; clamp to "one connection per slot", the most the structure can
+  // meaningfully attest.
+  double c;
+  if (u >= 1.0 - 1e-12) {
+    c = static_cast<double>(g.bits);
+  } else {
+    c = -(static_cast<double>(g.bits) * std::log1p(-u)) /
+        static_cast<double>(g.hash_count);
+  }
+  rec_.estimated_connections = c;
+
+  const std::size_t load = static_cast<std::size_t>(std::ceil(c));
+  if (load == 0) {
+    // Nothing measured yet: keep the live geometry as the recommendation.
+    rec_.recommended_hash_count = g.hash_count;
+    rec_.recommended_bits = g.bits;
+    rec_.recommended_rotate_interval = g.rotate_interval;
+    return;
+  }
+
+  // Eq. 5: optimal m for the measured load at the LIVE N.
+  rec_.recommended_hash_count = optimal_hash_count(g.bits, load);
+
+  // Eq. 6: smallest power-of-two N whose capacity at the target p covers
+  // the load. Capped at 2^30 (the config ceiling).
+  std::size_t bits = std::size_t{1} << 3;
+  while (bits < (std::size_t{1} << 30) &&
+         max_connections_for(config_.target_penetration, bits) < load) {
+    bits <<= 1;
+  }
+  rec_.recommended_bits = bits;
+
+  // dt: when the live geometry is over Eq. 6 capacity, shorten the
+  // rotation interval proportionally (fewer connections per window) --
+  // the one knob that needs no extra memory. Never recommend stretching
+  // dt (that only relaxes the expiry guarantee) and never below dt/4.
+  const std::size_t capacity =
+      max_connections_for(config_.target_penetration, g.bits);
+  const double scale = std::clamp(
+      static_cast<double>(capacity) / static_cast<double>(load), 0.25, 1.0);
+  rec_.recommended_rotate_interval = g.rotate_interval * scale;
+}
+
+std::string TunerRecommendation::to_string() const {
+  std::ostringstream out;
+  out << "tuner: peak-occupancy-ewma=" << occupancy_peak_ewma
+      << " est-connections=" << static_cast<std::uint64_t>(
+             std::llround(estimated_connections))
+      << " est-penetration=" << penetration_estimate
+      << " recommend m=" << recommended_hash_count
+      << " N=" << recommended_bits
+      << " dt=" << recommended_rotate_interval.to_sec() << "s"
+      << " (generations=" << generations_observed
+      << " samples=" << samples << ")";
+  return out.str();
+}
+
+}  // namespace upbound

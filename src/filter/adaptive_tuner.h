@@ -1,0 +1,99 @@
+// Online {k, N, dt} re-tuning from measured occupancy (ROADMAP "filter
+// backend zoo + auto-tuning"; parameter math from paper Sections 4.3/5.1).
+//
+// The deployment question Section 5.1 answers offline -- "how big must N
+// be, and what m, for the peak connection load?" -- is answered online
+// here: the router samples the filter's occupancy U every few batches,
+// the tuner folds the per-generation PEAK occupancy into an EWMA at each
+// rotation boundary (the only instant the paper's model is clean: the
+// current vector then holds exactly the last (k-1)*dt of state), inverts
+// the Bloom fill equation to estimate the active connection count
+//
+//     c  =  -N * ln(1 - U) / m,
+//
+// and recomputes a recommendation: Eq. 5's optimal m for the measured
+// load, the smallest power-of-two N whose Eq. 6 capacity covers it at
+// the target penetration probability, and a dt scale-down when the
+// current geometry is over capacity (shorter windows hold fewer
+// concurrent connections).
+//
+// Policy: RECOMMEND ONLY. The tuner never resizes the live filter --
+// an in-place geometry change would rehash every mark (impossible: the
+// originals are gone) or clear state (a self-inflicted fault), and would
+// break replay determinism and the no-false-negative window mid-run.
+// Recommendations surface as tuner.* gauges and through the CLI at end
+// of run; operators apply them at restart/rotation-epoch boundaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/time.h"
+
+namespace upbound {
+
+/// The Bloom-side geometry of a registered backend, as consumed by the
+/// tuner and reported by the registry's geometry() capability hook.
+struct FilterGeometry {
+  std::size_t bits = 0;      // N: slots (bits or counter cells) per vector
+  unsigned hash_count = 0;   // m
+  unsigned vector_count = 0;  // k
+  Duration rotate_interval;  // dt
+};
+
+struct TunerConfig {
+  bool enabled = false;
+  /// Target penetration probability p for the Eq. 6 capacity check.
+  double target_penetration = 0.01;
+  /// Occupancy sampling cadence, in router batches.
+  unsigned sample_batches = 64;
+  /// EWMA smoothing of per-generation occupancy peaks, in (0, 1]; 1
+  /// means "last generation only".
+  double ewma_alpha = 0.3;
+  /// Geometry of the live filter (from the registry descriptor).
+  FilterGeometry geometry;
+
+  /// Throws std::invalid_argument when enabled with bad parameters.
+  void validate() const;
+};
+
+struct TunerRecommendation {
+  double occupancy_peak_ewma = 0.0;   // smoothed per-generation peak U
+  double estimated_connections = 0.0;  // c from the fill inversion
+  double penetration_estimate = 0.0;   // Eq. 2 at the smoothed peak
+  unsigned recommended_hash_count = 0;  // Eq. 5 at the estimated load
+  std::size_t recommended_bits = 0;     // smallest 2^n meeting Eq. 6
+  Duration recommended_rotate_interval;  // dt, scaled down if over capacity
+  std::uint64_t generations_observed = 0;
+  std::uint64_t samples = 0;
+
+  std::string to_string() const;
+};
+
+class AdaptiveTuner {
+ public:
+  explicit AdaptiveTuner(const TunerConfig& config);
+
+  /// Feeds one occupancy sample taken while `generation` was current.
+  /// Samples within a generation keep its running peak; the first sample
+  /// of a NEW generation folds the finished generation's peak into the
+  /// EWMA and recomputes the recommendation (rotation-boundary policy).
+  void observe(double occupancy, std::uint64_t generation);
+
+  const TunerRecommendation& recommendation() const { return rec_; }
+  const TunerConfig& config() const { return config_; }
+
+ private:
+  void fold_and_recompute();
+
+  TunerConfig config_;
+  std::optional<std::uint64_t> current_generation_;
+  double pending_peak_ = 0.0;
+  double ewma_ = 0.0;
+  bool ewma_primed_ = false;
+  TunerRecommendation rec_;
+};
+
+}  // namespace upbound

@@ -52,6 +52,11 @@ class AgingBloomFilter final : public StateFilter {
   bool admits_inbound(const PacketRecord& pkt) override;
   // Lookup only reads cell stamps; aging happens in advance_time's sweep.
   bool inbound_lookup_is_pure() const override { return true; }
+  // occupancy_fraction() stays std::nullopt on purpose: cells age through
+  // 13 ring values, so a set-cell fraction is not the Eq. 2 utilization
+  // input. This backend is the health monitor's "occupancy unsupported"
+  // path.
+  std::uint64_t expiry_generations() const override { return epoch_; }
   std::size_t storage_bytes() const override;
   std::string name() const override { return "aging-bloom"; }
 

@@ -59,6 +59,10 @@ class BitmapFilter final : public StateFilter {
   void admits_inbound_batch(PacketBatch batch,
                             std::span<bool> admits) override;
   bool inbound_lookup_is_pure() const override { return true; }
+  std::optional<double> occupancy_fraction() const override {
+    return current_utilization();
+  }
+  std::uint64_t expiry_generations() const override { return rotations_; }
   std::size_t storage_bytes() const override;
   std::string name() const override { return "bitmap"; }
 

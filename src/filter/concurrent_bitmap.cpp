@@ -1,5 +1,7 @@
 #include "filter/concurrent_bitmap.h"
 
+#include <bit>
+
 #include "util/prefetch.h"
 
 namespace upbound {
@@ -149,6 +151,17 @@ void ConcurrentBitmapFilter::admits_inbound_batch(PacketBatch batch,
     }
     i = j;
   }
+}
+
+std::optional<double> ConcurrentBitmapFilter::occupancy_fraction() const {
+  const std::size_t current = idx_.load(std::memory_order_acquire);
+  std::uint64_t set = 0;
+  for (std::size_t w = 0; w < words_per_vector_; ++w) {
+    set += static_cast<std::uint64_t>(std::popcount(
+        words_[current * words_per_vector_ + w].load(
+            std::memory_order_relaxed)));
+  }
+  return static_cast<double>(set) / static_cast<double>(config_.bits());
 }
 
 std::size_t ConcurrentBitmapFilter::storage_bytes() const {

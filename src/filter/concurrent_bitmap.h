@@ -42,6 +42,10 @@ class ConcurrentBitmapFilter final : public StateFilter {
   void admits_inbound_batch(PacketBatch batch,
                             std::span<bool> admits) override;
   bool inbound_lookup_is_pure() const override { return true; }
+  /// Relaxed popcount scan of the current vector; approximate under
+  /// concurrent writers, exact when quiescent.
+  std::optional<double> occupancy_fraction() const override;
+  std::uint64_t expiry_generations() const override { return rotations(); }
   std::size_t storage_bytes() const override;
   std::string name() const override { return "bitmap-concurrent"; }
 

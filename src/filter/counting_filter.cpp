@@ -1,0 +1,148 @@
+#include "filter/counting_filter.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace upbound {
+
+void CountingFilterConfig::validate() const {
+  if (log2_cells < 3 || log2_cells > 30) {
+    throw std::invalid_argument(
+        "CountingFilterConfig: log2_cells out of range");
+  }
+  if (generation_count < 2) {
+    // With k = 1 every rotation wipes all state and nothing survives.
+    throw std::invalid_argument(
+        "CountingFilterConfig: need >= 2 generations");
+  }
+  if (hash_count == 0 || hash_count > 64) {
+    throw std::invalid_argument(
+        "CountingFilterConfig: hash_count out of range");
+  }
+  if (rotate_interval <= Duration{}) {
+    throw std::invalid_argument(
+        "CountingFilterConfig: rotate_interval must be positive");
+  }
+}
+
+CountingFilter::CountingFilter(const CountingFilterConfig& config)
+    : config_(config),
+      hashes_((config.validate(), config.cells()), config.hash_count,
+              config.hash_seed),
+      bytes_(config.memory_bytes(), 0),
+      next_rotation_(SimTime::origin() + config.rotate_interval),
+      scratch_(config.hash_count) {}
+
+std::uint8_t CountingFilter::get_cell(std::size_t generation,
+                                      std::size_t cell) const {
+  const std::size_t flat = generation * config_.cells() + cell;
+  const std::uint8_t byte = bytes_[flat >> 1];
+  return (flat & 1) ? (byte >> 4) : (byte & 0x0f);
+}
+
+void CountingFilter::set_cell(std::size_t generation, std::size_t cell,
+                              std::uint8_t value) {
+  const std::size_t flat = generation * config_.cells() + cell;
+  std::uint8_t& byte = bytes_[flat >> 1];
+  if (flat & 1) {
+    byte = static_cast<std::uint8_t>((byte & 0x0f) | (value << 4));
+  } else {
+    byte = static_cast<std::uint8_t>((byte & 0xf0) | (value & 0x0f));
+  }
+}
+
+bool CountingFilter::present_in(std::size_t generation) const {
+  for (const std::size_t cell : scratch_) {
+    if (get_cell(generation, cell) == 0) return false;
+  }
+  return true;
+}
+
+void CountingFilter::rotate() {
+  // Algorithm 1 on counter tables: advance the current generation and
+  // zero the one it reaches (the oldest data holder).
+  const std::size_t last = idx_;
+  idx_ = (idx_ + 1) % config_.generation_count;
+  const std::size_t bytes_per_generation = config_.cells() / 2;
+  std::fill_n(bytes_.begin() +
+                  static_cast<std::ptrdiff_t>(last * bytes_per_generation),
+              bytes_per_generation, std::uint8_t{0});
+  ++rotations_;
+}
+
+void CountingFilter::advance_time(SimTime now) {
+  while (now >= next_rotation_) {
+    rotate();
+    next_rotation_ += config_.rotate_interval;
+  }
+}
+
+void CountingFilter::record_outbound(const PacketRecord& pkt) {
+  if (config_.delete_on_close && pkt.is_tcp() &&
+      (pkt.flags.fin || pkt.flags.rst)) {
+    erase_connection(pkt.tuple);
+    return;
+  }
+  hashes_.outbound_indexes(pkt.tuple, config_.key_mode, scratch_);
+  for (std::size_t g = 0; g < config_.generation_count; ++g) {
+    // Insert-if-absent: a generation already holding the tuple (all m
+    // cells nonzero) is left untouched, so one connection costs exactly
+    // one increment per generation per residency and one delete undoes it.
+    if (present_in(g)) continue;
+    for (const std::size_t cell : scratch_) {
+      const std::uint8_t value = get_cell(g, cell);
+      if (value < kSaturated) {
+        set_cell(g, cell, static_cast<std::uint8_t>(value + 1));
+      }
+    }
+  }
+}
+
+bool CountingFilter::admits_inbound(const PacketRecord& pkt) {
+  hashes_.inbound_indexes(pkt.tuple, config_.key_mode, scratch_);
+  return present_in(idx_);
+}
+
+void CountingFilter::erase_connection(const FiveTuple& outbound_tuple) {
+  hashes_.outbound_indexes(outbound_tuple, config_.key_mode, scratch_);
+  bool touched = false;
+  for (std::size_t g = 0; g < config_.generation_count; ++g) {
+    if (!present_in(g)) continue;  // never decrement through zero
+    for (const std::size_t cell : scratch_) {
+      const std::uint8_t value = get_cell(g, cell);
+      // A saturated counter has lost its count and must stay put.
+      if (value != kSaturated) {
+        set_cell(g, cell, static_cast<std::uint8_t>(value - 1));
+      }
+    }
+    touched = true;
+  }
+  if (touched) ++deletes_applied_;
+}
+
+void CountingFilter::corrupt_cell(std::uint64_t flat_index) {
+  const std::size_t total =
+      config_.cells() * config_.generation_count;
+  const std::size_t flat = static_cast<std::size_t>(flat_index % total);
+  const std::size_t generation = flat / config_.cells();
+  const std::size_t cell = flat % config_.cells();
+  set_cell(generation, cell,
+           static_cast<std::uint8_t>(get_cell(generation, cell) ^ 1));
+}
+
+std::optional<double> CountingFilter::occupancy_fraction() const {
+  const std::size_t bytes_per_generation = config_.cells() / 2;
+  const std::size_t base = idx_ * bytes_per_generation;
+  std::size_t nonzero = 0;
+  for (std::size_t b = 0; b < bytes_per_generation; ++b) {
+    const std::uint8_t byte = bytes_[base + b];
+    nonzero += (byte & 0x0f) != 0;
+    nonzero += (byte >> 4) != 0;
+  }
+  return static_cast<double>(nonzero) /
+         static_cast<double>(config_.cells());
+}
+
+std::size_t CountingFilter::storage_bytes() const { return bytes_.size(); }
+
+}  // namespace upbound

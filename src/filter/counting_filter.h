@@ -1,0 +1,115 @@
+// Counting-Bloom variant of the {k x N} bitmap with per-tuple deletion.
+//
+// Same generational layout as the paper's filter -- k generations rotated
+// every dt, outbound traffic inserted into ALL generations, inbound looked
+// up in the CURRENT generation only, so the [(k-1)dt, k*dt] expiry window
+// carries over unchanged -- but each generation is a table of 4-bit
+// saturating counters instead of bits. That buys the one operation the
+// bitmap fundamentally cannot do: deleting a single tuple's state before
+// rotation retires it. Outbound TCP FIN/RST removes the connection
+// immediately (configurable), so closed connections stop admitting inbound
+// traffic without waiting up to k*dt.
+//
+// Deletion-safety rules (standard counting-Bloom discipline):
+//   - insert-if-absent: an insert increments the m hashed cells of a
+//     generation only when the tuple looks absent there (some cell == 0),
+//     so repeated packets of one connection cost one increment and one
+//     delete removes them exactly;
+//   - counters saturate at 15 and a saturated cell is never decremented
+//     (it can no longer prove how many tuples share it), trading a stuck
+//     cell (a lingering false positive) for the impossibility of
+//     delete-induced false negatives on OTHER tuples;
+//   - a delete only decrements generations where the tuple looks present.
+// A Bloom false positive at insert time can still skip a needed increment
+// (the tuple LOOKED present); a later delete of the colliding tuple then
+// expires this one early. That residual risk is the documented price of
+// deletion and is bounded by the same Eq. 3 collision probability as
+// lookup false positives.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "filter/hash_family.h"
+#include "filter/state_filter.h"
+
+namespace upbound {
+
+struct CountingFilterConfig {
+  unsigned log2_cells = 20;    // each generation holds 2^log2_cells counters
+  unsigned generation_count = 4;  // k
+  unsigned hash_count = 3;        // m
+  Duration rotate_interval = Duration::sec(5.0);  // dt
+  /// Delete a connection's state when an outbound TCP FIN or RST is seen.
+  bool delete_on_close = true;
+  KeyMode key_mode = KeyMode::kFullTuple;
+  std::uint64_t hash_seed = 0x7570626f756e6421ULL;
+
+  std::size_t cells() const { return std::size_t{1} << log2_cells; }
+  /// T_e = k * dt, as for the bitmap.
+  Duration expiry_timer() const {
+    return rotate_interval * static_cast<double>(generation_count);
+  }
+  /// Two 4-bit counters per byte, k generations.
+  std::size_t memory_bytes() const { return generation_count * cells() / 2; }
+
+  /// Throws std::invalid_argument when parameters are out of range.
+  void validate() const;
+};
+
+class CountingFilter final : public StateFilter {
+ public:
+  explicit CountingFilter(const CountingFilterConfig& config);
+
+  // StateFilter. The inherited default batch loops make the batch path
+  // trivially bit-identical to the scalar one (including FIN/RST deletes,
+  // which do not commute with inserts and so cannot be reordered).
+  void advance_time(SimTime now) override;
+  void record_outbound(const PacketRecord& pkt) override;
+  bool admits_inbound(const PacketRecord& pkt) override;
+  bool inbound_lookup_is_pure() const override { return true; }
+  std::optional<double> occupancy_fraction() const override;
+  std::uint64_t expiry_generations() const override { return rotations_; }
+  std::size_t storage_bytes() const override;
+  std::string name() const override { return "counting"; }
+
+  /// Advance the current generation and clear the one it reaches
+  /// (Algorithm 1's b.rotate, on counter tables).
+  void rotate();
+
+  /// Deletes one connection's state from every generation where it looks
+  /// present (see deletion-safety rules above). Public so operators and
+  /// tests can expire state out of band; record_outbound calls it on
+  /// outbound TCP FIN/RST when delete_on_close is set.
+  void erase_connection(const FiveTuple& outbound_tuple);
+
+  /// Fault-plane hook: XOR the low bit of one 4-bit cell, addressed by a
+  /// flat index over all generations (mirrors bit flips on the bitmap).
+  void corrupt_cell(std::uint64_t flat_index);
+
+  const CountingFilterConfig& config() const { return config_; }
+  std::uint64_t rotations() const { return rotations_; }
+  std::size_t current_index() const { return idx_; }
+  std::uint64_t deletes_applied() const { return deletes_applied_; }
+
+ private:
+  static constexpr std::uint8_t kSaturated = 15;
+
+  std::uint8_t get_cell(std::size_t generation, std::size_t cell) const;
+  void set_cell(std::size_t generation, std::size_t cell,
+                std::uint8_t value);
+  /// True when all m hashed cells of `generation` are nonzero.
+  bool present_in(std::size_t generation) const;  // reads scratch_
+
+  CountingFilterConfig config_;
+  BloomHashFamily hashes_;
+  std::vector<std::uint8_t> bytes_;  // two cells per byte, flat over k gens
+  std::size_t idx_ = 0;
+  SimTime next_rotation_;
+  std::uint64_t rotations_ = 0;
+  std::uint64_t deletes_applied_ = 0;
+  std::vector<std::size_t> scratch_;
+};
+
+}  // namespace upbound

@@ -1,0 +1,391 @@
+#include "filter/filter_registry.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace upbound {
+
+namespace {
+
+double parse_double(const std::string& key, const std::string& raw) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(raw, &used);
+    if (used != raw.size()) throw std::invalid_argument(raw);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + key + ": not a number: '" + raw +
+                                "'");
+  }
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& raw) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(raw, &used, 0);
+    if (used != raw.size()) throw std::invalid_argument(raw);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + key + ": not an integer: '" + raw +
+                                "'");
+  }
+}
+
+}  // namespace
+
+double FilterArgs::get_double(const std::string& key, double fallback) const {
+  const std::optional<std::string> raw = value(key);
+  return raw.has_value() ? parse_double(key, *raw) : fallback;
+}
+
+std::uint64_t FilterArgs::get_u64(const std::string& key,
+                                  std::uint64_t fallback) const {
+  const std::optional<std::string> raw = value(key);
+  return raw.has_value() ? parse_u64(key, *raw) : fallback;
+}
+
+unsigned FilterArgs::get_unsigned(const std::string& key,
+                                  unsigned fallback) const {
+  return static_cast<unsigned>(get_u64(key, fallback));
+}
+
+const std::string& FilterSpec::kind() const {
+  if (backend == nullptr) {
+    throw std::logic_error("FilterSpec: empty spec has no kind");
+  }
+  return backend->name;
+}
+
+namespace {
+
+template <typename Config>
+FilterSpec spec_of(const std::string& backend_name, Config config) {
+  FilterSpec spec;
+  spec.backend = &FilterRegistry::instance().at(backend_name);
+  spec.config = std::make_shared<const Config>(std::move(config));
+  spec.config_type = &typeid(Config);
+  return spec;
+}
+
+/// Shared {bits, k, m, dt, hole-punching} block of the bitmap-geometry
+/// backends; the paper's Section 5.1 defaults.
+BitmapFilterConfig bitmap_config_from(const FilterArgs& args) {
+  BitmapFilterConfig config;
+  config.log2_bits = args.get_unsigned("bits", 20);
+  config.vector_count = args.get_unsigned("k", 4);
+  config.hash_count = args.get_unsigned("m", 3);
+  config.rotate_interval = Duration::sec(args.get_double("dt", 5.0));
+  if (args.flag("hole-punching")) config.key_mode = KeyMode::kHolePunching;
+  config.validate();
+  return config;
+}
+
+Duration generational_window(unsigned generations, Duration interval) {
+  return interval * static_cast<double>(generations - 1);
+}
+
+std::vector<BackendDescriptor> build_backends() {
+  std::vector<BackendDescriptor> backends;
+
+  {
+    BackendDescriptor d;
+    d.name = "bitmap";
+    d.summary = "the paper's {k x N} rotating bitmap (Section 4)";
+    d.capabilities = kCapOccupancy | kCapSnapshot | kCapSharedView |
+                     kCapPureLookup | kCapNoFalseNegative;
+    d.parse = [](const FilterArgs& args) {
+      return spec_of("bitmap", bitmap_config_from(args));
+    };
+    d.make = [](const FilterSpec& spec) -> std::unique_ptr<StateFilter> {
+      return std::make_unique<BitmapFilter>(
+          spec.config_as<BitmapFilterConfig>());
+    };
+    d.geometry = [](const FilterSpec& spec) -> std::optional<FilterGeometry> {
+      const auto& c = spec.config_as<BitmapFilterConfig>();
+      return FilterGeometry{c.bits(), c.hash_count, c.vector_count,
+                            c.rotate_interval};
+    };
+    d.guaranteed_window = [](const FilterSpec& spec) {
+      const auto& c = spec.config_as<BitmapFilterConfig>();
+      return generational_window(c.vector_count, c.rotate_interval);
+    };
+    backends.push_back(std::move(d));
+  }
+
+  {
+    BackendDescriptor d;
+    d.name = "bitmap-mt";
+    d.summary = "lock-free concurrent bitmap for multi-queue datapaths";
+    d.capabilities = kCapOccupancy | kCapSharedView | kCapPureLookup |
+                     kCapNoFalseNegative;
+    d.parse = [](const FilterArgs& args) {
+      return spec_of("bitmap-mt", bitmap_config_from(args));
+    };
+    d.make = [](const FilterSpec& spec) -> std::unique_ptr<StateFilter> {
+      return std::make_unique<ConcurrentBitmapFilter>(
+          spec.config_as<BitmapFilterConfig>());
+    };
+    d.geometry = [](const FilterSpec& spec) -> std::optional<FilterGeometry> {
+      const auto& c = spec.config_as<BitmapFilterConfig>();
+      return FilterGeometry{c.bits(), c.hash_count, c.vector_count,
+                            c.rotate_interval};
+    };
+    d.guaranteed_window = [](const FilterSpec& spec) {
+      const auto& c = spec.config_as<BitmapFilterConfig>();
+      return generational_window(c.vector_count, c.rotate_interval);
+    };
+    backends.push_back(std::move(d));
+  }
+
+  {
+    BackendDescriptor d;
+    d.name = "aging";
+    d.summary = "4-bit age-stamp cells, programmable expiry at fixed memory";
+    // No kCapOccupancy: a set-cell fraction over 13 ring values is not
+    // the Eq. 2 utilization input (the health monitor reports occupancy
+    // as unsupported for this backend).
+    d.capabilities = kCapPureLookup | kCapNoFalseNegative;
+    d.parse = [](const FilterArgs& args) {
+      AgingBloomConfig config;
+      config.cells = std::size_t{1} << args.get_unsigned("bits", 20);
+      config.hash_count = args.get_unsigned("m", 3);
+      config.epoch = Duration::sec(args.get_double("dt", 5.0));
+      config.valid_epochs = args.get_unsigned("k", 4);
+      if (args.flag("hole-punching")) {
+        config.key_mode = KeyMode::kHolePunching;
+      }
+      config.validate();
+      return spec_of("aging", config);
+    };
+    d.make = [](const FilterSpec& spec) -> std::unique_ptr<StateFilter> {
+      return std::make_unique<AgingBloomFilter>(
+          spec.config_as<AgingBloomConfig>());
+    };
+    d.geometry = [](const FilterSpec& spec) -> std::optional<FilterGeometry> {
+      const auto& c = spec.config_as<AgingBloomConfig>();
+      return FilterGeometry{c.cells, c.hash_count, c.valid_epochs, c.epoch};
+    };
+    d.guaranteed_window = [](const FilterSpec& spec) {
+      const auto& c = spec.config_as<AgingBloomConfig>();
+      return generational_window(c.valid_epochs, c.epoch);
+    };
+    backends.push_back(std::move(d));
+  }
+
+  {
+    BackendDescriptor d;
+    d.name = "spi";
+    d.summary = "exact per-flow conntrack baseline (Section 5.3)";
+    // Lookups refresh flow timers (not pure); exact state has no Bloom
+    // occupancy; no snapshot format.
+    d.capabilities = kCapNoFalseNegative;
+    d.parse = [](const FilterArgs& args) {
+      SpiFilterConfig config;
+      config.idle_timeout =
+          Duration::sec(args.get_double("timeout", 240.0));
+      return spec_of("spi", config);
+    };
+    d.make = [](const FilterSpec& spec) -> std::unique_ptr<StateFilter> {
+      return std::make_unique<SpiFilter>(spec.config_as<SpiFilterConfig>());
+    };
+    d.geometry = [](const FilterSpec&) -> std::optional<FilterGeometry> {
+      return std::nullopt;
+    };
+    d.guaranteed_window = [](const FilterSpec& spec) {
+      // Conservative: refreshes (including inbound ones) only extend the
+      // window past the idle timeout.
+      return spec.config_as<SpiFilterConfig>().idle_timeout;
+    };
+    backends.push_back(std::move(d));
+  }
+
+  {
+    BackendDescriptor d;
+    d.name = "naive";
+    d.summary = "exact per-pair timers, the Section 4.2 strawman";
+    d.capabilities = kCapPureLookup | kCapNoFalseNegative;
+    d.parse = [](const FilterArgs& args) {
+      NaiveFilterConfig config;
+      config.state_timeout =
+          Duration::sec(args.get_double("timeout", 20.0));
+      if (args.flag("hole-punching")) {
+        config.key_mode = KeyMode::kHolePunching;
+      }
+      return spec_of("naive", config);
+    };
+    d.make = [](const FilterSpec& spec) -> std::unique_ptr<StateFilter> {
+      return std::make_unique<NaiveFilter>(
+          spec.config_as<NaiveFilterConfig>());
+    };
+    d.geometry = [](const FilterSpec&) -> std::optional<FilterGeometry> {
+      return std::nullopt;
+    };
+    d.guaranteed_window = [](const FilterSpec& spec) {
+      return spec.config_as<NaiveFilterConfig>().state_timeout;
+    };
+    backends.push_back(std::move(d));
+  }
+
+  {
+    BackendDescriptor d;
+    d.name = "retouched";
+    d.summary =
+        "bitmap with a per-epoch retouch mask: trades selected false "
+        "positives for false negatives (Donnet et al.)";
+    // Deliberately NOT kCapNoFalseNegative (that is the whole trade) and
+    // not kCapSnapshot (the mask is epoch-local; restoring the inner
+    // bitmap alone would change verdicts silently).
+    d.capabilities = kCapOccupancy | kCapPureLookup;
+    d.parse = [](const FilterArgs& args) {
+      RetouchedBitmapConfig config;
+      config.bitmap = bitmap_config_from(args);
+      config.retouch_fraction = args.get_double("retouch-fraction", 0.01);
+      config.retouch_seed =
+          args.get_u64("retouch-seed", config.retouch_seed);
+      config.validate();
+      return spec_of("retouched", config);
+    };
+    d.make = [](const FilterSpec& spec) -> std::unique_ptr<StateFilter> {
+      return std::make_unique<RetouchedBitmapFilter>(
+          spec.config_as<RetouchedBitmapConfig>());
+    };
+    d.geometry = [](const FilterSpec& spec) -> std::optional<FilterGeometry> {
+      const auto& c = spec.config_as<RetouchedBitmapConfig>().bitmap;
+      return FilterGeometry{c.bits(), c.hash_count, c.vector_count,
+                            c.rotate_interval};
+    };
+    d.guaranteed_window = [](const FilterSpec& spec) {
+      const auto& c = spec.config_as<RetouchedBitmapConfig>().bitmap;
+      return generational_window(c.vector_count, c.rotate_interval);
+    };
+    backends.push_back(std::move(d));
+  }
+
+  {
+    BackendDescriptor d;
+    d.name = "counting";
+    d.summary =
+        "4-bit counting generations with per-tuple deletion on TCP close";
+    d.capabilities = kCapOccupancy | kCapDeletion | kCapPureLookup |
+                     kCapNoFalseNegative;
+    d.parse = [](const FilterArgs& args) {
+      CountingFilterConfig config;
+      config.log2_cells = args.get_unsigned("bits", 20);
+      config.generation_count = args.get_unsigned("k", 4);
+      config.hash_count = args.get_unsigned("m", 3);
+      config.rotate_interval = Duration::sec(args.get_double("dt", 5.0));
+      if (args.flag("hole-punching")) {
+        config.key_mode = KeyMode::kHolePunching;
+      }
+      if (args.flag("no-close-delete")) config.delete_on_close = false;
+      config.validate();
+      return spec_of("counting", config);
+    };
+    d.make = [](const FilterSpec& spec) -> std::unique_ptr<StateFilter> {
+      return std::make_unique<CountingFilter>(
+          spec.config_as<CountingFilterConfig>());
+    };
+    d.geometry = [](const FilterSpec& spec) -> std::optional<FilterGeometry> {
+      const auto& c = spec.config_as<CountingFilterConfig>();
+      return FilterGeometry{c.cells(), c.hash_count, c.generation_count,
+                            c.rotate_interval};
+    };
+    d.guaranteed_window = [](const FilterSpec& spec) {
+      const auto& c = spec.config_as<CountingFilterConfig>();
+      return generational_window(c.generation_count, c.rotate_interval);
+    };
+    backends.push_back(std::move(d));
+  }
+
+  return backends;
+}
+
+}  // namespace
+
+FilterRegistry::FilterRegistry() : backends_(build_backends()) {}
+
+const FilterRegistry& FilterRegistry::instance() {
+  static const FilterRegistry registry;
+  return registry;
+}
+
+const BackendDescriptor* FilterRegistry::find(const std::string& name) const {
+  for (const BackendDescriptor& backend : backends_) {
+    if (backend.name == name) return &backend;
+  }
+  return nullptr;
+}
+
+const BackendDescriptor& FilterRegistry::at(const std::string& name) const {
+  const BackendDescriptor* backend = find(name);
+  if (backend == nullptr) {
+    throw std::invalid_argument("unknown filter backend '" + name + "' (" +
+                                names_joined("|") + ")");
+  }
+  return *backend;
+}
+
+std::vector<std::string> FilterRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(backends_.size());
+  for (const BackendDescriptor& backend : backends_) {
+    out.push_back(backend.name);
+  }
+  return out;
+}
+
+std::string FilterRegistry::names_joined(const std::string& sep) const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    if (i != 0) out << sep;
+    out << backends_[i].name;
+  }
+  return out.str();
+}
+
+FilterSpec FilterRegistry::parse(const std::string& name,
+                                 const FilterArgs& args) const {
+  return at(name).parse(args);
+}
+
+std::unique_ptr<StateFilter> make_state_filter(const FilterSpec& spec) {
+  if (spec.backend == nullptr) {
+    throw std::logic_error("make_state_filter: empty spec");
+  }
+  return spec.backend->make(spec);
+}
+
+FilterSpec bitmap_filter_spec(const BitmapFilterConfig& config) {
+  config.validate();
+  return spec_of("bitmap", config);
+}
+
+FilterSpec concurrent_bitmap_filter_spec(const BitmapFilterConfig& config) {
+  config.validate();
+  return spec_of("bitmap-mt", config);
+}
+
+FilterSpec aging_filter_spec(const AgingBloomConfig& config) {
+  config.validate();
+  return spec_of("aging", config);
+}
+
+FilterSpec spi_filter_spec(const SpiFilterConfig& config) {
+  return spec_of("spi", config);
+}
+
+FilterSpec naive_filter_spec(const NaiveFilterConfig& config) {
+  return spec_of("naive", config);
+}
+
+FilterSpec retouched_filter_spec(const RetouchedBitmapConfig& config) {
+  config.validate();
+  return spec_of("retouched", config);
+}
+
+FilterSpec counting_filter_spec(const CountingFilterConfig& config) {
+  config.validate();
+  return spec_of("counting", config);
+}
+
+}  // namespace upbound

@@ -1,0 +1,59 @@
+#include "filter/retouched_bitmap.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/hash.h"
+
+namespace upbound {
+
+void RetouchedBitmapConfig::validate() const {
+  bitmap.validate();
+  if (!(retouch_fraction >= 0.0) || retouch_fraction >= 0.5) {
+    throw std::invalid_argument(
+        "RetouchedBitmapConfig: retouch_fraction must be in [0, 0.5)");
+  }
+}
+
+namespace {
+
+std::uint64_t threshold_for(double fraction) {
+  // fraction < 0.5 (validated), so the scaled value is < 2^63 and the
+  // cast is exact-range. fraction == 0 yields threshold 0, and the strict
+  // `<` comparison then retouches nothing.
+  return static_cast<std::uint64_t>(std::ldexp(fraction, 64));
+}
+
+}  // namespace
+
+RetouchedBitmapFilter::RetouchedBitmapFilter(
+    const RetouchedBitmapConfig& config)
+    : config_((config.validate(), config)),
+      inner_(config.bitmap),
+      hashes_(config.bitmap.bits(), config.bitmap.hash_count,
+              config.bitmap.hash_seed),
+      retouch_threshold_(threshold_for(config.retouch_fraction)),
+      scratch_(config.bitmap.hash_count) {}
+
+bool RetouchedBitmapFilter::retouched(std::uint64_t epoch,
+                                      std::size_t bit) const {
+  const std::uint64_t h = mix64(
+      config_.retouch_seed ^
+      hash_combine(epoch, static_cast<std::uint64_t>(bit)));
+  return h < retouch_threshold_;
+}
+
+bool RetouchedBitmapFilter::admits_inbound(const PacketRecord& pkt) {
+  hashes_.inbound_indexes(pkt.tuple, config_.bitmap.key_mode,
+                          std::span<std::size_t>{scratch_});
+  const std::span<const std::uint64_t> words =
+      inner_.vector_words(inner_.current_index());
+  const std::uint64_t epoch = inner_.rotations();
+  for (const std::size_t bit : scratch_) {
+    const bool set = (words[bit >> 6] >> (bit & 63)) & 1;
+    if (!set || retouched(epoch, bit)) return false;
+  }
+  return true;
+}
+
+}  // namespace upbound

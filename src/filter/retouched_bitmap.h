@@ -1,0 +1,101 @@
+// Retouched bitmap filter, after Donnet, Baynat & Friedman, "Retouched
+// Bloom Filters: Allowing Networked Applications to Trade Off Selected
+// False Positives Against False Negatives" (CoNEXT 2006), applied to the
+// paper's {k x N} rotating bitmap.
+//
+// A plain Bloom filter never yields false negatives; retouching clears a
+// chosen fraction r of bits, deliberately introducing false negatives to
+// buy a larger drop in false positives. On the upload-bounding filter the
+// trade reads: a retouched bit silently expires a few legitimate
+// connections early (they fall back to the drop policy, costing at most
+// one RTT of retries) but knocks out the same fraction of ATTACK keys
+// probing for Bloom collisions -- the collision-probing evasion strategy
+// the attack evaluator exercises degrades by (1-r)^m per probe.
+//
+// Implementation: composition over BitmapFilter (which stays the
+// untouched ground truth) with retouching applied as a LOOKUP-TIME mask.
+// A bit is "retouched" for the current rotation epoch when a stateless
+// hash of (retouch_seed, epoch, bit index) lands below retouch_fraction;
+// lookups treat such bits as zero. Because the mask is a pure function of
+// values already tracked by the inner filter -- no extra mutable state --
+// the scalar and batch paths stay bit-identical for free, snapshots of
+// the inner filter remain exact, and each rotation draws a fresh
+// pseudo-random retouch set (the paper's randomized-selection variant).
+//
+// Expected rates (independence approximation, m hashes, utilization U):
+//   false negatives: 1 - (1-r)^m      (zero for r = 0)
+//   false positives: (U * (1-r))^m    (vs U^m untouched)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "filter/bitmap_filter.h"
+#include "filter/hash_family.h"
+#include "filter/state_filter.h"
+
+namespace upbound {
+
+struct RetouchedBitmapConfig {
+  BitmapFilterConfig bitmap;
+  /// Fraction r of bits treated as cleared at lookup, in [0, 0.5).
+  double retouch_fraction = 0.01;
+  /// Seed for the per-epoch retouch set; independent of the Bloom seed so
+  /// retouching is uncorrelated with index selection.
+  std::uint64_t retouch_seed = 0x7265746f75636821ULL;
+
+  /// Throws std::invalid_argument when parameters are out of range.
+  void validate() const;
+};
+
+class RetouchedBitmapFilter final : public StateFilter {
+ public:
+  explicit RetouchedBitmapFilter(const RetouchedBitmapConfig& config);
+
+  // Mutation forwards to the inner bitmap unchanged (retouching is a
+  // read-side mask), so the inner filter's optimized batch marking is
+  // reused as-is.
+  void advance_time(SimTime now) override { inner_.advance_time(now); }
+  void record_outbound(const PacketRecord& pkt) override {
+    inner_.record_outbound(pkt);
+  }
+  void record_outbound_batch(PacketBatch batch) override {
+    inner_.record_outbound_batch(batch);
+  }
+  bool admits_inbound(const PacketRecord& pkt) override;
+  // admits_inbound_batch inherits the default scalar loop: the masked
+  // lookup is pure, so the loop is already observably identical to any
+  // batched formulation.
+  bool inbound_lookup_is_pure() const override { return true; }
+  std::optional<double> occupancy_fraction() const override {
+    return inner_.occupancy_fraction();
+  }
+  std::uint64_t expiry_generations() const override {
+    return inner_.rotations();
+  }
+  std::size_t storage_bytes() const override {
+    return inner_.storage_bytes();
+  }
+  std::string name() const override { return "retouched"; }
+
+  /// True when `bit` is masked out of the current retouch epoch. Pure;
+  /// exposed for tests to predict exactly which lookups must miss.
+  bool retouched(std::uint64_t epoch, std::size_t bit) const;
+
+  const RetouchedBitmapConfig& config() const { return config_; }
+  /// The untouched inner bitmap (fault plane flips its words; tests read
+  /// its ground truth).
+  BitmapFilter& inner() { return inner_; }
+  const BitmapFilter& inner() const { return inner_; }
+
+ private:
+  RetouchedBitmapConfig config_;
+  BitmapFilter inner_;
+  BloomHashFamily hashes_;  // same geometry/seed as the inner filter's
+  /// retouch_fraction scaled to a 64-bit threshold for branch-free
+  /// comparison against the mixed hash.
+  std::uint64_t retouch_threshold_;
+  std::vector<std::size_t> scratch_;
+};
+
+}  // namespace upbound

@@ -193,6 +193,11 @@ std::optional<RestoredBitmapFilter> restore_bitmap_filter(
   return restore_bitmap_filter_checked(snapshot).restored;
 }
 
+std::unique_ptr<StateFilter> take_restored_filter(
+    RestoredBitmapFilter&& restored) {
+  return std::make_unique<BitmapFilter>(std::move(restored.filter));
+}
+
 void save_snapshot_file(const std::string& path,
                         std::span<const std::uint8_t> bytes) {
   const std::string tmp = path + ".tmp";

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -78,6 +79,11 @@ BitmapRestoreResult restore_bitmap_filter_checked(
 /// restore_bitmap_filter_checked).
 std::optional<RestoredBitmapFilter> restore_bitmap_filter(
     std::span<const std::uint8_t> snapshot);
+
+/// Moves a restored filter onto the heap in the StateFilter form the
+/// replay engines consume.
+std::unique_ptr<StateFilter> take_restored_filter(
+    RestoredBitmapFilter&& restored);
 
 /// Crash-consistent snapshot write: the bytes go to `path` + ".tmp",
 /// are flushed and fsync'd, then atomically renamed over `path`. A crash

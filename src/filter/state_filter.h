@@ -15,6 +15,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 
@@ -71,6 +73,21 @@ class StateFilter {
   /// look up a whole inbound run before consulting the blocklist).
   /// Conservative default: false.
   virtual bool inbound_lookup_is_pure() const { return false; }
+
+  /// Set-cell fraction U of the structure consulted by admits_inbound
+  /// (the current Bloom vector / counter generation). Paper Eq. 2's input
+  /// and the health monitor's saturation signal. std::nullopt when the
+  /// backend has no meaningful occupancy (exact-state filters); the
+  /// registry's occupancy capability bit mirrors this.
+  virtual std::optional<double> occupancy_fraction() const {
+    return std::nullopt;
+  }
+
+  /// Number of expiry generations completed so far (bitmap rotations,
+  /// aging epochs, counting-generation clears). 0 for filters whose
+  /// expiry is continuous rather than generational; the adaptive tuner
+  /// uses transitions of this value to fold occupancy peaks.
+  virtual std::uint64_t expiry_generations() const { return 0; }
 
   /// Current heap footprint of the connection state, in bytes.
   virtual std::size_t storage_bytes() const = 0;

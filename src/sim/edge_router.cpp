@@ -4,7 +4,6 @@
 #include <stdexcept>
 
 #include "fault/fault_injector.h"  // kFaultsCompiled
-#include "filter/bitmap_filter.h"
 
 namespace upbound {
 
@@ -51,7 +50,8 @@ EdgeRouter::EdgeRouter(EdgeRouterConfig config,
   if constexpr (kFaultsCompiled) {
     if (config_.health.enabled()) {
       health_.emplace(config_.health);
-      health_bitmap_ = dynamic_cast<const BitmapFilter*>(filter_.get());
+      health_occupancy_supported_ =
+          filter_->occupancy_fraction().has_value();
       // Lazily registered here, not in the init list: a router with health
       // disabled must not grow new counter names in its snapshots.
       ctr_health_fail_open_ = &metrics_.counter("health.fail_open_admits");
@@ -60,7 +60,19 @@ EdgeRouter::EdgeRouter(EdgeRouterConfig config,
           &metrics_.counter("health.transitions_degraded");
       ctr_health_recovered_ =
           &metrics_.counter("health.transitions_recovered");
+      ctr_health_occupancy_unsupported_ =
+          &metrics_.counter("health.occupancy_unsupported");
     }
+  }
+  if (config_.tuner.enabled) {
+    config_.tuner.validate();
+    if (!filter_->occupancy_fraction().has_value()) {
+      throw std::invalid_argument(
+          "EdgeRouter: the tuner requires a filter with an occupancy "
+          "signal (filter '" +
+          filter_->name() + "' has none)");
+    }
+    tuner_.emplace(config_.tuner);
   }
 }
 
@@ -74,9 +86,15 @@ void EdgeRouter::health_poll(PacketBatch batch) {
   for (; health_meter_clamps_seen_ < clamps; ++health_meter_clamps_seen_) {
     health_->note_clock_clamp(now);
   }
-  if (health_bitmap_ != nullptr &&
-      health_tick_++ % config_.health.occupancy_sample_batches == 0) {
-    health_->note_occupancy(health_bitmap_->current_utilization(), now);
+  if (health_tick_++ % config_.health.occupancy_sample_batches == 0) {
+    // Capability-driven occupancy: any backend reporting
+    // occupancy_fraction() feeds the saturation signal; the rest count
+    // skipped samples so "healthy" is distinguishable from "blind".
+    if (health_occupancy_supported_) {
+      health_->note_occupancy(*filter_->occupancy_fraction(), now);
+    } else {
+      ctr_health_occupancy_unsupported_->inc();
+    }
   }
   const std::uint64_t degraded = health_->transitions_to_degraded();
   const std::uint64_t recovered = health_->transitions_to_healthy();
@@ -85,6 +103,13 @@ void EdgeRouter::health_poll(PacketBatch batch) {
   health_degraded_seen_ = degraded;
   health_recovered_seen_ = recovered;
   health_degraded_ = health_->degraded();
+}
+
+void EdgeRouter::tuner_poll() {
+  if (tuner_tick_++ % config_.tuner.sample_batches != 0) return;
+  // The constructor guarantees the filter reports occupancy.
+  tuner_->observe(*filter_->occupancy_fraction(),
+                  filter_->expiry_generations());
 }
 
 RouterDecision EdgeRouter::process(const PacketRecord& pkt) {
@@ -109,6 +134,7 @@ void EdgeRouter::process_batch(PacketBatch batch,
   const std::uint64_t batch_t0 =
       (kTelemetryCompiled && timing_) ? telemetry_clock_ns() : 0;
   if (kFaultsCompiled && health_.has_value()) health_poll(batch);
+  if (tuner_.has_value()) tuner_poll();
   classify_batch(batch);
 
   std::size_t i = 0;
@@ -432,13 +458,31 @@ MetricsSnapshot EdgeRouter::metrics_snapshot() {
       .set(static_cast<double>(filter_->storage_bytes()));
   metrics_.gauge("blocklist.entries")
       .set(static_cast<double>(blocklist_.size()));
-  if (const auto* bitmap = dynamic_cast<const BitmapFilter*>(filter_.get())) {
-    // Current-vector set-bit fraction: the live Eq. 2 false-positive
-    // input, and the quantity saturation attacks drive up.
-    metrics_.gauge("state.occupancy").set(bitmap->current_utilization());
+  if (const std::optional<double> occupancy = filter_->occupancy_fraction()) {
+    // Current-generation set-slot fraction: the live Eq. 2 false-positive
+    // input, and the quantity saturation attacks drive up. Only emitted
+    // by backends with an occupancy signal (registry kCapOccupancy).
+    metrics_.gauge("state.occupancy").set(*occupancy);
   }
   if (kFaultsCompiled && health_.has_value()) {
     metrics_.gauge("health.state").set(health_->degraded() ? 1.0 : 0.0);
+  }
+  if (tuner_.has_value()) {
+    const TunerRecommendation& rec = tuner_->recommendation();
+    metrics_.gauge("tuner.occupancy_peak_ewma").set(rec.occupancy_peak_ewma);
+    metrics_.gauge("tuner.estimated_connections")
+        .set(rec.estimated_connections);
+    metrics_.gauge("tuner.penetration_estimate")
+        .set(rec.penetration_estimate);
+    metrics_.gauge("tuner.recommended_hash_count")
+        .set(static_cast<double>(rec.recommended_hash_count));
+    metrics_.gauge("tuner.recommended_bits")
+        .set(static_cast<double>(rec.recommended_bits));
+    metrics_.gauge("tuner.recommended_rotate_sec")
+        .set(rec.recommended_rotate_interval.to_sec());
+    metrics_.gauge("tuner.generations_observed")
+        .set(static_cast<double>(rec.generations_observed));
+    metrics_.gauge("tuner.samples").set(static_cast<double>(rec.samples));
   }
   return metrics_.snapshot();
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "fault/health_monitor.h"
+#include "filter/adaptive_tuner.h"
 #include "filter/bandwidth_meter.h"
 #include "filter/blocklist.h"
 #include "filter/drop_policy.h"
@@ -74,6 +75,12 @@ struct EdgeRouterConfig {
   /// evaluating Eq. 1 or inserting blocklist entries, so the policy.* and
   /// blocklist stage identities keep holding).
   HealthConfig health;
+  /// Online {k, N, dt} recommendation from sampled occupancy (see
+  /// filter/adaptive_tuner.h). Recommend-only: never mutates the filter.
+  /// Requires a filter with an occupancy signal (registry kCapOccupancy);
+  /// the constructor throws otherwise. Disabled by default, and the
+  /// tuner.* gauges are never registered while disabled.
+  TunerConfig tuner;
 };
 
 struct EdgeRouterStats {
@@ -149,6 +156,10 @@ class EdgeRouter {
   const HealthMonitor* health() const {
     return health_.has_value() ? &*health_ : nullptr;
   }
+  /// The adaptive tuner, or nullptr when disabled.
+  const AdaptiveTuner* tuner() const {
+    return tuner_.has_value() ? &*tuner_ : nullptr;
+  }
   const CounterRegistry& counters() const { return metrics_.counters(); }
   const MetricsRegistry& metrics() const { return metrics_; }
 
@@ -185,6 +196,11 @@ class EdgeRouter {
   /// its transition counters. Only called when health_ is engaged.
   void health_poll(PacketBatch batch);
 
+  /// Tuner sampling, once per batch on its own cadence. Only called when
+  /// tuner_ is engaged. Simulation-domain (batch ticks + filter state),
+  /// so sampling is deterministic for a given packet/batch sequence.
+  void tuner_poll();
+
   EdgeRouterConfig config_;
   std::unique_ptr<StateFilter> filter_;
   std::unique_ptr<DropPolicy> policy_;
@@ -203,8 +219,11 @@ class EdgeRouter {
   /// health.* counters are never registered -- a disabled router's metrics
   /// output is byte-identical to a build without the feature.
   std::optional<HealthMonitor> health_;
-  /// Occupancy source (null for non-bitmap filters: no occupancy signal).
-  const class BitmapFilter* health_bitmap_ = nullptr;
+  /// Whether the filter reports occupancy_fraction() (registry capability
+  /// kCapOccupancy). When false, sampling ticks count into
+  /// health.occupancy_unsupported instead -- operators can tell a healthy
+  /// router from a blind one.
+  bool health_occupancy_supported_ = false;
   std::uint64_t health_meter_clamps_seen_ = 0;
   /// Batch tick driving the occupancy sampling cadence (simulation-domain:
   /// advances per batch, never reads a clock).
@@ -220,6 +239,11 @@ class EdgeRouter {
   StageCounter* ctr_health_fail_closed_ = nullptr;
   StageCounter* ctr_health_degraded_ = nullptr;
   StageCounter* ctr_health_recovered_ = nullptr;
+  StageCounter* ctr_health_occupancy_unsupported_ = nullptr;
+
+  /// Engaged iff config_.tuner.enabled (independent of the fault plane).
+  std::optional<AdaptiveTuner> tuner_;
+  std::uint64_t tuner_tick_ = 0;
 
   MetricsRegistry metrics_;
   // Cached per-stage counters (references into metrics_ stay valid).

@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "filter/bitmap_filter.h"
+#include "filter/filter_registry.h"
 
 namespace upbound {
 
@@ -15,15 +15,23 @@ void FilterBank::add_site(std::string name, ClientNetwork network,
                         std::move(router)});
 }
 
-void FilterBank::add_bitmap_site(std::string name, ClientNetwork network,
-                                 const BitmapFilterConfig& filter_config,
-                                 double red_low_bps, double red_high_bps) {
+void FilterBank::add_filter_site(std::string name, ClientNetwork network,
+                                 const FilterSpec& spec, double red_low_bps,
+                                 double red_high_bps) {
   EdgeRouterConfig config;
   config.network = network;
   auto router = std::make_unique<EdgeRouter>(
-      std::move(config), std::make_unique<BitmapFilter>(filter_config),
+      std::move(config), make_state_filter(spec),
       std::make_unique<RedDropPolicy>(red_low_bps, red_high_bps));
   add_site(std::move(name), std::move(network), std::move(router));
+}
+
+void FilterBank::add_bitmap_site(std::string name, ClientNetwork network,
+                                 const BitmapFilterConfig& filter_config,
+                                 double red_low_bps, double red_high_bps) {
+  add_filter_site(std::move(name), std::move(network),
+                  bitmap_filter_spec(filter_config), red_low_bps,
+                  red_high_bps);
 }
 
 std::size_t FilterBank::site_of(Ipv4Addr addr) const {

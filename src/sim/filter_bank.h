@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "filter/bitmap_filter.h"
+#include "filter/filter_registry.h"
 #include "net/packet_batch.h"
 #include "sim/edge_router.h"
 
@@ -31,6 +32,12 @@ class FilterBank {
   /// overlap, the earliest-added site wins.
   void add_site(std::string name, ClientNetwork network,
                 std::unique_ptr<EdgeRouter> router);
+
+  /// Adds a site whose filter comes from a registry-parsed spec, with a
+  /// RED drop policy. Any registered backend works.
+  void add_filter_site(std::string name, ClientNetwork network,
+                       const FilterSpec& spec, double red_low_bps,
+                       double red_high_bps);
 
   /// Convenience: add a site with a standard bitmap + RED configuration.
   void add_bitmap_site(std::string name, ClientNetwork network,

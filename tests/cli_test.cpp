@@ -248,6 +248,74 @@ TEST_F(CliCommandTest, AttackRunsAndReportIsByteStable) {
   EXPECT_EQ(bytes_a, bytes_b);
 }
 
+TEST_F(CliCommandTest, ZooBackendsRunEndToEnd) {
+  const std::string trace = (dir_ / "trace.pcap").string();
+  ASSERT_EQ(run_cli({"generate", "--out", trace.c_str(), "--duration", "3",
+                     "--rate", "20", "--bandwidth", "1e6"}),
+            0);
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--filter",
+                     "retouched", "--bits", "14", "--retouch-fraction",
+                     "0.05", "--retouch-seed", "7"}),
+            0);
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--filter",
+                     "counting", "--bits", "14", "--k", "3", "--dt", "2"}),
+            0);
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--filter",
+                     "counting", "--no-close-delete"}),
+            0);
+  // Bad retouch fraction surfaces as a usage error, not a crash.
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--filter",
+                     "retouched", "--retouch-fraction", "0.7"}),
+            2);
+}
+
+TEST_F(CliCommandTest, SnapshotFlagsRequireASnapshotCapableBackend) {
+  const std::string trace = (dir_ / "trace.pcap").string();
+  const std::string state = (dir_ / "state.bin").string();
+  ASSERT_EQ(run_cli({"generate", "--out", trace.c_str(), "--duration", "3",
+                     "--rate", "20", "--bandwidth", "1e6"}),
+            0);
+  // The counting and retouched backends advertise no snapshot support;
+  // both save and load must fail fast with a usage error (before any
+  // replay work happens), for both flags.
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--filter",
+                     "counting", "--save-state", state.c_str()}),
+            2);
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--filter",
+                     "retouched", "--save-state", state.c_str()}),
+            2);
+  EXPECT_FALSE(std::filesystem::exists(state));
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--filter",
+                     "counting", "--load-state", state.c_str()}),
+            2);
+}
+
+TEST_F(CliCommandTest, TuneRequiresAnOccupancyBackendAndSingleThread) {
+  const std::string trace = (dir_ / "trace.pcap").string();
+  ASSERT_EQ(run_cli({"generate", "--out", trace.c_str(), "--duration", "3",
+                     "--rate", "20", "--bandwidth", "1e6"}),
+            0);
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--tune"}), 0);
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--filter",
+                     "counting", "--tune", "--tune-target", "0.02"}),
+            0);
+  // No occupancy signal on spi; recommend-only tuning cannot run.
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--filter", "spi",
+                     "--tune"}),
+            2);
+  // The tuner samples one live filter; the sharded engine has many.
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--tune",
+                     "--threads", "2"}),
+            2);
+  // --tune-target without --tune and out-of-range targets are rejected.
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--tune-target",
+                     "0.02"}),
+            2);
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--tune",
+                     "--tune-target", "1.5"}),
+            2);
+}
+
 TEST_F(CliCommandTest, AttackRejectsBadArguments) {
   EXPECT_EQ(run_cli({"attack", "--scenario", "ddos"}), 2);
   EXPECT_EQ(run_cli({"attack", "--filters", "bitmap,chrome"}), 2);

@@ -7,6 +7,7 @@
 #include "fault/fault_injector.h"
 #include "filter/bitmap_filter.h"
 #include "filter/drop_policy.h"
+#include "filter/filter_registry.h"
 #include "sim/parallel_replay.h"
 #include "trace/campus.h"
 
@@ -31,7 +32,7 @@ ShardRouterFactory bitmap_factory() {
     config.network = network;
     config.seed = shard_seed(7, shard);
     return std::make_unique<EdgeRouter>(
-        config, std::make_unique<BitmapFilter>(BitmapFilterConfig{}),
+        config, make_state_filter(bitmap_filter_spec(BitmapFilterConfig{})),
         std::make_unique<ConstantDropPolicy>(1.0));
   };
 }

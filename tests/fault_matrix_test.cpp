@@ -8,6 +8,7 @@
 #include "fault/fault_injector.h"
 #include "filter/bitmap_filter.h"
 #include "filter/drop_policy.h"
+#include "filter/filter_registry.h"
 #include "filter/spi_filter.h"
 #include "sim/parallel_replay.h"
 #include "trace/campus.h"
@@ -33,7 +34,7 @@ ShardRouterFactory bitmap_factory() {
     config.network = network;
     config.seed = shard_seed(7, shard);
     return std::make_unique<EdgeRouter>(
-        config, std::make_unique<BitmapFilter>(BitmapFilterConfig{}),
+        config, make_state_filter(bitmap_filter_spec(BitmapFilterConfig{})),
         std::make_unique<ConstantDropPolicy>(1.0));
   };
 }
@@ -44,7 +45,7 @@ ShardRouterFactory spi_factory() {
     config.network = network;
     config.seed = shard_seed(7, shard);
     return std::make_unique<EdgeRouter>(
-        config, std::make_unique<SpiFilter>(SpiFilterConfig{}),
+        config, make_state_filter(spi_filter_spec(SpiFilterConfig{})),
         std::make_unique<ConstantDropPolicy>(1.0));
   };
 }

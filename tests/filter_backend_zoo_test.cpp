@@ -1,0 +1,506 @@
+// The backend zoo: properties of the new registry-driven backends.
+//
+//  - A registry-enumerated no-false-negative property test: every backend
+//    advertising kCapNoFalseNegative must admit inbound traffic for any
+//    connection marked within its own guaranteed_window(). New backends
+//    are enrolled automatically by registering.
+//  - RetouchedBitmapFilter: the Donnet et al. trade -- admissions are a
+//    strict subset of the plain bitmap's, fraction 0 is bit-identical to
+//    the bitmap, and the per-epoch mask is deterministic with the
+//    expected density.
+//  - CountingFilter: per-tuple deletion on TCP close, deletion isolation,
+//    generational expiry, occupancy, and the fault-plane cell hook.
+//  - AdaptiveTuner: rotation-boundary folding, EWMA smoothing, and the
+//    Eq. 5/6 recommendation math against the closed forms in params.h.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "filter/adaptive_tuner.h"
+#include "filter/bitmap_filter.h"
+#include "filter/counting_filter.h"
+#include "filter/filter_registry.h"
+#include "filter/params.h"
+#include "filter/retouched_bitmap.h"
+#include "util/rng.h"
+
+namespace upbound {
+namespace {
+
+FiveTuple random_tuple(Rng& rng) {
+  return FiveTuple{rng.next_bool(0.5) ? Protocol::kTcp : Protocol::kUdp,
+                   Ipv4Addr{0x8c701e00u | static_cast<std::uint32_t>(
+                                              rng.next_below(256))},
+                   static_cast<std::uint16_t>(rng.next_range(1024, 65535)),
+                   Ipv4Addr{static_cast<std::uint32_t>(rng.next_u64())},
+                   static_cast<std::uint16_t>(rng.next_range(1, 65535))};
+}
+
+/// Data packet with no TCP flags: never triggers close-side deletion and
+/// never closes an SPI flow, so it is safe for every backend.
+PacketRecord packet(const FiveTuple& t, double t_sec) {
+  PacketRecord pkt;
+  pkt.timestamp = SimTime::from_sec(t_sec);
+  pkt.tuple = t;
+  pkt.payload_size = 100;
+  return pkt;
+}
+
+// ---------------- Registry-enumerated no-FN property --------------------
+
+std::vector<std::string> no_false_negative_backends() {
+  std::vector<std::string> out;
+  for (const BackendDescriptor& backend :
+       FilterRegistry::instance().descriptors()) {
+    if (backend.has(kCapNoFalseNegative)) out.push_back(backend.name);
+  }
+  return out;
+}
+
+class NoFalseNegativeWindow : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(NoFalseNegativeWindow, MarkedConnectionsAdmitWithinGuaranteedWindow) {
+  const BackendDescriptor& backend =
+      FilterRegistry::instance().at(GetParam());
+  ASSERT_TRUE(backend.has(kCapNoFalseNegative));
+
+  // Small geometry: collisions are welcome (they can only create false
+  // positives, never false negatives). Exact-state backends ignore the
+  // geometry keys and use their timeout defaults.
+  MapFilterArgs args;
+  args.set("bits", "12").set("k", "4").set("m", "3").set("dt", "2");
+  const FilterSpec spec = backend.parse(args);
+  const Duration window = backend.guaranteed_window(spec);
+  ASSERT_GT(window, Duration{});
+  const std::unique_ptr<StateFilter> filter = make_state_filter(spec);
+
+  struct Flow {
+    FiveTuple tuple;
+    SimTime last_mark;
+    bool marked = false;
+  };
+  Rng rng{20260809};
+  std::vector<Flow> flows;
+  for (int i = 0; i < 64; ++i) {
+    flows.push_back(Flow{random_tuple(rng), SimTime::origin(), false});
+  }
+
+  int must_admit_probes = 0;
+  double t = 0.0;
+  while (t < 30.0) {
+    t += rng.exponential(0.01);
+    const SimTime now = SimTime::from_sec(t);
+    filter->advance_time(now);
+    Flow& flow = flows[rng.next_below(flows.size())];
+    if (rng.next_bool(0.6)) {
+      filter->record_outbound(packet(flow.tuple, t));
+      flow.last_mark = now;
+      flow.marked = true;
+    } else {
+      const bool admits =
+          filter->admits_inbound(packet(flow.tuple.inverse(), t));
+      if (flow.marked && now - flow.last_mark < window) {
+        ++must_admit_probes;
+        ASSERT_TRUE(admits)
+            << backend.name << ": false negative at t=" << t
+            << " (marked " << (now - flow.last_mark).to_sec()
+            << "s ago, window " << window.to_sec() << "s)";
+      }
+    }
+  }
+  EXPECT_GT(must_admit_probes, 500);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, NoFalseNegativeWindow,
+    ::testing::ValuesIn(no_false_negative_backends()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;  // gtest names reject '-'
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---------------- Retouched bitmap --------------------------------------
+
+RetouchedBitmapConfig small_retouched(double fraction) {
+  RetouchedBitmapConfig config;
+  config.bitmap.log2_bits = 10;  // small: plenty of FP collisions to kill
+  config.bitmap.vector_count = 4;
+  config.bitmap.hash_count = 3;
+  config.bitmap.rotate_interval = Duration::sec(5.0);
+  config.retouch_fraction = fraction;
+  return config;
+}
+
+TEST(RetouchedBitmap, FractionZeroIsBitIdenticalToPlainBitmap) {
+  const RetouchedBitmapConfig config = small_retouched(0.0);
+  RetouchedBitmapFilter retouched{config};
+  BitmapFilter plain{config.bitmap};
+
+  Rng rng{991};
+  std::vector<FiveTuple> pool;
+  for (int i = 0; i < 200; ++i) pool.push_back(random_tuple(rng));
+  double t = 0.0;
+  while (t < 40.0) {
+    t += rng.exponential(0.02);
+    const SimTime now = SimTime::from_sec(t);
+    retouched.advance_time(now);
+    plain.advance_time(now);
+    const FiveTuple& tuple = pool[rng.next_below(pool.size())];
+    if (rng.next_bool(0.5)) {
+      retouched.record_outbound(packet(tuple, t));
+      plain.record_outbound(packet(tuple, t));
+    } else {
+      const PacketRecord probe = packet(tuple.inverse(), t);
+      ASSERT_EQ(retouched.admits_inbound(probe), plain.admits_inbound(probe))
+          << "diverged at t=" << t;
+    }
+  }
+}
+
+TEST(RetouchedBitmap, AdmitsSubsetOfPlainBitmapWithRealFalseNegatives) {
+  const RetouchedBitmapConfig config = small_retouched(0.25);
+  RetouchedBitmapFilter retouched{config};
+  BitmapFilter plain{config.bitmap};
+
+  Rng rng{992};
+  std::vector<FiveTuple> pool;
+  for (int i = 0; i < 300; ++i) pool.push_back(random_tuple(rng));
+  int retouched_misses = 0;
+  int probes = 0;
+  double t = 0.0;
+  while (t < 40.0) {
+    t += rng.exponential(0.02);
+    const SimTime now = SimTime::from_sec(t);
+    retouched.advance_time(now);
+    plain.advance_time(now);
+    const FiveTuple& tuple = pool[rng.next_below(pool.size())];
+    if (rng.next_bool(0.5)) {
+      retouched.record_outbound(packet(tuple, t));
+      plain.record_outbound(packet(tuple, t));
+    } else {
+      const PacketRecord probe = packet(tuple.inverse(), t);
+      const bool masked = retouched.admits_inbound(probe);
+      const bool ground = plain.admits_inbound(probe);
+      ++probes;
+      // The mask only clears bits: retouched admissions are a subset.
+      if (masked) {
+        ASSERT_TRUE(ground) << "retouching invented a positive";
+      }
+      retouched_misses += ground && !masked;
+    }
+  }
+  ASSERT_GT(probes, 500);
+  // The whole point of the trade: false negatives really occur.
+  EXPECT_GT(retouched_misses, 0);
+}
+
+TEST(RetouchedBitmap, MissRateOnFreshMarksMatchesTheClosedForm) {
+  // A connection marked THIS instant misses only through the mask:
+  // P[miss] = 1 - (1-r)^m over random tuples.
+  const double r = 0.2;
+  const RetouchedBitmapConfig config = small_retouched(r);
+  RetouchedBitmapFilter filter{config};
+  Rng rng{993};
+  int misses = 0;
+  const int kProbes = 4000;
+  for (int i = 0; i < kProbes; ++i) {
+    const FiveTuple tuple = random_tuple(rng);
+    filter.record_outbound(packet(tuple, 1.0));
+    misses += !filter.admits_inbound(packet(tuple.inverse(), 1.0));
+  }
+  const double expected =
+      1.0 - std::pow(1.0 - r, config.bitmap.hash_count);
+  EXPECT_NEAR(static_cast<double>(misses) / kProbes, expected, 0.08);
+}
+
+TEST(RetouchedBitmap, MaskIsDeterministicPerEpochAndRedrawnAcrossEpochs) {
+  const RetouchedBitmapConfig config = small_retouched(0.1);
+  const RetouchedBitmapFilter filter{config};
+  const std::size_t bits = config.bitmap.bits();
+
+  std::size_t epoch0 = 0;
+  std::size_t epoch1 = 0;
+  bool differs = false;
+  for (std::size_t bit = 0; bit < bits; ++bit) {
+    const bool a = filter.retouched(0, bit);
+    EXPECT_EQ(a, filter.retouched(0, bit));  // pure function of (epoch, bit)
+    const bool b = filter.retouched(1, bit);
+    epoch0 += a;
+    epoch1 += b;
+    differs = differs || (a != b);
+  }
+  EXPECT_TRUE(differs) << "epochs must draw fresh retouch sets";
+  // Density close to r in both epochs.
+  EXPECT_NEAR(static_cast<double>(epoch0) / bits, 0.1, 0.04);
+  EXPECT_NEAR(static_cast<double>(epoch1) / bits, 0.1, 0.04);
+}
+
+TEST(RetouchedBitmap, ConfigValidation) {
+  RetouchedBitmapConfig config;
+  config.retouch_fraction = 0.5;  // must be < 0.5
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.retouch_fraction = -0.01;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.retouch_fraction = 0.49;
+  EXPECT_NO_THROW(config.validate());
+}
+
+// ---------------- Counting filter ----------------------------------------
+
+CountingFilterConfig small_counting() {
+  CountingFilterConfig config;
+  config.log2_cells = 12;
+  config.generation_count = 4;
+  config.hash_count = 3;
+  config.rotate_interval = Duration::sec(5.0);
+  return config;
+}
+
+FiveTuple tcp_conn(std::uint16_t sport) {
+  return FiveTuple{Protocol::kTcp, Ipv4Addr{140, 112, 30, 5}, sport,
+                   Ipv4Addr{8, 8, 4, 4}, 443};
+}
+
+TEST(CountingFilter, OutboundFinDeletesExactlyThatConnection) {
+  CountingFilter filter{small_counting()};
+  const FiveTuple a = tcp_conn(2000);
+  const FiveTuple b = tcp_conn(2001);
+  filter.record_outbound(packet(a, 1.0));
+  filter.record_outbound(packet(b, 1.0));
+  ASSERT_TRUE(filter.admits_inbound(packet(a.inverse(), 1.1)));
+  ASSERT_TRUE(filter.admits_inbound(packet(b.inverse(), 1.1)));
+
+  PacketRecord fin = packet(a, 1.2);
+  fin.flags.fin = true;
+  filter.record_outbound(fin);
+
+  EXPECT_FALSE(filter.admits_inbound(packet(a.inverse(), 1.3)))
+      << "closed connection must stop admitting inbound traffic";
+  EXPECT_TRUE(filter.admits_inbound(packet(b.inverse(), 1.3)))
+      << "deletion must not disturb other connections";
+  EXPECT_EQ(filter.deletes_applied(), 1u);
+}
+
+TEST(CountingFilter, RstDeletesAndReopeningRemarks) {
+  CountingFilter filter{small_counting()};
+  const FiveTuple conn = tcp_conn(3000);
+  filter.record_outbound(packet(conn, 1.0));
+  PacketRecord rst = packet(conn, 1.1);
+  rst.flags.rst = true;
+  filter.record_outbound(rst);
+  EXPECT_FALSE(filter.admits_inbound(packet(conn.inverse(), 1.2)));
+  // A new outbound packet re-establishes state.
+  filter.record_outbound(packet(conn, 1.3));
+  EXPECT_TRUE(filter.admits_inbound(packet(conn.inverse(), 1.4)));
+}
+
+TEST(CountingFilter, NoCloseDeleteConfigTreatsFinAsData) {
+  CountingFilterConfig config = small_counting();
+  config.delete_on_close = false;
+  CountingFilter filter{config};
+  const FiveTuple conn = tcp_conn(4000);
+  PacketRecord fin = packet(conn, 1.0);
+  fin.flags.fin = true;
+  filter.record_outbound(fin);  // inserted, not deleted
+  EXPECT_TRUE(filter.admits_inbound(packet(conn.inverse(), 1.1)));
+  EXPECT_EQ(filter.deletes_applied(), 0u);
+}
+
+TEST(CountingFilter, EraseConnectionIsIdempotentOnAbsentState) {
+  CountingFilter filter{small_counting()};
+  const FiveTuple conn = tcp_conn(5000);
+  filter.erase_connection(conn);  // nothing present: no-op
+  EXPECT_EQ(filter.deletes_applied(), 0u);
+  filter.record_outbound(packet(conn, 1.0));
+  filter.erase_connection(conn);
+  EXPECT_EQ(filter.deletes_applied(), 1u);
+  EXPECT_FALSE(filter.admits_inbound(packet(conn.inverse(), 1.1)));
+  filter.erase_connection(conn);  // already gone
+  EXPECT_EQ(filter.deletes_applied(), 1u);
+}
+
+TEST(CountingFilter, GenerationalExpiryMatchesTheBitmapSchedule) {
+  const CountingFilterConfig config = small_counting();
+  CountingFilter filter{config};
+  const FiveTuple conn = tcp_conn(6000);
+  filter.advance_time(SimTime::from_sec(0.5));
+  filter.record_outbound(packet(conn, 0.5));
+
+  // Inside the guaranteed (k-1)*dt window: admitted.
+  filter.advance_time(SimTime::from_sec(14.0));
+  EXPECT_TRUE(filter.admits_inbound(packet(conn.inverse(), 14.0)));
+  // Past T_e = k*dt every generation that saw the mark has rotated out.
+  filter.advance_time(SimTime::from_sec(21.0));
+  EXPECT_FALSE(filter.admits_inbound(packet(conn.inverse(), 21.0)));
+  EXPECT_EQ(filter.rotations(), 4u);
+}
+
+TEST(CountingFilter, OccupancyTracksCurrentGenerationFill) {
+  CountingFilter filter{small_counting()};
+  ASSERT_TRUE(filter.occupancy_fraction().has_value());
+  EXPECT_DOUBLE_EQ(*filter.occupancy_fraction(), 0.0);
+  Rng rng{77};
+  for (int i = 0; i < 200; ++i) {
+    filter.record_outbound(packet(random_tuple(rng), 1.0));
+  }
+  const double filled = *filter.occupancy_fraction();
+  EXPECT_GT(filled, 0.0);
+  EXPECT_LT(filled, 1.0);
+  // Rotating k times clears everything back out.
+  filter.advance_time(SimTime::from_sec(100.0));
+  EXPECT_DOUBLE_EQ(*filter.occupancy_fraction(), 0.0);
+}
+
+TEST(CountingFilter, CorruptCellHookPerturbsAddressedCellOnly) {
+  CountingFilter filter{small_counting()};
+  // Flat index 5 addresses generation 0 (the current one at start).
+  filter.corrupt_cell(5);
+  EXPECT_GT(*filter.occupancy_fraction(), 0.0);
+  filter.corrupt_cell(5);  // XOR of the low bit: flips back
+  EXPECT_DOUBLE_EQ(*filter.occupancy_fraction(), 0.0);
+}
+
+TEST(CountingFilter, SaturatedCellsAreNeverDecremented) {
+  // Drive one tuple's cells to saturation via distinct colliding inserts
+  // is hard to arrange; instead use the documented contract directly:
+  // insert-if-absent means repeated inserts of ONE tuple cost one
+  // increment, so a single delete fully removes it and a second delete
+  // must not underflow other state.
+  CountingFilter filter{small_counting()};
+  const FiveTuple conn = tcp_conn(7000);
+  for (int i = 0; i < 50; ++i) {
+    filter.record_outbound(packet(conn, 1.0 + 0.01 * i));
+  }
+  filter.erase_connection(conn);
+  EXPECT_FALSE(filter.admits_inbound(packet(conn.inverse(), 2.0)));
+  EXPECT_EQ(filter.deletes_applied(), 1u);
+}
+
+// ---------------- Adaptive tuner -----------------------------------------
+
+TunerConfig tuner_config(std::size_t bits = std::size_t{1} << 16,
+                         unsigned m = 3) {
+  TunerConfig config;
+  config.enabled = true;
+  config.target_penetration = 0.01;
+  config.ewma_alpha = 0.5;
+  config.geometry =
+      FilterGeometry{bits, m, 4, Duration::sec(5.0)};
+  return config;
+}
+
+TEST(AdaptiveTuner, StartsAtTheLiveGeometry) {
+  const AdaptiveTuner tuner{tuner_config()};
+  const TunerRecommendation& rec = tuner.recommendation();
+  EXPECT_EQ(rec.recommended_bits, std::size_t{1} << 16);
+  EXPECT_EQ(rec.recommended_hash_count, 3u);
+  EXPECT_EQ(rec.recommended_rotate_interval, Duration::sec(5.0));
+  EXPECT_EQ(rec.generations_observed, 0u);
+  EXPECT_EQ(rec.samples, 0u);
+}
+
+TEST(AdaptiveTuner, FoldsTheGenerationPeakAtTheRotationBoundary) {
+  AdaptiveTuner tuner{tuner_config()};
+  tuner.observe(0.1, 0);
+  tuner.observe(0.4, 0);  // the generation's peak
+  tuner.observe(0.2, 0);
+  EXPECT_EQ(tuner.recommendation().generations_observed, 0u)
+      << "no fold until the next generation appears";
+
+  tuner.observe(0.05, 1);  // first sample of generation 1 folds gen 0
+  const TunerRecommendation& rec = tuner.recommendation();
+  EXPECT_EQ(rec.generations_observed, 1u);
+  EXPECT_EQ(rec.samples, 4u);
+  EXPECT_DOUBLE_EQ(rec.occupancy_peak_ewma, 0.4);  // first fold primes EWMA
+
+  // The recommendation reproduces the closed forms from params.h.
+  const double n = static_cast<double>(std::size_t{1} << 16);
+  const double c = -(n * std::log1p(-0.4)) / 3.0;
+  EXPECT_NEAR(rec.estimated_connections, c, 1e-9);
+  EXPECT_DOUBLE_EQ(rec.penetration_estimate,
+                   penetration_probability_at_utilization(0.4, 3));
+  const auto load = static_cast<std::size_t>(std::ceil(c));
+  EXPECT_EQ(rec.recommended_hash_count,
+            optimal_hash_count(std::size_t{1} << 16, load));
+  std::size_t bits = std::size_t{1} << 3;
+  while (bits < (std::size_t{1} << 30) &&
+         max_connections_for(0.01, bits) < load) {
+    bits <<= 1;
+  }
+  EXPECT_EQ(rec.recommended_bits, bits);
+}
+
+TEST(AdaptiveTuner, EwmaSmoothsPeaksAcrossGenerations) {
+  AdaptiveTuner tuner{tuner_config()};
+  tuner.observe(0.4, 0);
+  tuner.observe(0.0, 1);  // fold gen 0 peak 0.4 -> ewma 0.4
+  tuner.observe(0.2, 1);
+  tuner.observe(0.0, 2);  // fold gen 1 peak 0.2 -> 0.5*0.2 + 0.5*0.4
+  EXPECT_DOUBLE_EQ(tuner.recommendation().occupancy_peak_ewma, 0.3);
+  EXPECT_EQ(tuner.recommendation().generations_observed, 2u);
+}
+
+TEST(AdaptiveTuner, OverloadShortensTheRotateIntervalBoundedly) {
+  // Tiny filter at very high occupancy: estimated load far exceeds the
+  // Eq. 6 capacity, so dt is scaled down, floored at dt/4.
+  AdaptiveTuner tuner{tuner_config(std::size_t{1} << 8)};
+  tuner.observe(0.95, 0);
+  tuner.observe(0.95, 1);
+  const TunerRecommendation& rec = tuner.recommendation();
+  const double c = rec.estimated_connections;
+  const auto load = static_cast<std::size_t>(std::ceil(c));
+  const std::size_t capacity = max_connections_for(0.01, std::size_t{1} << 8);
+  const double scale =
+      std::clamp(static_cast<double>(capacity) / static_cast<double>(load),
+                 0.25, 1.0);
+  EXPECT_EQ(rec.recommended_rotate_interval, Duration::sec(5.0) * scale);
+  EXPECT_GE(rec.recommended_rotate_interval, Duration::sec(5.0) * 0.25);
+  // And it recommends growing the structure.
+  EXPECT_GT(rec.recommended_bits, std::size_t{1} << 8);
+}
+
+TEST(AdaptiveTuner, IdleFilterKeepsTheLiveGeometry) {
+  AdaptiveTuner tuner{tuner_config()};
+  tuner.observe(0.0, 0);
+  tuner.observe(0.0, 1);
+  const TunerRecommendation& rec = tuner.recommendation();
+  EXPECT_EQ(rec.recommended_bits, std::size_t{1} << 16);
+  EXPECT_EQ(rec.recommended_hash_count, 3u);
+  EXPECT_EQ(rec.recommended_rotate_interval, Duration::sec(5.0));
+  EXPECT_DOUBLE_EQ(rec.estimated_connections, 0.0);
+}
+
+TEST(AdaptiveTuner, ToStringCarriesTheHeadlineNumbers) {
+  AdaptiveTuner tuner{tuner_config()};
+  tuner.observe(0.4, 0);
+  tuner.observe(0.0, 1);
+  const std::string s = tuner.recommendation().to_string();
+  EXPECT_NE(s.find("tuner:"), std::string::npos);
+  EXPECT_NE(s.find("recommend m="), std::string::npos);
+  EXPECT_NE(s.find("samples=2"), std::string::npos);
+}
+
+TEST(AdaptiveTuner, ConfigValidation) {
+  TunerConfig config = tuner_config();
+  config.target_penetration = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = tuner_config();
+  config.ewma_alpha = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = tuner_config();
+  config.geometry = FilterGeometry{};
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.enabled = false;  // disabled: geometry not required
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_NO_THROW(tuner_config().validate());
+}
+
+}  // namespace
+}  // namespace upbound

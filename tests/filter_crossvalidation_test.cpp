@@ -10,6 +10,7 @@
 #include "filter/aging_bloom.h"
 #include "filter/bitmap_filter.h"
 #include "filter/concurrent_bitmap.h"
+#include "filter/filter_registry.h"
 #include "filter/naive_filter.h"
 #include "filter/params.h"
 #include "filter/spi_filter.h"
@@ -142,24 +143,15 @@ INSTANTIATE_TEST_SUITE_P(
 // blocklist feedback, the RED policy's rng stream, and deliberately
 // injected timestamp regressions.
 
+// Every registered backend at its default configuration -- a backend
+// added to the registry is enrolled in the differential automatically.
 std::unique_ptr<StateFilter> make_filter(const std::string& kind) {
-  if (kind == "bitmap") {
-    return std::make_unique<BitmapFilter>(BitmapFilterConfig{});
-  }
-  if (kind == "bitmap_mt") {
-    return std::make_unique<ConcurrentBitmapFilter>(BitmapFilterConfig{});
-  }
-  if (kind == "aging") {
-    return std::make_unique<AgingBloomFilter>(AgingBloomConfig{});
-  }
-  if (kind == "naive") {
-    return std::make_unique<NaiveFilter>(NaiveFilterConfig{});
-  }
-  return std::make_unique<SpiFilter>(SpiFilterConfig{});
+  return make_state_filter(
+      FilterRegistry::instance().parse(kind, MapFilterArgs{}));
 }
 
 class BatchScalarDifferential
-    : public ::testing::TestWithParam<const char*> {};
+    : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(BatchScalarDifferential, BatchDecisionsBitIdenticalToScalar) {
   CampusTraceConfig trace_config;
@@ -208,11 +200,16 @@ TEST_P(BatchScalarDifferential, BatchDecisionsBitIdenticalToScalar) {
   EXPECT_GT(scalar_stats.blocked_drops, 0u);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllFilters, BatchScalarDifferential,
-                         ::testing::Values("bitmap", "bitmap_mt", "aging",
-                                           "naive", "spi"),
-                         [](const ::testing::TestParamInfo<const char*>&
-                                info) { return std::string(info.param); });
+INSTANTIATE_TEST_SUITE_P(
+    AllFilters, BatchScalarDifferential,
+    ::testing::ValuesIn(FilterRegistry::instance().names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;  // gtest names reject '-'
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
 
 TEST(BatchScalarDifferential, BitmapBatchApiMatchesScalarAcrossRotations) {
   BitmapFilterConfig config;

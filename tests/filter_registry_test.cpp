@@ -1,0 +1,223 @@
+// FilterRegistry: the single seam between backend existence and backend
+// construction. These tests pin the registry contract every consumer
+// (CLI, filter bank, parallel replay, attack evaluator, snapshot
+// dispatch, test enumeration) relies on: stable names and registration
+// order, capability bits that match each backend's actual behavior,
+// argument parsing with typed errors, and factories that build working
+// filters.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+#include "filter/filter_registry.h"
+
+namespace upbound {
+namespace {
+
+TEST(FilterRegistry, RegistersTheFullBackendZoo) {
+  const std::vector<std::string> names = FilterRegistry::instance().names();
+  const std::vector<std::string> expected{
+      "bitmap", "bitmap-mt", "aging", "spi", "naive", "retouched", "counting"};
+  EXPECT_EQ(names, expected);
+  EXPECT_EQ(FilterRegistry::instance().names_joined("|"),
+            "bitmap|bitmap-mt|aging|spi|naive|retouched|counting");
+}
+
+TEST(FilterRegistry, FindAndAtAgreeAndUnknownNamesAreTypedErrors) {
+  const FilterRegistry& registry = FilterRegistry::instance();
+  EXPECT_NE(registry.find("bitmap"), nullptr);
+  EXPECT_EQ(registry.find("quantum"), nullptr);
+  EXPECT_EQ(&registry.at("counting"), registry.find("counting"));
+  try {
+    registry.at("quantum");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The error names the alternatives so CLI messages stay current.
+    EXPECT_NE(std::string{e.what()}.find("bitmap"), std::string::npos);
+    EXPECT_NE(std::string{e.what()}.find("counting"), std::string::npos);
+  }
+}
+
+TEST(FilterRegistry, CapabilityBitsMatchBackendBehavior) {
+  const FilterRegistry& registry = FilterRegistry::instance();
+  const BackendDescriptor& bitmap = registry.at("bitmap");
+  EXPECT_TRUE(bitmap.has(kCapOccupancy));
+  EXPECT_TRUE(bitmap.has(kCapSnapshot));
+  EXPECT_TRUE(bitmap.has(kCapSharedView));
+  EXPECT_TRUE(bitmap.has(kCapPureLookup));
+  EXPECT_TRUE(bitmap.has(kCapNoFalseNegative));
+  EXPECT_FALSE(bitmap.has(kCapDeletion));
+
+  // Only the plain bitmap speaks the snapshot format.
+  for (const BackendDescriptor& backend : registry.descriptors()) {
+    EXPECT_EQ(backend.has(kCapSnapshot), backend.name == "bitmap")
+        << backend.name;
+  }
+  // Only the concurrent-capable bitmaps may be shared across shards.
+  for (const BackendDescriptor& backend : registry.descriptors()) {
+    EXPECT_EQ(backend.has(kCapSharedView),
+              backend.name == "bitmap" || backend.name == "bitmap-mt")
+        << backend.name;
+  }
+
+  // Retouching deliberately trades the paper's core guarantee away.
+  EXPECT_FALSE(registry.at("retouched").has(kCapNoFalseNegative));
+  EXPECT_TRUE(registry.at("retouched").has(kCapOccupancy));
+
+  // Counting is the only backend with per-tuple deletion.
+  for (const BackendDescriptor& backend : registry.descriptors()) {
+    EXPECT_EQ(backend.has(kCapDeletion), backend.name == "counting")
+        << backend.name;
+  }
+
+  // The aging ring has no Eq. 2 occupancy signal; SPI refreshes state on
+  // lookup so its lookups are not pure.
+  EXPECT_FALSE(registry.at("aging").has(kCapOccupancy));
+  EXPECT_FALSE(registry.at("spi").has(kCapPureLookup));
+}
+
+TEST(FilterRegistry, EveryFactoryBuildsAWorkingFilter) {
+  for (const BackendDescriptor& backend :
+       FilterRegistry::instance().descriptors()) {
+    const FilterSpec spec = backend.parse(MapFilterArgs{});
+    EXPECT_EQ(spec.backend, &backend);
+    const std::unique_ptr<StateFilter> filter = make_state_filter(spec);
+    ASSERT_NE(filter, nullptr) << backend.name;
+    // The occupancy capability bit is exactly "occupancy_fraction()
+    // returns a value".
+    EXPECT_EQ(filter->occupancy_fraction().has_value(),
+              backend.has(kCapOccupancy))
+        << backend.name;
+    // Pure-lookup capability mirrors the filter's own declaration.
+    EXPECT_EQ(filter->inbound_lookup_is_pure(), backend.has(kCapPureLookup))
+        << backend.name;
+  }
+}
+
+TEST(FilterRegistry, ParseMapsArgumentsIntoValidatedConfigs) {
+  MapFilterArgs args;
+  args.set("bits", "12").set("k", "3").set("m", "2").set("dt", "2.5");
+  args.set_flag("hole-punching");
+  const FilterSpec spec = FilterRegistry::instance().parse("bitmap", args);
+  const BitmapFilterConfig& config = spec.config_as<BitmapFilterConfig>();
+  EXPECT_EQ(config.log2_bits, 12u);
+  EXPECT_EQ(config.vector_count, 3u);
+  EXPECT_EQ(config.hash_count, 2u);
+  EXPECT_EQ(config.rotate_interval, Duration::sec(2.5));
+  EXPECT_EQ(config.key_mode, KeyMode::kHolePunching);
+}
+
+TEST(FilterRegistry, BadArgumentsAreInvalidArgument) {
+  MapFilterArgs garbage;
+  garbage.set("bits", "not-a-number");
+  EXPECT_THROW(FilterRegistry::instance().parse("bitmap", garbage),
+               std::invalid_argument);
+
+  MapFilterArgs invalid;
+  invalid.set("k", "1");  // fewer than 2 vectors cannot rotate safely
+  EXPECT_THROW(FilterRegistry::instance().parse("bitmap", invalid),
+               std::invalid_argument);
+
+  MapFilterArgs fraction;
+  fraction.set("retouch-fraction", "0.9");  // >= 0.5 rejected
+  EXPECT_THROW(FilterRegistry::instance().parse("retouched", fraction),
+               std::invalid_argument);
+}
+
+TEST(FilterRegistry, ConfigAsIsTypeChecked) {
+  const FilterSpec spec =
+      FilterRegistry::instance().parse("counting", MapFilterArgs{});
+  EXPECT_NO_THROW(spec.config_as<CountingFilterConfig>());
+  EXPECT_THROW(spec.config_as<BitmapFilterConfig>(), std::logic_error);
+}
+
+TEST(FilterRegistry, GeometryAndWindowHooks) {
+  const FilterRegistry& registry = FilterRegistry::instance();
+
+  MapFilterArgs args;
+  args.set("bits", "14").set("k", "4").set("m", "3").set("dt", "5");
+  const FilterSpec bitmap = registry.parse("bitmap", args);
+  const std::optional<FilterGeometry> geometry =
+      registry.at("bitmap").geometry(bitmap);
+  ASSERT_TRUE(geometry.has_value());
+  EXPECT_EQ(geometry->bits, std::size_t{1} << 14);
+  EXPECT_EQ(geometry->hash_count, 3u);
+  EXPECT_EQ(geometry->vector_count, 4u);
+  EXPECT_EQ(geometry->rotate_interval, Duration::sec(5.0));
+  // Guaranteed no-FN window of a generational backend: (k-1)*dt.
+  EXPECT_EQ(registry.at("bitmap").guaranteed_window(bitmap),
+            Duration::sec(15.0));
+
+  const FilterSpec counting = registry.parse("counting", args);
+  EXPECT_TRUE(registry.at("counting").geometry(counting).has_value());
+  EXPECT_EQ(registry.at("counting").guaranteed_window(counting),
+            Duration::sec(15.0));
+
+  // Exact-state backends have no Bloom geometry; their window is the
+  // configured timeout.
+  MapFilterArgs timeout;
+  timeout.set("timeout", "30");
+  const FilterSpec naive = registry.parse("naive", timeout);
+  EXPECT_FALSE(registry.at("naive").geometry(naive).has_value());
+  EXPECT_EQ(registry.at("naive").guaranteed_window(naive),
+            Duration::sec(30.0));
+}
+
+TEST(FilterRegistry, TypedSpecBuildersMatchParse) {
+  BitmapFilterConfig config;
+  config.log2_bits = 12;
+  const FilterSpec spec = bitmap_filter_spec(config);
+  EXPECT_EQ(spec.kind(), "bitmap");
+  EXPECT_EQ(spec.config_as<BitmapFilterConfig>().log2_bits, 12u);
+
+  CountingFilterConfig counting;
+  counting.log2_cells = 10;
+  const FilterSpec counting_spec = counting_filter_spec(counting);
+  EXPECT_EQ(counting_spec.kind(), "counting");
+  EXPECT_EQ(counting_spec.config_as<CountingFilterConfig>().log2_cells, 10u);
+
+  RetouchedBitmapConfig retouched;
+  retouched.retouch_fraction = 0.05;
+  const FilterSpec retouched_spec = retouched_filter_spec(retouched);
+  EXPECT_EQ(retouched_spec.kind(), "retouched");
+  EXPECT_DOUBLE_EQ(
+      retouched_spec.config_as<RetouchedBitmapConfig>().retouch_fraction,
+      0.05);
+}
+
+TEST(FilterArgs, TypedAccessorsFallBackAndRejectGarbage) {
+  MapFilterArgs args;
+  args.set("good", "2.5").set("bad", "2.5x").set("count", "7");
+  EXPECT_DOUBLE_EQ(args.get_double("good", 1.0), 2.5);
+  EXPECT_DOUBLE_EQ(args.get_double("absent", 1.0), 1.0);
+  EXPECT_EQ(args.get_u64("count", 0), 7u);
+  EXPECT_EQ(args.get_unsigned("count", 0), 7u);
+  EXPECT_THROW(args.get_double("bad", 1.0), std::invalid_argument);
+  EXPECT_THROW(args.get_u64("good", 0), std::invalid_argument);
+}
+
+TEST(FilterRegistry, DistinctFilterInstancesPerMakeCall) {
+  // Parallel replay builds one filter per shard from the same spec; the
+  // factory must never hand out shared state.
+  const FilterSpec spec =
+      FilterRegistry::instance().parse("counting", MapFilterArgs{});
+  const auto a = make_state_filter(spec);
+  const auto b = make_state_filter(spec);
+  PacketRecord pkt;
+  pkt.timestamp = SimTime::from_sec(1.0);
+  pkt.tuple = FiveTuple{Protocol::kUdp, Ipv4Addr{140, 112, 30, 5}, 1111,
+                        Ipv4Addr{8, 8, 8, 8}, 53};
+  a->advance_time(pkt.timestamp);
+  a->record_outbound(pkt);
+  PacketRecord probe = pkt;
+  probe.tuple = pkt.tuple.inverse();
+  a->advance_time(probe.timestamp);
+  b->advance_time(probe.timestamp);
+  EXPECT_TRUE(a->admits_inbound(probe));
+  EXPECT_FALSE(b->admits_inbound(probe));
+}
+
+}  // namespace
+}  // namespace upbound

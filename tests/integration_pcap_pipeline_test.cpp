@@ -8,6 +8,7 @@
 
 #include "analyzer/analyzer.h"
 #include "filter/bitmap_filter.h"
+#include "filter/filter_registry.h"
 #include "net/pcap.h"
 #include "sim/replay.h"
 #include "trace/campus.h"
@@ -94,7 +95,7 @@ TEST_F(PcapPipelineTest, FilterDecisionsIdenticalAcrossDisk) {
     EdgeRouterConfig config;
     config.network = trace_->network;
     EdgeRouter router{config,
-                      std::make_unique<BitmapFilter>(BitmapFilterConfig{}),
+                      make_state_filter(bitmap_filter_spec(BitmapFilterConfig{})),
                       std::make_unique<ConstantDropPolicy>(1.0)};
     std::string decisions;
     for (const PacketRecord& pkt : packets) {

@@ -1,3 +1,4 @@
+#include "filter/filter_registry.h"
 #include "sim/closed_loop.h"
 
 #include <gtest/gtest.h>
@@ -23,7 +24,7 @@ std::unique_ptr<EdgeRouter> router_for(const ClientNetwork& network,
   config.network = network;
   config.track_blocked_connections = blocklist;
   return std::make_unique<EdgeRouter>(
-      config, std::make_unique<BitmapFilter>(BitmapFilterConfig{}),
+      config, make_state_filter(bitmap_filter_spec(BitmapFilterConfig{})),
       std::make_unique<ConstantDropPolicy>(drop_p));
 }
 
@@ -136,7 +137,7 @@ TEST(ClosedLoop, RetriesCanSucceedWhenStateAppears) {
   router_config.track_blocked_connections = false;
   BitmapFilterConfig bitmap;
   bitmap.key_mode = KeyMode::kHolePunching;
-  EdgeRouter router{router_config, std::make_unique<BitmapFilter>(bitmap),
+  EdgeRouter router{router_config, make_state_filter(bitmap_filter_spec(bitmap)),
                     std::make_unique<ConstantDropPolicy>(1.0)};
 
   ClosedLoopConfig config;

@@ -1,3 +1,4 @@
+#include "filter/filter_registry.h"
 #include "sim/edge_router.h"
 
 #include <gtest/gtest.h>
@@ -40,7 +41,7 @@ std::unique_ptr<EdgeRouter> make_router(
   BitmapFilterConfig filter_config;
   filter_config.log2_bits = 16;
   return std::make_unique<EdgeRouter>(
-      config, std::make_unique<BitmapFilter>(filter_config),
+      config, make_state_filter(bitmap_filter_spec(filter_config)),
       std::make_unique<ConstantDropPolicy>(drop_p));
 }
 
@@ -93,7 +94,7 @@ TEST(EdgeRouter, PaperReplaySemanticsKeepBlockedOutboundFlowing) {
   config.suppress_blocked_outbound = false;
   BitmapFilterConfig filter_config;
   filter_config.log2_bits = 16;
-  EdgeRouter router{config, std::make_unique<BitmapFilter>(filter_config),
+  EdgeRouter router{config, make_state_filter(bitmap_filter_spec(filter_config)),
                     std::make_unique<ConstantDropPolicy>(1.0)};
 
   router.process(pkt(in_conn(), 0.0, 100));  // dropped + blocked
@@ -141,7 +142,7 @@ TEST(EdgeRouter, RedPolicyKicksInWithThroughput) {
   config.network = campus();
   BitmapFilterConfig filter_config;
   filter_config.log2_bits = 16;
-  EdgeRouter router{config, std::make_unique<BitmapFilter>(filter_config),
+  EdgeRouter router{config, make_state_filter(bitmap_filter_spec(filter_config)),
                     std::make_unique<RedDropPolicy>(1e3, 2e3)};
   // Below L: unsolicited inbound passes.
   EXPECT_EQ(router.process(pkt(in_conn(1), 0.0, 100)),
@@ -180,7 +181,7 @@ TEST(EdgeRouter, NullFilterRejected) {
                           std::make_unique<ConstantDropPolicy>(1.0)),
                std::invalid_argument);
   EXPECT_THROW(EdgeRouter(config,
-                          std::make_unique<NaiveFilter>(NaiveFilterConfig{}),
+                          make_state_filter(naive_filter_spec(NaiveFilterConfig{})),
                           nullptr),
                std::invalid_argument);
 }
@@ -193,7 +194,7 @@ TEST(EdgeRouter, DropDecisionsDeterministicPerSeed) {
     BitmapFilterConfig filter_config;
     filter_config.log2_bits = 16;
     EdgeRouter router{config,
-                      std::make_unique<BitmapFilter>(filter_config),
+                      make_state_filter(bitmap_filter_spec(filter_config)),
                       std::make_unique<ConstantDropPolicy>(0.5)};
     std::string decisions;
     for (int i = 0; i < 64; ++i) {

@@ -1,3 +1,4 @@
+#include "filter/filter_registry.h"
 #include "sim/filter_bank.h"
 
 #include <gtest/gtest.h>
@@ -130,7 +131,7 @@ TEST(FilterBank, EndToEndTwoTraces) {
   EdgeRouterConfig solo_config;
   solo_config.network = trace_a.network;
   EdgeRouter solo{solo_config,
-                  std::make_unique<BitmapFilter>(BitmapFilterConfig{}),
+                  make_state_filter(bitmap_filter_spec(BitmapFilterConfig{})),
                   std::make_unique<RedDropPolicy>(1e3, 2e3)};
   for (const PacketRecord& p : trace_a.packets) solo.process(p);
 

@@ -7,6 +7,7 @@
 #include "filter/aging_bloom.h"
 #include "filter/bitmap_filter.h"
 #include "filter/concurrent_bitmap.h"
+#include "filter/filter_registry.h"
 #include "filter/naive_filter.h"
 #include "filter/spi_filter.h"
 #include "sim/replay.h"
@@ -44,11 +45,11 @@ TEST(FilterMatrix, AllImplementationsCompleteTheReplay) {
   AgingBloomConfig aging;  // defaults match the bitmap's Te = 20 s
   NaiveFilterConfig naive;
   const EdgeRouterStats results[] = {
-      run(std::make_unique<BitmapFilter>(default_bitmap())),
-      run(std::make_unique<ConcurrentBitmapFilter>(default_bitmap())),
-      run(std::make_unique<AgingBloomFilter>(aging)),
-      run(std::make_unique<NaiveFilter>(naive)),
-      run(std::make_unique<SpiFilter>(SpiFilterConfig{})),
+      run(make_state_filter(bitmap_filter_spec(default_bitmap()))),
+      run(make_state_filter(concurrent_bitmap_filter_spec(default_bitmap()))),
+      run(make_state_filter(aging_filter_spec(aging))),
+      run(make_state_filter(naive_filter_spec(naive))),
+      run(make_state_filter(spi_filter_spec(SpiFilterConfig{}))),
   };
   const std::uint64_t total_inbound = results[0].inbound_passed_packets +
                                       results[0].inbound_dropped_packets;
@@ -65,9 +66,9 @@ TEST(FilterMatrix, AllImplementationsCompleteTheReplay) {
 
 TEST(FilterMatrix, ConcurrentBitmapMatchesSequentialExactly) {
   const EdgeRouterStats sequential =
-      run(std::make_unique<BitmapFilter>(default_bitmap()));
+      run(make_state_filter(bitmap_filter_spec(default_bitmap())));
   const EdgeRouterStats concurrent =
-      run(std::make_unique<ConcurrentBitmapFilter>(default_bitmap()));
+      run(make_state_filter(concurrent_bitmap_filter_spec(default_bitmap())));
   EXPECT_EQ(sequential.inbound_passed_packets,
             concurrent.inbound_passed_packets);
   EXPECT_EQ(sequential.inbound_dropped_packets,
@@ -88,9 +89,9 @@ TEST(FilterMatrix, AgingBloomMatchesBitmapAtMatchingParameters) {
   aging.hash_seed = bitmap_config.hash_seed;
 
   const EdgeRouterStats bitmap =
-      run(std::make_unique<BitmapFilter>(bitmap_config));
+      run(make_state_filter(bitmap_filter_spec(bitmap_config)));
   const EdgeRouterStats aging_stats =
-      run(std::make_unique<AgingBloomFilter>(aging));
+      run(make_state_filter(aging_filter_spec(aging)));
   EXPECT_EQ(bitmap.inbound_passed_packets, aging_stats.inbound_passed_packets);
   EXPECT_EQ(bitmap.inbound_dropped_packets,
             aging_stats.inbound_dropped_packets);
@@ -100,8 +101,8 @@ TEST(FilterMatrix, BitmapMatchesNaiveWithinApproximationBand) {
   NaiveFilterConfig naive;
   naive.state_timeout = default_bitmap().expiry_timer();
   const EdgeRouterStats bitmap =
-      run(std::make_unique<BitmapFilter>(default_bitmap()));
-  const EdgeRouterStats exact = run(std::make_unique<NaiveFilter>(naive));
+      run(make_state_filter(bitmap_filter_spec(default_bitmap())));
+  const EdgeRouterStats exact = run(make_state_filter(naive_filter_spec(naive)));
   EXPECT_NEAR(bitmap.inbound_drop_rate(), exact.inbound_drop_rate(), 0.01);
 }
 

@@ -8,6 +8,7 @@
 #include "fault/health_monitor.h"
 #include "filter/bitmap_filter.h"
 #include "filter/drop_policy.h"
+#include "filter/filter_registry.h"
 #include "sim/edge_router.h"
 
 namespace upbound {
@@ -107,7 +108,7 @@ std::unique_ptr<EdgeRouter> health_router(UnhealthyStance stance,
   filter_config.vector_count = 4;
   filter_config.hash_count = 3;
   return std::make_unique<EdgeRouter>(
-      config, std::make_unique<BitmapFilter>(filter_config),
+      config, make_state_filter(bitmap_filter_spec(filter_config)),
       std::make_unique<ConstantDropPolicy>(1.0));
 }
 
@@ -236,6 +237,42 @@ TEST(RouterHealth, HealthyRouterBehavesExactlyLikeDisabled) {
   }
 }
 
+TEST(RouterHealth, OccupancyBlindBackendCountsSkippedSamples) {
+  if (!kFaultsCompiled) GTEST_SKIP() << "fault plane compiled out";
+  // The aging backend has no kCapOccupancy: an armed health monitor runs
+  // blind on the saturation signal and says so via a counter instead of
+  // silently reporting "healthy".
+  EdgeRouterConfig config;
+  config.network = campus();
+  config.health.stance = UnhealthyStance::kFailOpen;
+  config.health.occupancy_enter = 0.2;
+  config.health.occupancy_exit = 0.1;
+  config.health.occupancy_sample_batches = 1;
+  auto router = std::make_unique<EdgeRouter>(
+      config,
+      make_state_filter(FilterRegistry::instance().parse("aging",
+                                                         MapFilterArgs{})),
+      std::make_unique<ConstantDropPolicy>(1.0));
+  ASSERT_NE(router->health(), nullptr);
+  saturate(*router);
+  router->process(pkt(out_conn(1000), 1.0));
+
+  const MetricsSnapshot snap = router->metrics_snapshot();
+  EXPECT_GT(counter_value(snap, "health.occupancy_unsupported"), 0u);
+  // Blind, not degraded: the occupancy signal never fired.
+  EXPECT_FALSE(router->health()->degraded());
+  EXPECT_EQ(counter_value(snap, "health.transitions_degraded"), 0u);
+
+  // An occupancy-capable backend under the identical setup never counts a
+  // skipped sample.
+  auto seeing = health_router(UnhealthyStance::kFailOpen);
+  saturate(*seeing);
+  seeing->process(pkt(out_conn(1000), 1.0));
+  EXPECT_EQ(counter_value(seeing->metrics_snapshot(),
+                          "health.occupancy_unsupported"),
+            0u);
+}
+
 TEST(RouterHealth, RegressedClocksCanDegradeTheRouter) {
   if (!kFaultsCompiled) GTEST_SKIP() << "fault plane compiled out";
   EdgeRouterConfig config;
@@ -247,7 +284,7 @@ TEST(RouterHealth, RegressedClocksCanDegradeTheRouter) {
   BitmapFilterConfig filter_config;
   filter_config.log2_bits = 12;
   auto router = std::make_unique<EdgeRouter>(
-      config, std::make_unique<BitmapFilter>(filter_config),
+      config, make_state_filter(bitmap_filter_spec(filter_config)),
       std::make_unique<ConstantDropPolicy>(1.0));
 
   router->process(pkt(out_conn(1), 5.0));

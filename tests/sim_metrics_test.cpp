@@ -13,6 +13,7 @@
 
 #include "filter/bitmap_filter.h"
 #include "filter/drop_policy.h"
+#include "filter/filter_registry.h"
 #include "sim/parallel_replay.h"
 #include "sim/replay.h"
 #include "trace/campus.h"
@@ -41,7 +42,7 @@ ShardRouterFactory bitmap_factory(bool stage_timing = true) {
     config.seed = shard_seed(7, shard);
     config.stage_timing = stage_timing;
     return std::make_unique<EdgeRouter>(
-        config, std::make_unique<BitmapFilter>(BitmapFilterConfig{}),
+        config, make_state_filter(bitmap_filter_spec(BitmapFilterConfig{})),
         std::make_unique<ConstantDropPolicy>(1.0));
   };
 }
@@ -60,7 +61,7 @@ TEST(SimMetrics, ReplaySurfacesRouterMetrics) {
   config.network = trace.network;
   config.track_blocked_connections = true;
   EdgeRouter router{config,
-                    std::make_unique<BitmapFilter>(BitmapFilterConfig{}),
+                    make_state_filter(bitmap_filter_spec(BitmapFilterConfig{})),
                     std::make_unique<ConstantDropPolicy>(1.0)};
   const ReplayResult result =
       replay_trace(trace.packets, router, trace.network);
@@ -105,7 +106,7 @@ TEST(SimMetrics, WallClockHistogramsRecordedOnlyWithTiming) {
     config.network = trace.network;
     config.stage_timing = timing;
     EdgeRouter router{config,
-                      std::make_unique<BitmapFilter>(BitmapFilterConfig{}),
+                      make_state_filter(bitmap_filter_spec(BitmapFilterConfig{})),
                       std::make_unique<ConstantDropPolicy>(1.0)};
     const ReplayResult result =
         replay_trace(trace.packets, router, trace.network);
@@ -130,7 +131,7 @@ TEST(SimMetrics, TimingDoesNotChangeDecisionsOrStats) {
     config.track_blocked_connections = true;
     config.stage_timing = timing;
     EdgeRouter router{config,
-                      std::make_unique<BitmapFilter>(BitmapFilterConfig{}),
+                      make_state_filter(bitmap_filter_spec(BitmapFilterConfig{})),
                       std::make_unique<ConstantDropPolicy>(1.0)};
     results[timing ? 1 : 0] =
         replay_trace(trace.packets, router, trace.network);

@@ -9,6 +9,7 @@
 //   5. merged offered load equals the trace's offered load,
 //   6. shared-filter mode conserves packets even though its decisions are
 //      run-dependent.
+#include "filter/filter_registry.h"
 #include "sim/parallel_replay.h"
 
 #include <gtest/gtest.h>
@@ -47,7 +48,7 @@ ShardRouterFactory bitmap_factory(bool blocklist = true) {
   return [blocklist](const ClientNetwork& network, std::size_t shard) {
     return std::make_unique<EdgeRouter>(
         shard_config(network, shard, blocklist),
-        std::make_unique<BitmapFilter>(BitmapFilterConfig{}),
+        make_state_filter(bitmap_filter_spec(BitmapFilterConfig{})),
         std::make_unique<ConstantDropPolicy>(1.0));
   };
 }
@@ -140,7 +141,7 @@ TEST(ParallelReplay, SingleShardEqualsPlainSequentialReplay) {
   const GeneratedTrace& trace = shared_trace();
 
   EdgeRouter router{shard_config(trace.network, 0, true),
-                    std::make_unique<BitmapFilter>(BitmapFilterConfig{}),
+                    make_state_filter(bitmap_filter_spec(BitmapFilterConfig{})),
                     std::make_unique<ConstantDropPolicy>(1.0)};
   const ReplayResult sequential =
       replay_trace(trace.packets, router, trace.network);

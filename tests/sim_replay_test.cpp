@@ -1,5 +1,6 @@
 // Replay-level integration: the Fig. 8 drop-rate parity between SPI and
 // bitmap filters, and the Fig. 9 upload bounding, on a calibrated trace.
+#include "filter/filter_registry.h"
 #include "sim/replay.h"
 
 #include <gtest/gtest.h>
@@ -42,9 +43,9 @@ BitmapFilterConfig paper_bitmap() {
 TEST(SimReplay, Fig8DropRateParitySpiVsBitmap) {
   const GeneratedTrace& trace = shared_trace();
 
-  auto spi = router_with(std::make_unique<SpiFilter>(SpiFilterConfig{}),
+  auto spi = router_with(make_state_filter(spi_filter_spec(SpiFilterConfig{})),
                          std::make_unique<ConstantDropPolicy>(1.0));
-  auto bitmap = router_with(std::make_unique<BitmapFilter>(paper_bitmap()),
+  auto bitmap = router_with(make_state_filter(bitmap_filter_spec(paper_bitmap())),
                             std::make_unique<ConstantDropPolicy>(1.0));
 
   const ReplayResult spi_result =
@@ -74,9 +75,9 @@ TEST(SimReplay, NaiveAndBitmapNearlyIdentical) {
 
   NaiveFilterConfig naive_config;
   naive_config.state_timeout = paper_bitmap().expiry_timer();
-  auto naive = router_with(std::make_unique<NaiveFilter>(naive_config),
+  auto naive = router_with(make_state_filter(naive_filter_spec(naive_config)),
                            std::make_unique<ConstantDropPolicy>(1.0));
-  auto bitmap = router_with(std::make_unique<BitmapFilter>(paper_bitmap()),
+  auto bitmap = router_with(make_state_filter(bitmap_filter_spec(paper_bitmap())),
                             std::make_unique<ConstantDropPolicy>(1.0));
 
   const ReplayResult naive_result =
@@ -95,7 +96,7 @@ TEST(SimReplay, Fig9UploadBoundedByRedPolicy) {
   // offered ~10 Mbps upload; bound it to H = 6 Mbps.
   const double kLow = 3e6;
   const double kHigh = 6e6;
-  auto limited = router_with(std::make_unique<BitmapFilter>(paper_bitmap()),
+  auto limited = router_with(make_state_filter(bitmap_filter_spec(paper_bitmap())),
                              std::make_unique<RedDropPolicy>(kLow, kHigh),
                              /*blocklist=*/true);
   const ReplayResult result =
@@ -129,7 +130,7 @@ TEST(SimReplay, Fig9UploadBoundedByRedPolicy) {
 TEST(SimReplay, UnlimitedRouterCarriesEverything) {
   const GeneratedTrace& trace = shared_trace();
   auto open_router =
-      router_with(std::make_unique<BitmapFilter>(paper_bitmap()),
+      router_with(make_state_filter(bitmap_filter_spec(paper_bitmap())),
                   std::make_unique<ConstantDropPolicy>(0.0));
   const ReplayResult result =
       replay_trace(trace.packets, *open_router, trace.network);
@@ -152,11 +153,11 @@ TEST(SimReplay, OfferedLoadMatchesTraceTotals) {
 TEST(SimReplay, BlocklistAmplifiesSuppression) {
   const GeneratedTrace& trace = shared_trace();
   auto with_blocklist =
-      router_with(std::make_unique<BitmapFilter>(paper_bitmap()),
+      router_with(make_state_filter(bitmap_filter_spec(paper_bitmap())),
                   std::make_unique<ConstantDropPolicy>(1.0),
                   /*blocklist=*/true);
   auto without_blocklist =
-      router_with(std::make_unique<BitmapFilter>(paper_bitmap()),
+      router_with(make_state_filter(bitmap_filter_spec(paper_bitmap())),
                   std::make_unique<ConstantDropPolicy>(1.0),
                   /*blocklist=*/false);
   const ReplayResult with_result =

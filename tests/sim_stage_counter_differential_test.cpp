@@ -13,6 +13,7 @@
 #include "filter/aging_bloom.h"
 #include "filter/bitmap_filter.h"
 #include "filter/concurrent_bitmap.h"
+#include "filter/filter_registry.h"
 #include "filter/naive_filter.h"
 #include "filter/spi_filter.h"
 #include "sim/edge_router.h"
@@ -35,18 +36,18 @@ const GeneratedTrace& shared_trace() {
 
 std::unique_ptr<StateFilter> make_filter(const std::string& kind) {
   if (kind == "bitmap") {
-    return std::make_unique<BitmapFilter>(BitmapFilterConfig{});
+    return make_state_filter(bitmap_filter_spec(BitmapFilterConfig{}));
   }
   if (kind == "bitmap-mt") {
-    return std::make_unique<ConcurrentBitmapFilter>(BitmapFilterConfig{});
+    return make_state_filter(concurrent_bitmap_filter_spec(BitmapFilterConfig{}));
   }
   if (kind == "aging") {
-    return std::make_unique<AgingBloomFilter>(AgingBloomConfig{});
+    return make_state_filter(aging_filter_spec(AgingBloomConfig{}));
   }
   if (kind == "naive") {
-    return std::make_unique<NaiveFilter>(NaiveFilterConfig{});
+    return make_state_filter(naive_filter_spec(NaiveFilterConfig{}));
   }
-  return std::make_unique<SpiFilter>(SpiFilterConfig{});
+  return make_state_filter(spi_filter_spec(SpiFilterConfig{}));
 }
 
 EdgeRouter make_router(const std::string& kind) {
