@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <memory>
+#include <thread>
 
 #include "analyzer/analyzer.h"
 #include "analyzer/host_stats.h"
@@ -15,12 +18,17 @@
 #include "filter/filter_registry.h"
 #include "filter/params.h"
 #include "filter/snapshot.h"
+#include "net/live/af_packet.h"
+#include "net/live/event_loop.h"
+#include "net/live/live_datapath.h"
+#include "net/live/udp_tap.h"
 #include "net/pcap.h"
 #include "net/pcapng.h"
 #include "sim/parallel_replay.h"
 #include "sim/replay.h"
 #include "sim/report.h"
 #include "trace/campus.h"
+#include "util/clock.h"
 #include "util/metrics_export.h"
 
 namespace upbound::cli {
@@ -242,6 +250,37 @@ std::unique_ptr<DropPolicy> make_policy(const PolicySpec& spec,
   return std::make_unique<ConstantDropPolicy>(spec.pd);
 }
 
+/// --on-unhealthy/--health-occupancy, shared by the replay and live
+/// datapaths: arms the router's health monitor (degraded stance).
+void apply_health_args(const Args& args, EdgeRouterConfig& config) {
+  const std::string on_unhealthy = args.get_string("on-unhealthy", "");
+  if (on_unhealthy.empty()) {
+    if (args.has("health-occupancy")) {
+      throw ArgError("--health-occupancy requires --on-unhealthy");
+    }
+    return;
+  }
+  if (!kFaultsCompiled) {
+    throw ArgError(
+        "--on-unhealthy requires a build with UPBOUND_FAULTS=ON "
+        "(the fault plane is compiled out of this binary)");
+  }
+  if (on_unhealthy == "fail-open") {
+    config.health.stance = UnhealthyStance::kFailOpen;
+  } else if (on_unhealthy == "fail-closed") {
+    config.health.stance = UnhealthyStance::kFailClosed;
+  } else {
+    throw ArgError("--on-unhealthy must be fail-open or fail-closed");
+  }
+  const double occ =
+      args.get_double("health-occupancy", config.health.occupancy_enter);
+  if (!(occ > 0.0) || occ > 1.0) {
+    throw ArgError("--health-occupancy must be in (0, 1]");
+  }
+  config.health.occupancy_enter = occ;
+  config.health.occupancy_exit = occ * 0.7;
+}
+
 std::string shard_mode_from(const Args& args) {
   const std::string mode = args.get_string("shard-mode", "sharded");
   if (mode != "sharded" && mode != "shared") {
@@ -427,30 +466,7 @@ int cmd_filter(const Args& args) {
 
   // --on-unhealthy arms the router's health monitor (degraded stance);
   // effective on both engines.
-  const std::string on_unhealthy = args.get_string("on-unhealthy", "");
-  if (!on_unhealthy.empty()) {
-    if (!kFaultsCompiled) {
-      throw ArgError(
-          "--on-unhealthy requires a build with UPBOUND_FAULTS=ON "
-          "(the fault plane is compiled out of this binary)");
-    }
-    if (on_unhealthy == "fail-open") {
-      config.health.stance = UnhealthyStance::kFailOpen;
-    } else if (on_unhealthy == "fail-closed") {
-      config.health.stance = UnhealthyStance::kFailClosed;
-    } else {
-      throw ArgError("--on-unhealthy must be fail-open or fail-closed");
-    }
-    const double occ =
-        args.get_double("health-occupancy", config.health.occupancy_enter);
-    if (!(occ > 0.0) || occ > 1.0) {
-      throw ArgError("--health-occupancy must be in (0, 1]");
-    }
-    config.health.occupancy_enter = occ;
-    config.health.occupancy_exit = occ * 0.7;
-  } else if (args.has("health-occupancy")) {
-    throw ArgError("--health-occupancy requires --on-unhealthy");
-  }
+  apply_health_args(args, config);
 
   // --fault-spec routes the run through the supervised parallel engine
   // (even at --threads 1) so lane faults have lanes to land on.
@@ -1018,6 +1034,224 @@ int cmd_advise(const Args& args) {
   return 0;
 }
 
+int cmd_live(const Args& args) {
+  using namespace upbound::live;
+
+  const bool tap = args.get_flag("tap");
+  const std::string afpacket = args.get_string("afpacket", "");
+  if (tap == !afpacket.empty()) {
+    throw ArgError("live needs exactly one capture backend: "
+                   "--tap or --afpacket IFACE");
+  }
+  const std::string kind = args.get_string("filter", "bitmap");
+  const FilterSpec spec = parse_filter_spec(args, kind);
+
+  LiveConfig config;
+  config.router.network = network_from(args);
+  config.router.track_blocked_connections = args.get_flag("blocklist");
+  config.router.seed = seed_from(args);
+  apply_health_args(args, config.router);
+
+  const PolicySpec policy = policy_spec_from(args);
+  config.policy_red = policy.red;
+  config.policy_low = policy.low;
+  config.policy_high = policy.high;
+  config.policy_pd = policy.pd;
+
+  const MetricsOptions metrics = metrics_options_from(args, false);
+  config.metrics_out = metrics.out;
+  config.metrics_interval = metrics.interval;
+  config.metrics_deterministic = metrics.deterministic;
+  config.metrics_prometheus = metrics.prometheus;
+
+  const double duration_sec = args.get_double("duration", 0.0);
+  if (duration_sec < 0.0) throw ArgError("--duration must be >= 0");
+  config.run_duration = Duration::sec(duration_sec);
+  config.max_packets = args.get_u64("max-packets", 0);
+  const int tick_ms = static_cast<int>(args.get_int("tick-ms", 100));
+  if (tick_ms <= 0) throw ArgError("--tick-ms must be > 0");
+  config.tick = Duration::msec(tick_ms);
+  const int batch = static_cast<int>(args.get_int("batch", 256));
+  if (batch <= 0) throw ArgError("--batch must be > 0");
+  config.batch_max = static_cast<std::size_t>(batch);
+
+  const std::string stamp = args.get_string("stamp", "frame");
+  if (stamp != "frame" && stamp != "arrival") {
+    throw ArgError("--stamp must be frame or arrival");
+  }
+  const int tap_port = static_cast<int>(args.get_int("tap-port", 9000));
+  if (tap_port < 0 || tap_port > 65535) {
+    throw ArgError("--tap-port must be in [0, 65535]");
+  }
+  const std::string control_path = args.get_string("control", "");
+  const std::string out = args.get_string("out", "");
+  if (const int rc = reject_unconsumed(args); rc != 0) return rc;
+
+  MonotonicClock clock;
+  config.clock = &clock;
+
+  std::unique_ptr<CaptureSource> source;
+  const UdpTapSource* tap_source = nullptr;
+  if (tap) {
+    UdpTapSource::Config tap_config;
+    tap_config.port = static_cast<std::uint16_t>(tap_port);
+    tap_config.timestamp_mode = stamp == "frame"
+                                    ? TapTimestampMode::kFromFrames
+                                    : TapTimestampMode::kOnReceive;
+    tap_config.clock = &clock;
+    auto owned = std::make_unique<UdpTapSource>(tap_config);
+    tap_source = owned.get();
+    source = std::move(owned);
+  } else {
+    AfPacketSource::Config ap_config;
+    ap_config.interface = afpacket;
+    ap_config.clock = &clock;
+    source = std::make_unique<AfPacketSource>(ap_config);
+  }
+
+  EventLoop loop;
+  LiveDatapath datapath{std::move(config), spec, std::move(source), loop};
+  if (!control_path.empty()) datapath.enable_control(control_path);
+
+  std::unique_ptr<PcapWriter> writer;
+  if (!out.empty()) {
+    writer = std::make_unique<PcapWriter>(out);
+    datapath.set_verdict_sink(
+        [&writer](const PacketRecord& pkt, RouterDecision decision) {
+          if (decision == RouterDecision::kPassedOutbound ||
+              decision == RouterDecision::kPassedInbound) {
+            writer->write(pkt);
+          }
+        });
+  }
+  loop.add_signals({SIGINT, SIGTERM},
+                   [&datapath](int) { datapath.drain_and_stop(); });
+
+  if (tap_source != nullptr) {
+    std::printf("live: udp-tap on 127.0.0.1:%u (filter %s)\n",
+                static_cast<unsigned>(tap_source->local_port()),
+                kind.c_str());
+  } else {
+    std::printf("live: af_packet on %s (filter %s)\n", afpacket.c_str(),
+                kind.c_str());
+  }
+  if (!control_path.empty()) {
+    std::printf("live: control socket at %s\n", control_path.c_str());
+  }
+  std::fflush(stdout);
+
+  loop.run();
+  datapath.finalize();
+
+  const LiveStats& live = datapath.stats();
+  std::printf("frames received:  %llu (%llu bytes), %llu malformed, "
+              "%llu decode errors\n",
+              static_cast<unsigned long long>(live.frames),
+              static_cast<unsigned long long>(live.frame_bytes),
+              static_cast<unsigned long long>(live.malformed),
+              static_cast<unsigned long long>(live.decode_errors));
+  std::printf("packets processed: %llu in %llu batches "
+              "(%llu forwarded, %llu dropped, %llu ignored)\n",
+              static_cast<unsigned long long>(live.packets),
+              static_cast<unsigned long long>(live.batches),
+              static_cast<unsigned long long>(live.forwarded),
+              static_cast<unsigned long long>(live.dropped),
+              static_cast<unsigned long long>(live.ignored));
+  const EdgeRouterStats& stats = datapath.router().stats();
+  std::printf("inbound dropped:  %llu packets (%s), %llu via blocklist\n",
+              static_cast<unsigned long long>(stats.inbound_dropped_packets),
+              report::percent(stats.inbound_drop_rate()).c_str(),
+              static_cast<unsigned long long>(stats.blocked_drops));
+  std::printf("filter state: %zu bytes (%s)\n",
+              datapath.router().filter().storage_bytes(),
+              datapath.router().filter().name().c_str());
+  std::printf("datapath stage counters:\n");
+  for (const CounterSample& sample : stats.stage_counters) {
+    std::printf("  %-28s %llu\n", sample.name.c_str(),
+                static_cast<unsigned long long>(sample.value));
+  }
+  if (const ControlServer* control = datapath.control()) {
+    std::printf("control: %llu connections, %llu commands, "
+                "%llu protocol errors\n",
+                static_cast<unsigned long long>(
+                    control->connections_accepted()),
+                static_cast<unsigned long long>(
+                    control->commands_processed()),
+                static_cast<unsigned long long>(control->protocol_errors()));
+  }
+  if (!metrics.out.empty()) {
+    std::printf("metrics written to %s\n", metrics.out.c_str());
+  }
+  if (writer != nullptr) {
+    std::printf("surviving packets written to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_tapsend(const Args& args) {
+  using namespace upbound::live;
+
+  const int port = static_cast<int>(args.get_int("port", 9000));
+  if (port <= 0 || port > 65535) {
+    throw ArgError("--port must be in [1, 65535]");
+  }
+  const std::string host = args.get_string("host", "127.0.0.1");
+  const std::string pcap = args.get_string("pcap", "");
+  const double pps = args.get_double("pps", 0.0);
+  if (pps < 0.0) throw ArgError("--pps must be >= 0");
+  const int burst = static_cast<int>(args.get_int("burst", 64));
+  if (burst <= 0) throw ArgError("--burst must be > 0");
+
+  Trace trace;
+  if (!pcap.empty()) {
+    trace = read_capture(pcap, nullptr);
+  } else {
+    CampusTraceConfig config;
+    config.duration = Duration::sec(args.get_double("duration", 10.0));
+    config.connections_per_sec = args.get_double("rate", 80.0);
+    config.bandwidth_bps = args.get_double("bandwidth", 12e6);
+    config.seed = args.get_u64("seed", 42);
+    config.network.client_prefix = network_from(args).prefixes().front();
+    trace = generate_campus_trace(config).packets;
+  }
+  if (const int rc = reject_unconsumed(args); rc != 0) return rc;
+  if (trace.empty()) throw ArgError("nothing to send: empty trace");
+
+  UdpTapSender sender{static_cast<std::uint16_t>(port), host};
+  std::vector<std::vector<std::uint8_t>> datagrams;
+  datagrams.reserve(static_cast<std::size_t>(burst));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t sent = 0;
+  for (std::size_t start = 0; start < trace.size();
+       start += static_cast<std::size_t>(burst)) {
+    const std::size_t n = std::min(static_cast<std::size_t>(burst),
+                                   trace.size() - start);
+    datagrams.clear();
+    for (std::size_t p = 0; p < n; ++p) {
+      datagrams.push_back(encode_tap_datagram(trace[start + p]));
+    }
+    sender.send_burst(datagrams);
+    sent += n;
+    if (pps > 0.0) {
+      // Pace against the wall clock from t0, not per-burst sleeps, so
+      // scheduling jitter does not accumulate into rate drift.
+      const auto due =
+          t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(
+                       static_cast<double>(sent) / pps));
+      std::this_thread::sleep_until(due);
+    }
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - t0;
+  const double seconds = std::max(elapsed.count(), 1e-9);
+  std::printf("sent %llu tap datagrams to %s:%d in %.3f s (%.0f pkt/s)\n",
+              static_cast<unsigned long long>(sent), host.c_str(), port,
+              seconds, static_cast<double>(sent) / seconds);
+  return 0;
+}
+
 void print_usage() {
   const std::string filters = FilterRegistry::instance().names_joined("|");
   std::printf(
@@ -1063,8 +1297,25 @@ void print_usage() {
       "            [--request-rate R] [--occupancy-interval SEC]\n"
       "            [--threads N] [--shards S] [--out FILE]\n"
       "  advise    size a bitmap filter for an expected load\n"
-      "            [--connections N] [--bits N] [--k K] [--dt SEC]\n",
-      filters.c_str(), filters.c_str());
+      "            [--connections N] [--bits N] [--k K] [--dt SEC]\n"
+      "  live      run the filter on live traffic (epoll datapath)\n"
+      "            --tap [--tap-port P] | --afpacket IFACE\n"
+      "            [--filter %s]\n"
+      "            [--network CIDR] [--low BPS --high BPS | --pd PROB]\n"
+      "            [--blocklist] [--bits N --k K --dt SEC --m M]\n"
+      "            [--control PATH] [--stamp frame|arrival]\n"
+      "            [--duration SEC] [--max-packets N] [--tick-ms MS]\n"
+      "            [--batch N] [--out FILE] [--seed N]\n"
+      "            [--metrics-out FILE] [--metrics-interval SEC]\n"
+      "            [--metrics-format jsonl|prom] [--metrics-deterministic]\n"
+      "            [--on-unhealthy fail-open|fail-closed]\n"
+      "            [--health-occupancy U]\n"
+      "  tapsend   send a trace into a live --tap datapath\n"
+      "            [--port P] [--host ADDR] [--pcap FILE |\n"
+      "             --duration SEC --rate CONNS/S --bandwidth BPS\n"
+      "             --seed N --network CIDR]\n"
+      "            [--pps RATE] [--burst N]\n",
+      filters.c_str(), filters.c_str(), filters.c_str());
 }
 
 int run(int argc, const char* const* argv) {
@@ -1080,6 +1331,8 @@ int run(int argc, const char* const* argv) {
     if (args.command() == "compare") return cmd_compare(args);
     if (args.command() == "attack") return cmd_attack(args);
     if (args.command() == "advise") return cmd_advise(args);
+    if (args.command() == "live") return cmd_live(args);
+    if (args.command() == "tapsend") return cmd_tapsend(args);
     std::fprintf(stderr, "error: unknown command '%s'\n",
                  args.command().c_str());
     print_usage();

@@ -24,6 +24,8 @@ int cmd_filter(const Args& args);
 int cmd_compare(const Args& args);
 int cmd_advise(const Args& args);
 int cmd_attack(const Args& args);
+int cmd_live(const Args& args);
+int cmd_tapsend(const Args& args);
 
 /// Prints the usage summary.
 void print_usage();

@@ -61,9 +61,9 @@ void BandwidthMeter::roll_to(SimTime now) {
   head_slot_ = target;
 }
 
-SimTime BandwidthMeter::clamp(SimTime now) {
+SimTime BandwidthMeter::observe(SimTime now, bool count_regression) {
   if (primed_ && now < high_water_) {
-    ++clamp_events_;
+    if (count_regression) ++clamp_events_;
     return high_water_;
   }
   high_water_ = now;
@@ -71,7 +71,7 @@ SimTime BandwidthMeter::clamp(SimTime now) {
 }
 
 void BandwidthMeter::add(SimTime now, std::uint64_t bytes) {
-  roll_to(clamp(now));
+  roll_to(observe(now, /*count_regression=*/true));
   // floor_mod: head_slot_ is negative for pre-origin times, where C++'s
   // `%` would produce a negative (out-of-range) slot index.
   slots_[floor_mod(head_slot_, static_cast<std::int64_t>(slots_.size()))] +=
@@ -80,8 +80,12 @@ void BandwidthMeter::add(SimTime now, std::uint64_t bytes) {
 }
 
 double BandwidthMeter::bits_per_sec(SimTime now) {
-  roll_to(clamp(now));
+  roll_to(observe(now, /*count_regression=*/false));
   return static_cast<double>(total_bytes_) * 8.0 / window_.to_sec();
+}
+
+void BandwidthMeter::advance(SimTime now) {
+  roll_to(observe(now, /*count_regression=*/false));
 }
 
 }  // namespace upbound

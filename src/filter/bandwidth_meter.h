@@ -27,17 +27,31 @@ class BandwidthMeter {
   void add(SimTime now, std::uint64_t bytes);
 
   /// Throughput over the window ending at `now`, in bits per second.
-  /// Regressed times are clamped like add().
+  /// Regressed times are clamped to the high-water mark like add(), but
+  /// NOT counted: a read never misattributes bytes, so it is not the
+  /// clock anomaly the health monitor's clamp signal watches for.
   double bits_per_sec(SimTime now);
+
+  /// Ages the window forward to `now` without booking bytes. The live
+  /// datapath's tick timer calls this so traffic decays out of the Eq. 1
+  /// input between packets; offline replay never needs it (every add or
+  /// read carries a packet timestamp). Regressions clamp, uncounted.
+  void advance(SimTime now);
 
   Duration window() const { return window_; }
 
-  /// Calls whose `now` regressed and was clamped.
+  /// add() calls whose `now` regressed and was clamped -- data-bearing
+  /// clock anomalies only (reads and advance() clamp silently).
   std::uint64_t clamp_events() const { return clamp_events_; }
 
  private:
-  /// Clamps a regressed `now` to the high-water mark (and counts it).
-  SimTime clamp(SimTime now);
+  /// Clamps a regressed `now` to the high-water mark; counts it only when
+  /// `count_regression` (the add() path). Forward times always raise the
+  /// high-water mark -- even on reads -- because roll_to() advances the
+  /// slot head, and head and high-water must move together or a later
+  /// add() between the old high-water and this `now` would book bytes
+  /// into a slot the ring has already wrapped past.
+  SimTime observe(SimTime now, bool count_regression);
 
   /// Zeroes slots whose time span fell out of the window.
   void roll_to(SimTime now);

@@ -55,6 +55,18 @@ void BitmapFilter::advance_time(SimTime now) {
   }
 }
 
+bool BitmapFilter::set_rotate_interval(Duration dt) {
+  if (dt <= Duration{}) {
+    throw std::invalid_argument(
+        "BitmapFilter::set_rotate_interval: dt must be positive");
+  }
+  // next_rotation_ - old_dt is the last boundary that already completed;
+  // the new schedule starts one new interval after it.
+  next_rotation_ = next_rotation_ - config_.rotate_interval + dt;
+  config_.rotate_interval = dt;
+  return true;
+}
+
 void BitmapFilter::record_outbound(const PacketRecord& pkt) {
   // Algorithm 2, outbound arm: mark the j-th bit in ALL bit vectors.
   hashes_.outbound_indexes(pkt.tuple, config_.key_mode, scratch_);

@@ -63,6 +63,11 @@ class BitmapFilter final : public StateFilter {
     return current_utilization();
   }
   std::uint64_t expiry_generations() const override { return rotations_; }
+  /// Runtime dt retune: re-anchors next_rotation_ to the last completed
+  /// boundary plus the new interval, so shrinking dt takes effect at the
+  /// next advance_time (one rotation per new-schedule boundary, catch-up
+  /// included) and growing dt stretches the current generation.
+  bool set_rotate_interval(Duration dt) override;
   std::size_t storage_bytes() const override;
   std::string name() const override { return "bitmap"; }
 

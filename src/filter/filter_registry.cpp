@@ -92,7 +92,8 @@ std::vector<BackendDescriptor> build_backends() {
     d.name = "bitmap";
     d.summary = "the paper's {k x N} rotating bitmap (Section 4)";
     d.capabilities = kCapOccupancy | kCapSnapshot | kCapSharedView |
-                     kCapPureLookup | kCapNoFalseNegative;
+                     kCapPureLookup | kCapNoFalseNegative |
+                     kCapRotateInterval;
     d.parse = [](const FilterArgs& args) {
       return spec_of("bitmap", bitmap_config_from(args));
     };

@@ -51,6 +51,9 @@ enum FilterCapability : std::uint32_t {
   /// No false negatives within the backend's guaranteed window (the
   /// paper's core property; deliberately absent for retouched).
   kCapNoFalseNegative = 1u << 5,
+  /// set_rotate_interval() retunes dt at runtime (live `set dt`
+  /// reconfiguration over the control socket).
+  kCapRotateInterval = 1u << 6,
 };
 
 /// Abstract key-value view of backend arguments. Decouples the parsers

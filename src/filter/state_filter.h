@@ -89,6 +89,15 @@ class StateFilter {
   /// uses transitions of this value to fold occupancy peaks.
   virtual std::uint64_t expiry_generations() const { return 0; }
 
+  /// Retunes the generational expiry interval dt at runtime (live-mode
+  /// `set dt` reconfiguration). Returns false when the backend has no
+  /// runtime-adjustable rotation schedule (the registry's
+  /// kCapRotateInterval bit mirrors this); throws std::invalid_argument
+  /// on a non-positive interval. Implementations re-anchor the next
+  /// boundary to the last completed one so already-accumulated state ages
+  /// on the new schedule without a partial-interval glitch.
+  virtual bool set_rotate_interval(Duration /*dt*/) { return false; }
+
   /// Current heap footprint of the connection state, in bytes.
   virtual std::size_t storage_bytes() const = 0;
 

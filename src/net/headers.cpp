@@ -125,18 +125,26 @@ std::vector<std::uint8_t> encode_frame(const PacketRecord& pkt) {
   return out;
 }
 
-std::optional<DecodedFrame> decode_frame(std::span<const std::uint8_t> frame,
-                                         SimTime timestamp) {
+bool decode_frame_into(std::span<const std::uint8_t> frame,
+                       SimTime timestamp, DecodedFrame& out) {
   try {
+    // `out` may be a reused buffer: reset every field that is only
+    // conditionally written below (flags stay default for UDP, checksum
+    // verdicts only resolve when the capture holds the full segment).
+    out.ip_checksum_ok = false;
+    out.l4_checksum_ok = false;
+    out.packet.flags = TcpFlags{};
+    out.packet.checksum_valid = true;
+
     ByteReader r{frame};
     r.skip(12);  // MACs
-    if (r.u16be() != kEtherTypeIpv4) return std::nullopt;
+    if (r.u16be() != kEtherTypeIpv4) return false;
 
     const std::size_t ip_begin = r.position();
     const std::uint8_t ver_ihl = r.u8();
-    if ((ver_ihl >> 4) != 4) return std::nullopt;
+    if ((ver_ihl >> 4) != 4) return false;
     const std::size_t ihl = (ver_ihl & 0x0f) * 4u;
-    if (ihl < kIpv4HeaderSize) return std::nullopt;
+    if (ihl < kIpv4HeaderSize) return false;
     r.skip(1);  // DSCP
     const std::uint16_t ip_total = r.u16be();
     r.skip(4);  // id, flags/frag
@@ -149,11 +157,10 @@ std::optional<DecodedFrame> decode_frame(std::span<const std::uint8_t> frame,
 
     if (proto != static_cast<std::uint8_t>(Protocol::kTcp) &&
         proto != static_cast<std::uint8_t>(Protocol::kUdp)) {
-      return std::nullopt;
+      return false;
     }
-    if (ip_total < ihl) return std::nullopt;
+    if (ip_total < ihl) return false;
 
-    DecodedFrame out;
     PacketRecord& pkt = out.packet;
     pkt.timestamp = timestamp;
     pkt.tuple.protocol = static_cast<Protocol>(proto);
@@ -177,7 +184,7 @@ std::optional<DecodedFrame> decode_frame(std::span<const std::uint8_t> frame,
       const std::uint8_t offset = r.u8();
       l4_header = (offset >> 4) * 4u;
       if (l4_header < kTcpHeaderSize || l4_header > l4_total) {
-        return std::nullopt;
+        return false;
       }
       pkt.flags = TcpFlags::from_byte(r.u8());
       r.skip(4);  // window, checksum (verified below)
@@ -189,7 +196,7 @@ std::optional<DecodedFrame> decode_frame(std::span<const std::uint8_t> frame,
       const std::uint16_t udp_len = r.u16be();
       udp_checksum_field = r.u16be();
       l4_header = kUdpHeaderSize;
-      if (udp_len < kUdpHeaderSize || udp_len > l4_total) return std::nullopt;
+      if (udp_len < kUdpHeaderSize || udp_len > l4_total) return false;
     }
 
     pkt.payload_size = l4_total - static_cast<std::uint32_t>(l4_header);
@@ -216,10 +223,17 @@ std::optional<DecodedFrame> decode_frame(std::span<const std::uint8_t> frame,
     if (ip_captured >= ihl && !out.ip_checksum_ok) {
       pkt.checksum_valid = false;
     }
-    return out;
+    return true;
   } catch (const ByteUnderflow&) {
-    return std::nullopt;
+    return false;
   }
+}
+
+std::optional<DecodedFrame> decode_frame(std::span<const std::uint8_t> frame,
+                                         SimTime timestamp) {
+  DecodedFrame out;
+  if (!decode_frame_into(frame, timestamp, out)) return std::nullopt;
+  return out;
 }
 
 }  // namespace upbound

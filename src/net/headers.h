@@ -34,4 +34,11 @@ struct DecodedFrame {
 std::optional<DecodedFrame> decode_frame(std::span<const std::uint8_t> frame,
                                          SimTime timestamp);
 
+/// decode_frame into a caller-owned DecodedFrame, reusing its packet's
+/// payload capacity -- the live datapath's steady state decodes every
+/// frame without allocating. Every field of `out` is (re)assigned; on
+/// false `out` is unspecified. Same acceptance as decode_frame.
+bool decode_frame_into(std::span<const std::uint8_t> frame, SimTime timestamp,
+                       DecodedFrame& out);
+
 }  // namespace upbound

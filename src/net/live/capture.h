@@ -1,0 +1,46 @@
+// The capture-source seam of the live datapath: one abstraction with an
+// fd to wait on and a drain() the event loop calls when it fires. Two
+// backends implement it -- the AF_PACKET mmap ring for real interfaces
+// (root) and the UDP loopback tap any CI runner can use unprivileged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "util/time.h"
+
+namespace upbound::live {
+
+/// Receives one raw Ethernet frame plus the timestamp the source stamped
+/// it with. The span is only valid for the duration of the call.
+using FrameSink =
+    std::function<void(std::span<const std::uint8_t> frame, SimTime ts)>;
+
+class CaptureSource {
+ public:
+  virtual ~CaptureSource() = default;
+
+  /// The fd the event loop waits on (readable => frames pending). Sources
+  /// are nonblocking; level-triggered epoll re-fires while data remains,
+  /// so a partial drain() is never lost.
+  virtual int fd() const = 0;
+
+  /// Delivers up to `max_frames` buffered frames to `sink`; returns the
+  /// number delivered. 0 means would-block (nothing buffered).
+  virtual std::size_t drain(std::size_t max_frames, const FrameSink& sink) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Frames delivered to sinks so far.
+  virtual std::uint64_t frames_received() const = 0;
+  /// Frame payload bytes delivered so far.
+  virtual std::uint64_t bytes_received() const = 0;
+  /// Inputs consumed but too malformed to contain a frame (tap datagrams
+  /// shorter than their header). Counted, never delivered.
+  virtual std::uint64_t malformed_inputs() const { return 0; }
+};
+
+}  // namespace upbound::live

@@ -1,0 +1,266 @@
+#include "net/live/control.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <system_error>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace upbound::live {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+/// Whitespace tokenizer. NUL bytes and any other binary junk simply end
+/// up inside tokens and fail the command/number parses below -- malformed
+/// input degrades to a typed error, never to undefined behavior.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+    if (j > i) out.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+/// Full-consume strtod; nullopt on garbage ("1e6x", "", embedded NUL).
+std::optional<double> parse_number(const std::string& text) {
+  if (text.empty() || text.find('\0') != std::string::npos) {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+ControlServer::ControlServer(EventLoop& loop, std::string path,
+                             ControlApi* api)
+    : loop_(loop), path_(std::move(path)), api_(api) {
+  if (api_ == nullptr) {
+    throw std::invalid_argument("ControlServer: api required");
+  }
+  sockaddr_un addr{};
+  if (path_.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument("ControlServer: socket path too long: " +
+                                path_);
+  }
+  listen_fd_ =
+      ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("socket(AF_UNIX)");
+  // A stale socket file from a crashed daemon must not block restart.
+  ::unlink(path_.c_str());
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    throw_errno("bind(control socket)");
+  }
+  if (::listen(listen_fd_, 8) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    ::unlink(path_.c_str());
+    errno = saved;
+    throw_errno("listen(control socket)");
+  }
+  loop_.add_fd(listen_fd_, [this]() { on_accept(); });
+}
+
+ControlServer::~ControlServer() {
+  for (const auto& [fd, conn] : conns_) {
+    loop_.remove_fd(fd);
+    ::close(fd);
+  }
+  if (listen_fd_ >= 0) {
+    loop_.remove_fd(listen_fd_);
+    ::close(listen_fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+void ControlServer::on_accept() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN: accepted everything pending
+    ++accepted_;
+    conns_[fd] = Connection{};
+    loop_.add_fd(fd, [this, fd]() { on_readable(fd); });
+  }
+}
+
+void ControlServer::close_connection(int fd) {
+  loop_.remove_fd(fd);
+  ::close(fd);
+  conns_.erase(fd);
+}
+
+void ControlServer::on_readable(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  char buf[4096];
+  for (;;) {
+    const ssize_t got = ::read(fd, buf, sizeof(buf));
+    if (got == 0) {
+      // Disconnect -- possibly mid-command; the partial line dies with
+      // the connection, everything else keeps running.
+      close_connection(fd);
+      return;
+    }
+    if (got < 0) return;  // EAGAIN (or transient error): wait for epoll
+    handle_data(fd, it->second, buf, static_cast<std::size_t>(got));
+    if (conns_.find(fd) == conns_.end()) return;  // closed while handling
+  }
+}
+
+void ControlServer::handle_data(int fd, Connection& conn, const char* data,
+                                std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    const char c = data[i];
+    if (c == '\n') {
+      if (conn.skipping) {
+        conn.skipping = false;
+        conn.inbuf.clear();
+        continue;
+      }
+      std::string line = std::move(conn.inbuf);
+      conn.inbuf.clear();
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      bool quit = false;
+      const ControlReply reply = execute(line, &quit);
+      if (!reply.ok) ++protocol_errors_;
+      send_reply(fd, reply);
+      if (quit) api_->control_quit();
+      if (conns_.find(fd) == conns_.end()) return;
+      continue;
+    }
+    if (conn.skipping) continue;
+    conn.inbuf.push_back(c);
+    if (conn.inbuf.size() > kMaxLine) {
+      ++protocol_errors_;
+      send_reply(fd, ControlReply::err(
+                         "line-too-long",
+                         "commands are limited to " +
+                             std::to_string(kMaxLine) + " bytes"));
+      conn.skipping = true;
+      conn.inbuf.clear();
+      if (conns_.find(fd) == conns_.end()) return;
+    }
+  }
+}
+
+void ControlServer::send_reply(int fd, const ControlReply& reply) {
+  const std::string text = reply.render() + "\n";
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t put = ::write(fd, text.data() + off, text.size() - off);
+    if (put > 0) {
+      off += static_cast<std::size_t>(put);
+      continue;
+    }
+    if (put < 0 && errno == EINTR) continue;
+    if (put < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Client not reading: drop the tail rather than block the datapath
+      // (counted; the protocol is idempotent enough to re-ask).
+      ++replies_dropped_;
+      return;
+    }
+    close_connection(fd);  // EPIPE etc.: client is gone
+    return;
+  }
+}
+
+ControlReply ControlServer::execute(const std::string& line,
+                                    bool* quit_requested) {
+  ++commands_;
+  const std::vector<std::string> tokens = tokenize(line);
+  if (tokens.empty()) {
+    return ControlReply::err("unknown-command", "empty command");
+  }
+  const std::string& cmd = tokens[0];
+
+  if (cmd == "quit") {
+    if (tokens.size() != 1) {
+      return ControlReply::err("bad-argument", "quit takes no arguments");
+    }
+    if (quit_requested != nullptr) *quit_requested = true;
+    return ControlReply::good("bye");
+  }
+  if (cmd == "stats") {
+    if (tokens.size() != 1) {
+      return ControlReply::err("bad-argument", "stats takes no arguments");
+    }
+    return api_->control_stats();
+  }
+  if (cmd == "snapshot") {
+    if (tokens.size() != 2) {
+      return ControlReply::err("bad-argument", "usage: snapshot <path>");
+    }
+    if (tokens[1].find('\0') != std::string::npos) {
+      return ControlReply::err("bad-argument", "path contains NUL");
+    }
+    return api_->control_snapshot(tokens[1]);
+  }
+  if (cmd == "set") {
+    if (tokens.size() != 3) {
+      return ControlReply::err(
+          "bad-argument",
+          "usage: set low|high|dt|on-unhealthy <value>");
+    }
+    const std::string& key = tokens[1];
+    const std::string& value = tokens[2];
+    if (key == "low" || key == "high") {
+      const std::optional<double> bps = parse_number(value);
+      if (!bps.has_value() || !(*bps > 0.0)) {
+        return ControlReply::err("bad-argument",
+                                 "threshold must be a positive bits/sec "
+                                 "number, got '" + value + "'");
+      }
+      return api_->control_set_threshold(key == "low", *bps);
+    }
+    if (key == "dt") {
+      const std::optional<double> sec = parse_number(value);
+      if (!sec.has_value() || !(*sec > 0.0)) {
+        return ControlReply::err("bad-argument",
+                                 "dt must be a positive seconds number, "
+                                 "got '" + value + "'");
+      }
+      return api_->control_set_rotate_interval(Duration::sec(*sec));
+    }
+    if (key == "on-unhealthy") {
+      if (value == "fail-open") {
+        return api_->control_set_unhealthy_stance(UnhealthyStance::kFailOpen);
+      }
+      if (value == "fail-closed") {
+        return api_->control_set_unhealthy_stance(
+            UnhealthyStance::kFailClosed);
+      }
+      return ControlReply::err(
+          "bad-argument", "on-unhealthy must be fail-open or fail-closed");
+    }
+    return ControlReply::err("unknown-command",
+                             "unknown set key '" + key + "'");
+  }
+  return ControlReply::err("unknown-command", "'" + cmd + "'");
+}
+
+}  // namespace upbound::live

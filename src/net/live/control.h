@@ -1,0 +1,124 @@
+// Line-oriented runtime control socket (UNIX SOCK_STREAM). One command
+// per '\n'-terminated line; one reply line per command:
+//
+//   set low <bps>             retune the Eq. 1 RED low threshold L
+//   set high <bps>            retune the RED high threshold H
+//   set dt <seconds>          retune the rotation interval (capability-
+//                             gated: kCapRotateInterval backends only)
+//   set on-unhealthy fail-open|fail-closed
+//                             retarget the degraded stance (requires an
+//                             armed health monitor)
+//   snapshot <path>           save filter state (kCapSnapshot backends)
+//   stats                     one-line JSON of live datapath counters
+//   quit                      drain in-flight frames and stop the loop
+//
+// Replies: "OK <detail>" or "ERR <code> <detail>". Codes are stable
+// protocol surface: unknown-command, bad-argument, capability:rotate,
+// capability:snapshot, unsupported:health, line-too-long, io.
+//
+// The server is hardened against hostile or broken clients: split reads
+// reassemble, oversized lines are rejected and skipped to the next
+// newline, embedded NULs fall out as unknown commands, and a mid-command
+// disconnect just closes that connection -- the loop and the datapath
+// never wedge.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "fault/health_monitor.h"  // UnhealthyStance
+#include "net/live/event_loop.h"
+#include "util/time.h"
+
+namespace upbound::live {
+
+struct ControlReply {
+  bool ok = false;
+  std::string code;    // stable machine-readable error code ("" when ok)
+  std::string detail;  // human-readable tail
+
+  std::string render() const {
+    if (ok) return "OK " + detail;
+    return "ERR " + code + (detail.empty() ? "" : " " + detail);
+  }
+
+  static ControlReply good(std::string detail) {
+    return ControlReply{true, "", std::move(detail)};
+  }
+  static ControlReply err(std::string code, std::string detail) {
+    return ControlReply{false, std::move(code), std::move(detail)};
+  }
+};
+
+/// What the control surface can do to a running datapath. Implemented by
+/// LiveDatapath; split out so protocol tests can fake it.
+class ControlApi {
+ public:
+  virtual ~ControlApi() = default;
+  virtual ControlReply control_set_threshold(bool is_low, double bps) = 0;
+  virtual ControlReply control_set_rotate_interval(Duration dt) = 0;
+  virtual ControlReply control_set_unhealthy_stance(UnhealthyStance s) = 0;
+  virtual ControlReply control_snapshot(const std::string& path) = 0;
+  virtual ControlReply control_stats() = 0;
+  /// Called AFTER the "OK bye" reply is written, so clients always see
+  /// the acknowledgement.
+  virtual void control_quit() = 0;
+};
+
+class ControlServer {
+ public:
+  /// Binds `path` (an existing socket file is unlinked first -- stale
+  /// leftovers of a crashed daemon must not block restart) and registers
+  /// with `loop`. `api` must outlive the server.
+  ControlServer(EventLoop& loop, std::string path, ControlApi* api);
+  ~ControlServer();
+  ControlServer(const ControlServer&) = delete;
+  ControlServer& operator=(const ControlServer&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  std::uint64_t connections_accepted() const { return accepted_; }
+  std::uint64_t commands_processed() const { return commands_; }
+  std::uint64_t protocol_errors() const { return protocol_errors_; }
+  /// Replies dropped because the client's socket buffer was full. The
+  /// server never blocks the datapath on a slow control client.
+  std::uint64_t replies_dropped() const { return replies_dropped_; }
+
+  /// Parses and executes one command line (exposed for protocol tests).
+  /// `quit_requested` is set when the line was a well-formed `quit`; the
+  /// caller invokes control_quit() after writing the reply.
+  ControlReply execute(const std::string& line,
+                       bool* quit_requested = nullptr);
+
+ private:
+  /// Oversized-line bound: no control command is remotely this long, and
+  /// a bound means a garbage client cannot balloon server memory.
+  static constexpr std::size_t kMaxLine = 4096;
+
+  struct Connection {
+    std::string inbuf;
+    /// Line-too-long recovery: discard until the next newline.
+    bool skipping = false;
+  };
+
+  void on_accept();
+  void on_readable(int fd);
+  void handle_data(int fd, Connection& conn, const char* data,
+                   std::size_t len);
+  void send_reply(int fd, const ControlReply& reply);
+  void close_connection(int fd);
+
+  EventLoop& loop_;
+  std::string path_;
+  ControlApi* api_;
+  int listen_fd_ = -1;
+  std::map<int, Connection> conns_;
+
+  std::uint64_t accepted_ = 0;
+  std::uint64_t commands_ = 0;
+  std::uint64_t protocol_errors_ = 0;
+  std::uint64_t replies_dropped_ = 0;
+};
+
+}  // namespace upbound::live

@@ -1,0 +1,176 @@
+#include "net/live/event_loop.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+#include <sys/epoll.h>
+#include <sys/signalfd.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+namespace upbound::live {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+}
+
+EventLoop::~EventLoop() {
+  for (auto& [fd, reg] : regs_) {
+    if (reg.owned) ::close(fd);
+  }
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (signal_mask_saved_) {
+    pthread_sigmask(SIG_SETMASK, &saved_mask_, nullptr);
+  }
+}
+
+void EventLoop::add_fd(int fd, FdHandler on_readable, bool owns_fd) {
+  const auto it = regs_.find(fd);
+  if (it != regs_.end()) {
+    if (!it->second.dead) {
+      throw std::logic_error("EventLoop::add_fd: fd already registered");
+    }
+    // A dead registration whose fd was closed by its (external) owner:
+    // the kernel can hand the same number to a new fd before the
+    // deferred erase runs. Reclaim the slot, but keep the old handler
+    // alive until the dispatch round ends -- it may be the closure
+    // executing this very call.
+    if (dispatching_) graveyard_.push_back(std::move(it->second.handler));
+    regs_.erase(it);
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    throw_errno("epoll_ctl(ADD)");
+  }
+  regs_[fd] = Registration{std::move(on_readable), owns_fd, false};
+}
+
+void EventLoop::remove_fd(int fd) {
+  const auto it = regs_.find(fd);
+  if (it == regs_.end() || it->second.dead) return;
+  // Deregister from the kernel immediately so no further events arrive,
+  // but defer destroying the handler (and closing the fd) until the
+  // dispatch round finishes -- the caller may BE that handler.
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  if (dispatching_) {
+    it->second.dead = true;
+    pending_cleanup_ = true;
+    return;
+  }
+  if (it->second.owned) ::close(fd);
+  regs_.erase(it);
+}
+
+void EventLoop::erase_dead() {
+  for (auto it = regs_.begin(); it != regs_.end();) {
+    if (it->second.dead) {
+      if (it->second.owned) ::close(it->first);
+      it = regs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  pending_cleanup_ = false;
+}
+
+int EventLoop::add_timer(Duration period, TimerHandler on_tick) {
+  if (period <= Duration{}) {
+    throw std::invalid_argument("EventLoop::add_timer: period must be > 0");
+  }
+  const int fd = timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  if (fd < 0) throw_errno("timerfd_create");
+  itimerspec spec{};
+  const std::int64_t usec = period.count_usec();
+  spec.it_interval.tv_sec = usec / 1'000'000;
+  spec.it_interval.tv_nsec = (usec % 1'000'000) * 1000;
+  spec.it_value = spec.it_interval;
+  if (timerfd_settime(fd, 0, &spec, nullptr) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("timerfd_settime");
+  }
+  add_fd(
+      fd,
+      [fd, tick = std::move(on_tick)]() {
+        // The u64 read drains ALL missed periods at once; handing the
+        // count to the handler is what lets the datapath turn N coalesced
+        // expirations into the right number of rotation boundaries.
+        std::uint64_t expirations = 0;
+        const ssize_t got = ::read(fd, &expirations, sizeof(expirations));
+        if (got == sizeof(expirations) && expirations > 0) tick(expirations);
+      },
+      /*owns_fd=*/true);
+  return fd;
+}
+
+int EventLoop::add_signals(std::initializer_list<int> signals,
+                           SignalHandler on_signal) {
+  sigset_t set;
+  sigemptyset(&set);
+  for (const int s : signals) sigaddset(&set, s);
+  sigset_t old;
+  if (pthread_sigmask(SIG_BLOCK, &set, &old) != 0) {
+    throw_errno("pthread_sigmask");
+  }
+  if (!signal_mask_saved_) {
+    saved_mask_ = old;
+    signal_mask_saved_ = true;
+  }
+  const int fd = signalfd(-1, &set, SFD_NONBLOCK | SFD_CLOEXEC);
+  if (fd < 0) throw_errno("signalfd");
+  add_fd(
+      fd,
+      [fd, handler = std::move(on_signal)]() {
+        signalfd_siginfo info;
+        while (::read(fd, &info, sizeof(info)) == sizeof(info)) {
+          handler(static_cast<int>(info.ssi_signo));
+        }
+      },
+      /*owns_fd=*/true);
+  return fd;
+}
+
+int EventLoop::poll_once(int timeout_ms) {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  const int n = epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    throw_errno("epoll_wait");
+  }
+  if (n > 0) ++wakeups_;
+  int fired = 0;
+  dispatching_ = true;
+  for (int i = 0; i < n; ++i) {
+    const auto it = regs_.find(events[i].data.fd);
+    if (it == regs_.end() || it->second.dead) continue;
+    it->second.handler();
+    ++fired;
+    ++dispatched_;
+    if (stop_) break;
+  }
+  dispatching_ = false;
+  if (pending_cleanup_) erase_dead();
+  graveyard_.clear();
+  return fired;
+}
+
+void EventLoop::run() {
+  while (!stop_) poll_once(-1);
+}
+
+}  // namespace upbound::live

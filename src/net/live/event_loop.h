@@ -1,0 +1,95 @@
+// Single-threaded epoll event loop: the reactor under the live datapath.
+// Readable fds (capture sockets, control connections) dispatch to
+// callbacks; periodic work runs off timerfds so coalesced expirations are
+// observable (the handler receives the expiration count and the datapath
+// proves one rotation per dt boundary regardless of scheduling delay);
+// shutdown signals arrive as ordinary readable events via signalfd, so a
+// SIGINT drains in-flight batches instead of killing them mid-stride.
+//
+// Everything runs on the thread that calls run()/poll_once(); handlers
+// may add/remove registrations and stop() the loop re-entrantly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <map>
+#include <vector>
+
+#include <signal.h>  // sigset_t
+
+#include "util/time.h"
+
+namespace upbound::live {
+
+class EventLoop {
+ public:
+  using FdHandler = std::function<void()>;
+  /// `expirations` is the coalesced timerfd count: >1 when the loop fell
+  /// behind the period (stall, debugger, overload).
+  using TimerHandler = std::function<void(std::uint64_t expirations)>;
+  using SignalHandler = std::function<void(int signo)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` (level-triggered, EPOLLIN). With `owns_fd` the loop
+  /// closes it on removal/destruction.
+  void add_fd(int fd, FdHandler on_readable, bool owns_fd = false);
+
+  /// Unregisters `fd` (safe from inside a handler, including its own).
+  void remove_fd(int fd);
+
+  /// Periodic CLOCK_MONOTONIC timer; returns the timerfd (usable with
+  /// remove_fd). The loop owns the fd.
+  int add_timer(Duration period, TimerHandler on_tick);
+
+  /// Blocks `signals` process-wide (pthread_sigmask, restored on
+  /// destruction) and delivers them as events instead. Returns the
+  /// signalfd; the loop owns it.
+  int add_signals(std::initializer_list<int> signals, SignalHandler on_signal);
+
+  /// One epoll_wait + dispatch round. `timeout_ms` -1 blocks until an
+  /// event. Returns the number of handlers dispatched (0 on timeout or
+  /// EINTR).
+  int poll_once(int timeout_ms = 0);
+
+  /// Dispatches until stop(). Handlers call stop() to end the loop.
+  void run();
+
+  void stop() { stop_ = true; }
+  bool stopped() const { return stop_; }
+
+  std::uint64_t wakeups() const { return wakeups_; }
+  std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct Registration {
+    FdHandler handler;
+    bool owned = false;
+    /// Removed mid-dispatch: skipped for the rest of the round and erased
+    /// afterwards, so remove_fd from inside a handler never destroys the
+    /// std::function currently executing.
+    bool dead = false;
+  };
+
+  void erase_dead();
+
+  int epoll_fd_ = -1;
+  std::map<int, Registration> regs_;
+  /// Handlers of dead registrations reclaimed mid-dispatch (the kernel
+  /// reused the fd number before the deferred erase ran). Destroyed only
+  /// after the round, so a reclaim never frees an executing closure.
+  std::vector<FdHandler> graveyard_;
+  bool stop_ = false;
+  bool dispatching_ = false;
+  bool pending_cleanup_ = false;
+  bool signal_mask_saved_ = false;
+  sigset_t saved_mask_{};
+  std::uint64_t wakeups_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace upbound::live

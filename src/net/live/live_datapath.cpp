@@ -1,0 +1,355 @@
+#include "net/live/live_datapath.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "filter/bitmap_filter.h"
+#include "filter/drop_policy.h"
+#include "filter/snapshot.h"
+
+namespace upbound::live {
+
+namespace {
+
+std::string format_bps(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+std::string names_with_cap(FilterCapability cap) {
+  std::string out;
+  for (const BackendDescriptor& backend :
+       FilterRegistry::instance().descriptors()) {
+    if (!backend.has(cap)) continue;
+    if (!out.empty()) out += '|';
+    out += backend.name;
+  }
+  return out;
+}
+
+std::unique_ptr<DropPolicy> policy_from(const LiveConfig& config) {
+  if (config.policy_red) {
+    return std::make_unique<RedDropPolicy>(config.policy_low,
+                                           config.policy_high);
+  }
+  return std::make_unique<ConstantDropPolicy>(config.policy_pd);
+}
+
+}  // namespace
+
+MetricsSnapshot strip_batch_shape(const MetricsSnapshot& snapshot) {
+  MetricsSnapshot out = snapshot;
+  std::erase_if(out.histograms, [](const HistogramSample& h) {
+    return h.name == "batch.packets" || h.name == "run.packets";
+  });
+  return out;
+}
+
+std::string conformance_report(const ReplayResult& result,
+                               SimTime end_time) {
+  return metrics_to_json(strip_batch_shape(result.metrics.deterministic()),
+                         "final", end_time);
+}
+
+LiveDatapath::LiveDatapath(LiveConfig config, FilterSpec spec,
+                           std::unique_ptr<CaptureSource> source,
+                           EventLoop& loop)
+    : config_(std::move(config)),
+      spec_(std::move(spec)),
+      source_(std::move(source)),
+      loop_(loop),
+      result_(config_.router.series_bucket),
+      policy_low_(config_.policy_low),
+      policy_high_(config_.policy_high),
+      next_metrics_emit_(SimTime::infinite()) {
+  if (config_.clock == nullptr) {
+    throw std::invalid_argument("LiveDatapath: clock required");
+  }
+  if (source_ == nullptr) {
+    throw std::invalid_argument("LiveDatapath: capture source required");
+  }
+  if (config_.batch_max == 0) {
+    throw std::invalid_argument("LiveDatapath: batch_max must be > 0");
+  }
+  router_ = std::make_unique<EdgeRouter>(
+      config_.router, make_state_filter(spec_), policy_from(config_));
+
+  pending_.resize(config_.batch_max);
+  decisions_.resize(config_.batch_max);
+  sink_ = [this](std::span<const std::uint8_t> frame, SimTime ts) {
+    ingest_frame(frame, ts);
+  };
+
+  if (!config_.metrics_out.empty() && !config_.metrics_prometheus) {
+    metrics_writer_ =
+        std::make_unique<MetricsJsonlWriter>(config_.metrics_out);
+  }
+
+  start_time_ = config_.clock->now();
+  loop_.add_fd(source_->fd(), [this]() { on_capture_readable(); });
+  tick_fd_ = loop_.add_timer(
+      config_.tick, [this](std::uint64_t n) { on_tick(n); });
+}
+
+LiveDatapath::~LiveDatapath() {
+  // The loop may outlive the datapath; its registrations capture `this`.
+  loop_.remove_fd(tick_fd_);
+  loop_.remove_fd(source_->fd());
+}
+
+void LiveDatapath::enable_control(const std::string& path) {
+  control_ = std::make_unique<ControlServer>(loop_, path, this);
+}
+
+void LiveDatapath::ingest_frame(std::span<const std::uint8_t> frame,
+                                SimTime ts) {
+  if (!decode_frame_into(frame, ts, decode_scratch_)) {
+    ++live_stats_.decode_errors;
+    return;
+  }
+  // Copy-assignment into the ring slot reuses the slot's payload
+  // capacity: the steady-state frame path performs no allocations.
+  pending_[pending_count_++] = decode_scratch_.packet;
+}
+
+void LiveDatapath::on_capture_readable() {
+  for (;;) {
+    if (pending_count_ == config_.batch_max) process_pending();
+    const std::size_t room = config_.batch_max - pending_count_;
+    if (source_->drain(room, sink_) < room) break;  // source would block
+  }
+  process_pending();
+  check_stop_conditions();
+}
+
+void LiveDatapath::process_pending() {
+  if (pending_count_ == 0) return;
+  const PacketBatch batch{pending_.data(), pending_count_};
+  const std::span<RouterDecision> decisions{decisions_.data(),
+                                            pending_count_};
+  router_->process_batch(batch, decisions);
+  account_replay_batch(result_, config_.router.network, batch,
+                       std::span<const RouterDecision>{decisions_.data(),
+                                                       pending_count_});
+  for (std::size_t i = 0; i < pending_count_; ++i) {
+    switch (decisions[i]) {
+      case RouterDecision::kPassedOutbound:
+      case RouterDecision::kPassedInbound:
+        ++live_stats_.forwarded;
+        break;
+      case RouterDecision::kDroppedByPolicy:
+      case RouterDecision::kDroppedBlocked:
+        ++live_stats_.dropped;
+        break;
+      case RouterDecision::kIgnored:
+        ++live_stats_.ignored;
+        break;
+    }
+    if (verdict_sink_) verdict_sink_(pending_[i], decisions[i]);
+  }
+  live_stats_.packets += pending_count_;
+  ++live_stats_.batches;
+  live_stats_.frames = source_->frames_received();
+  live_stats_.frame_bytes = source_->bytes_received();
+  live_stats_.malformed = source_->malformed_inputs();
+
+  const SimTime batch_last = pending_[pending_count_ - 1].timestamp;
+  if (!saw_packet_) {
+    saw_packet_ = true;
+    last_packet_time_ = pending_[0].timestamp;
+    if (!config_.metrics_interval.is_zero() && metrics_writer_ != nullptr) {
+      // Interval snapshots fire on sim-time boundaries measured from the
+      // first packet -- the exact offline replay semantics, so a live
+      // interval JSONL stream matches an offline one line for line.
+      next_metrics_emit_ = pending_[0].timestamp + config_.metrics_interval;
+    }
+  }
+  if (batch_last > last_packet_time_) last_packet_time_ = batch_last;
+  pending_count_ = 0;
+  maybe_emit_interval_metrics();
+}
+
+void LiveDatapath::maybe_emit_interval_metrics() {
+  while (last_packet_time_ >= next_metrics_emit_) {
+    const MetricsSnapshot snap =
+        config_.metrics_deterministic
+            ? router_->metrics_snapshot().deterministic()
+            : router_->metrics_snapshot();
+    metrics_writer_->write(snap, "interval", next_metrics_emit_);
+    next_metrics_emit_ = next_metrics_emit_ + config_.metrics_interval;
+  }
+}
+
+void LiveDatapath::on_tick(std::uint64_t expirations) {
+  live_stats_.ticks += expirations;
+  // One advance regardless of how many periods coalesced: advance_clock
+  // is idempotent for a given `now`, and the filter's advance_time loops
+  // over every dt boundary it crossed -- exactly one rotation per
+  // boundary, never one per expiration.
+  router_->advance_clock(config_.clock->now());
+  check_stop_conditions();
+}
+
+void LiveDatapath::check_stop_conditions() {
+  if (loop_.stopped() || finalized_) return;
+  if (!config_.run_duration.is_zero() &&
+      config_.clock->now() - start_time_ >= config_.run_duration) {
+    drain_and_stop();
+    return;
+  }
+  if (config_.max_packets != 0 &&
+      live_stats_.packets >= config_.max_packets) {
+    drain_and_stop();
+  }
+}
+
+void LiveDatapath::drain_and_stop() {
+  finalize();
+  loop_.stop();
+}
+
+void LiveDatapath::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  // Shutdown drains: every frame the kernel already handed us is decoded
+  // and processed before the final report (the conservation property the
+  // harness asserts).
+  for (;;) {
+    if (pending_count_ == config_.batch_max) process_pending();
+    const std::size_t room = config_.batch_max - pending_count_;
+    if (source_->drain(room, sink_) < room) break;
+  }
+  process_pending();
+
+  result_.stats = router_->stats();
+  result_.metrics = router_->metrics_snapshot();
+  live_stats_.frames = source_->frames_received();
+  live_stats_.frame_bytes = source_->bytes_received();
+  live_stats_.malformed = source_->malformed_inputs();
+
+  if (!config_.metrics_out.empty()) {
+    const SimTime end =
+        saw_packet_ ? last_packet_time_ : SimTime::origin();
+    const MetricsSnapshot exported = config_.metrics_deterministic
+                                         ? result_.metrics.deterministic()
+                                         : result_.metrics;
+    if (config_.metrics_prometheus) {
+      std::FILE* f = std::fopen(config_.metrics_out.c_str(), "wb");
+      if (f != nullptr) {
+        const std::string text = metrics_to_prometheus(exported);
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+      }
+    } else {
+      metrics_writer_->write(exported, "final", end);
+    }
+  }
+}
+
+ControlReply LiveDatapath::control_set_threshold(bool is_low, double bps) {
+  const double low = is_low ? bps : policy_low_;
+  const double high = is_low ? policy_high_ : bps;
+  if (!(low < high)) {
+    return ControlReply::err(
+        "bad-argument", "thresholds must satisfy low < high (low=" +
+                            format_bps(low) + ", high=" + format_bps(high) +
+                            ")");
+  }
+  policy_low_ = low;
+  policy_high_ = high;
+  router_->set_drop_policy(std::make_unique<RedDropPolicy>(low, high));
+  return ControlReply::good("low=" + format_bps(low) +
+                            " high=" + format_bps(high));
+}
+
+ControlReply LiveDatapath::control_set_rotate_interval(Duration dt) {
+  if (spec_.backend == nullptr ||
+      !spec_.backend->has(kCapRotateInterval)) {
+    return ControlReply::err(
+        "capability:rotate",
+        "backend '" + spec_.kind() +
+            "' has no runtime-adjustable rotation interval (supported: " +
+            names_with_cap(kCapRotateInterval) + ")");
+  }
+  try {
+    if (!router_->filter().set_rotate_interval(dt)) {
+      return ControlReply::err(
+          "capability:rotate",
+          "backend '" + spec_.kind() + "' rejected the retune");
+    }
+  } catch (const std::invalid_argument& e) {
+    return ControlReply::err("bad-argument", e.what());
+  }
+  return ControlReply::good("dt=" + format_bps(dt.to_sec()) + "s");
+}
+
+ControlReply LiveDatapath::control_set_unhealthy_stance(UnhealthyStance s) {
+  if (!router_->set_unhealthy_stance(s)) {
+    return ControlReply::err(
+        "unsupported:health",
+        "health monitor not armed (launch with --on-unhealthy on a "
+        "UPBOUND_FAULTS=ON build)");
+  }
+  return ControlReply::good(
+      s == UnhealthyStance::kFailOpen ? "on-unhealthy=fail-open"
+                                      : "on-unhealthy=fail-closed");
+}
+
+ControlReply LiveDatapath::control_snapshot(const std::string& path) {
+  if (spec_.backend == nullptr || !spec_.backend->has(kCapSnapshot)) {
+    return ControlReply::err(
+        "capability:snapshot",
+        "backend '" + spec_.kind() +
+            "' has no snapshot format (supported: " +
+            names_with_cap(kCapSnapshot) + ")");
+  }
+  auto* bitmap = dynamic_cast<BitmapFilter*>(&router_->filter());
+  if (bitmap == nullptr) {
+    return ControlReply::err(
+        "capability:snapshot",
+        "backend '" + spec_.kind() + "' is not snapshot-serializable");
+  }
+  const SimTime at = saw_packet_ ? last_packet_time_ : SimTime::origin();
+  try {
+    const std::vector<std::uint8_t> bytes =
+        snapshot_bitmap_filter(*bitmap, at);
+    save_snapshot_file(path, bytes);
+    return ControlReply::good("wrote " + path + " (" +
+                              std::to_string(bytes.size()) + " bytes)");
+  } catch (const std::exception& e) {
+    return ControlReply::err("io", e.what());
+  }
+}
+
+ControlReply LiveDatapath::control_stats() {
+  live_stats_.frames = source_->frames_received();
+  live_stats_.frame_bytes = source_->bytes_received();
+  live_stats_.malformed = source_->malformed_inputs();
+  const SimTime at = saw_packet_ ? last_packet_time_ : SimTime::origin();
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"source\":\"%s\",\"frames\":%llu,\"frame_bytes\":%llu,"
+      "\"packets\":%llu,\"forwarded\":%llu,\"dropped\":%llu,"
+      "\"ignored\":%llu,\"decode_errors\":%llu,\"malformed\":%llu,"
+      "\"batches\":%llu,\"ticks\":%llu,\"uplink_bps\":%g}",
+      source_->name().c_str(),
+      static_cast<unsigned long long>(live_stats_.frames),
+      static_cast<unsigned long long>(live_stats_.frame_bytes),
+      static_cast<unsigned long long>(live_stats_.packets),
+      static_cast<unsigned long long>(live_stats_.forwarded),
+      static_cast<unsigned long long>(live_stats_.dropped),
+      static_cast<unsigned long long>(live_stats_.ignored),
+      static_cast<unsigned long long>(live_stats_.decode_errors),
+      static_cast<unsigned long long>(live_stats_.malformed),
+      static_cast<unsigned long long>(live_stats_.batches),
+      static_cast<unsigned long long>(live_stats_.ticks),
+      router_->uplink_bits_per_sec(at));
+  return ControlReply::good(buf);
+}
+
+void LiveDatapath::control_quit() { drain_and_stop(); }
+
+}  // namespace upbound::live

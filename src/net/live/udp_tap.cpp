@@ -1,0 +1,253 @@
+#include "net/live/udp_tap.h"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <unistd.h>
+
+#include "net/headers.h"
+
+namespace upbound::live {
+
+namespace {
+
+/// Record header: u64 timestamp + u16 frame length.
+constexpr std::size_t kRecordHeader = 10;
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+std::int64_t read_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return static_cast<std::int64_t>(v);
+}
+
+std::size_t read_le16(const std::uint8_t* p) {
+  return static_cast<std::size_t>(p[0]) |
+         (static_cast<std::size_t>(p[1]) << 8);
+}
+
+void write_le64(std::uint64_t v, std::vector<std::uint8_t>& out) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void write_le16(std::uint16_t v, std::vector<std::uint8_t>& out) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+}  // namespace
+
+void append_tap_record(const PacketRecord& pkt,
+                       std::vector<std::uint8_t>& out) {
+  const std::vector<std::uint8_t> frame = encode_frame(pkt);
+  if (frame.size() > 0xFFFF) {
+    throw std::invalid_argument("append_tap_record: frame exceeds u16 length");
+  }
+  out.reserve(out.size() + kRecordHeader + frame.size());
+  write_le64(static_cast<std::uint64_t>(pkt.timestamp.usec()), out);
+  write_le16(static_cast<std::uint16_t>(frame.size()), out);
+  out.insert(out.end(), frame.begin(), frame.end());
+}
+
+std::vector<std::uint8_t> encode_tap_datagram(const PacketRecord& pkt) {
+  std::vector<std::uint8_t> out;
+  append_tap_record(pkt, out);
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> pack_tap_datagrams(
+    const Trace& trace, std::size_t max_bytes) {
+  std::vector<std::vector<std::uint8_t>> out;
+  for (const PacketRecord& pkt : trace) {
+    std::vector<std::uint8_t> record;
+    append_tap_record(pkt, record);
+    if (out.empty() || out.back().size() + record.size() > max_bytes) {
+      out.emplace_back();
+    }
+    out.back().insert(out.back().end(), record.begin(), record.end());
+  }
+  return out;
+}
+
+UdpTapSource::UdpTapSource(const Config& config) : config_(config) {
+  if (config_.timestamp_mode == TapTimestampMode::kOnReceive &&
+      config_.clock == nullptr) {
+    throw std::invalid_argument(
+        "UdpTapSource: kOnReceive requires a clock");
+  }
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket(AF_INET, SOCK_DGRAM)");
+
+  // Best-effort: a deep socket buffer absorbs sender bursts while the
+  // datapath is mid-batch. The kernel silently caps at rmem_max.
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &config_.rcvbuf_bytes,
+               sizeof(config_.rcvbuf_bytes));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    ::close(fd_);
+    errno = saved;
+    throw_errno("bind(udp tap)");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    errno = saved;
+    throw_errno("getsockname(udp tap)");
+  }
+  local_port_ = ntohs(bound.sin_port);
+
+  buffers_.resize(kRecvBatch * kDatagramCap);
+  msgs_.resize(kRecvBatch);
+  iovs_.resize(kRecvBatch);
+  for (std::size_t i = 0; i < kRecvBatch; ++i) {
+    iovs_[i].iov_base = buffers_.data() + i * kDatagramCap;
+    iovs_[i].iov_len = kDatagramCap;
+    std::memset(&msgs_[i], 0, sizeof(msgs_[i]));
+    msgs_[i].msg_hdr.msg_iov = &iovs_[i];
+    msgs_[i].msg_hdr.msg_iovlen = 1;
+  }
+}
+
+UdpTapSource::~UdpTapSource() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::size_t UdpTapSource::refill() {
+  const int got = ::recvmmsg(fd_, msgs_.data(), kRecvBatch, MSG_DONTWAIT,
+                             nullptr);
+  if (got <= 0) return 0;
+  queued_ = static_cast<std::size_t>(got);
+  consumed_ = 0;
+  record_off_ = 0;
+  if (config_.timestamp_mode == TapTimestampMode::kOnReceive) {
+    // One clock read stamps the whole refill: cheaper than per-datagram
+    // reads and still monotone (later refills read a later clock).
+    refill_stamp_ = config_.clock->now();
+  }
+  return queued_;
+}
+
+std::size_t UdpTapSource::drain(std::size_t max_frames,
+                                const FrameSink& sink) {
+  std::size_t delivered = 0;
+  while (delivered < max_frames) {
+    if (consumed_ == queued_ && refill() == 0) break;
+    const std::size_t len = msgs_[consumed_].msg_len;
+    const std::uint8_t* data = buffers_.data() + consumed_ * kDatagramCap;
+    if (len - record_off_ < kRecordHeader) {
+      // Runt datagram, or a truncated tail after valid records: counted
+      // once, rest of the datagram skipped.
+      ++malformed_;
+      ++consumed_;
+      record_off_ = 0;
+      continue;
+    }
+    const std::uint8_t* rec = data + record_off_;
+    const std::size_t frame_len = read_le16(rec + 8);
+    if (frame_len > len - record_off_ - kRecordHeader) {
+      // Declared length overruns the datagram.
+      ++malformed_;
+      ++consumed_;
+      record_off_ = 0;
+      continue;
+    }
+    const SimTime ts =
+        config_.timestamp_mode == TapTimestampMode::kFromFrames
+            ? SimTime::from_usec(read_le64(rec))
+            : refill_stamp_;
+    ++frames_;
+    bytes_ += frame_len;
+    sink(std::span<const std::uint8_t>{rec + kRecordHeader, frame_len}, ts);
+    record_off_ += kRecordHeader + frame_len;
+    if (record_off_ == len) {
+      ++consumed_;
+      record_off_ = 0;
+    }
+    ++delivered;
+  }
+  return delivered;
+}
+
+UdpTapSender::UdpTapSender(std::uint16_t port, const std::string& host) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket(udp tap sender)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    throw std::invalid_argument("UdpTapSender: bad host '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    errno = saved;
+    throw_errno("connect(udp tap sender)");
+  }
+}
+
+UdpTapSender::~UdpTapSender() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpTapSender::send_packet(const PacketRecord& pkt) {
+  send_datagram(encode_tap_datagram(pkt));
+}
+
+void UdpTapSender::send_datagram(std::span<const std::uint8_t> datagram) {
+  if (::send(fd_, datagram.data(), datagram.size(), 0) < 0) {
+    throw_errno("send(udp tap)");
+  }
+  ++sent_;
+}
+
+void UdpTapSender::send_burst(
+    std::span<const std::vector<std::uint8_t>> datagrams) {
+  constexpr std::size_t kChunk = 64;
+  std::size_t off = 0;
+  while (off < datagrams.size()) {
+    const std::size_t n = std::min(kChunk, datagrams.size() - off);
+    mmsghdr msgs[kChunk];
+    iovec iovs[kChunk];
+    std::memset(msgs, 0, sizeof(mmsghdr) * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      iovs[i].iov_base =
+          const_cast<std::uint8_t*>(datagrams[off + i].data());
+      iovs[i].iov_len = datagrams[off + i].size();
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    std::size_t done = 0;
+    while (done < n) {
+      const int got = ::sendmmsg(fd_, msgs + done,
+                                 static_cast<unsigned>(n - done), 0);
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("sendmmsg(udp tap)");
+      }
+      done += static_cast<std::size_t>(got);
+    }
+    sent_ += n;
+    off += n;
+  }
+}
+
+}  // namespace upbound::live

@@ -112,6 +112,26 @@ void EdgeRouter::tuner_poll() {
                   filter_->expiry_generations());
 }
 
+void EdgeRouter::advance_clock(SimTime now) {
+  if (now <= last_time_) return;
+  last_time_ = now;
+  filter_->advance_time(now);
+  meter_.advance(now);
+}
+
+void EdgeRouter::set_drop_policy(std::unique_ptr<DropPolicy> policy) {
+  if (policy == nullptr) {
+    throw std::invalid_argument("EdgeRouter::set_drop_policy: null policy");
+  }
+  policy_ = std::move(policy);
+}
+
+bool EdgeRouter::set_unhealthy_stance(UnhealthyStance stance) {
+  if (!kFaultsCompiled || !health_.has_value()) return false;
+  config_.health.stance = stance;
+  return true;
+}
+
 RouterDecision EdgeRouter::process(const PacketRecord& pkt) {
   RouterDecision decision = RouterDecision::kIgnored;
   process_batch(PacketBatch{&pkt, 1}, std::span<RouterDecision>{&decision, 1});

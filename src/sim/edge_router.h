@@ -170,6 +170,26 @@ class EdgeRouter {
   /// Current uplink throughput estimate (the Eq. 1 input b).
   double uplink_bits_per_sec(SimTime now) { return meter_.bits_per_sec(now); }
 
+  /// Advances the router's notion of time without a packet: the filter's
+  /// rotation schedule fires and metered traffic ages out of the Eq. 1
+  /// window. Live mode's tick timer calls this between packets; offline
+  /// replay never needs it (packet timestamps carry the clock), and a
+  /// call at or below the last-seen time is a no-op, so a live run whose
+  /// clock trails the packet stream is observably identical to replay.
+  void advance_clock(SimTime now);
+
+  /// Swaps the Eq. 1 drop policy at runtime (live `set L/H`). Takes
+  /// effect on the next stateless-inbound decision; throws on null.
+  void set_drop_policy(std::unique_ptr<DropPolicy> policy);
+  const DropPolicy& drop_policy() const { return *policy_; }
+
+  /// Retargets the degraded-mode stance at runtime (live
+  /// `set on-unhealthy`). Returns false when health monitoring is not
+  /// engaged (disabled by config or compiled out): the stance would
+  /// never be consulted, so pretending to set it would be lying to the
+  /// operator.
+  bool set_unhealthy_stance(UnhealthyStance stance);
+
  private:
   // --- Pipeline stages (each consumes a batch or a run of one) ---
 

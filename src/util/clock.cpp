@@ -1,0 +1,23 @@
+#include "util/clock.h"
+
+#include <ctime>
+
+namespace upbound {
+
+namespace {
+
+std::int64_t monotonic_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+}  // namespace
+
+MonotonicClock::MonotonicClock() : epoch_ns_(monotonic_ns()) {}
+
+SimTime MonotonicClock::now() {
+  return SimTime::from_usec((monotonic_ns() - epoch_ns_) / 1000);
+}
+
+}  // namespace upbound

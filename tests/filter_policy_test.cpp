@@ -148,13 +148,33 @@ TEST(BandwidthMeter, RegressedTimestampsClampToHighWater) {
   EXPECT_EQ(meter.clamp_events(), 1u);
   EXPECT_DOUBLE_EQ(meter.bits_per_sec(SimTime::from_sec(5.0)), 1500 * 8.0);
 
-  // A regressed read also clamps instead of aging the window backwards.
+  // A regressed read also clamps instead of aging the window backwards,
+  // but is NOT counted: only data-bearing add() regressions are the clock
+  // anomaly the health monitor watches for (live mode polls the meter on
+  // a tick cadence, and a poll racing a just-metered packet must not
+  // register as a fault).
   EXPECT_DOUBLE_EQ(meter.bits_per_sec(SimTime::from_sec(1.0)), 1500 * 8.0);
-  EXPECT_EQ(meter.clamp_events(), 2u);
+  EXPECT_EQ(meter.clamp_events(), 1u);
 
   // Monotonic progress resumes from the high-water mark, not the
   // regressed value: the traffic ages out on the original schedule.
   EXPECT_DOUBLE_EQ(meter.bits_per_sec(SimTime::from_sec(6.5)), 0.0);
+}
+
+TEST(BandwidthMeter, AdvanceAgesWithoutBooking) {
+  BandwidthMeter meter{Duration::sec(1.0), 10};
+  meter.add(SimTime::from_sec(0.0), 1000);
+  // Mid-window advance keeps the traffic; regressed advance is a silent
+  // clamp; past-window advance decays everything out.
+  meter.advance(SimTime::from_sec(0.5));
+  EXPECT_DOUBLE_EQ(meter.bits_per_sec(SimTime::from_sec(0.5)), 1000 * 8.0);
+  meter.advance(SimTime::from_sec(0.2));
+  EXPECT_EQ(meter.clamp_events(), 0u);
+  meter.advance(SimTime::from_sec(2.0));
+  EXPECT_DOUBLE_EQ(meter.bits_per_sec(SimTime::from_sec(2.0)), 0.0);
+  // A later add() must land in the advanced head slot, not a stale one.
+  meter.add(SimTime::from_sec(2.0), 500);
+  EXPECT_DOUBLE_EQ(meter.bits_per_sec(SimTime::from_sec(2.0)), 500 * 8.0);
 }
 
 TEST(BandwidthMeter, FirstCallNeverCountsAsClamp) {

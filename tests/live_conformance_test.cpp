@@ -1,0 +1,110 @@
+// Live-vs-offline conformance: the same trace pushed through real UDP
+// sockets + epoll + the live datapath must produce a byte-identical
+// result to offline replay -- same stats, same per-stage counters, same
+// time series, same deterministic metrics report -- for every registered
+// filter backend. This is the tentpole guarantee of the live datapath:
+// going live changes the transport, not the semantics.
+#include "live_harness.h"
+
+#include <gtest/gtest.h>
+
+#include "filter/filter_registry.h"
+#include "filter/params.h"
+
+namespace upbound::live::testing {
+namespace {
+
+FilterSpec spec_for(const BackendDescriptor& backend) {
+  MapFilterArgs args;
+  // Small geometry keeps each backend's run fast; unknown keys are
+  // simply unread by backends that do not take them.
+  args.set("bits", "16");
+  args.set("dt", "5");
+  return backend.parse(args);
+}
+
+TEST(LiveConformance, RequiredBackendsAreRegistered) {
+  const FilterRegistry& registry = FilterRegistry::instance();
+  EXPECT_NE(registry.find("bitmap"), nullptr);
+  EXPECT_NE(registry.find("spi"), nullptr);
+  EXPECT_NE(registry.find("naive"), nullptr);
+}
+
+TEST(LiveConformance, EveryBackendMatchesOfflineReplay) {
+  const GeneratedTrace& generated = conformance_trace();
+  ASSERT_FALSE(generated.packets.empty());
+  LiveRunOptions options;
+
+  for (const BackendDescriptor& backend :
+       FilterRegistry::instance().descriptors()) {
+    SCOPED_TRACE("backend: " + backend.name);
+    const FilterSpec spec = spec_for(backend);
+
+    const LiveRunOutput offline =
+        run_offline(generated.packets, generated.network, spec, options);
+    const LiveRunOutput live =
+        run_live_tap(generated.packets, generated.network, spec, options);
+
+    // Conservation first: every datagram sent arrived, decoded, and was
+    // processed. Without this the equality below could pass vacuously on
+    // a lossy run whose drops happened to cancel out.
+    EXPECT_EQ(live.datagrams_sent, generated.packets.size());
+    EXPECT_EQ(live.stats.frames, live.datagrams_sent);
+    EXPECT_EQ(live.stats.decode_errors, 0u);
+    EXPECT_EQ(live.stats.malformed, 0u);
+    EXPECT_EQ(live.stats.packets, generated.packets.size());
+
+    // Byte-identity: stats (including per-stage counters) and all four
+    // offered/passed series...
+    EXPECT_TRUE(live.result == offline.result);
+    EXPECT_EQ(live.router_stats, offline.router_stats);
+    // ...and the serialized deterministic metrics report.
+    EXPECT_EQ(live.report, offline.report);
+    EXPECT_FALSE(live.report.empty());
+  }
+}
+
+TEST(LiveConformance, ConstantPolicyPathMatchesToo) {
+  // The RED path exercises the policy RNG; the constant-P_d path must
+  // conform as well (it is the paper's always-drop baseline).
+  const GeneratedTrace& generated = conformance_trace();
+  LiveRunOptions options;
+  options.policy_red = false;
+  options.policy_pd = 0.5;
+
+  const FilterSpec spec =
+      spec_for(FilterRegistry::instance().at("bitmap"));
+  const LiveRunOutput offline =
+      run_offline(generated.packets, generated.network, spec, options);
+  const LiveRunOutput live =
+      run_live_tap(generated.packets, generated.network, spec, options);
+
+  EXPECT_TRUE(live.result == offline.result);
+  EXPECT_EQ(live.report, offline.report);
+}
+
+TEST(LiveConformance, BatchShapeInvariance) {
+  // A tiny batch_max produces many more (smaller) router batches; the
+  // conformance report must not care. This is what strip_batch_shape
+  // guarantees -- and why the live datapath may legally coalesce
+  // arrivals differently than replay's fixed 256.
+  const GeneratedTrace& generated = conformance_trace();
+  const FilterSpec spec =
+      spec_for(FilterRegistry::instance().at("bitmap"));
+
+  LiveRunOptions options;
+  const LiveRunOutput reference =
+      run_live_tap(generated.packets, generated.network, spec, options);
+
+  LiveRunOptions small;
+  small.batch_max = 17;
+  const LiveRunOutput odd =
+      run_live_tap(generated.packets, generated.network, spec, small);
+
+  EXPECT_GT(odd.stats.batches, reference.stats.batches);
+  EXPECT_TRUE(odd.result == reference.result);
+  EXPECT_EQ(odd.report, reference.report);
+}
+
+}  // namespace
+}  // namespace upbound::live::testing

@@ -1,0 +1,237 @@
+// Event-loop edge cases: coalesced timer expirations, EAGAIN/partial
+// drains, runt/garbage frames, shutdown draining, and signalfd wiring.
+// These are the failure modes that distinguish a datapath that happens
+// to work on a quiet loopback from one that holds its invariants under
+// scheduling jitter and hostile input.
+#include "live_harness.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <thread>
+
+#include "filter/bitmap_filter.h"
+#include "filter/filter_registry.h"
+#include "filter/params.h"
+
+namespace upbound::live::testing {
+namespace {
+
+FilterSpec bitmap_spec(double dt_sec = 5.0) {
+  MapFilterArgs args;
+  args.set("bits", "14");
+  args.set("dt", std::to_string(dt_sec));
+  return FilterRegistry::instance().at("bitmap").parse(args);
+}
+
+TEST(EventLoop, CoalescedTimerExpirationsArriveAsOneCallback) {
+  EventLoop loop;
+  int callbacks = 0;
+  std::uint64_t total_expirations = 0;
+  loop.add_timer(Duration::msec(5), [&](std::uint64_t n) {
+    ++callbacks;
+    total_expirations += n;
+  });
+  // Sleep through several timer periods without polling: the kernel
+  // accumulates expirations in the timerfd counter instead of queueing
+  // events, and one read returns them all.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  loop.poll_once(0);
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_GE(total_expirations, 2u);
+}
+
+TEST(EventLoop, SignalfdDeliversBlockedSignal) {
+  EventLoop loop;
+  int delivered = 0;
+  int signo = 0;
+  loop.add_signals({SIGUSR1}, [&](int s) {
+    ++delivered;
+    signo = s;
+    loop.stop();
+  });
+  ::raise(SIGUSR1);
+  loop.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(signo, SIGUSR1);
+}
+
+TEST(EventLoop, StopFromHandlerBreaksRun) {
+  EventLoop loop;
+  loop.add_timer(Duration::msec(1),
+                 [&](std::uint64_t) { loop.stop(); });
+  loop.run();  // must return rather than spin
+  EXPECT_TRUE(loop.stopped());
+}
+
+TEST(LiveDatapath, CoalescedTicksRotateOncePerBoundary) {
+  // The filter's rotation count must track Δt boundaries crossed, never
+  // tick-callback counts: a loop stalled through N ticks and M rotation
+  // boundaries does exactly M rotations when it wakes.
+  VirtualClock clock;
+  EventLoop loop;
+  UdpTapSource::Config tap_config;
+  tap_config.port = 0;
+  auto source = std::make_unique<UdpTapSource>(tap_config);
+
+  LiveConfig config;
+  config.clock = &clock;
+  config.tick = Duration::msec(2);
+  LiveDatapath datapath{config, bitmap_spec(5.0), std::move(source), loop};
+  const auto& bitmap =
+      dynamic_cast<const BitmapFilter&>(datapath.router().filter());
+
+  // Cross three rotation boundaries (5, 10, 15) in one jump, then let a
+  // single (likely multi-expiration) tick fire.
+  clock.advance_to(SimTime::from_sec(16.0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  loop.poll_once(0);
+  EXPECT_EQ(bitmap.rotations(), 3u);
+
+  // More stalled ticks with no clock movement: no further rotations.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  loop.poll_once(0);
+  EXPECT_EQ(bitmap.rotations(), 3u);
+  EXPECT_GE(datapath.stats().ticks, 2u);
+}
+
+TEST(BitmapFilter, SetRotateIntervalReanchorsToLastBoundary) {
+  BitmapFilterConfig config;
+  config.log2_bits = 10;
+  config.rotate_interval = Duration::sec(5.0);
+  BitmapFilter filter{config};
+
+  filter.advance_time(SimTime::from_sec(4.0));  // inside the first window
+  EXPECT_EQ(filter.rotations(), 0u);
+  // Retune 5s -> 1s: the new schedule anchors one new interval past the
+  // last completed boundary (origin), so boundaries now sit at 1,2,3,4.
+  EXPECT_TRUE(filter.set_rotate_interval(Duration::sec(1.0)));
+  filter.advance_time(SimTime::from_sec(4.0));
+  EXPECT_EQ(filter.rotations(), 4u);
+  EXPECT_THROW(filter.set_rotate_interval(Duration{}),
+               std::invalid_argument);
+}
+
+TEST(LiveDatapath, PartialDrainsRespectBatchMaxAndLoseNothing) {
+  // 10 datagrams through a batch_max of 4: the capture drain must stop
+  // at the batch boundary, flush, and resume -- no frame skipped, no
+  // oversized batch handed to the router.
+  const GeneratedTrace& generated = conformance_trace();
+  ASSERT_GE(generated.packets.size(), 10u);
+  Trace slice{generated.packets.begin(), generated.packets.begin() + 10};
+
+  LiveRunOptions options;
+  options.batch_max = 4;
+  options.burst = 10;
+  const LiveRunOutput live =
+      run_live_tap(slice, generated.network, bitmap_spec(), options);
+  EXPECT_EQ(live.stats.packets, 10u);
+  EXPECT_GE(live.stats.batches, 3u);
+}
+
+TEST(LiveDatapath, RuntAndGarbageFramesAreCountedNotCrashed) {
+  VirtualClock clock;
+  EventLoop loop;
+  UdpTapSource::Config tap_config;
+  tap_config.port = 0;
+  auto source = std::make_unique<UdpTapSource>(tap_config);
+  const std::uint16_t port = source->local_port();
+
+  LiveConfig config;
+  config.clock = &clock;
+  LiveDatapath datapath{config, bitmap_spec(), std::move(source), loop};
+  UdpTapSender sender{port};
+
+  // A runt (< 10-byte record header), a record whose declared length
+  // overruns the datagram, and a well-formed record carrying a garbage
+  // frame the decoder rejects.
+  const std::uint8_t runt[3] = {0xde, 0xad, 0xbe};
+  std::uint8_t overrun[10] = {};  // header claims a 100-byte frame, no body
+  overrun[8] = 100;
+  std::uint8_t garbage[10 + 11] = {};  // timestamp 0, length 11, junk frame
+  garbage[8] = 11;
+  for (std::size_t i = 10; i < sizeof(garbage); ++i) {
+    garbage[i] = static_cast<std::uint8_t>(i * 37);
+  }
+  sender.send_datagram(runt);
+  sender.send_datagram(overrun);
+  sender.send_datagram(garbage);
+  const GeneratedTrace& generated = conformance_trace();
+  sender.send_packet(generated.packets.front());  // one valid packet
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (datapath.source().frames_received() +
+             datapath.source().malformed_inputs() <
+         4) {
+    loop.poll_once(1);
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+  }
+  datapath.finalize();
+
+  EXPECT_EQ(datapath.stats().malformed, 2u);
+  EXPECT_EQ(datapath.stats().decode_errors, 1u);
+  EXPECT_EQ(datapath.stats().packets, 1u);
+}
+
+TEST(LiveDatapath, ShutdownDrainsEverythingAlreadyQueued) {
+  // Conservation under shutdown: frames sitting in the socket buffer
+  // when drain_and_stop fires are still decoded, processed, and
+  // reflected in the final result.
+  const GeneratedTrace& generated = conformance_trace();
+  ASSERT_GE(generated.packets.size(), 200u);
+
+  VirtualClock clock;
+  EventLoop loop;
+  UdpTapSource::Config tap_config;
+  tap_config.port = 0;
+  auto source = std::make_unique<UdpTapSource>(tap_config);
+  const std::uint16_t port = source->local_port();
+
+  LiveConfig config;
+  config.router.network = generated.network;
+  config.clock = &clock;
+  LiveDatapath datapath{config, bitmap_spec(), std::move(source), loop};
+  UdpTapSender sender{port};
+  for (std::size_t p = 0; p < 200; ++p) {
+    sender.send_packet(generated.packets[p]);
+  }
+  // No polling: all 200 datagrams are still queued in the kernel when
+  // the stop lands.
+  datapath.drain_and_stop();
+
+  EXPECT_TRUE(loop.stopped());
+  EXPECT_EQ(datapath.stats().frames, 200u);
+  EXPECT_EQ(datapath.stats().packets, 200u);
+  EXPECT_EQ(datapath.stats().decode_errors, 0u);
+}
+
+TEST(LiveDatapath, MaxPacketsStopsTheLoop) {
+  const GeneratedTrace& generated = conformance_trace();
+  VirtualClock clock;
+  EventLoop loop;
+  UdpTapSource::Config tap_config;
+  tap_config.port = 0;
+  auto source = std::make_unique<UdpTapSource>(tap_config);
+  const std::uint16_t port = source->local_port();
+
+  LiveConfig config;
+  config.router.network = generated.network;
+  config.clock = &clock;
+  config.max_packets = 50;
+  LiveDatapath datapath{config, bitmap_spec(), std::move(source), loop};
+  UdpTapSender sender{port};
+  for (std::size_t p = 0; p < 80; ++p) {
+    sender.send_packet(generated.packets[p]);
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!loop.stopped()) {
+    loop.poll_once(1);
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+  }
+  EXPECT_GE(datapath.stats().packets, 50u);
+}
+
+}  // namespace
+}  // namespace upbound::live::testing

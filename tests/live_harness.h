@@ -1,0 +1,173 @@
+// Loopback conformance harness: replays a trace through the live tap
+// datapath -- real UDP sockets, real epoll, the real event loop -- and
+// returns the same ReplayResult offline replay produces, so tests can
+// assert byte-identity between the two paths.
+//
+// Determinism contract: the tap runs in kFromFrames mode (the router
+// sees the trace's own timestamps), the datapath clock is a VirtualClock
+// pinned at/behind the last processed packet time (tick-driven
+// advance_clock calls are no-ops), and the sender runs in lockstep --
+// each burst is fully received and processed before the next is sent, so
+// loopback UDP never drops under socket-buffer pressure and frame order
+// matches trace order.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "net/live/event_loop.h"
+#include "net/live/live_datapath.h"
+#include "net/live/udp_tap.h"
+#include "sim/replay.h"
+#include "trace/campus.h"
+#include "util/clock.h"
+
+namespace upbound::live::testing {
+
+struct LiveRunOptions {
+  std::size_t batch_max = 256;
+  /// Sender lockstep burst. Kept well under the loopback socket-buffer
+  /// budget so a stalled receiver can never overflow it.
+  std::size_t burst = 48;
+  bool policy_red = true;
+  double policy_low = 3e6;
+  double policy_high = 6e6;
+  double policy_pd = 1.0;
+  bool blocklist = true;
+  std::uint64_t seed = 7;
+  /// Wall-clock failsafe for the pump loop; expiring it fails the test
+  /// rather than hanging the suite.
+  std::chrono::seconds deadline{10};
+};
+
+struct LiveRunOutput {
+  ReplayResult result{Duration::sec(1.0)};
+  LiveStats stats;
+  EdgeRouterStats router_stats;
+  std::string report;  // conformance_report over the live result
+  std::uint64_t datagrams_sent = 0;
+};
+
+/// Builds the router config both the live and the offline run share.
+inline EdgeRouterConfig conformance_router_config(
+    const ClientNetwork& network, const LiveRunOptions& options) {
+  EdgeRouterConfig config;
+  config.network = network;
+  config.track_blocked_connections = options.blocklist;
+  config.seed = options.seed;
+  return config;
+}
+
+/// The offline reference: plain replay_trace through an identically
+/// configured router, reported with the same conformance encoder.
+inline LiveRunOutput run_offline(const Trace& trace,
+                                 const ClientNetwork& network,
+                                 const FilterSpec& spec,
+                                 const LiveRunOptions& options) {
+  std::unique_ptr<DropPolicy> policy;
+  if (options.policy_red) {
+    policy = std::make_unique<RedDropPolicy>(options.policy_low,
+                                             options.policy_high);
+  } else {
+    policy = std::make_unique<ConstantDropPolicy>(options.policy_pd);
+  }
+  EdgeRouter router{conformance_router_config(network, options),
+                    make_state_filter(spec), std::move(policy)};
+  LiveRunOutput out;
+  out.result = replay_trace(trace, router, network);
+  out.router_stats = router.stats();
+  const SimTime end =
+      trace.empty() ? SimTime::origin() : trace.back().timestamp;
+  out.report = conformance_report(out.result, end);
+  return out;
+}
+
+/// The live run: the trace goes out a real UDP socket datagram by
+/// datagram and comes back through the tap + event loop + datapath.
+inline LiveRunOutput run_live_tap(const Trace& trace,
+                                  const ClientNetwork& network,
+                                  const FilterSpec& spec,
+                                  const LiveRunOptions& options) {
+  VirtualClock clock;
+  EventLoop loop;
+
+  UdpTapSource::Config tap_config;
+  tap_config.port = 0;  // ephemeral: parallel test binaries never collide
+  tap_config.timestamp_mode = TapTimestampMode::kFromFrames;
+  auto source = std::make_unique<UdpTapSource>(tap_config);
+  const std::uint16_t port = source->local_port();
+
+  LiveConfig config;
+  config.router = conformance_router_config(network, options);
+  config.policy_red = options.policy_red;
+  config.policy_low = options.policy_low;
+  config.policy_high = options.policy_high;
+  config.policy_pd = options.policy_pd;
+  config.batch_max = options.batch_max;
+  config.clock = &clock;
+
+  LiveRunOutput out;
+  {
+    LiveDatapath datapath{config, spec, std::move(source), loop};
+    UdpTapSender sender{port};
+
+    const auto deadline =
+        std::chrono::steady_clock::now() + options.deadline;
+    const auto pump_until = [&](std::uint64_t target_frames) {
+      while (datapath.source().frames_received() < target_frames) {
+        loop.poll_once(1);
+        if (std::chrono::steady_clock::now() > deadline) {
+          ADD_FAILURE() << "live harness deadline: "
+                        << datapath.source().frames_received() << "/"
+                        << target_frames << " frames after "
+                        << options.deadline.count() << "s";
+          return false;
+        }
+      }
+      return true;
+    };
+
+    std::uint64_t sent = 0;
+    for (std::size_t start = 0; start < trace.size();
+         start += options.burst) {
+      const std::size_t n = std::min(options.burst, trace.size() - start);
+      for (std::size_t p = 0; p < n; ++p) {
+        sender.send_packet(trace[start + p]);
+      }
+      sent += n;
+      if (!pump_until(sent)) break;
+      // The burst is fully processed; the virtual clock may now catch up
+      // to it. advance_clock at the last packet time is a no-op, which is
+      // exactly what keeps the live run byte-identical to replay.
+      clock.advance_to(trace[start + n - 1].timestamp);
+    }
+    out.datagrams_sent = sender.datagrams_sent();
+
+    datapath.finalize();
+    out.result = datapath.result();
+    out.stats = datapath.stats();
+    out.router_stats = datapath.router().stats();
+    const SimTime end =
+        trace.empty() ? SimTime::origin() : trace.back().timestamp;
+    out.report = conformance_report(out.result, end);
+  }
+  return out;
+}
+
+/// A small calibrated trace shared by the conformance tests.
+inline const GeneratedTrace& conformance_trace() {
+  static const GeneratedTrace trace = [] {
+    CampusTraceConfig config;
+    config.duration = Duration::sec(15.0);
+    config.connections_per_sec = 50.0;
+    config.bandwidth_bps = 8e6;
+    config.seed = 11;
+    return generate_campus_trace(config);
+  }();
+  return trace;
+}
+
+}  // namespace upbound::live::testing
