@@ -1179,7 +1179,7 @@ int cmd_live(const Args& args) {
                     control->commands_processed()),
                 static_cast<unsigned long long>(control->protocol_errors()));
   }
-  if (!metrics.out.empty()) {
+  if (!metrics.out.empty() && datapath.metrics_export_ok()) {
     std::printf("metrics written to %s\n", metrics.out.c_str());
   }
   if (writer != nullptr) {

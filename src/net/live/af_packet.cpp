@@ -37,6 +37,16 @@ AfPacketSource::AfPacketSource(const Config& config) : config_(config) {
   if (config_.clock == nullptr) {
     throw std::invalid_argument("AfPacketSource: clock required");
   }
+  if (config_.block_size == 0 || config_.block_count == 0 ||
+      config_.frame_size == 0) {
+    throw std::invalid_argument(
+        "AfPacketSource: ring geometry (block_size, block_count, "
+        "frame_size) must be non-zero");
+  }
+  if (config_.frame_size > config_.block_size) {
+    throw std::invalid_argument(
+        "AfPacketSource: frame_size must not exceed block_size");
+  }
   fd_ = ::socket(AF_PACKET, SOCK_RAW | SOCK_NONBLOCK | SOCK_CLOEXEC,
                  htons(ETH_P_ALL));
   if (fd_ < 0) throw_errno("socket(AF_PACKET)");  // EPERM unprivileged

@@ -161,9 +161,12 @@ void ControlServer::handle_data(int fd, Connection& conn, const char* data,
                          "line-too-long",
                          "commands are limited to " +
                              std::to_string(kMaxLine) + " bytes"));
+      // send_reply may close_connection() on a write error, destroying
+      // the Connection that `conn` references -- check liveness before
+      // touching it again.
+      if (conns_.find(fd) == conns_.end()) return;
       conn.skipping = true;
       conn.inbuf.clear();
-      if (conns_.find(fd) == conns_.end()) return;
     }
   }
 }
@@ -172,7 +175,10 @@ void ControlServer::send_reply(int fd, const ControlReply& reply) {
   const std::string text = reply.render() + "\n";
   std::size_t off = 0;
   while (off < text.size()) {
-    const ssize_t put = ::write(fd, text.data() + off, text.size() - off);
+    // MSG_NOSIGNAL: a client that disconnects before reading its reply
+    // must surface as EPIPE here, not as a process-killing SIGPIPE.
+    const ssize_t put =
+        ::send(fd, text.data() + off, text.size() - off, MSG_NOSIGNAL);
     if (put > 0) {
       off += static_cast<std::size_t>(put);
       continue;

@@ -47,6 +47,10 @@ void EventLoop::add_fd(int fd, FdHandler on_readable, bool owns_fd) {
     // alive until the dispatch round ends -- it may be the closure
     // executing this very call.
     if (dispatching_) graveyard_.push_back(std::move(it->second.handler));
+    // An owned dead fd is by definition still open (its close was
+    // deferred to erase_dead); erasing the registration here would lose
+    // that deferred close and leak the descriptor.
+    if (it->second.owned) ::close(fd);
     regs_.erase(it);
   }
   epoll_event ev{};

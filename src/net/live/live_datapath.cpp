@@ -1,7 +1,9 @@
 #include "net/live/live_datapath.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
 
 #include "filter/bitmap_filter.h"
@@ -237,10 +239,22 @@ void LiveDatapath::finalize() {
                                          : result_.metrics;
     if (config_.metrics_prometheus) {
       std::FILE* f = std::fopen(config_.metrics_out.c_str(), "wb");
-      if (f != nullptr) {
+      if (f == nullptr) {
+        metrics_export_failed_ = true;
+        std::fprintf(stderr,
+                     "live: cannot open metrics output '%s': %s\n",
+                     config_.metrics_out.c_str(), std::strerror(errno));
+      } else {
         const std::string text = metrics_to_prometheus(exported);
-        std::fwrite(text.data(), 1, text.size(), f);
-        std::fclose(f);
+        const bool wrote =
+            std::fwrite(text.data(), 1, text.size(), f) == text.size();
+        const bool closed = std::fclose(f) == 0;
+        if (!wrote || !closed) {
+          metrics_export_failed_ = true;
+          std::fprintf(stderr,
+                       "live: failed writing metrics output '%s'\n",
+                       config_.metrics_out.c_str());
+        }
       }
     } else {
       metrics_writer_->write(exported, "final", end);

@@ -112,6 +112,10 @@ class LiveDatapath final : public ControlApi {
 
   const ReplayResult& result() const { return result_; }
   const LiveStats& stats() const { return live_stats_; }
+  /// False when the final metrics export could not be written (also
+  /// warned on stderr); lets callers avoid reporting a file that does
+  /// not exist.
+  bool metrics_export_ok() const { return !metrics_export_failed_; }
   EdgeRouter& router() { return *router_; }
   const FilterSpec& spec() const { return spec_; }
   CaptureSource& source() { return *source_; }
@@ -161,6 +165,7 @@ class LiveDatapath final : public ControlApi {
   SimTime start_time_;
   SimTime last_packet_time_;
   bool saw_packet_ = false;
+  bool metrics_export_failed_ = false;
 
   std::unique_ptr<MetricsJsonlWriter> metrics_writer_;
   SimTime next_metrics_emit_;

@@ -252,6 +252,40 @@ TEST(ControlProtocol, MidCommandDisconnectAndReconnect) {
   ::close(fd);
 }
 
+TEST(ControlProtocol, DisconnectBeforeReplyDoesNotKillTheDaemon) {
+  // Client sends a command and vanishes before the server writes the
+  // reply: the write must fail with EPIPE (MSG_NOSIGNAL), not raise a
+  // process-terminating SIGPIPE.
+  ControlFixture fx{"bitmap"};
+  const int fd = fx.connect();
+  const char cmd[] = "stats\n";
+  ASSERT_EQ(::write(fd, cmd, sizeof(cmd) - 1),
+            static_cast<ssize_t>(sizeof(cmd) - 1));
+  ::close(fd);         // gone before the server even reads the command
+  fx.loop.poll_once(1);  // server reads, executes, reply write hits EPIPE
+
+  const int fd2 = fx.connect();
+  EXPECT_EQ(fx.roundtrip(fd2, "stats\n").rfind("OK {", 0), 0u);
+  ::close(fd2);
+}
+
+TEST(ControlProtocol, DisconnectDuringOversizedLineStaysSafe) {
+  // The line-too-long reply goes to a peer that already closed, so
+  // send_reply tears the connection down mid-handle_data; the server
+  // must not touch the freed Connection afterwards (ASan regression).
+  ControlFixture fx{"bitmap"};
+  const int fd = fx.connect();
+  const std::string flood(8192, 'x');  // 2x the server's line bound
+  ASSERT_EQ(::write(fd, flood.data(), flood.size()),
+            static_cast<ssize_t>(flood.size()));
+  ::close(fd);
+  fx.loop.poll_once(1);
+
+  const int fd2 = fx.connect();
+  EXPECT_EQ(fx.roundtrip(fd2, "stats\n").rfind("OK {", 0), 0u);
+  ::close(fd2);
+}
+
 TEST(ControlProtocol, SeededGarbageNeverWedgesTheLoop) {
   ControlFixture fx{"bitmap"};
   std::mt19937 rng{1234};
