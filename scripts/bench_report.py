@@ -2,9 +2,15 @@
 """Registry bakeoff bench report.
 
 Runs bench_ablation, parses its machine-readable BAKEOFF lines into a
-schema-validated JSON report (BENCH_6.json at the repo root), and compares
-the fresh numbers against previously committed BENCH_*.json baselines,
-flagging regressions larger than the threshold.
+schema-validated JSON report (BENCH_<pr>.json at the repo root), and
+compares the fresh numbers against previously committed BENCH_*.json
+baselines, flagging regressions larger than the threshold.
+
+Schema v2 adds an informational "suites" object folding in the remaining
+bench binaries (filter roofline, parallel replay, telemetry/fault
+overhead, attack engine, batch datapath). Suites are recorded for the
+archaeology, never gated: their numbers are hardware-dependent
+throughputs or already self-checked budgets.
 
 Deterministic metrics (bypass, collateral, memory) are compared strictly:
 the replay is seeded and single-threaded, so they reproduce bit-for-bit on
@@ -14,8 +20,9 @@ any machine and a change means the code changed behaviour. Throughput
 Standard library only.
 
 Usage:
-  scripts/bench_report.py [--build-dir build] [--out BENCH_6.json]
-                          [--smoke] [--enforce] [--threshold 0.05]
+  scripts/bench_report.py [--build-dir build] [--out BENCH_8.json]
+                          [--pr 8] [--smoke] [--enforce]
+                          [--threshold 0.05] [--no-suites]
                           [--validate-only FILE]
 """
 
@@ -34,6 +41,9 @@ SCHEMA = {
     "properties": {
         "schema": {"type": "string", "const": "upbound-bench-bakeoff"},
         "version": {"type": "integer"},
+        # Informational only (v2+): free-form per-suite results; never
+        # compared by compare().
+        "suites": {"type": "object"},
         "pr": {"type": "integer"},
         "mode": {"type": "string", "enum": ["full", "smoke"]},
         "packets": {"type": "integer", "minimum": 1},
@@ -113,7 +123,7 @@ def _check_range(value, schema, path):
         raise ValueError(f"{path}: {value} above maximum {schema['maximum']}")
 
 
-def run_bakeoff(build_dir, smoke):
+def run_bakeoff(build_dir, smoke, pr):
     binary = os.path.join(build_dir, "bench", "bench_ablation")
     if not os.path.exists(binary):
         sys.exit(f"bench_report: {binary} not built")
@@ -145,13 +155,115 @@ def run_bakeoff(build_dir, smoke):
         sys.exit("bench_report: could not parse bench_ablation output")
     return {
         "schema": "upbound-bench-bakeoff",
-        "version": 1,
-        "pr": 6,
+        "version": 2,
+        "pr": pr,
         "mode": "smoke" if smoke else "full",
         "packets": packets,
         "reference_drop_rate": reference,
         "backends": backends,
     }
+
+
+ROOFLINE_RE = re.compile(
+    r"^ROOFLINE mix=(\S+) row=(\S+) mpps=([\d.]+) speedup=([\d.]+)\s*$")
+REPLAY_ROW_RE = re.compile(
+    r"^  (\S.*?\S)\s+([\d.]+) s\s+([\d.]+) Mpkt/s\s+x([\d.]+)")
+OVERHEAD_RE = re.compile(
+    r"overhead: (-?[\d.]+)% \(budget ([\d.]+)%\)")
+ATTACK_RE = re.compile(
+    r"generators: (\d+) attack packets in ([\d.]+) s \(([\d.]+) Mpkt/s\)")
+GBENCH_RE = re.compile(
+    r"^(BM_\S+)\s+([\d.]+) (ns|us|ms)\s+([\d.]+) (ns|us|ms)\s+(\d+)")
+
+_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6}
+
+
+def _run_suite(build_dir, name, args=None, env=None, check=True):
+    """Runs one bench binary, returning its stdout or None (with a
+    warning) when the binary is missing or fails."""
+    binary = os.path.join(build_dir, "bench", name)
+    if not os.path.exists(binary):
+        print(f"WARN  suite {name}: not built; skipped")
+        return None
+    full_env = dict(os.environ, **(env or {}))
+    out = subprocess.run([binary] + (args or []), capture_output=True,
+                         text=True, env=full_env)
+    if check and out.returncode != 0:
+        print(f"WARN  suite {name}: exit {out.returncode}; skipped")
+        return None
+    return out.stdout
+
+
+def run_suites(build_dir, smoke):
+    """Folds the non-bakeoff bench binaries into one informational
+    object. Every entry is best-effort: a missing or failing binary
+    produces a warning, not a report failure."""
+    suites = {}
+
+    out = _run_suite(build_dir, "bench_filter_roofline",
+                     ["--smoke"] if smoke else [])
+    if out is not None:
+        mixes = {}
+        for line in out.splitlines():
+            m = ROOFLINE_RE.match(line)
+            if m:
+                mixes.setdefault(m.group(1), {})[m.group(2)] = {
+                    "mpps": float(m.group(3)),
+                    "speedup": float(m.group(4)),
+                }
+        if mixes:
+            suites["filter_roofline"] = {"mixes": mixes}
+
+    # The remaining binaries scale their traces via UPBOUND_BENCH_SCALE.
+    scale_env = {"UPBOUND_BENCH_SCALE": "0.05"} if smoke else {}
+
+    out = _run_suite(build_dir, "bench_parallel_replay", env=scale_env)
+    if out is not None:
+        rows = {}
+        for line in out.splitlines():
+            m = REPLAY_ROW_RE.match(line)
+            if m:
+                rows[m.group(1)] = {
+                    "mpkt_per_sec": float(m.group(3)),
+                    "speedup": float(m.group(4)),
+                }
+        if rows:
+            suites["parallel_replay"] = {"rows": rows}
+
+    for name in ("bench_telemetry_overhead", "bench_fault_overhead"):
+        out = _run_suite(build_dir, name, env=scale_env, check=False)
+        if out is not None:
+            m = OVERHEAD_RE.search(out)
+            if m:
+                suites[name.removeprefix("bench_")] = {
+                    "overhead_pct": float(m.group(1)),
+                    "budget_pct": float(m.group(2)),
+                    "pass": "PASS" in out,
+                }
+
+    out = _run_suite(build_dir, "bench_attack_engine", env=scale_env)
+    if out is not None:
+        m = ATTACK_RE.search(out)
+        if m:
+            suites["attack_engine"] = {
+                "packets": int(m.group(1)),
+                "mpkt_per_sec": float(m.group(3)),
+            }
+
+    gbench_args = ["--benchmark_filter=BM_Bitmap"] if smoke else []
+    out = _run_suite(build_dir, "bench_batch_datapath", gbench_args)
+    if out is not None:
+        cases = {}
+        for line in out.splitlines():
+            m = GBENCH_RE.match(line)
+            if m:
+                cases[m.group(1)] = {
+                    "real_ns": float(m.group(2)) * _UNIT_NS[m.group(3)],
+                }
+        if cases:
+            suites["batch_datapath"] = {"cases": cases}
+
+    return suites
 
 
 def compare(fresh, baseline_path, threshold):
@@ -202,8 +314,12 @@ def main():
     ap.add_argument("--build-dir", default="build")
     ap.add_argument("--out", default=None,
                     help="write the report here (default: no file)")
+    ap.add_argument("--pr", type=int, default=8,
+                    help="PR number stamped into the report")
     ap.add_argument("--smoke", action="store_true",
-                    help="short trace, bakeoff only")
+                    help="short traces everywhere")
+    ap.add_argument("--no-suites", action="store_true",
+                    help="bakeoff only; skip the informational suites")
     ap.add_argument("--enforce", action="store_true",
                     help="exit 1 on deterministic-metric regressions")
     ap.add_argument("--threshold", type=float, default=0.05)
@@ -220,7 +336,9 @@ def main():
         print(f"{args.validate_only}: valid")
         return
 
-    fresh = run_bakeoff(args.build_dir, args.smoke)
+    fresh = run_bakeoff(args.build_dir, args.smoke, args.pr)
+    if not args.no_suites:
+        fresh["suites"] = run_suites(args.build_dir, args.smoke)
     validate(fresh)
 
     root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))

@@ -57,12 +57,16 @@ bool AgingBloomFilter::stamp_fresh(std::uint8_t stamp) const {
 }
 
 void AgingBloomFilter::advance_time(SimTime now) {
-  std::uint64_t advanced = 0;
-  while (now - epoch_start_ >= config_.epoch) {
-    epoch_start_ += config_.epoch;
-    ++advanced;
-  }
-  if (advanced == 0) return;
+  // Count elapsed epochs by division, not one loop turn per epoch: a
+  // clock-step fault or sparse trace gap would otherwise spin
+  // O(elapsed/dt). advanced * epoch <= elapsed, so the product cannot
+  // overflow the int64 microsecond range `elapsed` already fits.
+  const std::int64_t elapsed = (now - epoch_start_).count_usec();
+  const std::int64_t ep = config_.epoch.count_usec();
+  if (elapsed < ep) return;
+  const std::uint64_t advanced = static_cast<std::uint64_t>(elapsed / ep);
+  epoch_start_ +=
+      Duration::usec(static_cast<std::int64_t>(advanced) * ep);
 
   // The sweep retires stamps that fell out of the window, keeping the
   // invariant "every stored stamp has true age < valid_epochs". Ring
@@ -80,8 +84,9 @@ void AgingBloomFilter::advance_time(SimTime now) {
     return;
   }
   // Rare corner (valid_epochs close to 13 plus a multi-epoch jump):
-  // step one epoch at a time so ring ages never exceed 15.
-  for (; advanced > 0; --advanced) {
+  // step one epoch at a time so ring ages never exceed 15. Bounded at
+  // valid_epochs - 1 < 13 turns; larger jumps took the wipe path above.
+  for (std::uint64_t left = advanced; left > 0; --left) {
     ++epoch_;
     sweep();
   }

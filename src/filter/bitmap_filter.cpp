@@ -25,7 +25,8 @@ BitmapFilter::BitmapFilter(const BitmapFilterConfig& config)
     : config_(config),
       hashes_((config.validate(), config.bits()), config.hash_count,
               config.hash_seed),
-      next_rotation_(SimTime::origin() + config.rotate_interval),
+      schedule_(SimTime::origin() + config.rotate_interval,
+                config.rotate_interval),
       scratch_(config.hash_count) {
   vectors_.reserve(config_.vector_count);
   for (unsigned i = 0; i < config_.vector_count; ++i) {
@@ -49,20 +50,23 @@ void BitmapFilter::rotate() {
 }
 
 void BitmapFilter::advance_time(SimTime now) {
-  while (now >= next_rotation_) {
-    rotate();
-    next_rotation_ += config_.rotate_interval;
+  const std::uint64_t due = schedule_.advance(now);
+  if (due == 0) return;
+  if (due < vectors_.size()) {
+    for (std::uint64_t i = 0; i < due; ++i) rotate();
+  } else {
+    // k or more boundaries elapsed at once (clock-step fault, sparse trace
+    // gap): every vector was cleared at least once along the way, so the
+    // catch-up collapses to a full wipe plus index/counter arithmetic --
+    // O(k) instead of one rotate() per missed interval.
+    for (auto& vector : vectors_) vector.clear();
+    idx_ = (idx_ + due) % vectors_.size();
+    rotations_ += due;
   }
 }
 
 bool BitmapFilter::set_rotate_interval(Duration dt) {
-  if (dt <= Duration{}) {
-    throw std::invalid_argument(
-        "BitmapFilter::set_rotate_interval: dt must be positive");
-  }
-  // next_rotation_ - old_dt is the last boundary that already completed;
-  // the new schedule starts one new interval after it.
-  next_rotation_ = next_rotation_ - config_.rotate_interval + dt;
+  schedule_.set_interval(dt);
   config_.rotate_interval = dt;
   return true;
 }
@@ -94,7 +98,7 @@ void BitmapFilter::record_outbound_batch(PacketBatch batch) {
     // touching in two passes is indistinguishable from the scalar order.
     std::size_t j = i + 1;
     while (j < batch.size() && j - i < kBatchChunk &&
-           batch[j].timestamp < next_rotation_) {
+           batch[j].timestamp < schedule_.next_boundary()) {
       ++j;
     }
     mark_chunk(batch.subspan(i, j - i));
@@ -105,13 +109,18 @@ void BitmapFilter::record_outbound_batch(PacketBatch batch) {
 void BitmapFilter::mark_chunk(PacketBatch chunk) {
   const std::size_t m = config_.hash_count;
   batch_scratch_.resize(chunk.size() * m);
+  hash_scratch_.resize(chunk.size());
+  key_scratch_.resize(chunk.size() * BloomHashFamily::kKeyStride);
+  // Digest the whole chunk lane-parallel first, then expand probes.
+  hashes_.outbound_hash_batch(chunk, config_.key_mode, key_scratch_,
+                              hash_scratch_);
   // Stagger prefetches one vector ahead of the stores instead of issuing
   // chunk*m*k up front: hardware tracks a limited number of outstanding
   // prefetches, and over-issuing drops the late ones -- exactly the lines
   // the last vectors need.
   for (std::size_t p = 0; p < chunk.size(); ++p) {
     const std::span<std::size_t> slots{batch_scratch_.data() + p * m, m};
-    hashes_.outbound_indexes(chunk[p].tuple, config_.key_mode, slots);
+    hashes_.indexes_from_hash(hash_scratch_[p], slots);
     for (const std::size_t bit : slots) vectors_[0].prefetch_for_set(bit);
   }
   for (std::size_t v = 0; v < vectors_.size(); ++v) {
@@ -131,7 +140,7 @@ void BitmapFilter::admits_inbound_batch(PacketBatch batch,
     advance_time(batch[i].timestamp);
     std::size_t j = i + 1;
     while (j < batch.size() && j - i < kBatchChunk &&
-           batch[j].timestamp < next_rotation_) {
+           batch[j].timestamp < schedule_.next_boundary()) {
       ++j;
     }
     test_chunk(batch.subspan(i, j - i), admits.subspan(i));
@@ -142,12 +151,16 @@ void BitmapFilter::admits_inbound_batch(PacketBatch batch,
 void BitmapFilter::test_chunk(PacketBatch chunk, std::span<bool> admits) {
   const std::size_t m = config_.hash_count;
   batch_scratch_.resize(chunk.size() * m);
+  hash_scratch_.resize(chunk.size());
+  key_scratch_.resize(chunk.size() * BloomHashFamily::kKeyStride);
+  hashes_.inbound_hash_batch(chunk, config_.key_mode, key_scratch_,
+                             hash_scratch_);
   // Lookups touch the current vector only; no rotation happens inside the
   // chunk, so idx_ is stable and the lookups are pure.
   const BitVector& current = vectors_[idx_];
   for (std::size_t p = 0; p < chunk.size(); ++p) {
     const std::span<std::size_t> slots{batch_scratch_.data() + p * m, m};
-    hashes_.inbound_indexes(chunk[p].tuple, config_.key_mode, slots);
+    hashes_.indexes_from_hash(hash_scratch_[p], slots);
     for (const std::size_t bit : slots) current.prefetch_for_test(bit);
   }
   for (std::size_t p = 0; p < chunk.size(); ++p) {
@@ -168,7 +181,9 @@ void BitmapFilter::restore_rotation_state(std::size_t idx,
     throw std::invalid_argument("restore_rotation_state: bad index");
   }
   idx_ = idx;
-  next_rotation_ = next_rotation;
+  // The restored filter may live on a different clock than the one that
+  // produced the snapshot; restore() drops the high-water mark with it.
+  schedule_.restore(next_rotation);
   rotations_ = rotations;
 }
 

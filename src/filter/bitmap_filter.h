@@ -16,6 +16,7 @@
 
 #include "filter/bitvector.h"
 #include "filter/hash_family.h"
+#include "filter/rotation_schedule.h"
 #include "filter/state_filter.h"
 
 namespace upbound {
@@ -90,7 +91,7 @@ class BitmapFilter final : public StateFilter {
   /// Restores rotation phase; used when deserializing a snapshot.
   void restore_rotation_state(std::size_t idx, SimTime next_rotation,
                               std::uint64_t rotations);
-  SimTime next_rotation() const { return next_rotation_; }
+  SimTime next_rotation() const { return schedule_.next_boundary(); }
   /// Utilization U = b/N of the current bit vector (paper Eq. 2 input).
   double current_utilization() const { return vectors_[idx_].utilization(); }
   /// Set-bit fraction of every vector, indexed by vector position; the
@@ -114,10 +115,12 @@ class BitmapFilter final : public StateFilter {
   BloomHashFamily hashes_;
   std::vector<BitVector> vectors_;
   std::size_t idx_ = 0;
-  SimTime next_rotation_;
+  RotationSchedule schedule_;
   std::uint64_t rotations_ = 0;
   std::vector<std::size_t> scratch_;        // per-packet hash indexes
   std::vector<std::size_t> batch_scratch_;  // per-chunk hash indexes
+  std::vector<Hash128> hash_scratch_;       // per-chunk key digests
+  std::vector<std::uint8_t> key_scratch_;   // per-chunk serialized keys
 };
 
 }  // namespace upbound

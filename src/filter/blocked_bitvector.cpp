@@ -1,0 +1,45 @@
+#include "filter/blocked_bitvector.h"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace upbound {
+
+BlockedBitVector::BlockedBitVector(std::size_t size, std::size_t columns)
+    : size_(size), columns_(columns) {
+  if (size == 0 || size % kBlockBits != 0) {
+    throw std::invalid_argument(
+        "BlockedBitVector: size must be a positive multiple of 512");
+  }
+  if (columns == 0) {
+    throw std::invalid_argument(
+        "BlockedBitVector: columns must be positive");
+  }
+  // value-initialized: all zero
+  blocks_.resize(size / kBlockBits * columns);
+}
+
+void BlockedBitVector::clear(std::size_t column) {
+  const std::size_t count = block_count();
+  for (std::size_t b = 0; b < count; ++b) {
+    std::memset(&blocks_[b * columns_ + column], 0, sizeof(Block));
+  }
+}
+
+void BlockedBitVector::clear_all() {
+  std::memset(blocks_.data(), 0, blocks_.size() * sizeof(Block));
+}
+
+std::size_t BlockedBitVector::popcount(std::size_t column) const {
+  std::size_t total = 0;
+  const std::size_t count = block_count();
+  for (std::size_t b = 0; b < count; ++b) {
+    for (const std::uint64_t w : blocks_[b * columns_ + column].w) {
+      total += std::popcount(w);
+    }
+  }
+  return total;
+}
+
+}  // namespace upbound

@@ -12,8 +12,9 @@ ConcurrentBitmapFilter::ConcurrentBitmapFilter(
       hashes_(config.bits(), config.hash_count, config.hash_seed),
       words_per_vector_((config.bits() + 63) / 64),
       words_(words_per_vector_ * config.vector_count),
-      next_rotation_(SimTime::origin() + config.rotate_interval),
-      next_rotation_usec_(next_rotation_.usec()) {
+      schedule_(SimTime::origin() + config.rotate_interval,
+                config.rotate_interval),
+      next_rotation_usec_(schedule_.next_boundary().usec()) {
   for (auto& word : words_) word.store(0, std::memory_order_relaxed);
 }
 
@@ -53,11 +54,22 @@ void ConcurrentBitmapFilter::advance_time(SimTime now) {
   }
   {
     std::lock_guard<std::mutex> lock{rotate_mutex_};
-    while (now >= next_rotation_) {
-      rotate_locked();
-      next_rotation_ += config_.rotate_interval;
+    const std::uint64_t due = schedule_.advance(now);
+    if (due >= config_.vector_count) {
+      // k or more boundaries at once (clock-step fault): every vector was
+      // cleared at least once along the way, so catch up with one full
+      // wipe in O(k) instead of one rotate per missed interval. Publish
+      // the final index first, as in rotate_locked(): stragglers can only
+      // see bits disappear early, never resurrect.
+      const std::size_t last = idx_.load(std::memory_order_relaxed);
+      idx_.store((last + due) % config_.vector_count,
+                 std::memory_order_release);
+      for (auto& word : words_) word.store(0, std::memory_order_relaxed);
+      rotations_.fetch_add(due, std::memory_order_relaxed);
+    } else {
+      for (std::uint64_t i = 0; i < due; ++i) rotate_locked();
     }
-    next_rotation_usec_.store(next_rotation_.usec(),
+    next_rotation_usec_.store(schedule_.next_boundary().usec(),
                               std::memory_order_release);
   }
 }

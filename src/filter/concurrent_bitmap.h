@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "filter/bitmap_filter.h"
+#include "filter/rotation_schedule.h"
 #include "filter/state_filter.h"
 
 namespace upbound {
@@ -72,9 +73,9 @@ class ConcurrentBitmapFilter final : public StateFilter {
   std::atomic<std::uint64_t> rotations_{0};
 
   std::mutex rotate_mutex_;
-  SimTime next_rotation_;  // guarded by rotate_mutex_
-  // Lock-free mirror of next_rotation_ so batch chunking can stop at the
-  // rotation edge without taking the mutex per chunk.
+  RotationSchedule schedule_;  // guarded by rotate_mutex_
+  // Lock-free mirror of the next boundary so batch chunking can stop at
+  // the rotation edge without taking the mutex per chunk.
   std::atomic<std::int64_t> next_rotation_usec_;
 };
 

@@ -30,7 +30,8 @@ CountingFilter::CountingFilter(const CountingFilterConfig& config)
       hashes_((config.validate(), config.cells()), config.hash_count,
               config.hash_seed),
       bytes_(config.memory_bytes(), 0),
-      next_rotation_(SimTime::origin() + config.rotate_interval),
+      schedule_(SimTime::origin() + config.rotate_interval,
+                config.rotate_interval),
       scratch_(config.hash_count) {}
 
 std::uint8_t CountingFilter::get_cell(std::size_t generation,
@@ -71,9 +72,16 @@ void CountingFilter::rotate() {
 }
 
 void CountingFilter::advance_time(SimTime now) {
-  while (now >= next_rotation_) {
-    rotate();
-    next_rotation_ += config_.rotate_interval;
+  const std::uint64_t due = schedule_.advance(now);
+  if (due == 0) return;
+  if (due < config_.generation_count) {
+    for (std::uint64_t i = 0; i < due; ++i) rotate();
+  } else {
+    // k or more boundaries at once: every generation was cleared at least
+    // once along the way, so catch up with a full wipe in O(k) work.
+    std::fill(bytes_.begin(), bytes_.end(), std::uint8_t{0});
+    idx_ = (idx_ + due) % config_.generation_count;
+    rotations_ += due;
   }
 }
 

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "filter/hash_family.h"
+#include "filter/rotation_schedule.h"
 #include "filter/state_filter.h"
 
 namespace upbound {
@@ -106,7 +107,7 @@ class CountingFilter final : public StateFilter {
   BloomHashFamily hashes_;
   std::vector<std::uint8_t> bytes_;  // two cells per byte, flat over k gens
   std::size_t idx_ = 0;
-  SimTime next_rotation_;
+  RotationSchedule schedule_;
   std::uint64_t rotations_ = 0;
   std::uint64_t deletes_applied_ = 0;
   std::vector<std::size_t> scratch_;

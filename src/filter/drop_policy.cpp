@@ -1,5 +1,7 @@
 #include "filter/drop_policy.h"
 
+#include <algorithm>
+
 namespace upbound {
 
 RedDropPolicy::RedDropPolicy(double low_bits_per_sec,
@@ -11,9 +13,10 @@ RedDropPolicy::RedDropPolicy(double low_bits_per_sec,
 }
 
 double RedDropPolicy::drop_probability(double uplink_bits_per_sec) const {
-  if (uplink_bits_per_sec <= low_) return 0.0;
-  if (uplink_bits_per_sec >= high_) return 1.0;
-  return (uplink_bits_per_sec - low_) / (high_ - low_);
+  // Branch-free Eq. 1: the clamp saturates the linear ramp at both rails,
+  // with the same values the old threshold branches produced (at b <= L
+  // the ratio is <= 0, at b >= H it is >= 1).
+  return std::clamp((uplink_bits_per_sec - low_) / (high_ - low_), 0.0, 1.0);
 }
 
 ConstantDropPolicy::ConstantDropPolicy(double probability)

@@ -93,7 +93,7 @@ std::vector<BackendDescriptor> build_backends() {
     d.summary = "the paper's {k x N} rotating bitmap (Section 4)";
     d.capabilities = kCapOccupancy | kCapSnapshot | kCapSharedView |
                      kCapPureLookup | kCapNoFalseNegative |
-                     kCapRotateInterval;
+                     kCapRotateInterval | kCapSimdBatch;
     d.parse = [](const FilterArgs& args) {
       return spec_of("bitmap", bitmap_config_from(args));
     };
@@ -124,6 +124,41 @@ std::vector<BackendDescriptor> build_backends() {
     };
     d.make = [](const FilterSpec& spec) -> std::unique_ptr<StateFilter> {
       return std::make_unique<ConcurrentBitmapFilter>(
+          spec.config_as<BitmapFilterConfig>());
+    };
+    d.geometry = [](const FilterSpec& spec) -> std::optional<FilterGeometry> {
+      const auto& c = spec.config_as<BitmapFilterConfig>();
+      return FilterGeometry{c.bits(), c.hash_count, c.vector_count,
+                            c.rotate_interval};
+    };
+    d.guaranteed_window = [](const FilterSpec& spec) {
+      const auto& c = spec.config_as<BitmapFilterConfig>();
+      return generational_window(c.vector_count, c.rotate_interval);
+    };
+    backends.push_back(std::move(d));
+  }
+
+  {
+    BackendDescriptor d;
+    d.name = "bitmap-blocked";
+    d.summary =
+        "cache-resident bitmap: all m probes of a key in one 512-bit block";
+    // Same semantics and knobs as bitmap, different bit placement: no
+    // snapshot compatibility (kCapSnapshot is bitmap-only by design) and
+    // no shared-view (plain, unsynchronized stores).
+    d.capabilities = kCapOccupancy | kCapPureLookup | kCapNoFalseNegative |
+                     kCapRotateInterval | kCapSimdBatch;
+    d.parse = [](const FilterArgs& args) {
+      const BitmapFilterConfig config = bitmap_config_from(args);
+      if (config.log2_bits < 9) {
+        throw std::invalid_argument(
+            "--bits: bitmap-blocked needs >= 9 (one 512-bit block per "
+            "vector)");
+      }
+      return spec_of("bitmap-blocked", config);
+    };
+    d.make = [](const FilterSpec& spec) -> std::unique_ptr<StateFilter> {
+      return std::make_unique<BlockedBitmapFilter>(
           spec.config_as<BitmapFilterConfig>());
     };
     d.geometry = [](const FilterSpec& spec) -> std::optional<FilterGeometry> {
@@ -364,6 +399,15 @@ FilterSpec bitmap_filter_spec(const BitmapFilterConfig& config) {
 FilterSpec concurrent_bitmap_filter_spec(const BitmapFilterConfig& config) {
   config.validate();
   return spec_of("bitmap-mt", config);
+}
+
+FilterSpec blocked_bitmap_filter_spec(const BitmapFilterConfig& config) {
+  config.validate();
+  if (config.log2_bits < 9) {
+    throw std::invalid_argument(
+        "blocked_bitmap_filter_spec: log2_bits must be >= 9");
+  }
+  return spec_of("bitmap-blocked", config);
 }
 
 FilterSpec aging_filter_spec(const AgingBloomConfig& config) {

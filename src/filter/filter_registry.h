@@ -23,6 +23,7 @@
 #include "filter/adaptive_tuner.h"  // FilterGeometry
 #include "filter/aging_bloom.h"
 #include "filter/bitmap_filter.h"
+#include "filter/blocked_bitmap.h"
 #include "filter/concurrent_bitmap.h"
 #include "filter/counting_filter.h"
 #include "filter/naive_filter.h"
@@ -54,6 +55,10 @@ enum FilterCapability : std::uint32_t {
   /// set_rotate_interval() retunes dt at runtime (live `set dt`
   /// reconfiguration over the control socket).
   kCapRotateInterval = 1u << 6,
+  /// Batch paths digest keys through the lane-parallel murmur3 kernel
+  /// when it is enabled (util/hash.h set_simd_hash_enabled); verdicts are
+  /// bit-identical with the kernel on or off.
+  kCapSimdBatch = 1u << 7,
 };
 
 /// Abstract key-value view of backend arguments. Decouples the parsers
@@ -189,6 +194,7 @@ std::unique_ptr<StateFilter> make_state_filter(const FilterSpec& spec);
 FilterSpec bitmap_filter_spec(const BitmapFilterConfig& config = {});
 FilterSpec concurrent_bitmap_filter_spec(
     const BitmapFilterConfig& config = {});
+FilterSpec blocked_bitmap_filter_spec(const BitmapFilterConfig& config = {});
 FilterSpec aging_filter_spec(const AgingBloomConfig& config = {});
 FilterSpec spi_filter_spec(const SpiFilterConfig& config = {});
 FilterSpec naive_filter_spec(const NaiveFilterConfig& config = {});

@@ -1,5 +1,6 @@
 #include "filter/hash_family.h"
 
+#include <cstring>
 #include <stdexcept>
 
 namespace upbound {
@@ -28,6 +29,27 @@ void encode_hole_punch_key(const FiveTuple& outbound_view,
   out[10] = static_cast<std::uint8_t>(d);
 }
 
+// Both key forms must fit one zero-padded 16-byte slot (no murmur body
+// blocks) for the batch hasher's short-key kernel to be exact.
+static_assert(kTupleKeySize <= 15);
+static_assert(kHolePunchKeySize <= 15);
+
+/// Serializes the outbound-view key for `mode` into `slot` and returns
+/// its length. `slot` must hold at least kHashKeyStride bytes.
+std::size_t encode_key(const FiveTuple& outbound_view, KeyMode mode,
+                       std::uint8_t* slot) {
+  if (mode == KeyMode::kFullTuple) {
+    encode_tuple_key(outbound_view,
+                     std::span<std::uint8_t, kTupleKeySize>{
+                         slot, kTupleKeySize});
+    return kTupleKeySize;
+  }
+  encode_hole_punch_key(outbound_view,
+                        std::span<std::uint8_t, kHolePunchKeySize>{
+                            slot, kHolePunchKeySize});
+  return kHolePunchKeySize;
+}
+
 }  // namespace
 
 BloomHashFamily::BloomHashFamily(std::size_t bits, unsigned hash_count,
@@ -40,38 +62,75 @@ BloomHashFamily::BloomHashFamily(std::size_t bits, unsigned hash_count,
   if ((bits & (bits - 1)) == 0) mask_ = bits - 1;
 }
 
-void BloomHashFamily::indexes_for_key(std::span<const std::uint8_t> key,
-                                      std::span<std::size_t> out) const {
-  const Hash128 h = murmur3_x64_128(key, seed_);
+void BloomHashFamily::indexes_from_hash(const Hash128& h,
+                                        std::span<std::size_t> out) const {
   // Force h2 odd so successive probes cycle through distinct offsets even
   // for power-of-two table sizes.
   const std::uint64_t h2 = h.hi | 1;
   std::uint64_t acc = h.lo;
   if (mask_ != 0) {
-    for (unsigned i = 0; i < hash_count_; ++i) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
       out[i] = static_cast<std::size_t>(acc & mask_);
       acc += h2;
     }
   } else {
-    for (unsigned i = 0; i < hash_count_; ++i) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
       out[i] = static_cast<std::size_t>(acc % bits_);
       acc += h2;
     }
   }
 }
 
+void BloomHashFamily::indexes_for_key(std::span<const std::uint8_t> key,
+                                      std::span<std::size_t> out) const {
+  indexes_from_hash(murmur3_x64_128(key, seed_), out);
+}
+
+Hash128 BloomHashFamily::outbound_hash(const FiveTuple& sigma_out,
+                                       KeyMode mode) const {
+  std::uint8_t key[kHashKeyStride];
+  const std::size_t len = encode_key(sigma_out, mode, key);
+  return murmur3_x64_128(std::span<const std::uint8_t>{key, len}, seed_);
+}
+
+Hash128 BloomHashFamily::inbound_hash(const FiveTuple& sigma_in,
+                                      KeyMode mode) const {
+  return outbound_hash(sigma_in.inverse(), mode);
+}
+
+void BloomHashFamily::outbound_hash_batch(PacketBatch batch, KeyMode mode,
+                                          std::span<std::uint8_t> key_scratch,
+                                          std::span<Hash128> out) const {
+  const std::size_t n = batch.size();
+  const std::size_t len =
+      mode == KeyMode::kFullTuple ? kTupleKeySize : kHolePunchKeySize;
+  // Zero the pad bytes once; the short-key kernel loads whole words.
+  std::memset(key_scratch.data(), 0, n * kKeyStride);
+  for (std::size_t i = 0; i < n; ++i) {
+    encode_key(batch[i].tuple, mode, key_scratch.data() + i * kKeyStride);
+  }
+  murmur3_x64_128_short_batch(key_scratch.data(), len, n, seed_, out.data());
+}
+
+void BloomHashFamily::inbound_hash_batch(PacketBatch batch, KeyMode mode,
+                                         std::span<std::uint8_t> key_scratch,
+                                         std::span<Hash128> out) const {
+  const std::size_t n = batch.size();
+  const std::size_t len =
+      mode == KeyMode::kFullTuple ? kTupleKeySize : kHolePunchKeySize;
+  std::memset(key_scratch.data(), 0, n * kKeyStride);
+  for (std::size_t i = 0; i < n; ++i) {
+    // The inverse of sigma_in is the outbound view of the same connection.
+    encode_key(batch[i].tuple.inverse(), mode,
+               key_scratch.data() + i * kKeyStride);
+  }
+  murmur3_x64_128_short_batch(key_scratch.data(), len, n, seed_, out.data());
+}
+
 void BloomHashFamily::outbound_indexes(const FiveTuple& sigma_out,
                                        KeyMode mode,
                                        std::span<std::size_t> out) const {
-  if (mode == KeyMode::kFullTuple) {
-    std::uint8_t key[kTupleKeySize];
-    encode_tuple_key(sigma_out, key);
-    indexes_for_key(std::span<const std::uint8_t>{key, sizeof(key)}, out);
-  } else {
-    std::uint8_t key[kHolePunchKeySize];
-    encode_hole_punch_key(sigma_out, key);
-    indexes_for_key(std::span<const std::uint8_t>{key, sizeof(key)}, out);
-  }
+  indexes_from_hash(outbound_hash(sigma_out, mode), out);
 }
 
 void BloomHashFamily::inbound_indexes(const FiveTuple& sigma_in, KeyMode mode,

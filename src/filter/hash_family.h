@@ -11,6 +11,7 @@
 #include <span>
 
 #include "net/five_tuple.h"
+#include "net/packet_batch.h"
 #include "util/hash.h"
 
 namespace upbound {
@@ -28,6 +29,10 @@ enum class KeyMode {
 
 class BloomHashFamily {
  public:
+  /// Key-slot stride of the batch digest paths (== kHashKeyStride): each
+  /// serialized key occupies one zero-padded 16-byte slot.
+  static constexpr std::size_t kKeyStride = kHashKeyStride;
+
   /// `bits` is the bit-vector size N (need not be a power of two);
   /// `hash_count` is m >= 1.
   BloomHashFamily(std::size_t bits, unsigned hash_count,
@@ -46,6 +51,28 @@ class BloomHashFamily {
   /// With kHolePunching the source (external) port is dropped.
   void inbound_indexes(const FiveTuple& sigma_in, KeyMode mode,
                        std::span<std::size_t> out) const;
+
+  /// 128-bit digest of the outbound (resp. inverse-inbound) key. Callers
+  /// that want the probe split from the hash -- blocked layouts, batch
+  /// paths -- take this and expand with indexes_from_hash.
+  Hash128 outbound_hash(const FiveTuple& sigma_out, KeyMode mode) const;
+  Hash128 inbound_hash(const FiveTuple& sigma_in, KeyMode mode) const;
+
+  /// Kirsch-Mitzenmacher expansion of a digest into out.size() probe
+  /// indexes -- the second half of outbound_indexes/inbound_indexes.
+  void indexes_from_hash(const Hash128& h, std::span<std::size_t> out) const;
+
+  /// Batch digests for a packet run, lane-parallel when the SIMD kernel
+  /// is enabled. `key_scratch` must hold batch.size() * kKeyStride bytes
+  /// (caller-owned so const callers stay thread-safe); `out` holds
+  /// batch.size() digests. Bit-identical to per-packet outbound_hash /
+  /// inbound_hash.
+  void outbound_hash_batch(PacketBatch batch, KeyMode mode,
+                           std::span<std::uint8_t> key_scratch,
+                           std::span<Hash128> out) const;
+  void inbound_hash_batch(PacketBatch batch, KeyMode mode,
+                          std::span<std::uint8_t> key_scratch,
+                          std::span<Hash128> out) const;
 
  private:
   void indexes_for_key(std::span<const std::uint8_t> key,

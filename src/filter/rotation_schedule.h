@@ -1,0 +1,72 @@
+// Generational expiry schedule shared by the rotating backends (bitmap,
+// blocked bitmap, concurrent bitmap, counting generations): exact boundary
+// arithmetic on the original grid, O(1) catch-up accounting for
+// arbitrarily large clock steps, and runtime dt retuning that never
+// schedules a boundary in the past.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/time.h"
+
+namespace upbound {
+
+class RotationSchedule {
+ public:
+  RotationSchedule(SimTime first_boundary, Duration interval)
+      : interval_(interval), next_(first_boundary) {}
+
+  SimTime next_boundary() const { return next_; }
+  Duration interval() const { return interval_; }
+  SimTime high_water() const { return last_advance_; }
+
+  /// Advances the clock high-water mark and returns how many boundaries
+  /// elapsed at `now` (0 when none), moving the schedule to the first
+  /// boundary strictly after `now` on the exact original grid. The
+  /// remainder form avoids the due*dt product an O(elapsed/dt) loop --
+  /// or a naive multiply -- would overflow on a clock-step fault.
+  std::uint64_t advance(SimTime now) {
+    if (now > last_advance_) last_advance_ = now;
+    if (now < next_) return 0;
+    const std::int64_t dt = interval_.count_usec();
+    const std::int64_t late = (now - next_).count_usec();
+    next_ = now + Duration::usec(dt - late % dt);
+    return 1 + static_cast<std::uint64_t>(late / dt);
+  }
+
+  /// Retunes dt: re-anchors on the last completed boundary, clamping the
+  /// first new-schedule boundary strictly after the clock's high-water
+  /// mark. Without the clamp, a mid-interval shrink schedules boundaries
+  /// in the past and the next advance() reports a spurious catch-up burst
+  /// that wipes state which should have survived (k-1)*dt.
+  void set_interval(Duration dt) {
+    if (dt <= Duration{}) {
+      throw std::invalid_argument(
+          "RotationSchedule::set_interval: dt must be positive");
+    }
+    const SimTime anchor = next_ - interval_;
+    SimTime next = anchor + dt;
+    if (next <= last_advance_) {
+      const std::int64_t behind = (last_advance_ - anchor).count_usec();
+      const std::int64_t steps = behind / dt.count_usec() + 1;
+      next = anchor + Duration::usec(steps * dt.count_usec());
+    }
+    next_ = next;
+    interval_ = dt;
+  }
+
+  /// Snapshot restore: adopts a boundary from another run's clock and
+  /// drops the high-water mark with it.
+  void restore(SimTime next_boundary) {
+    next_ = next_boundary;
+    last_advance_ = SimTime::origin();
+  }
+
+ private:
+  Duration interval_;
+  SimTime next_;
+  SimTime last_advance_;  // default-constructed SimTime == origin
+};
+
+}  // namespace upbound

@@ -332,20 +332,40 @@ void EdgeRouter::process_inbound_run(PacketBatch run,
   const std::uint64_t policy_t0 = sample ? telemetry_clock_ns() : 0;
   if (sample) hist_state_ns_.record(policy_t0 - state_t0);
 
-  // Blocklist + policy stages, per packet in order (both mutate).
+  if (!config_.track_blocked_connections) {
+    // No blocklist: the admit mask from the state stage IS the verdict
+    // mask, so the per-packet blocklist branch disappears and the state
+    // counters accumulate in bulk (identical totals to the per-packet
+    // incs). Policy randomness still draws once per miss, in packet
+    // order, so the rng stream matches the scalar path bit for bit.
+    std::size_t hits = 0;
+    for (std::size_t p = 0; p < run.size(); ++p) {
+      const bool admit = admits[p];
+      hits += static_cast<std::size_t>(admit);
+      decisions[p] = admit ? admit_inbound(run[p])
+                           : drop_or_pass_inbound(run[p], run[p].timestamp);
+    }
+    ctr_state_lookups_.inc(run.size());
+    ctr_state_hits_.inc(hits);
+    ctr_state_misses_.inc(run.size() - hits);
+    if (sample) hist_policy_ns_.record(telemetry_clock_ns() - policy_t0);
+    return;
+  }
+
+  // Blocklist + policy stages, per packet in order (both mutate: a policy
+  // drop inserts a blocklist entry that later packets of the same run
+  // must observe).
   for (std::size_t p = 0; p < run.size(); ++p) {
     const PacketRecord& pkt = run[p];
     const SimTime now = pkt.timestamp;
-    if (config_.track_blocked_connections) {
-      ctr_blocklist_lookups_.inc();
-      if (blocklist_.is_blocked(pkt.tuple, now)) {
-        ctr_blocklist_hits_.inc();
-        ++stats_.inbound_dropped_packets;
-        stats_.inbound_dropped_bytes += pkt.wire_size();
-        ++stats_.blocked_drops;
-        decisions[p] = RouterDecision::kDroppedBlocked;
-        continue;
-      }
+    ctr_blocklist_lookups_.inc();
+    if (blocklist_.is_blocked(pkt.tuple, now)) {
+      ctr_blocklist_hits_.inc();
+      ++stats_.inbound_dropped_packets;
+      stats_.inbound_dropped_bytes += pkt.wire_size();
+      ++stats_.blocked_drops;
+      decisions[p] = RouterDecision::kDroppedBlocked;
+      continue;
     }
     ctr_state_lookups_.inc();
     if (admits[p]) {

@@ -1,5 +1,6 @@
 #include "util/hash.h"
 
+#include <atomic>
 #include <bit>
 #include <cstring>
 
@@ -140,6 +141,88 @@ Hash128 murmur3_x64_128(std::span<const std::uint8_t> data,
   h1 += h2;
   h2 += h1;
   return Hash128{h1, h2};
+}
+
+namespace detail {
+#if defined(UPBOUND_SIMD_COMPILED)
+// Defined in hash_simd.cpp (the only TU compiled with -mavx2); processes a
+// multiple of four 16-byte slots.
+void murmur3_avx2_short_batch(const std::uint8_t* keys, std::size_t count,
+                              std::uint64_t len, std::uint64_t seed,
+                              Hash128* out);
+#endif
+}  // namespace detail
+
+namespace {
+
+/// One short key (<= 15 bytes, zero-padded to a 16-byte slot). The tail
+/// path of murmur3_x64_128 collapses to this branch-free form because a
+/// zero k1/k2 contributes exactly nothing to its half: for len < 9 the
+/// switch never touches k2, and here k2 == 0 transforms to 0, leaving
+/// h2 == seed either way (same argument for k1 at len == 0).
+Hash128 murmur3_short(const std::uint8_t* slot, std::uint64_t len,
+                      std::uint64_t seed) {
+  const std::uint64_t c1 = 0x87c37b91114253d5ULL;
+  const std::uint64_t c2 = 0x4cf5ad432745937fULL;
+  std::uint64_t h1 = seed ^ (std::rotl(load_u64le(slot) * c1, 31) * c2);
+  std::uint64_t h2 = seed ^ (std::rotl(load_u64le(slot + 8) * c2, 33) * c1);
+  h1 ^= len;
+  h2 ^= len;
+  h1 += h2;
+  h2 += h1;
+  h1 = mix64(h1);
+  h2 = mix64(h2);
+  h1 += h2;
+  h2 += h1;
+  return Hash128{h1, h2};
+}
+
+std::atomic<bool>& simd_hash_flag() {
+  static std::atomic<bool> flag{simd_hash_available()};
+  return flag;
+}
+
+}  // namespace
+
+bool simd_hash_compiled() {
+#if defined(UPBOUND_SIMD_COMPILED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool simd_hash_available() {
+#if defined(UPBOUND_SIMD_COMPILED)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool simd_hash_enabled() {
+  return simd_hash_flag().load(std::memory_order_relaxed);
+}
+
+bool set_simd_hash_enabled(bool enabled) {
+  if (enabled && !simd_hash_available()) enabled = false;
+  return simd_hash_flag().exchange(enabled, std::memory_order_relaxed);
+}
+
+void murmur3_x64_128_short_batch(const std::uint8_t* keys, std::size_t len,
+                                 std::size_t count, std::uint64_t seed,
+                                 Hash128* out) {
+  std::size_t i = 0;
+#if defined(UPBOUND_SIMD_COMPILED)
+  if (count >= 4 && simd_hash_enabled()) {
+    const std::size_t groups = count & ~std::size_t{3};
+    detail::murmur3_avx2_short_batch(keys, groups, len, seed, out);
+    i = groups;
+  }
+#endif
+  for (; i < count; ++i) {
+    out[i] = murmur3_short(keys + i * kHashKeyStride, len, seed);
+  }
 }
 
 }  // namespace upbound

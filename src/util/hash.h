@@ -29,6 +29,33 @@ struct Hash128 {
 Hash128 murmur3_x64_128(std::span<const std::uint8_t> data,
                         std::uint64_t seed = 0);
 
+/// Key slot stride for the batch hasher: each key occupies one 16-byte
+/// slot, zero-padded past its length so the kernel can load whole words.
+inline constexpr std::size_t kHashKeyStride = 16;
+
+/// Hashes `count` short keys (len <= 15, i.e. no 16-byte body blocks --
+/// covers the 13-byte five-tuple and 11-byte hole-punch keys) laid out at
+/// kHashKeyStride-byte slots. Bit-identical to murmur3_x64_128 over each
+/// slot's first `len` bytes; bytes past `len` in every slot MUST be zero.
+/// Dispatches to the AVX2 kernel when it is compiled in, the CPU supports
+/// it, and it has not been disabled via set_simd_hash_enabled().
+void murmur3_x64_128_short_batch(const std::uint8_t* keys, std::size_t len,
+                                 std::size_t count, std::uint64_t seed,
+                                 Hash128* out);
+
+/// True when the AVX2 batch kernel was compiled in (UPBOUND_SIMD=ON).
+bool simd_hash_compiled();
+
+/// simd_hash_compiled() AND the running CPU reports AVX2 support.
+bool simd_hash_available();
+
+/// Process-global switch consulted by murmur3_x64_128_short_batch; starts
+/// at simd_hash_available(). Forcing `true` where the kernel is absent is
+/// a no-op (the switch stays false). Returns the previous value so tests
+/// can save/restore around a differential run.
+bool set_simd_hash_enabled(bool enabled);
+bool simd_hash_enabled();
+
 /// Final avalanche mixer from MurmurHash3; good for combining small ints.
 std::uint64_t mix64(std::uint64_t x);
 

@@ -1,0 +1,91 @@
+// AVX2 lane-parallel murmur3 for short zero-padded 16-byte key slots.
+//
+// This is the only TU compiled with -mavx2; callers reach it through
+// murmur3_x64_128_short_batch, which consults __builtin_cpu_supports
+// before dispatching, so no AVX2 instruction executes on hardware that
+// lacks it. The math mirrors murmur3_short in hash.cpp lane-for-lane, so
+// the output is bit-identical to the scalar murmur3_x64_128 path.
+#include <immintrin.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/hash.h"
+
+namespace upbound::detail {
+
+namespace {
+
+// AVX2 has no 64-bit lane multiply; build it from 32-bit partial
+// products: lo*lo + ((lo*hi + hi*lo) << 32).
+inline __m256i mullo64(__m256i a, __m256i b) {
+  const __m256i lo_hi = _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32));
+  const __m256i hi_lo = _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b);
+  const __m256i cross =
+      _mm256_slli_epi64(_mm256_add_epi64(lo_hi, hi_lo), 32);
+  return _mm256_add_epi64(_mm256_mul_epu32(a, b), cross);
+}
+
+inline __m256i rotl64(__m256i x, int r) {
+  return _mm256_or_si256(_mm256_slli_epi64(x, r),
+                         _mm256_srli_epi64(x, 64 - r));
+}
+
+inline __m256i mix64v(__m256i x) {
+  const __m256i m1 =
+      _mm256_set1_epi64x(static_cast<long long>(0xff51afd7ed558ccdULL));
+  const __m256i m2 =
+      _mm256_set1_epi64x(static_cast<long long>(0xc4ceb9fe1a85ec53ULL));
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+  x = mullo64(x, m1);
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+  x = mullo64(x, m2);
+  return _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+}
+
+}  // namespace
+
+void murmur3_avx2_short_batch(const std::uint8_t* keys, std::size_t count,
+                              std::uint64_t len, std::uint64_t seed,
+                              Hash128* out) {
+  const __m256i c1 =
+      _mm256_set1_epi64x(static_cast<long long>(0x87c37b91114253d5ULL));
+  const __m256i c2 =
+      _mm256_set1_epi64x(static_cast<long long>(0x4cf5ad432745937fULL));
+  const __m256i seedv = _mm256_set1_epi64x(static_cast<long long>(seed));
+  const __m256i lenv = _mm256_set1_epi64x(static_cast<long long>(len));
+
+  for (std::size_t i = 0; i < count; i += 4) {
+    // Slots i..i+3 as two 256-bit loads: a = [k1_i k2_i k1_i1 k2_i1],
+    // b = [k1_i2 k2_i2 k1_i3 k2_i3]. unpacklo/hi interleave to lane order
+    // {i, i+2, i+1, i+3}; the identical unpack on the way out restores
+    // key order, so no permutes are needed anywhere.
+    const __m256i a = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(keys + i * kHashKeyStride));
+    const __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(keys + (i + 2) * kHashKeyStride));
+    const __m256i k1 = _mm256_unpacklo_epi64(a, b);
+    const __m256i k2 = _mm256_unpackhi_epi64(a, b);
+
+    __m256i h1 = _mm256_xor_si256(
+        seedv, mullo64(rotl64(mullo64(k1, c1), 31), c2));
+    __m256i h2 = _mm256_xor_si256(
+        seedv, mullo64(rotl64(mullo64(k2, c2), 33), c1));
+
+    h1 = _mm256_xor_si256(h1, lenv);
+    h2 = _mm256_xor_si256(h2, lenv);
+    h1 = _mm256_add_epi64(h1, h2);
+    h2 = _mm256_add_epi64(h2, h1);
+    h1 = mix64v(h1);
+    h2 = mix64v(h2);
+    h1 = _mm256_add_epi64(h1, h2);
+    h2 = _mm256_add_epi64(h2, h1);
+
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_unpacklo_epi64(h1, h2));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 2),
+                        _mm256_unpackhi_epi64(h1, h2));
+  }
+}
+
+}  // namespace upbound::detail

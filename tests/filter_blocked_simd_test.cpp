@@ -1,0 +1,419 @@
+// The blocked bitmap + SIMD batch-hash contract, and the bugfix pins that
+// ride with it:
+//   - the short-key batch hasher is bit-identical to murmur3_x64_128 for
+//     every length it claims to cover, SIMD on or off;
+//   - every registry backend advertising kCapSimdBatch produces bitwise
+//     identical verdicts with the kernel enabled and disabled;
+//   - the hash family never loses the no-false-negative root property,
+//     including non-power-of-two table sizes (the `% bits_` fallback) and
+//     hash_count 1..8;
+//   - the blocked layout's false-positive rate stays within its budget;
+//   - clock-step catch-up rotates in O(k), with exact rotation counts;
+//   - RotationSchedule::set_interval clamps re-anchoring to the observed
+//     clock (the control-socket shrink bug);
+//   - counting's bakeoff collateral outlier is delete-on-close semantics,
+//     not hashing: without close-deletes it is bit-identical to the bitmap.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "filter/bitmap_filter.h"
+#include "filter/blocked_bitmap.h"
+#include "filter/counting_filter.h"
+#include "filter/filter_registry.h"
+#include "filter/hash_family.h"
+#include "filter/rotation_schedule.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace upbound {
+namespace {
+
+/// Save/restore the process-global SIMD switch around a test body.
+class SimdGuard {
+ public:
+  explicit SimdGuard(bool enabled) : prev_(set_simd_hash_enabled(enabled)) {}
+  ~SimdGuard() { set_simd_hash_enabled(prev_); }
+  SimdGuard(const SimdGuard&) = delete;
+  SimdGuard& operator=(const SimdGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+FiveTuple random_tuple(Rng& rng, Protocol proto) {
+  const auto octet = [&rng] {
+    return static_cast<std::uint8_t>(rng.next_below(256));
+  };
+  return FiveTuple{proto, Ipv4Addr{10, octet(), octet(), octet()},
+                   static_cast<std::uint16_t>(rng.next_range(1024, 65535)),
+                   Ipv4Addr{octet(), octet(), octet(), octet()},
+                   static_cast<std::uint16_t>(rng.next_range(1, 65535))};
+}
+
+TEST(ShortBatchHash, MatchesScalarMurmurForEveryCoveredLength) {
+  Rng rng{0x5eedULL};
+  for (const bool simd : {false, true}) {
+    SimdGuard guard{simd};
+    for (std::size_t len = 0; len <= 15; ++len) {
+      // Counts straddle the 4-lane group size so both the AVX2 groups and
+      // the scalar tail run.
+      for (const std::size_t count : {std::size_t{1}, std::size_t{3},
+                                      std::size_t{4}, std::size_t{7},
+                                      std::size_t{16}, std::size_t{21}}) {
+        std::vector<std::uint8_t> keys(count * kHashKeyStride, 0);
+        for (std::size_t i = 0; i < count; ++i) {
+          for (std::size_t b = 0; b < len; ++b) {
+            keys[i * kHashKeyStride + b] =
+                static_cast<std::uint8_t>(rng.next_below(256));
+          }
+        }
+        const std::uint64_t seed = rng.next_u64();
+        std::vector<Hash128> got(count);
+        murmur3_x64_128_short_batch(keys.data(), len, count, seed,
+                                    got.data());
+        for (std::size_t i = 0; i < count; ++i) {
+          const Hash128 want = murmur3_x64_128(
+              std::span<const std::uint8_t>{keys.data() + i * kHashKeyStride,
+                                            len},
+              seed);
+          ASSERT_EQ(got[i], want)
+              << "len=" << len << " count=" << count << " i=" << i
+              << " simd=" << simd;
+        }
+      }
+    }
+  }
+}
+
+TEST(ShortBatchHash, DisableReportsPreviousStateAndSticksWhenUnavailable) {
+  const bool prev = set_simd_hash_enabled(false);
+  EXPECT_FALSE(simd_hash_enabled());
+  EXPECT_FALSE(set_simd_hash_enabled(true));  // returns the value we set
+  // Forcing on only takes effect where the kernel can actually run.
+  EXPECT_EQ(simd_hash_enabled(), simd_hash_available());
+  set_simd_hash_enabled(prev);
+}
+
+// Registry-enumerated differential: every backend that advertises
+// kCapSimdBatch must produce bitwise identical verdicts, rotation counts,
+// and occupancy with the kernel on and off. New batch-capable backends are
+// enrolled automatically.
+TEST(SimdDifferential, RegistryBackendsAreKernelInvariant) {
+  MapFilterArgs args;
+  args.set("bits", "12").set("k", "4").set("m", "3").set("dt", "5");
+  for (const BackendDescriptor& backend :
+       FilterRegistry::instance().descriptors()) {
+    if (!backend.has(kCapSimdBatch)) continue;
+    const FilterSpec spec = backend.parse(args);
+
+    // One deterministic workload: outbound marks with rising timestamps
+    // crossing several rotation boundaries, probes mixing echoes of
+    // marked tuples with never-marked ones.
+    Rng rng{0xd1fULL};
+    std::vector<PacketRecord> marks;
+    std::vector<PacketRecord> probes;
+    for (std::size_t i = 0; i < 1024; ++i) {
+      PacketRecord out;
+      out.timestamp = SimTime::from_sec(0.03 * static_cast<double>(i));
+      out.tuple = random_tuple(rng, i % 2 ? Protocol::kTcp : Protocol::kUdp);
+      marks.push_back(out);
+      PacketRecord in;
+      in.timestamp = out.timestamp;
+      in.tuple = rng.next_bool(0.5) ? out.tuple.inverse()
+                                    : random_tuple(rng, Protocol::kUdp);
+      probes.push_back(in);
+    }
+
+    const auto run = [&](bool simd) {
+      SimdGuard guard{simd};
+      const std::unique_ptr<StateFilter> filter = make_state_filter(spec);
+      std::vector<bool> admits(probes.size());
+      constexpr std::size_t kStep = 96;  // off the batch-chunk alignment
+      for (std::size_t i = 0; i < marks.size(); i += kStep) {
+        const std::size_t n = std::min(kStep, marks.size() - i);
+        filter->record_outbound_batch(PacketBatch{marks.data() + i, n});
+        bool chunk[kStep] = {};
+        filter->admits_inbound_batch(PacketBatch{probes.data() + i, n},
+                                     std::span<bool>{chunk, n});
+        for (std::size_t p = 0; p < n; ++p) admits[i + p] = chunk[p];
+      }
+      return std::pair{admits,
+                       std::pair{filter->expiry_generations(),
+                                 filter->occupancy_fraction()}};
+    };
+
+    const auto off = run(false);
+    const auto on = run(true);
+    EXPECT_EQ(off.first, on.first) << backend.name;
+    EXPECT_EQ(off.second.first, on.second.first) << backend.name;
+    EXPECT_EQ(off.second.second, on.second.second) << backend.name;
+  }
+}
+
+// The root no-false-negative property of the hash family: the inverse of
+// an inbound tuple keys to exactly the indexes its outbound twin marked.
+// Sweeps non-power-of-two sizes (the `% bits_` fallback path) and the
+// whole supported hash_count range, in both key modes, and checks the
+// batch digest path agrees with the scalar one.
+TEST(HashFamilyProperty, NoFalseNegativesAcrossGeometriesAndKeyModes) {
+  Rng rng{0xfeedULL};
+  for (const std::size_t bits : {std::size_t{1000}, std::size_t{12345},
+                                 std::size_t{1} << 16}) {
+    for (unsigned m = 1; m <= 8; ++m) {
+      BloomHashFamily family{bits, m};
+      std::vector<std::size_t> out_idx(m);
+      std::vector<std::size_t> in_idx(m);
+      for (const KeyMode mode :
+           {KeyMode::kFullTuple, KeyMode::kHolePunching}) {
+        std::vector<PacketRecord> pkts(64);
+        for (auto& pkt : pkts) {
+          pkt.tuple = random_tuple(rng, Protocol::kTcp);
+        }
+        std::vector<std::uint8_t> key_scratch(
+            pkts.size() * BloomHashFamily::kKeyStride);
+        std::vector<Hash128> digests(pkts.size());
+        family.outbound_hash_batch(PacketBatch{pkts.data(), pkts.size()},
+                                   mode, key_scratch, digests);
+        for (std::size_t i = 0; i < pkts.size(); ++i) {
+          const FiveTuple& t = pkts[i].tuple;
+          family.outbound_indexes(t, mode, out_idx);
+          family.inbound_indexes(t.inverse(), mode, in_idx);
+          ASSERT_EQ(out_idx, in_idx) << "bits=" << bits << " m=" << m;
+          for (const std::size_t idx : out_idx) ASSERT_LT(idx, bits);
+          // Batch digest == scalar digest == the digest behind the
+          // indexes.
+          ASSERT_EQ(digests[i], family.outbound_hash(t, mode));
+          ASSERT_EQ(digests[i], family.inbound_hash(t.inverse(), mode));
+          family.indexes_from_hash(digests[i], in_idx);
+          ASSERT_EQ(out_idx, in_idx);
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockedBitmap, NoFalseNegativesAndBoundedFalsePositives) {
+  BitmapFilterConfig config;
+  config.log2_bits = 16;
+  config.vector_count = 4;
+  config.hash_count = 3;
+  config.rotate_interval = Duration::sec(1e6);  // no rotation mid-test
+  BlockedBitmapFilter filter{config};
+
+  Rng rng{0xb10cULL};
+  std::vector<PacketRecord> inserted(2000);
+  const SimTime now = SimTime::from_sec(1.0);
+  for (auto& pkt : inserted) {
+    pkt.timestamp = now;
+    pkt.tuple = random_tuple(rng, Protocol::kUdp);
+  }
+  filter.advance_time(now);
+  filter.record_outbound_batch(
+      PacketBatch{inserted.data(), inserted.size()});
+
+  for (const auto& pkt : inserted) {
+    PacketRecord probe = pkt;
+    probe.tuple = pkt.tuple.inverse();
+    ASSERT_TRUE(filter.admits_inbound(probe));
+  }
+
+  // All m probes share one 512-bit block, so the blocked layout pays a
+  // modest variance penalty over the flat bitmap's Eq. 3 rate. At this
+  // load (6000 set bits in 65536) the flat rate is ~7e-4; budget an order
+  // of magnitude for blocking skew and seed luck.
+  std::size_t false_positives = 0;
+  const std::size_t kProbes = 20000;
+  for (std::size_t i = 0; i < kProbes; ++i) {
+    PacketRecord probe;
+    probe.timestamp = now;
+    probe.tuple = random_tuple(rng, Protocol::kTcp);  // disjoint from inserts
+    false_positives += filter.admits_inbound(probe) ? 1 : 0;
+  }
+  EXPECT_LT(static_cast<double>(false_positives) /
+                static_cast<double>(kProbes),
+            0.01);
+}
+
+// Satellite bugfix 1: a clock step of S seconds used to spin S/dt rotate()
+// calls. The catch-up is now O(k) with exact arithmetic: the test jumps
+// 1e15 intervals and must (a) finish instantly and (b) report the exact
+// rotation count.
+TEST(ClockStepCatchUp, RotationCountStaysExactAcrossHugeJumps) {
+  const auto check = [](StateFilter& filter) {
+    PacketRecord pkt;
+    pkt.timestamp = SimTime::from_usec(1);
+    pkt.tuple = FiveTuple{Protocol::kUdp, Ipv4Addr{10, 0, 0, 1}, 5000,
+                          Ipv4Addr{8, 8, 8, 8}, 53};
+    filter.advance_time(pkt.timestamp);
+    const std::uint64_t before = filter.expiry_generations();
+    filter.record_outbound(pkt);
+
+    const std::int64_t kJumpUsec = 1'000'000'000'000'000;  // ~31 years
+    filter.advance_time(SimTime::from_usec(kJumpUsec));
+    // dt = 1us, first boundary at t=1us, one rotation per elapsed
+    // interval: exactly kJumpUsec boundaries passed since construction.
+    EXPECT_EQ(filter.expiry_generations(),
+              before + static_cast<std::uint64_t>(kJumpUsec) - 1);
+    PacketRecord probe = pkt;
+    probe.timestamp = SimTime::from_usec(kJumpUsec);
+    probe.tuple = pkt.tuple.inverse();
+    EXPECT_FALSE(filter.admits_inbound(probe));
+
+    // The boundary arithmetic stays exact after the jump: the next
+    // boundary is one interval later, not dt-aligned drift away.
+    filter.advance_time(SimTime::from_usec(kJumpUsec));  // no-op
+    const std::uint64_t after = filter.expiry_generations();
+    filter.advance_time(SimTime::from_usec(kJumpUsec + 1));
+    EXPECT_EQ(filter.expiry_generations(), after + 1);
+  };
+
+  BitmapFilterConfig bitmap_config;
+  bitmap_config.log2_bits = 10;
+  bitmap_config.rotate_interval = Duration::usec(1);
+  BitmapFilter bitmap{bitmap_config};
+  check(bitmap);
+
+  bitmap_config.log2_bits = 10;
+  BlockedBitmapFilter blocked{bitmap_config};
+  check(blocked);
+
+  CountingFilterConfig counting_config;
+  counting_config.log2_cells = 10;
+  counting_config.rotate_interval = Duration::usec(1);
+  CountingFilter counting{counting_config};
+  check(counting);
+}
+
+TEST(RotationSchedule, AdvanceCountsEveryElapsedBoundaryExactly) {
+  RotationSchedule schedule{SimTime::from_sec(5.0), Duration::sec(5.0)};
+  EXPECT_EQ(schedule.advance(SimTime::from_sec(4.9)), 0u);
+  EXPECT_EQ(schedule.advance(SimTime::from_sec(5.0)), 1u);
+  EXPECT_EQ(schedule.next_boundary(), SimTime::from_sec(10.0));
+  EXPECT_EQ(schedule.advance(SimTime::from_sec(27.0)), 4u);
+  EXPECT_EQ(schedule.next_boundary(), SimTime::from_sec(30.0));
+}
+
+// Satellite bugfix 2: re-anchoring on `next_ - old_interval` after a
+// control-socket dt change could put the next boundary in the past (a
+// rotation burst on the next packet) or skip the clamp entirely. The
+// schedule now lands the first new boundary strictly after the last
+// observed clock value.
+TEST(RotationSchedule, SetIntervalClampsReAnchorToObservedClock) {
+  RotationSchedule schedule{SimTime::from_sec(5.0), Duration::sec(5.0)};
+  EXPECT_EQ(schedule.advance(SimTime::from_sec(12.0)), 2u);
+  EXPECT_EQ(schedule.next_boundary(), SimTime::from_sec(15.0));
+
+  // Shrink: anchor 10s + 1s = 11s is already behind the clock (12s);
+  // clamp forward to the first 1s-grid point after it.
+  schedule.set_interval(Duration::sec(1.0));
+  EXPECT_EQ(schedule.next_boundary(), SimTime::from_sec(13.0));
+  EXPECT_EQ(schedule.advance(SimTime::from_sec(12.5)), 0u);
+  EXPECT_EQ(schedule.advance(SimTime::from_sec(13.0)), 1u);
+
+  // Grow: the re-anchored boundary is already in the future; no clamp.
+  schedule.set_interval(Duration::sec(100.0));
+  EXPECT_EQ(schedule.next_boundary(), SimTime::from_sec(113.0));
+
+  // Extreme shrink long before the first boundary ever fired.
+  RotationSchedule idle{SimTime::from_sec(1000.0), Duration::sec(1000.0)};
+  EXPECT_EQ(idle.advance(SimTime::from_sec(999.0)), 0u);
+  idle.set_interval(Duration::sec(1.0));
+  EXPECT_EQ(idle.next_boundary(), SimTime::from_sec(1000.0));
+  EXPECT_EQ(idle.advance(SimTime::from_sec(999.5)), 0u);
+}
+
+// Satellite bugfix 3 (the BENCH_6 outlier, pinned): counting's ~100x
+// collateral-drop outlier against bitmap in the bakeoff is delete-on-close
+// semantics, not hashing or geometry. With close-deletes off, counting is
+// bit-identical to the bitmap on any workload: insert-if-absent makes
+// "all m cells nonzero" coincide exactly with "all m bits set" under the
+// same hash family, seed, and rotation schedule.
+TEST(CountingCollateral, WithoutCloseDeleteCountingMatchesBitmapBitwise) {
+  BitmapFilterConfig bitmap_config;
+  bitmap_config.log2_bits = 14;
+  BitmapFilter bitmap{bitmap_config};
+
+  CountingFilterConfig counting_config;
+  counting_config.log2_cells = 14;
+  counting_config.delete_on_close = false;
+  CountingFilter counting{counting_config};
+
+  Rng rng{0xc0117ULL};
+  std::vector<FiveTuple> pool(600);
+  for (auto& tuple : pool) tuple = random_tuple(rng, Protocol::kTcp);
+
+  for (std::size_t step = 0; step < 4000; ++step) {
+    const SimTime now = SimTime::from_sec(0.01 * static_cast<double>(step));
+    bitmap.advance_time(now);
+    counting.advance_time(now);
+    PacketRecord out;
+    out.timestamp = now;
+    out.tuple = pool[rng.next_below(pool.size())];
+    // FIN/RST outbound packets are plain marks when close-deletes are
+    // off -- both filters must treat them identically.
+    out.flags.fin = rng.next_bool(0.1);
+    out.flags.rst = rng.next_bool(0.02);
+    bitmap.record_outbound(out);
+    counting.record_outbound(out);
+
+    PacketRecord probe;
+    probe.timestamp = now;
+    probe.tuple = rng.next_bool(0.7)
+                      ? pool[rng.next_below(pool.size())].inverse()
+                      : random_tuple(rng, Protocol::kUdp);
+    ASSERT_EQ(bitmap.admits_inbound(probe), counting.admits_inbound(probe))
+        << "step=" << step;
+  }
+  EXPECT_EQ(bitmap.rotations(), counting.rotations());
+  // Nonzero-cell <=> set-bit carries over to the occupancy signal too.
+  EXPECT_EQ(bitmap.occupancy_fraction(), counting.occupancy_fraction());
+}
+
+// The collateral itself, documented: after an outbound FIN the bitmap
+// keeps admitting return traffic until rotation retires it (the paper's
+// Te window), while delete-on-close counting drops it immediately. The
+// bakeoff's exact-state reference admits for the full window, so every
+// such post-close inbound packet scores as a collateral drop for
+// counting -- the documented price of fast state reclamation, not a bug.
+TEST(CountingCollateral, DeleteOnCloseDropsPostFinInboundBitmapAdmits) {
+  BitmapFilterConfig bitmap_config;
+  bitmap_config.log2_bits = 14;
+  BitmapFilter bitmap{bitmap_config};
+
+  CountingFilterConfig counting_config;
+  counting_config.log2_cells = 14;
+  counting_config.delete_on_close = true;
+  CountingFilter counting{counting_config};
+
+  PacketRecord data;
+  data.timestamp = SimTime::from_sec(1.0);
+  data.tuple = FiveTuple{Protocol::kTcp, Ipv4Addr{10, 0, 0, 7}, 40000,
+                         Ipv4Addr{93, 184, 216, 34}, 443};
+  bitmap.advance_time(data.timestamp);
+  counting.advance_time(data.timestamp);
+  bitmap.record_outbound(data);
+  counting.record_outbound(data);
+
+  PacketRecord reply = data;
+  reply.timestamp = SimTime::from_sec(2.0);
+  reply.tuple = data.tuple.inverse();
+  EXPECT_TRUE(bitmap.admits_inbound(reply));
+  EXPECT_TRUE(counting.admits_inbound(reply));
+
+  PacketRecord fin = data;
+  fin.timestamp = SimTime::from_sec(3.0);
+  fin.flags.fin = true;
+  bitmap.record_outbound(fin);
+  counting.record_outbound(fin);
+  EXPECT_EQ(counting.deletes_applied(), 1u);
+
+  reply.timestamp = SimTime::from_sec(4.0);
+  EXPECT_TRUE(bitmap.admits_inbound(reply));    // admits until rotation
+  EXPECT_FALSE(counting.admits_inbound(reply));  // reclaimed at close
+}
+
+}  // namespace
+}  // namespace upbound

@@ -19,10 +19,12 @@ namespace {
 TEST(FilterRegistry, RegistersTheFullBackendZoo) {
   const std::vector<std::string> names = FilterRegistry::instance().names();
   const std::vector<std::string> expected{
-      "bitmap", "bitmap-mt", "aging", "spi", "naive", "retouched", "counting"};
+      "bitmap",    "bitmap-mt", "bitmap-blocked", "aging",
+      "spi",       "naive",     "retouched",      "counting"};
   EXPECT_EQ(names, expected);
   EXPECT_EQ(FilterRegistry::instance().names_joined("|"),
-            "bitmap|bitmap-mt|aging|spi|naive|retouched|counting");
+            "bitmap|bitmap-mt|bitmap-blocked|aging|spi|naive|retouched|"
+            "counting");
 }
 
 TEST(FilterRegistry, FindAndAtAgreeAndUnknownNamesAreTypedErrors) {
@@ -69,6 +71,15 @@ TEST(FilterRegistry, CapabilityBitsMatchBackendBehavior) {
   // Counting is the only backend with per-tuple deletion.
   for (const BackendDescriptor& backend : registry.descriptors()) {
     EXPECT_EQ(backend.has(kCapDeletion), backend.name == "counting")
+        << backend.name;
+  }
+
+  // Only the word-addressed bitmaps digest keys through the batch hash
+  // kernel; their verdicts must be identical with SIMD on or off (pinned
+  // by the differential tests in filter_blocked_simd_test).
+  for (const BackendDescriptor& backend : registry.descriptors()) {
+    EXPECT_EQ(backend.has(kCapSimdBatch),
+              backend.name == "bitmap" || backend.name == "bitmap-blocked")
         << backend.name;
   }
 

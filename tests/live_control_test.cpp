@@ -143,6 +143,42 @@ TEST(ControlProtocol, RoundTripsOnCapableBackend) {
   ::close(fd);
 }
 
+TEST(ControlProtocol, DtShrinkUnderTrafficKeepsRecentStateAlive) {
+  // Regression: shrinking dt over the control socket used to re-anchor
+  // the rotation schedule behind the filter's clock, so the very next
+  // packet fired a burst of catch-up rotations that wiped state marked
+  // moments earlier. The schedule now clamps the first new boundary
+  // strictly past the last observed clock value.
+  ControlFixture fx{"bitmap"};
+  const int fd = fx.connect();
+
+  StateFilter& filter = fx.datapath->router().filter();
+  PacketRecord out;
+  out.timestamp = SimTime::from_sec(4.0);  // inside the first 5s window
+  out.tuple = FiveTuple{Protocol::kUdp, Ipv4Addr{10, 0, 0, 9}, 6000,
+                        Ipv4Addr{1, 2, 3, 4}, 6881};
+  filter.advance_time(out.timestamp);
+  filter.record_outbound(out);
+
+  EXPECT_EQ(fx.roundtrip(fd, "set dt 1\n"), "OK dt=1s");
+
+  // Traffic resumes just after the retune: no rotation burst, and the
+  // connection marked at t=4.0 is still admitted.
+  PacketRecord probe;
+  probe.timestamp = SimTime::from_sec(4.2);
+  probe.tuple = out.tuple.inverse();
+  filter.advance_time(probe.timestamp);
+  EXPECT_EQ(filter.expiry_generations(), 0u);
+  EXPECT_TRUE(filter.admits_inbound(probe));
+
+  // The new 1s cadence takes over at the first boundary past t=4.
+  filter.advance_time(SimTime::from_sec(5.0));
+  EXPECT_EQ(filter.expiry_generations(), 1u);
+  filter.advance_time(SimTime::from_sec(6.0));
+  EXPECT_EQ(filter.expiry_generations(), 2u);
+  ::close(fd);
+}
+
 TEST(ControlProtocol, TypedCapabilityErrorsOnIncapableBackend) {
   // naive has neither kCapRotateInterval nor kCapSnapshot: both commands
   // parse fine and fail with their typed capability code.

@@ -103,11 +103,17 @@ TEST(BitmapFilter, SetRotateIntervalReanchorsToLastBoundary) {
 
   filter.advance_time(SimTime::from_sec(4.0));  // inside the first window
   EXPECT_EQ(filter.rotations(), 0u);
-  // Retune 5s -> 1s: the new schedule anchors one new interval past the
-  // last completed boundary (origin), so boundaries now sit at 1,2,3,4.
+  // Retune 5s -> 1s: the schedule re-anchors on the new 1s grid but
+  // clamps the first boundary strictly past the last observed clock
+  // value (4s), so a shrink never retroactively expires state marked in
+  // the current window with a burst of catch-up rotations.
   EXPECT_TRUE(filter.set_rotate_interval(Duration::sec(1.0)));
   filter.advance_time(SimTime::from_sec(4.0));
-  EXPECT_EQ(filter.rotations(), 4u);
+  EXPECT_EQ(filter.rotations(), 0u);
+  filter.advance_time(SimTime::from_sec(5.0));
+  EXPECT_EQ(filter.rotations(), 1u);
+  filter.advance_time(SimTime::from_sec(7.5));
+  EXPECT_EQ(filter.rotations(), 3u);
   EXPECT_THROW(filter.set_rotate_interval(Duration{}),
                std::invalid_argument);
 }
