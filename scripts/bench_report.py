@@ -19,11 +19,16 @@ any machine and a change means the code changed behaviour. Throughput
 
 Standard library only.
 
+--trend renders a cross-version table from every committed BENCH_*.json
+at the repo root (no bench run needed): one row per backend/metric, one
+column per PR, so drift across versions is visible at a glance. Purely
+informational -- CI prints it but never gates on it.
+
 Usage:
   scripts/bench_report.py [--build-dir build] [--out BENCH_8.json]
                           [--pr 8] [--smoke] [--enforce]
                           [--threshold 0.05] [--no-suites]
-                          [--validate-only FILE]
+                          [--validate-only FILE] [--trend]
 """
 
 import argparse
@@ -309,6 +314,69 @@ def compare(fresh, baseline_path, threshold):
     return errors, warnings
 
 
+def _fmt_metric(metric, value):
+    if metric == "memory_bytes":
+        return str(value)
+    if metric == "mpps":
+        return f"{value:.3f}"
+    return f"{value:.6f}"
+
+
+def trend(root):
+    """Prints the cross-version table from every committed BENCH_*.json.
+    Returns the number of versions rendered. Invalid or unreadable files
+    are warned about and skipped -- the trend is archaeology, not a gate."""
+    reports = []
+    for name in sorted(os.listdir(root)):
+        if not re.fullmatch(r"BENCH_\d+\.json", name):
+            continue
+        path = os.path.join(root, name)
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+            validate(doc)
+        except (ValueError, OSError) as e:
+            print(f"WARN  {name}: skipped ({e})")
+            continue
+        reports.append(doc)
+    if not reports:
+        print("trend: no valid BENCH_*.json baselines at the repo root")
+        return 0
+    reports.sort(key=lambda d: d["pr"])
+
+    prs = [d["pr"] for d in reports]
+    backends = sorted({b for d in reports for b in d["backends"]})
+    metrics = ("bypass", "collateral", "memory_bytes", "mpps")
+
+    cells = {}
+    for d in reports:
+        for backend, values in d["backends"].items():
+            for metric in metrics:
+                cells[(backend, metric, d["pr"])] = _fmt_metric(
+                    metric, values[metric])
+
+    label_w = max(len(f"{b}.{m}") for b in backends for m in metrics)
+    col_w = {pr: max([len(f"PR{pr}")] +
+                     [len(cells.get((b, m, pr), "-"))
+                      for b in backends for m in metrics])
+             for pr in prs}
+
+    modes = ", ".join(f"PR{d['pr']}={d['mode']}" for d in reports)
+    print(f"bench trend: {len(reports)} versions ({modes}); "
+          "deterministic metrics reproduce bit-for-bit, mpps is "
+          "hardware-dependent")
+    header = "  ".join([f"{'':<{label_w}}"] +
+                       [f"{f'PR{pr}':>{col_w[pr]}}" for pr in prs])
+    print(header)
+    for backend in backends:
+        for metric in metrics:
+            row = [f"{backend + '.' + metric:<{label_w}}"]
+            for pr in prs:
+                row.append(f"{cells.get((backend, metric, pr), '-'):>{col_w[pr]}}")
+            print("  ".join(row))
+    return len(reports)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--build-dir", default="build")
@@ -328,7 +396,15 @@ def main():
                          "BENCH_*.json at the repo root except --out)")
     ap.add_argument("--validate-only", metavar="FILE",
                     help="validate FILE against the schema and exit")
+    ap.add_argument("--trend", action="store_true",
+                    help="print the cross-version table from committed "
+                         "BENCH_*.json and exit (informational)")
     args = ap.parse_args()
+
+    if args.trend:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        trend(root)
+        return
 
     if args.validate_only:
         with open(args.validate_only) as f:

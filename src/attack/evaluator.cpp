@@ -25,7 +25,6 @@ namespace {
 /// must agree); exact-state backends take the scenario timeouts.
 std::unique_ptr<StateFilter> make_named_filter(
     const std::string& name, const AttackEvaluatorConfig& config) {
-  const BackendDescriptor& backend = FilterRegistry::instance().at(name);
   const BitmapFilterConfig& bitmap = config.attack.bitmap;
   MapFilterArgs args;
   args.set("bits", std::to_string(bitmap.log2_bits));
@@ -38,12 +37,29 @@ std::unique_ptr<StateFilter> make_named_filter(
   } else if (name == "naive") {
     args.set("timeout", std::to_string(config.attack.naive_timeout().to_sec()));
   }
+  // Tenancy wraps the backend under attack as the fine tier of the
+  // hierarchical filter: per-subscriber fine state behind the shared
+  // front, same geometry/timeout arguments. An explicitly hierarchical
+  // filter name is built as requested.
+  if (config.tenancy.enabled && name != "hierarchical") {
+    args.set("fine", name);
+    args.set("tenant-mode", tenant_mode_name(config.tenancy.table.mode));
+    if (config.tenant_cap > 0) {
+      args.set("tenant-cap", std::to_string(config.tenant_cap));
+    }
+    return make_state_filter(
+        FilterRegistry::instance().at("hierarchical").parse(args));
+  }
+  const BackendDescriptor& backend = FilterRegistry::instance().at(name);
   return make_state_filter(backend.parse(args));
 }
 
 struct RunResult {
   AttackTally tally;
   std::vector<std::uint32_t> occupancy_permille;
+  /// Per-tenant tallies; populated only for tenancy runs. Keyed by the
+  /// address-derived TenantId, so shard merges are order-independent.
+  std::map<TenantId, AttackTally> tenants;
 };
 
 std::uint32_t occupancy_permille_of(const StateFilter& filter) {
@@ -67,6 +83,7 @@ RunResult run_shard(const std::vector<PacketRecord>& packets,
   rcfg.track_blocked_connections = false;
   rcfg.seed = seed;
   rcfg.stage_timing = false;
+  rcfg.tenancy = config.tenancy;
   EdgeRouter router{rcfg, make_named_filter(filter, config),
                     std::make_unique<ConstantDropPolicy>(config.pd)};
   StateFilter& state = router.filter();
@@ -79,6 +96,18 @@ RunResult run_shard(const std::vector<PacketRecord>& packets,
   // connection (canonical tuple) -> was the most recent probe admitted?
   std::unordered_map<FiveTuple, bool, CanonicalTupleHash, CanonicalTupleEq>
       probe_verdict;
+
+  // Per-tenant attribution mirrors the router's: outbound-side labels
+  // (support, upload, legit outbound) to the source tenant, inbound-side
+  // (probe, legit inbound) to the destination tenant.
+  const bool tenancy = config.tenancy.enabled;
+  const TenantTable tenant_table{config.tenancy.table};
+  const auto out_slice = [&](const PacketRecord& p) -> AttackTally& {
+    return result.tenants[tenant_table.tenant_of_outbound(p.tuple)];
+  };
+  const auto in_slice = [&](const PacketRecord& p) -> AttackTally& {
+    return result.tenants[tenant_table.tenant_of_inbound(p.tuple)];
+  };
 
   constexpr std::size_t kBatch = 256;
   RouterDecision decisions[kBatch];
@@ -113,34 +142,50 @@ RunResult run_shard(const std::vector<PacketRecord>& packets,
         case AttackLabel::kLegit:
           if (decision == RouterDecision::kPassedOutbound) {
             ++tally.legit_outbound_packets;
+            if (tenancy) ++out_slice(pkt).legit_outbound_packets;
           } else if (decision == RouterDecision::kPassedInbound) {
             ++tally.legit_inbound_packets;
+            if (tenancy) ++in_slice(pkt).legit_inbound_packets;
           } else if (decision == RouterDecision::kDroppedByPolicy ||
                      decision == RouterDecision::kDroppedBlocked) {
             ++tally.legit_inbound_packets;
             ++tally.legit_inbound_dropped;
+            if (tenancy) {
+              AttackTally& slice = in_slice(pkt);
+              ++slice.legit_inbound_packets;
+              ++slice.legit_inbound_dropped;
+            }
           }
           break;
-        case AttackLabel::kProbe:
+        case AttackLabel::kProbe: {
           ++tally.probe_packets;
-          if (decision == RouterDecision::kPassedInbound) {
-            ++tally.probe_admitted;
-            probe_verdict[pkt.tuple] = true;
-          } else {
-            probe_verdict[pkt.tuple] = false;
+          const bool admitted = decision == RouterDecision::kPassedInbound;
+          if (admitted) ++tally.probe_admitted;
+          probe_verdict[pkt.tuple] = admitted;
+          if (tenancy) {
+            AttackTally& slice = in_slice(pkt);
+            ++slice.probe_packets;
+            if (admitted) ++slice.probe_admitted;
           }
           break;
+        }
         case AttackLabel::kSupport:
           ++tally.support_packets;
+          if (tenancy) ++out_slice(pkt).support_packets;
           break;
         case AttackLabel::kUpload: {
           ++tally.upload_packets;
           const std::uint64_t bytes = pkt.wire_size();
           tally.upload_bytes += bytes;
           const auto it = probe_verdict.find(pkt.tuple);
-          if (decision == RouterDecision::kPassedOutbound &&
-              it != probe_verdict.end() && it->second) {
-            tally.achieved_upload_bytes += bytes;
+          const bool achieved = decision == RouterDecision::kPassedOutbound &&
+                                it != probe_verdict.end() && it->second;
+          if (achieved) tally.achieved_upload_bytes += bytes;
+          if (tenancy) {
+            AttackTally& slice = out_slice(pkt);
+            ++slice.upload_packets;
+            slice.upload_bytes += bytes;
+            if (achieved) slice.achieved_upload_bytes += bytes;
           }
           break;
         }
@@ -196,6 +241,9 @@ RunResult run_blend(const AttackBlend& blend, const ClientNetwork& network,
         run_shard(shard_packets[s], shard_labels[s], network, filter,
                   shard_seed(config.seed, s), grid, config);
     merged.tally.merge(shard.tally);
+    for (const auto& [tenant, slice] : shard.tenants) {
+      merged.tenants[tenant].merge(slice);
+    }
     for (std::size_t i = 0; i < merged.occupancy_permille.size(); ++i) {
       merged.occupancy_permille[i] += shard.occupancy_permille[i];
     }
@@ -295,6 +343,22 @@ std::string AttackReport::summary_table() const {
   return report::table(rows);
 }
 
+std::string AttackReport::tenant_table() const {
+  std::vector<std::vector<std::string>> rows{
+      {"scenario", "filter", "tenant", "probes", "bypass", "legit drop",
+       "upload/bound"}};
+  for (const AttackOutcome& o : outcomes) {
+    for (const TenantAttackRow& row : o.tenants) {
+      rows.push_back({o.scenario, o.filter, row.label,
+                      std::to_string(row.tally.probe_packets),
+                      report::percent(row.tally.bypass_rate()),
+                      report::percent(row.tally.legit_drop_rate()),
+                      report::num(row.upload_vs_bound)});
+    }
+  }
+  return rows.size() == 1 ? std::string{} : report::table(rows);
+}
+
 AttackReport evaluate_attacks(const Trace& legit, const ClientNetwork& network,
                               std::span<const AttackScenarioKind> scenarios,
                               const AttackEvaluatorConfig& config) {
@@ -374,6 +438,20 @@ AttackReport evaluate_attacks(const Trace& legit, const ClientNetwork& network,
         outcome.upload_vs_bound =
             static_cast<double>(run.tally.achieved_upload_bytes) * 8.0 /
             span_sec / config.upload_bound_bps;
+      }
+      // std::map iteration is id-sorted, so the rows are deterministic.
+      const TenantTable tenant_table{config.tenancy.table};
+      for (const auto& [tenant, slice] : run.tenants) {
+        TenantAttackRow row;
+        row.tenant = tenant;
+        row.label = tenant_table.label(tenant);
+        row.tally = slice;
+        if (span_sec > 0.0 && config.upload_bound_bps > 0.0) {
+          row.upload_vs_bound =
+              static_cast<double>(slice.achieved_upload_bytes) * 8.0 /
+              span_sec / config.upload_bound_bps;
+        }
+        outcome.tenants.push_back(std::move(row));
       }
       report.outcomes.push_back(std::move(outcome));
     }

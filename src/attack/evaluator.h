@@ -22,11 +22,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "attack/scenario.h"
+#include "sim/edge_router.h"  // TenancyConfig
 #include "util/metrics.h"
 
 namespace upbound {
@@ -56,6 +58,16 @@ struct AttackEvaluatorConfig {
   Duration occupancy_interval = Duration::sec(1.0);
   /// Filters to evaluate under each blend, in report order.
   std::vector<std::string> filters{"bitmap", "spi", "naive"};
+  /// Per-subscriber enforcement during the runs. When enabled, each
+  /// evaluated backend is wrapped as the fine tier of the hierarchical
+  /// tenant filter (unless it already is "hierarchical"), the router's
+  /// tenancy attribution is switched on, and every outcome carries
+  /// per-tenant tallies -- including each tenant's achieved-upload versus
+  /// the bound, the paper's Eq. 1 check at subscriber granularity.
+  TenancyConfig tenancy;
+  /// Cap on live fine filters per router when tenancy wraps the backend
+  /// (forwarded as the hierarchical filter's tenant-cap). 0 = default.
+  std::uint64_t tenant_cap = 0;
 };
 
 /// Integer event tallies of one run; exact, so merging shard results in
@@ -89,6 +101,20 @@ struct AttackTally {
   }
 };
 
+/// One tenant's slice of an outcome (tenancy runs only). Rows are kept
+/// sorted by TenantId, so reports are deterministic.
+struct TenantAttackRow {
+  TenantId tenant = 0;
+  /// Human-readable tenant label (dotted quad or "a.b.c.0/24").
+  std::string label;
+  AttackTally tally;
+  /// This tenant's achieved attack upload bits/s over the blend span,
+  /// divided by the configured bound -- Eq. 1 checked per subscriber.
+  double upload_vs_bound = 0.0;
+
+  bool operator==(const TenantAttackRow&) const = default;
+};
+
 /// Result of one (scenario, filter) run.
 struct AttackOutcome {
   std::string scenario;  // attack_scenario_name(), or "baseline"
@@ -101,6 +127,8 @@ struct AttackOutcome {
   /// Filter occupancy fraction per grid point, in permille; empty for
   /// backends without an occupancy signal (kCapOccupancy).
   std::vector<std::uint32_t> occupancy_permille;
+  /// Per-tenant tallies, sorted by tenant; empty unless tenancy ran.
+  std::vector<TenantAttackRow> tenants;
 
   bool operator==(const AttackOutcome&) const = default;
 
@@ -126,6 +154,11 @@ struct AttackReport {
 
   /// Aligned human-readable summary table.
   std::string summary_table() const;
+
+  /// Per-tenant rows of every outcome that carries them (tenancy runs):
+  /// each tenant's probes, bypass, collateral, and achieved upload
+  /// against the bound. Empty string when no outcome has tenant rows.
+  std::string tenant_table() const;
 };
 
 /// Runs every scenario against every configured filter (plus one

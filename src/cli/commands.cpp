@@ -27,6 +27,9 @@
 #include "sim/parallel_replay.h"
 #include "sim/replay.h"
 #include "sim/report.h"
+#include "sim/tenant_scenarios.h"
+#include "tenant/hierarchical_filter.h"
+#include "tenant/tenant_table.h"
 #include "trace/campus.h"
 #include "util/clock.h"
 #include "util/metrics_export.h"
@@ -206,6 +209,126 @@ FilterSpec parse_filter_spec(const Args& args, const std::string& kind) {
   }
 }
 
+/// Parsed --tenants/--tenant-mode/--tenant-cap, shared by filter, compare,
+/// attack, and live. --tenants switches per-subscriber enforcement on and
+/// doubles as the hierarchical filter's sizing hint.
+struct TenancySpec {
+  TenancyConfig router;       // goes into EdgeRouterConfig::tenancy
+  std::uint64_t tenants = 0;  // sizing hint (0 = not given)
+  std::uint64_t cap = 0;      // live fine-filter cap (0 = backend default)
+
+  bool enabled() const { return router.enabled; }
+};
+
+TenancySpec tenancy_from(const Args& args) {
+  TenancySpec spec;
+  if (!args.has("tenants")) {
+    if (args.has("tenant-mode") || args.has("tenant-cap")) {
+      throw ArgError("--tenant-mode/--tenant-cap require --tenants");
+    }
+    return spec;
+  }
+  spec.router.enabled = true;
+  spec.tenants = args.get_u64("tenants", 0);
+  const std::string mode = args.get_string("tenant-mode", "subscriber");
+  const std::optional<TenantMode> parsed = parse_tenant_mode(mode);
+  if (!parsed.has_value()) {
+    throw ArgError("--tenant-mode must be subscriber or prefix24");
+  }
+  spec.router.table.mode = *parsed;
+  spec.cap = args.get_u64("tenant-cap", 0);
+  return spec;
+}
+
+/// The CLI args with the hierarchical wrap's "fine" key layered on top:
+/// --tenants turns "--filter X" into "--filter hierarchical --fine X"
+/// without the user spelling the wrap, while every other key (including
+/// --tenant-mode/--tenant-cap/--tenants themselves) still reads through
+/// to the command line, so reject_unconsumed keeps catching typos.
+class TenantOverlayArgs final : public FilterArgs {
+ public:
+  TenantOverlayArgs(const Args& args, std::string fine)
+      : cli_(args), fine_(std::move(fine)) {}
+
+  std::optional<std::string> value(const std::string& key) const override {
+    if (key == "fine") return fine_;
+    return cli_.value(key);
+  }
+  bool flag(const std::string& key) const override { return cli_.flag(key); }
+
+ private:
+  CliFilterArgs cli_;
+  std::string fine_;
+};
+
+/// Parses the backend named by --filter; with --tenants, the named
+/// backend becomes the fine tier of the hierarchical tenant filter.
+FilterSpec parse_effective_filter_spec(const Args& args,
+                                       const std::string& kind,
+                                       const TenancySpec& tenancy) {
+  if (!tenancy.enabled() || kind == "hierarchical") {
+    return parse_filter_spec(args, kind);
+  }
+  if (FilterRegistry::instance().find(kind) == nullptr) {
+    throw ArgError("unknown --filter '" + kind + "' (" +
+                   FilterRegistry::instance().names_joined("|") + ")");
+  }
+  try {
+    return FilterRegistry::instance().at("hierarchical").parse(
+        TenantOverlayArgs{args, kind});
+  } catch (const std::invalid_argument& e) {
+    throw ArgError(e.what());
+  }
+}
+
+/// Per-tenant attribution of a finished run, heaviest uploaders first.
+/// Truncation is announced in the heading, never silent.
+void print_tenant_stats(const EdgeRouterStats& stats,
+                        const TenantTable& table) {
+  if (stats.tenants.empty()) return;
+  std::vector<std::pair<TenantId, const TenantStats*>> order;
+  order.reserve(stats.tenants.size());
+  for (const auto& [tenant, slice] : stats.tenants) {
+    order.emplace_back(tenant, &slice);
+  }
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.second->outbound_bytes != b.second->outbound_bytes) {
+      return a.second->outbound_bytes > b.second->outbound_bytes;
+    }
+    return a.first < b.first;
+  });
+  constexpr std::size_t kMaxTenantRows = 16;
+  const std::size_t shown = std::min(order.size(), kMaxTenantRows);
+  std::vector<std::vector<std::string>> rows{
+      {"tenant", "out pkts", "out bytes", "in passed", "in dropped",
+       "drop rate", "suppressed"}};
+  for (std::size_t i = 0; i < shown; ++i) {
+    const TenantStats& t = *order[i].second;
+    rows.push_back({table.label(order[i].first),
+                    std::to_string(t.outbound_packets),
+                    std::to_string(t.outbound_bytes),
+                    std::to_string(t.inbound_passed_packets),
+                    std::to_string(t.inbound_dropped_packets),
+                    report::percent(t.inbound_drop_rate()),
+                    std::to_string(t.suppressed_outbound_packets)});
+  }
+  std::printf("\nper-tenant breakdown (%zu tenants, top %zu by upload):\n%s",
+              stats.tenants.size(), shown, report::table(rows).c_str());
+}
+
+/// One-line hierarchical-filter health summary (instantiation/LRU churn
+/// plus how much traffic the shared front tier absorbed).
+void print_hierarchical_summary(const HierarchicalFilter& hier) {
+  std::printf("tenancy: %zu tenants, %zu live fine filters "
+              "(%llu instantiated, %llu evicted), front absorbed %llu, "
+              "digest admits %llu\n",
+              hier.tenant_count(), hier.live_fine_filters(),
+              static_cast<unsigned long long>(hier.fine_instantiations()),
+              static_cast<unsigned long long>(hier.fine_evictions()),
+              static_cast<unsigned long long>(hier.front_absorbed()),
+              static_cast<unsigned long long>(hier.digest_admits()));
+}
+
 /// Registered backend names holding `cap`, pipe-joined for error text.
 std::string names_with(FilterCapability cap) {
   std::string out;
@@ -308,8 +431,74 @@ void print_shard_table(const ParallelReplayResult& result) {
 
 }  // namespace
 
+std::string resolve_default_filter(bool wants_snapshot,
+                                   bool wants_shared_view) {
+  // bitmap-blocked is the default datapath backend: one 512-bit block per
+  // lookup, same verdict guarantees as the classic bitmap. Snapshots and
+  // the shared concurrent view are bitmap-only capabilities, so runs that
+  // asked for either fall back to the classic layout.
+  if (wants_snapshot || wants_shared_view) return "bitmap";
+  return "bitmap-blocked";
+}
+
+namespace {
+
+/// Writes a packet stream in the requested capture format; shared by the
+/// campus and multi-tenant branches of `generate`.
+std::uint64_t write_generated(const std::string& out,
+                              const std::string& format,
+                              const Trace& packets) {
+  if (format == "pcapng") {
+    PcapngWriter writer{out};
+    writer.write_all(packets);
+    return writer.packets_written();
+  }
+  if (format == "pcap") {
+    PcapWriter writer{out};
+    writer.write_all(packets);
+    return writer.packets_written();
+  }
+  throw ArgError("unknown --format '" + format + "' (pcap|pcapng)");
+}
+
+}  // namespace
+
 int cmd_generate(const Args& args) {
   const std::string out = args.require_string("out");
+  const std::string format = args.get_string("format", "pcap");
+
+  // --tenant-scenario switches to the multi-tenant workload generators
+  // (sim/tenant_scenarios.h): a subscriber-pool trace with per-tenant
+  // ground truth, ready for `filter --tenants` / `attack --tenants`.
+  const std::string scenario_name = args.get_string("tenant-scenario", "");
+  if (!scenario_name.empty()) {
+    TenantScenarioKind kind;
+    if (!parse_tenant_scenario(scenario_name, &kind)) {
+      throw ArgError("unknown --tenant-scenario '" + scenario_name +
+                     "' (flash-crowd|diurnal-swell|swarm-join)");
+    }
+    TenantScenarioConfig config;
+    config.tenants = args.get_u64("tenants", config.tenants);
+    config.duration = Duration::sec(args.get_double("duration", 60.0));
+    config.seed = args.get_u64("seed", 42);
+    const std::string mode = args.get_string("tenant-mode", "subscriber");
+    const std::optional<TenantMode> parsed_mode = parse_tenant_mode(mode);
+    if (!parsed_mode) {
+      throw ArgError("--tenant-mode must be subscriber or prefix24");
+    }
+    config.mode = *parsed_mode;
+    if (const int rc = reject_unconsumed(args); rc != 0) return rc;
+
+    const TenantScenarioTrace trace = generate_tenant_scenario(kind, config);
+    const std::uint64_t written = write_generated(out, format, trace.packets);
+    std::printf("wrote %llu packets (%s scenario, %zu tenants, %s window) "
+                "to %s\n",
+                static_cast<unsigned long long>(written),
+                tenant_scenario_name(kind), trace.truth.size(),
+                config.duration.to_string().c_str(), out.c_str());
+    return 0;
+  }
+
   CampusTraceConfig config;
   config.duration = Duration::sec(args.get_double("duration", 60.0));
   config.connections_per_sec = args.get_double("rate", 80.0);
@@ -317,22 +506,10 @@ int cmd_generate(const Args& args) {
   config.seed = args.get_u64("seed", 42);
   config.network.client_prefix =
       network_from(args).prefixes().front();
-  const std::string format = args.get_string("format", "pcap");
   if (const int rc = reject_unconsumed(args); rc != 0) return rc;
 
   const GeneratedTrace trace = generate_campus_trace(config);
-  std::uint64_t written = 0;
-  if (format == "pcapng") {
-    PcapngWriter writer{out};
-    writer.write_all(trace.packets);
-    written = writer.packets_written();
-  } else if (format == "pcap") {
-    PcapWriter writer{out};
-    writer.write_all(trace.packets);
-    written = writer.packets_written();
-  } else {
-    throw ArgError("unknown --format '" + format + "' (pcap|pcapng)");
-  }
+  const std::uint64_t written = write_generated(out, format, trace.packets);
   std::printf("wrote %llu packets (%zu connections, %s over the %s window) "
               "to %s\n",
               static_cast<unsigned long long>(written),
@@ -429,7 +606,6 @@ int cmd_analyze(const Args& args) {
 
 int cmd_filter(const Args& args) {
   const std::string path = args.require_string("pcap");
-  const std::string kind = args.get_string("filter", "bitmap");
   const std::string out = args.get_string("out", "");
   const std::string save_state = args.get_string("save-state", "");
   const std::string load_state = args.get_string("load-state", "");
@@ -438,12 +614,34 @@ int cmd_filter(const Args& args) {
   const std::size_t shards =
       static_cast<std::size_t>(args.get_int("shards", 0));
   const std::string shard_mode = shard_mode_from(args);
+  const std::string kind = args.get_string(
+      "filter",
+      resolve_default_filter(!save_state.empty() || !load_state.empty(),
+                             shard_mode == "shared"));
+  const TenancySpec tenancy = tenancy_from(args);
 
   const FilterRegistry& registry = FilterRegistry::instance();
   const BackendDescriptor* backend = registry.find(kind);
   if (backend == nullptr) {
     throw ArgError("unknown --filter '" + kind + "' (" +
                    registry.names_joined("|") + ")");
+  }
+  // With --tenants the run's real filter is the hierarchical wrap, which
+  // has no snapshot format and no shared concurrent view; reject those
+  // combinations up front instead of failing after the replay.
+  if (tenancy.enabled()) {
+    if (!save_state.empty() || !load_state.empty()) {
+      throw ArgError("--tenants is incompatible with "
+                     "--save-state/--load-state (the hierarchical tenant "
+                     "filter has no snapshot format)");
+    }
+    if (shard_mode == "shared") {
+      throw ArgError("--tenants is incompatible with --shard-mode shared "
+                     "(tenant state is shard-local by design)");
+    }
+    if (kind != "hierarchical") {
+      backend = &registry.at("hierarchical");
+    }
   }
   // Snapshot flags are gated on the backend's capability up front, so a
   // run never completes and then discovers its state cannot be saved (or
@@ -463,6 +661,7 @@ int cmd_filter(const Args& args) {
   config.network = network_from(args);
   config.track_blocked_connections = args.get_flag("blocklist");
   config.seed = seed_from(args);
+  config.tenancy = tenancy.router;
 
   // --on-unhealthy arms the router's health monitor (degraded stance);
   // effective on both engines.
@@ -525,7 +724,7 @@ int cmd_filter(const Args& args) {
       throw ArgError("--shard-mode shared requires a shared-view-capable "
                      "backend (" + names_with(kCapSharedView) + ")");
     }
-    const FilterSpec spec = parse_filter_spec(args, kind);
+    const FilterSpec spec = parse_effective_filter_spec(args, kind, tenancy);
     const PolicySpec policy_spec = policy_spec_from(args);
     if (const int rc = reject_unconsumed(args); rc != 0) return rc;
 
@@ -597,6 +796,12 @@ int cmd_filter(const Args& args) {
                   static_cast<unsigned long long>(sample.value));
     }
     print_shard_table(result);
+    if (tenancy.enabled()) {
+      // Shard-local tenant stats merge key-wise, so the table is the same
+      // at any thread count.
+      print_tenant_stats(result.merged.stats,
+                         TenantTable{tenancy.router.table});
+    }
     if (faulted) {
       std::size_t dead_lanes = 0;
       for (const std::uint8_t failed : result.shard_failed) {
@@ -643,7 +848,7 @@ int cmd_filter(const Args& args) {
   // --load-state are rejected as unconsumed).
   const bool load_snapshot = !load_state.empty();
   std::optional<FilterSpec> spec;
-  if (!load_snapshot) spec = parse_filter_spec(args, kind);
+  if (!load_snapshot) spec = parse_effective_filter_spec(args, kind, tenancy);
   std::unique_ptr<DropPolicy> policy = make_policy(policy_spec_from(args), 1);
   if (const int rc = reject_unconsumed(args); rc != 0) return rc;
 
@@ -766,6 +971,12 @@ int cmd_filter(const Args& args) {
   if (const AdaptiveTuner* tuner = router.tuner()) {
     std::printf("%s\n", tuner->recommendation().to_string().c_str());
   }
+  if (const HierarchicalFilter* hier = router.hierarchical_filter()) {
+    print_hierarchical_summary(*hier);
+  }
+  if (router.tenancy_enabled()) {
+    print_tenant_stats(stats, router.tenant_table());
+  }
   if (writer != nullptr) {
     std::printf("surviving packets written to %s\n", out.c_str());
   }
@@ -804,6 +1015,11 @@ int cmd_compare(const Args& args) {
   const std::size_t shards =
       static_cast<std::size_t>(args.get_int("shards", 0));
   const std::string shard_mode = shard_mode_from(args);
+  const TenancySpec tenancy = tenancy_from(args);
+  if (tenancy.enabled() && shard_mode == "shared") {
+    throw ArgError("--tenants is incompatible with --shard-mode shared "
+                   "(tenant state is shard-local by design)");
+  }
   if (const int rc = reject_unconsumed(args); rc != 0) return rc;
 
   const Trace trace = read_capture(path, nullptr);
@@ -831,13 +1047,30 @@ int cmd_compare(const Args& args) {
       margs.set("timeout",
                 std::to_string(bitmap_config.expiry_timer().to_sec()));
     }
-    const FilterSpec spec = backend.parse(margs);
+    // With --tenants every row runs behind the hierarchical tenant wrap
+    // (the hierarchical row itself just gains the tenant keys), so the
+    // comparison measures each backend as a fine tier under identical
+    // per-subscriber enforcement.
+    const bool wrapped = tenancy.enabled() && backend.name != "hierarchical";
+    if (tenancy.enabled()) {
+      margs.set("tenant-mode", tenant_mode_name(tenancy.router.table.mode));
+      if (tenancy.tenants > 0) {
+        margs.set("tenants", std::to_string(tenancy.tenants));
+      }
+      if (tenancy.cap > 0) {
+        margs.set("tenant-cap", std::to_string(tenancy.cap));
+      }
+      if (wrapped) margs.set("fine", backend.name);
+    }
+    const BackendDescriptor& parse_backend =
+        wrapped ? FilterRegistry::instance().at("hierarchical") : backend;
+    const FilterSpec spec = parse_backend.parse(margs);
     // In shared mode, shared-view-capable rows drive one concurrent
     // filter from every shard instead of a per-shard instance.
     const bool share = threads > 1 && shard_mode == "shared" &&
                        backend.has(kCapSharedView);
-    const std::string label =
-        share ? backend.name + " (shared)" : backend.name;
+    std::string label = share ? backend.name + " (shared)" : backend.name;
+    if (wrapped) label = backend.name + " (tenant)";
     if (threads > 1) {
       std::unique_ptr<ConcurrentBitmapFilter> shared_filter;
       if (share) {
@@ -846,12 +1079,13 @@ int cmd_compare(const Args& args) {
       }
       ConcurrentBitmapFilter* shared = shared_filter.get();
       const ShardRouterFactory factory =
-          [&spec, &network, seed, pd, shared](const ClientNetwork&,
-                                              std::size_t shard) {
+          [&spec, &network, &tenancy, seed, pd, shared](const ClientNetwork&,
+                                                        std::size_t shard) {
             EdgeRouterConfig config;
             config.network = network;
             config.seed = shard_seed(seed, shard);
             config.track_blocked_connections = false;
+            config.tenancy = tenancy.router;
             std::unique_ptr<StateFilter> shard_state =
                 shared != nullptr
                     ? std::unique_ptr<StateFilter>(
@@ -886,6 +1120,7 @@ int cmd_compare(const Args& args) {
     config.network = network;
     config.seed = seed;
     config.track_blocked_connections = false;
+    config.tenancy = tenancy.router;
     EdgeRouter router{config, make_state_filter(spec),
                       std::make_unique<ConstantDropPolicy>(pd)};
     constexpr std::size_t kCompareBatch = 256;
@@ -931,6 +1166,9 @@ int cmd_attack(const Args& args) {
   config.shards = static_cast<std::size_t>(args.get_int("shards", 1));
   config.occupancy_interval =
       Duration::sec(args.get_double("occupancy-interval", 1.0));
+  const TenancySpec tenancy = tenancy_from(args);
+  config.tenancy = tenancy.router;
+  config.tenant_cap = tenancy.cap;
   if (config.threads == 0) throw ArgError("--threads must be >= 1");
   if (config.shards == 0) throw ArgError("--shards must be >= 1");
   if (config.attack.intensity <= 0.0) {
@@ -999,6 +1237,12 @@ int cmd_attack(const Args& args) {
               legit.size(), scenarios.size(), config.filters.size(),
               static_cast<unsigned long long>(config.attack.seed),
               config.shards, report.summary_table().c_str());
+  const std::string tenant_rows = report.tenant_table();
+  if (!tenant_rows.empty()) {
+    std::printf("\nper-tenant attack breakdown (achieved upload vs the "
+                "%.2f Mbit/s bound):\n%s",
+                config.upload_bound_bps / 1e6, tenant_rows.c_str());
+  }
   if (!out.empty()) {
     std::FILE* f = std::fopen(out.c_str(), "wb");
     if (f == nullptr) {
@@ -1043,13 +1287,20 @@ int cmd_live(const Args& args) {
     throw ArgError("live needs exactly one capture backend: "
                    "--tap or --afpacket IFACE");
   }
-  const std::string kind = args.get_string("filter", "bitmap");
-  const FilterSpec spec = parse_filter_spec(args, kind);
+  const std::string kind = args.get_string(
+      "filter", resolve_default_filter(false, false));
+  const TenancySpec tenancy = tenancy_from(args);
+  const FilterSpec spec = parse_effective_filter_spec(args, kind, tenancy);
+  const std::string filter_label =
+      tenancy.enabled() && kind != "hierarchical"
+          ? "hierarchical(fine=" + kind + ")"
+          : kind;
 
   LiveConfig config;
   config.router.network = network_from(args);
   config.router.track_blocked_connections = args.get_flag("blocklist");
   config.router.seed = seed_from(args);
+  config.router.tenancy = tenancy.router;
   apply_health_args(args, config.router);
 
   const PolicySpec policy = policy_spec_from(args);
@@ -1130,10 +1381,10 @@ int cmd_live(const Args& args) {
   if (tap_source != nullptr) {
     std::printf("live: udp-tap on 127.0.0.1:%u (filter %s)\n",
                 static_cast<unsigned>(tap_source->local_port()),
-                kind.c_str());
+                filter_label.c_str());
   } else {
     std::printf("live: af_packet on %s (filter %s)\n", afpacket.c_str(),
-                kind.c_str());
+                filter_label.c_str());
   }
   if (!control_path.empty()) {
     std::printf("live: control socket at %s\n", control_path.c_str());
@@ -1169,6 +1420,13 @@ int cmd_live(const Args& args) {
   for (const CounterSample& sample : stats.stage_counters) {
     std::printf("  %-28s %llu\n", sample.name.c_str(),
                 static_cast<unsigned long long>(sample.value));
+  }
+  if (const HierarchicalFilter* hier =
+          datapath.router().hierarchical_filter()) {
+    print_hierarchical_summary(*hier);
+  }
+  if (datapath.router().tenancy_enabled()) {
+    print_tenant_stats(stats, datapath.router().tenant_table());
   }
   if (const ControlServer* control = datapath.control()) {
     std::printf("control: %llu connections, %llu commands, "
@@ -1264,16 +1522,23 @@ void print_usage() {
       "            --out FILE [--duration SEC] [--rate CONNS/S]\n"
       "            [--format pcap|pcapng]\n"
       "            [--bandwidth BPS] [--seed N] [--network CIDR]\n"
+      "            [--tenant-scenario flash-crowd|diurnal-swell|swarm-join\n"
+      "             --tenants N --tenant-mode subscriber|prefix24]\n"
       "  analyze   classify a pcap and print the measurement report\n"
       "            --pcap FILE [--network CIDR[,CIDR...]] [--te SEC]\n"
       "            [--top N] [--netflow FILE]\n"
       "  filter    replay a pcap through an edge filter\n"
       "            --pcap FILE [--network CIDR]\n"
       "            [--filter %s]\n"
+      "            (default bitmap-blocked; bitmap with snapshot/shared runs)\n"
       "            [--low BPS --high BPS | --pd PROB] [--blocklist]\n"
       "            [--bits N --k K --dt SEC --m M] [--hole-punching]\n"
       "            [--timeout SEC] [--retouch-fraction R --retouch-seed N]\n"
       "            [--no-close-delete] [--out FILE] [--seed N]\n"
+      "            [--tenants N] [--tenant-mode subscriber|prefix24]\n"
+      "            [--tenant-cap N] [--front bitmap|bitmap-blocked|bitmap-mt]\n"
+      "            [--front-bits N --front-k K --front-m M --front-dt SEC]\n"
+      "            [--no-digest] [--digest-bits N --digest-m M]\n"
       "            [--save-state FILE] [--load-state FILE]\n"
       "            [--tune] [--tune-target P]\n"
       "            [--threads N] [--shards S] [--shard-mode sharded|shared]\n"
@@ -1284,6 +1549,8 @@ void print_usage() {
       "  compare   run every registered filter backend side by side\n"
       "            --pcap FILE [--network CIDR] [--pd PROB] [--seed N]\n"
       "            [--bits N --k K --dt SEC --m M]\n"
+      "            [--tenants N] [--tenant-mode subscriber|prefix24]\n"
+      "            [--tenant-cap N]\n"
       "            [--threads N] [--shards S] [--shard-mode sharded|shared]\n"
       "  attack    evaluate adversarial workloads against the filters\n"
       "            [--scenario collision|saturation|rotation|forgery|all]\n"
@@ -1295,6 +1562,8 @@ void print_usage() {
       "            [--pd PROB] [--bound BPS] [--spi-timeout SEC]\n"
       "            [--saturation-occupancy U] [--mistimed]\n"
       "            [--request-rate R] [--occupancy-interval SEC]\n"
+      "            [--tenants N] [--tenant-mode subscriber|prefix24]\n"
+      "            [--tenant-cap N]\n"
       "            [--threads N] [--shards S] [--out FILE]\n"
       "  advise    size a bitmap filter for an expected load\n"
       "            [--connections N] [--bits N] [--k K] [--dt SEC]\n"
@@ -1303,6 +1572,8 @@ void print_usage() {
       "            [--filter %s]\n"
       "            [--network CIDR] [--low BPS --high BPS | --pd PROB]\n"
       "            [--blocklist] [--bits N --k K --dt SEC --m M]\n"
+      "            [--tenants N] [--tenant-mode subscriber|prefix24]\n"
+      "            [--tenant-cap N]\n"
       "            [--control PATH] [--stamp frame|arrival]\n"
       "            [--duration SEC] [--max-packets N] [--tick-ms MS]\n"
       "            [--batch N] [--out FILE] [--seed N]\n"

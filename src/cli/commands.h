@@ -30,4 +30,11 @@ int cmd_tapsend(const Args& args);
 /// Prints the usage summary.
 void print_usage();
 
+/// Backend used when --filter is omitted: the cache-resident
+/// bitmap-blocked layout, unless the run asked for a capability it does
+/// not carry (snapshot save/load, or the shared-view shard mode), in
+/// which case the classic bitmap is selected instead.
+std::string resolve_default_filter(bool wants_snapshot,
+                                   bool wants_shared_view);
+
 }  // namespace upbound::cli

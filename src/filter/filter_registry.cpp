@@ -1,7 +1,10 @@
 #include "filter/filter_registry.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
+
+#include "tenant/hierarchical_filter.h"
 
 namespace upbound {
 
@@ -82,6 +85,97 @@ BitmapFilterConfig bitmap_config_from(const FilterArgs& args) {
 
 Duration generational_window(unsigned generations, Duration interval) {
   return interval * static_cast<double>(generations - 1);
+}
+
+unsigned ceil_log2(std::uint64_t n) {
+  unsigned bits = 0;
+  while ((std::uint64_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+/// The `hierarchical` backend's argument block. The fine tier reuses the
+/// chosen backend's own argument names (bits/k/m/dt/timeout/...); the
+/// front tier is derived so its no-false-negative window covers the fine
+/// tier's maximum admission window exactly -- the condition that makes
+/// the front short-circuit verdict-exact.
+HierarchicalFilterConfig hierarchical_config_from(const FilterArgs& args) {
+  HierarchicalFilterConfig config;
+
+  const std::string mode_text =
+      args.value("tenant-mode").value_or("subscriber");
+  const std::optional<TenantMode> mode = parse_tenant_mode(mode_text);
+  if (!mode.has_value()) {
+    throw std::invalid_argument(
+        "--tenant-mode: expected 'subscriber' or 'prefix24', got '" +
+        mode_text + "'");
+  }
+  config.table.mode = *mode;
+
+  const std::string fine_name = args.value("fine").value_or("bitmap");
+  if (fine_name == "hierarchical") {
+    throw std::invalid_argument("--fine: hierarchical filters cannot nest");
+  }
+  config.fine = FilterRegistry::instance().at(fine_name).parse(args);
+  config.fine_window = filter_spec_max_window(config.fine);
+
+  // --tenants is a sizing hint: it widens the default front filter and
+  // LRU cap so the shared tier absorbs the aggregate without saturating.
+  const std::uint64_t tenants_hint = args.get_u64("tenants", 0);
+  config.fine_cap = args.get_u64(
+      "tenant-cap",
+      tenants_hint > 0 ? std::max<std::uint64_t>(1, 2 * tenants_hint)
+                       : 1024);
+
+  const std::string front_name =
+      args.value("front").value_or("bitmap-blocked");
+  BitmapFilterConfig front;
+  const unsigned fine_bits = args.get_unsigned("bits", 20);
+  front.log2_bits = args.get_unsigned(
+      "front-bits",
+      std::clamp(fine_bits + (tenants_hint > 0 ? ceil_log2(tenants_hint)
+                                               : 2u),
+                 9u, 26u));
+  front.vector_count = args.get_unsigned("front-k", 5);
+  front.hash_count = args.get_unsigned("front-m", 3);
+  if (front.vector_count < 2) {
+    throw std::invalid_argument("--front-k: must be >= 2");
+  }
+  if (const std::optional<std::string> dt = args.value("front-dt")) {
+    front.rotate_interval = Duration::sec(args.get_double("front-dt", 0.0));
+  } else {
+    // Ceiling division in microseconds: (front-k - 1) * dt >= fine
+    // window with no floating-point rounding shortfall.
+    const std::int64_t per =
+        (config.fine_window.count_usec() + front.vector_count - 2) /
+        (front.vector_count - 1);
+    front.rotate_interval = Duration::usec(per);
+  }
+  if (args.flag("hole-punching")) front.key_mode = KeyMode::kHolePunching;
+  if (front_name == "bitmap") {
+    config.front = bitmap_filter_spec(front);
+  } else if (front_name == "bitmap-blocked") {
+    config.front = blocked_bitmap_filter_spec(front);
+  } else if (front_name == "bitmap-mt") {
+    config.front = concurrent_bitmap_filter_spec(front);
+  } else {
+    throw std::invalid_argument(
+        "--front: expected bitmap|bitmap-blocked|bitmap-mt, got '" +
+        front_name + "'");
+  }
+
+  if (!args.flag("no-digest")) {
+    StateDigestConfig digest;
+    digest.log2_bits = args.get_unsigned("digest-bits", 12);
+    digest.hash_count = args.get_unsigned("digest-m", 4);
+    if (args.flag("hole-punching")) {
+      digest.key_mode = KeyMode::kHolePunching;
+    }
+    digest.validate();
+    config.digest = digest;
+  }
+
+  config.validate();
+  return config;
 }
 
 std::vector<BackendDescriptor> build_backends() {
@@ -329,6 +423,40 @@ std::vector<BackendDescriptor> build_backends() {
     d.guaranteed_window = [](const FilterSpec& spec) {
       const auto& c = spec.config_as<CountingFilterConfig>();
       return generational_window(c.generation_count, c.rotate_interval);
+    };
+    backends.push_back(std::move(d));
+  }
+
+  {
+    BackendDescriptor d;
+    d.name = "hierarchical";
+    d.summary =
+        "two-level multi-tenant: shared front tier + per-subscriber fine "
+        "filters (any backend) with digest exchange";
+    // kCapNoFalseNegative describes the default configuration (bitmap
+    // fine tier, front window covering it, LRU cap unsaturated); a
+    // retouched fine tier or cap pressure carries that tier's trade
+    // through, exactly as the flat deployment would. Lookups touch LRU
+    // recency, so no kCapPureLookup.
+    d.capabilities = kCapOccupancy | kCapNoFalseNegative | kCapTenancy;
+    d.parse = [](const FilterArgs& args) {
+      return spec_of("hierarchical", hierarchical_config_from(args));
+    };
+    d.make = [](const FilterSpec& spec) -> std::unique_ptr<StateFilter> {
+      return std::make_unique<HierarchicalFilter>(
+          spec.config_as<HierarchicalFilterConfig>());
+    };
+    d.geometry = [](const FilterSpec& spec) -> std::optional<FilterGeometry> {
+      // The shared front tier's geometry: the occupancy signal the tuner
+      // folds comes from there.
+      const auto& c = spec.config_as<HierarchicalFilterConfig>();
+      return c.front.backend->geometry(c.front);
+    };
+    d.guaranteed_window = [](const FilterSpec& spec) {
+      // The fine tier decides admissions, so its window is the binding
+      // one (the front is constructed to cover it).
+      const auto& c = spec.config_as<HierarchicalFilterConfig>();
+      return c.fine.backend->guaranteed_window(c.fine);
     };
     backends.push_back(std::move(d));
   }

@@ -59,6 +59,11 @@ enum FilterCapability : std::uint32_t {
   /// when it is enabled (util/hash.h set_simd_hash_enabled); verdicts are
   /// bit-identical with the kernel on or off.
   kCapSimdBatch = 1u << 7,
+  /// Multi-tenant backend: per-subscriber fine state behind a shared
+  /// front tier, per-tenant telemetry/introspection, and the
+  /// inter-router digest exchange path (gates the control socket's
+  /// `stats tenants` and the per-tenant attack report).
+  kCapTenancy = 1u << 8,
 };
 
 /// Abstract key-value view of backend arguments. Decouples the parsers

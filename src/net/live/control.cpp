@@ -212,8 +212,11 @@ ControlReply ControlServer::execute(const std::string& line,
     return ControlReply::good("bye");
   }
   if (cmd == "stats") {
+    if (tokens.size() == 2 && tokens[1] == "tenants") {
+      return api_->control_stats_tenants();
+    }
     if (tokens.size() != 1) {
-      return ControlReply::err("bad-argument", "stats takes no arguments");
+      return ControlReply::err("bad-argument", "usage: stats [tenants]");
     }
     return api_->control_stats();
   }

@@ -10,11 +10,15 @@
 //                             armed health monitor)
 //   snapshot <path>           save filter state (kCapSnapshot backends)
 //   stats                     one-line JSON of live datapath counters
+//   stats tenants             one-line JSON per-tenant summary (tenant
+//                             count, live fine filters, instantiations,
+//                             evictions); kCapTenancy backends only
 //   quit                      drain in-flight frames and stop the loop
 //
 // Replies: "OK <detail>" or "ERR <code> <detail>". Codes are stable
 // protocol surface: unknown-command, bad-argument, capability:rotate,
-// capability:snapshot, unsupported:health, line-too-long, io.
+// capability:snapshot, capability:tenancy, unsupported:health,
+// line-too-long, io.
 //
 // The server is hardened against hostile or broken clients: split reads
 // reassemble, oversized lines are rejected and skipped to the next
@@ -61,6 +65,13 @@ class ControlApi {
   virtual ControlReply control_set_unhealthy_stance(UnhealthyStance s) = 0;
   virtual ControlReply control_snapshot(const std::string& path) = 0;
   virtual ControlReply control_stats() = 0;
+  /// Per-tenant summary of a tenancy-capable filter. The default is the
+  /// typed capability error, so fakes and non-tenant datapaths answer
+  /// consistently without every implementer spelling it.
+  virtual ControlReply control_stats_tenants() {
+    return ControlReply::err("capability:tenancy",
+                             "filter has no tenant table");
+  }
   /// Called AFTER the "OK bye" reply is written, so clients always see
   /// the acknowledgement.
   virtual void control_quit() = 0;

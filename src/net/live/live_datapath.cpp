@@ -9,6 +9,7 @@
 #include "filter/bitmap_filter.h"
 #include "filter/drop_policy.h"
 #include "filter/snapshot.h"
+#include "tenant/hierarchical_filter.h"
 
 namespace upbound::live {
 
@@ -361,6 +362,40 @@ ControlReply LiveDatapath::control_stats() {
       static_cast<unsigned long long>(live_stats_.batches),
       static_cast<unsigned long long>(live_stats_.ticks),
       router_->uplink_bits_per_sec(at));
+  return ControlReply::good(buf);
+}
+
+ControlReply LiveDatapath::control_stats_tenants() {
+  // Capability-gated like `set dt`/`snapshot`: the declared backend
+  // capability decides, so the answer matches the registry's contract
+  // even if the running filter type were to change.
+  if (spec_.backend == nullptr || !spec_.backend->has(kCapTenancy)) {
+    return ControlReply::err(
+        "capability:tenancy",
+        "filter '" + std::string{spec_.backend != nullptr
+                                     ? spec_.backend->name
+                                     : "?"} +
+            "' has no tenant table (" + names_with_cap(kCapTenancy) + ")");
+  }
+  const auto* hier =
+      dynamic_cast<const HierarchicalFilter*>(&router_->filter());
+  if (hier == nullptr) {
+    return ControlReply::err("capability:tenancy",
+                             "filter has no tenant table");
+  }
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"tenants\":%zu,\"fine_live\":%zu,\"fine_instantiations\":%llu,"
+      "\"fine_evictions\":%llu,\"front_absorbed\":%llu,"
+      "\"digest_admits\":%llu,\"digest_epoch\":%llu}",
+      hier->tenant_count(), hier->live_fine_filters(),
+      static_cast<unsigned long long>(hier->fine_instantiations()),
+      static_cast<unsigned long long>(hier->fine_evictions()),
+      static_cast<unsigned long long>(hier->front_absorbed()),
+      static_cast<unsigned long long>(hier->digest_admits()),
+      static_cast<unsigned long long>(
+          hier->digests_enabled() ? hier->digest_epoch() : 0));
   return ControlReply::good(buf);
 }
 

@@ -128,6 +128,7 @@ class LiveDatapath final : public ControlApi {
   ControlReply control_set_unhealthy_stance(UnhealthyStance s) override;
   ControlReply control_snapshot(const std::string& path) override;
   ControlReply control_stats() override;
+  ControlReply control_stats_tenants() override;
   void control_quit() override;
 
  private:

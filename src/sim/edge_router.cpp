@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "fault/fault_injector.h"  // kFaultsCompiled
+#include "tenant/hierarchical_filter.h"
 
 namespace upbound {
 
@@ -14,6 +15,7 @@ EdgeRouter::EdgeRouter(EdgeRouterConfig config,
       filter_(std::move(filter)),
       policy_(std::move(policy)),
       meter_(config_.meter_window),
+      tenant_table_(config_.tenancy.table),
       blocklist_(config_.blocklist_ttl),
       rng_(config_.seed),
       passed_out_(config_.series_bucket),
@@ -47,6 +49,10 @@ EdgeRouter::EdgeRouter(EdgeRouterConfig config,
   if (filter_ == nullptr || policy_ == nullptr) {
     throw std::invalid_argument("EdgeRouter: filter and policy required");
   }
+  // Telemetry-only downcast: the tenancy.* gauges and the control
+  // socket's per-tenant stats read the hierarchical filter's
+  // introspection counters. The decision path never touches hier_.
+  hier_ = dynamic_cast<HierarchicalFilter*>(filter_.get());
   if constexpr (kFaultsCompiled) {
     if (config_.health.enabled()) {
       health_.emplace(config_.health);
@@ -287,6 +293,7 @@ void EdgeRouter::process_outbound_run(PacketBatch run,
       ctr_blocklist_hits_.inc();
       ++stats_.suppressed_outbound_packets;
       stats_.suppressed_outbound_bytes += pkt.wire_size();
+      if (config_.tenancy.enabled) tenant_note_suppressed(pkt);
       decisions[p] = RouterDecision::kDroppedBlocked;
       continue;
     }
@@ -294,6 +301,7 @@ void EdgeRouter::process_outbound_run(PacketBatch run,
     ++stats_.outbound_packets;
     stats_.outbound_bytes += pkt.wire_size();
     passed_out_.add(pkt.timestamp, static_cast<double>(pkt.wire_size()));
+    if (config_.tenancy.enabled) tenant_note_outbound(pkt);
     decisions[p] = RouterDecision::kPassedOutbound;
   }
   if (sample) hist_forward_ns_.record(telemetry_clock_ns() - forward_t0);
@@ -364,6 +372,9 @@ void EdgeRouter::process_inbound_run(PacketBatch run,
       ++stats_.inbound_dropped_packets;
       stats_.inbound_dropped_bytes += pkt.wire_size();
       ++stats_.blocked_drops;
+      if (config_.tenancy.enabled) {
+        tenant_note_inbound_dropped(pkt, /*blocked=*/true, /*policy=*/false);
+      }
       decisions[p] = RouterDecision::kDroppedBlocked;
       continue;
     }
@@ -404,10 +415,15 @@ RouterDecision EdgeRouter::process_one(const PacketRecord& pkt,
       if (dir == Direction::kOutbound) {
         ++stats_.suppressed_outbound_packets;
         stats_.suppressed_outbound_bytes += pkt.wire_size();
+        if (config_.tenancy.enabled) tenant_note_suppressed(pkt);
       } else {
         ++stats_.inbound_dropped_packets;
         stats_.inbound_dropped_bytes += pkt.wire_size();
         ++stats_.blocked_drops;
+        if (config_.tenancy.enabled) {
+          tenant_note_inbound_dropped(pkt, /*blocked=*/true,
+                                      /*policy=*/false);
+        }
       }
       return RouterDecision::kDroppedBlocked;
     }
@@ -420,6 +436,7 @@ RouterDecision EdgeRouter::process_one(const PacketRecord& pkt,
     ++stats_.outbound_packets;
     stats_.outbound_bytes += pkt.wire_size();
     passed_out_.add(now, static_cast<double>(pkt.wire_size()));
+    if (config_.tenancy.enabled) tenant_note_outbound(pkt);
     return RouterDecision::kPassedOutbound;
   }
 
@@ -436,7 +453,52 @@ RouterDecision EdgeRouter::admit_inbound(const PacketRecord& pkt) {
   ++stats_.inbound_passed_packets;
   stats_.inbound_passed_bytes += pkt.wire_size();
   passed_in_.add(pkt.timestamp, static_cast<double>(pkt.wire_size()));
+  if (config_.tenancy.enabled) tenant_note_inbound_passed(pkt);
   return RouterDecision::kPassedInbound;
+}
+
+BandwidthMeter& EdgeRouter::tenant_meter(TenantId tenant) {
+  const auto it = tenant_meters_.find(tenant);
+  if (it != tenant_meters_.end()) return it->second;
+  return tenant_meters_.try_emplace(tenant, config_.meter_window)
+      .first->second;
+}
+
+double EdgeRouter::tenant_uplink_bits_per_sec(TenantId tenant, SimTime now) {
+  const auto it = tenant_meters_.find(tenant);
+  return it == tenant_meters_.end() ? 0.0 : it->second.bits_per_sec(now);
+}
+
+void EdgeRouter::tenant_note_outbound(const PacketRecord& pkt) {
+  const TenantId tenant = tenant_table_.tenant_of_outbound(pkt.tuple);
+  tenant_meter(tenant).add(pkt.timestamp, pkt.wire_size());
+  TenantStats& slice = stats_.tenants[tenant];
+  ++slice.outbound_packets;
+  slice.outbound_bytes += pkt.wire_size();
+}
+
+void EdgeRouter::tenant_note_suppressed(const PacketRecord& pkt) {
+  TenantStats& slice =
+      stats_.tenants[tenant_table_.tenant_of_outbound(pkt.tuple)];
+  ++slice.suppressed_outbound_packets;
+  slice.suppressed_outbound_bytes += pkt.wire_size();
+}
+
+void EdgeRouter::tenant_note_inbound_passed(const PacketRecord& pkt) {
+  TenantStats& slice =
+      stats_.tenants[tenant_table_.tenant_of_inbound(pkt.tuple)];
+  ++slice.inbound_passed_packets;
+  slice.inbound_passed_bytes += pkt.wire_size();
+}
+
+void EdgeRouter::tenant_note_inbound_dropped(const PacketRecord& pkt,
+                                             bool blocked, bool policy) {
+  TenantStats& slice =
+      stats_.tenants[tenant_table_.tenant_of_inbound(pkt.tuple)];
+  ++slice.inbound_dropped_packets;
+  slice.inbound_dropped_bytes += pkt.wire_size();
+  if (blocked) ++slice.blocked_drops;
+  if (policy) ++slice.policy_drops;
 }
 
 RouterDecision EdgeRouter::drop_or_pass_inbound(const PacketRecord& pkt,
@@ -453,14 +515,30 @@ RouterDecision EdgeRouter::drop_or_pass_inbound(const PacketRecord& pkt,
     ctr_health_fail_closed_->inc();
     ++stats_.inbound_dropped_packets;
     stats_.inbound_dropped_bytes += pkt.wire_size();
+    if (config_.tenancy.enabled) {
+      tenant_note_inbound_dropped(pkt, /*blocked=*/false, /*policy=*/false);
+    }
     return RouterDecision::kDroppedByPolicy;
   }
   ctr_policy_evaluations_.inc();
-  const double p_drop = policy_->drop_probability(meter_.bits_per_sec(now));
+  // Eq. 1 input b: the aggregate uplink throughput -- or, with tenancy
+  // on, the throughput of the tenant this inbound packet targets, so one
+  // subscriber's upload burst cannot raise another subscriber's P_d.
+  // Either way exactly one rng draw happens per evaluation, so decision
+  // sequences stay reproducible for a given seed and packet stream.
+  const double uplink =
+      config_.tenancy.enabled
+          ? tenant_uplink_bits_per_sec(
+                tenant_table_.tenant_of_inbound(pkt.tuple), now)
+          : meter_.bits_per_sec(now);
+  const double p_drop = policy_->drop_probability(uplink);
   if (rng_.next_bool(p_drop)) {
     ctr_policy_drops_.inc();
     ++stats_.inbound_dropped_packets;
     stats_.inbound_dropped_bytes += pkt.wire_size();
+    if (config_.tenancy.enabled) {
+      tenant_note_inbound_dropped(pkt, /*blocked=*/false, /*policy=*/true);
+    }
     if (config_.track_blocked_connections) {
       ctr_blocklist_inserts_.inc();
       blocklist_.block(pkt.tuple, now);
@@ -469,6 +547,20 @@ RouterDecision EdgeRouter::drop_or_pass_inbound(const PacketRecord& pkt,
   }
   ctr_policy_passes_.inc();
   return admit_inbound(pkt);
+}
+
+TenantStats& TenantStats::merge(const TenantStats& other) {
+  outbound_packets += other.outbound_packets;
+  outbound_bytes += other.outbound_bytes;
+  inbound_passed_packets += other.inbound_passed_packets;
+  inbound_passed_bytes += other.inbound_passed_bytes;
+  inbound_dropped_packets += other.inbound_dropped_packets;
+  inbound_dropped_bytes += other.inbound_dropped_bytes;
+  blocked_drops += other.blocked_drops;
+  policy_drops += other.policy_drops;
+  suppressed_outbound_packets += other.suppressed_outbound_packets;
+  suppressed_outbound_bytes += other.suppressed_outbound_bytes;
+  return *this;
 }
 
 EdgeRouterStats& EdgeRouterStats::merge(const EdgeRouterStats& other) {
@@ -484,6 +576,11 @@ EdgeRouterStats& EdgeRouterStats::merge(const EdgeRouterStats& other) {
   ignored_packets += other.ignored_packets;
   out_of_order_packets += other.out_of_order_packets;
   merge_counter_snapshot(stage_counters, other.stage_counters);
+  // Key-wise: tenants are keyed by address-derived id, never a per-shard
+  // index, so merging shard maps in any order yields the same aggregate.
+  for (const auto& [tenant, slice] : other.tenants) {
+    tenants[tenant].merge(slice);
+  }
   return *this;
 }
 
@@ -506,6 +603,35 @@ MetricsSnapshot EdgeRouter::metrics_snapshot() {
   }
   if (kFaultsCompiled && health_.has_value()) {
     metrics_.gauge("health.state").set(health_->degraded() ? 1.0 : 0.0);
+  }
+  if (hier_ != nullptr) {
+    // Two-level tenant filter introspection. Registered only when the
+    // backend is hierarchical, so every other router's metrics output is
+    // unchanged by the feature existing.
+    metrics_.gauge("tenancy.tenants")
+        .set(static_cast<double>(hier_->tenant_count()));
+    metrics_.gauge("tenancy.fine_live")
+        .set(static_cast<double>(hier_->live_fine_filters()));
+    metrics_.gauge("tenancy.fine_instantiations")
+        .set(static_cast<double>(hier_->fine_instantiations()));
+    metrics_.gauge("tenancy.fine_evictions")
+        .set(static_cast<double>(hier_->fine_evictions()));
+    metrics_.gauge("tenancy.front_absorbed")
+        .set(static_cast<double>(hier_->front_absorbed()));
+    metrics_.gauge("tenancy.digest_admits")
+        .set(static_cast<double>(hier_->digest_admits()));
+    // Per-tenant occupancy gauges, bounded so a flash crowd cannot blow
+    // up the metrics namespace: beyond 32 live fine filters only the
+    // aggregate gauges above are emitted.
+    constexpr std::size_t kMaxTenantGauges = 32;
+    const auto occupancies = hier_->tenant_occupancies();
+    if (occupancies.size() <= kMaxTenantGauges) {
+      for (const auto& [tenant, occupancy] : occupancies) {
+        metrics_
+            .gauge("tenancy.occupancy." + tenant_table_.label(tenant))
+            .set(occupancy);
+      }
+    }
   }
   if (tuner_.has_value()) {
     const TunerRecommendation& rec = tuner_->recommendation();

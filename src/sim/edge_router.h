@@ -19,6 +19,7 @@
 // through a CounterRegistry.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -31,6 +32,7 @@
 #include "filter/state_filter.h"
 #include "net/direction.h"
 #include "net/packet_batch.h"
+#include "tenant/tenant_table.h"
 #include "util/counters.h"
 #include "util/metrics.h"
 #include "util/rng.h"
@@ -38,12 +40,22 @@
 
 namespace upbound {
 
+class HierarchicalFilter;
+
 enum class RouterDecision {
   kPassedOutbound,
   kPassedInbound,
   kDroppedByPolicy,    // no state and the P_d coin said drop
   kDroppedBlocked,     // connection previously blocked (Section 5.3 rule)
   kIgnored,            // local/transit: not the edge's business
+};
+
+/// Switches on per-subscriber accounting and enforcement; see the
+/// EdgeRouterConfig::tenancy field for semantics.
+struct TenancyConfig {
+  bool enabled = false;
+  /// How client addresses map to tenants (per-subscriber or per-/24).
+  TenantTableConfig table;
 };
 
 struct EdgeRouterConfig {
@@ -81,6 +93,46 @@ struct EdgeRouterConfig {
   /// the constructor throws otherwise. Disabled by default, and the
   /// tuner.* gauges are never registered while disabled.
   TunerConfig tuner;
+  /// Per-subscriber accounting and enforcement (the multi-tenant edge of
+  /// src/tenant/). When enabled, every pass/drop decision is additionally
+  /// attributed to the client-side tenant of its tuple, each tenant gets
+  /// its own uplink BandwidthMeter (window = meter_window), and the Eq. 1
+  /// input b becomes the *tenant's* uplink throughput -- one subscriber's
+  /// swarm can no longer push every subscriber's P_d toward the knee.
+  /// Disabled (the default) leaves the datapath bit-identical to a build
+  /// of this struct without the field. Tenant attribution is a pure
+  /// function of the tuple (tenant/tenant_table.h), so per-tenant stats
+  /// are shard-local under parallel replay and merge deterministically.
+  TenancyConfig tenancy;
+};
+
+/// Per-tenant slice of the router's decision bookkeeping. Keys of the
+/// EdgeRouterStats::tenants map are TenantIds (subscriber address or /24
+/// network, host order), so iteration order -- and every report built
+/// from it -- is deterministic.
+struct TenantStats {
+  std::uint64_t outbound_packets = 0;
+  std::uint64_t outbound_bytes = 0;
+  std::uint64_t inbound_passed_packets = 0;
+  std::uint64_t inbound_passed_bytes = 0;
+  std::uint64_t inbound_dropped_packets = 0;
+  std::uint64_t inbound_dropped_bytes = 0;
+  std::uint64_t blocked_drops = 0;
+  std::uint64_t policy_drops = 0;
+  std::uint64_t suppressed_outbound_packets = 0;
+  std::uint64_t suppressed_outbound_bytes = 0;
+
+  bool operator==(const TenantStats&) const = default;
+
+  TenantStats& merge(const TenantStats& other);
+
+  double inbound_drop_rate() const {
+    const std::uint64_t total =
+        inbound_passed_packets + inbound_dropped_packets;
+    return total == 0 ? 0.0
+                      : static_cast<double>(inbound_dropped_packets) /
+                            static_cast<double>(total);
+  }
 };
 
 struct EdgeRouterStats {
@@ -103,6 +155,9 @@ struct EdgeRouterStats {
   /// Per-stage datapath counters (classify./blocklist./state./policy.*),
   /// snapshotted from the router's CounterRegistry by stats().
   CounterSnapshot stage_counters;
+  /// Per-tenant decision slices; empty unless tenancy is enabled. Ordered
+  /// by TenantId, so reports and merges are deterministic.
+  std::map<TenantId, TenantStats> tenants;
 
   bool operator==(const EdgeRouterStats&) const = default;
 
@@ -167,8 +222,21 @@ class EdgeRouter {
   const TimeSeries& passed_outbound_series() const { return passed_out_; }
   const TimeSeries& passed_inbound_series() const { return passed_in_; }
 
-  /// Current uplink throughput estimate (the Eq. 1 input b).
+  /// Current uplink throughput estimate (the Eq. 1 input b when tenancy
+  /// is disabled; always the aggregate uplink series either way).
   double uplink_bits_per_sec(SimTime now) { return meter_.bits_per_sec(now); }
+
+  /// Whether per-tenant accounting/enforcement is on.
+  bool tenancy_enabled() const { return config_.tenancy.enabled; }
+  /// The tenant mapping in effect (valid regardless of tenancy.enabled).
+  const TenantTable& tenant_table() const { return tenant_table_; }
+  /// The tenant's uplink throughput estimate (its Eq. 1 input b). A
+  /// tenant with no meter yet -- no outbound traffic seen -- reads 0.
+  double tenant_uplink_bits_per_sec(TenantId tenant, SimTime now);
+  /// The filter as a HierarchicalFilter when the backend is the
+  /// two-level tenant filter, else nullptr. Telemetry-only seam: the
+  /// datapath itself never branches on it.
+  const HierarchicalFilter* hierarchical_filter() const { return hier_; }
 
   /// Advances the router's notion of time without a packet: the filter's
   /// rotation schedule fires and metered traffic ages out of the Eq. 1
@@ -221,10 +289,30 @@ class EdgeRouter {
   /// so sampling is deterministic for a given packet/batch sequence.
   void tuner_poll();
 
+  /// Tenancy attribution shared by the batched and scalar paths. Only
+  /// called when tenancy is enabled; the packet's timestamp must already
+  /// be monotonic (callers clamp before attributing).
+  void tenant_note_outbound(const PacketRecord& pkt);
+  void tenant_note_suppressed(const PacketRecord& pkt);
+  void tenant_note_inbound_passed(const PacketRecord& pkt);
+  void tenant_note_inbound_dropped(const PacketRecord& pkt,
+                                   bool blocked, bool policy);
+  /// The tenant's meter, created on first touch (window = meter_window).
+  BandwidthMeter& tenant_meter(TenantId tenant);
+
   EdgeRouterConfig config_;
   std::unique_ptr<StateFilter> filter_;
   std::unique_ptr<DropPolicy> policy_;
   BandwidthMeter meter_;
+  /// Tuple -> tenant mapping; constructed always (it is stateless and
+  /// cheap), consulted only when tenancy is enabled.
+  TenantTable tenant_table_;
+  /// Per-tenant uplink meters backing the per-tenant Eq. 1 input.
+  /// Ordered so metrics iteration is deterministic.
+  std::map<TenantId, BandwidthMeter> tenant_meters_;
+  /// Set iff the filter is the hierarchical tenant backend; feeds the
+  /// tenancy.* gauges in metrics_snapshot().
+  HierarchicalFilter* hier_ = nullptr;
   BlockList blocklist_;
   Rng rng_;
   EdgeRouterStats stats_;

@@ -1,0 +1,233 @@
+#include "sim/tenant_scenarios.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace upbound {
+
+const char* tenant_scenario_name(TenantScenarioKind kind) {
+  switch (kind) {
+    case TenantScenarioKind::kFlashCrowd:
+      return "flash-crowd";
+    case TenantScenarioKind::kDiurnalSwell:
+      return "diurnal-swell";
+    case TenantScenarioKind::kSwarmJoin:
+      return "swarm-join";
+  }
+  return "?";
+}
+
+bool parse_tenant_scenario(const std::string& name, TenantScenarioKind* out) {
+  if (name == "flash-crowd" || name == "flash") {
+    *out = TenantScenarioKind::kFlashCrowd;
+  } else if (name == "diurnal-swell" || name == "diurnal") {
+    *out = TenantScenarioKind::kDiurnalSwell;
+  } else if (name == "swarm-join" || name == "swarm") {
+    *out = TenantScenarioKind::kSwarmJoin;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::vector<TenantScenarioKind> all_tenant_scenarios() {
+  return {TenantScenarioKind::kFlashCrowd, TenantScenarioKind::kDiurnalSwell,
+          TenantScenarioKind::kSwarmJoin};
+}
+
+namespace {
+
+constexpr std::uint32_t kResponsePayload = 1200;
+constexpr Duration kResponseDelay = Duration::sec(0.04);
+
+/// Emits exchanges for one subscriber and books them into the shared
+/// ground truth under the scenario's tenant mapping.
+class Emitter {
+ public:
+  Emitter(const TenantScenarioConfig& config, TenantScenarioTrace& out)
+      : config_(config),
+        table_(TenantTableConfig{config.mode}),
+        out_(out) {}
+
+  /// One request/response exchange at `t`: outbound request (payload
+  /// `out_payload`), inbound response, and -- with unsolicited_prob -- one
+  /// inbound packet from a peer this subscriber never contacted (the
+  /// stateless-inbound traffic the per-tenant Eq. 1 policy meters).
+  void exchange(SimTime t, Ipv4Addr client, std::uint32_t out_payload,
+                Rng& rng) {
+    const Ipv4Addr peer = next_peer();
+    const auto client_port =
+        static_cast<std::uint16_t>(1024 + rng.next_below(60000));
+    FiveTuple request{Protocol::kUdp, client, client_port, peer, 6881};
+
+    PacketRecord out_pkt;
+    out_pkt.timestamp = t;
+    out_pkt.tuple = request;
+    out_pkt.payload_size = out_payload;
+    book_outbound(out_pkt);
+
+    PacketRecord in_pkt;
+    in_pkt.timestamp = t + kResponseDelay;
+    in_pkt.tuple = request.inverse();
+    in_pkt.payload_size = kResponsePayload;
+    book_inbound(in_pkt, /*unsolicited=*/false);
+
+    if (rng.next_bool(config_.unsolicited_prob)) {
+      PacketRecord probe;
+      probe.timestamp = t + kResponseDelay + kResponseDelay;
+      probe.tuple = FiveTuple{Protocol::kUdp, next_peer(), 6881, client,
+                              client_port};
+      probe.payload_size = kResponsePayload;
+      book_inbound(probe, /*unsolicited=*/true);
+    }
+  }
+
+ private:
+  /// Fresh external peer addresses from the 198.18.0.0/15 benchmark
+  /// range -- never inside any subscriber prefix.
+  Ipv4Addr next_peer() {
+    const std::uint32_t i = peer_counter_++;
+    return Ipv4Addr{(std::uint32_t{198} << 24) | (std::uint32_t{18} << 16) |
+                    (i & 0x1ffffu)};
+  }
+
+  void book_outbound(const PacketRecord& pkt) {
+    TenantGroundTruth& truth = out_.truth[table_.tenant_of_outbound(pkt.tuple)];
+    ++truth.outbound_packets;
+    truth.outbound_bytes += pkt.wire_size();
+    out_.packets.push_back(pkt);
+  }
+
+  void book_inbound(const PacketRecord& pkt, bool unsolicited) {
+    TenantGroundTruth& truth = out_.truth[table_.tenant_of_inbound(pkt.tuple)];
+    ++truth.inbound_packets;
+    truth.inbound_bytes += pkt.wire_size();
+    if (unsolicited) ++truth.unsolicited_inbound;
+    out_.packets.push_back(pkt);
+  }
+
+  const TenantScenarioConfig& config_;
+  TenantTable table_;
+  TenantScenarioTrace& out_;
+  std::uint32_t peer_counter_ = 0;
+};
+
+/// The i-th subscriber's address. Per-prefix24 mode strides whole /24s so
+/// every tenant is a distinct prefix (and a distinct TenantId).
+Ipv4Addr subscriber_addr(const TenantScenarioConfig& config, std::uint64_t i) {
+  const std::uint64_t stride =
+      config.mode == TenantMode::kPerPrefix24 ? 256 : 1;
+  const std::uint64_t offset = i * stride + 2;  // skip .0/.1
+  if (offset >= config.subscribers.size()) {
+    throw std::invalid_argument(
+        "generate_tenant_scenario: subscriber pool " +
+        config.subscribers.to_string() + " too small for " +
+        std::to_string(i + 1) + " tenants");
+  }
+  return config.subscribers.host(offset);
+}
+
+/// Emits one subscriber's exchanges over [start, end) as a thinned
+/// Poisson stream: arrivals at `peak_rate`, kept with probability
+/// rate(t)/peak_rate. `rate` must never exceed `peak_rate`.
+template <typename RateFn>
+void emit_stream(Emitter& emitter, Ipv4Addr client, SimTime start, SimTime end,
+                 double peak_rate, std::uint32_t out_payload, Rng rng,
+                 RateFn rate) {
+  if (peak_rate <= 0.0) return;
+  SimTime t = start;
+  for (;;) {
+    const double u = rng.next_double();
+    const double gap_sec = -std::log1p(-u) / peak_rate;
+    t += Duration::sec(gap_sec);
+    if (t >= end) return;
+    if (rng.next_double() * peak_rate <= rate(t)) {
+      emitter.exchange(t, client, out_payload, rng);
+    }
+  }
+}
+
+constexpr std::uint32_t kRequestPayload = 600;
+
+}  // namespace
+
+TenantScenarioTrace generate_tenant_scenario(
+    TenantScenarioKind kind, const TenantScenarioConfig& config) {
+  TenantScenarioTrace out;
+  out.network.add_prefix(config.subscribers);
+  Emitter emitter{config, out};
+  Rng root{config.seed};
+  const SimTime start = SimTime::origin();
+  const SimTime end = start + config.duration;
+  const double base = config.exchanges_per_sec;
+
+  switch (kind) {
+    case TenantScenarioKind::kFlashCrowd: {
+      for (std::uint64_t i = 0; i < config.tenants; ++i) {
+        emit_stream(emitter, subscriber_addr(config, i), start, end, base,
+                    kRequestPayload, root.fork(i),
+                    [&](SimTime) { return base; });
+      }
+      // The crowd: never-seen subscribers, all active only inside the
+      // burst window, each at the steady per-tenant rate.
+      const auto crowd = static_cast<std::uint64_t>(
+          std::llround(config.flash_tenant_multiple *
+                       static_cast<double>(config.tenants)));
+      const SimTime burst_start =
+          start + config.duration * config.flash_start_frac;
+      const SimTime burst_end = start + config.duration * config.flash_end_frac;
+      for (std::uint64_t i = 0; i < crowd; ++i) {
+        emit_stream(emitter, subscriber_addr(config, config.tenants + i),
+                    burst_start, burst_end, base, kRequestPayload,
+                    root.fork(config.tenants + i),
+                    [&](SimTime) { return base; });
+      }
+      break;
+    }
+    case TenantScenarioKind::kDiurnalSwell: {
+      // Rate swings sinusoidally between base/swell_ratio and base over
+      // one full "day" spanning the trace.
+      const double trough = base / std::max(1.0, config.swell_ratio);
+      const double span_sec = config.duration.to_sec();
+      const auto rate = [&](SimTime t) {
+        const double phase = (t - start).to_sec() / span_sec;
+        const double wave =
+            0.5 - 0.5 * std::cos(2.0 * std::numbers::pi * phase);
+        return trough + (base - trough) * wave;
+      };
+      for (std::uint64_t i = 0; i < config.tenants; ++i) {
+        emit_stream(emitter, subscriber_addr(config, i), start, end, base,
+                    kRequestPayload, root.fork(i), rate);
+      }
+      break;
+    }
+    case TenantScenarioKind::kSwarmJoin: {
+      // Tenant 0 ramps linearly to swarm_final_multiple x base with
+      // upload-sized payloads; everyone else idles at the steady rate.
+      const double peak = base * std::max(1.0, config.swarm_final_multiple);
+      const double span_sec = config.duration.to_sec();
+      emit_stream(emitter, subscriber_addr(config, 0), start, end, peak,
+                  config.swarm_payload, root.fork(0), [&](SimTime t) {
+                    return peak * (t - start).to_sec() / span_sec;
+                  });
+      for (std::uint64_t i = 1; i < config.tenants; ++i) {
+        emit_stream(emitter, subscriber_addr(config, i), start, end, base,
+                    kRequestPayload, root.fork(i),
+                    [&](SimTime) { return base; });
+      }
+      break;
+    }
+  }
+
+  std::stable_sort(out.packets.begin(), out.packets.end(),
+                   [](const PacketRecord& a, const PacketRecord& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  return out;
+}
+
+}  // namespace upbound

@@ -1,0 +1,115 @@
+// Multi-tenant workload generators for the per-subscriber edge
+// (src/tenant/). Each scenario emits a time-sorted packet stream over a
+// pool of subscriber addresses plus per-tenant ground truth -- exactly
+// what each tenant sent and received -- so tests can check the router's
+// per-tenant attribution, the hierarchical filter's instantiation/LRU
+// behaviour, and the per-tenant Eq. 1 bound against known-true numbers.
+//
+//   flash crowd    a steady base population, then a burst window where
+//                  many never-seen subscribers appear at once: the worst
+//                  case for lazy fine-filter instantiation and the LRU
+//                  cap, and the differential-test workload of the CI
+//                  tenant-smoke job
+//   diurnal swell  one population whose rate follows a day-shaped swell
+//                  (quiet -> peak -> quiet): occupancy breathes through
+//                  the shared front filter's rotation schedule
+//   swarm join     one subscriber progressively joins a P2P swarm
+//                  (ramping connection count, upload-heavy payloads)
+//                  while everyone else idles along: the isolation
+//                  workload -- tenant A's swarm must not move tenant B's
+//                  drop rate
+//
+// Every generator is a pure function of its config: no wall clock, no
+// global state, so a fixed seed reproduces the workload byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/direction.h"
+#include "net/packet.h"
+#include "tenant/tenant_table.h"
+
+namespace upbound {
+
+enum class TenantScenarioKind {
+  kFlashCrowd,
+  kDiurnalSwell,
+  kSwarmJoin,
+};
+
+/// Stable scenario name ("flash-crowd", "diurnal-swell", "swarm-join")
+/// used in CLI flags, report labels, and docs.
+const char* tenant_scenario_name(TenantScenarioKind kind);
+
+/// Parses a scenario name as printed by tenant_scenario_name (with
+/// "flash"/"diurnal"/"swarm" accepted as short forms). Returns false on
+/// unknown names.
+bool parse_tenant_scenario(const std::string& name, TenantScenarioKind* out);
+
+/// All scenarios in canonical (report) order.
+std::vector<TenantScenarioKind> all_tenant_scenarios();
+
+struct TenantScenarioConfig {
+  /// Steady-state subscriber count. The flash crowd adds its burst
+  /// arrivals on top of this.
+  std::uint64_t tenants = 16;
+  Duration duration = Duration::sec(60.0);
+  std::uint64_t seed = 42;
+  /// Subscriber address pool; one address per tenant is drawn from it
+  /// (per-prefix24 ground truth still aggregates correctly because the
+  /// mapping below is applied with the same TenantTable the router uses).
+  Cidr subscribers = Cidr{Ipv4Addr{10, 40, 0, 0}, 16};
+  /// Tenant mapping used for the ground-truth keys; must match the
+  /// router's tenancy config for truth and stats to line up.
+  TenantMode mode = TenantMode::kPerSubscriber;
+  /// Steady-state request exchanges per tenant per second.
+  double exchanges_per_sec = 4.0;
+  /// Probability that an exchange is followed by one unsolicited inbound
+  /// packet from a never-contacted peer (the stateless-inbound traffic
+  /// Eq. 1 meters per tenant).
+  double unsolicited_prob = 0.25;
+  /// Flash crowd: burst arrivals as a multiple of `tenants` (0.5 = half
+  /// again as many new subscribers during the burst window).
+  double flash_tenant_multiple = 1.0;
+  /// Flash crowd: burst window as fractions of the duration.
+  double flash_start_frac = 0.4;
+  double flash_end_frac = 0.7;
+  /// Diurnal swell: peak-to-trough rate ratio.
+  double swell_ratio = 8.0;
+  /// Swarm join: upload payload bytes per swarm exchange, and the final
+  /// rate multiple the ramp reaches at the end of the trace.
+  std::uint32_t swarm_payload = 1400;
+  double swarm_final_multiple = 24.0;
+};
+
+/// What one tenant actually did in the generated trace -- the oracle the
+/// router's per-tenant stats are checked against.
+struct TenantGroundTruth {
+  std::uint64_t outbound_packets = 0;
+  std::uint64_t outbound_bytes = 0;  // wire bytes, as the meter counts
+  std::uint64_t inbound_packets = 0;
+  std::uint64_t inbound_bytes = 0;
+  /// Inbound packets with no prior outbound state (distinct never-seen
+  /// peers): the packets that must reach the Eq. 1 policy stage.
+  std::uint64_t unsolicited_inbound = 0;
+
+  bool operator==(const TenantGroundTruth&) const = default;
+};
+
+struct TenantScenarioTrace {
+  /// Time-sorted packets (client-side addresses inside `network`).
+  Trace packets;
+  ClientNetwork network;
+  /// Per-tenant ground truth, keyed exactly as the router keys its
+  /// TenantStats (same TenantTable mapping).
+  std::map<TenantId, TenantGroundTruth> truth;
+};
+
+/// Generates one scenario. Deterministic for a given config.
+TenantScenarioTrace generate_tenant_scenario(TenantScenarioKind kind,
+                                             const TenantScenarioConfig& config);
+
+}  // namespace upbound

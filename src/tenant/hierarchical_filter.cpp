@@ -1,0 +1,215 @@
+#include "tenant/hierarchical_filter.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace upbound {
+
+void HierarchicalFilterConfig::validate() const {
+  if (front.backend == nullptr || fine.backend == nullptr) {
+    throw std::invalid_argument(
+        "HierarchicalFilterConfig: front and fine specs required");
+  }
+  if (fine_cap < 1) {
+    throw std::invalid_argument(
+        "HierarchicalFilterConfig: fine_cap must be >= 1");
+  }
+  if (fine_window <= Duration{}) {
+    throw std::invalid_argument(
+        "HierarchicalFilterConfig: fine_window must be positive");
+  }
+  if (digest.has_value()) digest->validate();
+}
+
+Duration filter_spec_max_window(const FilterSpec& spec) {
+  if (spec.backend == nullptr) {
+    throw std::logic_error("filter_spec_max_window: empty spec");
+  }
+  if (const std::optional<FilterGeometry> g = spec.backend->geometry(spec)) {
+    return g->rotate_interval * static_cast<double>(g->vector_count);
+  }
+  return spec.backend->guaranteed_window(spec);
+}
+
+HierarchicalFilter::HierarchicalFilter(const HierarchicalFilterConfig& config)
+    : config_(config),
+      table_(config.table),
+      front_(make_state_filter(config.front)),
+      clock_(SimTime::from_usec(std::numeric_limits<std::int64_t>::min())) {
+  config_.validate();
+  // The short-circuit is exact only when (a) the fine tier's lookups are
+  // pure, so skipping them on a front miss has no side effects to
+  // preserve, and (b) the front's no-false-negative window covers every
+  // age the fine tier can still admit, so a front miss proves a fine
+  // miss. Anything else falls back to fine-only verdicts.
+  const bool fine_pure = config_.fine.backend->has(kCapPureLookup);
+  const bool front_no_fn = config_.front.backend->has(kCapNoFalseNegative);
+  const bool covered =
+      front_no_fn &&
+      config_.front.backend->guaranteed_window(config_.front) >=
+          config_.fine_window;
+  short_circuit_ = fine_pure && covered;
+}
+
+std::uint64_t HierarchicalFilter::epoch_of(SimTime now) const {
+  const std::int64_t t = (now - SimTime::origin()).count_usec();
+  if (t <= 0) return 0;
+  return static_cast<std::uint64_t>(t / config_.fine_window.count_usec());
+}
+
+void HierarchicalFilter::advance_time(SimTime now) {
+  if (now > clock_) clock_ = now;
+  front_->advance_time(now);
+  // Fine filters advance lazily on access: every generational backend
+  // anchors its schedule on the absolute origin, so a catch-up advance at
+  // access time lands the same phase as per-packet advances would.
+}
+
+HierarchicalFilter::TenantEntry* HierarchicalFilter::live_entry(
+    TenantId tenant) {
+  const auto it = entries_.find(tenant);
+  if (it == entries_.end()) return nullptr;
+  TenantEntry& entry = it->second;
+  entry.fine->advance_time(clock_);
+  if (entry.lru != lru_.begin()) {
+    lru_.splice(lru_.begin(), lru_, entry.lru);
+  }
+  return &entry;
+}
+
+HierarchicalFilter::TenantEntry& HierarchicalFilter::entry_for(
+    TenantId tenant) {
+  if (TenantEntry* live = live_entry(tenant)) return *live;
+  if (entries_.size() >= config_.fine_cap) {
+    const TenantId victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++evictions_;
+  }
+  lru_.push_front(tenant);
+  TenantEntry& entry = entries_[tenant];
+  entry.fine = make_state_filter(config_.fine);
+  entry.fine->advance_time(clock_);
+  entry.lru = lru_.begin();
+  ++instantiations_;
+  return entry;
+}
+
+void HierarchicalFilter::record_outbound(const PacketRecord& pkt) {
+  const TenantId tenant = table_.tenant_of_outbound(pkt.tuple);
+  seen_.insert(tenant);
+  if (short_circuit_) front_->record_outbound(pkt);
+  TenantEntry& entry = entry_for(tenant);
+  entry.fine->record_outbound(pkt);
+  if (config_.digest.has_value()) {
+    const std::uint64_t epoch = epoch_of(clock_);
+    if (!entry.digest.has_value()) {
+      entry.digest.emplace(tenant, epoch, *config_.digest);
+    } else if (entry.digest->epoch() != epoch) {
+      entry.digest->clear(epoch);
+    }
+    entry.digest->insert_outbound(pkt.tuple);
+  }
+}
+
+bool HierarchicalFilter::admits_inbound(const PacketRecord& pkt) {
+  const TenantId tenant = table_.tenant_of_inbound(pkt.tuple);
+  bool verdict = false;
+  if (short_circuit_ && !front_->admits_inbound(pkt)) {
+    ++front_absorbed_;
+  } else if (TenantEntry* entry = live_entry(tenant)) {
+    verdict = entry->fine->admits_inbound(pkt);
+  }
+  if (!verdict && !remote_.empty()) {
+    const auto it = remote_.find(tenant);
+    if (it != remote_.end() &&
+        it->second.epoch() + 1 >= epoch_of(clock_) &&
+        it->second.contains_inbound(pkt.tuple)) {
+      ++digest_admits_;
+      verdict = true;
+    }
+  }
+  return verdict;
+}
+
+std::size_t HierarchicalFilter::storage_bytes() const {
+  std::size_t total = front_->storage_bytes();
+  for (const auto& [tenant, entry] : entries_) {
+    total += entry.fine->storage_bytes();
+    if (entry.digest.has_value()) {
+      total += entry.digest->config().words() * 8;
+    }
+  }
+  for (const auto& [tenant, digest] : remote_) {
+    total += digest.config().words() * 8;
+  }
+  return total;
+}
+
+std::vector<std::pair<TenantId, double>>
+HierarchicalFilter::tenant_occupancies() const {
+  std::vector<std::pair<TenantId, double>> out;
+  out.reserve(entries_.size());
+  for (const auto& [tenant, entry] : entries_) {
+    if (const std::optional<double> occ = entry.fine->occupancy_fraction()) {
+      out.emplace_back(tenant, *occ);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<StateDigest> HierarchicalFilter::local_digest(
+    TenantId tenant) const {
+  const auto it = entries_.find(tenant);
+  if (it == entries_.end() || !it->second.digest.has_value()) {
+    return std::nullopt;
+  }
+  if (it->second.digest->epoch() != epoch_of(clock_)) return std::nullopt;
+  return *it->second.digest;
+}
+
+std::optional<StateDigest> HierarchicalFilter::combined_digest(
+    TenantId tenant) const {
+  std::optional<StateDigest> out = local_digest(tenant);
+  const auto it = remote_.find(tenant);
+  if (it != remote_.end() && it->second.epoch() == epoch_of(clock_)) {
+    if (out.has_value()) {
+      out->merge(it->second);
+    } else {
+      out = it->second;
+    }
+  }
+  return out;
+}
+
+DigestError HierarchicalFilter::apply_digest(const StateDigest& remote) {
+  if (!config_.digest.has_value() || remote.config() != *config_.digest) {
+    return DigestError::kConfigMismatch;
+  }
+  if (remote.epoch() + 1 < epoch_of(clock_)) {
+    return DigestError::kEpochMismatch;
+  }
+  const auto it = remote_.find(remote.tenant());
+  if (it == remote_.end()) {
+    remote_.emplace(remote.tenant(), remote);
+    return DigestError::kNone;
+  }
+  if (it->second.epoch() == remote.epoch()) {
+    return it->second.try_merge(remote);
+  }
+  if (remote.epoch() > it->second.epoch()) it->second = remote;
+  return DigestError::kNone;
+}
+
+FilterSpec hierarchical_filter_spec(const HierarchicalFilterConfig& config) {
+  config.validate();
+  FilterSpec spec;
+  spec.backend = &FilterRegistry::instance().at("hierarchical");
+  spec.config = std::make_shared<const HierarchicalFilterConfig>(config);
+  spec.config_type = &typeid(HierarchicalFilterConfig);
+  return spec;
+}
+
+}  // namespace upbound

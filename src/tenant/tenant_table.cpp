@@ -1,0 +1,26 @@
+#include "tenant/tenant_table.h"
+
+namespace upbound {
+
+const char* tenant_mode_name(TenantMode mode) {
+  switch (mode) {
+    case TenantMode::kPerSubscriber:
+      return "subscriber";
+    case TenantMode::kPerPrefix24:
+      return "prefix24";
+  }
+  return "?";
+}
+
+std::optional<TenantMode> parse_tenant_mode(std::string_view text) {
+  if (text == "subscriber") return TenantMode::kPerSubscriber;
+  if (text == "prefix24") return TenantMode::kPerPrefix24;
+  return std::nullopt;
+}
+
+std::string TenantTable::label(TenantId tenant) const {
+  const std::string addr = Ipv4Addr{tenant}.to_string();
+  return config_.mode == TenantMode::kPerPrefix24 ? addr + "/24" : addr;
+}
+
+}  // namespace upbound

@@ -1,0 +1,71 @@
+// Tenant keying for the multi-tenant edge subsystem: maps the client-side
+// (internal) address of a five-tuple to a stable tenant identifier. Two
+// granularities model an ISP edge: one tenant per subscriber address, or
+// one per /24 customer prefix. The mapping is a pure function of the
+// address, so tenant identity is identical on every shard and every
+// router -- the property the sharded replay merge and the inter-router
+// digest exchange both rely on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/five_tuple.h"
+#include "net/ip.h"
+
+namespace upbound {
+
+/// Stable tenant identifier: the subscriber's IPv4 address (host order),
+/// or the /24 network address in prefix mode. Never a dense index -- a
+/// dense first-seen numbering would diverge across shards and routers.
+using TenantId = std::uint32_t;
+
+enum class TenantMode {
+  kPerSubscriber,  // one tenant per client address
+  kPerPrefix24,    // one tenant per /24 customer prefix
+};
+
+const char* tenant_mode_name(TenantMode mode);
+/// Parses "subscriber" | "prefix24"; nullopt on anything else.
+std::optional<TenantMode> parse_tenant_mode(std::string_view text);
+
+struct TenantTableConfig {
+  TenantMode mode = TenantMode::kPerSubscriber;
+
+  bool operator==(const TenantTableConfig&) const = default;
+};
+
+class TenantTable {
+ public:
+  TenantTable() = default;
+  explicit TenantTable(TenantTableConfig config) : config_(config) {}
+
+  const TenantTableConfig& config() const { return config_; }
+
+  /// The tenant owning a client (internal) address.
+  TenantId tenant_of(Ipv4Addr client) const {
+    return config_.mode == TenantMode::kPerPrefix24
+               ? (client.value() & 0xffffff00u)
+               : client.value();
+  }
+
+  /// Tenant of an outbound packet's tuple (source is the internal client).
+  TenantId tenant_of_outbound(const FiveTuple& t) const {
+    return tenant_of(t.src_addr);
+  }
+  /// Tenant of an inbound packet's tuple (destination is the internal
+  /// client).
+  TenantId tenant_of_inbound(const FiveTuple& t) const {
+    return tenant_of(t.dst_addr);
+  }
+
+  /// Human-readable label for reports: "a.b.c.d" or "a.b.c.0/24".
+  std::string label(TenantId tenant) const;
+
+ private:
+  TenantTableConfig config_;
+};
+
+}  // namespace upbound

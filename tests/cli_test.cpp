@@ -227,6 +227,74 @@ TEST_F(CliCommandTest, SeedFlagAcceptedAcrossCommands) {
             0);
 }
 
+TEST(CliDefaults, DefaultFilterPrefersTheBlockedBitmap) {
+  // No special capability requested: the cache-resident layout wins.
+  EXPECT_EQ(resolve_default_filter(false, false), "bitmap-blocked");
+  // Snapshot or shared-view runs need the classic bitmap.
+  EXPECT_EQ(resolve_default_filter(true, false), "bitmap");
+  EXPECT_EQ(resolve_default_filter(false, true), "bitmap");
+  EXPECT_EQ(resolve_default_filter(true, true), "bitmap");
+}
+
+TEST_F(CliCommandTest, TenancyFlagsRunEndToEnd) {
+  const std::string trace = (dir_ / "trace.pcap").string();
+  ASSERT_EQ(run_cli({"generate", "--out", trace.c_str(), "--duration", "3",
+                     "--rate", "20", "--bandwidth", "1e6", "--seed", "4"}),
+            0);
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--tenants", "8"}),
+            0);
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--tenants", "8",
+                     "--tenant-mode", "prefix24", "--tenant-cap", "4"}),
+            0);
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--filter",
+                     "hierarchical", "--fine", "bitmap-blocked"}),
+            0);
+  EXPECT_EQ(run_cli({"compare", "--pcap", trace.c_str(), "--bits", "14",
+                     "--tenants", "4"}),
+            0);
+}
+
+TEST_F(CliCommandTest, TenantScenarioGeneratesAReplayableCapture) {
+  const std::string trace = (dir_ / "swarm.pcap").string();
+  ASSERT_EQ(run_cli({"generate", "--out", trace.c_str(), "--tenant-scenario",
+                     "swarm-join", "--tenants", "6", "--duration", "5",
+                     "--seed", "3"}),
+            0);
+  // The scenario's subscriber pool lives in 10.40.0.0/16.
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--network",
+                     "10.40.0.0/16", "--tenants", "6"}),
+            0);
+  EXPECT_EQ(run_cli({"generate", "--out", trace.c_str(), "--tenant-scenario",
+                     "tsunami"}),
+            2);
+}
+
+TEST_F(CliCommandTest, TenancyFlagGuards) {
+  const std::string trace = (dir_ / "trace.pcap").string();
+  ASSERT_EQ(run_cli({"generate", "--out", trace.c_str(), "--duration", "2",
+                     "--rate", "10", "--bandwidth", "1e6"}),
+            0);
+  const std::string state = (dir_ / "state.bin").string();
+  // Mode/cap without --tenants.
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--tenant-mode",
+                     "prefix24"}),
+            2);
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--tenant-cap",
+                     "4"}),
+            2);
+  // Unknown mode.
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--tenants", "4",
+                     "--tenant-mode", "household"}),
+            2);
+  // Tenancy has no snapshot format and is shard-local by design.
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--tenants", "4",
+                     "--save-state", state.c_str()}),
+            2);
+  EXPECT_EQ(run_cli({"filter", "--pcap", trace.c_str(), "--tenants", "4",
+                     "--threads", "2", "--shard-mode", "shared"}),
+            2);
+}
+
 TEST_F(CliCommandTest, AttackRunsAndReportIsByteStable) {
   const std::string out_a = (dir_ / "report_a.jsonl").string();
   const std::string out_b = (dir_ / "report_b.jsonl").string();

@@ -19,12 +19,12 @@ namespace {
 TEST(FilterRegistry, RegistersTheFullBackendZoo) {
   const std::vector<std::string> names = FilterRegistry::instance().names();
   const std::vector<std::string> expected{
-      "bitmap",    "bitmap-mt", "bitmap-blocked", "aging",
-      "spi",       "naive",     "retouched",      "counting"};
+      "bitmap",    "bitmap-mt", "bitmap-blocked", "aging",     "spi",
+      "naive",     "retouched", "counting",       "hierarchical"};
   EXPECT_EQ(names, expected);
   EXPECT_EQ(FilterRegistry::instance().names_joined("|"),
             "bitmap|bitmap-mt|bitmap-blocked|aging|spi|naive|retouched|"
-            "counting");
+            "counting|hierarchical");
 }
 
 TEST(FilterRegistry, FindAndAtAgreeAndUnknownNamesAreTypedErrors) {

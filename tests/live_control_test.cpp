@@ -194,6 +194,29 @@ TEST(ControlProtocol, TypedCapabilityErrorsOnIncapableBackend) {
   ::close(fd);
 }
 
+TEST(ControlProtocol, StatsTenantsGatedOnTenancyCapability) {
+  {
+    // A flat backend has no tenant table: typed capability error.
+    ControlFixture fx{"bitmap"};
+    const int fd = fx.connect();
+    const std::string reply = fx.roundtrip(fd, "stats tenants\n");
+    EXPECT_EQ(reply.rfind("ERR capability:tenancy", 0), 0u) << reply;
+    ::close(fd);
+  }
+  {
+    // The hierarchical tenant filter answers with the JSON summary.
+    ControlFixture fx{"hierarchical"};
+    const int fd = fx.connect();
+    const std::string reply = fx.roundtrip(fd, "stats tenants\n");
+    EXPECT_EQ(reply.rfind("OK {", 0), 0u) << reply;
+    EXPECT_NE(reply.find("\"tenants\":"), std::string::npos) << reply;
+    EXPECT_NE(reply.find("\"fine_live\":"), std::string::npos) << reply;
+    const std::string extra = fx.roundtrip(fd, "stats tenants extra\n");
+    EXPECT_EQ(extra.rfind("ERR bad-argument", 0), 0u) << extra;
+    ::close(fd);
+  }
+}
+
 TEST(ControlProtocol, UnhealthyStanceGating) {
   {
     ControlFixture fx{"bitmap", /*arm_health=*/false};
@@ -384,6 +407,11 @@ TEST(ControlProtocol, ExecuteMatrixAgainstFakeApi) {
   EXPECT_TRUE(server.execute("set on-unhealthy fail-open", &quit).ok);
   EXPECT_TRUE(server.execute("snapshot /tmp/x", &quit).ok);
   EXPECT_TRUE(server.execute("stats", &quit).ok);
+  // The fake never overrides control_stats_tenants: the ControlApi
+  // default answers with the typed tenancy-capability error.
+  const ControlReply tenants = server.execute("stats tenants", &quit);
+  EXPECT_FALSE(tenants.ok);
+  EXPECT_EQ(tenants.code, "capability:tenancy");
   EXPECT_FALSE(quit);
   const ControlReply bye = server.execute("quit", &quit);
   EXPECT_TRUE(bye.ok);
@@ -392,7 +420,7 @@ TEST(ControlProtocol, ExecuteMatrixAgainstFakeApi) {
   // execute() itself must NOT quit -- the server calls control_quit only
   // after the reply is on the wire.
   EXPECT_EQ(api.quits, 0);
-  EXPECT_EQ(server.commands_processed(), 6u);
+  EXPECT_EQ(server.commands_processed(), 7u);
 }
 
 TEST(ControlProtocol, ConcurrentReconfigurationUnderTraffic) {

@@ -1,0 +1,183 @@
+#include "tenant/state_digest.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace upbound {
+namespace {
+
+FiveTuple conn(std::uint16_t sport) {
+  return FiveTuple{Protocol::kUdp, Ipv4Addr{10, 40, 0, 2}, sport,
+                   Ipv4Addr{198, 18, 0, 1}, 6881};
+}
+
+StateDigest sample_digest(TenantId tenant = 42, std::uint64_t epoch = 3) {
+  StateDigest digest{tenant, epoch, StateDigestConfig{}};
+  for (std::uint16_t p = 1000; p < 1032; ++p) {
+    digest.insert_outbound(conn(p));
+  }
+  return digest;
+}
+
+TEST(StateDigest, InsertedKeysAreContained) {
+  const StateDigest digest = sample_digest();
+  EXPECT_GT(digest.set_bits(), 0u);
+  for (std::uint16_t p = 1000; p < 1032; ++p) {
+    EXPECT_TRUE(digest.contains_inbound(conn(p).inverse()));
+  }
+}
+
+TEST(StateDigest, SerializeParseRoundTrips) {
+  const StateDigest digest = sample_digest();
+  const std::vector<std::uint8_t> wire = digest.serialize();
+  const DigestParseResult parsed = StateDigest::parse(wire);
+  ASSERT_EQ(parsed.error, DigestError::kNone);
+  ASSERT_TRUE(parsed.digest.has_value());
+  EXPECT_EQ(*parsed.digest, digest);
+  // Canonical encoding: re-serializing the parsed digest is byte-equal.
+  EXPECT_EQ(parsed.digest->serialize(), wire);
+}
+
+TEST(StateDigest, MergeIsUnionAndOrderIndependent) {
+  StateDigest a{7, 1, StateDigestConfig{}};
+  StateDigest b{7, 1, StateDigestConfig{}};
+  a.insert_outbound(conn(1));
+  b.insert_outbound(conn(2));
+
+  StateDigest ab = a;
+  ASSERT_EQ(ab.try_merge(b), DigestError::kNone);
+  StateDigest ba = b;
+  ASSERT_EQ(ba.try_merge(a), DigestError::kNone);
+
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ab.serialize(), ba.serialize());
+  EXPECT_TRUE(ab.contains_inbound(conn(1).inverse()));
+  EXPECT_TRUE(ab.contains_inbound(conn(2).inverse()));
+}
+
+TEST(StateDigest, TwoRoutersConvergeByteIdentically) {
+  // The gossip loop: each router merges the other's export; after one
+  // exchange both hold the same union, byte for byte.
+  StateDigest router_a{9, 5, StateDigestConfig{}};
+  StateDigest router_b{9, 5, StateDigestConfig{}};
+  for (std::uint16_t p = 100; p < 120; ++p) router_a.insert_outbound(conn(p));
+  for (std::uint16_t p = 115; p < 140; ++p) router_b.insert_outbound(conn(p));
+
+  const std::vector<std::uint8_t> a_wire = router_a.serialize();
+  const std::vector<std::uint8_t> b_wire = router_b.serialize();
+  ASSERT_EQ(router_a.try_merge(*StateDigest::parse(b_wire).digest),
+            DigestError::kNone);
+  ASSERT_EQ(router_b.try_merge(*StateDigest::parse(a_wire).digest),
+            DigestError::kNone);
+
+  EXPECT_EQ(router_a, router_b);
+  EXPECT_EQ(router_a.serialize(), router_b.serialize());
+}
+
+TEST(StateDigest, MergeMismatchesAreTyped) {
+  StateDigest base{7, 1, StateDigestConfig{}};
+  StateDigest other_tenant{8, 1, StateDigestConfig{}};
+  StateDigest other_epoch{7, 2, StateDigestConfig{}};
+  StateDigestConfig wide;
+  wide.log2_bits = 14;
+  StateDigest other_config{7, 1, wide};
+
+  EXPECT_EQ(base.try_merge(other_tenant), DigestError::kTenantMismatch);
+  EXPECT_EQ(base.try_merge(other_epoch), DigestError::kEpochMismatch);
+  EXPECT_EQ(base.try_merge(other_config), DigestError::kConfigMismatch);
+  EXPECT_THROW(base.merge(other_tenant), std::invalid_argument);
+}
+
+TEST(StateDigest, ClearAdoptsTheNewEpoch) {
+  StateDigest digest = sample_digest(42, 3);
+  digest.clear(4);
+  EXPECT_EQ(digest.epoch(), 4u);
+  EXPECT_EQ(digest.set_bits(), 0u);
+}
+
+TEST(StateDigest, ParseRejectsTruncation) {
+  const std::vector<std::uint8_t> wire = sample_digest().serialize();
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{3},
+                                 std::size_t{10}, wire.size() - 1}) {
+    const DigestParseResult parsed =
+        StateDigest::parse(std::span{wire.data(), keep});
+    EXPECT_FALSE(parsed.digest.has_value());
+    EXPECT_NE(parsed.error, DigestError::kNone);
+  }
+}
+
+TEST(StateDigest, ParseRejectsBadMagicVersionCrcAndTrailing) {
+  const std::vector<std::uint8_t> wire = sample_digest().serialize();
+
+  std::vector<std::uint8_t> bad_magic = wire;
+  bad_magic[0] ^= 0xff;
+  EXPECT_EQ(StateDigest::parse(bad_magic).error, DigestError::kBadMagic);
+
+  std::vector<std::uint8_t> bad_version = wire;
+  bad_version[4] = 0x7f;
+  EXPECT_EQ(StateDigest::parse(bad_version).error, DigestError::kBadVersion);
+
+  std::vector<std::uint8_t> bad_crc = wire;
+  bad_crc[wire.size() / 2] ^= 0x01;
+  EXPECT_EQ(StateDigest::parse(bad_crc).error, DigestError::kBadCrc);
+
+  std::vector<std::uint8_t> trailing = wire;
+  trailing.push_back(0x00);
+  EXPECT_EQ(StateDigest::parse(trailing).error, DigestError::kTrailingBytes);
+}
+
+TEST(StateDigest, ParseRejectsOutOfRangeGeometryBeforeAllocating) {
+  std::vector<std::uint8_t> wire = sample_digest().serialize();
+  // The log2_bits byte sits right after magic+version; force it absurd so
+  // a naive decoder would try to allocate 2^255 bits.
+  wire[6] = 0xff;
+  const DigestParseResult parsed = StateDigest::parse(wire);
+  EXPECT_FALSE(parsed.digest.has_value());
+  EXPECT_TRUE(parsed.error == DigestError::kBadConfig ||
+              parsed.error == DigestError::kBadCrc)
+      << digest_error_name(parsed.error);
+}
+
+TEST(StateDigest, FuzzedInputsNeverParseToSuccessLies) {
+  // Random mutations of a valid wire image and pure garbage: parse must
+  // never crash, and whenever it claims success the digest must
+  // re-serialize to a well-formed image.
+  const std::vector<std::uint8_t> wire = sample_digest().serialize();
+  Rng rng{0x646967657374ULL};
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint8_t> mutated = wire;
+    const std::size_t flips = 1 + rng.next_below(8);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t at = rng.next_below(mutated.size());
+      mutated[at] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    }
+    if (rng.next_bool(0.3)) {
+      mutated.resize(rng.next_below(mutated.size() + 1));
+    }
+    const DigestParseResult parsed = StateDigest::parse(mutated);
+    if (parsed.error == DigestError::kNone) {
+      ASSERT_TRUE(parsed.digest.has_value());
+      const DigestParseResult again =
+          StateDigest::parse(parsed.digest->serialize());
+      EXPECT_EQ(again.error, DigestError::kNone);
+    } else {
+      EXPECT_FALSE(parsed.digest.has_value());
+    }
+  }
+  for (int round = 0; round < 500; ++round) {
+    std::vector<std::uint8_t> garbage(rng.next_below(256));
+    for (auto& byte : garbage) {
+      byte = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    const DigestParseResult parsed = StateDigest::parse(garbage);
+    EXPECT_TRUE(parsed.error != DigestError::kNone ||
+                parsed.digest.has_value());
+  }
+}
+
+}  // namespace
+}  // namespace upbound

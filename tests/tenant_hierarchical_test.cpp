@@ -1,0 +1,243 @@
+#include "tenant/hierarchical_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "filter/filter_registry.h"
+#include "sim/tenant_scenarios.h"
+
+namespace upbound {
+namespace {
+
+TenantScenarioConfig small_scenario() {
+  TenantScenarioConfig config;
+  config.tenants = 5;
+  config.duration = Duration::sec(30.0);
+  config.seed = 11;
+  config.exchanges_per_sec = 3.0;
+  config.unsolicited_prob = 0.3;
+  config.flash_tenant_multiple = 1.0;
+  return config;
+}
+
+MapFilterArgs fine_args(const std::string& backend) {
+  MapFilterArgs margs;
+  margs.set("bits", "12");
+  margs.set("k", "4");
+  margs.set("m", "3");
+  margs.set("dt", "2.0");
+  if (backend == "spi") {
+    margs.set("timeout", "240");
+  } else if (backend == "naive") {
+    margs.set("timeout", "8.0");  // the bitmap design's k*dt expiry
+  }
+  return margs;
+}
+
+/// Replays a tenant scenario through the hierarchical wrap of `backend`
+/// and a flat one-filter-per-tenant oracle of the same spec, asserting
+/// verdict equality on every inbound packet.
+void run_differential(const std::string& backend_name) {
+  const TenantScenarioTrace trace =
+      generate_tenant_scenario(TenantScenarioKind::kFlashCrowd,
+                               small_scenario());
+  const FilterRegistry& registry = FilterRegistry::instance();
+  const BackendDescriptor& backend = registry.at(backend_name);
+
+  const FilterSpec fine = backend.parse(fine_args(backend_name));
+  MapFilterArgs hier_args = fine_args(backend_name);
+  hier_args.set("fine", backend_name);
+  hier_args.set("tenant-cap", "100000");  // exactness needs no evictions
+  const FilterSpec hier_spec = registry.at("hierarchical").parse(hier_args);
+  const std::unique_ptr<StateFilter> hier = make_state_filter(hier_spec);
+
+  const TenantTable table{TenantTableConfig{TenantMode::kPerSubscriber}};
+  std::map<TenantId, std::unique_ptr<StateFilter>> oracle;
+  const auto oracle_for = [&](TenantId tenant) -> StateFilter& {
+    auto& slot = oracle[tenant];
+    if (slot == nullptr) slot = make_state_filter(fine);
+    return *slot;
+  };
+
+  std::size_t inbound_checked = 0;
+  for (std::size_t i = 0; i < trace.packets.size(); ++i) {
+    const PacketRecord& pkt = trace.packets[i];
+    const Direction dir = trace.network.classify(pkt);
+    if (dir == Direction::kOutbound) {
+      hier->advance_time(pkt.timestamp);
+      hier->record_outbound(pkt);
+      StateFilter& fine_filter = oracle_for(table.tenant_of_outbound(pkt.tuple));
+      fine_filter.advance_time(pkt.timestamp);
+      fine_filter.record_outbound(pkt);
+      continue;
+    }
+    ASSERT_EQ(dir, Direction::kInbound);
+    hier->advance_time(pkt.timestamp);
+    const bool hier_admits = hier->admits_inbound(pkt);
+    StateFilter& fine_filter = oracle_for(table.tenant_of_inbound(pkt.tuple));
+    fine_filter.advance_time(pkt.timestamp);
+    const bool oracle_admits = fine_filter.admits_inbound(pkt);
+    ASSERT_EQ(hier_admits, oracle_admits)
+        << "backend " << backend_name << " diverged from the flat oracle "
+        << "at packet " << i << " (tenant "
+        << table.label(table.tenant_of_inbound(pkt.tuple)) << ")";
+    ++inbound_checked;
+  }
+  EXPECT_GT(inbound_checked, 100u) << "scenario produced too few inbounds";
+}
+
+TEST(HierarchicalDifferential, MatchesFlatOracleForEveryFineBackend) {
+  for (const BackendDescriptor& backend :
+       FilterRegistry::instance().descriptors()) {
+    if (backend.name == "hierarchical") continue;  // cannot nest
+    SCOPED_TRACE(backend.name);
+    run_differential(backend.name);
+  }
+}
+
+HierarchicalFilterConfig config_for(const std::string& fine_backend,
+                                    std::size_t cap) {
+  MapFilterArgs margs = fine_args(fine_backend);
+  margs.set("fine", fine_backend);
+  margs.set("tenant-cap", std::to_string(cap));
+  const FilterSpec spec =
+      FilterRegistry::instance().at("hierarchical").parse(margs);
+  return spec.config_as<HierarchicalFilterConfig>();
+}
+
+PacketRecord udp(const FiveTuple& tuple, double t_sec,
+                 std::uint32_t payload = 100) {
+  PacketRecord pkt;
+  pkt.timestamp = SimTime::from_sec(t_sec);
+  pkt.tuple = tuple;
+  pkt.payload_size = payload;
+  return pkt;
+}
+
+FiveTuple client_conn(std::uint8_t host, std::uint16_t sport) {
+  return FiveTuple{Protocol::kUdp, Ipv4Addr{10, 40, 0, host}, sport,
+                   Ipv4Addr{198, 18, 0, 1}, 6881};
+}
+
+TEST(HierarchicalFilter, LruCapEvictsLeastRecentTenant) {
+  HierarchicalFilter hier{config_for("bitmap", 2)};
+  for (std::uint8_t host = 2; host < 8; ++host) {
+    hier.advance_time(SimTime::from_sec(host * 0.1));
+    hier.record_outbound(udp(client_conn(host, 4000), host * 0.1));
+  }
+  EXPECT_EQ(hier.tenant_count(), 6u);
+  EXPECT_LE(hier.live_fine_filters(), 2u);
+  EXPECT_EQ(hier.fine_instantiations(), 6u);
+  EXPECT_EQ(hier.fine_evictions(), 4u);
+
+  // The most recent tenants keep their state; an evicted tenant lost its
+  // marks (the counted false-negative source).
+  hier.advance_time(SimTime::from_sec(1.0));
+  EXPECT_TRUE(hier.admits_inbound(udp(client_conn(7, 4000).inverse(), 1.0)));
+  EXPECT_FALSE(hier.admits_inbound(udp(client_conn(2, 4000).inverse(), 1.0)));
+}
+
+TEST(HierarchicalFilter, FrontAbsorbsUnsolicitedWithoutInstantiating) {
+  HierarchicalFilter hier{config_for("bitmap", 64)};
+  ASSERT_TRUE(hier.front_short_circuit());
+  for (std::uint8_t host = 2; host < 12; ++host) {
+    hier.advance_time(SimTime::from_sec(host * 0.01));
+    EXPECT_FALSE(
+        hier.admits_inbound(udp(client_conn(host, 5000).inverse(),
+                                host * 0.01)));
+  }
+  // All ten probes died on the shared front tier: no fine filter was ever
+  // built for tenants that only ever receive unsolicited traffic.
+  EXPECT_EQ(hier.live_fine_filters(), 0u);
+  EXPECT_EQ(hier.fine_instantiations(), 0u);
+  EXPECT_EQ(hier.front_absorbed(), 10u);
+}
+
+TEST(HierarchicalFilter, ImpureFineTierDisablesTheShortCircuit) {
+  HierarchicalFilter hier{config_for("spi", 64)};
+  EXPECT_FALSE(hier.front_short_circuit());
+  // Verdicts still work; the fine tier alone decides.
+  hier.advance_time(SimTime::from_sec(0.0));
+  hier.record_outbound(udp(client_conn(2, 4000), 0.0));
+  hier.advance_time(SimTime::from_sec(0.1));
+  EXPECT_TRUE(hier.admits_inbound(udp(client_conn(2, 4000).inverse(), 0.1)));
+}
+
+TEST(HierarchicalFilter, DigestRoamsStateBetweenRouters) {
+  const HierarchicalFilterConfig config = config_for("bitmap", 64);
+  ASSERT_TRUE(config.digest.has_value());
+  HierarchicalFilter router_a{config};
+  HierarchicalFilter router_b{config};
+
+  const FiveTuple conn = client_conn(2, 4100);
+  router_a.advance_time(SimTime::from_sec(0.0));
+  router_a.record_outbound(udp(conn, 0.0));
+  router_b.advance_time(SimTime::from_sec(0.1));
+
+  // Without the exchange, router B denies the roamed client's response.
+  EXPECT_FALSE(router_b.admits_inbound(udp(conn.inverse(), 0.1)));
+
+  const TenantTable table{config.table};
+  const TenantId tenant = table.tenant_of_outbound(conn);
+  const std::optional<StateDigest> digest = router_a.local_digest(tenant);
+  ASSERT_TRUE(digest.has_value());
+  ASSERT_EQ(router_b.apply_digest(*digest), DigestError::kNone);
+
+  router_b.advance_time(SimTime::from_sec(0.2));
+  EXPECT_TRUE(router_b.admits_inbound(udp(conn.inverse(), 0.2)));
+  EXPECT_EQ(router_b.digest_admits(), 1u);
+}
+
+TEST(HierarchicalFilter, CombinedDigestsConvergeByteIdentically) {
+  const HierarchicalFilterConfig config = config_for("bitmap", 64);
+  HierarchicalFilter router_a{config};
+  HierarchicalFilter router_b{config};
+  router_a.advance_time(SimTime::from_sec(0.0));
+  router_b.advance_time(SimTime::from_sec(0.0));
+  router_a.record_outbound(udp(client_conn(2, 4000), 0.0));
+  router_b.record_outbound(udp(client_conn(2, 4001), 0.0));
+
+  const TenantTable table{config.table};
+  const TenantId tenant = table.tenant_of(Ipv4Addr{10, 40, 0, 2});
+  ASSERT_EQ(router_a.apply_digest(*router_b.local_digest(tenant)),
+            DigestError::kNone);
+  ASSERT_EQ(router_b.apply_digest(*router_a.local_digest(tenant)),
+            DigestError::kNone);
+
+  const std::optional<StateDigest> from_a = router_a.combined_digest(tenant);
+  const std::optional<StateDigest> from_b = router_b.combined_digest(tenant);
+  ASSERT_TRUE(from_a.has_value());
+  ASSERT_TRUE(from_b.has_value());
+  EXPECT_EQ(from_a->serialize(), from_b->serialize());
+}
+
+TEST(HierarchicalFilter, StaleDigestEpochIsRejected) {
+  const HierarchicalFilterConfig config = config_for("bitmap", 64);
+  HierarchicalFilter router{config};
+  // Advance well past several digest epochs, then offer an epoch-0 digest.
+  router.advance_time(SimTime::from_sec(10.0 * config.fine_window.to_sec()));
+  StateDigest ancient{TenantTable{config.table}.tenant_of(
+                          Ipv4Addr{10, 40, 0, 2}),
+                      0, *config.digest};
+  EXPECT_EQ(router.apply_digest(ancient), DigestError::kEpochMismatch);
+}
+
+TEST(HierarchicalFilter, RegistryDescriptorDeclaresTenancy) {
+  const BackendDescriptor& backend =
+      FilterRegistry::instance().at("hierarchical");
+  EXPECT_TRUE(backend.has(kCapTenancy));
+  EXPECT_TRUE(backend.has(kCapOccupancy));
+  // Exactly one backend carries the tenancy capability.
+  int tenancy_backends = 0;
+  for (const BackendDescriptor& d :
+       FilterRegistry::instance().descriptors()) {
+    if (d.has(kCapTenancy)) ++tenancy_backends;
+  }
+  EXPECT_EQ(tenancy_backends, 1);
+}
+
+}  // namespace
+}  // namespace upbound

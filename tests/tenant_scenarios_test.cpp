@@ -1,0 +1,183 @@
+#include "sim/tenant_scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace upbound {
+namespace {
+
+TenantScenarioConfig base_config() {
+  TenantScenarioConfig config;
+  config.tenants = 8;
+  config.duration = Duration::sec(40.0);
+  config.seed = 7;
+  return config;
+}
+
+TEST(TenantScenarios, NamesRoundTrip) {
+  for (const TenantScenarioKind kind : all_tenant_scenarios()) {
+    TenantScenarioKind parsed;
+    ASSERT_TRUE(parse_tenant_scenario(tenant_scenario_name(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  TenantScenarioKind parsed;
+  EXPECT_TRUE(parse_tenant_scenario("flash", &parsed));
+  EXPECT_EQ(parsed, TenantScenarioKind::kFlashCrowd);
+  EXPECT_FALSE(parse_tenant_scenario("tsunami", &parsed));
+}
+
+TEST(TenantScenarios, SameSeedReproducesByteForByte) {
+  for (const TenantScenarioKind kind : all_tenant_scenarios()) {
+    SCOPED_TRACE(tenant_scenario_name(kind));
+    const TenantScenarioTrace a = generate_tenant_scenario(kind, base_config());
+    const TenantScenarioTrace b = generate_tenant_scenario(kind, base_config());
+    ASSERT_EQ(a.packets.size(), b.packets.size());
+    for (std::size_t i = 0; i < a.packets.size(); ++i) {
+      ASSERT_EQ(a.packets[i].timestamp, b.packets[i].timestamp);
+      ASSERT_EQ(a.packets[i].tuple, b.packets[i].tuple);
+      ASSERT_EQ(a.packets[i].payload_size, b.packets[i].payload_size);
+    }
+    EXPECT_EQ(a.truth, b.truth);
+
+    TenantScenarioConfig other = base_config();
+    other.seed = 8;
+    const TenantScenarioTrace c = generate_tenant_scenario(kind, other);
+    EXPECT_NE(a.packets.size(), c.packets.size());
+  }
+}
+
+TEST(TenantScenarios, PacketsAreTimeSortedAndInsideTheDuration) {
+  for (const TenantScenarioKind kind : all_tenant_scenarios()) {
+    SCOPED_TRACE(tenant_scenario_name(kind));
+    const TenantScenarioTrace trace =
+        generate_tenant_scenario(kind, base_config());
+    ASSERT_FALSE(trace.packets.empty());
+    EXPECT_TRUE(std::is_sorted(
+        trace.packets.begin(), trace.packets.end(),
+        [](const PacketRecord& x, const PacketRecord& y) {
+          return x.timestamp < y.timestamp;
+        }));
+    // Exchanges start inside the duration; only the response/probe tail
+    // (two response delays) may trail past it.
+    EXPECT_LE(trace.packets.back().timestamp.sec(),
+              base_config().duration.to_sec() + 1.0);
+  }
+}
+
+TEST(TenantScenarios, GroundTruthMatchesTheTraceExactly) {
+  for (const TenantScenarioKind kind : all_tenant_scenarios()) {
+    SCOPED_TRACE(tenant_scenario_name(kind));
+    const TenantScenarioTrace trace =
+        generate_tenant_scenario(kind, base_config());
+    const TenantTable table{TenantTableConfig{base_config().mode}};
+
+    std::map<TenantId, TenantGroundTruth> recount;
+    for (const PacketRecord& pkt : trace.packets) {
+      const Direction dir = trace.network.classify(pkt);
+      if (dir == Direction::kOutbound) {
+        TenantGroundTruth& t = recount[table.tenant_of_outbound(pkt.tuple)];
+        t.outbound_packets += 1;
+        t.outbound_bytes += pkt.wire_size();
+      } else {
+        ASSERT_EQ(dir, Direction::kInbound);
+        TenantGroundTruth& t = recount[table.tenant_of_inbound(pkt.tuple)];
+        t.inbound_packets += 1;
+        t.inbound_bytes += pkt.wire_size();
+      }
+    }
+
+    ASSERT_EQ(recount.size(), trace.truth.size());
+    for (const auto& [tenant, truth] : trace.truth) {
+      const auto it = recount.find(tenant);
+      ASSERT_NE(it, recount.end()) << table.label(tenant);
+      EXPECT_EQ(it->second.outbound_packets, truth.outbound_packets)
+          << table.label(tenant);
+      EXPECT_EQ(it->second.outbound_bytes, truth.outbound_bytes)
+          << table.label(tenant);
+      EXPECT_EQ(it->second.inbound_packets, truth.inbound_packets)
+          << table.label(tenant);
+      EXPECT_EQ(it->second.inbound_bytes, truth.inbound_bytes)
+          << table.label(tenant);
+      EXPECT_LE(truth.unsolicited_inbound, truth.inbound_packets);
+    }
+  }
+}
+
+TEST(TenantScenarios, FlashCrowdAddsTenantsOnlyInsideTheWindow) {
+  TenantScenarioConfig config = base_config();
+  config.flash_tenant_multiple = 2.0;
+  const TenantScenarioTrace trace =
+      generate_tenant_scenario(TenantScenarioKind::kFlashCrowd, config);
+
+  // More tenants than the steady-state population appear overall...
+  EXPECT_GT(trace.truth.size(), config.tenants);
+
+  // ...and every tenant beyond the steady base first transmits inside
+  // the configured burst window.
+  const TenantTable table{TenantTableConfig{config.mode}};
+  std::map<TenantId, double> first_outbound;
+  for (const PacketRecord& pkt : trace.packets) {
+    if (trace.network.classify(pkt) != Direction::kOutbound) continue;
+    const TenantId tenant = table.tenant_of_outbound(pkt.tuple);
+    if (first_outbound.count(tenant) == 0) {
+      first_outbound[tenant] = pkt.timestamp.sec();
+    }
+  }
+  const double start =
+      config.flash_start_frac * config.duration.to_sec();
+  const double end = config.flash_end_frac * config.duration.to_sec();
+  std::size_t burst_arrivals = 0;
+  for (const auto& [tenant, t0] : first_outbound) {
+    if (t0 >= start) {
+      EXPECT_LE(t0, end) << table.label(tenant);
+      ++burst_arrivals;
+    }
+  }
+  EXPECT_GE(burst_arrivals, config.tenants);  // multiple 2.0 doubles it
+}
+
+TEST(TenantScenarios, SwarmJoinRampsOneTenantAndOnlyOne) {
+  TenantScenarioConfig config = base_config();
+  config.swarm_final_multiple = 24.0;
+  const TenantScenarioTrace trace =
+      generate_tenant_scenario(TenantScenarioKind::kSwarmJoin, config);
+
+  // Exactly one tenant dominates upload volume by a wide margin.
+  std::uint64_t top = 0;
+  std::uint64_t second = 0;
+  for (const auto& [tenant, truth] : trace.truth) {
+    if (truth.outbound_bytes > top) {
+      second = top;
+      top = truth.outbound_bytes;
+    } else if (truth.outbound_bytes > second) {
+      second = truth.outbound_bytes;
+    }
+  }
+  ASSERT_GT(second, 0u);
+  EXPECT_GT(top, 4 * second);
+}
+
+TEST(TenantScenarios, DiurnalSwellPeaksMidTrace) {
+  TenantScenarioConfig config = base_config();
+  config.swell_ratio = 8.0;
+  const TenantScenarioTrace trace =
+      generate_tenant_scenario(TenantScenarioKind::kDiurnalSwell, config);
+
+  const double third = config.duration.to_sec() / 3.0;
+  std::size_t early = 0;
+  std::size_t mid = 0;
+  for (const PacketRecord& pkt : trace.packets) {
+    const double t = pkt.timestamp.sec();
+    if (t < third) {
+      ++early;
+    } else if (t < 2.0 * third) {
+      ++mid;
+    }
+  }
+  EXPECT_GT(mid, 2 * early);
+}
+
+}  // namespace
+}  // namespace upbound

@@ -1,0 +1,52 @@
+#include "tenant/tenant_table.h"
+
+#include <gtest/gtest.h>
+
+namespace upbound {
+namespace {
+
+TEST(TenantTable, PerSubscriberMapsEachAddressToItself) {
+  TenantTable table{TenantTableConfig{TenantMode::kPerSubscriber}};
+  const Ipv4Addr a{10, 40, 1, 7};
+  const Ipv4Addr b{10, 40, 1, 8};
+  EXPECT_NE(table.tenant_of(a), table.tenant_of(b));
+  EXPECT_EQ(table.tenant_of(a), a.value());
+}
+
+TEST(TenantTable, PerPrefix24AggregatesTheLastOctet) {
+  TenantTable table{TenantTableConfig{TenantMode::kPerPrefix24}};
+  const Ipv4Addr a{10, 40, 1, 7};
+  const Ipv4Addr b{10, 40, 1, 200};
+  const Ipv4Addr c{10, 40, 2, 7};
+  EXPECT_EQ(table.tenant_of(a), table.tenant_of(b));
+  EXPECT_NE(table.tenant_of(a), table.tenant_of(c));
+  EXPECT_EQ(table.tenant_of(a) & 0xffu, 0u);
+}
+
+TEST(TenantTable, DirectionalHelpersPickTheClientSide) {
+  TenantTable table{TenantTableConfig{TenantMode::kPerSubscriber}};
+  const FiveTuple out{Protocol::kUdp, Ipv4Addr{10, 40, 0, 2}, 4000,
+                      Ipv4Addr{198, 18, 0, 1}, 6881};
+  EXPECT_EQ(table.tenant_of_outbound(out), Ipv4Addr(10, 40, 0, 2).value());
+  EXPECT_EQ(table.tenant_of_inbound(out.inverse()),
+            Ipv4Addr(10, 40, 0, 2).value());
+}
+
+TEST(TenantTable, LabelsAreHumanReadable) {
+  TenantTable sub{TenantTableConfig{TenantMode::kPerSubscriber}};
+  EXPECT_EQ(sub.label(sub.tenant_of(Ipv4Addr{10, 40, 1, 7})), "10.40.1.7");
+  TenantTable pfx{TenantTableConfig{TenantMode::kPerPrefix24}};
+  EXPECT_EQ(pfx.label(pfx.tenant_of(Ipv4Addr{10, 40, 1, 7})),
+            "10.40.1.0/24");
+}
+
+TEST(TenantTable, ModeNamesRoundTrip) {
+  EXPECT_STREQ(tenant_mode_name(TenantMode::kPerSubscriber), "subscriber");
+  EXPECT_STREQ(tenant_mode_name(TenantMode::kPerPrefix24), "prefix24");
+  EXPECT_EQ(parse_tenant_mode("subscriber"), TenantMode::kPerSubscriber);
+  EXPECT_EQ(parse_tenant_mode("prefix24"), TenantMode::kPerPrefix24);
+  EXPECT_FALSE(parse_tenant_mode("household").has_value());
+}
+
+}  // namespace
+}  // namespace upbound
