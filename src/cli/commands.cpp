@@ -1335,6 +1335,43 @@ int cmd_live(const Args& args) {
     throw ArgError("--tap-port must be in [0, 65535]");
   }
   const std::string control_path = args.get_string("control", "");
+  const double control_timeout_sec =
+      args.get_double("control-timeout", 30.0);
+  if (control_timeout_sec < 0.0) {
+    throw ArgError("--control-timeout must be >= 0 (0 disables reaping)");
+  }
+
+  config.checkpoint_dir = args.get_string("checkpoint-dir", "");
+  const double checkpoint_sec = args.get_double("checkpoint-interval", 5.0);
+  if (checkpoint_sec <= 0.0) {
+    throw ArgError("--checkpoint-interval must be > 0");
+  }
+  config.checkpoint_interval = Duration::sec(checkpoint_sec);
+  const int checkpoint_keep =
+      static_cast<int>(args.get_int("checkpoint-keep", 4));
+  if (checkpoint_keep <= 0) throw ArgError("--checkpoint-keep must be > 0");
+  config.checkpoint_keep = static_cast<std::size_t>(checkpoint_keep);
+  const std::string restore_dir = args.get_string("restore-dir", "");
+  const std::string reload_config = args.get_string("reload-config", "");
+  config.capture_retry_limit = args.get_u64("capture-retry-limit", 0);
+
+  const std::string fault_spec_text = args.get_string("fault-spec", "");
+  std::optional<FaultInjector> fault_injector;
+  if (!fault_spec_text.empty()) {
+    if (!kFaultsCompiled) {
+      throw ArgError(
+          "--fault-spec requires a build with UPBOUND_FAULTS=ON "
+          "(the fault plane is compiled out of this binary)");
+    }
+    try {
+      fault_injector.emplace(FaultSpec::parse(fault_spec_text),
+                             config.router.seed);
+    } catch (const std::invalid_argument& e) {
+      throw ArgError(std::string{"--fault-spec: "} + e.what());
+    }
+    config.faults = &*fault_injector;
+  }
+
   const std::string out = args.get_string("out", "");
   if (const int rc = reject_unconsumed(args); rc != 0) return rc;
 
@@ -1362,7 +1399,19 @@ int cmd_live(const Args& args) {
 
   EventLoop loop;
   LiveDatapath datapath{std::move(config), spec, std::move(source), loop};
-  if (!control_path.empty()) datapath.enable_control(control_path);
+  if (!control_path.empty()) {
+    datapath.enable_control(control_path,
+                            Duration::sec(control_timeout_sec));
+  }
+
+  if (!restore_dir.empty()) {
+    // Warm-start before any traffic flows. Cross-process restart: no
+    // comparable sim time, so staleness is not checked here (the rotation
+    // schedule re-anchors on the first packet).
+    const CheckpointRestore restore =
+        datapath.restore_checkpoint_dir(restore_dir);
+    std::printf("live: %s\n", restore.report().c_str());
+  }
 
   std::unique_ptr<PcapWriter> writer;
   if (!out.empty()) {
@@ -1375,8 +1424,24 @@ int cmd_live(const Args& args) {
           }
         });
   }
-  loop.add_signals({SIGINT, SIGTERM},
-                   [&datapath](int) { datapath.drain_and_stop(); });
+  loop.add_signals(
+      {SIGINT, SIGTERM, SIGHUP},
+      [&datapath, &reload_config](int signo) {
+        if (signo == SIGHUP) {
+          // Hot reload: same path as the control socket's `reload` verb.
+          if (reload_config.empty()) {
+            std::fprintf(stderr,
+                         "live: SIGHUP ignored (no --reload-config)\n");
+            return;
+          }
+          const ControlReply reply =
+              datapath.reload_from_file(reload_config);
+          std::fprintf(stderr, "live: reload %s: %s\n",
+                       reload_config.c_str(), reply.render().c_str());
+          return;
+        }
+        datapath.drain_and_stop();
+      });
 
   if (tap_source != nullptr) {
     std::printf("live: udp-tap on 127.0.0.1:%u (filter %s)\n",
@@ -1388,6 +1453,12 @@ int cmd_live(const Args& args) {
   }
   if (!control_path.empty()) {
     std::printf("live: control socket at %s\n", control_path.c_str());
+  }
+  if (const Checkpointer* ck = datapath.checkpointer()) {
+    std::printf("live: checkpointing to %s every %s (keep %zu)\n",
+                ck->config().dir.c_str(),
+                ck->config().interval.to_string().c_str(),
+                ck->config().keep);
   }
   std::fflush(stdout);
 
@@ -1428,14 +1499,35 @@ int cmd_live(const Args& args) {
   if (datapath.router().tenancy_enabled()) {
     print_tenant_stats(stats, datapath.router().tenant_table());
   }
+  if (live.capture_failures > 0 || live.frames_lost > 0) {
+    std::printf("capture: %llu failures, %llu reattaches "
+                "(%llu attempts), %llu frames lost, %.3f s detached\n",
+                static_cast<unsigned long long>(live.capture_failures),
+                static_cast<unsigned long long>(live.capture_reattaches),
+                static_cast<unsigned long long>(
+                    live.capture_reattach_attempts),
+                static_cast<unsigned long long>(live.frames_lost),
+                static_cast<double>(live.capture_gap_usec) / 1e6);
+  }
+  if (datapath.checkpointer() != nullptr) {
+    std::printf("checkpoints: %llu written, %llu errors\n",
+                static_cast<unsigned long long>(live.checkpoints_written),
+                static_cast<unsigned long long>(live.checkpoint_errors));
+  }
+  if (live.metrics_export_errors > 0) {
+    std::printf("metrics export errors: %llu\n",
+                static_cast<unsigned long long>(live.metrics_export_errors));
+  }
   if (const ControlServer* control = datapath.control()) {
     std::printf("control: %llu connections, %llu commands, "
-                "%llu protocol errors\n",
+                "%llu protocol errors, %llu reaped\n",
                 static_cast<unsigned long long>(
                     control->connections_accepted()),
                 static_cast<unsigned long long>(
                     control->commands_processed()),
-                static_cast<unsigned long long>(control->protocol_errors()));
+                static_cast<unsigned long long>(control->protocol_errors()),
+                static_cast<unsigned long long>(
+                    control->connections_reaped()));
   }
   if (!metrics.out.empty() && datapath.metrics_export_ok()) {
     std::printf("metrics written to %s\n", metrics.out.c_str());
@@ -1574,9 +1666,14 @@ void print_usage() {
       "            [--blocklist] [--bits N --k K --dt SEC --m M]\n"
       "            [--tenants N] [--tenant-mode subscriber|prefix24]\n"
       "            [--tenant-cap N]\n"
-      "            [--control PATH] [--stamp frame|arrival]\n"
+      "            [--control PATH] [--control-timeout SEC]\n"
+      "            [--stamp frame|arrival]\n"
       "            [--duration SEC] [--max-packets N] [--tick-ms MS]\n"
       "            [--batch N] [--out FILE] [--seed N]\n"
+      "            [--checkpoint-dir DIR] [--checkpoint-interval SEC]\n"
+      "            [--checkpoint-keep N] [--restore-dir DIR]\n"
+      "            [--reload-config FILE  (applied on SIGHUP)]\n"
+      "            [--capture-retry-limit N] [--fault-spec SPEC]\n"
       "            [--metrics-out FILE] [--metrics-interval SEC]\n"
       "            [--metrics-format jsonl|prom] [--metrics-deterministic]\n"
       "            [--on-unhealthy fail-open|fail-closed]\n"

@@ -43,6 +43,15 @@ FaultInjector::FaultInjector(FaultSpec spec, std::uint64_t seed)
       case FaultKind::kClockStep:
         steps_.push_back(ev);
         break;
+      case FaultKind::kCaptureKill:
+        capture_kills_.push_back(StallEvent{ev.at_packet, 0.0, false});
+        break;
+      case FaultKind::kCaptureStall:
+        capture_stalls_.push_back(StallEvent{ev.at_packet, ev.value, false});
+        break;
+      case FaultKind::kCheckpointCorrupt:
+        checkpoint_corrupt_gens_.push_back(ev.aux);
+        break;
       default:
         break;  // lane faults are laid out in bind()
     }
@@ -187,6 +196,35 @@ std::uint64_t FaultInjector::next_lane_trigger(std::size_t shard,
 std::size_t FaultInjector::ring_chunks_for(std::size_t shard,
                                            std::size_t fallback) const {
   return lanes_[shard].ring_overflow ? 2 : fallback;
+}
+
+bool FaultInjector::take_capture_kill(std::uint64_t frames_delivered) {
+  for (StallEvent& kill : capture_kills_) {
+    if (!kill.taken && frames_delivered >= kill.at_packet) {
+      kill.taken = true;
+      ++capture_kills_taken_;
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultInjector::take_capture_stall_ms(std::uint64_t frames_delivered) {
+  for (StallEvent& stall : capture_stalls_) {
+    if (!stall.taken && frames_delivered >= stall.at_packet) {
+      stall.taken = true;
+      ++capture_stalls_taken_;
+      return stall.ms;
+    }
+  }
+  return 0.0;
+}
+
+bool FaultInjector::corrupt_checkpoint(std::uint64_t generation) const {
+  for (const std::uint64_t gen : checkpoint_corrupt_gens_) {
+    if (gen == generation) return true;
+  }
+  return false;
 }
 
 std::uint64_t FaultInjector::bits_flipped() const {

@@ -86,8 +86,26 @@ class FaultInjector {
   /// targets, `fallback` otherwise.
   std::size_t ring_chunks_for(std::size_t shard, std::size_t fallback) const;
 
+  // --- Daemon plane (live datapath; single-threaded, no bind() needed) ---
+
+  /// One-shot capture-fd kill: true the first time the source's delivered
+  /// frame count reaches a scheduled capture.kill trigger. The caller
+  /// tears the fd down (inject_failure) and lets supervision reattach.
+  bool take_capture_kill(std::uint64_t frames_delivered);
+  /// One-shot capture stall: the detach window in milliseconds the first
+  /// time `frames_delivered` reaches a capture.stall trigger, 0.0
+  /// otherwise.
+  double take_capture_stall_ms(std::uint64_t frames_delivered);
+  /// Whether the checkpoint write of `generation` is scheduled to be
+  /// corrupted (checkpoint.corrupt:<g>).
+  bool corrupt_checkpoint(std::uint64_t generation) const;
+
   // --- Injection counters (stable after the run's threads joined) ---
   std::uint64_t packets_corrupted() const { return packets_corrupted_; }
+  std::uint64_t capture_kills_taken() const { return capture_kills_taken_; }
+  std::uint64_t capture_stalls_taken() const {
+    return capture_stalls_taken_;
+  }
   std::uint64_t clock_faulted_packets() const { return clock_faulted_; }
   std::uint64_t bits_flipped() const;
   std::uint64_t flips_ignored() const;
@@ -120,6 +138,13 @@ class FaultInjector {
   FaultSpec spec_;
   std::uint64_t seed_ = 0;
   std::vector<LaneFaults> lanes_;
+
+  // Daemon-plane schedule (the single datapath thread only).
+  std::vector<StallEvent> capture_kills_;   // ms unused
+  std::vector<StallEvent> capture_stalls_;
+  std::vector<std::uint64_t> checkpoint_corrupt_gens_;
+  std::uint64_t capture_kills_taken_ = 0;
+  std::uint64_t capture_stalls_taken_ = 0;
 
   // Feed-plane schedule (partitioning thread only).
   double corrupt_rate_ = 0.0;

@@ -98,10 +98,24 @@ FaultEvent parse_entry(const std::string& entry) {
     if (operands != 1) bad(entry, "expected ring-overflow:<s>");
     ev.kind = FaultKind::kRingOverflow;
     ev.shard = static_cast<std::size_t>(parse_u64(entry, parts[1]));
+  } else if (take_at(entry, name, &ev.at_packet) == "capture.kill") {
+    // The @<n> trigger rides on the bare name (no ':' operand).
+    if (operands != 0) bad(entry, "expected capture.kill[@<n>]");
+    ev.kind = FaultKind::kCaptureKill;
+  } else if (name == "capture.stall") {
+    if (operands != 1) bad(entry, "expected capture.stall:<ms>[@<n>]");
+    ev.kind = FaultKind::kCaptureStall;
+    ev.value = parse_double(entry, take_at(entry, parts[1], &ev.at_packet));
+    if (ev.value <= 0.0) bad(entry, "stall duration must be > 0 ms");
+  } else if (name == "checkpoint.corrupt") {
+    if (operands != 1) bad(entry, "expected checkpoint.corrupt:<generation>");
+    ev.kind = FaultKind::kCheckpointCorrupt;
+    ev.aux = parse_u64(entry, parts[1]);
   } else {
     bad(entry,
         "unknown fault (kill-shard|stall-shard|corrupt|clock-step|"
-        "clock-skew|flip-bit|ring-overflow)");
+        "clock-skew|flip-bit|ring-overflow|capture.kill|capture.stall|"
+        "checkpoint.corrupt)");
   }
   return ev;
 }
@@ -117,6 +131,9 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kClockSkew: return "clock-skew";
     case FaultKind::kFlipBit: return "flip-bit";
     case FaultKind::kRingOverflow: return "ring-overflow";
+    case FaultKind::kCaptureKill: return "capture.kill";
+    case FaultKind::kCaptureStall: return "capture.stall";
+    case FaultKind::kCheckpointCorrupt: return "checkpoint.corrupt";
   }
   return "unknown";
 }
@@ -159,6 +176,16 @@ std::string FaultSpec::to_string() const {
         break;
       case FaultKind::kRingOverflow:
         out += ':' + std::to_string(ev.shard);
+        break;
+      case FaultKind::kCaptureKill:
+        out += '@' + std::to_string(ev.at_packet);
+        break;
+      case FaultKind::kCaptureStall:
+        out += ':' + std::to_string(ev.value) + '@' +
+               std::to_string(ev.at_packet);
+        break;
+      case FaultKind::kCheckpointCorrupt:
+        out += ':' + std::to_string(ev.aux);
         break;
     }
   }

@@ -26,6 +26,21 @@
 //   ring-overflow:<s>           clamps shard s's hand-off ring to the
 //                               minimum capacity, forcing producer
 //                               backpressure on every chunk
+//
+// Daemon-plane faults (the live datapath; no shard scope -- triggers
+// count frames the capture source delivered or checkpoint generations):
+//
+//   capture.kill[@<n>]          the capture source's fd dies once it has
+//                               delivered n frames (default 0); exercises
+//                               the detach -> backoff -> reattach cycle
+//   capture.stall:<ms>[@<n>]    the datapath detaches the capture fd for
+//                               <ms> wall-clock ms once n frames were
+//                               delivered, then reattaches -- a bounded,
+//                               deterministic outage window
+//   checkpoint.corrupt:<g>      the checkpointer's write of generation g
+//                               is bit-flipped after its CRC was sealed,
+//                               so restore must skip it (typed
+//                               corrupt-crc) and fall back a generation
 #pragma once
 
 #include <cstdint>
@@ -42,6 +57,11 @@ enum class FaultKind {
   kClockSkew,
   kFlipBit,
   kRingOverflow,
+  // Daemon-plane kinds (live datapath; never shard-scoped, so bind()
+  // ignores them at any shard count).
+  kCaptureKill,
+  kCaptureStall,
+  kCheckpointCorrupt,
 };
 
 const char* fault_kind_name(FaultKind kind);

@@ -62,14 +62,21 @@ void HealthMonitor::note_clock_clamp(SimTime now) {
   update(now);
 }
 
+void HealthMonitor::note_capture_outage(bool active, SimTime now) {
+  if (active && !capture_signal_) ++capture_outages_;
+  capture_signal_ = active;
+  update(now);
+}
+
 void HealthMonitor::update(SimTime now) {
   if (clock_signal_ && now > clock_signal_until_) {
     clock_signal_ = false;
     clamps_in_window_ = 0;
   }
-  const HealthState next = (occupancy_signal_ || clock_signal_)
-                               ? HealthState::kDegraded
-                               : HealthState::kHealthy;
+  const HealthState next =
+      (occupancy_signal_ || clock_signal_ || capture_signal_)
+          ? HealthState::kDegraded
+          : HealthState::kHealthy;
   if (next == state_) return;
   state_ = next;
   if (next == HealthState::kDegraded) {

@@ -69,6 +69,13 @@ class HealthMonitor {
   /// Records one clamped-clock event (a packet whose timestamp regressed)
   /// at sim time `now`; BandwidthMeter clamps are fed here too.
   void note_clock_clamp(SimTime now);
+  /// Capture-outage signal from the live datapath: while the capture fd
+  /// is detached (failure -> backoff -> reattach window) the router is
+  /// blind to new outbound state, so a stateless-inbound miss proves
+  /// nothing -- the monitor degrades for the whole gap and the configured
+  /// stance governs traffic. `active` latches on detach and clears on
+  /// reattach; no hysteresis (an fd is down or it is not).
+  void note_capture_outage(bool active, SimTime now);
 
   HealthState state() const { return state_; }
   bool degraded() const { return state_ == HealthState::kDegraded; }
@@ -77,6 +84,7 @@ class HealthMonitor {
   std::uint64_t transitions_to_degraded() const { return to_degraded_; }
   std::uint64_t transitions_to_healthy() const { return to_healthy_; }
   std::uint64_t clamp_events() const { return clamp_events_; }
+  std::uint64_t capture_outages() const { return capture_outages_; }
 
  private:
   void update(SimTime now);
@@ -85,6 +93,8 @@ class HealthMonitor {
   HealthState state_ = HealthState::kHealthy;
   bool occupancy_signal_ = false;
   bool clock_signal_ = false;
+  bool capture_signal_ = false;
+  std::uint64_t capture_outages_ = 0;
   std::uint64_t clamp_events_ = 0;
   std::uint64_t clamps_in_window_ = 0;
   SimTime clock_signal_until_;

@@ -47,13 +47,19 @@ AfPacketSource::AfPacketSource(const Config& config) : config_(config) {
     throw std::invalid_argument(
         "AfPacketSource: frame_size must not exceed block_size");
   }
-  fd_ = ::socket(AF_PACKET, SOCK_RAW | SOCK_NONBLOCK | SOCK_CLOEXEC,
-                 htons(ETH_P_ALL));
-  if (fd_ < 0) throw_errno("socket(AF_PACKET)");  // EPERM unprivileged
+  setup();
+}
 
+void AfPacketSource::setup() {
+  int fd = ::socket(AF_PACKET, SOCK_RAW | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                    htons(ETH_P_ALL));
+  if (fd < 0) throw_errno("socket(AF_PACKET)");  // EPERM unprivileged
+
+  std::uint8_t* ring = nullptr;
+  std::size_t ring_bytes = 0;
   try {
     const int version = TPACKET_V3;
-    if (::setsockopt(fd_, SOL_PACKET, PACKET_VERSION, &version,
+    if (::setsockopt(fd, SOL_PACKET, PACKET_VERSION, &version,
                      sizeof(version)) < 0) {
       throw_errno("setsockopt(PACKET_VERSION)");
     }
@@ -64,16 +70,16 @@ AfPacketSource::AfPacketSource(const Config& config) : config_(config) {
     req.tp_frame_nr =
         (config_.block_size / config_.frame_size) * config_.block_count;
     req.tp_retire_blk_tov = config_.block_timeout_ms;
-    if (::setsockopt(fd_, SOL_PACKET, PACKET_RX_RING, &req, sizeof(req)) <
+    if (::setsockopt(fd, SOL_PACKET, PACKET_RX_RING, &req, sizeof(req)) <
         0) {
       throw_errno("setsockopt(PACKET_RX_RING)");
     }
-    ring_bytes_ =
+    ring_bytes =
         static_cast<std::size_t>(req.tp_block_size) * req.tp_block_nr;
-    void* ring = ::mmap(nullptr, ring_bytes_, PROT_READ | PROT_WRITE,
-                        MAP_SHARED, fd_, 0);
-    if (ring == MAP_FAILED) throw_errno("mmap(rx ring)");
-    ring_ = static_cast<std::uint8_t*>(ring);
+    void* mapped = ::mmap(nullptr, ring_bytes, PROT_READ | PROT_WRITE,
+                          MAP_SHARED, fd, 0);
+    if (mapped == MAP_FAILED) throw_errno("mmap(rx ring)");
+    ring = static_cast<std::uint8_t*>(mapped);
 
     const unsigned ifindex = ::if_nametoindex(config_.interface.c_str());
     if (ifindex == 0) {
@@ -84,24 +90,71 @@ AfPacketSource::AfPacketSource(const Config& config) : config_(config) {
     addr.sll_family = AF_PACKET;
     addr.sll_protocol = htons(ETH_P_ALL);
     addr.sll_ifindex = static_cast<int>(ifindex);
-    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr),
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
                sizeof(addr)) < 0) {
       throw_errno("bind(AF_PACKET)");
     }
   } catch (...) {
-    if (ring_ != nullptr) ::munmap(ring_, ring_bytes_);
-    ::close(fd_);
+    if (ring != nullptr) ::munmap(ring, ring_bytes);
+    ::close(fd);
     throw;
+  }
+  fd_ = fd;
+  ring_ = ring;
+  ring_bytes_ = ring_bytes;
+  block_index_ = 0;
+  frames_left_in_block_ = 0;
+  next_frame_ = nullptr;
+  error_ = 0;
+}
+
+void AfPacketSource::teardown() {
+  if (ring_ != nullptr) {
+    ::munmap(ring_, ring_bytes_);
+    ring_ = nullptr;
+    ring_bytes_ = 0;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  block_index_ = 0;
+  frames_left_in_block_ = 0;
+  next_frame_ = nullptr;
+}
+
+void AfPacketSource::collect_kernel_drops() {
+  if (fd_ < 0) return;
+  tpacket_stats_v3 stats{};
+  socklen_t len = sizeof(stats);
+  if (::getsockopt(fd_, SOL_PACKET, PACKET_STATISTICS, &stats, &len) == 0) {
+    lost_ += stats.tp_drops;  // the read resets the kernel counter
   }
 }
 
+int AfPacketSource::reattach() {
+  collect_kernel_drops();
+  teardown();
+  // Unconsumed frames in the dead ring are gone; the kernel drop counter
+  // above is the only loss signal AF_PACKET offers, so reattach loss is
+  // best-effort by construction.
+  setup();
+  return fd_;
+}
+
+void AfPacketSource::inject_failure() {
+  collect_kernel_drops();
+  teardown();
+  error_ = EBADF;
+}
+
 AfPacketSource::~AfPacketSource() {
-  if (ring_ != nullptr) ::munmap(ring_, ring_bytes_);
-  if (fd_ >= 0) ::close(fd_);
+  teardown();
 }
 
 std::size_t AfPacketSource::drain(std::size_t max_frames,
                                   const FrameSink& sink) {
+  if (ring_ == nullptr) return 0;  // detached (failure injected)
   // One clock read per drain keeps stamping cost off the per-frame path;
   // the tick timer bounds how stale this can get.
   const SimTime stamp = config_.clock->now();

@@ -44,9 +44,30 @@ class AfPacketSource final : public CaptureSource {
   std::uint64_t frames_received() const override { return frames_; }
   std::uint64_t bytes_received() const override { return bytes_; }
 
+  int error() const override { return error_; }
+  /// Rebuilds socket + ring on the same interface (the interface must
+  /// exist again, e.g. after a NIC bounce). Frames the kernel dropped or
+  /// that sat unconsumed in the dead ring are unrecoverable; kernel drops
+  /// are folded into frames_lost().
+  int reattach() override;
+  /// Kernel ring drops (PACKET_STATISTICS), accumulated across drains
+  /// and reattach cycles.
+  std::uint64_t frames_lost() const override { return lost_; }
+  void inject_failure() override;
+
  private:
+  /// Creates the socket, configures the TPACKET_V3 ring, mmaps it, binds
+  /// the interface. Commits fd_/ring_ only on success.
+  void setup();
+  /// Unmaps the ring and closes the fd; resets the block cursor.
+  void teardown();
+  /// Drains the kernel's PACKET_STATISTICS drop counter into lost_
+  /// (the getsockopt read resets it).
+  void collect_kernel_drops();
+
   Config config_;
   int fd_ = -1;
+  int error_ = 0;
   std::uint8_t* ring_ = nullptr;
   std::size_t ring_bytes_ = 0;
 
@@ -58,6 +79,7 @@ class AfPacketSource final : public CaptureSource {
 
   std::uint64_t frames_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t lost_ = 0;
 };
 
 }  // namespace upbound::live

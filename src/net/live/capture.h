@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <stdexcept>
 #include <string>
 
 #include "util/time.h"
@@ -41,6 +42,34 @@ class CaptureSource {
   /// Inputs consumed but too malformed to contain a frame (tap datagrams
   /// shorter than their header). Counted, never delivered.
   virtual std::uint64_t malformed_inputs() const { return 0; }
+
+  // --- Failure / recovery seam (the supervised-reattach cycle) ---
+
+  /// Sticky errno of a fatal source failure (ENETDOWN, EBADF, ring
+  /// death); 0 while healthy. drain() returning 0 with error() != 0 means
+  /// "broken", not "would block" -- the datapath detaches the fd and
+  /// enters backoff instead of waiting on epoll forever.
+  virtual int error() const { return 0; }
+
+  /// Tears down and rebuilds the underlying socket/ring in place,
+  /// clearing error(). Returns the NEW fd to register (sources keep
+  /// their identity: the tap rebinds its original port, AF_PACKET
+  /// rebuilds its ring on the same interface). Throws std::system_error
+  /// when the resource is still unavailable -- the caller backs off and
+  /// retries later.
+  virtual int reattach() {
+    throw std::logic_error("CaptureSource::reattach: not supported");
+  }
+
+  /// Inputs the source knows were lost: kernel receive-queue drops plus
+  /// anything buffered when the fd died. The conservation check
+  /// (processed + lost == sent) runs on this.
+  virtual std::uint64_t frames_lost() const { return 0; }
+
+  /// Deterministic failure hook (capture.kill fault, tests): makes the
+  /// source fail exactly as if its fd died -- error() latches and the
+  /// descriptor is closed. reattach() recovers.
+  virtual void inject_failure() {}
 };
 
 }  // namespace upbound::live

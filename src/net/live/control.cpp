@@ -1,6 +1,8 @@
 #include "net/live/control.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
@@ -51,8 +53,11 @@ std::optional<double> parse_number(const std::string& text) {
 }  // namespace
 
 ControlServer::ControlServer(EventLoop& loop, std::string path,
-                             ControlApi* api)
-    : loop_(loop), path_(std::move(path)), api_(api) {
+                             ControlApi* api, Duration idle_timeout)
+    : loop_(loop),
+      path_(std::move(path)),
+      api_(api),
+      idle_timeout_(idle_timeout) {
   if (api_ == nullptr) {
     throw std::invalid_argument("ControlServer: api required");
   }
@@ -83,6 +88,16 @@ ControlServer::ControlServer(EventLoop& loop, std::string path,
     throw_errno("listen(control socket)");
   }
   loop_.add_fd(listen_fd_, [this]() { on_accept(); });
+  if (idle_timeout_ > Duration{}) {
+    // Sweep at a quarter of the timeout: a stuck client is reaped
+    // between 1x and 1.25x the configured bound, and the timer is far
+    // too slow to matter on the datapath.
+    const Duration sweep =
+        std::max(idle_timeout_ / 4, Duration::msec(10));
+    sweep_fd_ = loop_.add_timer(sweep, [this](std::uint64_t) {
+      reap_idle();
+    });
+  }
 }
 
 ControlServer::~ControlServer() {
@@ -90,10 +105,34 @@ ControlServer::~ControlServer() {
     loop_.remove_fd(fd);
     ::close(fd);
   }
+  if (sweep_fd_ >= 0) loop_.remove_fd(sweep_fd_);
   if (listen_fd_ >= 0) {
     loop_.remove_fd(listen_fd_);
     ::close(listen_fd_);
     ::unlink(path_.c_str());
+  }
+}
+
+void ControlServer::reap_idle() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto bound =
+      std::chrono::microseconds(idle_timeout_.count_usec());
+  std::vector<int> victims;
+  for (const auto& [fd, conn] : conns_) {
+    // Only MID-LINE idlers hold server memory hostage; a quiet
+    // connection between commands is a legitimate monitoring client.
+    if (conn.inbuf.empty() && !conn.skipping) continue;
+    if (now - conn.last_data < bound) continue;
+    victims.push_back(fd);
+  }
+  for (const int fd : victims) {
+    ++reaped_;
+    send_reply(fd, ControlReply::err(
+                       "timeout",
+                       "mid-command idle past " +
+                           idle_timeout_.to_string() + "; closing"));
+    // send_reply may already have closed it on a write error.
+    if (conns_.find(fd) != conns_.end()) close_connection(fd);
   }
 }
 
@@ -104,6 +143,7 @@ void ControlServer::on_accept() {
     if (fd < 0) return;  // EAGAIN: accepted everything pending
     ++accepted_;
     conns_[fd] = Connection{};
+    conns_[fd].last_data = std::chrono::steady_clock::now();
     loop_.add_fd(fd, [this, fd]() { on_readable(fd); });
   }
 }
@@ -134,6 +174,7 @@ void ControlServer::on_readable(int fd) {
 
 void ControlServer::handle_data(int fd, Connection& conn, const char* data,
                                 std::size_t len) {
+  conn.last_data = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < len; ++i) {
     const char c = data[i];
     if (c == '\n') {
@@ -228,6 +269,22 @@ ControlReply ControlServer::execute(const std::string& line,
       return ControlReply::err("bad-argument", "path contains NUL");
     }
     return api_->control_snapshot(tokens[1]);
+  }
+  if (cmd == "reload") {
+    if (tokens.size() != 2) {
+      return ControlReply::err("bad-argument", "usage: reload <path>");
+    }
+    if (tokens[1].find('\0') != std::string::npos) {
+      return ControlReply::err("bad-argument", "path contains NUL");
+    }
+    return api_->control_reload(tokens[1]);
+  }
+  if (cmd == "checkpoint") {
+    if (tokens.size() != 1) {
+      return ControlReply::err("bad-argument",
+                               "checkpoint takes no arguments");
+    }
+    return api_->control_checkpoint();
   }
   if (cmd == "set") {
     if (tokens.size() != 3) {

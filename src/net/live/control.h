@@ -9,6 +9,11 @@
 //                             retarget the degraded stance (requires an
 //                             armed health monitor)
 //   snapshot <path>           save filter state (kCapSnapshot backends)
+//   reload <path>             apply a reload config file (policy retune
+//                             and/or snapshot-migrating filter swap; see
+//                             net/live/reload.h)
+//   checkpoint                write one checkpoint generation on demand
+//                             (requires --checkpoint-dir)
 //   stats                     one-line JSON of live datapath counters
 //   stats tenants             one-line JSON per-tenant summary (tenant
 //                             count, live fine filters, instantiations,
@@ -18,15 +23,21 @@
 // Replies: "OK <detail>" or "ERR <code> <detail>". Codes are stable
 // protocol surface: unknown-command, bad-argument, capability:rotate,
 // capability:snapshot, capability:tenancy, unsupported:health,
-// line-too-long, io.
+// unsupported:reload, unsupported:checkpoint, reload-incompatible,
+// line-too-long, timeout, io.
 //
 // The server is hardened against hostile or broken clients: split reads
 // reassemble, oversized lines are rejected and skipped to the next
 // newline, embedded NULs fall out as unknown commands, and a mid-command
 // disconnect just closes that connection -- the loop and the datapath
-// never wedge.
+// never wedge. A client that goes quiet MID-LINE (bytes buffered, no
+// newline) is holding server memory hostage; a periodic sweep sends it
+// "ERR timeout" and closes the connection once it has idled past the
+// configured bound. Idle connections BETWEEN commands are left alone --
+// a monitoring client that polls `stats` every minute is fine.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -64,6 +75,19 @@ class ControlApi {
   virtual ControlReply control_set_rotate_interval(Duration dt) = 0;
   virtual ControlReply control_set_unhealthy_stance(UnhealthyStance s) = 0;
   virtual ControlReply control_snapshot(const std::string& path) = 0;
+  /// Applies a reload config file (net/live/reload.h): quiesce, snapshot,
+  /// swap. Defaulted so fakes without a reloadable datapath answer with
+  /// the typed error.
+  virtual ControlReply control_reload(const std::string& path) {
+    (void)path;
+    return ControlReply::err("unsupported:reload",
+                             "this datapath cannot reload");
+  }
+  /// Writes one checkpoint generation on demand.
+  virtual ControlReply control_checkpoint() {
+    return ControlReply::err("unsupported:checkpoint",
+                             "checkpointing not armed (--checkpoint-dir)");
+  }
   virtual ControlReply control_stats() = 0;
   /// Per-tenant summary of a tenancy-capable filter. The default is the
   /// typed capability error, so fakes and non-tenant datapaths answer
@@ -81,8 +105,11 @@ class ControlServer {
  public:
   /// Binds `path` (an existing socket file is unlinked first -- stale
   /// leftovers of a crashed daemon must not block restart) and registers
-  /// with `loop`. `api` must outlive the server.
-  ControlServer(EventLoop& loop, std::string path, ControlApi* api);
+  /// with `loop`. `api` must outlive the server. `idle_timeout` bounds
+  /// how long a connection may sit mid-line before the sweep reaps it
+  /// with "ERR timeout"; zero or negative disables reaping.
+  ControlServer(EventLoop& loop, std::string path, ControlApi* api,
+                Duration idle_timeout = Duration::sec(30.0));
   ~ControlServer();
   ControlServer(const ControlServer&) = delete;
   ControlServer& operator=(const ControlServer&) = delete;
@@ -95,6 +122,8 @@ class ControlServer {
   /// Replies dropped because the client's socket buffer was full. The
   /// server never blocks the datapath on a slow control client.
   std::uint64_t replies_dropped() const { return replies_dropped_; }
+  /// Connections closed by the mid-line idle sweep.
+  std::uint64_t connections_reaped() const { return reaped_; }
 
   /// Parses and executes one command line (exposed for protocol tests).
   /// `quit_requested` is set when the line was a well-formed `quit`; the
@@ -111,6 +140,8 @@ class ControlServer {
     std::string inbuf;
     /// Line-too-long recovery: discard until the next newline.
     bool skipping = false;
+    /// Last time bytes arrived; the idle sweep measures from here.
+    std::chrono::steady_clock::time_point last_data;
   };
 
   void on_accept();
@@ -119,17 +150,22 @@ class ControlServer {
                    std::size_t len);
   void send_reply(int fd, const ControlReply& reply);
   void close_connection(int fd);
+  /// Reaps connections idle mid-line past idle_timeout_.
+  void reap_idle();
 
   EventLoop& loop_;
   std::string path_;
   ControlApi* api_;
+  Duration idle_timeout_;
   int listen_fd_ = -1;
+  int sweep_fd_ = -1;
   std::map<int, Connection> conns_;
 
   std::uint64_t accepted_ = 0;
   std::uint64_t commands_ = 0;
   std::uint64_t protocol_errors_ = 0;
   std::uint64_t replies_dropped_ = 0;
+  std::uint64_t reaped_ = 0;
 };
 
 }  // namespace upbound::live

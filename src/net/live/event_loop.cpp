@@ -35,7 +35,8 @@ EventLoop::~EventLoop() {
   }
 }
 
-void EventLoop::add_fd(int fd, FdHandler on_readable, bool owns_fd) {
+void EventLoop::add_fd(int fd, FdHandler on_readable, bool owns_fd,
+                       FdHandler on_error) {
   const auto it = regs_.find(fd);
   if (it != regs_.end()) {
     if (!it->second.dead) {
@@ -43,10 +44,13 @@ void EventLoop::add_fd(int fd, FdHandler on_readable, bool owns_fd) {
     }
     // A dead registration whose fd was closed by its (external) owner:
     // the kernel can hand the same number to a new fd before the
-    // deferred erase runs. Reclaim the slot, but keep the old handler
-    // alive until the dispatch round ends -- it may be the closure
+    // deferred erase runs. Reclaim the slot, but keep the old handlers
+    // alive until the dispatch round ends -- one may be the closure
     // executing this very call.
-    if (dispatching_) graveyard_.push_back(std::move(it->second.handler));
+    if (dispatching_) {
+      graveyard_.push_back(std::move(it->second.handler));
+      graveyard_.push_back(std::move(it->second.on_error));
+    }
     // An owned dead fd is by definition still open (its close was
     // deferred to erase_dead); erasing the registration here would lose
     // that deferred close and leak the descriptor.
@@ -59,7 +63,9 @@ void EventLoop::add_fd(int fd, FdHandler on_readable, bool owns_fd) {
   if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
     throw_errno("epoll_ctl(ADD)");
   }
-  regs_[fd] = Registration{std::move(on_readable), owns_fd, false};
+  regs_[fd] =
+      Registration{std::move(on_readable), std::move(on_error), owns_fd,
+                   false};
 }
 
 void EventLoop::remove_fd(int fd) {
@@ -121,6 +127,38 @@ int EventLoop::add_timer(Duration period, TimerHandler on_tick) {
   return fd;
 }
 
+int EventLoop::add_oneshot(Duration delay, std::function<void()> fn) {
+  if (delay <= Duration{}) {
+    throw std::invalid_argument("EventLoop::add_oneshot: delay must be > 0");
+  }
+  const int fd = timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  if (fd < 0) throw_errno("timerfd_create");
+  itimerspec spec{};
+  const std::int64_t usec = delay.count_usec();
+  spec.it_value.tv_sec = usec / 1'000'000;
+  spec.it_value.tv_nsec = (usec % 1'000'000) * 1000;
+  // it_interval stays zero: the timer fires exactly once.
+  if (timerfd_settime(fd, 0, &spec, nullptr) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("timerfd_settime");
+  }
+  add_fd(
+      fd,
+      [this, fd, once = std::move(fn)]() {
+        std::uint64_t expirations = 0;
+        const ssize_t got = ::read(fd, &expirations, sizeof(expirations));
+        // Self-remove BEFORE running the callback: `once` may re-register
+        // this very fd number (the kernel reuses it) without tripping the
+        // already-registered check.
+        remove_fd(fd);
+        if (got == sizeof(expirations) && expirations > 0) once();
+      },
+      /*owns_fd=*/true);
+  return fd;
+}
+
 int EventLoop::add_signals(std::initializer_list<int> signals,
                            SignalHandler on_signal) {
   sigset_t set;
@@ -162,7 +200,20 @@ int EventLoop::poll_once(int timeout_ms) {
   for (int i = 0; i < n; ++i) {
     const auto it = regs_.find(events[i].data.fd);
     if (it == regs_.end() || it->second.dead) continue;
-    it->second.handler();
+    // Route pure error events (EPOLLERR/EPOLLHUP with nothing readable)
+    // to the error path when one is registered: level-triggered error
+    // bits re-fire forever, so handing them to a read handler that
+    // cannot consume them would busy-spin the loop. While data remains
+    // readable the read handler still runs -- frames buffered before the
+    // fd died must drain before the error is acted on.
+    const std::uint32_t bits = events[i].events;
+    const bool pure_error = (bits & (EPOLLERR | EPOLLHUP)) != 0 &&
+                            (bits & EPOLLIN) == 0;
+    if (pure_error && it->second.on_error) {
+      it->second.on_error();
+    } else {
+      it->second.handler();
+    }
     ++fired;
     ++dispatched_;
     if (stop_) break;

@@ -36,8 +36,13 @@ class EventLoop {
   EventLoop& operator=(const EventLoop&) = delete;
 
   /// Registers `fd` (level-triggered, EPOLLIN). With `owns_fd` the loop
-  /// closes it on removal/destruction.
-  void add_fd(int fd, FdHandler on_readable, bool owns_fd = false);
+  /// closes it on removal/destruction. `on_error` fires instead of
+  /// `on_readable` when the kernel reports EPOLLERR/EPOLLHUP with no
+  /// readable data -- a dead fd (downed NIC, closed socket) re-fires
+  /// level-triggered forever, so without an error path the loop would
+  /// busy-spin calling a read handler that can never make progress.
+  void add_fd(int fd, FdHandler on_readable, bool owns_fd = false,
+              FdHandler on_error = nullptr);
 
   /// Unregisters `fd` (safe from inside a handler, including its own).
   void remove_fd(int fd);
@@ -45,6 +50,12 @@ class EventLoop {
   /// Periodic CLOCK_MONOTONIC timer; returns the timerfd (usable with
   /// remove_fd). The loop owns the fd.
   int add_timer(Duration period, TimerHandler on_tick);
+
+  /// One-shot CLOCK_MONOTONIC timer: `fn` runs once after `delay` and the
+  /// timerfd self-removes. Returns the timerfd (remove_fd cancels the
+  /// callback before it fires). Backoff/retry timers use this so a
+  /// pending retry never outlives its schedule.
+  int add_oneshot(Duration delay, std::function<void()> fn);
 
   /// Blocks `signals` process-wide (pthread_sigmask, restored on
   /// destruction) and delivers them as events instead. Returns the
@@ -68,6 +79,9 @@ class EventLoop {
  private:
   struct Registration {
     FdHandler handler;
+    /// Dispatched on EPOLLERR/EPOLLHUP-without-data; null falls back to
+    /// `handler` (pre-existing behaviour for fds with no error path).
+    FdHandler on_error;
     bool owned = false;
     /// Removed mid-dispatch: skipped for the rest of the round and erased
     /// afterwards, so remove_fd from inside a handler never destroys the

@@ -9,6 +9,7 @@
 #include "filter/bitmap_filter.h"
 #include "filter/drop_policy.h"
 #include "filter/snapshot.h"
+#include "net/live/reload.h"
 #include "tenant/hierarchical_filter.h"
 
 namespace upbound::live {
@@ -66,7 +67,9 @@ LiveDatapath::LiveDatapath(LiveConfig config, FilterSpec spec,
       result_(config_.router.series_bucket),
       policy_low_(config_.policy_low),
       policy_high_(config_.policy_high),
-      next_metrics_emit_(SimTime::infinite()) {
+      next_metrics_emit_(SimTime::infinite()),
+      capture_retry_(config_.capture_retry_initial,
+                     config_.capture_retry_max) {
   if (config_.clock == nullptr) {
     throw std::invalid_argument("LiveDatapath: clock required");
   }
@@ -75,6 +78,12 @@ LiveDatapath::LiveDatapath(LiveConfig config, FilterSpec spec,
   }
   if (config_.batch_max == 0) {
     throw std::invalid_argument("LiveDatapath: batch_max must be > 0");
+  }
+  if (config_.capture_retry_initial <= Duration{} ||
+      config_.capture_retry_max < config_.capture_retry_initial) {
+    throw std::invalid_argument(
+        "LiveDatapath: need 0 < capture_retry_initial <= "
+        "capture_retry_max");
   }
   router_ = std::make_unique<EdgeRouter>(
       config_.router, make_state_filter(spec_), policy_from(config_));
@@ -90,8 +99,27 @@ LiveDatapath::LiveDatapath(LiveConfig config, FilterSpec spec,
         std::make_unique<MetricsJsonlWriter>(config_.metrics_out);
   }
 
+  if (!config_.checkpoint_dir.empty()) {
+    if (spec_.backend == nullptr || !spec_.backend->has(kCapSnapshot)) {
+      throw std::invalid_argument(
+          "LiveDatapath: checkpointing requires a snapshot-capable "
+          "filter backend (supported: " +
+          names_with_cap(kCapSnapshot) + ")");
+    }
+    checkpointer_ = std::make_unique<Checkpointer>(
+        Checkpointer::Config{config_.checkpoint_dir,
+                             config_.checkpoint_interval,
+                             config_.checkpoint_keep},
+        [this](CheckpointMeta& meta) { return checkpoint_state(meta); },
+        config_.faults);
+    checkpoint_fd_ = loop_.add_timer(
+        config_.checkpoint_interval,
+        [this](std::uint64_t) { write_checkpoint_now(); });
+  }
+
   start_time_ = config_.clock->now();
-  loop_.add_fd(source_->fd(), [this]() { on_capture_readable(); });
+  capture_fd_ = source_->fd();
+  attach_capture();
   tick_fd_ = loop_.add_timer(
       config_.tick, [this](std::uint64_t n) { on_tick(n); });
 }
@@ -99,11 +127,15 @@ LiveDatapath::LiveDatapath(LiveConfig config, FilterSpec spec,
 LiveDatapath::~LiveDatapath() {
   // The loop may outlive the datapath; its registrations capture `this`.
   loop_.remove_fd(tick_fd_);
-  loop_.remove_fd(source_->fd());
+  if (checkpoint_fd_ >= 0) loop_.remove_fd(checkpoint_fd_);
+  if (pending_oneshot_fd_ >= 0) loop_.remove_fd(pending_oneshot_fd_);
+  if (capture_attached_) loop_.remove_fd(capture_fd_);
 }
 
-void LiveDatapath::enable_control(const std::string& path) {
-  control_ = std::make_unique<ControlServer>(loop_, path, this);
+void LiveDatapath::enable_control(const std::string& path,
+                                  Duration idle_timeout) {
+  control_ =
+      std::make_unique<ControlServer>(loop_, path, this, idle_timeout);
 }
 
 void LiveDatapath::ingest_frame(std::span<const std::uint8_t> frame,
@@ -124,7 +156,121 @@ void LiveDatapath::on_capture_readable() {
     if (source_->drain(room, sink_) < room) break;  // source would block
   }
   process_pending();
+  run_capture_faults();
+  if (capture_attached_ && source_->error() != 0) {
+    // drain() returned "would block" because the socket is DEAD, not
+    // empty; waiting on epoll would wedge the daemon forever.
+    handle_capture_failure();
+  }
   check_stop_conditions();
+}
+
+void LiveDatapath::run_capture_faults() {
+  if constexpr (!kFaultsCompiled) return;
+  if (config_.faults == nullptr || !config_.faults->armed()) return;
+  const std::uint64_t frames = source_->frames_received();
+  if (capture_attached_ &&
+      config_.faults->take_capture_kill(frames)) {
+    source_->inject_failure();  // error() latches; handled by caller
+  }
+  const double stall_ms = config_.faults->take_capture_stall_ms(frames);
+  if (stall_ms > 0.0 && capture_attached_ && source_->error() == 0) {
+    stall_capture(Duration::sec(stall_ms / 1e3));
+  }
+}
+
+void LiveDatapath::attach_capture() {
+  loop_.add_fd(
+      capture_fd_, [this]() { on_capture_readable(); }, false,
+      [this]() { handle_capture_failure(); });
+  capture_attached_ = true;
+}
+
+void LiveDatapath::handle_capture_failure() {
+  if (!capture_attached_) return;
+  ++live_stats_.capture_failures;
+  loop_.remove_fd(capture_fd_);
+  capture_attached_ = false;
+  capture_down_since_ = config_.clock->now();
+  // The router is blind while the fd is down: a stateless-inbound miss
+  // proves nothing, so the health monitor degrades and the configured
+  // stance (fail-open / fail-closed) governs traffic across the gap.
+  router_->note_capture_outage(true, capture_down_since_);
+  const int err = source_->error();
+  std::fprintf(stderr,
+               "live: capture source '%s' failed (%s); retrying from %s\n",
+               source_->name().c_str(),
+               err != 0 ? std::strerror(err) : "event error",
+               config_.capture_retry_initial.to_string().c_str());
+  capture_retry_.reset();
+  consecutive_reattach_failures_ = 0;
+  schedule_reattach();
+}
+
+void LiveDatapath::schedule_reattach() {
+  pending_oneshot_fd_ =
+      loop_.add_oneshot(capture_retry_.next(), [this]() {
+        pending_oneshot_fd_ = -1;
+        try_reattach();
+      });
+}
+
+void LiveDatapath::try_reattach() {
+  ++live_stats_.capture_reattach_attempts;
+  try {
+    capture_fd_ = source_->reattach();
+  } catch (const std::exception& e) {
+    ++consecutive_reattach_failures_;
+    if (config_.capture_retry_limit != 0 &&
+        consecutive_reattach_failures_ >= config_.capture_retry_limit) {
+      std::fprintf(stderr,
+                   "live: capture source did not recover after %llu "
+                   "attempts (%s); draining and stopping\n",
+                   static_cast<unsigned long long>(
+                       consecutive_reattach_failures_),
+                   e.what());
+      drain_and_stop();
+      return;
+    }
+    schedule_reattach();  // bounded exponential backoff
+    return;
+  }
+  consecutive_reattach_failures_ = 0;
+  attach_capture();
+  ++live_stats_.capture_reattaches;
+  const SimTime now = config_.clock->now();
+  const Duration gap = now - capture_down_since_;
+  if (!gap.is_negative()) {
+    live_stats_.capture_gap_usec +=
+        static_cast<std::uint64_t>(gap.count_usec());
+  }
+  router_->note_capture_outage(false, now);
+  capture_retry_.reset();
+  // Anything already queued on the fresh fd predates its epoll edge.
+  on_capture_readable();
+}
+
+void LiveDatapath::stall_capture(Duration window) {
+  ++live_stats_.capture_failures;
+  loop_.remove_fd(capture_fd_);
+  capture_attached_ = false;
+  capture_down_since_ = config_.clock->now();
+  router_->note_capture_outage(true, capture_down_since_);
+  pending_oneshot_fd_ = loop_.add_oneshot(window, [this]() {
+    pending_oneshot_fd_ = -1;
+    // Same fd, no socket death: just re-register and clear the outage.
+    attach_capture();
+    ++live_stats_.capture_reattaches;
+    const SimTime now = config_.clock->now();
+    const Duration gap = now - capture_down_since_;
+    if (!gap.is_negative()) {
+      live_stats_.capture_gap_usec +=
+          static_cast<std::uint64_t>(gap.count_usec());
+    }
+    router_->note_capture_outage(false, now);
+    // The kernel kept buffering while we were detached; catch up now.
+    on_capture_readable();
+  });
 }
 
 void LiveDatapath::process_pending() {
@@ -157,6 +303,7 @@ void LiveDatapath::process_pending() {
   live_stats_.frames = source_->frames_received();
   live_stats_.frame_bytes = source_->bytes_received();
   live_stats_.malformed = source_->malformed_inputs();
+  live_stats_.frames_lost = source_->frames_lost();
 
   const SimTime batch_last = pending_[pending_count_ - 1].timestamp;
   if (!saw_packet_) {
@@ -176,13 +323,47 @@ void LiveDatapath::process_pending() {
 
 void LiveDatapath::maybe_emit_interval_metrics() {
   while (last_packet_time_ >= next_metrics_emit_) {
-    const MetricsSnapshot snap =
+    MetricsSnapshot snap =
         config_.metrics_deterministic
             ? router_->metrics_snapshot().deterministic()
             : router_->metrics_snapshot();
-    metrics_writer_->write(snap, "interval", next_metrics_emit_);
+    append_robustness_gauges(snap, next_metrics_emit_);
+    try {
+      metrics_writer_->write(snap, "interval", next_metrics_emit_);
+    } catch (const std::exception& e) {
+      // A full disk must not take the datapath down: count it, warn once,
+      // and keep processing. The boundary still advances, so a recovered
+      // filesystem resumes at the next interval instead of replaying a
+      // burst of stale snapshots.
+      ++live_stats_.metrics_export_errors;
+      if (live_stats_.metrics_export_errors == 1) {
+        std::fprintf(stderr,
+                     "live: interval metrics export failed: %s "
+                     "(continuing; counted in metrics_export_errors)\n",
+                     e.what());
+      }
+    }
     next_metrics_emit_ = next_metrics_emit_ + config_.metrics_interval;
   }
+}
+
+void LiveDatapath::append_robustness_gauges(MetricsSnapshot& snap,
+                                            SimTime now) const {
+  if (checkpointer_ == nullptr) return;
+  // Only armed daemons grow these gauges: with checkpointing off the
+  // exported snapshot is byte-identical to offline replay's, which the
+  // conformance harness asserts.
+  const Duration stale = checkpointer_->staleness(now);
+  snap.gauges.push_back(GaugeSample{
+      "checkpoint.generations",
+      static_cast<double>(checkpointer_->generations_written())});
+  snap.gauges.push_back(GaugeSample{
+      "checkpoint.staleness_usec",
+      static_cast<double>(stale.count_usec())});
+  std::sort(snap.gauges.begin(), snap.gauges.end(),
+            [](const GaugeSample& a, const GaugeSample& b) {
+              return a.name < b.name;
+            });  // gauges are name-sorted by contract
 }
 
 void LiveDatapath::on_tick(std::uint64_t expirations) {
@@ -231,13 +412,15 @@ void LiveDatapath::finalize() {
   live_stats_.frames = source_->frames_received();
   live_stats_.frame_bytes = source_->bytes_received();
   live_stats_.malformed = source_->malformed_inputs();
+  live_stats_.frames_lost = source_->frames_lost();
 
   if (!config_.metrics_out.empty()) {
     const SimTime end =
         saw_packet_ ? last_packet_time_ : SimTime::origin();
-    const MetricsSnapshot exported = config_.metrics_deterministic
-                                         ? result_.metrics.deterministic()
-                                         : result_.metrics;
+    MetricsSnapshot exported = config_.metrics_deterministic
+                                   ? result_.metrics.deterministic()
+                                   : result_.metrics;
+    append_robustness_gauges(exported, end);
     if (config_.metrics_prometheus) {
       std::FILE* f = std::fopen(config_.metrics_out.c_str(), "wb");
       if (f == nullptr) {
@@ -258,9 +441,98 @@ void LiveDatapath::finalize() {
         }
       }
     } else {
-      metrics_writer_->write(exported, "final", end);
+      try {
+        metrics_writer_->write(exported, "final", end);
+      } catch (const std::exception& e) {
+        metrics_export_failed_ = true;
+        ++live_stats_.metrics_export_errors;
+        std::fprintf(stderr,
+                     "live: failed writing metrics output '%s': %s\n",
+                     config_.metrics_out.c_str(), e.what());
+      }
     }
   }
+}
+
+std::vector<std::uint8_t> LiveDatapath::checkpoint_state(
+    CheckpointMeta& meta) {
+  // Quiesce at a batch boundary: the image never splits a batch, so a
+  // restore resumes exactly where accounting left off.
+  process_pending();
+  auto* bitmap = dynamic_cast<BitmapFilter*>(&router_->filter());
+  if (bitmap == nullptr) {
+    throw std::runtime_error(
+        "live: running filter is not checkpoint-serializable");
+  }
+  const SimTime at = saw_packet_ ? last_packet_time_ : SimTime::origin();
+  meta.time = at;
+  meta.policy_low = policy_low_;
+  meta.policy_high = policy_high_;
+  meta.rotate_interval = bitmap->config().rotate_interval;
+  meta.meter_window = config_.router.meter_window;
+  const auto* hier =
+      dynamic_cast<const HierarchicalFilter*>(&router_->filter());
+  meta.tenant_epoch =
+      hier != nullptr && hier->digests_enabled() ? hier->digest_epoch() : 0;
+  return snapshot_bitmap_filter(*bitmap, at);
+}
+
+void LiveDatapath::write_checkpoint_now() {
+  if (checkpointer_ == nullptr) return;
+  try {
+    checkpointer_->write_checkpoint();
+    ++live_stats_.checkpoints_written;
+  } catch (const std::exception& e) {
+    // Same stance as interval metrics: checkpointing is an availability
+    // aid; a full disk costs the warm start, never the datapath.
+    ++live_stats_.checkpoint_errors;
+    if (live_stats_.checkpoint_errors == 1) {
+      std::fprintf(stderr,
+                   "live: checkpoint write failed: %s (continuing; "
+                   "counted in checkpoint_errors)\n",
+                   e.what());
+    }
+  }
+}
+
+CheckpointRestore LiveDatapath::restore_checkpoint_dir(
+    const std::string& dir, std::optional<SimTime> now) {
+  CheckpointRestore restore = restore_newest_checkpoint(dir, now);
+  if (!restore.ok()) return restore;
+
+  // The restored image must match the CONFIGURED geometry: silently
+  // adopting a checkpoint with different {n, k, m, seed, key-mode} would
+  // change Eq. 2 behavior out from under the operator's flags. dt is the
+  // one tunable that follows the checkpoint (a runtime `set dt` retune
+  // survives restart).
+  const std::string name =
+      restore.path.substr(restore.path.find_last_of('/') + 1);
+  if (spec_.backend == nullptr || !spec_.backend->has(kCapSnapshot)) {
+    restore.skipped.push_back(name + ": geometry-mismatch");
+    restore.filter.reset();
+    return restore;
+  }
+  const BitmapFilterConfig& want = spec_.config_as<BitmapFilterConfig>();
+  const BitmapFilterConfig& got = restore.filter->filter.config();
+  if (got.log2_bits != want.log2_bits ||
+      got.vector_count != want.vector_count ||
+      got.hash_count != want.hash_count ||
+      got.hash_seed != want.hash_seed || got.key_mode != want.key_mode) {
+    restore.skipped.push_back(name + ": geometry-mismatch");
+    restore.filter.reset();
+    return restore;
+  }
+
+  if (config_.policy_red) {
+    policy_low_ = restore.meta.policy_low;
+    policy_high_ = restore.meta.policy_high;
+    router_->set_drop_policy(
+        std::make_unique<RedDropPolicy>(policy_low_, policy_high_));
+  }
+  // The filter moves into the router; restore.filter stays engaged (a
+  // moved-from husk) so ok()/report() keep describing the success.
+  router_->replace_filter(take_restored_filter(std::move(*restore.filter)));
+  return restore;
 }
 
 ControlReply LiveDatapath::control_set_threshold(bool is_low, double bps) {
@@ -338,18 +610,158 @@ ControlReply LiveDatapath::control_snapshot(const std::string& path) {
   }
 }
 
+ControlReply LiveDatapath::control_reload(const std::string& path) {
+  ReloadConfig reload;
+  try {
+    reload = parse_reload_config(path);
+  } catch (const std::invalid_argument& e) {
+    return ControlReply::err("bad-argument", e.what());
+  } catch (const std::exception& e) {
+    return ControlReply::err("io", e.what());
+  }
+
+  // Validate EVERYTHING before touching the datapath: a reload applies
+  // whole or not at all, so a typo'd config can never leave the daemon
+  // half-reconfigured.
+  double low = policy_low_;
+  double high = policy_high_;
+  const bool retune_policy =
+      reload.policy_low.has_value() || reload.policy_high.has_value();
+  if (retune_policy) {
+    if (!config_.policy_red) {
+      return ControlReply::err(
+          "bad-argument",
+          "low/high retune a RED policy; this datapath runs a constant "
+          "P_d");
+    }
+    low = reload.policy_low.value_or(low);
+    high = reload.policy_high.value_or(high);
+    if (!(low < high)) {
+      return ControlReply::err(
+          "bad-argument", "thresholds must satisfy low < high (low=" +
+                              format_bps(low) + ", high=" +
+                              format_bps(high) + ")");
+    }
+  }
+
+  std::string detail;
+  if (reload.has_filter) {
+    const BackendDescriptor* backend =
+        FilterRegistry::instance().find(reload.filter_kind);
+    if (backend == nullptr) {
+      return ControlReply::err(
+          "bad-argument",
+          "unknown filter backend '" + reload.filter_kind + "' (" +
+              FilterRegistry::instance().names_joined("|") + ")");
+    }
+    FilterSpec new_spec;
+    try {
+      new_spec = backend->parse(reload.filter_args);
+    } catch (const std::invalid_argument& e) {
+      return ControlReply::err("bad-argument", e.what());
+    }
+    // Marking state migrates through the snapshot format, so both the
+    // running backend and the target must speak it, and the geometry
+    // {n, k, m, seed, key-mode} must agree -- a snapshot of one geometry
+    // has no lossless embedding into another. dt alone may change; the
+    // rotation schedule carries over.
+    if (spec_.backend == nullptr || !spec_.backend->has(kCapSnapshot) ||
+        !backend->has(kCapSnapshot)) {
+      return ControlReply::err(
+          "reload-incompatible",
+          "'" + spec_.kind() + "' -> '" + backend->name +
+              "' cannot migrate state (snapshot-capable backends: " +
+              names_with_cap(kCapSnapshot) + "); restart to change");
+    }
+    auto* bitmap = dynamic_cast<BitmapFilter*>(&router_->filter());
+    if (bitmap == nullptr) {
+      return ControlReply::err(
+          "reload-incompatible",
+          "running filter is not snapshot-serializable; restart to change");
+    }
+    const BitmapFilterConfig& want = new_spec.config_as<BitmapFilterConfig>();
+    const BitmapFilterConfig& got = bitmap->config();
+    if (got.log2_bits != want.log2_bits ||
+        got.vector_count != want.vector_count ||
+        got.hash_count != want.hash_count ||
+        got.hash_seed != want.hash_seed ||
+        got.key_mode != want.key_mode) {
+      return ControlReply::err(
+          "reload-incompatible",
+          "new geometry would discard marking state (running n=" +
+              std::to_string(got.log2_bits) + " k=" +
+              std::to_string(got.vector_count) + " m=" +
+              std::to_string(got.hash_count) +
+              "; only dt may change across a reload). Filter untouched; "
+              "restart to change geometry");
+    }
+
+    // Quiesce at a batch boundary and migrate: snapshot -> restore ->
+    // swap. The round-trip runs even when only dt (or nothing) changed --
+    // it IS the lossless-migration path, and the conformance test pins a
+    // no-op reload to byte-identical results.
+    process_pending();
+    const SimTime at = saw_packet_ ? last_packet_time_ : SimTime::origin();
+    BitmapRestoreResult round = restore_bitmap_filter_checked(
+        snapshot_bitmap_filter(*bitmap, at), std::nullopt);
+    if (!round.restored.has_value()) {
+      return ControlReply::err(
+          "io", std::string{"snapshot round-trip failed: "} +
+                    snapshot_restore_error_name(round.error));
+    }
+    if (want.rotate_interval != got.rotate_interval) {
+      round.restored->filter.set_rotate_interval(want.rotate_interval);
+    }
+    router_->replace_filter(
+        take_restored_filter(std::move(*round.restored)));
+    spec_ = std::move(new_spec);
+    detail = "filter=" + spec_.kind() +
+             " dt=" + format_bps(want.rotate_interval.to_sec()) + "s";
+  }
+
+  if (retune_policy) {
+    policy_low_ = low;
+    policy_high_ = high;
+    router_->set_drop_policy(std::make_unique<RedDropPolicy>(low, high));
+    if (!detail.empty()) detail += ' ';
+    detail += "low=" + format_bps(low) + " high=" + format_bps(high);
+  }
+  return ControlReply::good("reloaded " + path + ": " + detail);
+}
+
+ControlReply LiveDatapath::control_checkpoint() {
+  if (checkpointer_ == nullptr) {
+    return ControlReply::err(
+        "unsupported:checkpoint",
+        "checkpointing not armed (launch with --checkpoint-dir)");
+  }
+  try {
+    const std::string path = checkpointer_->write_checkpoint();
+    ++live_stats_.checkpoints_written;
+    return ControlReply::good("wrote " + path);
+  } catch (const std::exception& e) {
+    ++live_stats_.checkpoint_errors;
+    return ControlReply::err("io", e.what());
+  }
+}
+
 ControlReply LiveDatapath::control_stats() {
   live_stats_.frames = source_->frames_received();
   live_stats_.frame_bytes = source_->bytes_received();
   live_stats_.malformed = source_->malformed_inputs();
+  live_stats_.frames_lost = source_->frames_lost();
   const SimTime at = saw_packet_ ? last_packet_time_ : SimTime::origin();
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "{\"source\":\"%s\",\"frames\":%llu,\"frame_bytes\":%llu,"
       "\"packets\":%llu,\"forwarded\":%llu,\"dropped\":%llu,"
       "\"ignored\":%llu,\"decode_errors\":%llu,\"malformed\":%llu,"
-      "\"batches\":%llu,\"ticks\":%llu,\"uplink_bps\":%g}",
+      "\"batches\":%llu,\"ticks\":%llu,\"frames_lost\":%llu,"
+      "\"capture_failures\":%llu,\"capture_reattaches\":%llu,"
+      "\"capture_gap_usec\":%llu,\"capture_attached\":%s,"
+      "\"metrics_export_errors\":%llu,\"checkpoints_written\":%llu,"
+      "\"uplink_bps\":%g}",
       source_->name().c_str(),
       static_cast<unsigned long long>(live_stats_.frames),
       static_cast<unsigned long long>(live_stats_.frame_bytes),
@@ -361,6 +773,13 @@ ControlReply LiveDatapath::control_stats() {
       static_cast<unsigned long long>(live_stats_.malformed),
       static_cast<unsigned long long>(live_stats_.batches),
       static_cast<unsigned long long>(live_stats_.ticks),
+      static_cast<unsigned long long>(live_stats_.frames_lost),
+      static_cast<unsigned long long>(live_stats_.capture_failures),
+      static_cast<unsigned long long>(live_stats_.capture_reattaches),
+      static_cast<unsigned long long>(live_stats_.capture_gap_usec),
+      capture_attached_ ? "true" : "false",
+      static_cast<unsigned long long>(live_stats_.metrics_export_errors),
+      static_cast<unsigned long long>(live_stats_.checkpoints_written),
       router_->uplink_bits_per_sec(at));
   return ControlReply::good(buf);
 }

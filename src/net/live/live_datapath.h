@@ -20,12 +20,15 @@
 #include <optional>
 #include <string>
 
+#include "fault/fault_injector.h"
 #include "filter/filter_registry.h"
 #include "net/headers.h"
 #include "net/live/capture.h"
+#include "net/live/checkpointer.h"
 #include "net/live/control.h"
 #include "net/live/event_loop.h"
 #include "sim/replay.h"
+#include "util/backoff.h"
 #include "util/clock.h"
 #include "util/metrics_export.h"
 
@@ -57,6 +60,25 @@ struct LiveConfig {
   Duration metrics_interval{};  // zero = final snapshot only
   bool metrics_deterministic = false;
   bool metrics_prometheus = false;
+
+  /// Capture-source supervision: when the source's fd dies (ENETDOWN,
+  /// ring death, EPOLLERR) the datapath detaches it and retries
+  /// reattach() under bounded exponential backoff instead of exiting.
+  Duration capture_retry_initial = Duration::msec(10);
+  Duration capture_retry_max = Duration::sec(2.0);
+  /// Consecutive failed reattach attempts before the daemon gives up and
+  /// drains; 0 = retry forever.
+  std::uint64_t capture_retry_limit = 0;
+
+  /// Periodic crash-consistent checkpointing (empty dir = off; requires
+  /// a kCapSnapshot backend).
+  std::string checkpoint_dir;
+  Duration checkpoint_interval = Duration::sec(5.0);
+  std::size_t checkpoint_keep = 4;
+
+  /// Daemon-plane fault injection (capture.kill / capture.stall /
+  /// checkpoint.corrupt); owned by the caller, may be null.
+  FaultInjector* faults = nullptr;
 };
 
 struct LiveStats {
@@ -70,6 +92,16 @@ struct LiveStats {
   std::uint64_t dropped = 0;       // drop verdicts
   std::uint64_t ignored = 0;       // local/transit verdicts
   std::uint64_t ticks = 0;         // tick-timer expirations observed
+
+  // Robustness-layer accounting.
+  std::uint64_t capture_failures = 0;    // fatal source errors observed
+  std::uint64_t capture_reattach_attempts = 0;
+  std::uint64_t capture_reattaches = 0;  // fd successfully re-registered
+  std::uint64_t frames_lost = 0;         // source-reported input loss
+  std::uint64_t capture_gap_usec = 0;    // cumulative detached wall time
+  std::uint64_t metrics_export_errors = 0;  // failed interval exports
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoint_errors = 0;   // failed checkpoint writes
 };
 
 /// Strips the batch-shape-dependent histograms (batch.packets,
@@ -92,8 +124,28 @@ class LiveDatapath final : public ControlApi {
                std::unique_ptr<CaptureSource> source, EventLoop& loop);
   ~LiveDatapath() override;
 
-  /// Arms the control socket at `path`.
-  void enable_control(const std::string& path);
+  /// Arms the control socket at `path`. `idle_timeout` is forwarded to
+  /// the ControlServer's mid-line idle sweep.
+  void enable_control(const std::string& path,
+                      Duration idle_timeout = Duration::sec(30.0));
+
+  /// Restores the newest valid checkpoint generation from `dir` into the
+  /// running router: filter state, drop-policy watermarks, and rotation
+  /// cadence. Generations that fail to decode, CRC-check, restore, or
+  /// whose geometry disagrees with the configured filter spec are skipped
+  /// with typed reasons (result.skipped); the restore succeeds iff any
+  /// generation survives. `now` enables the T_e staleness check --
+  /// in-process restarts on a shared timeline pass the current sim time,
+  /// cross-process restarts pass nullopt (monotonic epochs are not
+  /// comparable between runs). Call before traffic flows.
+  CheckpointRestore restore_checkpoint_dir(
+      const std::string& dir, std::optional<SimTime> now = std::nullopt);
+
+  /// SIGHUP entry point: applies the reload file like the control
+  /// socket's `reload` verb and returns the same typed reply.
+  ControlReply reload_from_file(const std::string& path) {
+    return control_reload(path);
+  }
 
   /// Per-verdict hook (e.g. writing forwarded packets to a pcap).
   void set_verdict_sink(
@@ -121,12 +173,17 @@ class LiveDatapath final : public ControlApi {
   CaptureSource& source() { return *source_; }
   const ControlServer* control() const { return control_.get(); }
   SimTime last_packet_time() const { return last_packet_time_; }
+  /// False while the capture fd is detached (failure -> backoff window).
+  bool capture_attached() const { return capture_attached_; }
+  const Checkpointer* checkpointer() const { return checkpointer_.get(); }
 
   // ControlApi:
   ControlReply control_set_threshold(bool is_low, double bps) override;
   ControlReply control_set_rotate_interval(Duration dt) override;
   ControlReply control_set_unhealthy_stance(UnhealthyStance s) override;
   ControlReply control_snapshot(const std::string& path) override;
+  ControlReply control_reload(const std::string& path) override;
+  ControlReply control_checkpoint() override;
   ControlReply control_stats() override;
   ControlReply control_stats_tenants() override;
   void control_quit() override;
@@ -140,6 +197,31 @@ class LiveDatapath final : public ControlApi {
   void process_pending();
   void maybe_emit_interval_metrics();
   void check_stop_conditions();
+
+  // Capture supervision.
+  /// Detaches the dead capture fd, flips the router's health stance into
+  /// the outage, and schedules the first backoff reattach attempt.
+  void handle_capture_failure();
+  void try_reattach();
+  void schedule_reattach();
+  /// Re-registers `capture_fd_` with the loop and clears the outage.
+  void attach_capture();
+  /// Fires armed daemon-plane faults (capture.kill / capture.stall)
+  /// against the source's delivered-frame count.
+  void run_capture_faults();
+  /// Deterministic outage: detach for `window`, then re-register the
+  /// same fd (no socket death involved).
+  void stall_capture(Duration window);
+
+  // Checkpointing.
+  /// StateProvider body: quiesces and snapshots the bitmap filter.
+  std::vector<std::uint8_t> checkpoint_state(CheckpointMeta& meta);
+  /// Timer body: one checkpoint, errors counted + warned, never fatal.
+  void write_checkpoint_now();
+  /// Appends checkpoint.staleness_usec / checkpoint.generations gauges
+  /// when checkpointing is armed (off = snapshot untouched, preserving
+  /// conformance byte-identity).
+  void append_robustness_gauges(MetricsSnapshot& snap, SimTime now) const;
 
   LiveConfig config_;
   FilterSpec spec_;
@@ -172,6 +254,19 @@ class LiveDatapath final : public ControlApi {
   SimTime next_metrics_emit_;
   int tick_fd_ = -1;
   bool finalized_ = false;
+
+  // Capture supervision state.
+  int capture_fd_ = -1;
+  bool capture_attached_ = false;
+  SimTime capture_down_since_;
+  RetryDelay capture_retry_;
+  std::uint64_t consecutive_reattach_failures_ = 0;
+  /// Pending backoff / stall one-shot timer fd (-1 = none); removed in
+  /// the destructor so no callback outlives the datapath.
+  int pending_oneshot_fd_ = -1;
+
+  std::unique_ptr<Checkpointer> checkpointer_;
+  int checkpoint_fd_ = -1;
 };
 
 }  // namespace upbound::live

@@ -1,0 +1,124 @@
+#include "net/live/reload.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <stdexcept>
+
+namespace upbound::live {
+
+namespace {
+
+[[noreturn]] void bad_line(const std::string& path, std::size_t lineno,
+                           const std::string& why) {
+  throw std::invalid_argument(path + ":" + std::to_string(lineno) + ": " +
+                              why);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' ||
+                   s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+double parse_watermark(const std::string& path, std::size_t lineno,
+                       const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  errno = 0;
+  const double bps = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end != value.c_str() + value.size() || !(bps > 0.0)) {
+    bad_line(path, lineno,
+             key + " must be a positive bits/sec number, got '" + value +
+                 "'");
+  }
+  return bps;
+}
+
+}  // namespace
+
+ReloadConfig parse_reload_config(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw std::runtime_error("cannot read reload config '" + path +
+                             "': " + std::strerror(errno));
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    throw std::runtime_error("cannot read reload config '" + path + "'");
+  }
+
+  ReloadConfig config;
+  bool any_filter_args = false;
+  std::size_t first_arg_line = 0;
+  std::set<std::string> seen;
+  std::size_t lineno = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string raw = text.substr(
+        pos, nl == std::string::npos ? std::string::npos : nl - pos);
+    pos = nl == std::string::npos ? text.size() + 1 : nl + 1;
+    ++lineno;
+
+    std::string line = raw;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t sp = line.find_first_of(" \t");
+    const std::string key =
+        sp == std::string::npos ? line : trim(line.substr(0, sp));
+    const std::string value =
+        sp == std::string::npos ? "" : trim(line.substr(sp));
+    if (!seen.insert(key).second) {
+      bad_line(path, lineno, "duplicate key '" + key + "'");
+    }
+
+    if (key == "filter") {
+      if (value.empty()) bad_line(path, lineno, "filter needs a backend");
+      config.has_filter = true;
+      config.filter_kind = value;
+    } else if (key == "low") {
+      config.policy_low = parse_watermark(path, lineno, key, value);
+    } else if (key == "high") {
+      config.policy_high = parse_watermark(path, lineno, key, value);
+    } else if (value.empty()) {
+      config.filter_args.set_flag(key);
+      if (!any_filter_args) first_arg_line = lineno;
+      any_filter_args = true;
+    } else {
+      config.filter_args.set(key, value);
+      if (!any_filter_args) first_arg_line = lineno;
+      any_filter_args = true;
+    }
+  }
+  if (any_filter_args && !config.has_filter) {
+    // Geometry keys without a backend would be dropped on the floor; a
+    // typo'd "filter" line must not silently reload nothing.
+    bad_line(path, first_arg_line,
+             "filter arguments given without a 'filter <backend>' line");
+  }
+  if (!config.has_filter && !config.policy_low.has_value() &&
+      !config.policy_high.has_value()) {
+    throw std::invalid_argument(
+        path + ": reload config changes nothing (no filter/low/high)");
+  }
+  return config;
+}
+
+}  // namespace upbound::live

@@ -1,0 +1,50 @@
+// Hot-reload configuration files for the live daemon.
+//
+// A reload file is line-oriented "key value" pairs ('#' comments, blank
+// lines ignored; a key alone on its line is a boolean flag):
+//
+//   # filter geometry -- forwarded to the FilterRegistry parser
+//   filter bitmap
+//   bits 20
+//   k 4
+//   m 3
+//   dt 5.0
+//   hole-punching
+//   # Eq. 1 drop-policy watermarks (bits/sec)
+//   low 50e6
+//   high 100e6
+//
+// `filter` selects the backend; every key other than filter/low/high is
+// passed through verbatim to that backend's registry parser, so the
+// reload file accepts exactly the spellings `--filter` accepts on the
+// command line. low/high retune the RED policy and work for any backend;
+// a `filter` line requests a state-migrating filter swap, which the
+// datapath only grants when old and new geometry are snapshot-compatible
+// (see LiveDatapath::control_reload).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "filter/filter_registry.h"
+
+namespace upbound::live {
+
+struct ReloadConfig {
+  /// Set when the file names a filter backend; filter_args carries every
+  /// pass-through key for its parser.
+  bool has_filter = false;
+  std::string filter_kind;
+  MapFilterArgs filter_args;
+
+  std::optional<double> policy_low;
+  std::optional<double> policy_high;
+};
+
+/// Parses a reload file. Throws std::runtime_error when the file cannot
+/// be read (an "io" control error) and std::invalid_argument for a
+/// malformed line, duplicate key, or non-numeric watermark (a
+/// "bad-argument" control error), always naming the offending line.
+ReloadConfig parse_reload_config(const std::string& path);
+
+}  // namespace upbound::live

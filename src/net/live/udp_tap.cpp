@@ -84,36 +84,10 @@ UdpTapSource::UdpTapSource(const Config& config) : config_(config) {
     throw std::invalid_argument(
         "UdpTapSource: kOnReceive requires a clock");
   }
-  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (fd_ < 0) throw_errno("socket(AF_INET, SOCK_DGRAM)");
-
-  // Best-effort: a deep socket buffer absorbs sender bursts while the
-  // datapath is mid-batch. The kernel silently caps at rmem_max.
-  ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &config_.rcvbuf_bytes,
-               sizeof(config_.rcvbuf_bytes));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(config_.port);
-  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    const int saved = errno;
-    ::close(fd_);
-    errno = saved;
-    throw_errno("bind(udp tap)");
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
-    const int saved = errno;
-    ::close(fd_);
-    errno = saved;
-    throw_errno("getsockname(udp tap)");
-  }
-  local_port_ = ntohs(bound.sin_port);
+  open_socket(config_.port);
 
   buffers_.resize(kRecvBatch * kDatagramCap);
+  ctrls_.resize(kRecvBatch * kCtrlCap);
   msgs_.resize(kRecvBatch);
   iovs_.resize(kRecvBatch);
   for (std::size_t i = 0; i < kRecvBatch; ++i) {
@@ -125,17 +99,117 @@ UdpTapSource::UdpTapSource(const Config& config) : config_(config) {
   }
 }
 
+void UdpTapSource::open_socket(std::uint16_t port) {
+  const int fd =
+      ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket(AF_INET, SOCK_DGRAM)");
+
+  // Best-effort: a deep socket buffer absorbs sender bursts while the
+  // datapath is mid-batch. The kernel silently caps at rmem_max.
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &config_.rcvbuf_bytes,
+               sizeof(config_.rcvbuf_bytes));
+#ifdef SO_RXQ_OVFL
+  // Best-effort: a cumulative drop counter rides each datagram as
+  // ancillary data, so receive-queue overflow becomes visible loss
+  // instead of silence.
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_RXQ_OVFL, &one, sizeof(one));
+#endif
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("bind(udp tap)");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("getsockname(udp tap)");
+  }
+  fd_ = fd;
+  local_port_ = ntohs(bound.sin_port);
+  error_ = 0;
+  kernel_drops_seen_ = 0;  // SO_RXQ_OVFL counts per socket
+}
+
 UdpTapSource::~UdpTapSource() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+int UdpTapSource::reattach() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  // Whatever sat in the scatter ring when the fd died is gone for good;
+  // account it before the rebind can fail and leave us retrying.
+  lost_ += queued_ - consumed_;
+  queued_ = consumed_ = 0;
+  record_off_ = 0;
+  // Rebind the port the first bind resolved: connect()ed senders keep a
+  // valid destination, and a conformance run's port stays stable.
+  open_socket(local_port_ != 0 ? local_port_ : config_.port);
+  return fd_;
+}
+
+void UdpTapSource::inject_failure() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  error_ = EBADF;
+}
+
 std::size_t UdpTapSource::refill() {
+  if (fd_ < 0) return 0;
+  // recvmmsg scribbles on msg_controllen; re-arm the ancillary buffers
+  // every batch.
+  for (std::size_t i = 0; i < kRecvBatch; ++i) {
+    msgs_[i].msg_hdr.msg_control = ctrls_.data() + i * kCtrlCap;
+    msgs_[i].msg_hdr.msg_controllen = kCtrlCap;
+  }
   const int got = ::recvmmsg(fd_, msgs_.data(), kRecvBatch, MSG_DONTWAIT,
                              nullptr);
-  if (got <= 0) return 0;
+  if (got < 0) {
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      // Fatal socket death (ENETDOWN, EBADF after an external close):
+      // latch it so the datapath can tell "broken" from "would block".
+      error_ = errno;
+      ::close(fd_);
+      fd_ = -1;
+    }
+    return 0;
+  }
+  if (got == 0) return 0;
   queued_ = static_cast<std::size_t>(got);
   consumed_ = 0;
   record_off_ = 0;
+#ifdef SO_RXQ_OVFL
+  for (std::size_t i = 0; i < queued_; ++i) {
+    msghdr* mh = &msgs_[i].msg_hdr;
+    for (cmsghdr* c = CMSG_FIRSTHDR(mh); c != nullptr;
+         c = CMSG_NXTHDR(mh, c)) {
+      if (c->cmsg_level != SOL_SOCKET || c->cmsg_type != SO_RXQ_OVFL) {
+        continue;
+      }
+      std::uint32_t drops = 0;
+      std::memcpy(&drops, CMSG_DATA(c), sizeof(drops));
+      if (drops > kernel_drops_seen_) {
+        lost_ += drops - kernel_drops_seen_;
+        kernel_drops_seen_ = drops;
+      }
+    }
+  }
+#endif
   if (config_.timestamp_mode == TapTimestampMode::kOnReceive) {
     // One clock read stamps the whole refill: cheaper than per-datagram
     // reads and still monotone (later refills read a later clock).

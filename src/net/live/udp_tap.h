@@ -72,6 +72,16 @@ class UdpTapSource final : public CaptureSource {
   std::uint64_t bytes_received() const override { return bytes_; }
   std::uint64_t malformed_inputs() const override { return malformed_; }
 
+  int error() const override { return error_; }
+  /// Rebinds a fresh socket to the port the first bind resolved, so
+  /// connect()ed senders keep working across the gap. Datagrams still
+  /// buffered when the old fd died are abandoned and counted as lost.
+  int reattach() override;
+  /// Kernel receive-queue overflow drops (SO_RXQ_OVFL) plus datagrams
+  /// abandoned across reattach.
+  std::uint64_t frames_lost() const override { return lost_; }
+  void inject_failure() override;
+
   /// The bound port (resolves port 0 to the kernel's choice).
   std::uint16_t local_port() const { return local_port_; }
 
@@ -83,16 +93,23 @@ class UdpTapSource final : public CaptureSource {
   /// payload can carry (loopback MTU; no fragmentation).
   static constexpr std::size_t kDatagramCap = 64 * 1024;
 
+  /// Ancillary-data capacity per message (holds the SO_RXQ_OVFL u32).
+  static constexpr std::size_t kCtrlCap = 64;
+
   /// Pulls one recvmmsg batch into the ring; returns datagrams received.
   std::size_t refill();
+  /// Creates + binds the socket; commits fd_/local_port_ only on success.
+  void open_socket(std::uint16_t port);
 
   Config config_;
   int fd_ = -1;
   std::uint16_t local_port_ = 0;
+  int error_ = 0;
 
   // Preallocated recvmmsg scatter ring; queued_/consumed_ make drains
   // resumable so a small max_frames never discards buffered datagrams.
   std::vector<std::uint8_t> buffers_;
+  std::vector<std::uint8_t> ctrls_;
   std::vector<mmsghdr> msgs_;
   std::vector<iovec> iovs_;
   std::size_t queued_ = 0;
@@ -105,6 +122,9 @@ class UdpTapSource final : public CaptureSource {
   std::uint64_t frames_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t malformed_ = 0;
+  std::uint64_t lost_ = 0;
+  /// Last SO_RXQ_OVFL reading (cumulative per socket; resets on rebind).
+  std::uint32_t kernel_drops_seen_ = 0;
 };
 
 /// Load/test client for the tap: connects to a local UdpTapSource and

@@ -138,6 +138,40 @@ bool EdgeRouter::set_unhealthy_stance(UnhealthyStance stance) {
   return true;
 }
 
+void EdgeRouter::replace_filter(std::unique_ptr<StateFilter> filter) {
+  if (filter == nullptr) {
+    throw std::invalid_argument("EdgeRouter::replace_filter: null filter");
+  }
+  if (tuner_.has_value() && !filter->occupancy_fraction().has_value()) {
+    throw std::invalid_argument(
+        "EdgeRouter::replace_filter: the tuner requires a filter with an "
+        "occupancy signal (filter '" + filter->name() + "' has none)");
+  }
+  filter_ = std::move(filter);
+  // Re-derive everything the constructor derived from the filter type:
+  // a reload may change the backend out from under the telemetry seams.
+  hier_ = dynamic_cast<HierarchicalFilter*>(filter_.get());
+  if (kFaultsCompiled && health_.has_value()) {
+    health_occupancy_supported_ = filter_->occupancy_fraction().has_value();
+  }
+}
+
+bool EdgeRouter::note_capture_outage(bool active, SimTime now) {
+  if (!kFaultsCompiled || !health_.has_value()) return false;
+  if (now < last_time_) now = last_time_;
+  health_->note_capture_outage(active, now);
+  // Mirror the transition counters and the per-packet degraded flag right
+  // here: the next batch may arrive before the next health_poll.
+  const std::uint64_t degraded = health_->transitions_to_degraded();
+  const std::uint64_t recovered = health_->transitions_to_healthy();
+  ctr_health_degraded_->inc(degraded - health_degraded_seen_);
+  ctr_health_recovered_->inc(recovered - health_recovered_seen_);
+  health_degraded_seen_ = degraded;
+  health_recovered_seen_ = recovered;
+  health_degraded_ = health_->degraded();
+  return true;
+}
+
 RouterDecision EdgeRouter::process(const PacketRecord& pkt) {
   RouterDecision decision = RouterDecision::kIgnored;
   process_batch(PacketBatch{&pkt, 1}, std::span<RouterDecision>{&decision, 1});

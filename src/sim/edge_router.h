@@ -258,6 +258,21 @@ class EdgeRouter {
   /// operator.
   bool set_unhealthy_stance(UnhealthyStance stance);
 
+  /// Swaps the state filter at runtime (live hot reload: the caller has
+  /// already migrated state into `filter`). Re-derives the telemetry
+  /// downcast and the occupancy-capability flag; throws on null, and --
+  /// with the tuner engaged -- on a filter without an occupancy signal
+  /// (same contract the constructor enforces), leaving the running
+  /// filter untouched in every throwing path.
+  void replace_filter(std::unique_ptr<StateFilter> filter);
+
+  /// Live capture-outage feed: latches (or clears) the health monitor's
+  /// capture signal at sim time `now` and refreshes the degraded stance
+  /// mirror immediately -- traffic processed during the gap must already
+  /// run under the degraded stance, not one batch later. Returns false
+  /// when health monitoring is not engaged.
+  bool note_capture_outage(bool active, SimTime now);
+
  private:
   // --- Pipeline stages (each consumes a batch or a run of one) ---
 

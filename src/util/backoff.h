@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <thread>
 
+#include "util/time.h"
+
 namespace upbound {
 
 class ExpBackoff {
@@ -50,6 +52,37 @@ class ExpBackoff {
  private:
   std::uint32_t round_ = 0;
   std::chrono::microseconds sleep_{kMinSleep};
+};
+
+/// The timer-domain sibling of ExpBackoff: a bounded exponential delay
+/// schedule for supervised retries (capture reattach, lane restart).
+/// Where ExpBackoff blocks the calling thread, RetryDelay only computes
+/// how long the next armed timer should wait -- each next() returns the
+/// current delay and doubles it up to `max`, so a flapping resource is
+/// probed quickly at first and then at a bounded, non-busy cadence.
+class RetryDelay {
+ public:
+  RetryDelay(Duration initial, Duration max)
+      : initial_(initial), max_(max), current_(initial) {}
+
+  /// The delay to arm now; escalates for the next call.
+  Duration next() {
+    const Duration delay = current_;
+    const Duration doubled = Duration::usec(current_.count_usec() * 2);
+    current_ = doubled < max_ ? doubled : max_;
+    return delay;
+  }
+
+  /// Peek without escalating (telemetry).
+  Duration current() const { return current_; }
+
+  /// Call once the resource recovered, so the next outage probes fast.
+  void reset() { current_ = initial_; }
+
+ private:
+  Duration initial_;
+  Duration max_;
+  Duration current_;
 };
 
 }  // namespace upbound

@@ -179,11 +179,13 @@ MetricsJsonlWriter::~MetricsJsonlWriter() {
 void MetricsJsonlWriter::write(const MetricsSnapshot& snapshot,
                                std::string_view label, SimTime sim_time) {
   const std::string line = metrics_to_json(snapshot, label, sim_time);
+  // fflush is part of the check: a small line parks in the stdio buffer,
+  // and without it an ENOSPC would surface only at close, long after the
+  // caller could count the failure.
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
-      std::fputc('\n', file_) == EOF) {
+      std::fputc('\n', file_) == EOF || std::fflush(file_) != 0) {
     throw std::runtime_error("write failed on metrics output: " + path_);
   }
-  std::fflush(file_);
   ++written_;
 }
 

@@ -122,6 +122,33 @@ TEST(FaultMatrix, StallAndRingOverflowAreResultNeutral) {
   }
 }
 
+TEST(FaultMatrix, DaemonPlaneKindsAreInertInShardReplay) {
+  if (!kFaultsCompiled) GTEST_SKIP() << "fault plane compiled out";
+  // capture.* and checkpoint.* address the live daemon's capture loop
+  // and checkpointer. Inside the shard replay engine they must parse,
+  // ride along with shard-scoped kinds in one spec, and leave the result
+  // byte-identical to a fault-free run.
+  const ParallelReplayResult clean = run_with_spec("", 4, bitmap_factory());
+  for (const char* spec :
+       {"capture.kill@100", "capture.stall:40@100", "checkpoint.corrupt:1",
+        "capture.kill@100,capture.stall:40@100,checkpoint.corrupt:1"}) {
+    const ParallelReplayResult faulted =
+        run_with_spec(spec, 4, bitmap_factory());
+    EXPECT_EQ(clean.merged.stats, faulted.merged.stats) << spec;
+    EXPECT_EQ(clean.shard_stats, faulted.shard_stats) << spec;
+    EXPECT_EQ(clean.shard_packets, faulted.shard_packets) << spec;
+    EXPECT_EQ(clean.shard_failed, faulted.shard_failed) << spec;
+  }
+  // Mixed daemon + shard kinds behave exactly like the shard kind alone.
+  const ParallelReplayResult shard_only =
+      run_with_spec("stall-shard:1@50:30", 4, bitmap_factory());
+  const ParallelReplayResult mixed = run_with_spec(
+      "stall-shard:1@50:30,capture.kill@10,checkpoint.corrupt:1", 4,
+      bitmap_factory());
+  EXPECT_EQ(shard_only.merged.stats, mixed.merged.stats);
+  EXPECT_EQ(shard_only.shard_stats, mixed.shard_stats);
+}
+
 TEST(FaultMatrix, FlipBitPerturbsBitmapDecisions) {
   if (!kFaultsCompiled) GTEST_SKIP() << "fault plane compiled out";
   const GeneratedTrace& trace = shared_trace();

@@ -75,6 +75,52 @@ TEST(FaultSpec, MalformedSpecsThrow) {
   EXPECT_THROW(FaultSpec::parse("kill-shard:1@"), std::invalid_argument);
 }
 
+TEST(FaultSpec, ParsesDaemonPlaneKinds) {
+  // The live-daemon plane: capture.kill / capture.stall target the
+  // capture source by delivered-frame index, checkpoint.corrupt targets
+  // one checkpoint generation.
+  const FaultSpec spec = FaultSpec::parse(
+      "capture.kill@500,capture.stall:250@10,checkpoint.corrupt:3,"
+      "capture.kill");
+  ASSERT_EQ(spec.events.size(), 4u);
+
+  EXPECT_EQ(spec.events[0].kind, FaultKind::kCaptureKill);
+  EXPECT_EQ(spec.events[0].at_packet, 500u);
+
+  EXPECT_EQ(spec.events[1].kind, FaultKind::kCaptureStall);
+  EXPECT_DOUBLE_EQ(spec.events[1].value, 250.0);
+  EXPECT_EQ(spec.events[1].at_packet, 10u);
+
+  EXPECT_EQ(spec.events[2].kind, FaultKind::kCheckpointCorrupt);
+  EXPECT_EQ(spec.events[2].aux, 3u);
+
+  // Bare capture.kill fires before the first frame.
+  EXPECT_EQ(spec.events[3].kind, FaultKind::kCaptureKill);
+  EXPECT_EQ(spec.events[3].at_packet, 0u);
+}
+
+TEST(FaultSpec, MalformedDaemonPlaneSpecsThrow) {
+  EXPECT_THROW(FaultSpec::parse("capture.kill:1"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("capture.kill@"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("capture.stall"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("capture.stall:0"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("capture.stall:-5"), std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("capture.stall:10:20"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("checkpoint.corrupt"),
+               std::invalid_argument);
+  EXPECT_THROW(FaultSpec::parse("checkpoint.corrupt:x"),
+               std::invalid_argument);
+}
+
+TEST(FaultSpec, DaemonPlaneToStringRoundTrips) {
+  const std::string text =
+      "capture.kill@500,capture.stall:250@10,checkpoint.corrupt:3";
+  const FaultSpec spec = FaultSpec::parse(text);
+  const FaultSpec again = FaultSpec::parse(spec.to_string());
+  EXPECT_EQ(spec.events, again.events);
+}
+
 TEST(FaultSpec, ToStringRoundTrips) {
   const std::string text =
       "kill-shard:3@500,stall-shard:1@10:250,corrupt:0.25,"
@@ -138,6 +184,33 @@ TEST(FaultInjectorUnit, CorruptionIsSeedDeterministic) {
   EXPECT_EQ(a.packets_corrupted(), b.packets_corrupted());
   EXPECT_GT(a.packets_corrupted(), 300u);  // rate 0.3 over 2000 packets
   EXPECT_GT(differs_from_c, 0);            // a different seed corrupts differently
+}
+
+TEST(FaultInjectorUnit, DaemonCaptureTriggersAreOneShot) {
+  FaultInjector injector{
+      FaultSpec::parse(
+          "capture.kill@100,capture.stall:40@200,checkpoint.corrupt:2"),
+      7};
+  EXPECT_TRUE(injector.armed());
+
+  // kill fires once the delivered-frame count crosses the trigger and
+  // never again -- the datapath's reattach must not re-kill itself.
+  EXPECT_FALSE(injector.take_capture_kill(99));
+  EXPECT_TRUE(injector.take_capture_kill(100));
+  EXPECT_FALSE(injector.take_capture_kill(5000));
+  EXPECT_EQ(injector.capture_kills_taken(), 1u);
+
+  EXPECT_DOUBLE_EQ(injector.take_capture_stall_ms(150), 0.0);
+  EXPECT_DOUBLE_EQ(injector.take_capture_stall_ms(200), 40.0);
+  EXPECT_DOUBLE_EQ(injector.take_capture_stall_ms(9000), 0.0);
+  EXPECT_EQ(injector.capture_stalls_taken(), 1u);
+
+  // checkpoint.corrupt is a pure predicate on the generation, not a
+  // one-shot: every write of the doomed generation is corrupted.
+  EXPECT_FALSE(injector.corrupt_checkpoint(1));
+  EXPECT_TRUE(injector.corrupt_checkpoint(2));
+  EXPECT_TRUE(injector.corrupt_checkpoint(2));
+  EXPECT_FALSE(injector.corrupt_checkpoint(3));
 }
 
 TEST(FaultInjectorUnit, LaneTriggerSchedule) {

@@ -46,7 +46,8 @@ struct ControlFixture {
   std::string socket_path;
 
   explicit ControlFixture(const std::string& filter_kind,
-                          bool arm_health = false) {
+                          bool arm_health = false,
+                          Duration idle_timeout = Duration::sec(30.0)) {
     UdpTapSource::Config tap_config;
     tap_config.port = 0;
     auto source = std::make_unique<UdpTapSource>(tap_config);
@@ -60,7 +61,7 @@ struct ControlFixture {
     datapath = std::make_unique<LiveDatapath>(
         config, spec_named(filter_kind), std::move(source), loop);
     socket_path = temp_path("ctl_" + filter_kind);
-    datapath->enable_control(socket_path);
+    datapath->enable_control(socket_path, idle_timeout);
   }
 
   ~ControlFixture() { ::unlink(socket_path.c_str()); }
@@ -412,6 +413,18 @@ TEST(ControlProtocol, ExecuteMatrixAgainstFakeApi) {
   const ControlReply tenants = server.execute("stats tenants", &quit);
   EXPECT_FALSE(tenants.ok);
   EXPECT_EQ(tenants.code, "capability:tenancy");
+  // Same for the daemon-lifecycle verbs: a fake without a reloadable or
+  // checkpointing datapath answers with the typed unsupported codes.
+  const ControlReply reload = server.execute("reload /tmp/x.conf", &quit);
+  EXPECT_FALSE(reload.ok);
+  EXPECT_EQ(reload.code, "unsupported:reload");
+  const ControlReply checkpoint = server.execute("checkpoint", &quit);
+  EXPECT_FALSE(checkpoint.ok);
+  EXPECT_EQ(checkpoint.code, "unsupported:checkpoint");
+  // Argument-shape errors come from the protocol layer before the API.
+  EXPECT_EQ(server.execute("reload", &quit).code, "bad-argument");
+  EXPECT_EQ(server.execute("reload a b", &quit).code, "bad-argument");
+  EXPECT_EQ(server.execute("checkpoint now", &quit).code, "bad-argument");
   EXPECT_FALSE(quit);
   const ControlReply bye = server.execute("quit", &quit);
   EXPECT_TRUE(bye.ok);
@@ -420,7 +433,7 @@ TEST(ControlProtocol, ExecuteMatrixAgainstFakeApi) {
   // execute() itself must NOT quit -- the server calls control_quit only
   // after the reply is on the wire.
   EXPECT_EQ(api.quits, 0);
-  EXPECT_EQ(server.commands_processed(), 7u);
+  EXPECT_EQ(server.commands_processed(), 12u);
 }
 
 TEST(ControlProtocol, ConcurrentReconfigurationUnderTraffic) {
@@ -482,6 +495,101 @@ TEST(ControlProtocol, ConcurrentReconfigurationUnderTraffic) {
   loop_thread.join();  // quit stops the loop
   EXPECT_TRUE(loop.stopped());
   ::unlink(ctl.c_str());
+}
+
+TEST(ControlProtocol, DaemonVerbsOverTheSocket) {
+  ControlFixture fx{"bitmap"};
+  const int fd = fx.connect();
+
+  // Argument-shape errors come back before any API dispatch.
+  EXPECT_EQ(fx.roundtrip(fd, "reload\n"),
+            "ERR bad-argument usage: reload <path>");
+  EXPECT_EQ(fx.roundtrip(fd, "reload a b\n"),
+            "ERR bad-argument usage: reload <path>");
+  EXPECT_EQ(fx.roundtrip(fd, "checkpoint now\n"),
+            "ERR bad-argument checkpoint takes no arguments");
+
+  // This fixture never armed a checkpoint dir: typed unsupported code.
+  const std::string ck = fx.roundtrip(fd, "checkpoint\n");
+  EXPECT_EQ(ck.rfind("ERR unsupported:checkpoint", 0), 0u) << ck;
+
+  // A missing config file is a typed io error, not a dropped connection.
+  const std::string missing =
+      fx.roundtrip(fd, "reload " + temp_path("no_such_config") + "\n");
+  EXPECT_EQ(missing.rfind("ERR io", 0), 0u) << missing;
+
+  // A well-formed retune config applies atomically over the socket.
+  const std::string conf = temp_path("reload_conf") + ".conf";
+  std::FILE* f = std::fopen(conf.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("low 4e6\nhigh 9e6\n", f);
+  std::fclose(f);
+  EXPECT_EQ(fx.roundtrip(fd, "reload " + conf + "\n"),
+            "OK reloaded " + conf + ": low=4e+06 high=9e+06");
+
+  // A geometry change over the socket is refused with the typed code
+  // and the running filter stays untouched.
+  std::FILE* g = std::fopen(conf.c_str(), "wb");
+  ASSERT_NE(g, nullptr);
+  std::fputs("filter bitmap\nbits 10\ndt 5\n", g);
+  std::fclose(g);
+  const std::string incompat = fx.roundtrip(fd, "reload " + conf + "\n");
+  EXPECT_EQ(incompat.rfind("ERR reload-incompatible", 0), 0u) << incompat;
+  ::unlink(conf.c_str());
+  ::close(fd);
+}
+
+TEST(ControlProtocol, MidLineIdlersAreReapedWithTypedTimeout) {
+  ControlFixture fx{"bitmap", /*arm_health=*/false,
+                    /*idle_timeout=*/Duration::msec(50)};
+  const int fd = fx.connect();
+  fx.send_raw(fd, "sta");  // mid-line: command started, newline never sent
+
+  // The wall-clock sweep fires while we pump the loop: the stuck client
+  // gets one typed reply line and then the server closes its end.
+  std::string reply;
+  bool closed = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!closed) {
+    ASSERT_TRUE(std::chrono::steady_clock::now() < deadline) << reply;
+    fx.loop.poll_once(5);
+    char buf[128];
+    const ssize_t got = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (got > 0) {
+      reply.append(buf, static_cast<std::size_t>(got));
+    } else if (got == 0) {
+      closed = true;
+    }
+  }
+  EXPECT_EQ(reply.rfind("ERR timeout", 0), 0u) << reply;
+  EXPECT_NE(reply.find("mid-command idle"), std::string::npos) << reply;
+  EXPECT_EQ(fx.datapath->control()->connections_reaped(), 1u);
+  ::close(fd);
+
+  // The daemon is still serving: a fresh client round-trips normally.
+  const int fd2 = fx.connect();
+  const std::string stats = fx.roundtrip(fd2, "stats\n");
+  EXPECT_EQ(stats.rfind("OK {", 0), 0u) << stats;
+  ::close(fd2);
+}
+
+TEST(ControlProtocol, IdleBetweenCommandsIsNeverReaped) {
+  ControlFixture fx{"bitmap", /*arm_health=*/false,
+                    /*idle_timeout=*/Duration::msec(50)};
+  const int fd = fx.connect();
+  EXPECT_EQ(fx.roundtrip(fd, "set low 4e6\n"), "OK low=4e+06 high=6e+06");
+
+  // Sit quiet with NO partial line buffered for several sweep periods:
+  // a connection idle between commands holds no server memory hostage
+  // and must be left alone.
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(250);
+  while (std::chrono::steady_clock::now() < until) fx.loop.poll_once(5);
+
+  EXPECT_EQ(fx.datapath->control()->connections_reaped(), 0u);
+  EXPECT_EQ(fx.roundtrip(fd, "set high 9e6\n"), "OK low=4e+06 high=9e+06");
+  ::close(fd);
 }
 
 }  // namespace
